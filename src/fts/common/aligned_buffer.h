@@ -1,0 +1,73 @@
+#ifndef FTS_COMMON_ALIGNED_BUFFER_H_
+#define FTS_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "fts/common/macros.h"
+
+namespace fts {
+
+// Cache-line / SIMD-register alignment used for all column storage. 64 bytes
+// covers both a cache line and a full ZMM register, so aligned 512-bit loads
+// never split a line.
+inline constexpr std::size_t kColumnAlignment = 64;
+
+// Minimal STL-compatible allocator returning kColumnAlignment-aligned memory.
+// Used by AlignedVector so columns can be scanned with aligned SIMD loads.
+//
+// Elements are *default-initialized*, not value-initialized: for trivial
+// types, `AlignedVector<T> v(n)` leaves the storage uninitialized instead
+// of zeroing it. Scan output buffers are sized for the worst case
+// (row_count entries) on every scan; zeroing them would cost more than
+// the scan itself at low selectivities. Every producer in this codebase
+// fully assigns the elements it exposes.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;  // Default-init: no zeroing.
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+
+  T* allocate(std::size_t n) {
+    FTS_CHECK(n <= std::numeric_limits<std::size_t>::max() / sizeof(T));
+    // Round the byte size up to a multiple of the alignment as required by
+    // std::aligned_alloc.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + kColumnAlignment - 1) / kColumnAlignment *
+            kColumnAlignment;
+    void* ptr = std::aligned_alloc(kColumnAlignment, bytes);
+    FTS_CHECK_MSG(ptr != nullptr, "aligned allocation failed");
+    return static_cast<T*>(ptr);
+  }
+
+  void deallocate(T* ptr, std::size_t /*n*/) { std::free(ptr); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+// A std::vector whose backing store is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_ALIGNED_BUFFER_H_

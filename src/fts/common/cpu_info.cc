@@ -1,0 +1,109 @@
+#include "fts/common/cpu_info.h"
+
+#include <cpuid.h>
+#include <immintrin.h>
+
+#include <fstream>
+#include <string>
+
+namespace fts {
+namespace {
+
+// Reads XCR0 to confirm the OS saves/restores the register state the
+// feature needs; CPUID alone is not sufficient.
+uint64_t ReadXcr0() {
+  uint32_t eax = 0, edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+CpuFeatures DetectFeatures() {
+  CpuFeatures features;
+
+  uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) return features;
+
+  // Leaf 1: OSXSAVE + AVX support for XGETBV validity.
+  __cpuid(1, eax, ebx, ecx, edx);
+  const bool osxsave = (ecx >> 27) & 1;
+  if (!osxsave) return features;
+
+  const uint64_t xcr0 = ReadXcr0();
+  const bool ymm_enabled = (xcr0 & 0x6) == 0x6;           // XMM + YMM.
+  const bool zmm_enabled = (xcr0 & 0xE6) == 0xE6;         // + opmask, ZMM.
+
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  features.bmi2 = (ebx >> 8) & 1;
+  features.avx2 = ymm_enabled && ((ebx >> 5) & 1);
+  if (zmm_enabled) {
+    features.avx512f = (ebx >> 16) & 1;
+    features.avx512dq = (ebx >> 17) & 1;
+    features.avx512bw = (ebx >> 30) & 1;
+    features.avx512vl = (ebx >> 31) & 1;
+  }
+  return features;
+}
+
+int64_t ReadSysfsCacheSize(const char* path, int64_t fallback) {
+  std::ifstream in(path);
+  if (!in) return fallback;
+  std::string text;
+  in >> text;
+  if (text.empty()) return fallback;
+  int64_t multiplier = 1;
+  if (text.back() == 'K') {
+    multiplier = 1024;
+    text.pop_back();
+  } else if (text.back() == 'M') {
+    multiplier = 1024 * 1024;
+    text.pop_back();
+  }
+  char* end = nullptr;
+  const int64_t value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || value <= 0) return fallback;
+  return value * multiplier;
+}
+
+CacheInfo DetectCacheInfo() {
+  CacheInfo info;
+  constexpr const char* kBase = "/sys/devices/system/cpu/cpu0/cache";
+  info.l1d_bytes =
+      ReadSysfsCacheSize((std::string(kBase) + "/index0/size").c_str(),
+                         info.l1d_bytes);
+  info.l2_bytes = ReadSysfsCacheSize(
+      (std::string(kBase) + "/index2/size").c_str(), info.l2_bytes);
+  info.l3_bytes = ReadSysfsCacheSize(
+      (std::string(kBase) + "/index3/size").c_str(), info.l3_bytes);
+  return info;
+}
+
+}  // namespace
+
+std::string CpuFeatures::ToString() const {
+  std::string out;
+  auto append = [&out](bool enabled, const char* name) {
+    if (!enabled) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(avx2, "avx2");
+  append(avx512f, "avx512f");
+  append(avx512bw, "avx512bw");
+  append(avx512dq, "avx512dq");
+  append(avx512vl, "avx512vl");
+  append(bmi2, "bmi2");
+  if (out.empty()) out = "(none)";
+  return out;
+}
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures kFeatures = DetectFeatures();
+  return kFeatures;
+}
+
+const CacheInfo& GetCacheInfo() {
+  static const CacheInfo kInfo = DetectCacheInfo();
+  return kInfo;
+}
+
+}  // namespace fts

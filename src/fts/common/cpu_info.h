@@ -1,0 +1,47 @@
+#ifndef FTS_COMMON_CPU_INFO_H_
+#define FTS_COMMON_CPU_INFO_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fts {
+
+// CPU feature flags relevant to the Fused Table Scan kernel dispatch.
+// Detected once at startup via CPUID (with XGETBV validation that the OS
+// actually saves the wide register state).
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512f = false;   // Foundation: 512-bit compare/compress/gather.
+  bool avx512bw = false;  // Byte/word masked ops.
+  bool avx512dq = false;  // Doubleword/quadword ops.
+  bool avx512vl = false;  // 128/256-bit encodings of AVX-512 instructions.
+  bool bmi2 = false;
+
+  // True when the full AVX-512 kernel family used by this project
+  // (f + bw + dq + vl) is usable.
+  bool HasFusedScanAvx512() const {
+    return avx512f && avx512bw && avx512dq && avx512vl;
+  }
+
+  // Human-readable flag list, e.g. "avx2 avx512f avx512bw ...".
+  std::string ToString() const;
+};
+
+// Process-wide feature detection. Thread-safe; detection runs once.
+const CpuFeatures& GetCpuFeatures();
+
+// Cache geometry used to size benchmark working sets and to model the
+// prefetcher. Values are read from sysfs when available, otherwise
+// defaults matching the paper's Skylake-SP testbed are used.
+struct CacheInfo {
+  int64_t l1d_bytes = 32 * 1024;
+  int64_t l2_bytes = 1024 * 1024;
+  int64_t l3_bytes = 38LL * 1024 * 1024;
+  int64_t line_bytes = 64;
+};
+
+const CacheInfo& GetCacheInfo();
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_CPU_INFO_H_

@@ -1,0 +1,48 @@
+#include "fts/common/env.h"
+
+#include <cstdlib>
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+int64_t GetEnvInt64(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  int64_t parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  switch (*end) {
+    case 'k':
+    case 'K':
+      parsed *= 1000;
+      break;
+    case 'm':
+    case 'M':
+      parsed *= 1000000;
+      break;
+    case 'g':
+    case 'G':
+      parsed *= 1000000000;
+      break;
+    default:
+      break;
+  }
+  return parsed;
+}
+
+bool GetEnvBool(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const std::string lowered = ToLower(value);
+  return lowered == "1" || lowered == "true" || lowered == "yes" ||
+         lowered == "on";
+}
+
+}  // namespace fts

@@ -1,0 +1,24 @@
+#ifndef FTS_COMMON_ENV_H_
+#define FTS_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fts {
+
+// Environment-variable helpers used by the benchmark harnesses to scale
+// workloads (e.g. FTS_BENCH_MAX_ROWS, FTS_BENCH_FULL) without recompiling.
+
+// Returns the value of `name`, or `fallback` when unset/empty.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+// Returns the integer value of `name`, or `fallback` when unset or
+// unparsable. Accepts optional K/M/G suffixes (decimal multipliers).
+int64_t GetEnvInt64(const char* name, int64_t fallback);
+
+// True when `name` is set to a truthy value ("1", "true", "yes", "on").
+bool GetEnvBool(const char* name, bool fallback);
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_ENV_H_

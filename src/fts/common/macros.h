@@ -1,0 +1,49 @@
+#ifndef FTS_COMMON_MACROS_H_
+#define FTS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Branch-prediction hints. Used sparingly, on paths where the predicted
+// direction is a documented invariant (e.g., error paths).
+#define FTS_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define FTS_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+// FTS_CHECK aborts the process when `condition` is false. It is active in
+// all build modes and is reserved for invariant violations that indicate a
+// programming error (not for user-input validation, which returns Status).
+#define FTS_CHECK(condition)                                                 \
+  do {                                                                       \
+    if (FTS_UNLIKELY(!(condition))) {                                        \
+      ::std::fprintf(stderr, "FTS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                     __LINE__, #condition);                                  \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+#define FTS_CHECK_MSG(condition, msg)                                        \
+  do {                                                                       \
+    if (FTS_UNLIKELY(!(condition))) {                                        \
+      ::std::fprintf(stderr, "FTS_CHECK failed at %s:%d: %s: %s\n",          \
+                     __FILE__, __LINE__, #condition, (msg));                 \
+      ::std::abort();                                                        \
+    }                                                                        \
+  } while (0)
+
+// Debug-only check; compiled out in release builds.
+#ifdef NDEBUG
+#define FTS_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#else
+#define FTS_DCHECK(condition) FTS_CHECK(condition)
+#endif
+
+// Marks a class as neither copyable nor movable. Place in the public section.
+#define FTS_DISALLOW_COPY_AND_MOVE(TypeName)      \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete;  \
+  TypeName(TypeName&&) = delete;                  \
+  TypeName& operator=(TypeName&&) = delete
+
+#endif  // FTS_COMMON_MACROS_H_

@@ -1,0 +1,32 @@
+#include "fts/common/random.h"
+
+#include "fts/common/macros.h"
+
+namespace fts {
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+  FTS_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Xoshiro256::NextInRange(int64_t lo, int64_t hi) {
+  FTS_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  if (span == ~0ULL) return static_cast<int64_t>(Next());
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                              NextBounded(span + 1));
+}
+
+}  // namespace fts

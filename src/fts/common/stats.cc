@@ -1,0 +1,69 @@
+#include "fts/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fts/common/macros.h"
+
+namespace fts {
+
+double Median(std::vector<double> samples) {
+  FTS_CHECK(!samples.empty());
+  const size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  const double upper = samples[mid];
+  if (samples.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(samples.begin(), samples.begin() + mid);
+  return (lower + upper) / 2.0;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  FTS_CHECK(!samples.empty());
+  FTS_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double StdDev(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double mean = Mean(samples);
+  double sq = 0.0;
+  for (double s : samples) sq += (s - mean) * (s - mean);
+  return std::sqrt(sq / static_cast<double>(samples.size() - 1));
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace fts

@@ -1,0 +1,46 @@
+#ifndef FTS_COMMON_STATS_H_
+#define FTS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fts {
+
+// Robust summary statistics for benchmark samples. The paper reports the
+// median of >= 100 runs; these helpers back that reporting.
+
+// Median of `samples`. Copies and partially sorts; samples must be non-empty.
+double Median(std::vector<double> samples);
+
+// Linear-interpolated percentile, p in [0, 100]. samples must be non-empty.
+double Percentile(std::vector<double> samples, double p);
+
+double Mean(const std::vector<double>& samples);
+
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& samples);
+
+// Streaming mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  // Sample variance; 0 for fewer than 2 samples.
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_STATS_H_

@@ -1,0 +1,158 @@
+#ifndef FTS_COMMON_STATUS_H_
+#define FTS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "fts/common/macros.h"
+
+namespace fts {
+
+// Error categories for fallible operations. The project does not use C++
+// exceptions (Google style); every operation that can fail at runtime for
+// reasons outside the programmer's control (parsing, JIT compilation,
+// perf-counter setup, I/O) reports through Status / StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kResourceExhausted,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, copyable value describing the outcome of an operation.
+// OK statuses carry no message and no allocation.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// StatusOr<T> holds either a value of T or a non-OK Status.
+// Accessing the value of a non-OK StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // in functions returning StatusOr<T>, mirroring absl::StatusOr ergonomics.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    FTS_CHECK_MSG(!std::get<Status>(rep_).ok(),
+                  "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    FTS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    FTS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    FTS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagates a non-OK status to the caller. Usable in functions returning
+// Status or StatusOr<T> (Status converts implicitly into StatusOr).
+#define FTS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::fts::Status fts_status_tmp_ = (expr);         \
+    if (FTS_UNLIKELY(!fts_status_tmp_.ok())) {      \
+      return fts_status_tmp_;                       \
+    }                                               \
+  } while (0)
+
+// Evaluates `rexpr` (a StatusOr<T>), propagates errors, otherwise moves the
+// value into `lhs`. `lhs` may be a declaration: FTS_ASSIGN_OR_RETURN(auto x, F()).
+#define FTS_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  FTS_ASSIGN_OR_RETURN_IMPL_(                                \
+      FTS_STATUS_MACRO_CONCAT_(fts_statusor_, __LINE__), lhs, rexpr)
+
+#define FTS_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define FTS_STATUS_MACRO_CONCAT_(x, y) FTS_STATUS_MACRO_CONCAT_INNER_(x, y)
+#define FTS_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                               \
+  if (FTS_UNLIKELY(!statusor.ok())) {                    \
+    return statusor.status();                            \
+  }                                                      \
+  lhs = std::move(statusor).value()
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef FTS_COMMON_STRING_UTIL_H_
+#define FTS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fts {
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on every occurrence of `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// ASCII case helpers (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+// Formats a byte count with binary units, e.g. "1.5 MiB".
+std::string HumanBytes(double bytes);
+
+// Formats row counts like the paper's axis labels: 1K, 32M, 132M.
+std::string HumanRows(uint64_t rows);
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,49 @@
+#ifndef FTS_COMMON_TIMER_H_
+#define FTS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fts {
+
+// Wall-clock stopwatch over std::chrono::steady_clock. Benchmark harnesses
+// measure each repetition with a fresh Stopwatch and aggregate medians.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Prevents the compiler from optimizing away a computed value. Same idiom as
+// google-benchmark's DoNotOptimize, usable from non-benchmark harnesses.
+template <typename T>
+inline void DoNotOptimizeAway(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_TIMER_H_

@@ -1,0 +1,109 @@
+#include "fts/db/database.h"
+
+#include "fts/common/cpu_info.h"
+#include "fts/common/string_util.h"
+#include "fts/plan/lqp.h"
+#include "fts/plan/optimizer.h"
+#include "fts/plan/translator.h"
+#include "fts/sql/parser.h"
+
+namespace fts {
+
+Status Database::RegisterTable(const std::string& name, TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  const auto [it, inserted] = tables_.emplace(name, std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("table '%s' already registered", name.c_str()));
+  }
+  return Status::Ok();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound(StrFormat("no table named '%s'", name.c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<TablePtr> Database::GetTable(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("no table named '%s'", name.c_str()));
+  }
+  return it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+ScanEngine Database::DefaultEngine() {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  if (cpu.HasFusedScanAvx512()) return ScanEngine::kAvx512Fused512;
+  if (cpu.avx2) return ScanEngine::kAvx2Fused128;
+  return ScanEngine::kScalarFused;
+}
+
+StatusOr<PhysicalPlan> Database::Plan(const std::string& sql,
+                                      const QueryOptions& options,
+                                      std::string* explain_text) const {
+  FTS_ASSIGN_OR_RETURN(const SelectStatement statement, ParseSelect(sql));
+  FTS_ASSIGN_OR_RETURN(const TablePtr table, GetTable(statement.table));
+  FTS_ASSIGN_OR_RETURN(LqpNodePtr lqp,
+                       BuildLqp(statement, statement.table, table));
+
+  const ScanEngine engine = options.engine.value_or(DefaultEngine());
+
+  if (explain_text != nullptr) {
+    *explain_text += "-- Logical plan (unoptimized)\n";
+    *explain_text += ExplainLqp(lqp);
+  }
+
+  if (options.optimize) {
+    OptimizerOptions optimizer_options;
+    optimizer_options.enable_reordering = options.reorder_predicates;
+    // Fusion only helps engines that execute a whole chain in one
+    // operator; the SISD and blockwise baselines keep per-predicate scans
+    // (Fig. 8, left).
+    optimizer_options.enable_fusion =
+        engine != ScanEngine::kSisdNoVec &&
+        engine != ScanEngine::kSisdAutoVec &&
+        engine != ScanEngine::kBlockwise;
+    FTS_RETURN_IF_ERROR(OptimizeLqp(&lqp, optimizer_options));
+    if (explain_text != nullptr) {
+      *explain_text += "-- Logical plan (optimized)\n";
+      *explain_text += ExplainLqp(lqp);
+    }
+  }
+
+  TranslatorOptions translator_options;
+  translator_options.engine = engine;
+  translator_options.jit_register_bits = options.jit_register_bits;
+  FTS_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       TranslateLqp(lqp, translator_options));
+  if (explain_text != nullptr) {
+    *explain_text += "-- Physical plan\n";
+    *explain_text += plan.Explain();
+  }
+  return plan;
+}
+
+StatusOr<QueryResult> Database::Query(const std::string& sql,
+                                      const QueryOptions& options) const {
+  FTS_ASSIGN_OR_RETURN(const PhysicalPlan plan, Plan(sql, options, nullptr));
+  return ExecutePlan(plan);
+}
+
+StatusOr<std::string> Database::Explain(const std::string& sql,
+                                        const QueryOptions& options) const {
+  std::string text;
+  FTS_RETURN_IF_ERROR(Plan(sql, options, &text).status());
+  return text;
+}
+
+}  // namespace fts

@@ -1,0 +1,73 @@
+#ifndef FTS_DB_DATABASE_H_
+#define FTS_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "fts/common/status.h"
+#include "fts/plan/physical_plan.h"
+#include "fts/scan/scan_engine.h"
+#include "fts/storage/table.h"
+
+namespace fts {
+
+// Top-level facade tying the whole pipeline together (Fig. 9):
+//   SQL string -> parser -> LQP -> optimizer -> LQP translator ->
+//   physical plan -> executor.
+//
+// Typical use:
+//   Database db;
+//   db.RegisterTable("tbl", table);
+//   auto result = db.Query("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2");
+class Database {
+ public:
+  struct QueryOptions {
+    // Engine for scan operators. Defaults to the fastest fused engine the
+    // CPU supports (AVX-512 512-bit on the paper's hardware class).
+    std::optional<ScanEngine> engine;
+    int jit_register_bits = 512;
+    // Disable individual optimizer passes (for study/ablation).
+    bool optimize = true;
+    bool reorder_predicates = true;
+  };
+
+  Database() = default;
+
+  // Registers an existing table under `name`.
+  Status RegisterTable(const std::string& name, TablePtr table);
+  Status DropTable(const std::string& name);
+  StatusOr<TablePtr> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // Parses, plans, optimizes, and executes `sql`. (Overloads instead of a
+  // `= {}` default: nested-class default member initializers are not yet
+  // parsed when an in-class default argument would need them.)
+  StatusOr<QueryResult> Query(const std::string& sql,
+                              const QueryOptions& options) const;
+  StatusOr<QueryResult> Query(const std::string& sql) const {
+    return Query(sql, QueryOptions());
+  }
+
+  // Returns the logical plan before/after optimization and the physical
+  // plan, as text.
+  StatusOr<std::string> Explain(const std::string& sql,
+                                const QueryOptions& options) const;
+  StatusOr<std::string> Explain(const std::string& sql) const {
+    return Explain(sql, QueryOptions());
+  }
+
+  // The engine Query() uses when options.engine is unset.
+  static ScanEngine DefaultEngine();
+
+ private:
+  StatusOr<PhysicalPlan> Plan(const std::string& sql,
+                              const QueryOptions& options,
+                              std::string* explain_text) const;
+
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_DB_DATABASE_H_

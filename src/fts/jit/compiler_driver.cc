@@ -1,0 +1,124 @@
+#include "fts/jit/compiler_driver.h"
+
+#include <dlfcn.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fts/common/env.h"
+#include "fts/common/string_util.h"
+#include "fts/common/timer.h"
+
+namespace fts {
+namespace {
+
+// Reads a whole file; empty string when unreadable.
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) dlclose(handle_);
+}
+
+JitCompiler::JitCompiler(JitCompilerOptions options)
+    : options_(std::move(options)) {
+  options_.compiler = GetEnvString("FTS_JIT_CXX", options_.compiler);
+  if (options_.work_dir.empty()) {
+    options_.work_dir = GetEnvString("TMPDIR", "/tmp");
+  }
+}
+
+StatusOr<std::shared_ptr<JitModule>> JitCompiler::Compile(
+    const std::string& source, const std::string& symbol) {
+  if (source.empty()) return Status::InvalidArgument("empty source");
+
+  Stopwatch stopwatch;
+
+  // Private scratch directory per compilation.
+  std::string dir_template = options_.work_dir + "/fts-jit-XXXXXX";
+  std::vector<char> dir_buffer(dir_template.begin(), dir_template.end());
+  dir_buffer.push_back('\0');
+  if (mkdtemp(dir_buffer.data()) == nullptr) {
+    return Status::Internal(
+        StrFormat("mkdtemp(%s) failed", dir_template.c_str()));
+  }
+  const std::string dir(dir_buffer.data());
+  const std::string src_path = dir + "/scan.cpp";
+  const std::string so_path = dir + "/scan.so";
+  const std::string log_path = dir + "/compile.log";
+
+  auto cleanup = [&]() {
+    if (options_.keep_artifacts) return;
+    std::remove(src_path.c_str());
+    std::remove(so_path.c_str());
+    std::remove(log_path.c_str());
+    rmdir(dir.c_str());
+  };
+
+  {
+    std::ofstream out(src_path);
+    if (!out) {
+      cleanup();
+      return Status::Internal(
+          StrFormat("cannot write %s", src_path.c_str()));
+    }
+    out << source;
+  }
+
+  const std::string command =
+      StrFormat("%s %s -o %s %s > %s 2>&1", options_.compiler.c_str(),
+                options_.flags.c_str(), so_path.c_str(), src_path.c_str(),
+                log_path.c_str());
+  const int rc = std::system(command.c_str());
+  if (rc != 0) {
+    std::string log = ReadFileOrEmpty(log_path);
+    if (log.size() > 2000) log.resize(2000);
+    const Status status =
+        (rc == 127 || rc == 32512)
+            ? Status::Unavailable(StrFormat(
+                  "JIT compiler '%s' not executable",
+                  options_.compiler.c_str()))
+            : Status::Internal(StrFormat("JIT compilation failed (rc=%d):\n%s",
+                                         rc, log.c_str()));
+    cleanup();
+    return status;
+  }
+
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const std::string error = dlerror();
+    cleanup();
+    return Status::Internal(StrFormat("dlopen failed: %s", error.c_str()));
+  }
+  void* resolved = dlsym(handle, symbol.c_str());
+  if (resolved == nullptr) {
+    dlclose(handle);
+    cleanup();
+    return Status::Internal(
+        StrFormat("symbol '%s' not found in generated module",
+                  symbol.c_str()));
+  }
+
+  auto module = std::shared_ptr<JitModule>(new JitModule());
+  module->handle_ = handle;
+  module->symbol_ = resolved;
+  module->compile_millis_ = stopwatch.ElapsedMillis();
+  module->source_ = source;
+  // The .so stays mapped via the dlopen handle; its directory entry can go
+  // unless artifacts were requested.
+  cleanup();
+  return module;
+}
+
+}  // namespace fts

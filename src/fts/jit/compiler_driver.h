@@ -1,0 +1,75 @@
+#ifndef FTS_JIT_COMPILER_DRIVER_H_
+#define FTS_JIT_COMPILER_DRIVER_H_
+
+#include <memory>
+#include <string>
+
+#include "fts/common/status.h"
+
+namespace fts {
+
+// A loaded shared object produced by the JIT. Owns the dlopen handle; the
+// resolved symbol stays valid for the module's lifetime.
+class JitModule {
+ public:
+  ~JitModule();
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  // Raw function pointer for `symbol` passed at compile time.
+  void* symbol_address() const { return symbol_; }
+
+  // Wall-clock cost of the external compiler + dlopen, for the Section V
+  // discussion ("we do not see the additional compile time as a deciding
+  // bottleneck" when operators are cached).
+  double compile_millis() const { return compile_millis_; }
+
+  const std::string& source() const { return source_; }
+
+ private:
+  friend class JitCompiler;
+  JitModule() = default;
+
+  void* handle_ = nullptr;
+  void* symbol_ = nullptr;
+  double compile_millis_ = 0.0;
+  std::string source_;
+};
+
+// Options for the external-compiler JIT backend. The paper's Section V
+// weighs C++ vs LLVM IR vs ASM for generation and picks C++ ("easier to
+// write and maintain"); this driver realizes that choice: generated C++ is
+// compiled by the system compiler into a shared object and dlopen()ed.
+struct JitCompilerOptions {
+  // Compiler binary; overridden by the FTS_JIT_CXX environment variable.
+  std::string compiler = "g++";
+  // Flags for the generated TU. The AVX-512 sources need the f/bw/dq/vl
+  // sets; -O3 matches the paper's build.
+  std::string flags =
+      "-std=c++20 -O3 -shared -fPIC -mavx512f -mavx512bw -mavx512dq "
+      "-mavx512vl";
+  // Directory for temporary artifacts; empty = /tmp.
+  std::string work_dir;
+  // Keep the .cpp/.so/compile log on disk (debugging).
+  bool keep_artifacts = false;
+};
+
+class JitCompiler {
+ public:
+  explicit JitCompiler(JitCompilerOptions options = JitCompilerOptions());
+
+  // Compiles `source` and resolves `symbol`. Returns kUnavailable when the
+  // compiler binary cannot be executed and kInternal (with the compiler's
+  // stderr) on compile errors.
+  StatusOr<std::shared_ptr<JitModule>> Compile(const std::string& source,
+                                               const std::string& symbol);
+
+  const JitCompilerOptions& options() const { return options_; }
+
+ private:
+  JitCompilerOptions options_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_JIT_COMPILER_DRIVER_H_

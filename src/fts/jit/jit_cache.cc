@@ -1,0 +1,53 @@
+#include "fts/jit/jit_cache.h"
+
+namespace fts {
+
+JitCache::JitCache(JitCompilerOptions options)
+    : compiler_(std::move(options)) {}
+
+StatusOr<JitCache::Entry> JitCache::GetOrCompile(
+    const JitScanSignature& signature) {
+  const std::string key = signature.CacheKey();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Generate + compile outside the lock; a racing duplicate compile is
+  // harmless (last one wins, both modules are valid).
+  FTS_ASSIGN_OR_RETURN(const std::string source,
+                       GenerateFusedScanSource(signature));
+  FTS_ASSIGN_OR_RETURN(std::shared_ptr<JitModule> module,
+                       compiler_.Compile(source, kJitScanSymbol));
+  Entry entry;
+  entry.module = std::move(module);
+  entry.fn = reinterpret_cast<JitScanFn>(entry.module->symbol_address());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  stats_.total_compile_millis += entry.module->compile_millis();
+  entries_[key] = entry;
+  return entry;
+}
+
+JitCache::Stats JitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void JitCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+JitCache& GlobalJitCache() {
+  // Function-local static reference; never destroyed (see style guide on
+  // static storage duration objects).
+  static JitCache& cache = *new JitCache();
+  return cache;
+}
+
+}  // namespace fts

@@ -1,0 +1,54 @@
+#ifndef FTS_JIT_JIT_CACHE_H_
+#define FTS_JIT_JIT_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fts/common/status.h"
+#include "fts/jit/code_generator.h"
+#include "fts/jit/compiler_driver.h"
+#include "fts/jit/scan_signature.h"
+
+namespace fts {
+
+// Signature-keyed cache of compiled fused-scan operators. Section V:
+// "Especially when compiled operators are cached for future use, we do not
+// see the additional compile time as a deciding bottleneck." Thread-safe.
+class JitCache {
+ public:
+  explicit JitCache(JitCompilerOptions options = JitCompilerOptions());
+
+  struct Entry {
+    std::shared_ptr<JitModule> module;
+    JitScanFn fn = nullptr;
+  };
+
+  // Returns the compiled operator for `signature`, generating and
+  // compiling it on first use.
+  StatusOr<Entry> GetOrCompile(const JitScanSignature& signature);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double total_compile_millis = 0.0;
+  };
+  Stats stats() const;
+
+  // Drops all cached modules (the shared_ptrs keep in-flight users alive).
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  JitCompiler compiler_;
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+// Process-wide cache instance used by JitScanEngine by default.
+JitCache& GlobalJitCache();
+
+}  // namespace fts
+
+#endif  // FTS_JIT_JIT_CACHE_H_

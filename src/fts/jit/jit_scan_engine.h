@@ -1,0 +1,39 @@
+#ifndef FTS_JIT_JIT_SCAN_ENGINE_H_
+#define FTS_JIT_JIT_SCAN_ENGINE_H_
+
+#include "fts/common/status.h"
+#include "fts/jit/jit_cache.h"
+#include "fts/scan/scan_spec.h"
+#include "fts/scan/table_scan.h"
+#include "fts/storage/pos_list.h"
+#include "fts/storage/table.h"
+
+namespace fts {
+
+// Executes conjunctive scans through runtime-generated code (Section V).
+// Reuses TableScanner::Prepare for column resolution / value casting /
+// dictionary predicate rewriting, then compiles (or fetches from the
+// cache) one specialized operator per distinct chain signature and runs it
+// per chunk.
+class JitScanEngine {
+ public:
+  // `register_bits` selects the generated code's register width
+  // (128/256/512); `cache` defaults to the process-wide cache.
+  explicit JitScanEngine(int register_bits = 512,
+                         JitCache* cache = &GlobalJitCache());
+
+  StatusOr<TableMatches> Execute(TablePtr table, const ScanSpec& spec);
+
+  StatusOr<uint64_t> ExecuteCount(TablePtr table, const ScanSpec& spec);
+
+  int register_bits() const { return register_bits_; }
+  JitCache& cache() { return *cache_; }
+
+ private:
+  int register_bits_;
+  JitCache* cache_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_JIT_JIT_SCAN_ENGINE_H_

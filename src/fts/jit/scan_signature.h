@@ -1,0 +1,51 @@
+#ifndef FTS_JIT_SCAN_SIGNATURE_H_
+#define FTS_JIT_SCAN_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// The compile-time shape of a fused scan chain: element type and
+// comparator per stage, plus the register width. Search values and column
+// pointers stay runtime arguments of the generated function, so one
+// compiled operator serves every query with the same shape — this is what
+// makes the JIT cache effective, and it is exactly the parameter split
+// Section V describes (10 types x 6 comparators per stage explode
+// combinatorially; values do not).
+struct JitStageSignature {
+  ScanElementType type = ScanElementType::kI32;
+  CompareOp op = CompareOp::kEq;
+  // Bit-packed code stream width; 0 = plain fixed-size elements. Part of
+  // the signature because the generated unpack sequence depends on it.
+  uint8_t packed_bits = 0;
+
+  friend bool operator==(const JitStageSignature& a,
+                         const JitStageSignature& b) = default;
+};
+
+struct JitScanSignature {
+  std::vector<JitStageSignature> stages;
+  int register_bits = 512;  // 128, 256 or 512.
+  // Count-only operators skip the compress-store of match positions and
+  // just accumulate popcounts — the exact shape of the paper's
+  // SELECT COUNT(*) query. The generated function ignores `out`.
+  bool count_only = false;
+
+  // Canonical cache key, e.g. "512:i32=;u32<;f64>=" or
+  // "512:i32=;i32=#count".
+  std::string CacheKey() const;
+
+  friend bool operator==(const JitScanSignature& a,
+                         const JitScanSignature& b) = default;
+};
+
+// Builds the signature of a prepared per-chunk stage array.
+JitScanSignature SignatureForStages(const std::vector<ScanStage>& stages,
+                                    int register_bits);
+
+}  // namespace fts
+
+#endif  // FTS_JIT_SCAN_SIGNATURE_H_

@@ -1,0 +1,39 @@
+#ifndef FTS_PERF_BANDWIDTH_H_
+#define FTS_PERF_BANDWIDTH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fts {
+
+// Helpers for Fig. 2: a naive SISD scan that only compares every
+// `stride`-th value. All cache lines are still transferred, so measuring
+// runtime against bytes-touched exposes how far the one-comparison-per-
+// cycle scan sits below the available memory bandwidth.
+//
+// Compiled with auto-vectorization disabled (the experiment characterizes
+// the *scalar* scan; see CMakeLists.txt).
+
+// Counts matches of data[i] == value for i = 0, stride, 2*stride, ...
+// Returns the number of matches; the caller times the call.
+size_t StridedCompareCount(const int32_t* data, size_t size, int32_t value,
+                           size_t stride);
+
+// Result of one bandwidth measurement.
+struct BandwidthSample {
+  double seconds = 0.0;
+  double gb_per_second = 0.0;      // Cache lines transferred / time.
+  double values_per_microsecond = 0.0;  // Values actually compared / time.
+};
+
+// Times StridedCompareCount over `data` and derives Fig. 2's two series.
+BandwidthSample MeasureStridedScan(const int32_t* data, size_t size,
+                                   int32_t value, size_t stride);
+
+// Peak sequential read bandwidth estimate (16-byte-unrolled summation),
+// the "available bandwidth" reference line.
+double MeasurePeakReadBandwidthGbs(const int32_t* data, size_t size);
+
+}  // namespace fts
+
+#endif  // FTS_PERF_BANDWIDTH_H_

@@ -1,0 +1,156 @@
+#include "fts/perf/branch_predictor.h"
+
+#include "fts/common/macros.h"
+
+namespace fts {
+
+bool StaticPredictor::PredictAndUpdate(uint32_t site, bool taken) {
+  const bool correct = (taken == predict_taken_);
+  Record(correct);
+  return correct;
+}
+
+BimodalPredictor::BimodalPredictor(int table_bits) {
+  FTS_CHECK(table_bits >= 1 && table_bits <= 24);
+  counters_.assign(size_t{1} << table_bits, 1);  // Weakly not-taken.
+  index_mask_ = static_cast<uint32_t>(counters_.size() - 1);
+}
+
+bool BimodalPredictor::PredictAndUpdate(uint32_t site, bool taken) {
+  uint8_t& counter = counters_[site & index_mask_];
+  const bool predicted = counter >= 2;
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  const bool correct = (predicted == taken);
+  Record(correct);
+  return correct;
+}
+
+GsharePredictor::GsharePredictor(int table_bits, int history_bits) {
+  FTS_CHECK(table_bits >= 1 && table_bits <= 24);
+  FTS_CHECK(history_bits >= 1 && history_bits <= 24);
+  counters_.assign(size_t{1} << table_bits, 1);
+  index_mask_ = static_cast<uint32_t>(counters_.size() - 1);
+  history_mask_ = (1u << history_bits) - 1;
+}
+
+bool GsharePredictor::PredictAndUpdate(uint32_t site, bool taken) {
+  const uint32_t index = (site ^ history_) & index_mask_;
+  uint8_t& counter = counters_[index];
+  const bool predicted = counter >= 2;
+  if (taken && counter < 3) ++counter;
+  if (!taken && counter > 0) --counter;
+  history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+  const bool correct = (predicted == taken);
+  Record(correct);
+  return correct;
+}
+
+std::unique_ptr<BranchPredictor> MakeBranchPredictor(
+    const std::string& name) {
+  if (name == "static-taken") return std::make_unique<StaticPredictor>(true);
+  if (name == "static-nottaken") {
+    return std::make_unique<StaticPredictor>(false);
+  }
+  if (name == "bimodal") return std::make_unique<BimodalPredictor>();
+  if (name == "gshare") return std::make_unique<GsharePredictor>();
+  return nullptr;
+}
+
+BranchStats ReplaySisdScanBranches(const ScanStage* stages,
+                                   size_t num_stages, size_t row_count,
+                                   BranchPredictor& predictor) {
+  predictor.ResetStats();
+  // Branch sites: one Jcc per predicate in the && chain. (The loop's own
+  // back-edge branch is perfectly predicted on any real frontend and is
+  // omitted from all replays equally.)
+  for (size_t i = 0; i < row_count; ++i) {
+    for (size_t s = 0; s < num_stages; ++s) {
+      const bool match = EvaluateStageAtRow(stages[s], i);
+      predictor.PredictAndUpdate(static_cast<uint32_t>(s), match);
+      if (!match) break;  // Short-circuit: later compares never execute.
+    }
+  }
+  return predictor.stats();
+}
+
+BranchStats ReplayFusedScanBranches(const ScanStage* stages,
+                                    size_t num_stages, size_t row_count,
+                                    int lanes, BranchPredictor& predictor) {
+  FTS_CHECK(lanes == 4 || lanes == 8 || lanes == 16);
+  FTS_CHECK(num_stages >= 1 && num_stages <= kMaxScanStages);
+  predictor.ResetStats();
+
+  // Scalar re-enactment of FusedChain's control flow (kernels_avx512.cc).
+  // Branch sites, per stage s:
+  //   site 4s + 0: "m != 0" after the block / gather compare
+  //   site 4s + 1: "count + n > kW" overflow flush in Push
+  //   site 4s + 2: "count == kW" full flush in Push
+  const int kW = lanes;
+  std::vector<std::vector<uint32_t>> acc(num_stages);
+  for (auto& a : acc) a.reserve(kW);
+
+  // Forward declaration via std::function-free recursion: small explicit
+  // stack of (stage, positions) work items would obscure the branch order;
+  // use plain recursion like the kernel does.
+  struct Replayer {
+    const ScanStage* stages;
+    size_t num_stages;
+    int kW;
+    BranchPredictor& predictor;
+    std::vector<std::vector<uint32_t>>& acc;
+    size_t out_count = 0;
+
+    void Push(size_t s, const std::vector<uint32_t>& positions) {
+      if (positions.empty()) return;
+      const bool overflow =
+          acc[s].size() + positions.size() > static_cast<size_t>(kW);
+      predictor.PredictAndUpdate(static_cast<uint32_t>(4 * s + 1), overflow);
+      if (overflow) Flush(s);
+      acc[s].insert(acc[s].end(), positions.begin(), positions.end());
+      const bool full = acc[s].size() == static_cast<size_t>(kW);
+      predictor.PredictAndUpdate(static_cast<uint32_t>(4 * s + 2), full);
+      if (full) Flush(s);
+    }
+
+    void Flush(size_t s) {
+      std::vector<uint32_t> positions;
+      positions.swap(acc[s]);
+      if (positions.empty()) return;
+      std::vector<uint32_t> survivors;
+      for (const uint32_t pos : positions) {
+        if (EvaluateStageAtRow(stages[s], pos)) survivors.push_back(pos);
+      }
+      const bool any = !survivors.empty();
+      predictor.PredictAndUpdate(static_cast<uint32_t>(4 * s + 0), any);
+      if (!any) return;
+      if (s + 1 == num_stages) {
+        out_count += survivors.size();
+        return;
+      }
+      Push(s + 1, survivors);
+    }
+  };
+  Replayer replayer{stages, num_stages, kW, predictor, acc};
+
+  const size_t blocks = (row_count + kW - 1) / kW;
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t start = b * static_cast<size_t>(kW);
+    const size_t end = std::min(row_count, start + kW);
+    std::vector<uint32_t> matched;
+    for (size_t i = start; i < end; ++i) {
+      if (EvaluateStageAtRow(stages[0], i)) {
+        matched.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    const bool any = !matched.empty();
+    predictor.PredictAndUpdate(0, any);
+    if (!any) continue;
+    if (num_stages == 1) continue;  // Compress-store, no further branches.
+    replayer.Push(1, matched);
+  }
+  for (size_t s = 1; s < num_stages; ++s) replayer.Flush(s);
+  return predictor.stats();
+}
+
+}  // namespace fts

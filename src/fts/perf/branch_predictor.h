@@ -1,0 +1,124 @@
+#ifndef FTS_PERF_BRANCH_PREDICTOR_H_
+#define FTS_PERF_BRANCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// Software branch-predictor models. The paper measures hardware branch
+// mispredictions (PAPI_BR_MSP) on a Skylake-SP; this VM exposes no PMU, so
+// Figures 1 and 6 are reproduced by replaying the *exact conditional-branch
+// trace* each scan implementation executes through these models (see
+// DESIGN.md, substitution table). The misprediction counts are a function
+// of the outcome stream, which is identical to the hardware run.
+
+struct BranchStats {
+  uint64_t branches = 0;
+  uint64_t mispredictions = 0;
+
+  double MispredictionRate() const {
+    return branches == 0
+               ? 0.0
+               : static_cast<double>(mispredictions) /
+                     static_cast<double>(branches);
+  }
+};
+
+// A branch predictor consuming (branch site, outcome) pairs.
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  // Records one dynamic branch: `site` identifies the static branch
+  // instruction (a stand-in for the PC), `taken` is the actual outcome.
+  // Returns true when the prediction was correct.
+  virtual bool PredictAndUpdate(uint32_t site, bool taken) = 0;
+
+  virtual const char* name() const = 0;
+
+  const BranchStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BranchStats{}; }
+
+ protected:
+  void Record(bool correct) {
+    ++stats_.branches;
+    stats_.mispredictions += correct ? 0 : 1;
+  }
+
+  BranchStats stats_;
+};
+
+// Predicts a fixed direction. Models the paper's observation that at
+// 0.00001 % selectivity "the branch prediction that assumes a non-match is
+// almost always right".
+class StaticPredictor final : public BranchPredictor {
+ public:
+  explicit StaticPredictor(bool predict_taken)
+      : predict_taken_(predict_taken) {}
+  bool PredictAndUpdate(uint32_t site, bool taken) override;
+  const char* name() const override { return "static"; }
+
+ private:
+  bool predict_taken_;
+};
+
+// Classic bimodal predictor: a table of 2-bit saturating counters indexed
+// by branch site.
+class BimodalPredictor final : public BranchPredictor {
+ public:
+  explicit BimodalPredictor(int table_bits = 12);
+  bool PredictAndUpdate(uint32_t site, bool taken) override;
+  const char* name() const override { return "bimodal"; }
+
+ private:
+  std::vector<uint8_t> counters_;
+  uint32_t index_mask_;
+};
+
+// Gshare: 2-bit counters indexed by (site XOR global history). Captures
+// the history correlation a modern TAGE-like predictor would exploit; the
+// closest simple model to the Skylake frontend the paper measured.
+class GsharePredictor final : public BranchPredictor {
+ public:
+  explicit GsharePredictor(int table_bits = 14, int history_bits = 12);
+  bool PredictAndUpdate(uint32_t site, bool taken) override;
+  const char* name() const override { return "gshare"; }
+
+ private:
+  std::vector<uint8_t> counters_;
+  uint32_t index_mask_;
+  uint32_t history_mask_;
+  uint32_t history_ = 0;
+};
+
+// Factory by name ("static-taken", "static-nottaken", "bimodal", "gshare").
+std::unique_ptr<BranchPredictor> MakeBranchPredictor(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Branch-trace replay: walks the control flow of each scan implementation
+// and feeds every conditional branch into `predictor`. The replays mirror
+// the decision points of the real implementations instruction-class for
+// instruction-class (see the .cc for the mapping).
+
+// Tuple-at-a-time SISD loop with short-circuit && (Section II).
+BranchStats ReplaySisdScanBranches(const ScanStage* stages,
+                                   size_t num_stages, size_t row_count,
+                                   BranchPredictor& predictor);
+
+// Fused Table Scan at register width `lanes` (4/8/16): branch sites are
+// the per-block "any match?" test, the accumulator-overflow test, and the
+// accumulator-full test (Section IV: "The Fused Table Scan still requires
+// some branching, for example when checking if new matches can be appended
+// to the current position list").
+BranchStats ReplayFusedScanBranches(const ScanStage* stages,
+                                    size_t num_stages, size_t row_count,
+                                    int lanes, BranchPredictor& predictor);
+
+}  // namespace fts
+
+#endif  // FTS_PERF_BRANCH_PREDICTOR_H_

@@ -1,0 +1,132 @@
+#include "fts/perf/cache_sim.h"
+
+#include <bit>
+
+#include "fts/common/macros.h"
+
+namespace fts {
+namespace {
+
+inline uint64_t ColumnAddress(size_t column, size_t row, size_t elem_size) {
+  return ((static_cast<uint64_t>(column) + 1) << 40) +
+         static_cast<uint64_t>(row) * elem_size;
+}
+
+}  // namespace
+
+std::vector<CacheLevelConfig> CacheHierarchySim::PaperTestbedConfig() {
+  return {{"L1d", 32 * 1024, 8},
+          {"L2", 1024 * 1024, 16},
+          {"L3", 38LL * 1024 * 1024 + 512 * 1024, 11}};
+}
+
+CacheHierarchySim::CacheHierarchySim(std::vector<CacheLevelConfig> levels,
+                                     int64_t line_bytes)
+    : configs_(std::move(levels)), line_bytes_(line_bytes) {
+  FTS_CHECK(!configs_.empty());
+  FTS_CHECK(line_bytes_ > 0 &&
+            (line_bytes_ & (line_bytes_ - 1)) == 0);
+  for (const CacheLevelConfig& config : configs_) {
+    FTS_CHECK(config.ways > 0);
+    const int64_t lines = config.size_bytes / line_bytes_;
+    FTS_CHECK(lines >= config.ways);
+    // Round the set count down to a power of two for mask indexing.
+    uint64_t sets = static_cast<uint64_t>(lines / config.ways);
+    sets = uint64_t{1} << (63 - std::countl_zero(sets));
+    Level level;
+    level.set_mask = sets - 1;
+    level.ways = config.ways;
+    level.tags.assign(sets * static_cast<uint64_t>(config.ways), 0);
+    level.last_use.assign(sets * static_cast<uint64_t>(config.ways), 0);
+    levels_.push_back(std::move(level));
+  }
+  stats_.resize(configs_.size());
+}
+
+bool CacheHierarchySim::ProbeAndFill(Level& level, CacheLevelStats& stats,
+                                     uint64_t line) {
+  ++stats.accesses;
+  const uint64_t set = line & level.set_mask;
+  const uint64_t base = set * static_cast<uint64_t>(level.ways);
+  const uint64_t tag = line + 1;  // 0 marks an invalid way.
+
+  uint64_t victim = base;
+  for (int way = 0; way < level.ways; ++way) {
+    const uint64_t slot = base + static_cast<uint64_t>(way);
+    if (level.tags[slot] == tag) {
+      ++stats.hits;
+      level.last_use[slot] = tick_;
+      return true;
+    }
+    if (level.last_use[slot] < level.last_use[victim] ||
+        level.tags[slot] == 0) {
+      victim = slot;
+      if (level.tags[slot] == 0) break;  // Prefer invalid ways outright.
+    }
+  }
+  ++stats.misses;
+  level.tags[victim] = tag;
+  level.last_use[victim] = tick_;
+  return false;
+}
+
+void CacheHierarchySim::Access(uint64_t address) {
+  ++tick_;
+  const uint64_t line = address / static_cast<uint64_t>(line_bytes_);
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (ProbeAndFill(levels_[i], stats_[i], line)) return;
+  }
+  ++memory_accesses_;
+}
+
+void CacheHierarchySim::Reset() {
+  for (Level& level : levels_) {
+    std::fill(level.tags.begin(), level.tags.end(), 0);
+    std::fill(level.last_use.begin(), level.last_use.end(), 0);
+  }
+  std::fill(stats_.begin(), stats_.end(), CacheLevelStats{});
+  memory_accesses_ = 0;
+  tick_ = 0;
+}
+
+void ReplaySisdScanCacheAccesses(const ScanStage* stages, size_t num_stages,
+                                 size_t row_count,
+                                 CacheHierarchySim& cache) {
+  for (size_t i = 0; i < row_count; ++i) {
+    for (size_t s = 0; s < num_stages; ++s) {
+      cache.Access(ColumnAddress(s, i, ScanElementSize(stages[s].type)));
+      if (!EvaluateStageAtRow(stages[s], i)) break;
+    }
+  }
+}
+
+void ReplayFusedScanCacheAccesses(const ScanStage* stages,
+                                  size_t num_stages, size_t row_count,
+                                  int lanes, CacheHierarchySim& cache) {
+  FTS_CHECK(lanes > 0);
+  std::vector<uint32_t> survivors;
+  std::vector<uint32_t> next;
+  const size_t blocks =
+      (row_count + lanes - 1) / static_cast<size_t>(lanes);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t start = b * static_cast<size_t>(lanes);
+    const size_t end = std::min(row_count, start + lanes);
+    survivors.clear();
+    for (size_t i = start; i < end; ++i) {
+      cache.Access(ColumnAddress(0, i, ScanElementSize(stages[0].type)));
+      if (EvaluateStageAtRow(stages[0], i)) {
+        survivors.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    for (size_t s = 1; s < num_stages && !survivors.empty(); ++s) {
+      next.clear();
+      for (const uint32_t pos : survivors) {
+        cache.Access(ColumnAddress(s, pos, ScanElementSize(stages[s].type)));
+        if (EvaluateStageAtRow(stages[s], pos)) next.push_back(pos);
+      }
+      survivors.swap(next);
+    }
+  }
+}
+
+}  // namespace fts

@@ -1,0 +1,93 @@
+#ifndef FTS_PERF_CACHE_SIM_H_
+#define FTS_PERF_CACHE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// Set-associative LRU cache-hierarchy model. Complements the branch and
+// prefetch simulators: the paper's testbed analysis is cache-centric
+// (32 KB L1d / 1 MB L2 / 38.5 MB L3, flushed between runs), and this VM's
+// PMU is hidden, so cache behaviour of the scan access traces is modelled
+// instead of measured. Misses per level expose how much of each scan is
+// bandwidth- versus compute-bound.
+
+struct CacheLevelConfig {
+  const char* name = "L?";
+  int64_t size_bytes = 0;
+  int ways = 8;
+};
+
+struct CacheLevelStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  double MissRate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+class CacheHierarchySim {
+ public:
+  // Defaults mirror the paper's Xeon Platinum 8180 (per core: 32 KB L1d,
+  // 1 MB L2; 38.5 MB shared L3).
+  static std::vector<CacheLevelConfig> PaperTestbedConfig();
+
+  explicit CacheHierarchySim(
+      std::vector<CacheLevelConfig> levels = PaperTestbedConfig(),
+      int64_t line_bytes = 64);
+
+  // One demand access. Probes L1 -> L2 -> L3; a miss in all levels counts
+  // as a memory access; the line is filled into every level (inclusive).
+  void Access(uint64_t address);
+
+  const std::vector<CacheLevelStats>& stats() const { return stats_; }
+  const std::vector<CacheLevelConfig>& levels() const { return configs_; }
+  uint64_t memory_accesses() const { return memory_accesses_; }
+
+  // Bytes fetched from memory (misses in the last level x line size).
+  uint64_t MemoryTrafficBytes() const {
+    return memory_accesses_ * static_cast<uint64_t>(line_bytes_);
+  }
+
+  void Reset();
+
+ private:
+  struct Level {
+    uint64_t set_mask = 0;
+    int ways = 0;
+    // tags[set * ways + way]; 0 = invalid (tags are line+1).
+    std::vector<uint64_t> tags;
+    std::vector<uint64_t> last_use;
+  };
+
+  bool ProbeAndFill(Level& level, CacheLevelStats& stats, uint64_t line);
+
+  std::vector<CacheLevelConfig> configs_;
+  std::vector<Level> levels_;
+  std::vector<CacheLevelStats> stats_;
+  uint64_t memory_accesses_ = 0;
+  int64_t line_bytes_;
+  uint64_t tick_ = 0;
+};
+
+// Replays the short-circuiting SISD scan's memory accesses through the
+// hierarchy (column s is touched only for rows surviving predicates
+// 0..s-1). Synthetic per-column address spaces as in prefetcher.h.
+void ReplaySisdScanCacheAccesses(const ScanStage* stages, size_t num_stages,
+                                 size_t row_count, CacheHierarchySim& cache);
+
+// Replays the fused scan's block/gather access pattern.
+void ReplayFusedScanCacheAccesses(const ScanStage* stages,
+                                  size_t num_stages, size_t row_count,
+                                  int lanes, CacheHierarchySim& cache);
+
+}  // namespace fts
+
+#endif  // FTS_PERF_CACHE_SIM_H_

@@ -1,0 +1,149 @@
+#include "fts/perf/perf_counters.h"
+
+#include <linux/perf_event.h>
+#include <string.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+namespace {
+
+uint64_t EventConfig(HwEvent event) {
+  switch (event) {
+    case HwEvent::kCycles:
+      return PERF_COUNT_HW_CPU_CYCLES;
+    case HwEvent::kInstructions:
+      return PERF_COUNT_HW_INSTRUCTIONS;
+    case HwEvent::kBranches:
+      return PERF_COUNT_HW_BRANCH_INSTRUCTIONS;
+    case HwEvent::kBranchMisses:
+      return PERF_COUNT_HW_BRANCH_MISSES;
+    case HwEvent::kCacheReferences:
+      return PERF_COUNT_HW_CACHE_REFERENCES;
+    case HwEvent::kCacheMisses:
+      return PERF_COUNT_HW_CACHE_MISSES;
+  }
+  __builtin_unreachable();
+}
+
+int OpenEventFd(HwEvent event) {
+  perf_event_attr attr;
+  memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = EventConfig(event);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+}  // namespace
+
+const char* HwEventToString(HwEvent event) {
+  switch (event) {
+    case HwEvent::kCycles:
+      return "cycles";
+    case HwEvent::kInstructions:
+      return "instructions";
+    case HwEvent::kBranches:
+      return "branches";
+    case HwEvent::kBranchMisses:
+      return "branch-misses";
+    case HwEvent::kCacheReferences:
+      return "cache-references";
+    case HwEvent::kCacheMisses:
+      return "cache-misses";
+  }
+  return "?";
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+PerfCounterGroup::PerfCounterGroup(PerfCounterGroup&& other) noexcept
+    : fds_(std::move(other.fds_)), events_(std::move(other.events_)) {
+  other.fds_.clear();
+}
+
+PerfCounterGroup& PerfCounterGroup::operator=(
+    PerfCounterGroup&& other) noexcept {
+  if (this == &other) return *this;
+  for (const int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+  fds_ = std::move(other.fds_);
+  events_ = std::move(other.events_);
+  other.fds_.clear();
+  return *this;
+}
+
+StatusOr<PerfCounterGroup> PerfCounterGroup::Open(
+    const std::vector<HwEvent>& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("no events requested");
+  }
+  PerfCounterGroup group;
+  group.events_ = events;
+  for (const HwEvent event : events) {
+    const int fd = OpenEventFd(event);
+    if (fd < 0) {
+      return Status::Unavailable(StrFormat(
+          "perf_event_open(%s) failed: %s (PMU not exposed on this host?)",
+          HwEventToString(event), strerror(errno)));
+    }
+    group.fds_.push_back(fd);
+  }
+  return group;
+}
+
+Status PerfCounterGroup::Start() {
+  for (const int fd : fds_) {
+    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0 ||
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0) != 0) {
+      return Status::Internal(strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+Status PerfCounterGroup::Stop() {
+  for (const int fd : fds_) {
+    if (ioctl(fd, PERF_EVENT_IOC_DISABLE, 0) != 0) {
+      return Status::Internal(strerror(errno));
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint64_t>> PerfCounterGroup::Read() const {
+  std::vector<uint64_t> values;
+  values.reserve(fds_.size());
+  for (const int fd : fds_) {
+    uint64_t value = 0;
+    if (read(fd, &value, sizeof(value)) != sizeof(value)) {
+      return Status::Internal(strerror(errno));
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+bool HardwareCountersAvailable() {
+  static const bool kAvailable = [] {
+    auto group = PerfCounterGroup::Open({HwEvent::kBranchMisses});
+    return group.ok();
+  }();
+  return kAvailable;
+}
+
+}  // namespace fts

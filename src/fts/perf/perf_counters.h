@@ -1,0 +1,58 @@
+#ifndef FTS_PERF_PERF_COUNTERS_H_
+#define FTS_PERF_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fts/common/status.h"
+
+namespace fts {
+
+// Thin wrapper over Linux perf_event_open for self-profiling, mirroring
+// the paper's PAPI usage (PAPI_BR_MSP etc.). On hosts without a PMU
+// (typical VMs, including this project's reference environment) Open()
+// returns kUnavailable and callers fall back to the software simulators in
+// branch_predictor.h / prefetcher.h — the benches report which source was
+// used.
+enum class HwEvent : uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kBranches,
+  kBranchMisses,     // PAPI_BR_MSP equivalent.
+  kCacheReferences,
+  kCacheMisses,
+};
+
+const char* HwEventToString(HwEvent event);
+
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+  PerfCounterGroup(PerfCounterGroup&& other) noexcept;
+  PerfCounterGroup& operator=(PerfCounterGroup&& other) noexcept;
+
+  // Opens counters for `events` on the calling thread. All-or-nothing.
+  static StatusOr<PerfCounterGroup> Open(const std::vector<HwEvent>& events);
+
+  Status Start();
+  Status Stop();
+
+  // Counter values in the order passed to Open(); valid after Stop().
+  StatusOr<std::vector<uint64_t>> Read() const;
+
+ private:
+  std::vector<int> fds_;
+  std::vector<HwEvent> events_;
+};
+
+// True when hardware counters can be opened on this host (cached probe).
+bool HardwareCountersAvailable();
+
+}  // namespace fts
+
+#endif  // FTS_PERF_PERF_COUNTERS_H_

@@ -1,0 +1,154 @@
+#include "fts/perf/prefetcher.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "fts/common/macros.h"
+
+namespace fts {
+namespace {
+
+// Synthetic, non-overlapping address space per column: column s's row i
+// lives at ((s + 1) << 40) + i * elem_size. The model only needs relative
+// line structure, not real pointers.
+inline uint64_t ColumnAddress(size_t column, size_t row, size_t elem_size) {
+  return ((static_cast<uint64_t>(column) + 1) << 40) +
+         static_cast<uint64_t>(row) * elem_size;
+}
+
+}  // namespace
+
+StreamPrefetcherSim::StreamPrefetcherSim(
+    const StreamPrefetcherConfig& config)
+    : config_(config) {
+  FTS_CHECK(config_.max_streams > 0);
+  FTS_CHECK(config_.line_bytes > 0);
+  streams_.resize(static_cast<size_t>(config_.max_streams));
+}
+
+void StreamPrefetcherSim::IssuePrefetch(uint64_t line) {
+  if (!outstanding_.insert(line).second) return;  // Already in flight.
+  fifo_.push_back(line);
+  ++stats_.prefetches_issued;
+  // Eviction beyond the buffer capacity: evicted-unconsumed lines are the
+  // useless prefetches (l2_lines_out.useless_hwpf semantics). Consumed
+  // lines linger in the FIFO and are skipped here.
+  while (outstanding_.size() > static_cast<size_t>(config_.buffer_lines)) {
+    const uint64_t victim = fifo_.front();
+    fifo_.pop_front();
+    if (outstanding_.erase(victim) > 0) ++stats_.useless_prefetches;
+  }
+}
+
+void StreamPrefetcherSim::Access(uint64_t address) {
+  ++tick_;
+  ++stats_.demand_accesses;
+  const uint64_t line = address / static_cast<uint64_t>(config_.line_bytes);
+
+  // Consume a matching outstanding prefetch.
+  if (outstanding_.erase(line) > 0) ++stats_.useful_prefetches;
+
+  // Stream detection: look for a tracked stream this access extends.
+  Stream* matched = nullptr;
+  for (Stream& stream : streams_) {
+    if (!stream.valid) continue;
+    if (line == stream.last_line) {
+      // Same line (e.g. consecutive values within one cache line): keep
+      // the stream warm but do not retrain or prefetch.
+      stream.last_use_tick = tick_;
+      return;
+    }
+    if (line > stream.last_line && line - stream.last_line <= 2) {
+      matched = &stream;
+      break;
+    }
+  }
+
+  if (matched != nullptr) {
+    matched->confidence = std::min(matched->confidence + 1, 4);
+    matched->last_line = line;
+    matched->last_use_tick = tick_;
+    if (matched->confidence >= 2) {
+      for (int d = 1; d <= config_.prefetch_degree; ++d) {
+        IssuePrefetch(line + static_cast<uint64_t>(config_.prefetch_distance)
+                      + static_cast<uint64_t>(d) - 1);
+      }
+    }
+    return;
+  }
+
+  // Allocate a stream: reuse an invalid slot or evict the LRU one.
+  Stream* victim = &streams_[0];
+  for (Stream& stream : streams_) {
+    if (!stream.valid) {
+      victim = &stream;
+      break;
+    }
+    if (stream.last_use_tick < victim->last_use_tick) victim = &stream;
+  }
+  victim->valid = true;
+  victim->last_line = line;
+  victim->confidence = 0;
+  victim->last_use_tick = tick_;
+}
+
+PrefetchStats StreamPrefetcherSim::Finish() {
+  stats_.useless_prefetches += outstanding_.size();
+  outstanding_.clear();
+  fifo_.clear();
+  return stats_;
+}
+
+PrefetchStats ReplaySisdScanAccesses(const ScanStage* stages,
+                                     size_t num_stages, size_t row_count,
+                                     StreamPrefetcherSim& prefetcher) {
+  for (size_t i = 0; i < row_count; ++i) {
+    for (size_t s = 0; s < num_stages; ++s) {
+      // Short-circuit &&: column s is only read when predicates 0..s-1
+      // matched row i. The prefetcher nevertheless runs ahead on the
+      // later columns' streams — those speculative lines go to waste
+      // whenever the next qualifying row is far away.
+      prefetcher.Access(
+          ColumnAddress(s, i, ScanElementSize(stages[s].type)));
+      if (!EvaluateStageAtRow(stages[s], i)) break;
+    }
+  }
+  return prefetcher.Finish();
+}
+
+PrefetchStats ReplayFusedScanAccesses(const ScanStage* stages,
+                                      size_t num_stages, size_t row_count,
+                                      int lanes,
+                                      StreamPrefetcherSim& prefetcher) {
+  FTS_CHECK(lanes > 0);
+  // Block-cascaded access model: the first column is read densely block by
+  // block (one access per element); later columns only at gathered,
+  // surviving positions.
+  std::vector<uint32_t> survivors;
+  std::vector<uint32_t> next;
+  const size_t blocks = (row_count + lanes - 1) / static_cast<size_t>(lanes);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t start = b * static_cast<size_t>(lanes);
+    const size_t end = std::min(row_count, start + lanes);
+    survivors.clear();
+    for (size_t i = start; i < end; ++i) {
+      prefetcher.Access(
+          ColumnAddress(0, i, ScanElementSize(stages[0].type)));
+      if (EvaluateStageAtRow(stages[0], i)) {
+        survivors.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    for (size_t s = 1; s < num_stages && !survivors.empty(); ++s) {
+      next.clear();
+      for (const uint32_t pos : survivors) {
+        prefetcher.Access(
+            ColumnAddress(s, pos, ScanElementSize(stages[s].type)));
+        if (EvaluateStageAtRow(stages[s], pos)) next.push_back(pos);
+      }
+      survivors.swap(next);
+    }
+  }
+  return prefetcher.Finish();
+}
+
+}  // namespace fts

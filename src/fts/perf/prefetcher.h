@@ -1,0 +1,92 @@
+#ifndef FTS_PERF_PREFETCHER_H_
+#define FTS_PERF_PREFETCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// Software model of an L2 stream prefetcher (Skylake's "streamer"),
+// substituting for the l2_lines_out.useless_hwpf counter the paper reads
+// (Fig. 1): cache lines fetched by the prefetcher but evicted before any
+// demand access. See DESIGN.md for the substitution rationale.
+
+struct PrefetchStats {
+  uint64_t demand_accesses = 0;   // Demand line accesses observed.
+  uint64_t prefetches_issued = 0; // Lines the prefetcher pulled in.
+  uint64_t useful_prefetches = 0; // Prefetched lines later demanded.
+  // Prefetched lines never demanded before eviction / end of run.
+  uint64_t useless_prefetches = 0;
+};
+
+// Configuration loosely matching Skylake-SP's L2 streamer.
+struct StreamPrefetcherConfig {
+  int max_streams = 16;        // Concurrently tracked access streams.
+  int prefetch_degree = 2;     // Lines fetched ahead per trigger.
+  int prefetch_distance = 4;   // How far ahead of the demand stream.
+  int buffer_lines = 1024;     // Prefetched-line working set before LRU
+                               // eviction (stand-in for L2 capacity share).
+  int64_t line_bytes = 64;
+};
+
+// Feed demand accesses via Access(); the model detects ascending streams
+// (two hits in adjacent/close lines), issues prefetches ahead of them, and
+// classifies each prefetched line as useful (a demand access consumed it)
+// or useless (evicted or left over at Finish()).
+class StreamPrefetcherSim {
+ public:
+  explicit StreamPrefetcherSim(
+      const StreamPrefetcherConfig& config = StreamPrefetcherConfig());
+
+  void Access(uint64_t address);
+
+  // Classifies all still-outstanding prefetched lines as useless and
+  // returns the final statistics.
+  PrefetchStats Finish();
+
+  const PrefetchStats& stats() const { return stats_; }
+
+ private:
+  struct Stream {
+    uint64_t last_line = 0;
+    int confidence = 0;
+    uint64_t last_use_tick = 0;
+    bool valid = false;
+  };
+
+  void IssuePrefetch(uint64_t line);
+
+  StreamPrefetcherConfig config_;
+  PrefetchStats stats_;
+  std::vector<Stream> streams_;
+  // Prefetched lines awaiting a demand access: O(1) membership via the
+  // set; FIFO eviction order via the deque (entries already consumed by a
+  // demand access are skipped lazily when popped).
+  std::unordered_set<uint64_t> outstanding_;
+  std::deque<uint64_t> fifo_;
+  uint64_t tick_ = 0;
+};
+
+// Replays the memory-access trace of the short-circuiting SISD scan: the
+// first column is touched on every row; column s > 0 only on rows that
+// survived predicates 0..s-1. The prefetcher therefore trains on the
+// later columns' gappy streams and speculatively pulls lines whose rows
+// never qualify — the useless prefetches of Fig. 1.
+PrefetchStats ReplaySisdScanAccesses(const ScanStage* stages,
+                                     size_t num_stages, size_t row_count,
+                                     StreamPrefetcherSim& prefetcher);
+
+// Replays the fused scan's access trace: sequential over the first column;
+// later columns touched only by gathers at surviving positions.
+PrefetchStats ReplayFusedScanAccesses(const ScanStage* stages,
+                                      size_t num_stages, size_t row_count,
+                                      int lanes,
+                                      StreamPrefetcherSim& prefetcher);
+
+}  // namespace fts
+
+#endif  // FTS_PERF_PREFETCHER_H_

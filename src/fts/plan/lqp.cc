@@ -1,0 +1,126 @@
+#include "fts/plan/lqp.h"
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+std::string StoredTableNode::Description() const {
+  return StrFormat("StoredTable: %s (%llu rows, %zu chunks)", name_.c_str(),
+                   static_cast<unsigned long long>(table_->row_count()),
+                   table_->chunk_count());
+}
+
+std::string PredicateNode::Description() const {
+  std::string out = "Predicate: " + predicate_.ToString();
+  if (estimated_selectivity_.has_value()) {
+    out += StrFormat(" (est. sel %.4g%%)", *estimated_selectivity_ * 100.0);
+  }
+  return out;
+}
+
+std::string FusedScanNode::Description() const {
+  std::vector<std::string> parts;
+  parts.reserve(predicates_.size());
+  for (const auto& predicate : predicates_) {
+    parts.push_back(predicate.ToString());
+  }
+  return "FusedScan: " + Join(parts, " AND ");
+}
+
+std::string ProjectionNode::Description() const {
+  std::string out =
+      select_all_ ? "Projection: *" : ("Projection: " + Join(columns_, ", "));
+  if (order_by_.has_value()) {
+    out += StrFormat(" ORDER BY %s%s", order_by_->c_str(),
+                     order_descending_ ? " DESC" : "");
+  }
+  if (limit_.has_value()) {
+    out += StrFormat(" LIMIT %llu",
+                     static_cast<unsigned long long>(*limit_));
+  }
+  return out;
+}
+
+std::string AggregateNode::Description() const {
+  std::vector<std::string> parts;
+  parts.reserve(items_.size());
+  for (const AggregateItem& item : items_) parts.push_back(item.ToString());
+  return "Aggregate: " + Join(parts, ", ");
+}
+
+std::string EmptyResultNode::Description() const {
+  return "EmptyResult: " + reason_;
+}
+
+std::string ExplainLqp(const LqpNodePtr& root) {
+  std::string out;
+  int depth = 0;
+  for (LqpNodePtr node = root; node != nullptr; node = node->child()) {
+    out += std::string(static_cast<size_t>(depth) * 2, ' ');
+    out += node->Description();
+    out += '\n';
+    ++depth;
+  }
+  return out;
+}
+
+StatusOr<LqpNodePtr> BuildLqp(const SelectStatement& statement,
+                              const std::string& table_name,
+                              TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+
+  // Validate column references early for direct error positions.
+  for (const auto& predicate : statement.predicates) {
+    FTS_RETURN_IF_ERROR(table->ColumnIndex(predicate.column).status());
+  }
+  for (const auto& item : statement.aggregates) {
+    if (item.kind != AggregateKind::kCountStar) {
+      FTS_RETURN_IF_ERROR(table->ColumnIndex(item.column).status());
+    }
+  }
+  if (statement.aggregates.empty() && !statement.select_all) {
+    for (const auto& column : statement.columns) {
+      FTS_RETURN_IF_ERROR(table->ColumnIndex(column).status());
+    }
+  }
+  if (statement.order_by.has_value()) {
+    FTS_RETURN_IF_ERROR(table->ColumnIndex(*statement.order_by).status());
+  }
+
+  LqpNodePtr chain =
+      std::make_shared<StoredTableNode>(table_name, std::move(table));
+
+  // Predicates in query order, first predicate closest to the table.
+  for (const auto& predicate : statement.predicates) {
+    auto node = std::make_shared<PredicateNode>(predicate);
+    node->set_child(std::move(chain));
+    chain = std::move(node);
+  }
+
+  if (!statement.aggregates.empty()) {
+    auto aggregate = std::make_shared<AggregateNode>(statement.aggregates);
+    aggregate->set_child(std::move(chain));
+    return LqpNodePtr(std::move(aggregate));
+  }
+  auto projection = std::make_shared<ProjectionNode>(statement.columns,
+                                                     statement.select_all);
+  if (statement.order_by.has_value()) {
+    projection->set_order_by(*statement.order_by,
+                             statement.order_descending);
+  }
+  if (statement.limit.has_value()) projection->set_limit(*statement.limit);
+  projection->set_child(std::move(chain));
+  return LqpNodePtr(std::move(projection));
+}
+
+const StoredTableNode* FindStoredTable(const LqpNodePtr& root) {
+  for (LqpNode* node = root.get(); node != nullptr;
+       node = node->child().get()) {
+    if (node->kind() == LqpNodeKind::kStoredTable) {
+      return static_cast<const StoredTableNode*>(node);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fts

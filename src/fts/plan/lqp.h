@@ -1,0 +1,173 @@
+#ifndef FTS_PLAN_LQP_H_
+#define FTS_PLAN_LQP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fts/common/status.h"
+#include "fts/sql/ast.h"
+#include "fts/storage/table.h"
+
+namespace fts {
+
+// Logical query plan nodes (Fig. 9: "The Hyrise optimizer works on logical
+// query plans that contain relational algebra operators"). Plans for the
+// supported query family are linear chains:
+//
+//   Aggregate/Projection -> Predicate* | FusedScan -> StoredTable
+//
+// FusedScanNode is introduced by the optimizer's fusion rule (Fig. 8,
+// right side): a chain of predicates tagged for translation into a single
+// Fused Table Scan operator.
+enum class LqpNodeKind : uint8_t {
+  kStoredTable = 0,
+  kPredicate,
+  kFusedScan,
+  kProjection,
+  kAggregate,
+  // Introduced by the simplification rule when the conjunction is
+  // contradictory (e.g. a = 5 AND a = 6): the subtree produces no rows.
+  kEmptyResult,
+};
+
+class LqpNode;
+using LqpNodePtr = std::shared_ptr<LqpNode>;
+
+class LqpNode {
+ public:
+  explicit LqpNode(LqpNodeKind kind) : kind_(kind) {}
+  virtual ~LqpNode() = default;
+
+  LqpNodeKind kind() const { return kind_; }
+  const LqpNodePtr& child() const { return child_; }
+  void set_child(LqpNodePtr child) { child_ = std::move(child); }
+
+  // One-line description, e.g. "Predicate: a = 5 (est. sel 0.1%)".
+  virtual std::string Description() const = 0;
+
+ private:
+  LqpNodeKind kind_;
+  LqpNodePtr child_;
+};
+
+class StoredTableNode final : public LqpNode {
+ public:
+  StoredTableNode(std::string name, TablePtr table)
+      : LqpNode(LqpNodeKind::kStoredTable),
+        name_(std::move(name)),
+        table_(std::move(table)) {}
+
+  const std::string& name() const { return name_; }
+  const TablePtr& table() const { return table_; }
+  std::string Description() const override;
+
+ private:
+  std::string name_;
+  TablePtr table_;
+};
+
+class PredicateNode final : public LqpNode {
+ public:
+  explicit PredicateNode(AstPredicate predicate)
+      : LqpNode(LqpNodeKind::kPredicate), predicate_(std::move(predicate)) {}
+
+  const AstPredicate& predicate() const { return predicate_; }
+
+  // Filled by the reordering rule; nullopt before estimation.
+  std::optional<double> estimated_selectivity() const {
+    return estimated_selectivity_;
+  }
+  void set_estimated_selectivity(double selectivity) {
+    estimated_selectivity_ = selectivity;
+  }
+
+  std::string Description() const override;
+
+ private:
+  AstPredicate predicate_;
+  std::optional<double> estimated_selectivity_;
+};
+
+class FusedScanNode final : public LqpNode {
+ public:
+  explicit FusedScanNode(std::vector<AstPredicate> predicates)
+      : LqpNode(LqpNodeKind::kFusedScan),
+        predicates_(std::move(predicates)) {}
+
+  const std::vector<AstPredicate>& predicates() const { return predicates_; }
+  std::string Description() const override;
+
+ private:
+  std::vector<AstPredicate> predicates_;
+};
+
+class ProjectionNode final : public LqpNode {
+ public:
+  ProjectionNode(std::vector<std::string> columns, bool select_all)
+      : LqpNode(LqpNodeKind::kProjection),
+        columns_(std::move(columns)),
+        select_all_(select_all) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  bool select_all() const { return select_all_; }
+
+  // Output ordering / truncation (from ORDER BY / LIMIT).
+  const std::optional<std::string>& order_by() const { return order_by_; }
+  bool order_descending() const { return order_descending_; }
+  const std::optional<uint64_t>& limit() const { return limit_; }
+  void set_order_by(std::string column, bool descending) {
+    order_by_ = std::move(column);
+    order_descending_ = descending;
+  }
+  void set_limit(uint64_t limit) { limit_ = limit; }
+
+  std::string Description() const override;
+
+ private:
+  std::vector<std::string> columns_;
+  bool select_all_;
+  std::optional<std::string> order_by_;
+  bool order_descending_ = false;
+  std::optional<uint64_t> limit_;
+};
+
+class AggregateNode final : public LqpNode {
+ public:
+  // `items` must be non-empty; COUNT(*) is {kCountStar}.
+  explicit AggregateNode(std::vector<AggregateItem> items)
+      : LqpNode(LqpNodeKind::kAggregate), items_(std::move(items)) {}
+
+  const std::vector<AggregateItem>& items() const { return items_; }
+  std::string Description() const override;
+
+ private:
+  std::vector<AggregateItem> items_;
+};
+
+class EmptyResultNode final : public LqpNode {
+ public:
+  explicit EmptyResultNode(std::string reason)
+      : LqpNode(LqpNodeKind::kEmptyResult), reason_(std::move(reason)) {}
+  const std::string& reason() const { return reason_; }
+  std::string Description() const override;
+
+ private:
+  std::string reason_;
+};
+
+// Renders the chain root-first with indentation (EXPLAIN output).
+std::string ExplainLqp(const LqpNodePtr& root);
+
+// Builds the naive (pre-optimization) LQP for a parsed statement against
+// `table`. Validates that referenced columns exist.
+StatusOr<LqpNodePtr> BuildLqp(const SelectStatement& statement,
+                              const std::string& table_name, TablePtr table);
+
+// Finds the StoredTableNode at the bottom of a chain (nullptr if absent).
+const StoredTableNode* FindStoredTable(const LqpNodePtr& root);
+
+}  // namespace fts
+
+#endif  // FTS_PLAN_LQP_H_

@@ -1,0 +1,308 @@
+#include "fts/plan/physical_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fts/common/string_util.h"
+#include "fts/jit/jit_scan_engine.h"
+#include "fts/scan/table_scan.h"
+
+namespace fts {
+namespace {
+
+// Applies `spec` to an existing position list, evaluating predicates
+// row-at-a-time at the surviving positions (the materialize-and-refine
+// execution of non-fused plans).
+StatusOr<TableMatches> RefineMatches(const TablePtr& table,
+                                     const ScanSpec& spec,
+                                     const TableMatches& previous) {
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(table, spec));
+  TableMatches refined;
+  refined.chunks.reserve(previous.chunks.size());
+  for (const ChunkMatches& chunk_matches : previous.chunks) {
+    const TableScanner::ChunkPlan& plan =
+        scanner.chunk_plans()[chunk_matches.chunk_id];
+    ChunkMatches out;
+    out.chunk_id = chunk_matches.chunk_id;
+    if (plan.impossible) {
+      refined.chunks.push_back(std::move(out));
+      continue;
+    }
+    if (plan.stages.empty()) {
+      out.positions = chunk_matches.positions;
+      refined.chunks.push_back(std::move(out));
+      continue;
+    }
+    out.positions.reserve(chunk_matches.positions.size());
+    for (const uint32_t pos : chunk_matches.positions) {
+      bool all = true;
+      for (const ScanStage& stage : plan.stages) {
+        if (!EvaluateStageAtRow(stage, pos)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) out.positions.push_back(pos);
+    }
+    refined.chunks.push_back(std::move(out));
+  }
+  return refined;
+}
+
+// Evaluates the aggregate projection over the matched rows. Integer
+// columns accumulate in int64/uint64, floats in double; AVG always in
+// double. Empty inputs yield 0 for every aggregate (this engine has no
+// NULL; documented divergence from SQL's NULL semantics).
+std::vector<Value> ComputeAggregates(
+    const Table& table, const TableMatches& matches,
+    const std::vector<AggregateItem>& items) {
+  std::vector<Value> results;
+  results.reserve(items.size());
+  const uint64_t matched = matches.TotalMatches();
+
+  for (const AggregateItem& item : items) {
+    if (item.kind == AggregateKind::kCountStar) {
+      results.emplace_back(static_cast<uint64_t>(matched));
+      continue;
+    }
+    const size_t column_index = *table.ColumnIndex(item.column);
+    const DataType type = table.column_definition(column_index).type;
+
+    // Typed accumulation over the matched positions of every chunk.
+    DispatchDataType(type, [&](auto tag) {
+      using T = decltype(tag);
+      using Acc = std::conditional_t<
+          std::is_floating_point_v<T>, double,
+          std::conditional_t<std::is_signed_v<T>, int64_t, uint64_t>>;
+      Acc sum{};
+      double avg_sum = 0.0;
+      bool any = false;
+      T min_value{};
+      T max_value{};
+      for (const ChunkMatches& chunk : matches.chunks) {
+        const BaseColumn& column =
+            table.chunk(chunk.chunk_id).column(column_index);
+        for (const uint32_t pos : chunk.positions) {
+          const T value = ValueAs<T>(column.GetValue(pos));
+          sum += static_cast<Acc>(value);
+          avg_sum += static_cast<double>(value);
+          if (!any || value < min_value) min_value = value;
+          if (!any || value > max_value) max_value = value;
+          any = true;
+        }
+      }
+      switch (item.kind) {
+        case AggregateKind::kSum:
+          results.emplace_back(sum);
+          break;
+        case AggregateKind::kMin:
+          results.emplace_back(any ? min_value : T{});
+          break;
+        case AggregateKind::kMax:
+          results.emplace_back(any ? max_value : T{});
+          break;
+        case AggregateKind::kAvg:
+          results.emplace_back(
+              matched == 0 ? 0.0 : avg_sum / static_cast<double>(matched));
+          break;
+        case AggregateKind::kCountStar:
+          break;  // Handled above.
+      }
+    });
+  }
+  return results;
+}
+
+StatusOr<TableMatches> RunStep(const TablePtr& table,
+                               const PhysicalPlan::ScanStep& step,
+                               const std::optional<TableMatches>& previous) {
+  if (!previous.has_value()) {
+    if (step.engine == ScanEngine::kJit) {
+      JitScanEngine engine(step.jit_register_bits);
+      return engine.Execute(table, step.spec);
+    }
+    return ExecuteScan(table, step.spec, step.engine);
+  }
+  return RefineMatches(table, step.spec, *previous);
+}
+
+}  // namespace
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  if (count.has_value()) {
+    return StrFormat("COUNT(*) = %llu\n",
+                     static_cast<unsigned long long>(*count));
+  }
+  out += Join(column_names, " | ") + "\n";
+  const size_t shown = std::min(rows.size(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(rows[r].size());
+    for (const Value& value : rows[r]) cells.push_back(ValueToString(value));
+    out += Join(cells, " | ") + "\n";
+  }
+  if (rows.size() > shown) {
+    out += StrFormat("... (%zu more rows)\n", rows.size() - shown);
+  }
+  return out;
+}
+
+std::string PhysicalPlan::Explain() const {
+  std::string out;
+  if (output == Output::kCountStar) {
+    out += "CountAggregate\n";
+  } else if (output == Output::kAggregate) {
+    std::vector<std::string> parts;
+    parts.reserve(aggregate_items.size());
+    for (const AggregateItem& item : aggregate_items) {
+      parts.push_back(item.ToString());
+    }
+    out += "Aggregate: " + Join(parts, ", ") + "\n";
+  } else {
+    out += "Project: " + Join(projection_names, ", ") + "\n";
+  }
+  int depth = 1;
+  if (empty_result) {
+    out += "  EmptyResult (contradictory predicates)\n";
+    out += StrFormat("    GetTable: %s\n", table_name.c_str());
+    return out;
+  }
+  for (size_t i = scan_steps.size(); i-- > 0;) {
+    const ScanStep& step = scan_steps[i];
+    out += std::string(static_cast<size_t>(depth) * 2, ' ');
+    const char* op_name =
+        (step.spec.predicates.size() > 1 || step.engine == ScanEngine::kJit)
+            ? "FusedTableScan"
+            : "TableScan";
+    out += StrFormat("%s [%s]: %s\n", op_name,
+                     ScanEngineToString(step.engine),
+                     step.spec.ToString().c_str());
+    ++depth;
+  }
+  out += std::string(static_cast<size_t>(depth) * 2, ' ');
+  out += StrFormat("GetTable: %s\n", table_name.c_str());
+  return out;
+}
+
+StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
+  if (plan.table == nullptr) return Status::InvalidArgument("plan has no table");
+
+  if (plan.empty_result) {
+    TableMatches none;
+    none.chunks.resize(plan.table->chunk_count());
+    for (ChunkId chunk_id = 0; chunk_id < plan.table->chunk_count();
+         ++chunk_id) {
+      none.chunks[chunk_id].chunk_id = chunk_id;
+    }
+    QueryResult result;
+    result.matched_rows = 0;
+    if (plan.output == PhysicalPlan::Output::kCountStar) {
+      result.count = 0;
+      result.column_names = {"count"};
+    } else if (plan.output == PhysicalPlan::Output::kAggregate) {
+      result.rows.push_back(
+          ComputeAggregates(*plan.table, none, plan.aggregate_items));
+      for (const AggregateItem& item : plan.aggregate_items) {
+        result.column_names.push_back(item.ToString());
+      }
+    } else {
+      result.column_names = plan.projection_names;
+    }
+    return result;
+  }
+
+  // COUNT(*) over a single scan step skips position materialization
+  // entirely: the SISD engines run their counting loop (the paper's
+  // Section II baseline) and the JIT compiles a count-only operator.
+  if (plan.output == PhysicalPlan::Output::kCountStar &&
+      plan.scan_steps.size() == 1) {
+    const PhysicalPlan::ScanStep& step = plan.scan_steps[0];
+    StatusOr<uint64_t> count = uint64_t{0};
+    if (step.engine == ScanEngine::kJit) {
+      JitScanEngine engine(step.jit_register_bits);
+      count = engine.ExecuteCount(plan.table, step.spec);
+    } else {
+      count = ExecuteScanCount(plan.table, step.spec, step.engine);
+    }
+    FTS_RETURN_IF_ERROR(count.status());
+    QueryResult result;
+    result.matched_rows = *count;
+    result.count = *count;
+    result.column_names = {"count"};
+    return result;
+  }
+
+  std::optional<TableMatches> matches;
+  for (const PhysicalPlan::ScanStep& step : plan.scan_steps) {
+    FTS_ASSIGN_OR_RETURN(TableMatches next,
+                         RunStep(plan.table, step, matches));
+    matches = std::move(next);
+  }
+  // No scan steps: every row matches.
+  if (!matches.has_value()) {
+    TableMatches all;
+    all.chunks.reserve(plan.table->chunk_count());
+    for (ChunkId chunk_id = 0; chunk_id < plan.table->chunk_count();
+         ++chunk_id) {
+      ChunkMatches chunk_matches;
+      chunk_matches.chunk_id = chunk_id;
+      chunk_matches.positions.resize(
+          plan.table->chunk(chunk_id).row_count());
+      std::iota(chunk_matches.positions.begin(),
+                chunk_matches.positions.end(), 0u);
+      all.chunks.push_back(std::move(chunk_matches));
+    }
+    matches = std::move(all);
+  }
+
+  QueryResult result;
+  result.matched_rows = matches->TotalMatches();
+  if (plan.output == PhysicalPlan::Output::kCountStar) {
+    result.count = result.matched_rows;
+    result.column_names = {"count"};
+    return result;
+  }
+  if (plan.output == PhysicalPlan::Output::kAggregate) {
+    result.rows.push_back(
+        ComputeAggregates(*plan.table, *matches, plan.aggregate_items));
+    for (const AggregateItem& item : plan.aggregate_items) {
+      result.column_names.push_back(item.ToString());
+    }
+    return result;
+  }
+
+  result.column_names = plan.projection_names;
+  result.rows.reserve(result.matched_rows);
+  for (const ChunkMatches& chunk_matches : matches->chunks) {
+    for (const uint32_t pos : chunk_matches.positions) {
+      std::vector<Value> row;
+      row.reserve(plan.projection_indexes.size());
+      for (const size_t column : plan.projection_indexes) {
+        row.push_back(plan.table->GetValue(
+            column, RowId{chunk_matches.chunk_id, pos}));
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+
+  // ORDER BY / LIMIT on the materialized projection.
+  if (plan.order_by_index.has_value()) {
+    const size_t key = *plan.order_by_index;
+    const bool descending = plan.order_descending;
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [key, descending](const std::vector<Value>& a,
+                                       const std::vector<Value>& b) {
+                       const double lhs = ValueAs<double>(a[key]);
+                       const double rhs = ValueAs<double>(b[key]);
+                       return descending ? lhs > rhs : lhs < rhs;
+                     });
+  }
+  if (plan.limit.has_value() && result.rows.size() > *plan.limit) {
+    result.rows.resize(*plan.limit);
+  }
+  return result;
+}
+
+}  // namespace fts

@@ -1,0 +1,74 @@
+#ifndef FTS_PLAN_PHYSICAL_PLAN_H_
+#define FTS_PLAN_PHYSICAL_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fts/common/status.h"
+#include "fts/scan/scan_engine.h"
+#include "fts/scan/scan_spec.h"
+#include "fts/sql/ast.h"
+#include "fts/storage/pos_list.h"
+#include "fts/storage/table.h"
+
+namespace fts {
+
+// Result of executing a query.
+struct QueryResult {
+  std::vector<std::string> column_names;
+  // Materialized rows (projection queries). Empty for COUNT(*).
+  std::vector<std::vector<Value>> rows;
+  // COUNT(*) value when the query aggregates.
+  std::optional<uint64_t> count;
+  // Rows matched by the scan pipeline (== rows.size() for projections).
+  uint64_t matched_rows = 0;
+
+  // Renders a small result table (examples/debugging).
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+// Executable plan for the supported query family (Fig. 9: the LQP
+// Translator turns logical nodes into executable operators). Linear:
+// a scan pipeline over one table followed by an output step.
+struct PhysicalPlan {
+  TablePtr table;
+  std::string table_name;
+
+  // One scan step. A step with multiple predicates runs as a single fused
+  // operator (static kernels or JIT); SISD plans carry one step per
+  // predicate, each refining the previous step's position list — the
+  // left-hand, non-fused plan of Fig. 8.
+  struct ScanStep {
+    ScanSpec spec;
+    ScanEngine engine = ScanEngine::kAvx512Fused512;
+    int jit_register_bits = 512;  // Only for engine == kJit.
+  };
+  std::vector<ScanStep> scan_steps;
+
+  enum class Output : uint8_t { kCountStar, kAggregate, kProject };
+  Output output = Output::kCountStar;
+  // Set when the optimizer proved the conjunction contradictory: the plan
+  // returns zero rows without scanning.
+  bool empty_result = false;
+  // Resolved projection column indexes/names (output == kProject).
+  std::vector<size_t> projection_indexes;
+  std::vector<std::string> projection_names;
+  // Aggregate projection (output == kAggregate; kCountStar is the
+  // single-COUNT(*) special case with its own fast path).
+  std::vector<AggregateItem> aggregate_items;
+  // ORDER BY / LIMIT for projection outputs.
+  std::optional<size_t> order_by_index;
+  bool order_descending = false;
+  std::optional<uint64_t> limit;
+
+  std::string Explain() const;
+};
+
+// Runs the plan. The first step scans full chunks; subsequent steps refine
+// the surviving position lists tuple-at-a-time.
+StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan);
+
+}  // namespace fts
+
+#endif  // FTS_PLAN_PHYSICAL_PLAN_H_

@@ -1,0 +1,31 @@
+#ifndef FTS_PLAN_TRANSLATOR_H_
+#define FTS_PLAN_TRANSLATOR_H_
+
+#include "fts/common/status.h"
+#include "fts/plan/lqp.h"
+#include "fts/plan/physical_plan.h"
+#include "fts/scan/scan_engine.h"
+
+namespace fts {
+
+// Execution-engine selection for the translator (Fig. 9: the LQP
+// Translator chooses the actual operator implementations; for fused-scan
+// chains it "invokes the JIT compiler").
+struct TranslatorOptions {
+  // Engine used for FusedScanNodes and single predicates.
+  ScanEngine engine = ScanEngine::kAvx512Fused512;
+  int jit_register_bits = 512;
+};
+
+// Lowers an (optimized) LQP chain into a PhysicalPlan.
+//   - FusedScanNode         -> one multi-predicate ScanStep (`engine`).
+//   - PredicateNode         -> one single-predicate ScanStep; the first
+//                              runs `engine` over full chunks, later ones
+//                              refine position lists (non-fused plans).
+//   - Projection/Aggregate  -> the plan's output step.
+StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
+                                    const TranslatorOptions& options = {});
+
+}  // namespace fts
+
+#endif  // FTS_PLAN_TRANSLATOR_H_

@@ -1,0 +1,142 @@
+#include "fts/scan/row_store.h"
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+namespace {
+
+// Reads a typed value at `ptr` and widens it to double for comparison.
+// Row-store cells are unaligned within the packed row, hence memcpy.
+template <typename T>
+T ReadCell(const uint8_t* ptr) {
+  T value;
+  __builtin_memcpy(&value, ptr, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+RowStore::RowStore(std::vector<ColumnDefinition> schema)
+    : schema_(std::move(schema)) {
+  FTS_CHECK(!schema_.empty());
+  offsets_.reserve(schema_.size());
+  for (const ColumnDefinition& def : schema_) {
+    offsets_.push_back(row_bytes_);
+    row_bytes_ += DataTypeSize(def.type);
+  }
+}
+
+Status RowStore::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema has %zu columns",
+                  values.size(), schema_.size()));
+  }
+  std::vector<Value> casted(values.size());
+  for (size_t c = 0; c < values.size(); ++c) {
+    FTS_ASSIGN_OR_RETURN(casted[c], CastValue(values[c], schema_[c].type));
+  }
+  const size_t base = buffer_.size();
+  buffer_.resize(base + row_bytes_);
+  for (size_t c = 0; c < casted.size(); ++c) {
+    DispatchDataType(schema_[c].type, [&](auto tag) {
+      using T = decltype(tag);
+      const T value = ValueAs<T>(casted[c]);
+      __builtin_memcpy(buffer_.data() + base + offsets_[c], &value,
+                       sizeof(T));
+    });
+  }
+  ++row_count_;
+  return Status::Ok();
+}
+
+Status RowStore::AppendColumnsAsRows(
+    const std::vector<const BaseColumn*>& columns) {
+  if (columns.size() != schema_.size()) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  const size_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (const BaseColumn* column : columns) {
+    if (column == nullptr || column->size() != rows) {
+      return Status::InvalidArgument("ragged or null input columns");
+    }
+  }
+  std::vector<Value> row(schema_.size());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      row[c] = columns[c]->GetValue(r);
+    }
+    FTS_RETURN_IF_ERROR(AppendRow(row));
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> RowStore::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (schema_[c].name == name) return c;
+  }
+  return Status::NotFound(StrFormat("no column named '%s'", name.c_str()));
+}
+
+Value RowStore::GetValue(size_t row, size_t column) const {
+  FTS_CHECK(row < row_count_ && column < schema_.size());
+  const uint8_t* cell =
+      buffer_.data() + row * row_bytes_ + offsets_[column];
+  return DispatchDataType(schema_[column].type, [&](auto tag) -> Value {
+    using T = decltype(tag);
+    return ReadCell<T>(cell);
+  });
+}
+
+StatusOr<std::vector<RowStore::PreparedPredicate>> RowStore::Prepare(
+    const ScanSpec& spec) const {
+  std::vector<PreparedPredicate> prepared;
+  prepared.reserve(spec.predicates.size());
+  for (const PredicateSpec& predicate : spec.predicates) {
+    FTS_ASSIGN_OR_RETURN(const size_t column,
+                         ColumnIndex(predicate.column));
+    PreparedPredicate p;
+    p.offset = offsets_[column];
+    p.type = schema_[column].type;
+    p.op = predicate.op;
+    FTS_ASSIGN_OR_RETURN(p.value, CastValue(predicate.value, p.type));
+    prepared.push_back(std::move(p));
+  }
+  return prepared;
+}
+
+bool RowStore::RowMatches(
+    size_t row, const std::vector<PreparedPredicate>& predicates) const {
+  const uint8_t* base = buffer_.data() + row * row_bytes_;
+  for (const PreparedPredicate& p : predicates) {
+    const bool match = DispatchDataType(p.type, [&](auto tag) {
+      using T = decltype(tag);
+      return EvaluateCompare(p.op, ReadCell<T>(base + p.offset),
+                             ValueAs<T>(p.value));
+    });
+    if (!match) return false;  // Short-circuit, as in the SISD baseline.
+  }
+  return true;
+}
+
+StatusOr<std::vector<uint32_t>> RowStore::Scan(const ScanSpec& spec) const {
+  FTS_ASSIGN_OR_RETURN(const auto predicates, Prepare(spec));
+  std::vector<uint32_t> matches;
+  for (size_t row = 0; row < row_count_; ++row) {
+    if (RowMatches(row, predicates)) {
+      matches.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return matches;
+}
+
+StatusOr<uint64_t> RowStore::ScanCount(const ScanSpec& spec) const {
+  FTS_ASSIGN_OR_RETURN(const auto predicates, Prepare(spec));
+  uint64_t count = 0;
+  for (size_t row = 0; row < row_count_; ++row) {
+    count += RowMatches(row, predicates) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace fts

@@ -1,0 +1,74 @@
+#ifndef FTS_SCAN_ROW_STORE_H_
+#define FTS_SCAN_ROW_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/status.h"
+#include "fts/scan/scan_spec.h"
+#include "fts/storage/table.h"
+
+namespace fts {
+
+// Row-major (N-ary / NSM) table: every row's values are stored
+// contiguously. This is the counterpart in the "row versus column store
+// debate for main memory databases" the paper's introduction cites as the
+// reason fast unindexed scans matter. A multi-predicate scan over a row
+// store touches every byte of every row that reaches the first predicate
+// evaluation — the memory behaviour the column-major fused scan avoids.
+class RowStore {
+ public:
+  explicit RowStore(std::vector<ColumnDefinition> schema);
+
+  // Appends one row; values must match the schema arity and be exactly
+  // representable in the column types.
+  Status AppendRow(const std::vector<Value>& values);
+
+  // Bulk-appends from per-column arrays (convenience for benchmarks that
+  // build row and column variants of the same data).
+  Status AppendColumnsAsRows(
+      const std::vector<const BaseColumn*>& columns);
+
+  size_t row_count() const { return row_count_; }
+  size_t row_bytes() const { return row_bytes_; }
+  const std::vector<ColumnDefinition>& schema() const { return schema_; }
+
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  // Boxed cell access.
+  Value GetValue(size_t row, size_t column) const;
+
+  // Tuple-at-a-time conjunctive scan with short-circuit evaluation — the
+  // natural access path of a row store. Returns matching row ids.
+  StatusOr<std::vector<uint32_t>> Scan(const ScanSpec& spec) const;
+
+  // Count-only variant.
+  StatusOr<uint64_t> ScanCount(const ScanSpec& spec) const;
+
+  // Raw row buffer (for the benchmarks' bytes-touched accounting).
+  const uint8_t* data() const { return buffer_.data(); }
+
+ private:
+  struct PreparedPredicate {
+    size_t offset = 0;     // Byte offset within a row.
+    DataType type = DataType::kInt32;
+    CompareOp op = CompareOp::kEq;
+    Value value;           // Cast to the column type.
+  };
+
+  StatusOr<std::vector<PreparedPredicate>> Prepare(
+      const ScanSpec& spec) const;
+  bool RowMatches(size_t row,
+                  const std::vector<PreparedPredicate>& predicates) const;
+
+  std::vector<ColumnDefinition> schema_;
+  std::vector<size_t> offsets_;  // Byte offset of each column in a row.
+  size_t row_bytes_ = 0;
+  size_t row_count_ = 0;
+  AlignedVector<uint8_t> buffer_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_SCAN_ROW_STORE_H_

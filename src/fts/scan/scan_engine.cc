@@ -1,0 +1,78 @@
+#include "fts/scan/scan_engine.h"
+
+#include "fts/common/cpu_info.h"
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+const char* ScanEngineToString(ScanEngine engine) {
+  switch (engine) {
+    case ScanEngine::kSisdNoVec:
+      return "SISD (no vec)";
+    case ScanEngine::kSisdAutoVec:
+      return "SISD (auto vec)";
+    case ScanEngine::kScalarFused:
+      return "Scalar Fused";
+    case ScanEngine::kAvx2Fused128:
+      return "AVX2 Fused (128)";
+    case ScanEngine::kAvx512Fused128:
+      return "AVX-512 Fused (128)";
+    case ScanEngine::kAvx512Fused256:
+      return "AVX-512 Fused (256)";
+    case ScanEngine::kAvx512Fused512:
+      return "AVX-512 Fused (512)";
+    case ScanEngine::kBlockwise:
+      return "Blockwise (materializing)";
+    case ScanEngine::kJit:
+      return "JIT Fused";
+  }
+  return "?";
+}
+
+StatusOr<ScanEngine> ParseScanEngine(const std::string& name) {
+  const std::string lowered = ToLower(name);
+  if (lowered == "sisd-novec" || lowered == "sisd") {
+    return ScanEngine::kSisdNoVec;
+  }
+  if (lowered == "sisd-autovec") return ScanEngine::kSisdAutoVec;
+  if (lowered == "scalar-fused" || lowered == "scalar") {
+    return ScanEngine::kScalarFused;
+  }
+  if (lowered == "avx2-128" || lowered == "avx2") {
+    return ScanEngine::kAvx2Fused128;
+  }
+  if (lowered == "avx512-128") return ScanEngine::kAvx512Fused128;
+  if (lowered == "avx512-256") return ScanEngine::kAvx512Fused256;
+  if (lowered == "avx512-512" || lowered == "avx512") {
+    return ScanEngine::kAvx512Fused512;
+  }
+  if (lowered == "blockwise") return ScanEngine::kBlockwise;
+  if (lowered == "jit") return ScanEngine::kJit;
+  return Status::InvalidArgument(StrFormat(
+      "unknown scan engine '%s' (expected one of: sisd-novec, "
+      "sisd-autovec, scalar-fused, avx2-128, avx512-128, avx512-256, "
+      "avx512-512, blockwise, jit)",
+      name.c_str()));
+}
+
+bool ScanEngineAvailable(ScanEngine engine) {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  switch (engine) {
+    case ScanEngine::kSisdNoVec:
+    case ScanEngine::kSisdAutoVec:
+    case ScanEngine::kScalarFused:
+    case ScanEngine::kBlockwise:
+      return true;
+    case ScanEngine::kAvx2Fused128:
+      return cpu.avx2;
+    case ScanEngine::kAvx512Fused128:
+    case ScanEngine::kAvx512Fused256:
+    case ScanEngine::kAvx512Fused512:
+      return cpu.HasFusedScanAvx512();
+    case ScanEngine::kJit:
+      return cpu.HasFusedScanAvx512();  // Generated code uses AVX-512.
+  }
+  return false;
+}
+
+}  // namespace fts

@@ -1,0 +1,39 @@
+#ifndef FTS_SCAN_SCAN_ENGINE_H_
+#define FTS_SCAN_SCAN_ENGINE_H_
+
+#include <string>
+
+#include "fts/common/status.h"
+
+namespace fts {
+
+// Every scan implementation the repository can execute. The first six are
+// the implementations compared in the paper's Fig. 5; kBlockwise is the
+// classic block-at-a-time operator with materialized intermediate position
+// lists (the strategy the Fused Table Scan improves upon, Section I);
+// kJit is the runtime-generated operator from Section V.
+enum class ScanEngine : uint8_t {
+  kSisdNoVec = 0,    // "SISD (no vec)"
+  kSisdAutoVec,      // "SISD (auto vec)"
+  kScalarFused,      // Portable fused fallback (not in the paper).
+  kAvx2Fused128,     // "AVX2 Fused (128)"
+  kAvx512Fused128,   // "AVX-512 Fused (128)"
+  kAvx512Fused256,   // "AVX-512 Fused (256)"
+  kAvx512Fused512,   // "AVX-512 Fused (512)"
+  kBlockwise,        // Vectorized scan with materialized position lists.
+  kJit,              // JIT-generated fused operator (fts/jit).
+};
+
+const char* ScanEngineToString(ScanEngine engine);
+
+// Parses names like "avx512-512", "sisd-novec", "jit" (see .cc for the
+// full list). Used by example binaries and bench harnesses.
+StatusOr<ScanEngine> ParseScanEngine(const std::string& name);
+
+// True when the current CPU can execute `engine` (kJit also requires a
+// working host compiler, which this check does not verify).
+bool ScanEngineAvailable(ScanEngine engine);
+
+}  // namespace fts
+
+#endif  // FTS_SCAN_SCAN_ENGINE_H_

@@ -1,0 +1,21 @@
+#include "fts/scan/scan_spec.h"
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+std::string PredicateSpec::ToString() const {
+  return StrFormat("%s %s %s", column.c_str(), CompareOpToString(op),
+                   ValueToString(value).c_str());
+}
+
+std::string ScanSpec::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(predicates.size());
+  for (const auto& predicate : predicates) {
+    parts.push_back(predicate.ToString());
+  }
+  return Join(parts, " AND ");
+}
+
+}  // namespace fts

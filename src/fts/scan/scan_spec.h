@@ -1,0 +1,32 @@
+#ifndef FTS_SCAN_SCAN_SPEC_H_
+#define FTS_SCAN_SCAN_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "fts/storage/compare_op.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+// One predicate of a conjunctive scan: `column op value`.
+struct PredicateSpec {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value value;
+
+  // E.g. "a = 5".
+  std::string ToString() const;
+};
+
+// A conjunctive multi-predicate scan specification — the workload class
+// the Fused Table Scan targets (SELECT ... WHERE p1 AND p2 AND ...).
+struct ScanSpec {
+  std::vector<PredicateSpec> predicates;
+
+  std::string ToString() const;
+};
+
+}  // namespace fts
+
+#endif  // FTS_SCAN_SCAN_SPEC_H_

@@ -1,0 +1,35 @@
+#ifndef FTS_SCAN_SISD_SCAN_H_
+#define FTS_SCAN_SISD_SCAN_H_
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// The paper's data-centric tuple-at-a-time baseline (Section II):
+//
+//   for (pos_t i = 0; i < col_a.size(); ++i)
+//     if (col_a[i] == 5 && col_b[i] == 2) ++total_results;
+//
+// Two build flavors of the *same source* (sisd_scan_impl.inc.h):
+//   - NoVec:   compiled with -fno-tree-vectorize -fno-slp-vectorize
+//              ("SISD (no vec)" in Fig. 5)
+//   - AutoVec: compiled with plain -O3
+//              ("SISD (auto vec)" in Fig. 5)
+//
+// Chains whose stages share one element type and one comparator run through
+// a fully-typed, compile-time-specialized loop (mirroring what a
+// data-centric JIT would emit); heterogeneous chains use a generic loop.
+
+size_t SisdScanNoVecCount(const ScanStage* stages, size_t num_stages,
+                          size_t row_count);
+size_t SisdScanNoVecCollect(const ScanStage* stages, size_t num_stages,
+                            size_t row_count, uint32_t* out);
+
+size_t SisdScanAutoVecCount(const ScanStage* stages, size_t num_stages,
+                            size_t row_count);
+size_t SisdScanAutoVecCollect(const ScanStage* stages, size_t num_stages,
+                              size_t row_count, uint32_t* out);
+
+}  // namespace fts
+
+#endif  // FTS_SCAN_SISD_SCAN_H_

@@ -1,0 +1,4 @@
+// "SISD (auto vec)": the identical source built with the project's normal
+// -O3, letting the compiler auto-vectorize where it can (Section IV).
+#define FTS_SISD_PREFIX AutoVec
+#include "fts/scan/sisd_scan_impl.inc.h"

@@ -1,0 +1,246 @@
+// Shared implementation of the SISD baseline, included by exactly two
+// translation units that differ only in compile flags and entry-point
+// prefix:
+//   sisd_scan_novec.cc   (FTS_SISD_PREFIX=NoVec,   -fno-tree-vectorize)
+//   sisd_scan_autovec.cc (FTS_SISD_PREFIX=AutoVec, plain -O3)
+//
+// Not a self-contained header on purpose (.inc.h); it requires
+// FTS_SISD_PREFIX to be defined by the including TU.
+
+#include <cstdint>
+#include <utility>
+
+#include "fts/common/macros.h"
+#include "fts/scan/sisd_scan.h"
+
+#ifndef FTS_SISD_PREFIX
+#error "FTS_SISD_PREFIX must be defined before including sisd_scan_impl.inc.h"
+#endif
+
+#define FTS_SISD_CONCAT_(a, b, c) a##b##c
+#define FTS_SISD_CONCAT(a, b, c) FTS_SISD_CONCAT_(a, b, c)
+#define FTS_SISD_FN(name) FTS_SISD_CONCAT(SisdScan, FTS_SISD_PREFIX, name)
+
+namespace fts {
+namespace {
+
+// Fully-specialized tuple-at-a-time loop: element type, comparator, and
+// chain length are compile-time; search values and column pointers are
+// runtime. This matches the code shape a data-centric JIT (HyPer-style)
+// emits for a conjunctive predicate chain, including the short-circuit &&
+// whose branches Section II analyzes.
+template <typename T, CompareOp kOp, size_t kN>
+struct TightSisdLoop {
+  template <size_t... Is>
+  static inline bool MatchRow(const T* const* cols, const T* vals, size_t i,
+                              std::index_sequence<Is...>) {
+    return (EvaluateCompare(kOp, cols[Is][i], vals[Is]) && ...);
+  }
+
+  static size_t Count(const T* const* cols, const T* vals,
+                      size_t row_count) {
+    size_t matches = 0;
+    for (size_t i = 0; i < row_count; ++i) {
+      if (MatchRow(cols, vals, i, std::make_index_sequence<kN>{})) {
+        ++matches;
+      }
+    }
+    return matches;
+  }
+
+  static size_t Collect(const T* const* cols, const T* vals,
+                        size_t row_count, uint32_t* out) {
+    size_t matches = 0;
+    for (size_t i = 0; i < row_count; ++i) {
+      if (MatchRow(cols, vals, i, std::make_index_sequence<kN>{})) {
+        out[matches++] = static_cast<uint32_t>(i);
+      }
+    }
+    return matches;
+  }
+};
+
+// Generic fallback for heterogeneous chains (mixed types or operators).
+size_t GenericCount(const ScanStage* stages, size_t num_stages,
+                    size_t row_count) {
+  size_t matches = 0;
+  for (size_t i = 0; i < row_count; ++i) {
+    bool all = true;
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (!EvaluateStageAtRow(stages[s], i)) {
+        all = false;
+        break;
+      }
+    }
+    matches += all ? 1 : 0;
+  }
+  return matches;
+}
+
+size_t GenericCollect(const ScanStage* stages, size_t num_stages,
+                      size_t row_count, uint32_t* out) {
+  size_t matches = 0;
+  for (size_t i = 0; i < row_count; ++i) {
+    bool all = true;
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (!EvaluateStageAtRow(stages[s], i)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out[matches++] = static_cast<uint32_t>(i);
+  }
+  return matches;
+}
+
+template <typename T>
+T StageValueAs(const ScanStage& stage);
+template <>
+inline int32_t StageValueAs<int32_t>(const ScanStage& stage) {
+  return stage.value.i32;
+}
+template <>
+inline uint32_t StageValueAs<uint32_t>(const ScanStage& stage) {
+  return stage.value.u32;
+}
+template <>
+inline float StageValueAs<float>(const ScanStage& stage) {
+  return stage.value.f32;
+}
+template <>
+inline int64_t StageValueAs<int64_t>(const ScanStage& stage) {
+  return stage.value.i64;
+}
+template <>
+inline uint64_t StageValueAs<uint64_t>(const ScanStage& stage) {
+  return stage.value.u64;
+}
+template <>
+inline double StageValueAs<double>(const ScanStage& stage) {
+  return stage.value.f64;
+}
+
+// Dispatches a homogeneous chain to the TightSisdLoop instantiation for
+// (T, op, N). kCollect selects the positions variant.
+template <typename T, bool kCollect>
+size_t DispatchTight(const ScanStage* stages, size_t num_stages,
+                     size_t row_count, uint32_t* out) {
+  const T* cols[kMaxScanStages];
+  T vals[kMaxScanStages];
+  for (size_t s = 0; s < num_stages; ++s) {
+    cols[s] = static_cast<const T*>(stages[s].data);
+    vals[s] = StageValueAs<T>(stages[s]);
+  }
+  const CompareOp op = stages[0].op;
+
+  auto run = [&]<CompareOp kOp>() -> size_t {
+    auto run_n = [&]<size_t kN>() -> size_t {
+      if constexpr (kCollect) {
+        return TightSisdLoop<T, kOp, kN>::Collect(cols, vals, row_count,
+                                                  out);
+      } else {
+        return TightSisdLoop<T, kOp, kN>::Count(cols, vals, row_count);
+      }
+    };
+    switch (num_stages) {
+      case 1:
+        return run_n.template operator()<1>();
+      case 2:
+        return run_n.template operator()<2>();
+      case 3:
+        return run_n.template operator()<3>();
+      case 4:
+        return run_n.template operator()<4>();
+      case 5:
+        return run_n.template operator()<5>();
+      case 6:
+        return run_n.template operator()<6>();
+      case 7:
+        return run_n.template operator()<7>();
+      case 8:
+        return run_n.template operator()<8>();
+      default:
+        return ~size_t{0};  // Not reachable; guarded by caller.
+    }
+  };
+  switch (op) {
+    case CompareOp::kEq:
+      return run.template operator()<CompareOp::kEq>();
+    case CompareOp::kNe:
+      return run.template operator()<CompareOp::kNe>();
+    case CompareOp::kLt:
+      return run.template operator()<CompareOp::kLt>();
+    case CompareOp::kLe:
+      return run.template operator()<CompareOp::kLe>();
+    case CompareOp::kGt:
+      return run.template operator()<CompareOp::kGt>();
+    case CompareOp::kGe:
+      return run.template operator()<CompareOp::kGe>();
+  }
+  __builtin_unreachable();
+}
+
+// True when all stages share one element type and one comparator, which is
+// the case for every experiment in the paper. Bit-packed stages always go
+// through the generic loop (their decode is not a typed array access).
+bool IsHomogeneous(const ScanStage* stages, size_t num_stages) {
+  if (num_stages == 0 || num_stages > kMaxScanStages) return false;
+  if (stages[0].packed_bits != 0) return false;
+  for (size_t s = 1; s < num_stages; ++s) {
+    if (stages[s].type != stages[0].type) return false;
+    if (stages[s].op != stages[0].op) return false;
+    if (stages[s].packed_bits != 0) return false;
+  }
+  return true;
+}
+
+template <bool kCollect>
+size_t SisdScanImpl(const ScanStage* stages, size_t num_stages,
+                    size_t row_count, uint32_t* out) {
+  FTS_CHECK(num_stages >= 1);
+  if (IsHomogeneous(stages, num_stages)) {
+    switch (stages[0].type) {
+      case ScanElementType::kI32:
+        return DispatchTight<int32_t, kCollect>(stages, num_stages,
+                                                row_count, out);
+      case ScanElementType::kU32:
+        return DispatchTight<uint32_t, kCollect>(stages, num_stages,
+                                                 row_count, out);
+      case ScanElementType::kF32:
+        return DispatchTight<float, kCollect>(stages, num_stages, row_count,
+                                              out);
+      case ScanElementType::kI64:
+        return DispatchTight<int64_t, kCollect>(stages, num_stages,
+                                                row_count, out);
+      case ScanElementType::kU64:
+        return DispatchTight<uint64_t, kCollect>(stages, num_stages,
+                                                 row_count, out);
+      case ScanElementType::kF64:
+        return DispatchTight<double, kCollect>(stages, num_stages,
+                                               row_count, out);
+    }
+  }
+  if constexpr (kCollect) {
+    return GenericCollect(stages, num_stages, row_count, out);
+  } else {
+    return GenericCount(stages, num_stages, row_count);
+  }
+}
+
+}  // namespace
+
+size_t FTS_SISD_FN(Count)(const ScanStage* stages, size_t num_stages,
+                          size_t row_count) {
+  return SisdScanImpl<false>(stages, num_stages, row_count, nullptr);
+}
+
+size_t FTS_SISD_FN(Collect)(const ScanStage* stages, size_t num_stages,
+                            size_t row_count, uint32_t* out) {
+  return SisdScanImpl<true>(stages, num_stages, row_count, out);
+}
+
+}  // namespace fts
+
+#undef FTS_SISD_FN
+#undef FTS_SISD_CONCAT
+#undef FTS_SISD_CONCAT_

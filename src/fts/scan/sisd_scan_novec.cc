@@ -1,0 +1,4 @@
+// "SISD (no vec)": the tuple-at-a-time baseline with compiler
+// auto-vectorization disabled (see CMakeLists.txt for the flags).
+#define FTS_SISD_PREFIX NoVec
+#include "fts/scan/sisd_scan_impl.inc.h"

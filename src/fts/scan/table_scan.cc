@@ -1,0 +1,275 @@
+#include "fts/scan/table_scan.h"
+
+#include <numeric>
+
+#include "fts/common/string_util.h"
+#include "fts/scan/sisd_scan.h"
+#include "fts/simd/dispatch.h"
+#include "fts/storage/bitpacked_column.h"
+#include "fts/storage/dictionary_column.h"
+
+namespace fts {
+namespace {
+
+// Builds the ScanStage for one predicate against one chunk's column.
+// Returns true in `*dropped` when the predicate is a tautology for this
+// chunk and sets `*impossible` when it cannot match.
+Status BuildStage(const BaseColumn& column, const PredicateSpec& predicate,
+                  ScanStage* stage, bool* dropped, bool* impossible) {
+  *dropped = false;
+  *impossible = false;
+
+  if (column.encoding() == ColumnEncoding::kDictionary ||
+      column.encoding() == ColumnEncoding::kBitPacked) {
+    // Rewrite into code space. Dictionary code vectors are uint32 and
+    // directly scannable (paper assumption 3); bit-packed code streams are
+    // scanned through the kernels' unpack path (paper Future Work).
+    DictionaryPredicate translated;
+    Status status = DispatchDataType(column.data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      auto casted = CastValue(predicate.value, column.data_type());
+      if (!casted.ok()) return casted.status();
+      if (column.encoding() == ColumnEncoding::kDictionary) {
+        translated =
+            static_cast<const DictionaryColumn<T>&>(column)
+                .TranslatePredicate(predicate.op, ValueAs<T>(*casted));
+      } else {
+        translated =
+            static_cast<const BitPackedColumn<T>&>(column)
+                .TranslatePredicate(predicate.op, ValueAs<T>(*casted));
+      }
+      return Status::Ok();
+    });
+    FTS_RETURN_IF_ERROR(status);
+    switch (translated.kind) {
+      case DictionaryPredicate::Kind::kNone:
+        *impossible = true;
+        return Status::Ok();
+      case DictionaryPredicate::Kind::kAll:
+        *dropped = true;
+        return Status::Ok();
+      case DictionaryPredicate::Kind::kCompare:
+        stage->data = column.scan_data();
+        stage->type = ScanElementType::kU32;
+        stage->op = translated.op;
+        stage->value.u32 = translated.code;
+        stage->packed_bits = column.packed_bit_width();
+        if (stage->packed_bits != 0 &&
+            static_cast<uint64_t>(column.size()) * stage->packed_bits >=
+                (uint64_t{1} << 32)) {
+          // The kernels compute bit offsets in 32-bit lanes.
+          return Status::InvalidArgument(StrFormat(
+              "bit-packed chunk too large (%zu rows x %d bits); "
+              "partition the table into smaller chunks",
+              column.size(), stage->packed_bits));
+        }
+        return Status::Ok();
+    }
+    __builtin_unreachable();
+  }
+
+  // Plain column: cast the search value to the column type.
+  FTS_ASSIGN_OR_RETURN(const ScanElementType element_type,
+                       ScanElementTypeFromDataType(column.scan_type()));
+  FTS_ASSIGN_OR_RETURN(const Value casted,
+                       CastValue(predicate.value, column.data_type()));
+  stage->data = column.scan_data();
+  stage->type = element_type;
+  stage->op = predicate.op;
+  stage->value = MakeScanValue(element_type, casted);
+  return Status::Ok();
+}
+
+// All chunk rows as a position list (for predicate-free plans).
+PosList AllPositions(size_t row_count) {
+  PosList all(row_count);
+  std::iota(all.begin(), all.end(), 0u);
+  return all;
+}
+
+// Classic block-at-a-time execution: the first predicate runs vectorized
+// over the whole chunk and *materializes* its position list; every further
+// predicate iterates that list one row at a time ("breaking out of SIMD
+// code", as Menon et al. put it — see Section VI.C). This is the baseline
+// strategy the Fused Table Scan's register-resident position lists avoid.
+size_t BlockwiseScan(const std::vector<ScanStage>& stages, size_t row_count,
+                     uint32_t* out) {
+  const FusedKernelKind first_kind = BestAvailableKernel();
+  const FusedScanFn first_stage_fn = *GetFusedScanKernel(first_kind);
+
+  PosList current(row_count + kScanOutputSlack);
+  size_t count = first_stage_fn(stages.data(), 1, row_count, current.data());
+
+  for (size_t s = 1; s < stages.size(); ++s) {
+    size_t kept = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t pos = current[i];
+      if (EvaluateStageAtRow(stages[s], pos)) current[kept++] = pos;
+    }
+    count = kept;
+  }
+  for (size_t i = 0; i < count; ++i) out[i] = current[i];
+  return count;
+}
+
+}  // namespace
+
+StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
+                                             const ScanSpec& spec) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  if (spec.predicates.size() > kMaxScanStages) {
+    return Status::InvalidArgument(
+        StrFormat("scan has %zu predicates; static kernels support up to %zu",
+                  spec.predicates.size(), kMaxScanStages));
+  }
+  // Resolve all column names once.
+  std::vector<size_t> column_indexes;
+  column_indexes.reserve(spec.predicates.size());
+  for (const auto& predicate : spec.predicates) {
+    FTS_ASSIGN_OR_RETURN(const size_t index,
+                         table->ColumnIndex(predicate.column));
+    column_indexes.push_back(index);
+  }
+
+  std::vector<ChunkPlan> plans;
+  plans.reserve(table->chunk_count());
+  for (ChunkId chunk_id = 0; chunk_id < table->chunk_count(); ++chunk_id) {
+    const Chunk& chunk = table->chunk(chunk_id);
+    ChunkPlan plan;
+    plan.row_count = chunk.row_count();
+    for (size_t p = 0; p < spec.predicates.size(); ++p) {
+      ScanStage stage;
+      bool dropped = false;
+      bool impossible = false;
+      FTS_RETURN_IF_ERROR(BuildStage(chunk.column(column_indexes[p]),
+                                     spec.predicates[p], &stage, &dropped,
+                                     &impossible));
+      if (impossible) {
+        plan.impossible = true;
+        plan.stages.clear();
+        break;
+      }
+      if (!dropped) plan.stages.push_back(stage);
+    }
+    plans.push_back(std::move(plan));
+  }
+  return TableScanner(std::move(table), std::move(plans));
+}
+
+StatusOr<TableMatches> TableScanner::Execute(ScanEngine engine) const {
+  if (engine == ScanEngine::kJit) {
+    return Status::InvalidArgument(
+        "the JIT engine is driven by fts::JitScanEngine (fts/jit)");
+  }
+  if (!ScanEngineAvailable(engine)) {
+    return Status::Unavailable(StrFormat(
+        "scan engine %s is not available on this CPU",
+        ScanEngineToString(engine)));
+  }
+
+  // Resolve the kernel once outside the chunk loop.
+  FusedScanFn fused_fn = nullptr;
+  switch (engine) {
+    case ScanEngine::kScalarFused:
+      fused_fn = *GetFusedScanKernel(FusedKernelKind::kScalar);
+      break;
+    case ScanEngine::kAvx2Fused128:
+      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx2_128);
+      break;
+    case ScanEngine::kAvx512Fused128:
+      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx512_128);
+      break;
+    case ScanEngine::kAvx512Fused256:
+      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx512_256);
+      break;
+    case ScanEngine::kAvx512Fused512:
+      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx512_512);
+      break;
+    default:
+      break;
+  }
+
+  TableMatches result;
+  result.chunks.reserve(chunk_plans_.size());
+  for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
+    const ChunkPlan& plan = chunk_plans_[chunk_id];
+    ChunkMatches matches;
+    matches.chunk_id = chunk_id;
+    if (plan.impossible || plan.row_count == 0) {
+      result.chunks.push_back(std::move(matches));
+      continue;
+    }
+    if (plan.stages.empty()) {
+      matches.positions = AllPositions(plan.row_count);
+      result.chunks.push_back(std::move(matches));
+      continue;
+    }
+
+    PosList positions(plan.row_count + kScanOutputSlack);
+    size_t count = 0;
+    switch (engine) {
+      case ScanEngine::kSisdNoVec:
+        count = SisdScanNoVecCollect(plan.stages.data(), plan.stages.size(),
+                                     plan.row_count, positions.data());
+        break;
+      case ScanEngine::kSisdAutoVec:
+        count = SisdScanAutoVecCollect(plan.stages.data(),
+                                       plan.stages.size(), plan.row_count,
+                                       positions.data());
+        break;
+      case ScanEngine::kBlockwise:
+        count = BlockwiseScan(plan.stages, plan.row_count, positions.data());
+        break;
+      default:
+        count = fused_fn(plan.stages.data(), plan.stages.size(),
+                         plan.row_count, positions.data());
+        break;
+    }
+    positions.resize(count);
+    matches.positions = std::move(positions);
+    result.chunks.push_back(std::move(matches));
+  }
+  return result;
+}
+
+StatusOr<uint64_t> TableScanner::ExecuteCount(ScanEngine engine) const {
+  // The SISD engines count without materializing — the paper's Section II
+  // baseline loop.
+  if (engine == ScanEngine::kSisdNoVec || engine == ScanEngine::kSisdAutoVec) {
+    uint64_t total = 0;
+    for (const ChunkPlan& plan : chunk_plans_) {
+      if (plan.impossible || plan.row_count == 0) continue;
+      if (plan.stages.empty()) {
+        total += plan.row_count;
+        continue;
+      }
+      total += (engine == ScanEngine::kSisdNoVec)
+                   ? SisdScanNoVecCount(plan.stages.data(),
+                                        plan.stages.size(), plan.row_count)
+                   : SisdScanAutoVecCount(plan.stages.data(),
+                                          plan.stages.size(),
+                                          plan.row_count);
+    }
+    return total;
+  }
+  FTS_ASSIGN_OR_RETURN(const TableMatches matches, Execute(engine));
+  return matches.TotalMatches();
+}
+
+StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,
+                                   ScanEngine engine) {
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(std::move(table), spec));
+  return scanner.Execute(engine);
+}
+
+StatusOr<uint64_t> ExecuteScanCount(TablePtr table, const ScanSpec& spec,
+                                    ScanEngine engine) {
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(std::move(table), spec));
+  return scanner.ExecuteCount(engine);
+}
+
+}  // namespace fts

@@ -1,0 +1,69 @@
+#ifndef FTS_SCAN_TABLE_SCAN_H_
+#define FTS_SCAN_TABLE_SCAN_H_
+
+#include <vector>
+
+#include "fts/common/status.h"
+#include "fts/scan/scan_engine.h"
+#include "fts/scan/scan_spec.h"
+#include "fts/simd/scan_stage.h"
+#include "fts/storage/pos_list.h"
+#include "fts/storage/table.h"
+
+namespace fts {
+
+// Executable form of a conjunctive scan over one table. Prepare() resolves
+// column names, casts search values to column types, and rewrites
+// predicates on dictionary-encoded columns into code-space predicates
+// (fts/storage/dictionary_column.h). Execute() then runs any ScanEngine
+// over the prepared per-chunk stage arrays.
+//
+// The prepared scanner borrows the table's column data; the table must
+// outlive it (it holds a TablePtr, so normal shared_ptr usage is safe).
+class TableScanner {
+ public:
+  // Per-chunk prepared state.
+  struct ChunkPlan {
+    // Stages for this chunk, after dropping always-true predicates.
+    // Empty + !impossible => every row matches.
+    std::vector<ScanStage> stages;
+    // Some predicate can never match in this chunk.
+    bool impossible = false;
+    size_t row_count = 0;
+  };
+
+  static StatusOr<TableScanner> Prepare(TablePtr table, const ScanSpec& spec);
+
+  // Runs the scan and materializes matching positions per chunk.
+  // Fails when `engine` is not available on this CPU or is kJit (the JIT
+  // engine lives in fts/jit and has its own entry point).
+  StatusOr<TableMatches> Execute(ScanEngine engine) const;
+
+  // Count-only execution. For the SISD engines this skips position
+  // materialization entirely — the paper's naive COUNT(*) loop; fused
+  // engines count their materialized position lists, which is exactly the
+  // paper's comparison setup.
+  StatusOr<uint64_t> ExecuteCount(ScanEngine engine) const;
+
+  const std::vector<ChunkPlan>& chunk_plans() const { return chunk_plans_; }
+  const TablePtr& table() const { return table_; }
+
+ private:
+  TableScanner(TablePtr table, std::vector<ChunkPlan> chunk_plans)
+      : table_(std::move(table)), chunk_plans_(std::move(chunk_plans)) {}
+
+  TablePtr table_;
+  std::vector<ChunkPlan> chunk_plans_;
+};
+
+// Convenience wrapper: Prepare + Execute.
+StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,
+                                   ScanEngine engine);
+
+// Convenience wrapper: Prepare + ExecuteCount.
+StatusOr<uint64_t> ExecuteScanCount(TablePtr table, const ScanSpec& spec,
+                                    ScanEngine engine);
+
+}  // namespace fts
+
+#endif  // FTS_SCAN_TABLE_SCAN_H_

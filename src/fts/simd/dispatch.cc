@@ -1,0 +1,75 @@
+#include "fts/simd/dispatch.h"
+
+#include "fts/common/cpu_info.h"
+#include "fts/common/string_util.h"
+#include "fts/simd/kernels_avx2.h"
+#include "fts/simd/kernels_avx512.h"
+#include "fts/simd/kernels_scalar.h"
+
+namespace fts {
+
+const char* FusedKernelKindToString(FusedKernelKind kind) {
+  switch (kind) {
+    case FusedKernelKind::kScalar:
+      return "Scalar Fused";
+    case FusedKernelKind::kAvx2_128:
+      return "AVX2 Fused (128)";
+    case FusedKernelKind::kAvx512_128:
+      return "AVX-512 Fused (128)";
+    case FusedKernelKind::kAvx512_256:
+      return "AVX-512 Fused (256)";
+    case FusedKernelKind::kAvx512_512:
+      return "AVX-512 Fused (512)";
+  }
+  return "?";
+}
+
+StatusOr<FusedScanFn> GetFusedScanKernel(FusedKernelKind kind) {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  switch (kind) {
+    case FusedKernelKind::kScalar:
+      return FusedScanFn{&FusedScanScalar};
+    case FusedKernelKind::kAvx2_128:
+      if (!cpu.avx2) {
+        return Status::Unavailable("CPU does not support AVX2");
+      }
+      return FusedScanFn{&FusedScanAvx2_128};
+    case FusedKernelKind::kAvx512_128:
+    case FusedKernelKind::kAvx512_256:
+    case FusedKernelKind::kAvx512_512:
+      if (!cpu.HasFusedScanAvx512()) {
+        return Status::Unavailable(StrFormat(
+            "CPU lacks AVX-512 F/BW/DQ/VL (detected: %s)",
+            cpu.ToString().c_str()));
+      }
+      if (kind == FusedKernelKind::kAvx512_128) {
+        return FusedScanFn{&FusedScanAvx512_128};
+      }
+      if (kind == FusedKernelKind::kAvx512_256) {
+        return FusedScanFn{&FusedScanAvx512_256};
+      }
+      return FusedScanFn{&FusedScanAvx512_512};
+  }
+  return Status::InvalidArgument("unknown kernel kind");
+}
+
+FusedKernelKind BestAvailableKernel() {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  if (cpu.HasFusedScanAvx512()) return FusedKernelKind::kAvx512_512;
+  if (cpu.avx2) return FusedKernelKind::kAvx2_128;
+  return FusedKernelKind::kScalar;
+}
+
+std::vector<FusedKernelKind> AvailableKernels() {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  std::vector<FusedKernelKind> kinds = {FusedKernelKind::kScalar};
+  if (cpu.avx2) kinds.push_back(FusedKernelKind::kAvx2_128);
+  if (cpu.HasFusedScanAvx512()) {
+    kinds.push_back(FusedKernelKind::kAvx512_128);
+    kinds.push_back(FusedKernelKind::kAvx512_256);
+    kinds.push_back(FusedKernelKind::kAvx512_512);
+  }
+  return kinds;
+}
+
+}  // namespace fts

@@ -1,0 +1,38 @@
+#ifndef FTS_SIMD_DISPATCH_H_
+#define FTS_SIMD_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "fts/common/status.h"
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// The scan implementations the paper evaluates (Fig. 5), plus the portable
+// scalar fallback. "Sisd" engines live in fts/scan (they implement the
+// naive tuple-at-a-time loop, not the fused contract).
+enum class FusedKernelKind : uint8_t {
+  kScalar = 0,      // Portable reference.
+  kAvx2_128,        // "AVX2 Fused (128)".
+  kAvx512_128,      // "AVX-512 Fused (128)".
+  kAvx512_256,      // "AVX-512 Fused (256)".
+  kAvx512_512,      // "AVX-512 Fused (512)".
+};
+
+const char* FusedKernelKindToString(FusedKernelKind kind);
+
+// Returns the kernel for `kind`, or an error when the CPU lacks the
+// required instruction set.
+StatusOr<FusedScanFn> GetFusedScanKernel(FusedKernelKind kind);
+
+// The fastest kernel available on this CPU (AVX-512 512-bit when present,
+// else AVX2, else scalar).
+FusedKernelKind BestAvailableKernel();
+
+// All kernel kinds usable on this CPU, in ascending capability order.
+std::vector<FusedKernelKind> AvailableKernels();
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_DISPATCH_H_

@@ -1,0 +1,25 @@
+#ifndef FTS_SIMD_KERNELS_AVX2_H_
+#define FTS_SIMD_KERNELS_AVX2_H_
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// "AVX2 Fused (128)" from the paper's Fig. 5: the Fused Table Scan with
+// every AVX-512 instruction replaced by its AVX2 equivalent. What AVX-512
+// does in one instruction becomes several here:
+//   - k-masks        -> vector masks + MOVMSKPS
+//   - vpcompressd    -> 16-entry PSHUFB shuffle-mask lookup table (the
+//                       paper's 32-line _mmX_mask_compress_epi32 backport)
+//   - vpexpandd      -> PSHUFB lane shift + PBLENDVB against a lane-count
+//                       mask table
+//   - masked compare -> compare + PAND
+// Gathers exist in AVX2 (_mm_mask_i32gather_epi32) and are used directly.
+//
+// Requires AVX2 at runtime (check GetCpuFeatures().avx2).
+size_t FusedScanAvx2_128(const ScanStage* stages, size_t num_stages,
+                         size_t row_count, uint32_t* out);
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_KERNELS_AVX2_H_

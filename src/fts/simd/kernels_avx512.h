@@ -1,0 +1,28 @@
+#ifndef FTS_SIMD_KERNELS_AVX512_H_
+#define FTS_SIMD_KERNELS_AVX512_H_
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// AVX-512 Fused Table Scan kernels at the three register widths the paper
+// evaluates (Fig. 5). These follow the Fig. 3 dataflow exactly:
+// compare -> maskz_compress (bitmask to dense position list) ->
+// mask_expand (append to the per-stage position accumulator) ->
+// masked gather of the next column -> masked compare -> compress, with
+// intermediate results never leaving the vector registers.
+//
+// Callers must verify GetCpuFeatures().HasFusedScanAvx512() before calling;
+// these functions execute AVX-512 instructions unconditionally. The 128-
+// and 256-bit variants rely on AVX-512VL encodings (still AVX-512
+// instructions on narrow registers, as in the paper's example).
+size_t FusedScanAvx512_512(const ScanStage* stages, size_t num_stages,
+                           size_t row_count, uint32_t* out);
+size_t FusedScanAvx512_256(const ScanStage* stages, size_t num_stages,
+                           size_t row_count, uint32_t* out);
+size_t FusedScanAvx512_128(const ScanStage* stages, size_t num_stages,
+                           size_t row_count, uint32_t* out);
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_KERNELS_AVX512_H_

@@ -1,0 +1,41 @@
+#include "fts/simd/kernels_scalar.h"
+
+#include "fts/common/macros.h"
+
+namespace fts {
+
+size_t FusedScanScalar(const ScanStage* stages, size_t num_stages,
+                       size_t row_count, uint32_t* out) {
+  FTS_CHECK(num_stages >= 1);
+  size_t matches = 0;
+  for (size_t row = 0; row < row_count; ++row) {
+    bool all = true;
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (!EvaluateStageAtRow(stages[s], row)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out[matches++] = static_cast<uint32_t>(row);
+  }
+  return matches;
+}
+
+size_t FusedScanScalarCount(const ScanStage* stages, size_t num_stages,
+                            size_t row_count) {
+  FTS_CHECK(num_stages >= 1);
+  size_t matches = 0;
+  for (size_t row = 0; row < row_count; ++row) {
+    bool all = true;
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (!EvaluateStageAtRow(stages[s], row)) {
+        all = false;
+        break;
+      }
+    }
+    matches += all ? 1 : 0;
+  }
+  return matches;
+}
+
+}  // namespace fts

@@ -1,0 +1,22 @@
+#ifndef FTS_SIMD_KERNELS_SCALAR_H_
+#define FTS_SIMD_KERNELS_SCALAR_H_
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// Portable scalar implementation of the fused-scan contract. Serves as the
+// semantic reference for kernel tests and as the fallback on CPUs without
+// AVX2/AVX-512. Produces identical output (ascending match positions) to
+// every SIMD kernel.
+size_t FusedScanScalar(const ScanStage* stages, size_t num_stages,
+                       size_t row_count, uint32_t* out);
+
+// Count-only variant (no position materialization), the scalar analogue of
+// the paper's naive COUNT(*) loop.
+size_t FusedScanScalarCount(const ScanStage* stages, size_t num_stages,
+                            size_t row_count);
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_KERNELS_SCALAR_H_

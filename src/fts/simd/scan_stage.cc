@@ -1,0 +1,126 @@
+#include "fts/simd/scan_stage.h"
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+size_t ScanElementSize(ScanElementType type) {
+  switch (type) {
+    case ScanElementType::kI32:
+    case ScanElementType::kU32:
+    case ScanElementType::kF32:
+      return 4;
+    case ScanElementType::kI64:
+    case ScanElementType::kU64:
+    case ScanElementType::kF64:
+      return 8;
+  }
+  return 0;
+}
+
+const char* ScanElementTypeToString(ScanElementType type) {
+  switch (type) {
+    case ScanElementType::kI32:
+      return "i32";
+    case ScanElementType::kU32:
+      return "u32";
+    case ScanElementType::kF32:
+      return "f32";
+    case ScanElementType::kI64:
+      return "i64";
+    case ScanElementType::kU64:
+      return "u64";
+    case ScanElementType::kF64:
+      return "f64";
+  }
+  return "?";
+}
+
+StatusOr<ScanElementType> ScanElementTypeFromDataType(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return ScanElementType::kI32;
+    case DataType::kUInt32:
+      return ScanElementType::kU32;
+    case DataType::kFloat32:
+      return ScanElementType::kF32;
+    case DataType::kInt64:
+      return ScanElementType::kI64;
+    case DataType::kUInt64:
+      return ScanElementType::kU64;
+    case DataType::kFloat64:
+      return ScanElementType::kF64;
+    default:
+      return Status::InvalidArgument(StrFormat(
+          "type %s has no native scan kernel; dictionary-encode the column",
+          DataTypeToString(type)));
+  }
+}
+
+ScanValue MakeScanValue(ScanElementType type, const Value& value) {
+  ScanValue out{};
+  switch (type) {
+    case ScanElementType::kI32:
+      out.i32 = ValueAs<int32_t>(value);
+      break;
+    case ScanElementType::kU32:
+      out.u32 = ValueAs<uint32_t>(value);
+      break;
+    case ScanElementType::kF32:
+      out.f32 = ValueAs<float>(value);
+      break;
+    case ScanElementType::kI64:
+      out.i64 = ValueAs<int64_t>(value);
+      break;
+    case ScanElementType::kU64:
+      out.u64 = ValueAs<uint64_t>(value);
+      break;
+    case ScanElementType::kF64:
+      out.f64 = ValueAs<double>(value);
+      break;
+  }
+  return out;
+}
+
+bool EvaluateStageAtRow(const ScanStage& stage, size_t row) {
+  if (stage.packed_bits != 0) {
+    // Bit-packed code stream: extract the b-bit code from the 8-byte
+    // window containing it (mirrors the SIMD gather-unpack path).
+    const auto* packed = static_cast<const uint8_t*>(stage.data);
+    const size_t bit_offset = row * stage.packed_bits;
+    uint64_t window;
+    __builtin_memcpy(&window, packed + (bit_offset >> 3), sizeof(window));
+    const uint32_t code = static_cast<uint32_t>(
+        (window >> (bit_offset & 7)) & ((1ull << stage.packed_bits) - 1));
+    return EvaluateCompare(stage.op, code, stage.value.u32);
+  }
+  switch (stage.type) {
+    case ScanElementType::kI32:
+      return EvaluateCompare(stage.op,
+                             static_cast<const int32_t*>(stage.data)[row],
+                             stage.value.i32);
+    case ScanElementType::kU32:
+      return EvaluateCompare(stage.op,
+                             static_cast<const uint32_t*>(stage.data)[row],
+                             stage.value.u32);
+    case ScanElementType::kF32:
+      return EvaluateCompare(stage.op,
+                             static_cast<const float*>(stage.data)[row],
+                             stage.value.f32);
+    case ScanElementType::kI64:
+      return EvaluateCompare(stage.op,
+                             static_cast<const int64_t*>(stage.data)[row],
+                             stage.value.i64);
+    case ScanElementType::kU64:
+      return EvaluateCompare(stage.op,
+                             static_cast<const uint64_t*>(stage.data)[row],
+                             stage.value.u64);
+    case ScanElementType::kF64:
+      return EvaluateCompare(stage.op,
+                             static_cast<const double*>(stage.data)[row],
+                             stage.value.f64);
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace fts

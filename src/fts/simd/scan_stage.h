@@ -1,0 +1,89 @@
+#ifndef FTS_SIMD_SCAN_STAGE_H_
+#define FTS_SIMD_SCAN_STAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fts/common/status.h"
+#include "fts/storage/compare_op.h"
+#include "fts/storage/data_type.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+// Element types the scan kernels handle natively. 8- and 16-bit columns are
+// scanned through their dictionary code vectors (uint32), which realizes the
+// paper's assumption 3 (fixed-size values via dictionary encoding) without a
+// kernel per narrow width.
+enum class ScanElementType : uint8_t {
+  kI32 = 0,
+  kU32,
+  kF32,
+  kI64,
+  kU64,
+  kF64,
+};
+
+size_t ScanElementSize(ScanElementType type);
+const char* ScanElementTypeToString(ScanElementType type);
+
+// Maps a column's scan type to the kernel element type. Fails for 8/16-bit
+// types (those must be dictionary-encoded first).
+StatusOr<ScanElementType> ScanElementTypeFromDataType(DataType type);
+
+// Search value as raw bits, interpreted per ScanElementType.
+union ScanValue {
+  int32_t i32;
+  uint32_t u32;
+  float f32;
+  int64_t i64;
+  uint64_t u64;
+  double f64;
+};
+
+// Converts a boxed Value (already cast to the column's type) into kernel
+// bits for `type`.
+ScanValue MakeScanValue(ScanElementType type, const Value& value);
+
+// One predicate of a fused conjunctive scan: `data[i] op value`.
+//
+// When `packed_bits` is non-zero the stage reads a bit-packed code stream
+// (fts/storage/bitpacked_column.h): `data` points at the packed bytes,
+// logical element i is the uint32 code in bits [i*packed_bits,
+// (i+1)*packed_bits), `type` must be kU32 and `value.u32` is the search
+// code. The buffer must carry kBitPackedSlackBytes of padding.
+struct ScanStage {
+  const void* data = nullptr;  // Contiguous array of `type` elements.
+  ScanElementType type = ScanElementType::kI32;
+  CompareOp op = CompareOp::kEq;
+  ScanValue value{};
+  uint8_t packed_bits = 0;  // 0 = plain fixed-size elements.
+};
+
+// Maximum chain length supported by the static kernels. The JIT engine has
+// no such limit (it unrolls the chain it compiles), but 8 covers every
+// experiment in the paper (max 5 predicates) with headroom.
+inline constexpr size_t kMaxScanStages = 8;
+
+// Kernel signature shared by every implementation (scalar, AVX2, AVX-512
+// at each register width, and JIT-generated code):
+//   - `stages`: `num_stages` predicates, ANDed; all arrays hold `row_count`
+//     elements.
+//   - `out`: receives the chunk offsets of rows satisfying all predicates,
+//     in ascending order. Must have capacity for row_count + 16 entries
+//     (kernels that emulate compress-store write a full register and then
+//     advance by the match count).
+//   - returns the number of matches written.
+using FusedScanFn = size_t (*)(const ScanStage* stages, size_t num_stages,
+                               size_t row_count, uint32_t* out);
+
+// Extra output-buffer slack required beyond row_count (see above).
+inline constexpr size_t kScanOutputSlack = 16;
+
+// Scalar evaluation of one stage at one row — the semantic ground truth
+// every kernel is tested against.
+bool EvaluateStageAtRow(const ScanStage& stage, size_t row);
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_SCAN_STAGE_H_

@@ -1,0 +1,66 @@
+#include "fts/sql/ast.h"
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+std::string AstPredicate::ToString() const {
+  return StrFormat("%s %s %s", column.c_str(), CompareOpToString(op),
+                   ValueToString(literal).c_str());
+}
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCountStar:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+    case AggregateKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string AggregateItem::ToString() const {
+  if (kind == AggregateKind::kCountStar) return "COUNT(*)";
+  return StrFormat("%s(%s)", AggregateKindToString(kind), column.c_str());
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (!aggregates.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(aggregates.size());
+    for (const auto& item : aggregates) parts.push_back(item.ToString());
+    out += Join(parts, ", ");
+  } else if (select_all) {
+    out += "*";
+  } else {
+    out += Join(columns, ", ");
+  }
+  out += " FROM " + table;
+  if (!predicates.empty()) {
+    out += " WHERE ";
+    std::vector<std::string> parts;
+    parts.reserve(predicates.size());
+    for (const auto& predicate : predicates) {
+      parts.push_back(predicate.ToString());
+    }
+    out += Join(parts, " AND ");
+  }
+  if (order_by.has_value()) {
+    out += " ORDER BY " + *order_by;
+    if (order_descending) out += " DESC";
+  }
+  if (limit.has_value()) {
+    out += StrFormat(" LIMIT %llu",
+                     static_cast<unsigned long long>(*limit));
+  }
+  return out;
+}
+
+}  // namespace fts

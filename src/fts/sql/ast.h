@@ -1,0 +1,65 @@
+#ifndef FTS_SQL_AST_H_
+#define FTS_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fts/storage/compare_op.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+// A single comparison in the WHERE conjunction: `column op literal`.
+// BETWEEN lo AND hi is desugared by the parser into (>= lo, <= hi).
+struct AstPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  std::string ToString() const;
+};
+
+// Aggregate functions in the projection. COUNT(*) is the paper's
+// benchmark query; SUM is what TPC-H Q6 (the paper's motivating
+// multi-predicate query) actually computes.
+enum class AggregateKind : uint8_t {
+  kCountStar = 0,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggregateKindToString(AggregateKind kind);
+
+struct AggregateItem {
+  AggregateKind kind = AggregateKind::kCountStar;
+  std::string column;  // Empty for COUNT(*).
+
+  std::string ToString() const;  // E.g. "SUM(l_extendedprice)".
+};
+
+// The supported statement form:
+//   SELECT COUNT(*) | agg(col)[, agg(col)...] | * | col[, col...]
+//   FROM table
+//   [WHERE pred AND pred AND ...]
+//   [ORDER BY col [ASC|DESC]] [LIMIT n] [;]
+struct SelectStatement {
+  bool count_star = false;  // True iff aggregates == {COUNT(*)}.
+  bool select_all = false;  // SELECT *
+  std::vector<std::string> columns;        // Plain projection list.
+  std::vector<AggregateItem> aggregates;   // Aggregate projection.
+  std::string table;
+  std::vector<AstPredicate> predicates;  // Conjunction; empty = no WHERE.
+  // ORDER BY / LIMIT (projection queries only).
+  std::optional<std::string> order_by;
+  bool order_descending = false;
+  std::optional<uint64_t> limit;
+
+  std::string ToString() const;
+};
+
+}  // namespace fts
+
+#endif  // FTS_SQL_AST_H_

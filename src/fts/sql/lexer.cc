@@ -1,0 +1,222 @@
+#include "fts/sql/lexer.h"
+
+#include <cctype>
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+namespace {
+
+bool IsIdentifierStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+TokenType KeywordOrIdentifier(const std::string& word) {
+  const std::string upper = ToUpper(word);
+  if (upper == "SELECT") return TokenType::kSelect;
+  if (upper == "COUNT") return TokenType::kCount;
+  if (upper == "SUM") return TokenType::kSum;
+  if (upper == "MIN") return TokenType::kMin;
+  if (upper == "MAX") return TokenType::kMax;
+  if (upper == "AVG") return TokenType::kAvg;
+  if (upper == "FROM") return TokenType::kFrom;
+  if (upper == "WHERE") return TokenType::kWhere;
+  if (upper == "AND") return TokenType::kAnd;
+  if (upper == "BETWEEN") return TokenType::kBetween;
+  if (upper == "ORDER") return TokenType::kOrder;
+  if (upper == "BY") return TokenType::kBy;
+  if (upper == "ASC") return TokenType::kAsc;
+  if (upper == "DESC") return TokenType::kDesc;
+  if (upper == "LIMIT") return TokenType::kLimit;
+  return TokenType::kIdentifier;
+}
+
+}  // namespace
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kSelect:
+      return "SELECT";
+    case TokenType::kCount:
+      return "COUNT";
+    case TokenType::kSum:
+      return "SUM";
+    case TokenType::kMin:
+      return "MIN";
+    case TokenType::kMax:
+      return "MAX";
+    case TokenType::kAvg:
+      return "AVG";
+    case TokenType::kFrom:
+      return "FROM";
+    case TokenType::kWhere:
+      return "WHERE";
+    case TokenType::kAnd:
+      return "AND";
+    case TokenType::kBetween:
+      return "BETWEEN";
+    case TokenType::kOrder:
+      return "ORDER";
+    case TokenType::kBy:
+      return "BY";
+    case TokenType::kAsc:
+      return "ASC";
+    case TokenType::kDesc:
+      return "DESC";
+    case TokenType::kLimit:
+      return "LIMIT";
+    case TokenType::kEndOfInput:
+      return "end of input";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentifierStart(c)) {
+      size_t end = i + 1;
+      while (end < n && IsIdentifierChar(sql[end])) ++end;
+      const std::string word = sql.substr(i, end - i);
+      tokens.push_back({KeywordOrIdentifier(word), word, start});
+      i = end;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t end = i;
+      bool seen_exponent = false;
+      while (end < n) {
+        const char d = sql[end];
+        if (std::isdigit(static_cast<unsigned char>(d)) || d == '.') {
+          ++end;
+          continue;
+        }
+        if ((d == 'e' || d == 'E') && !seen_exponent) {
+          seen_exponent = true;
+          ++end;
+          if (end < n && (sql[end] == '+' || sql[end] == '-')) ++end;
+          continue;
+        }
+        break;
+      }
+      tokens.push_back({TokenType::kNumber, sql.substr(i, end - i), start});
+      i = end;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        tokens.push_back({TokenType::kComma, ",", start});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back({TokenType::kStar, "*", start});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenType::kLParen, "(", start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenType::kRParen, ")", start});
+        ++i;
+        continue;
+      case ';':
+        tokens.push_back({TokenType::kSemicolon, ";", start});
+        ++i;
+        continue;
+      case '-':
+        tokens.push_back({TokenType::kMinus, "-", start});
+        ++i;
+        continue;
+      case '+':
+        tokens.push_back({TokenType::kPlus, "+", start});
+        ++i;
+        continue;
+      case '=':
+        tokens.push_back({TokenType::kEq, "=", start});
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kNe, "!=", start});
+          i += 2;
+          continue;
+        }
+        return Status::InvalidArgument(
+            StrFormat("unexpected '!' at position %zu", start));
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kLe, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          tokens.push_back({TokenType::kNe, "<>", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kLt, "<", start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kGe, ">=", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kGt, ">", start});
+          ++i;
+        }
+        continue;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at position %zu", c,
+                      start));
+    }
+  }
+  tokens.push_back({TokenType::kEndOfInput, "", n});
+  return tokens;
+}
+
+}  // namespace fts

@@ -1,0 +1,19 @@
+#ifndef FTS_SQL_LEXER_H_
+#define FTS_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "fts/common/status.h"
+#include "fts/sql/token.h"
+
+namespace fts {
+
+// Tokenizes the supported SQL subset. Keywords are case-insensitive;
+// identifiers keep their original case. Fails with a position-annotated
+// message on unexpected characters.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace fts
+
+#endif  // FTS_SQL_LEXER_H_

@@ -1,0 +1,257 @@
+#include "fts/sql/parser.h"
+
+#include "fts/common/string_util.h"
+#include "fts/sql/lexer.h"
+
+namespace fts {
+namespace {
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectStatement> Parse() {
+    SelectStatement statement;
+    FTS_RETURN_IF_ERROR(Expect(TokenType::kSelect));
+    FTS_RETURN_IF_ERROR(ParseProjection(&statement));
+    FTS_RETURN_IF_ERROR(Expect(TokenType::kFrom));
+    FTS_ASSIGN_OR_RETURN(statement.table, ExpectIdentifier());
+    if (Peek().type == TokenType::kWhere) {
+      Advance();
+      FTS_RETURN_IF_ERROR(ParseConjunction(&statement));
+    }
+    if (Peek().type == TokenType::kOrder) {
+      Advance();
+      FTS_RETURN_IF_ERROR(Expect(TokenType::kBy));
+      FTS_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      statement.order_by = std::move(column);
+      if (Peek().type == TokenType::kDesc) {
+        Advance();
+        statement.order_descending = true;
+      } else if (Peek().type == TokenType::kAsc) {
+        Advance();
+      }
+      if (!statement.aggregates.empty()) {
+        return Status::InvalidArgument(
+            "ORDER BY is not supported with aggregate projections");
+      }
+    }
+    if (Peek().type == TokenType::kLimit) {
+      Advance();
+      if (Peek().type != TokenType::kNumber) {
+        return UnexpectedToken("LIMIT count");
+      }
+      const Token& token = Advance();
+      char* end = nullptr;
+      const unsigned long long limit =
+          std::strtoull(token.text.c_str(), &end, 10);
+      if (end != token.text.c_str() + token.text.size()) {
+        return Status::InvalidArgument(
+            StrFormat("malformed LIMIT '%s'", token.text.c_str()));
+      }
+      statement.limit = limit;
+    }
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    if (Peek().type != TokenType::kEndOfInput) {
+      return UnexpectedToken("end of statement");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+
+  Status UnexpectedToken(const std::string& expected) const {
+    const Token& token = Peek();
+    return Status::InvalidArgument(StrFormat(
+        "expected %s at position %zu, found %s%s%s", expected.c_str(),
+        token.position, TokenTypeToString(token.type),
+        token.text.empty() ? "" : " ", token.text.c_str()));
+  }
+
+  Status Expect(TokenType type) {
+    if (Peek().type != type) return UnexpectedToken(TokenTypeToString(type));
+    Advance();
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return UnexpectedToken("identifier");
+    }
+    return Advance().text;
+  }
+
+  static bool IsAggregateKeyword(TokenType type) {
+    return type == TokenType::kCount || type == TokenType::kSum ||
+           type == TokenType::kMin || type == TokenType::kMax ||
+           type == TokenType::kAvg;
+  }
+
+  Status ParseAggregateItem(SelectStatement* statement) {
+    const Token& keyword = Advance();
+    AggregateItem item;
+    switch (keyword.type) {
+      case TokenType::kCount:
+        item.kind = AggregateKind::kCountStar;
+        break;
+      case TokenType::kSum:
+        item.kind = AggregateKind::kSum;
+        break;
+      case TokenType::kMin:
+        item.kind = AggregateKind::kMin;
+        break;
+      case TokenType::kMax:
+        item.kind = AggregateKind::kMax;
+        break;
+      case TokenType::kAvg:
+        item.kind = AggregateKind::kAvg;
+        break;
+      default:
+        return UnexpectedToken("aggregate function");
+    }
+    FTS_RETURN_IF_ERROR(Expect(TokenType::kLParen));
+    if (item.kind == AggregateKind::kCountStar) {
+      FTS_RETURN_IF_ERROR(Expect(TokenType::kStar));
+    } else {
+      FTS_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+    }
+    FTS_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+    statement->aggregates.push_back(std::move(item));
+    return Status::Ok();
+  }
+
+  Status ParseProjection(SelectStatement* statement) {
+    if (IsAggregateKeyword(Peek().type)) {
+      while (true) {
+        FTS_RETURN_IF_ERROR(ParseAggregateItem(statement));
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+        if (!IsAggregateKeyword(Peek().type)) {
+          return UnexpectedToken(
+              "aggregate function (plain columns cannot be mixed with "
+              "aggregates without GROUP BY)");
+        }
+      }
+      statement->count_star =
+          statement->aggregates.size() == 1 &&
+          statement->aggregates[0].kind == AggregateKind::kCountStar;
+      return Status::Ok();
+    }
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      statement->select_all = true;
+      return Status::Ok();
+    }
+    while (true) {
+      FTS_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      statement->columns.push_back(std::move(column));
+      if (Peek().type != TokenType::kComma) return Status::Ok();
+      Advance();
+    }
+  }
+
+  StatusOr<Value> ParseLiteral() {
+    bool negative = false;
+    if (Peek().type == TokenType::kMinus) {
+      Advance();
+      negative = true;
+    } else if (Peek().type == TokenType::kPlus) {
+      Advance();
+    }
+    if (Peek().type != TokenType::kNumber) {
+      return UnexpectedToken("numeric literal");
+    }
+    const Token& token = Advance();
+    FTS_ASSIGN_OR_RETURN(Value value, ParseNumericLiteral(token.text));
+    if (!negative) return value;
+    return std::visit(
+        [](auto v) -> StatusOr<Value> {
+          using T = decltype(v);
+          if constexpr (std::is_unsigned_v<T>) {
+            return Status::InvalidArgument("cannot negate unsigned literal");
+          } else {
+            return Value(static_cast<T>(-v));
+          }
+        },
+        value);
+  }
+
+  Status ParseConjunction(SelectStatement* statement) {
+    while (true) {
+      FTS_RETURN_IF_ERROR(ParsePredicate(statement));
+      if (Peek().type != TokenType::kAnd) return Status::Ok();
+      Advance();
+    }
+  }
+
+  Status ParsePredicate(SelectStatement* statement) {
+    FTS_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+    const Token& op_token = Peek();
+    switch (op_token.type) {
+      case TokenType::kBetween: {
+        // col BETWEEN lo AND hi  =>  col >= lo AND col <= hi.
+        Advance();
+        FTS_ASSIGN_OR_RETURN(const Value lo, ParseLiteral());
+        FTS_RETURN_IF_ERROR(Expect(TokenType::kAnd));
+        FTS_ASSIGN_OR_RETURN(const Value hi, ParseLiteral());
+        statement->predicates.push_back({column, CompareOp::kGe, lo});
+        statement->predicates.push_back(
+            {std::move(column), CompareOp::kLe, hi});
+        return Status::Ok();
+      }
+      case TokenType::kEq:
+      case TokenType::kNe:
+      case TokenType::kLt:
+      case TokenType::kLe:
+      case TokenType::kGt:
+      case TokenType::kGe: {
+        Advance();
+        CompareOp op = CompareOp::kEq;
+        switch (op_token.type) {
+          case TokenType::kEq:
+            op = CompareOp::kEq;
+            break;
+          case TokenType::kNe:
+            op = CompareOp::kNe;
+            break;
+          case TokenType::kLt:
+            op = CompareOp::kLt;
+            break;
+          case TokenType::kLe:
+            op = CompareOp::kLe;
+            break;
+          case TokenType::kGt:
+            op = CompareOp::kGt;
+            break;
+          case TokenType::kGe:
+            op = CompareOp::kGe;
+            break;
+          default:
+            break;
+        }
+        FTS_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+        statement->predicates.push_back(
+            {std::move(column), op, std::move(literal)});
+        return Status::Ok();
+      }
+      default:
+        return UnexpectedToken("comparison operator or BETWEEN");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectStatement> ParseSelect(const std::string& sql) {
+  FTS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace fts

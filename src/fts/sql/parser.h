@@ -1,0 +1,25 @@
+#ifndef FTS_SQL_PARSER_H_
+#define FTS_SQL_PARSER_H_
+
+#include <string>
+
+#include "fts/common/status.h"
+#include "fts/sql/ast.h"
+
+namespace fts {
+
+// Parses the evaluated query family (see SelectStatement). Errors carry
+// the byte position and what was expected. Grammar (EBNF):
+//
+//   select    := SELECT projection FROM identifier [WHERE conjunction] [;]
+//   projection:= COUNT ( * ) | * | identifier {, identifier}
+//   conjunction := predicate {AND predicate}
+//   predicate := identifier compare literal
+//              | identifier BETWEEN literal AND literal
+//   compare   := = | <> | != | < | <= | > | >=
+//   literal   := [+|-] number
+StatusOr<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace fts
+
+#endif  // FTS_SQL_PARSER_H_

@@ -1,0 +1,54 @@
+#ifndef FTS_SQL_TOKEN_H_
+#define FTS_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fts {
+
+enum class TokenType : uint8_t {
+  kIdentifier = 0,
+  kNumber,
+  kComma,
+  kStar,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kEq,        // =
+  kNe,        // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kMinus,
+  kPlus,
+  // Keywords (case-insensitive in the source).
+  kSelect,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kFrom,
+  kWhere,
+  kAnd,
+  kBetween,
+  kOrder,
+  kBy,
+  kAsc,
+  kDesc,
+  kLimit,
+  kEndOfInput,
+};
+
+const char* TokenTypeToString(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEndOfInput;
+  std::string text;   // Original spelling (identifier/number).
+  size_t position = 0;  // Byte offset in the query, for error messages.
+};
+
+}  // namespace fts
+
+#endif  // FTS_SQL_TOKEN_H_

@@ -1,0 +1,154 @@
+#ifndef FTS_STORAGE_BITPACKED_COLUMN_H_
+#define FTS_STORAGE_BITPACKED_COLUMN_H_
+
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/macros.h"
+#include "fts/storage/column.h"
+#include "fts/storage/dictionary_util.h"
+
+namespace fts {
+
+// Bit-packed (null-suppressed) column — the paper's Future Work realized:
+// dictionary codes stored at ceil(log2(|dict|)) bits each, horizontally
+// packed ("SIMD-Scan" layout: code i occupies bits [i*b, (i+1)*b) of the
+// byte stream, little-endian within each 64-bit window).
+//
+// The fused scan handles these columns natively (see
+// fts/simd/kernels_avx512.cc): the first predicate unpacks a register's
+// worth of codes with gather+variable-shift+mask, and — the part the paper
+// calls "the main challenge" — follow-up predicates extract *single*
+// packed values at gathered positions by loading the 8-byte window that
+// contains the code and shifting it into place.
+//
+// The packed buffer carries kBitPackedSlackBytes of zero padding so an
+// 8-byte window load at the last code never reads past the allocation.
+inline constexpr size_t kBitPackedSlackBytes = 8;
+
+// Maximum supported code width. Any width <= 56 fits an 8-byte window
+// loaded at byte granularity (shift < 8); 26 is the practical cap because
+// wider codes defeat the purpose of packing 32-bit dictionary codes (use a
+// plain DictionaryColumn instead).
+inline constexpr int kMaxPackedBits = 26;
+
+template <typename T>
+class BitPackedColumn final : public BaseColumn {
+ public:
+  // Builds the dictionary, derives the minimal bit width, and packs the
+  // codes. Columns whose dictionary needs more than kMaxPackedBits fall
+  // back to width kMaxPackedBits only if they fit; otherwise callers
+  // should use DictionaryColumn (FromValues CHECKs).
+  static BitPackedColumn FromValues(const AlignedVector<T>& values) {
+    std::vector<T> dictionary = BuildSortedDictionary(values);
+    const int bits = BitWidthFor(dictionary.size());
+    FTS_CHECK_MSG(bits <= kMaxPackedBits,
+                  "dictionary too large for bit-packing; use "
+                  "DictionaryColumn");
+    AlignedVector<uint8_t> packed(
+        PackedBytes(values.size(), bits) + kBitPackedSlackBytes, 0);
+    size_t row = 0;
+    for (const T& value : values) {
+      const auto it =
+          std::lower_bound(dictionary.begin(), dictionary.end(), value);
+      const auto code = static_cast<uint64_t>(it - dictionary.begin());
+      WriteCode(packed.data(), row++, bits, code);
+    }
+    return BitPackedColumn(std::move(dictionary), std::move(packed),
+                           values.size(), bits);
+  }
+
+  BitPackedColumn(std::vector<T> dictionary, AlignedVector<uint8_t> packed,
+                  size_t rows, int bits)
+      : dictionary_(std::move(dictionary)),
+        packed_(std::move(packed)),
+        rows_(rows),
+        bits_(bits) {
+    FTS_CHECK(bits_ >= 1 && bits_ <= kMaxPackedBits);
+    FTS_CHECK(packed_.size() >=
+              PackedBytes(rows_, bits_) + kBitPackedSlackBytes);
+  }
+
+  size_t size() const override { return rows_; }
+  DataType data_type() const override { return TypeTraits<T>::kType; }
+  ColumnEncoding encoding() const override {
+    return ColumnEncoding::kBitPacked;
+  }
+  // Scans read the packed byte stream; logical scan elements are uint32
+  // codes at packed_bit_width() bits each.
+  const void* scan_data() const override { return packed_.data(); }
+  DataType scan_type() const override { return DataType::kUInt32; }
+  uint8_t packed_bit_width() const override {
+    return static_cast<uint8_t>(bits_);
+  }
+  Value GetValue(size_t row) const override {
+    return dictionary_[CodeAt(row)];
+  }
+
+  // Decoded code of `row` (scalar reference for the SIMD unpack paths).
+  uint32_t CodeAt(size_t row) const {
+    FTS_DCHECK(row < rows_);
+    return ExtractCode(packed_.data(), row, bits_);
+  }
+
+  const std::vector<T>& dictionary() const { return dictionary_; }
+  int bit_width() const { return bits_; }
+  size_t packed_bytes() const { return PackedBytes(rows_, bits_); }
+
+  // Compression ratio versus a plain uint32 code vector.
+  double CompressionVsCodes() const {
+    return static_cast<double>(rows_ * sizeof(uint32_t)) /
+           static_cast<double>(packed_bytes());
+  }
+
+  DictionaryPredicate TranslatePredicate(CompareOp op, T search_value) const {
+    return TranslateSortedDictionaryPredicate(dictionary_, op, search_value);
+  }
+
+  // --- Packing primitives (shared with tests and the scalar kernel) ---
+
+  static int BitWidthFor(size_t dictionary_size) {
+    if (dictionary_size <= 2) return 1;
+    return std::bit_width(dictionary_size - 1);
+  }
+
+  static size_t PackedBytes(size_t rows, int bits) {
+    return (rows * static_cast<size_t>(bits) + 7) / 8;
+  }
+
+  // Reads the b-bit code of `row` from an 8-byte window at byte
+  // granularity — exactly the dataflow the SIMD gather stage uses.
+  static uint32_t ExtractCode(const uint8_t* packed, size_t row, int bits) {
+    const size_t bit_offset = row * static_cast<size_t>(bits);
+    const size_t byte_offset = bit_offset >> 3;
+    const int shift = static_cast<int>(bit_offset & 7);
+    uint64_t window;
+    __builtin_memcpy(&window, packed + byte_offset, sizeof(window));
+    const uint64_t mask = (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+    return static_cast<uint32_t>((window >> shift) & mask);
+  }
+
+  static void WriteCode(uint8_t* packed, size_t row, int bits,
+                        uint64_t code) {
+    const size_t bit_offset = row * static_cast<size_t>(bits);
+    const size_t byte_offset = bit_offset >> 3;
+    const int shift = static_cast<int>(bit_offset & 7);
+    uint64_t window;
+    __builtin_memcpy(&window, packed + byte_offset, sizeof(window));
+    const uint64_t mask = ((1ull << bits) - 1) << shift;
+    window = (window & ~mask) | ((code << shift) & mask);
+    __builtin_memcpy(packed + byte_offset, &window, sizeof(window));
+  }
+
+ private:
+  std::vector<T> dictionary_;
+  AlignedVector<uint8_t> packed_;
+  size_t rows_;
+  int bits_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_BITPACKED_COLUMN_H_

@@ -1,0 +1,44 @@
+#ifndef FTS_STORAGE_CHUNK_H_
+#define FTS_STORAGE_CHUNK_H_
+
+#include <vector>
+
+#include "fts/common/macros.h"
+#include "fts/storage/column.h"
+
+namespace fts {
+
+// One horizontal partition of a table (paper footnote 1: tables "can be
+// horizontally partitioned into chunks or morsels"). All columns of a chunk
+// have the same row count. Chunks are immutable after construction.
+class Chunk {
+ public:
+  explicit Chunk(std::vector<ColumnPtr> columns)
+      : columns_(std::move(columns)) {
+    FTS_CHECK(!columns_.empty());
+    for (const auto& column : columns_) {
+      FTS_CHECK(column != nullptr);
+      FTS_CHECK(column->size() == columns_.front()->size());
+    }
+  }
+
+  size_t row_count() const { return columns_.front()->size(); }
+  size_t column_count() const { return columns_.size(); }
+
+  const BaseColumn& column(size_t index) const {
+    FTS_CHECK(index < columns_.size());
+    return *columns_[index];
+  }
+
+  ColumnPtr column_ptr(size_t index) const {
+    FTS_CHECK(index < columns_.size());
+    return columns_[index];
+  }
+
+ private:
+  std::vector<ColumnPtr> columns_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_CHUNK_H_

@@ -1,0 +1,55 @@
+#ifndef FTS_STORAGE_COLUMN_H_
+#define FTS_STORAGE_COLUMN_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "fts/storage/data_type.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+enum class ColumnEncoding : uint8_t {
+  kPlain = 0,       // ValueColumn<T>: contiguous unencoded values.
+  kDictionary = 1,  // DictionaryColumn<T>: sorted dictionary + uint32 codes.
+  kBitPacked = 2,   // BitPackedColumn<T>: dictionary + b-bit packed codes
+                    // (null suppression; the paper's Future Work).
+};
+
+// Abstract column interface. Columns are immutable once attached to a
+// chunk; scans access the contiguous fixed-size representation via
+// scan_data()/scan_type() (for dictionary columns that is the code vector,
+// per the paper's assumption 3: dictionary encoding yields fixed-size
+// scannable values).
+class BaseColumn {
+ public:
+  virtual ~BaseColumn() = default;
+
+  virtual size_t size() const = 0;
+
+  // Logical value type of the column as declared in the schema.
+  virtual DataType data_type() const = 0;
+
+  virtual ColumnEncoding encoding() const = 0;
+
+  // The fixed-size array that scan kernels read. For plain columns this is
+  // the value array (element type == data_type()); for dictionary columns
+  // it is the uint32 code vector; for bit-packed columns it is the packed
+  // byte stream (logical elements are uint32 codes of packed_bit_width()
+  // bits).
+  virtual const void* scan_data() const = 0;
+  virtual DataType scan_type() const = 0;
+
+  // Code width in bits for bit-packed columns; 0 for every other encoding.
+  virtual uint8_t packed_bit_width() const { return 0; }
+
+  // Boxed value at `row` (decoded for dictionary columns). For result
+  // materialization and tests, not for hot paths.
+  virtual Value GetValue(size_t row) const = 0;
+};
+
+using ColumnPtr = std::shared_ptr<const BaseColumn>;
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_COLUMN_H_

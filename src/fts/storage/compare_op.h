@@ -1,0 +1,56 @@
+#ifndef FTS_STORAGE_COMPARE_OP_H_
+#define FTS_STORAGE_COMPARE_OP_H_
+
+#include <cstdint>
+
+namespace fts {
+
+// The six comparison operators from Section V of the paper. The numeric
+// values match the _MM_CMPINT_* immediates used by AVX-512's
+// _mm512_cmp_ep{i,u}32_mask, so kernels can pass the enum straight through:
+//   EQ=0, LT=1, LE=2, NE=4, GE=5, GT=6.
+enum class CompareOp : uint8_t {
+  kEq = 0,
+  kLt = 1,
+  kLe = 2,
+  kNe = 4,
+  kGe = 5,
+  kGt = 6,
+};
+
+inline constexpr CompareOp kAllCompareOps[] = {
+    CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+    CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+
+// SQL spelling: "=", "<>", "<", "<=", ">", ">=".
+const char* CompareOpToString(CompareOp op);
+
+// Logical negation: Eq<->Ne, Lt<->Ge, Le<->Gt.
+CompareOp NegateCompareOp(CompareOp op);
+
+// Operand swap: a op b  ==  b Flip(op) a.
+CompareOp FlipCompareOp(CompareOp op);
+
+// Scalar reference semantics. Every SIMD kernel is tested against this.
+template <typename T>
+inline bool EvaluateCompare(CompareOp op, T lhs, T rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_COMPARE_OP_H_

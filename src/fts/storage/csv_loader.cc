@@ -1,0 +1,129 @@
+#include "fts/storage/csv_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+namespace {
+
+StatusOr<std::vector<ColumnDefinition>> ParseTypedHeader(
+    const std::string& line, char delimiter) {
+  std::vector<ColumnDefinition> schema;
+  for (const std::string& field : Split(line, delimiter)) {
+    const auto parts = Split(std::string(Trim(field)), ':');
+    if (parts.size() != 2) {
+      return Status::InvalidArgument(StrFormat(
+          "header field '%s' is not 'name:type'", field.c_str()));
+    }
+    ColumnDefinition def;
+    def.name = std::string(Trim(parts[0]));
+    if (def.name.empty()) {
+      return Status::InvalidArgument("empty column name in header");
+    }
+    if (!TryParseDataType(ToLower(Trim(parts[1])), &def.type)) {
+      return Status::InvalidArgument(
+          StrFormat("unknown type '%s' for column '%s'", parts[1].c_str(),
+                    def.name.c_str()));
+    }
+    schema.push_back(std::move(def));
+  }
+  if (schema.empty()) {
+    return Status::InvalidArgument("empty CSV header");
+  }
+  return schema;
+}
+
+}  // namespace
+
+StatusOr<TablePtr> LoadCsvFromString(const std::string& text,
+                                     const CsvOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+
+  std::vector<ColumnDefinition> schema = options.schema;
+  bool consumed_header = false;
+  if (schema.empty()) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("empty CSV input");
+    }
+    FTS_ASSIGN_OR_RETURN(schema, ParseTypedHeader(line, options.delimiter));
+    consumed_header = true;
+  }
+  if (options.expect_header && !consumed_header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("missing CSV header");
+    }
+  }
+
+  TableBuilder builder(schema, options.chunk_size);
+  for (const std::string& name : options.dictionary_columns) {
+    size_t index = schema.size();
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (schema[c].name == name) index = c;
+    }
+    if (index == schema.size()) {
+      return Status::NotFound(
+          StrFormat("dictionary column '%s' not in schema", name.c_str()));
+    }
+    builder.SetDictionaryEncoded(index);
+  }
+  for (const std::string& name : options.bitpacked_columns) {
+    size_t index = schema.size();
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (schema[c].name == name) index = c;
+    }
+    if (index == schema.size()) {
+      return Status::NotFound(
+          StrFormat("bit-packed column '%s' not in schema", name.c_str()));
+    }
+    builder.SetBitPacked(index);
+  }
+
+  size_t line_number = consumed_header || options.expect_header ? 1 : 0;
+  std::vector<Value> row(schema.size());
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(std::string(trimmed), options.delimiter);
+    if (fields.size() != schema.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, schema has %zu columns",
+                    line_number, fields.size(), schema.size()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      auto parsed = ParseNumericLiteral(std::string(Trim(fields[c])));
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu, column '%s': %s", line_number,
+                      schema[c].name.c_str(),
+                      parsed.status().message().c_str()));
+      }
+      auto casted = CastValue(*parsed, schema[c].type);
+      if (!casted.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu, column '%s': %s", line_number,
+                      schema[c].name.c_str(),
+                      casted.status().message().c_str()));
+      }
+      row[c] = *casted;
+    }
+    FTS_RETURN_IF_ERROR(builder.AppendRow(row));
+  }
+  return builder.Build();
+}
+
+StatusOr<TablePtr> LoadCsvFile(const std::string& path,
+                               const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsvFromString(buffer.str(), options);
+}
+
+}  // namespace fts

@@ -1,0 +1,39 @@
+#ifndef FTS_STORAGE_CSV_LOADER_H_
+#define FTS_STORAGE_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "fts/common/status.h"
+#include "fts/storage/table.h"
+#include "fts/storage/table_builder.h"
+
+namespace fts {
+
+// CSV ingestion for the example applications and the SQL shell. Numeric
+// fields only (the engine stores the ten fixed-size types).
+struct CsvOptions {
+  char delimiter = ',';
+  // When empty, the first line must be a typed header "name:type,..."
+  // with types from DataTypeToString (or SQL aliases like "int").
+  // When set, a header line (names only or typed) is still consumed if
+  // `expect_header` is true.
+  std::vector<ColumnDefinition> schema;
+  bool expect_header = true;
+  size_t chunk_size = kDefaultChunkSize;
+  // Columns to dictionary-encode / bit-pack, by name.
+  std::vector<std::string> dictionary_columns;
+  std::vector<std::string> bitpacked_columns;
+};
+
+// Parses CSV text into a table.
+StatusOr<TablePtr> LoadCsvFromString(const std::string& text,
+                                     const CsvOptions& options);
+
+// Reads and parses a CSV file.
+StatusOr<TablePtr> LoadCsvFile(const std::string& path,
+                               const CsvOptions& options);
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_CSV_LOADER_H_

@@ -1,0 +1,176 @@
+#include "fts/storage/data_generator.h"
+
+#include <cmath>
+
+#include "fts/common/string_util.h"
+#include "fts/storage/dictionary_column.h"
+#include "fts/storage/table_builder.h"
+#include "fts/storage/value_column.h"
+
+namespace fts {
+
+std::vector<uint8_t> ExactSelectivityMask(size_t rows, size_t matches,
+                                          Xoshiro256& rng) {
+  FTS_CHECK(matches <= rows);
+  std::vector<uint8_t> mask(rows, 0);
+  size_t remaining_matches = matches;
+  size_t remaining_rows = rows;
+  for (size_t i = 0; i < rows && remaining_matches > 0; ++i) {
+    // P(match) = remaining_matches / remaining_rows gives a uniformly
+    // random subset of exactly `matches` positions.
+    if (rng.NextBounded(remaining_rows) < remaining_matches) {
+      mask[i] = 1;
+      --remaining_matches;
+    }
+    --remaining_rows;
+  }
+  return mask;
+}
+
+size_t MatchCountForSelectivity(size_t rows, double selectivity) {
+  FTS_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  if (rows == 0) return 0;
+  auto count = static_cast<size_t>(
+      std::llround(static_cast<double>(rows) * selectivity));
+  if (count == 0 && selectivity > 0.0) count = 1;
+  return std::min(count, rows);
+}
+
+namespace {
+
+// Search value for predicate i; the paper's example uses a = 5, b = 2.
+int32_t SearchValueForPredicate(size_t i) {
+  static constexpr int32_t kValues[] = {5, 2, 7, 3, 9, 11, 13, 17};
+  if (i < sizeof(kValues) / sizeof(kValues[0])) return kValues[i];
+  return static_cast<int32_t>(2 * i + 1);
+}
+
+// Exact-count mask restricted to a subset: rows where `subset[i] != 0`
+// receive exactly `matches` ones; rows outside the subset receive ones
+// independently with the same fraction (exact within their own group).
+std::vector<uint8_t> ExactMaskWithinSubset(const std::vector<uint8_t>& subset,
+                                           double fraction, Xoshiro256& rng) {
+  size_t in = 0;
+  for (const uint8_t s : subset) in += (s != 0);
+  const size_t out = subset.size() - in;
+
+  const size_t in_matches = MatchCountForSelectivity(in, fraction);
+  const size_t out_matches = MatchCountForSelectivity(out, fraction);
+
+  std::vector<uint8_t> mask(subset.size(), 0);
+  size_t in_remaining_rows = in, in_remaining_matches = in_matches;
+  size_t out_remaining_rows = out, out_remaining_matches = out_matches;
+  for (size_t i = 0; i < subset.size(); ++i) {
+    if (subset[i] != 0) {
+      if (in_remaining_matches > 0 &&
+          rng.NextBounded(in_remaining_rows) < in_remaining_matches) {
+        mask[i] = 1;
+        --in_remaining_matches;
+      }
+      --in_remaining_rows;
+    } else {
+      if (out_remaining_matches > 0 &&
+          rng.NextBounded(out_remaining_rows) < out_remaining_matches) {
+        mask[i] = 1;
+        --out_remaining_matches;
+      }
+      --out_remaining_rows;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+GeneratedScanTable MakeScanTable(const ScanTableOptions& options) {
+  FTS_CHECK(options.rows > 0);
+  FTS_CHECK(!options.selectivities.empty());
+  Xoshiro256 rng(options.seed);
+
+  const size_t num_predicates = options.selectivities.size();
+  GeneratedScanTable result;
+  result.search_values.reserve(num_predicates);
+  result.stage_matches.reserve(num_predicates);
+
+  // Non-match values land far away from every search value.
+  constexpr int32_t kNonMatchMin = 1000;
+  constexpr int32_t kNonMatchMax = 1 << 30;
+
+  std::vector<ColumnDefinition> schema;
+  schema.reserve(num_predicates);
+  std::vector<ColumnPtr> columns;
+  columns.reserve(num_predicates);
+
+  // Survivor mask of the prefix conjunction; predicate 0 starts with all
+  // rows "surviving".
+  std::vector<uint8_t> survivors(options.rows, 1);
+
+  for (size_t p = 0; p < num_predicates; ++p) {
+    const int32_t search_value = SearchValueForPredicate(p);
+    result.search_values.push_back(search_value);
+
+    const std::vector<uint8_t> match_mask =
+        ExactMaskWithinSubset(survivors, options.selectivities[p], rng);
+
+    AlignedVector<int32_t> values = FillFromMask<int32_t>(
+        match_mask, search_value, kNonMatchMin, kNonMatchMax, rng);
+
+    if (options.dictionary_encode) {
+      columns.push_back(std::make_shared<DictionaryColumn<int32_t>>(
+          DictionaryColumn<int32_t>::FromValues(values)));
+    } else {
+      columns.push_back(
+          std::make_shared<ValueColumn<int32_t>>(std::move(values)));
+    }
+    schema.push_back({StrFormat("c%zu", p), DataType::kInt32});
+
+    uint64_t surviving = 0;
+    for (size_t i = 0; i < options.rows; ++i) {
+      survivors[i] = static_cast<uint8_t>(survivors[i] & match_mask[i]);
+      surviving += survivors[i];
+    }
+    result.stage_matches.push_back(surviving);
+  }
+  result.final_mask = std::move(survivors);
+
+  // Partition the generated columns into chunks if requested. Columns were
+  // built whole; chunking slices them row-wise.
+  const size_t chunk_size =
+      options.chunk_size == 0 ? options.rows : options.chunk_size;
+  TableBuilder builder(schema, chunk_size);
+  if (chunk_size >= options.rows) {
+    FTS_CHECK(builder.AddChunk(std::move(columns)).ok());
+  } else {
+    for (size_t start = 0; start < options.rows; start += chunk_size) {
+      const size_t len = std::min(chunk_size, options.rows - start);
+      std::vector<ColumnPtr> chunk_columns;
+      chunk_columns.reserve(columns.size());
+      for (const auto& column : columns) {
+        // Slice [start, start+len). Columns here are always the int32
+        // variants created above.
+        if (column->encoding() == ColumnEncoding::kPlain) {
+          const auto& full =
+              static_cast<const ValueColumn<int32_t>&>(*column);
+          AlignedVector<int32_t> slice(full.values().begin() + start,
+                                       full.values().begin() + start + len);
+          chunk_columns.push_back(
+              std::make_shared<ValueColumn<int32_t>>(std::move(slice)));
+        } else {
+          const auto& full =
+              static_cast<const DictionaryColumn<int32_t>&>(*column);
+          AlignedVector<int32_t> slice(len);
+          for (size_t i = 0; i < len; ++i) {
+            slice[i] = full.dictionary()[full.codes()[start + i]];
+          }
+          chunk_columns.push_back(std::make_shared<DictionaryColumn<int32_t>>(
+              DictionaryColumn<int32_t>::FromValues(slice)));
+        }
+      }
+      FTS_CHECK(builder.AddChunk(std::move(chunk_columns)).ok());
+    }
+  }
+  result.table = builder.Build();
+  return result;
+}
+
+}  // namespace fts

@@ -1,0 +1,116 @@
+#ifndef FTS_STORAGE_DATA_GENERATOR_H_
+#define FTS_STORAGE_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/macros.h"
+#include "fts/common/random.h"
+#include "fts/storage/table.h"
+
+namespace fts {
+
+// Deterministic workload generation for the paper's experiments. All
+// functions take explicit RNGs/seeds; the same seed reproduces the same
+// table bit-for-bit.
+
+// Produces a 0/1 mask of `rows` entries with *exactly* `matches` ones,
+// uniformly distributed, in O(rows) using sequential hypergeometric
+// sampling (each row is a match with probability remaining_matches /
+// remaining_rows). The paper's selectivity grids go down to 0.0001 %, where
+// Bernoulli sampling would miss the target count by large relative error.
+std::vector<uint8_t> ExactSelectivityMask(size_t rows, size_t matches,
+                                          Xoshiro256& rng);
+
+// Number of matching rows for a fractional selectivity in [0, 1]:
+// round(rows * selectivity), clamped to [0, rows]; selects at least 1 row
+// when selectivity > 0 and rows > 0 so tiny grids stay non-degenerate.
+size_t MatchCountForSelectivity(size_t rows, double selectivity);
+
+// Uniform value in [lo, hi] (inclusive) for any supported column type.
+template <typename T>
+T UniformValue(T lo, T hi, Xoshiro256& rng) {
+  FTS_DCHECK(lo <= hi);
+  if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(lo + (hi - lo) * rng.NextDouble());
+  } else if constexpr (std::is_signed_v<T>) {
+    return static_cast<T>(rng.NextInRange(lo, hi));
+  } else {
+    const uint64_t span = static_cast<uint64_t>(hi) - lo;
+    if (span == ~0ULL) return static_cast<T>(rng.Next());
+    return static_cast<T>(static_cast<uint64_t>(lo) +
+                          rng.NextBounded(span + 1));
+  }
+}
+
+// Fills a column where mask[i] != 0 receives `match_value` and other rows
+// receive uniform values in [non_match_min, non_match_max] excluding
+// `match_value`.
+template <typename T>
+AlignedVector<T> FillFromMask(const std::vector<uint8_t>& mask,
+                              T match_value, T non_match_min,
+                              T non_match_max, Xoshiro256& rng) {
+  AlignedVector<T> values;
+  values.reserve(mask.size());
+  for (const uint8_t is_match : mask) {
+    if (is_match != 0) {
+      values.push_back(match_value);
+      continue;
+    }
+    T v = UniformValue(non_match_min, non_match_max, rng);
+    while (v == match_value) {
+      v = UniformValue(non_match_min, non_match_max, rng);
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+// Uniform random column in [lo, hi] inclusive.
+template <typename T>
+AlignedVector<T> GenerateUniformColumn(size_t rows, T lo, T hi,
+                                       Xoshiro256& rng) {
+  AlignedVector<T> values;
+  values.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    values.push_back(UniformValue(lo, hi, rng));
+  }
+  return values;
+}
+
+// A generated multi-column scan table plus the ground truth the
+// benchmarks/tests verify against.
+struct GeneratedScanTable {
+  TablePtr table;
+  // Search value of predicate i (predicate i is: column "c<i>" = value).
+  std::vector<int32_t> search_values;
+  // Number of rows surviving predicates 0..i (prefix conjunction).
+  std::vector<uint64_t> stage_matches;
+  // Row-level survivor mask after all predicates (for oracle checks).
+  std::vector<uint8_t> final_mask;
+};
+
+// Options for MakeScanTable.
+struct ScanTableOptions {
+  size_t rows = 0;
+  // selectivities[0] is the fraction of all rows matching predicate 0;
+  // selectivities[i>0] is the fraction of *surviving* rows matching
+  // predicate i (the paper's Fig. 7 convention: "1 % of all rows qualify
+  // and for following predicates 50 % of the remaining rows match").
+  // Rows already disqualified match predicate i independently with the
+  // same probability, which preserves realistic branch behaviour for the
+  // scalar baseline.
+  std::vector<double> selectivities;
+  uint64_t seed = 42;
+  size_t chunk_size = 0;  // 0 = single chunk.
+  bool dictionary_encode = false;
+};
+
+// Builds an int32 table with columns c0..c(N-1) following `options`.
+GeneratedScanTable MakeScanTable(const ScanTableOptions& options);
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_DATA_GENERATOR_H_

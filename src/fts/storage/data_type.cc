@@ -1,0 +1,115 @@
+#include "fts/storage/data_type.h"
+
+#include "fts/common/macros.h"
+
+namespace fts {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+      return "int8";
+    case DataType::kInt16:
+      return "int16";
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kUInt8:
+      return "uint8";
+    case DataType::kUInt16:
+      return "uint16";
+    case DataType::kUInt32:
+      return "uint32";
+    case DataType::kUInt64:
+      return "uint64";
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kFloat64:
+      return "float64";
+  }
+  return "unknown";
+}
+
+bool TryParseDataType(const std::string& name, DataType* out) {
+  for (int i = 0; i < kNumDataTypes; ++i) {
+    const DataType type = static_cast<DataType>(i);
+    if (name == DataTypeToString(type)) {
+      *out = type;
+      return true;
+    }
+  }
+  // Common SQL aliases.
+  if (name == "int" || name == "integer") {
+    *out = DataType::kInt32;
+    return true;
+  }
+  if (name == "bigint") {
+    *out = DataType::kInt64;
+    return true;
+  }
+  if (name == "smallint") {
+    *out = DataType::kInt16;
+    return true;
+  }
+  if (name == "tinyint") {
+    *out = DataType::kInt8;
+    return true;
+  }
+  if (name == "float" || name == "real") {
+    *out = DataType::kFloat32;
+    return true;
+  }
+  if (name == "double") {
+    *out = DataType::kFloat64;
+    return true;
+  }
+  return false;
+}
+
+DataType DataTypeFromString(const std::string& name) {
+  DataType type{};
+  FTS_CHECK_MSG(TryParseDataType(name, &type), name.c_str());
+  return type;
+}
+
+size_t DataTypeSize(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+    case DataType::kUInt8:
+      return 1;
+    case DataType::kInt16:
+    case DataType::kUInt16:
+      return 2;
+    case DataType::kInt32:
+    case DataType::kUInt32:
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kUInt64:
+    case DataType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+bool DataTypeIsSigned(DataType type) {
+  switch (type) {
+    case DataType::kInt8:
+    case DataType::kInt16:
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kFloat32:
+    case DataType::kFloat64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool DataTypeIsFloat(DataType type) {
+  return type == DataType::kFloat32 || type == DataType::kFloat64;
+}
+
+bool DataTypeIsInteger(DataType type) { return !DataTypeIsFloat(type); }
+
+}  // namespace fts

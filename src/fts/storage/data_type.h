@@ -1,0 +1,128 @@
+#ifndef FTS_STORAGE_DATA_TYPE_H_
+#define FTS_STORAGE_DATA_TYPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fts {
+
+// The ten fixed-size value types the paper's Section V enumerates: signed
+// and unsigned integers of 1/2/4/8 bytes plus float and double.
+enum class DataType : uint8_t {
+  kInt8 = 0,
+  kInt16,
+  kInt32,
+  kInt64,
+  kUInt8,
+  kUInt16,
+  kUInt32,
+  kUInt64,
+  kFloat32,
+  kFloat64,
+};
+
+inline constexpr int kNumDataTypes = 10;
+
+// Stable lowercase names used by the SQL frontend and the JIT code
+// generator, e.g. "int32".
+const char* DataTypeToString(DataType type);
+
+// Parses the names produced by DataTypeToString. Aborts on unknown names;
+// use TryParseDataType for user input.
+DataType DataTypeFromString(const std::string& name);
+bool TryParseDataType(const std::string& name, DataType* out);
+
+size_t DataTypeSize(DataType type);
+bool DataTypeIsSigned(DataType type);
+bool DataTypeIsFloat(DataType type);
+bool DataTypeIsInteger(DataType type);
+
+// Maps C++ types to their DataType tag. Specialized for the ten types.
+template <typename T>
+struct TypeTraits;
+
+template <>
+struct TypeTraits<int8_t> {
+  static constexpr DataType kType = DataType::kInt8;
+  static constexpr const char* kName = "int8";
+};
+template <>
+struct TypeTraits<int16_t> {
+  static constexpr DataType kType = DataType::kInt16;
+  static constexpr const char* kName = "int16";
+};
+template <>
+struct TypeTraits<int32_t> {
+  static constexpr DataType kType = DataType::kInt32;
+  static constexpr const char* kName = "int32";
+};
+template <>
+struct TypeTraits<int64_t> {
+  static constexpr DataType kType = DataType::kInt64;
+  static constexpr const char* kName = "int64";
+};
+template <>
+struct TypeTraits<uint8_t> {
+  static constexpr DataType kType = DataType::kUInt8;
+  static constexpr const char* kName = "uint8";
+};
+template <>
+struct TypeTraits<uint16_t> {
+  static constexpr DataType kType = DataType::kUInt16;
+  static constexpr const char* kName = "uint16";
+};
+template <>
+struct TypeTraits<uint32_t> {
+  static constexpr DataType kType = DataType::kUInt32;
+  static constexpr const char* kName = "uint32";
+};
+template <>
+struct TypeTraits<uint64_t> {
+  static constexpr DataType kType = DataType::kUInt64;
+  static constexpr const char* kName = "uint64";
+};
+template <>
+struct TypeTraits<float> {
+  static constexpr DataType kType = DataType::kFloat32;
+  static constexpr const char* kName = "float32";
+};
+template <>
+struct TypeTraits<double> {
+  static constexpr DataType kType = DataType::kFloat64;
+  static constexpr const char* kName = "float64";
+};
+
+// Invokes `fn` with a value of the C++ type corresponding to `type`,
+// i.e. fn(T{}). Central dispatch point from runtime DataType tags into
+// templated code.
+template <typename Fn>
+decltype(auto) DispatchDataType(DataType type, Fn&& fn) {
+  switch (type) {
+    case DataType::kInt8:
+      return fn(int8_t{});
+    case DataType::kInt16:
+      return fn(int16_t{});
+    case DataType::kInt32:
+      return fn(int32_t{});
+    case DataType::kInt64:
+      return fn(int64_t{});
+    case DataType::kUInt8:
+      return fn(uint8_t{});
+    case DataType::kUInt16:
+      return fn(uint16_t{});
+    case DataType::kUInt32:
+      return fn(uint32_t{});
+    case DataType::kUInt64:
+      return fn(uint64_t{});
+    case DataType::kFloat32:
+      return fn(float{});
+    case DataType::kFloat64:
+      return fn(double{});
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_DATA_TYPE_H_

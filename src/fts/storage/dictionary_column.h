@@ -1,0 +1,67 @@
+#ifndef FTS_STORAGE_DICTIONARY_COLUMN_H_
+#define FTS_STORAGE_DICTIONARY_COLUMN_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/macros.h"
+#include "fts/storage/column.h"
+#include "fts/storage/compare_op.h"
+#include "fts/storage/dictionary_util.h"
+
+namespace fts {
+
+// Dictionary-encoded column: a sorted, duplicate-free dictionary of T plus
+// a fixed-width uint32 code per row. This realizes the paper's assumption 3
+// — any type becomes fixed-size scannable data — and the scan kernels
+// operate on the code vector directly.
+template <typename T>
+class DictionaryColumn final : public BaseColumn {
+ public:
+  // Builds dictionary and code vector from raw values.
+  static DictionaryColumn FromValues(const AlignedVector<T>& values) {
+    std::vector<T> dictionary = BuildSortedDictionary(values);
+    AlignedVector<uint32_t> codes;
+    codes.reserve(values.size());
+    for (const T& value : values) {
+      const auto it =
+          std::lower_bound(dictionary.begin(), dictionary.end(), value);
+      codes.push_back(static_cast<uint32_t>(it - dictionary.begin()));
+    }
+    return DictionaryColumn(std::move(dictionary), std::move(codes));
+  }
+
+  DictionaryColumn(std::vector<T> dictionary, AlignedVector<uint32_t> codes)
+      : dictionary_(std::move(dictionary)), codes_(std::move(codes)) {}
+
+  size_t size() const override { return codes_.size(); }
+  DataType data_type() const override { return TypeTraits<T>::kType; }
+  ColumnEncoding encoding() const override {
+    return ColumnEncoding::kDictionary;
+  }
+  // Scans run over the uint32 code vector.
+  const void* scan_data() const override { return codes_.data(); }
+  DataType scan_type() const override { return DataType::kUInt32; }
+  Value GetValue(size_t row) const override {
+    return dictionary_[codes_[row]];
+  }
+
+  const std::vector<T>& dictionary() const { return dictionary_; }
+  const AlignedVector<uint32_t>& codes() const { return codes_; }
+  size_t dictionary_size() const { return dictionary_.size(); }
+
+  // Rewrites (value `op` search_value) into a code-space predicate.
+  DictionaryPredicate TranslatePredicate(CompareOp op, T search_value) const {
+    return TranslateSortedDictionaryPredicate(dictionary_, op, search_value);
+  }
+
+ private:
+  std::vector<T> dictionary_;
+  AlignedVector<uint32_t> codes_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_DICTIONARY_COLUMN_H_

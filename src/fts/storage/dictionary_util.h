@@ -1,0 +1,104 @@
+#ifndef FTS_STORAGE_DICTIONARY_UTIL_H_
+#define FTS_STORAGE_DICTIONARY_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "fts/storage/compare_op.h"
+
+namespace fts {
+
+// Outcome of rewriting a value predicate into a predicate on dictionary
+// codes (shared by DictionaryColumn and BitPackedColumn, whose code spaces
+// are both sorted dictionaries). Because the dictionary is sorted, order
+// predicates translate to order predicates on codes; impossible predicates
+// collapse to kNone and tautologies to kAll, letting the scan skip work.
+struct DictionaryPredicate {
+  enum class Kind : uint8_t {
+    kNone = 0,     // No row can match.
+    kAll = 1,      // Every row matches.
+    kCompare = 2,  // Compare codes with `op` against `code`.
+  };
+  Kind kind = Kind::kNone;
+  CompareOp op = CompareOp::kEq;
+  uint32_t code = 0;
+};
+
+// Rewrites (value `op` search_value) into code space for a sorted,
+// duplicate-free `dictionary`.
+template <typename T>
+DictionaryPredicate TranslateSortedDictionaryPredicate(
+    const std::vector<T>& dictionary, CompareOp op, T search_value) {
+  const auto lb_it =
+      std::lower_bound(dictionary.begin(), dictionary.end(), search_value);
+  const uint32_t lb = static_cast<uint32_t>(lb_it - dictionary.begin());
+  const bool found = lb_it != dictionary.end() && *lb_it == search_value;
+  const uint32_t ub = found ? lb + 1 : lb;  // upper_bound for unique dict.
+  const uint32_t dict_size = static_cast<uint32_t>(dictionary.size());
+
+  DictionaryPredicate result;
+  switch (op) {
+    case CompareOp::kEq:
+      if (!found) return result;  // kNone.
+      result = {DictionaryPredicate::Kind::kCompare, CompareOp::kEq, lb};
+      return result;
+    case CompareOp::kNe:
+      if (!found) {
+        result.kind = DictionaryPredicate::Kind::kAll;
+        return result;
+      }
+      result = {DictionaryPredicate::Kind::kCompare, CompareOp::kNe, lb};
+      return result;
+    case CompareOp::kLt:
+      // code < lb  <=>  value < search_value.
+      if (lb == 0) return result;  // kNone.
+      if (lb >= dict_size) {
+        result.kind = DictionaryPredicate::Kind::kAll;
+        return result;
+      }
+      result = {DictionaryPredicate::Kind::kCompare, CompareOp::kLt, lb};
+      return result;
+    case CompareOp::kLe:
+      // code < ub  <=>  value <= search_value.
+      if (ub == 0) return result;  // kNone.
+      if (ub >= dict_size) {
+        result.kind = DictionaryPredicate::Kind::kAll;
+        return result;
+      }
+      result = {DictionaryPredicate::Kind::kCompare, CompareOp::kLt, ub};
+      return result;
+    case CompareOp::kGt:
+      // code >= ub  <=>  value > search_value.
+      if (ub >= dict_size) return result;  // kNone.
+      if (ub == 0) {
+        result.kind = DictionaryPredicate::Kind::kAll;
+        return result;
+      }
+      result = {DictionaryPredicate::Kind::kCompare, CompareOp::kGe, ub};
+      return result;
+    case CompareOp::kGe:
+      // code >= lb  <=>  value >= search_value.
+      if (lb >= dict_size) return result;  // kNone.
+      if (lb == 0) {
+        result.kind = DictionaryPredicate::Kind::kAll;
+        return result;
+      }
+      result = {DictionaryPredicate::Kind::kCompare, CompareOp::kGe, lb};
+      return result;
+  }
+  __builtin_unreachable();
+}
+
+// Builds the sorted duplicate-free dictionary for `values`.
+template <typename T, typename Alloc>
+std::vector<T> BuildSortedDictionary(const std::vector<T, Alloc>& values) {
+  std::vector<T> dictionary(values.begin(), values.end());
+  std::sort(dictionary.begin(), dictionary.end());
+  dictionary.erase(std::unique(dictionary.begin(), dictionary.end()),
+                   dictionary.end());
+  return dictionary;
+}
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_DICTIONARY_UTIL_H_

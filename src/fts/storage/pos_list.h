@@ -1,0 +1,53 @@
+#ifndef FTS_STORAGE_POS_LIST_H_
+#define FTS_STORAGE_POS_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+
+namespace fts {
+
+// Row offset within a chunk. 32 bits, matching the epi32 position lists the
+// fused scan keeps inside AVX registers (Fig. 3 of the paper).
+using ChunkOffset = uint32_t;
+
+// Chunk index within a table.
+using ChunkId = uint32_t;
+
+// A dense, aligned list of matching chunk offsets — the output of a scan
+// over one chunk and the input of the next operator.
+using PosList = AlignedVector<ChunkOffset>;
+
+// Fully-qualified row address (Hyrise-style RowID).
+struct RowId {
+  ChunkId chunk_id = 0;
+  ChunkOffset offset = 0;
+
+  friend bool operator==(const RowId& a, const RowId& b) {
+    return a.chunk_id == b.chunk_id && a.offset == b.offset;
+  }
+  friend auto operator<=>(const RowId& a, const RowId& b) = default;
+};
+
+// Scan result for one chunk.
+struct ChunkMatches {
+  ChunkId chunk_id = 0;
+  PosList positions;
+};
+
+// Scan result for a whole table: per-chunk position lists, in chunk order.
+struct TableMatches {
+  std::vector<ChunkMatches> chunks;
+
+  // Total number of matching rows across all chunks.
+  uint64_t TotalMatches() const {
+    uint64_t total = 0;
+    for (const auto& chunk : chunks) total += chunk.positions.size();
+    return total;
+  }
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_POS_LIST_H_

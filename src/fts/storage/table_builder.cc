@@ -1,0 +1,124 @@
+#include "fts/storage/table_builder.h"
+
+#include "fts/common/string_util.h"
+#include "fts/storage/bitpacked_column.h"
+#include "fts/storage/dictionary_column.h"
+#include "fts/storage/value_column.h"
+
+namespace fts {
+
+TableBuilder::TableBuilder(std::vector<ColumnDefinition> schema,
+                           size_t target_chunk_size)
+    : schema_(std::move(schema)), target_chunk_size_(target_chunk_size) {
+  FTS_CHECK(!schema_.empty());
+  FTS_CHECK(target_chunk_size_ > 0);
+  dictionary_encoded_.assign(schema_.size(), false);
+  bit_packed_.assign(schema_.size(), false);
+  ResetBuffers();
+}
+
+void TableBuilder::SetDictionaryEncoded(size_t column_index, bool encoded) {
+  FTS_CHECK(column_index < schema_.size());
+  dictionary_encoded_[column_index] = encoded;
+}
+
+void TableBuilder::SetBitPacked(size_t column_index, bool packed) {
+  FTS_CHECK(column_index < schema_.size());
+  bit_packed_[column_index] = packed;
+}
+
+void TableBuilder::ResetBuffers() {
+  buffers_.clear();
+  buffers_.reserve(schema_.size());
+  for (const auto& def : schema_) {
+    DispatchDataType(def.type, [&](auto tag) {
+      using T = decltype(tag);
+      buffers_.emplace_back(AlignedVector<T>{});
+    });
+  }
+}
+
+size_t TableBuilder::BufferedRows() const {
+  return std::visit([](const auto& buffer) { return buffer.size(); },
+                    buffers_.front());
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema has %zu columns",
+                  values.size(), schema_.size()));
+  }
+  // Validate all casts before mutating any buffer so a failed row is a
+  // no-op.
+  std::vector<Value> casted(values.size());
+  for (size_t c = 0; c < values.size(); ++c) {
+    FTS_ASSIGN_OR_RETURN(casted[c], CastValue(values[c], schema_[c].type));
+  }
+  for (size_t c = 0; c < casted.size(); ++c) {
+    std::visit(
+        [&](auto& buffer) {
+          using T = typename std::decay_t<decltype(buffer)>::value_type;
+          buffer.push_back(ValueAs<T>(casted[c]));
+        },
+        buffers_[c]);
+  }
+  if (BufferedRows() >= target_chunk_size_) FlushBufferedChunk();
+  return Status::Ok();
+}
+
+void TableBuilder::FlushBufferedChunk() {
+  if (BufferedRows() == 0) return;
+  std::vector<ColumnPtr> columns;
+  columns.reserve(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    std::visit(
+        [&](auto& buffer) {
+          using T = typename std::decay_t<decltype(buffer)>::value_type;
+          if (bit_packed_[c]) {
+            columns.push_back(std::make_shared<BitPackedColumn<T>>(
+                BitPackedColumn<T>::FromValues(buffer)));
+          } else if (dictionary_encoded_[c]) {
+            columns.push_back(std::make_shared<DictionaryColumn<T>>(
+                DictionaryColumn<T>::FromValues(buffer)));
+          } else {
+            columns.push_back(
+                std::make_shared<ValueColumn<T>>(std::move(buffer)));
+          }
+        },
+        buffers_[c]);
+  }
+  chunks_.push_back(std::make_shared<Chunk>(std::move(columns)));
+  ResetBuffers();
+}
+
+Status TableBuilder::AddChunk(std::vector<ColumnPtr> columns) {
+  if (columns.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("chunk has %zu columns, schema has %zu", columns.size(),
+                  schema_.size()));
+  }
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == nullptr) {
+      return Status::InvalidArgument("null column in chunk");
+    }
+    if (columns[c]->data_type() != schema_[c].type) {
+      return Status::InvalidArgument(StrFormat(
+          "column %zu has type %s, schema expects %s", c,
+          DataTypeToString(columns[c]->data_type()),
+          DataTypeToString(schema_[c].type)));
+    }
+  }
+  FlushBufferedChunk();
+  chunks_.push_back(std::make_shared<Chunk>(std::move(columns)));
+  return Status::Ok();
+}
+
+TablePtr TableBuilder::Build() {
+  FlushBufferedChunk();
+  auto table = std::make_shared<Table>(schema_, std::move(chunks_));
+  chunks_.clear();
+  return table;
+}
+
+}  // namespace fts

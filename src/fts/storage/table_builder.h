@@ -1,0 +1,75 @@
+#ifndef FTS_STORAGE_TABLE_BUILDER_H_
+#define FTS_STORAGE_TABLE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/status.h"
+#include "fts/storage/table.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+// Default number of rows per chunk when appending row-wise.
+inline constexpr size_t kDefaultChunkSize = 1 << 20;
+
+// Builds immutable Tables. Two usage modes:
+//
+//  1. Row-wise: AppendRow() buffers values and cuts chunks at
+//     `target_chunk_size` rows. Convenient for examples and tests.
+//  2. Column-wise bulk: AddChunk() attaches pre-built columns directly —
+//     the zero-copy path used by the benchmark data generator.
+//
+// Columns can be marked for dictionary or bit-packed encoding; row-wise
+// chunks then store a DictionaryColumn / BitPackedColumn instead of a
+// ValueColumn.
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::vector<ColumnDefinition> schema,
+                        size_t target_chunk_size = kDefaultChunkSize);
+
+  // Marks `column_index` to be dictionary-encoded in row-wise chunks.
+  void SetDictionaryEncoded(size_t column_index, bool encoded = true);
+
+  // Marks `column_index` to be bit-packed (null-suppressed) in row-wise
+  // chunks. Overrides SetDictionaryEncoded for the same column.
+  void SetBitPacked(size_t column_index, bool packed = true);
+
+  // Appends one row; `values` must match the schema arity and each value
+  // must be exactly representable in the column type.
+  Status AppendRow(const std::vector<Value>& values);
+
+  // Attaches a fully-built chunk (bulk path). Column types must match the
+  // schema. Any buffered row-wise data is flushed first to preserve order.
+  Status AddChunk(std::vector<ColumnPtr> columns);
+
+  // Finalizes and returns the table. The builder is left empty and can be
+  // reused for another table with the same schema.
+  TablePtr Build();
+
+ private:
+  using ColumnBuffer =
+      std::variant<AlignedVector<int8_t>, AlignedVector<int16_t>,
+                   AlignedVector<int32_t>, AlignedVector<int64_t>,
+                   AlignedVector<uint8_t>, AlignedVector<uint16_t>,
+                   AlignedVector<uint32_t>, AlignedVector<uint64_t>,
+                   AlignedVector<float>, AlignedVector<double>>;
+
+  void ResetBuffers();
+  void FlushBufferedChunk();
+  size_t BufferedRows() const;
+
+  std::vector<ColumnDefinition> schema_;
+  size_t target_chunk_size_;
+  std::vector<bool> dictionary_encoded_;
+  std::vector<bool> bit_packed_;
+  std::vector<ColumnBuffer> buffers_;
+  std::vector<std::shared_ptr<const Chunk>> chunks_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_TABLE_BUILDER_H_

@@ -1,0 +1,192 @@
+#include "fts/storage/table_statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <unordered_set>
+
+#include "fts/common/macros.h"
+#include "fts/storage/bitpacked_column.h"
+#include "fts/storage/dictionary_column.h"
+#include "fts/storage/value_column.h"
+
+namespace fts {
+namespace {
+
+// Accumulates stats for one column across chunks.
+struct Accumulator {
+  bool any = false;
+  double min = 0.0;
+  double max = 0.0;
+  std::unordered_set<double> sampled_distinct;
+  uint64_t sampled_rows = 0;
+  uint64_t exact_distinct_hint = 0;  // From dictionaries; max over chunks.
+  bool all_dictionary = true;
+
+  void AddValue(double v) {
+    if (!any) {
+      min = v;
+      max = v;
+      any = true;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+  }
+};
+
+template <typename T>
+void ScanPlainColumn(const ValueColumn<T>& column, size_t sample_limit,
+                     Accumulator* acc) {
+  const auto& values = column.values();
+  for (const T& v : values) acc->AddValue(static_cast<double>(v));
+  // Evenly-strided sample for the distinct estimate.
+  const size_t n = values.size();
+  const size_t stride = std::max<size_t>(1, n / std::max<size_t>(1, sample_limit));
+  for (size_t i = 0; i < n; i += stride) {
+    acc->sampled_distinct.insert(static_cast<double>(values[i]));
+    ++acc->sampled_rows;
+  }
+  acc->all_dictionary = false;
+}
+
+// Dictionary-backed encodings (kDictionary, kBitPacked) expose min/max and
+// exact distinct counts straight from the sorted dictionary.
+template <typename T>
+void ScanSortedDictionary(const std::vector<T>& dict, Accumulator* acc) {
+  if (!dict.empty()) {
+    acc->AddValue(static_cast<double>(dict.front()));
+    acc->AddValue(static_cast<double>(dict.back()));
+  }
+  acc->exact_distinct_hint =
+      std::max<uint64_t>(acc->exact_distinct_hint, dict.size());
+}
+
+}  // namespace
+
+TableStatistics TableStatistics::Compute(const Table& table,
+                                         size_t sample_limit) {
+  TableStatistics stats;
+  stats.row_count_ = table.row_count();
+  stats.columns_.resize(table.column_count());
+
+  for (size_t c = 0; c < table.column_count(); ++c) {
+    Accumulator acc;
+    for (ChunkId chunk_id = 0; chunk_id < table.chunk_count(); ++chunk_id) {
+      const BaseColumn& column = table.chunk(chunk_id).column(c);
+      DispatchDataType(column.data_type(), [&](auto tag) {
+        using T = decltype(tag);
+        switch (column.encoding()) {
+          case ColumnEncoding::kDictionary:
+            ScanSortedDictionary(
+                static_cast<const DictionaryColumn<T>&>(column)
+                    .dictionary(),
+                &acc);
+            break;
+          case ColumnEncoding::kBitPacked:
+            ScanSortedDictionary(
+                static_cast<const BitPackedColumn<T>&>(column).dictionary(),
+                &acc);
+            break;
+          case ColumnEncoding::kPlain:
+            ScanPlainColumn(static_cast<const ValueColumn<T>&>(column),
+                            sample_limit, &acc);
+            break;
+        }
+      });
+    }
+    ColumnStatistics& out = stats.columns_[c];
+    out.row_count = table.row_count();
+    out.min = acc.min;
+    out.max = acc.max;
+    if (acc.all_dictionary) {
+      out.distinct_count = static_cast<double>(acc.exact_distinct_hint);
+    } else if (acc.sampled_rows > 0) {
+      // Scale the sampled distinct count linearly, capped by the row count.
+      // A deliberate simple estimator; good enough for ordering predicates.
+      const double scale = static_cast<double>(table.row_count()) /
+                           static_cast<double>(acc.sampled_rows);
+      out.distinct_count =
+          std::min(static_cast<double>(table.row_count()),
+                   static_cast<double>(acc.sampled_distinct.size()) *
+                       std::sqrt(scale));
+    }
+    out.distinct_count = std::max(out.distinct_count, 1.0);
+  }
+  return stats;
+}
+
+const ColumnStatistics& TableStatistics::column(size_t index) const {
+  FTS_CHECK(index < columns_.size());
+  return columns_[index];
+}
+
+double TableStatistics::EstimateSelectivity(size_t column_index, CompareOp op,
+                                            const Value& value) const {
+  const ColumnStatistics& stats = column(column_index);
+  if (stats.row_count == 0) return 0.0;
+  const double v = ValueAs<double>(value);
+  const double width = stats.max - stats.min;
+
+  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+
+  switch (op) {
+    case CompareOp::kEq:
+      if (v < stats.min || v > stats.max) return 0.0;
+      return clamp01(1.0 / stats.distinct_count);
+    case CompareOp::kNe:
+      if (v < stats.min || v > stats.max) return 1.0;
+      return clamp01(1.0 - 1.0 / stats.distinct_count);
+    case CompareOp::kLt:
+      if (v <= stats.min) return 0.0;
+      if (v > stats.max) return 1.0;
+      if (width <= 0.0) return 0.0;
+      return clamp01((v - stats.min) / width);
+    case CompareOp::kLe:
+      if (v < stats.min) return 0.0;
+      if (v >= stats.max) return 1.0;
+      if (width <= 0.0) return 1.0;
+      return clamp01((v - stats.min) / width + 1.0 / stats.distinct_count);
+    case CompareOp::kGt:
+      if (v >= stats.max) return 0.0;
+      if (v < stats.min) return 1.0;
+      if (width <= 0.0) return 0.0;
+      return clamp01((stats.max - v) / width);
+    case CompareOp::kGe:
+      if (v > stats.max) return 0.0;
+      if (v <= stats.min) return 1.0;
+      if (width <= 0.0) return 1.0;
+      return clamp01((stats.max - v) / width + 1.0 / stats.distinct_count);
+  }
+  __builtin_unreachable();
+}
+
+std::shared_ptr<const TableStatistics> GetCachedStatistics(
+    const TablePtr& table) {
+  FTS_CHECK(table != nullptr);
+  struct Entry {
+    std::weak_ptr<const Table> guard;
+    std::shared_ptr<const TableStatistics> statistics;
+  };
+  // Function-local static reference, never destroyed (style guide:
+  // static storage duration objects must be trivially destructible).
+  static std::mutex& mutex = *new std::mutex();
+  static std::map<const Table*, Entry>& cache =
+      *new std::map<const Table*, Entry>();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  // Opportunistically drop entries whose table died (address reuse would
+  // otherwise serve stale statistics).
+  for (auto it = cache.begin(); it != cache.end();) {
+    it = it->second.guard.expired() ? cache.erase(it) : std::next(it);
+  }
+  const auto it = cache.find(table.get());
+  if (it != cache.end()) return it->second.statistics;
+  auto statistics =
+      std::make_shared<const TableStatistics>(TableStatistics::Compute(*table));
+  cache[table.get()] = Entry{table, statistics};
+  return statistics;
+}
+
+}  // namespace fts

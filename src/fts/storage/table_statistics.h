@@ -1,0 +1,58 @@
+#ifndef FTS_STORAGE_TABLE_STATISTICS_H_
+#define FTS_STORAGE_TABLE_STATISTICS_H_
+
+#include <vector>
+
+#include "fts/storage/compare_op.h"
+#include "fts/storage/table.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+// Per-column summary statistics used by the optimizer's predicate-reordering
+// rule (Section V: "predicate reordering ... make[s] sure that predicates
+// are evaluated ... in the most efficient order").
+struct ColumnStatistics {
+  // Min/max over all rows, widened to double. Exact.
+  double min = 0.0;
+  double max = 0.0;
+  // Estimated number of distinct values. Exact for dictionary columns
+  // (dictionary size); sample-based estimate for plain columns.
+  double distinct_count = 0.0;
+  uint64_t row_count = 0;
+};
+
+// Statistics for every column of a table.
+class TableStatistics {
+ public:
+  // Computes statistics for `table`. Plain columns are sampled
+  // (`sample_limit` rows max) for the distinct-count estimate; min/max are
+  // exact.
+  static TableStatistics Compute(const Table& table,
+                                 size_t sample_limit = 1 << 16);
+
+  const ColumnStatistics& column(size_t index) const;
+  size_t column_count() const { return columns_.size(); }
+  uint64_t row_count() const { return row_count_; }
+
+  // Estimated fraction of rows satisfying (column `op` value), in [0, 1].
+  // Uniform-distribution model: equality = 1/distinct, ranges prorated over
+  // [min, max].
+  double EstimateSelectivity(size_t column_index, CompareOp op,
+                             const Value& value) const;
+
+ private:
+  std::vector<ColumnStatistics> columns_;
+  uint64_t row_count_ = 0;
+};
+
+// Process-wide statistics cache. Tables are immutable, so statistics are
+// computed once per table and reused by every query (the optimizer's
+// reordering rule runs on each planning pass). Entries are keyed by table
+// identity and dropped once the table is released.
+std::shared_ptr<const TableStatistics> GetCachedStatistics(
+    const TablePtr& table);
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_TABLE_STATISTICS_H_

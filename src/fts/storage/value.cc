@@ -1,0 +1,86 @@
+#include "fts/storage/value.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "fts/common/string_util.h"
+
+namespace fts {
+namespace {
+
+// Exact-representability check for a numeric cast from `from` to To.
+template <typename To, typename From>
+bool RepresentableAs(From from) {
+  const To converted = static_cast<To>(from);
+  // Round-trip check catches both overflow wraparound and fraction loss.
+  // Comparing in long double keeps int64<->double comparisons exact enough
+  // for the value ranges used here.
+  return static_cast<long double>(converted) ==
+         static_cast<long double>(from);
+}
+
+}  // namespace
+
+DataType ValueType(const Value& value) {
+  return std::visit(
+      [](auto v) { return TypeTraits<decltype(v)>::kType; }, value);
+}
+
+std::string ValueToString(const Value& value) {
+  return std::visit(
+      [](auto v) -> std::string {
+        using T = decltype(v);
+        if constexpr (std::is_floating_point_v<T>) {
+          return StrFormat("%g", static_cast<double>(v));
+        } else if constexpr (std::is_signed_v<T>) {
+          return StrFormat("%lld", static_cast<long long>(v));
+        } else {
+          return StrFormat("%llu", static_cast<unsigned long long>(v));
+        }
+      },
+      value);
+}
+
+StatusOr<Value> CastValue(const Value& value, DataType target) {
+  return std::visit(
+      [&](auto v) -> StatusOr<Value> {
+        return DispatchDataType(target, [&](auto target_tag) -> StatusOr<Value> {
+          using To = decltype(target_tag);
+          if (!RepresentableAs<To>(v)) {
+            return Status::OutOfRange(
+                StrFormat("value %s not representable as %s",
+                          ValueToString(Value(v)).c_str(),
+                          DataTypeToString(target)));
+          }
+          return Value(static_cast<To>(v));
+        });
+      },
+      value);
+}
+
+StatusOr<Value> ParseNumericLiteral(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty numeric literal");
+  }
+  const bool looks_float = text.find_first_of(".eE") != std::string::npos;
+  errno = 0;
+  char* end = nullptr;
+  if (!looks_float) {
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (errno == 0 && end == text.c_str() + text.size()) {
+      return Value(static_cast<int64_t>(parsed));
+    }
+    // Fall through: may be out of int64 range or malformed; retry as float.
+    errno = 0;
+  }
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) {
+    return Status::InvalidArgument(
+        StrFormat("malformed numeric literal '%s'", text.c_str()));
+  }
+  return Value(parsed);
+}
+
+}  // namespace fts

@@ -1,0 +1,42 @@
+#ifndef FTS_STORAGE_VALUE_H_
+#define FTS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "fts/common/status.h"
+#include "fts/storage/data_type.h"
+
+namespace fts {
+
+// A dynamically-typed scalar covering exactly the ten supported column
+// types. Used at API boundaries (SQL literals, predicate search values);
+// hot loops always work on unboxed T.
+using Value = std::variant<int8_t, int16_t, int32_t, int64_t, uint8_t,
+                           uint16_t, uint32_t, uint64_t, float, double>;
+
+// The DataType tag of the alternative currently held.
+DataType ValueType(const Value& value);
+
+// Renders the value for plan descriptions and test failure messages.
+std::string ValueToString(const Value& value);
+
+// Numeric cast of `value` to the C++ type `T` (static_cast semantics).
+template <typename T>
+T ValueAs(const Value& value) {
+  return std::visit([](auto v) { return static_cast<T>(v); }, value);
+}
+
+// Casts `value` to `target` type, e.g. when a SQL literal "5" meets an
+// int64 column. Fails when the value cannot be represented exactly
+// (overflow or fractional part lost on an integer target).
+StatusOr<Value> CastValue(const Value& value, DataType target);
+
+// Parses a SQL numeric literal into the widest matching type
+// (int64 or float64); negative handled by the parser's unary minus.
+StatusOr<Value> ParseNumericLiteral(const std::string& text);
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_VALUE_H_

@@ -1,0 +1,35 @@
+#ifndef FTS_STORAGE_VALUE_COLUMN_H_
+#define FTS_STORAGE_VALUE_COLUMN_H_
+
+#include <utility>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/storage/column.h"
+
+namespace fts {
+
+// Plain (unencoded) column: contiguous, 64-byte-aligned array of T.
+// This is the layout the paper's Fig. 3 scans directly.
+template <typename T>
+class ValueColumn final : public BaseColumn {
+ public:
+  explicit ValueColumn(AlignedVector<T> values)
+      : values_(std::move(values)) {}
+
+  size_t size() const override { return values_.size(); }
+  DataType data_type() const override { return TypeTraits<T>::kType; }
+  ColumnEncoding encoding() const override { return ColumnEncoding::kPlain; }
+  const void* scan_data() const override { return values_.data(); }
+  DataType scan_type() const override { return TypeTraits<T>::kType; }
+  Value GetValue(size_t row) const override { return values_[row]; }
+
+  const AlignedVector<T>& values() const { return values_; }
+  const T* data() const { return values_.data(); }
+
+ private:
+  AlignedVector<T> values_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_VALUE_COLUMN_H_

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/cpu_info.h"
+#include "fts/common/env.h"
+#include "fts/common/random.h"
+#include "fts/common/stats.h"
+#include "fts/common/status.h"
+#include "fts/common/string_util.h"
+
+namespace fts {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Doubled(StatusOr<int> input) {
+  FTS_ASSIGN_OR_RETURN(const int value, input);
+  return value * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(Status::Internal("boom")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, BoundedStaysInBound) {
+  Xoshiro256 rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, BoundedCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Xoshiro256 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Xoshiro256 rng(13);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // Overwhelmingly likely with this seed.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatsTest, Percentile) {
+  const std::vector<double> samples = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 5.5);
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  const std::vector<double> samples = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(samples), 5.0);
+  EXPECT_NEAR(StdDev(samples), 2.138, 0.001);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  RunningStats running;
+  const std::vector<double> samples = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double s : samples) running.Add(s);
+  EXPECT_EQ(running.count(), samples.size());
+  EXPECT_DOUBLE_EQ(running.mean(), Mean(samples));
+  EXPECT_NEAR(running.StdDev(), StdDev(samples), 1e-12);
+  EXPECT_DOUBLE_EQ(running.min(), 2.0);
+  EXPECT_DOUBLE_EQ(running.max(), 9.0);
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("WHERE", "were"));
+}
+
+TEST(StringUtilTest, StrFormatAndReplace) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(ReplaceAll("aXbXc", "X", "--"), "a--b--c");
+  EXPECT_EQ(ReplaceAll("abc", "z", "y"), "abc");
+}
+
+TEST(StringUtilTest, HumanUnits) {
+  EXPECT_EQ(HumanRows(1000), "1K");
+  EXPECT_EQ(HumanRows(132000000), "132M");
+  EXPECT_EQ(HumanRows(42), "42");
+  EXPECT_EQ(HumanBytes(1536.0), "1.5 KiB");
+}
+
+TEST(EnvTest, Int64Suffixes) {
+  setenv("FTS_TEST_ENV_INT", "32M", 1);
+  EXPECT_EQ(GetEnvInt64("FTS_TEST_ENV_INT", 0), 32000000);
+  setenv("FTS_TEST_ENV_INT", "5", 1);
+  EXPECT_EQ(GetEnvInt64("FTS_TEST_ENV_INT", 0), 5);
+  unsetenv("FTS_TEST_ENV_INT");
+  EXPECT_EQ(GetEnvInt64("FTS_TEST_ENV_INT", 17), 17);
+}
+
+TEST(EnvTest, Bool) {
+  setenv("FTS_TEST_ENV_BOOL", "yes", 1);
+  EXPECT_TRUE(GetEnvBool("FTS_TEST_ENV_BOOL", false));
+  setenv("FTS_TEST_ENV_BOOL", "0", 1);
+  EXPECT_FALSE(GetEnvBool("FTS_TEST_ENV_BOOL", true));
+  unsetenv("FTS_TEST_ENV_BOOL");
+  EXPECT_TRUE(GetEnvBool("FTS_TEST_ENV_BOOL", true));
+}
+
+TEST(CpuInfoTest, FeatureStringNonEmpty) {
+  // Whatever the host, ToString must render something stable.
+  EXPECT_FALSE(GetCpuFeatures().ToString().empty());
+}
+
+TEST(CpuInfoTest, CacheGeometrySane) {
+  const CacheInfo& info = GetCacheInfo();
+  EXPECT_GT(info.l1d_bytes, 0);
+  EXPECT_GE(info.l2_bytes, info.l1d_bytes);
+  EXPECT_EQ(info.line_bytes, 64);
+}
+
+TEST(AlignedBufferTest, AlignmentHolds) {
+  for (size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector<int32_t> v(n, 1);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kColumnAlignment, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fts/storage/csv_loader.h"
+
+namespace fts {
+namespace {
+
+TEST(CsvLoaderTest, TypedHeaderInference) {
+  const auto table = LoadCsvFromString(
+      "id:int64,price:float64,qty:int\n"
+      "1,9.5,3\n"
+      "2,1.25,7\n",
+      CsvOptions{});
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->row_count(), 2u);
+  EXPECT_EQ((*table)->schema()[0].type, DataType::kInt64);
+  EXPECT_EQ((*table)->schema()[1].type, DataType::kFloat64);
+  EXPECT_EQ((*table)->schema()[2].type, DataType::kInt32);
+  EXPECT_EQ(ValueAs<int64_t>((*table)->GetValue(0, {0, 1})), 2);
+  EXPECT_DOUBLE_EQ(ValueAs<double>((*table)->GetValue(1, {0, 0})), 9.5);
+}
+
+TEST(CsvLoaderTest, ExplicitSchemaSkipsHeader) {
+  CsvOptions options;
+  options.schema = {{"a", DataType::kInt32}, {"b", DataType::kInt32}};
+  const auto table = LoadCsvFromString("a,b\n1,2\n3,4\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count(), 2u);
+
+  options.expect_header = false;
+  const auto headerless = LoadCsvFromString("1,2\n3,4\n", options);
+  ASSERT_TRUE(headerless.ok());
+  EXPECT_EQ((*headerless)->row_count(), 2u);
+}
+
+TEST(CsvLoaderTest, BlankLinesAndWhitespace) {
+  const auto table = LoadCsvFromString(
+      "a:int32\n"
+      "  1  \n"
+      "\n"
+      " 2\n",
+      CsvOptions{});
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->row_count(), 2u);
+}
+
+TEST(CsvLoaderTest, ErrorsCarryLineContext) {
+  const auto arity = LoadCsvFromString("a:int32,b:int32\n1\n", CsvOptions{});
+  ASSERT_FALSE(arity.ok());
+  EXPECT_NE(arity.status().message().find("line 2"), std::string::npos);
+
+  const auto parse =
+      LoadCsvFromString("a:int32\nnot_a_number\n", CsvOptions{});
+  ASSERT_FALSE(parse.ok());
+  EXPECT_NE(parse.status().message().find("'a'"), std::string::npos);
+
+  const auto overflow =
+      LoadCsvFromString("a:int8\n400\n", CsvOptions{});
+  ASSERT_FALSE(overflow.ok());
+}
+
+TEST(CsvLoaderTest, HeaderValidation) {
+  EXPECT_FALSE(LoadCsvFromString("", CsvOptions{}).ok());
+  EXPECT_FALSE(LoadCsvFromString("a\n1\n", CsvOptions{}).ok());
+  EXPECT_FALSE(
+      LoadCsvFromString("a:varchar\nx\n", CsvOptions{}).ok());
+}
+
+TEST(CsvLoaderTest, EncodedColumns) {
+  CsvOptions options;
+  options.dictionary_columns = {"a"};
+  options.bitpacked_columns = {"b"};
+  const auto table = LoadCsvFromString(
+      "a:int32,b:int32,c:int32\n"
+      "7,1,10\n"
+      "7,0,20\n"
+      "3,1,30\n",
+      options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ((*table)->chunk(0).column(0).encoding(),
+            ColumnEncoding::kDictionary);
+  EXPECT_EQ((*table)->chunk(0).column(1).encoding(),
+            ColumnEncoding::kBitPacked);
+  EXPECT_EQ((*table)->chunk(0).column(2).encoding(), ColumnEncoding::kPlain);
+  EXPECT_EQ(ValueAs<int>((*table)->GetValue(1, {0, 2})), 1);
+
+  options.dictionary_columns = {"zzz"};
+  EXPECT_FALSE(LoadCsvFromString("a:int32\n1\n", options).ok());
+}
+
+TEST(CsvLoaderTest, FileRoundTrip) {
+  const std::string path = "/tmp/fts_csv_loader_test.csv";
+  {
+    std::ofstream out(path);
+    out << "x:int32,y:float32\n-5,0.5\n10,1.5\n";
+  }
+  const auto table = LoadCsvFile(path, CsvOptions{});
+  std::remove(path.c_str());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count(), 2u);
+  EXPECT_EQ(ValueAs<int>((*table)->GetValue(0, {0, 0})), -5);
+  EXPECT_FLOAT_EQ(ValueAs<float>((*table)->GetValue(1, {0, 1})), 1.5f);
+}
+
+TEST(CsvLoaderTest, MissingFile) {
+  EXPECT_EQ(LoadCsvFile("/nonexistent/file.csv", CsvOptions{})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvLoaderTest, ChunkingRespected) {
+  CsvOptions options;
+  options.chunk_size = 2;
+  const auto table =
+      LoadCsvFromString("a:int32\n1\n2\n3\n4\n5\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->chunk_count(), 3u);
+  EXPECT_EQ((*table)->row_count(), 5u);
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "fts/common/cpu_info.h"
+#include "fts/db/database.h"
+#include "fts/storage/data_generator.h"
+#include "fts/storage/table_builder.h"
+
+namespace fts {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScanTableOptions options;
+    options.rows = 10000;
+    options.selectivities = {0.1, 0.5};
+    options.seed = 71;
+    generated_ = MakeScanTable(options);
+    ASSERT_TRUE(db_.RegisterTable("tbl", generated_.table).ok());
+  }
+
+  Database db_;
+  GeneratedScanTable generated_;
+};
+
+TEST_F(DatabaseTest, RegisterAndDrop) {
+  EXPECT_EQ(db_.TableNames(), std::vector<std::string>{"tbl"});
+  EXPECT_TRUE(db_.GetTable("tbl").ok());
+  EXPECT_EQ(db_.RegisterTable("tbl", generated_.table).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db_.DropTable("tbl").ok());
+  EXPECT_EQ(db_.DropTable("tbl").code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, CountStarMatchesGroundTruth) {
+  const auto result =
+      db_.Query("SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result->count, generated_.stage_matches.back());
+}
+
+TEST_F(DatabaseTest, EveryEngineSameAnswer) {
+  const std::string sql =
+      "SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2";
+  const uint64_t expected = generated_.stage_matches.back();
+  for (const ScanEngine engine :
+       {ScanEngine::kSisdNoVec, ScanEngine::kSisdAutoVec,
+        ScanEngine::kScalarFused, ScanEngine::kAvx2Fused128,
+        ScanEngine::kAvx512Fused128, ScanEngine::kAvx512Fused256,
+        ScanEngine::kAvx512Fused512, ScanEngine::kBlockwise}) {
+    if (!ScanEngineAvailable(engine)) continue;
+    Database::QueryOptions options;
+    options.engine = engine;
+    const auto result = db_.Query(sql, options);
+    ASSERT_TRUE(result.ok())
+        << ScanEngineToString(engine) << ": " << result.status().ToString();
+    EXPECT_EQ(*result->count, expected) << ScanEngineToString(engine);
+  }
+}
+
+TEST_F(DatabaseTest, JitEngineEndToEnd) {
+  if (!GetCpuFeatures().HasFusedScanAvx512()) {
+    GTEST_SKIP() << "AVX-512 not available";
+  }
+  Database::QueryOptions options;
+  options.engine = ScanEngine::kJit;
+  const auto result = db_.Query(
+      "SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result->count, generated_.stage_matches.back());
+}
+
+TEST_F(DatabaseTest, ProjectionReturnsMatchingRows) {
+  const auto result =
+      db_.Query("SELECT c0, c1 FROM tbl WHERE c0 = 5 AND c1 = 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), generated_.stage_matches.back());
+  for (const auto& row : result->rows) {
+    EXPECT_EQ(ValueAs<int>(row[0]), 5);
+    EXPECT_EQ(ValueAs<int>(row[1]), 2);
+  }
+}
+
+TEST_F(DatabaseTest, UnknownTableAndColumn) {
+  EXPECT_EQ(db_.Query("SELECT COUNT(*) FROM nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      db_.Query("SELECT COUNT(*) FROM tbl WHERE nope = 1").status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, ParseErrorsPropagate) {
+  EXPECT_EQ(db_.Query("SELEC COUNT(*) FROM tbl").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, ExplainShowsFusionDecision) {
+  const std::string sql =
+      "SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2";
+  const auto fused = db_.Explain(sql);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_NE(fused->find("FusedScan"), std::string::npos);
+
+  Database::QueryOptions options;
+  options.engine = ScanEngine::kSisdNoVec;
+  const auto sisd = db_.Explain(sql, options);
+  ASSERT_TRUE(sisd.ok());
+  EXPECT_EQ(sisd->find("FusedScan: "), std::string::npos);
+}
+
+TEST_F(DatabaseTest, OptimizerToggle) {
+  Database::QueryOptions options;
+  options.optimize = false;
+  const auto result = db_.Query(
+      "SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->count, generated_.stage_matches.back());
+}
+
+TEST_F(DatabaseTest, BetweenQuery) {
+  TableBuilder builder({{"v", DataType::kInt32}});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value(i)}).ok());
+  }
+  ASSERT_TRUE(db_.RegisterTable("r", builder.Build()).ok());
+  const auto result =
+      db_.Query("SELECT COUNT(*) FROM r WHERE v BETWEEN 10 AND 19");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->count, 10u);
+}
+
+TEST_F(DatabaseTest, FloatColumnsWork) {
+  TableBuilder builder({{"x", DataType::kFloat64}});
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(builder.AppendRow({Value(i / 2.0)}).ok());
+  }
+  ASSERT_TRUE(db_.RegisterTable("f", builder.Build()).ok());
+  const auto result = db_.Query("SELECT COUNT(*) FROM f WHERE x < 2.5");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->count, 5u);
+}
+
+TEST_F(DatabaseTest, QueryResultToStringRenders) {
+  const auto result = db_.Query("SELECT COUNT(*) FROM tbl WHERE c0 = 5");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->ToString().find("COUNT(*)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fts

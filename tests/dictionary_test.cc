@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "fts/storage/dictionary_column.h"
+
+namespace fts {
+namespace {
+
+DictionaryColumn<int32_t> MakeColumn(std::initializer_list<int32_t> values) {
+  AlignedVector<int32_t> data(values);
+  return DictionaryColumn<int32_t>::FromValues(data);
+}
+
+TEST(DictionaryColumnTest, BuildsSortedUniqueDictionary) {
+  const auto column = MakeColumn({7, 3, 7, 1, 3, 9});
+  EXPECT_EQ(column.dictionary(), (std::vector<int32_t>{1, 3, 7, 9}));
+  EXPECT_EQ(column.codes(), (AlignedVector<uint32_t>{2, 1, 2, 0, 1, 3}));
+  EXPECT_EQ(column.size(), 6u);
+  EXPECT_EQ(column.dictionary_size(), 4u);
+}
+
+TEST(DictionaryColumnTest, DecodesValues) {
+  const auto column = MakeColumn({7, 3, 9});
+  EXPECT_EQ(ValueAs<int>(column.GetValue(0)), 7);
+  EXPECT_EQ(ValueAs<int>(column.GetValue(1)), 3);
+  EXPECT_EQ(ValueAs<int>(column.GetValue(2)), 9);
+}
+
+// Oracle: evaluate the original predicate per row and compare with the
+// translated code-space predicate per row.
+void CheckTranslation(const DictionaryColumn<int32_t>& column, CompareOp op,
+                      int32_t search) {
+  const DictionaryPredicate translated = column.TranslatePredicate(op, search);
+  for (size_t row = 0; row < column.size(); ++row) {
+    const int32_t value = column.dictionary()[column.codes()[row]];
+    const bool expected = EvaluateCompare(op, value, search);
+    bool actual = false;
+    switch (translated.kind) {
+      case DictionaryPredicate::Kind::kNone:
+        actual = false;
+        break;
+      case DictionaryPredicate::Kind::kAll:
+        actual = true;
+        break;
+      case DictionaryPredicate::Kind::kCompare:
+        actual = EvaluateCompare(translated.op, column.codes()[row],
+                                 translated.code);
+        break;
+    }
+    ASSERT_EQ(actual, expected)
+        << "op=" << CompareOpToString(op) << " search=" << search
+        << " row=" << row << " value=" << value;
+  }
+}
+
+class DictionaryTranslationTest
+    : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(DictionaryTranslationTest, MatchesValueSpacePredicate) {
+  const auto column = MakeColumn({10, 20, 20, 30, 40, 40, 50});
+  // Probe present values, absent interior values, and out-of-range values.
+  for (const int32_t search : {5, 10, 15, 20, 30, 45, 50, 55}) {
+    CheckTranslation(column, GetParam(), search);
+  }
+}
+
+TEST_P(DictionaryTranslationTest, SingleValueColumn) {
+  const auto column = MakeColumn({42, 42, 42});
+  for (const int32_t search : {41, 42, 43}) {
+    CheckTranslation(column, GetParam(), search);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, DictionaryTranslationTest,
+                         ::testing::ValuesIn(kAllCompareOps),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CompareOp::kEq:
+                               return "Eq";
+                             case CompareOp::kNe:
+                               return "Ne";
+                             case CompareOp::kLt:
+                               return "Lt";
+                             case CompareOp::kLe:
+                               return "Le";
+                             case CompareOp::kGt:
+                               return "Gt";
+                             case CompareOp::kGe:
+                               return "Ge";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(DictionaryPredicateTest, EqAbsentIsNone) {
+  const auto column = MakeColumn({10, 20});
+  EXPECT_EQ(column.TranslatePredicate(CompareOp::kEq, 15).kind,
+            DictionaryPredicate::Kind::kNone);
+}
+
+TEST(DictionaryPredicateTest, NeAbsentIsAll) {
+  const auto column = MakeColumn({10, 20});
+  EXPECT_EQ(column.TranslatePredicate(CompareOp::kNe, 15).kind,
+            DictionaryPredicate::Kind::kAll);
+}
+
+TEST(DictionaryPredicateTest, RangeCollapse) {
+  const auto column = MakeColumn({10, 20});
+  EXPECT_EQ(column.TranslatePredicate(CompareOp::kLt, 5).kind,
+            DictionaryPredicate::Kind::kNone);
+  EXPECT_EQ(column.TranslatePredicate(CompareOp::kLt, 100).kind,
+            DictionaryPredicate::Kind::kAll);
+  EXPECT_EQ(column.TranslatePredicate(CompareOp::kGe, 5).kind,
+            DictionaryPredicate::Kind::kAll);
+  EXPECT_EQ(column.TranslatePredicate(CompareOp::kGt, 100).kind,
+            DictionaryPredicate::Kind::kNone);
+}
+
+TEST(DictionaryPredicateTest, CompareOpHelpers) {
+  EXPECT_EQ(NegateCompareOp(CompareOp::kEq), CompareOp::kNe);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateCompareOp(NegateCompareOp(CompareOp::kLe)),
+            CompareOp::kLe);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kEq), CompareOp::kEq);
+  // a < b  <=>  b > a for all pairs.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (const CompareOp op : kAllCompareOps) {
+        EXPECT_EQ(EvaluateCompare(op, a, b),
+                  EvaluateCompare(FlipCompareOp(op), b, a));
+        EXPECT_NE(EvaluateCompare(op, a, b),
+                  EvaluateCompare(NegateCompareOp(op), a, b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fts

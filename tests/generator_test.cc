@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "fts/storage/data_generator.h"
+#include "fts/storage/value_column.h"
+
+namespace fts {
+namespace {
+
+TEST(ExactSelectivityMaskTest, ExactCount) {
+  Xoshiro256 rng(1);
+  for (const auto& [rows, matches] :
+       std::vector<std::pair<size_t, size_t>>{
+           {100, 0}, {100, 1}, {100, 50}, {100, 100}, {997, 13}}) {
+    const auto mask = ExactSelectivityMask(rows, matches, rng);
+    size_t actual = 0;
+    for (const uint8_t m : mask) actual += m;
+    EXPECT_EQ(actual, matches) << rows << "/" << matches;
+  }
+}
+
+TEST(ExactSelectivityMaskTest, UniformSpread) {
+  // With 10% selectivity over 100k rows, each quarter of the table should
+  // hold roughly a quarter of the matches.
+  Xoshiro256 rng(2);
+  const size_t rows = 100000;
+  const auto mask = ExactSelectivityMask(rows, rows / 10, rng);
+  size_t quarters[4] = {};
+  for (size_t i = 0; i < rows; ++i) quarters[i / (rows / 4)] += mask[i];
+  for (const size_t q : quarters) {
+    EXPECT_NEAR(static_cast<double>(q), 2500.0, 300.0);
+  }
+}
+
+TEST(MatchCountTest, RoundingAndClamping) {
+  EXPECT_EQ(MatchCountForSelectivity(100, 0.0), 0u);
+  EXPECT_EQ(MatchCountForSelectivity(100, 1.0), 100u);
+  EXPECT_EQ(MatchCountForSelectivity(100, 0.5), 50u);
+  // Tiny but non-zero selectivity keeps at least one row.
+  EXPECT_EQ(MatchCountForSelectivity(100, 1e-9), 1u);
+  EXPECT_EQ(MatchCountForSelectivity(0, 0.5), 0u);
+}
+
+TEST(FillFromMaskTest, MatchesAndNonMatches) {
+  Xoshiro256 rng(3);
+  const std::vector<uint8_t> mask = {1, 0, 0, 1, 0};
+  const auto values = FillFromMask<int32_t>(mask, 5, 100, 200, rng);
+  ASSERT_EQ(values.size(), mask.size());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) {
+      EXPECT_EQ(values[i], 5);
+    } else {
+      EXPECT_GE(values[i], 100);
+      EXPECT_LE(values[i], 200);
+    }
+  }
+}
+
+TEST(FillFromMaskTest, ExcludesMatchValueFromNonMatches) {
+  Xoshiro256 rng(4);
+  // Non-match range contains the match value; it must be re-drawn away.
+  const std::vector<uint8_t> mask(1000, 0);
+  const auto values = FillFromMask<int32_t>(mask, 5, 4, 6, rng);
+  for (const int32_t v : values) EXPECT_NE(v, 5);
+}
+
+TEST(MakeScanTableTest, StageMatchesAreExact) {
+  ScanTableOptions options;
+  options.rows = 10000;
+  options.selectivities = {0.1, 0.5, 0.5};
+  options.seed = 5;
+  const GeneratedScanTable generated = MakeScanTable(options);
+
+  EXPECT_EQ(generated.table->row_count(), options.rows);
+  EXPECT_EQ(generated.table->column_count(), 3u);
+  EXPECT_EQ(generated.stage_matches[0], 1000u);
+  EXPECT_EQ(generated.stage_matches[1], 500u);
+  EXPECT_EQ(generated.stage_matches[2], 250u);
+
+  // Cross-check the final mask against cell values.
+  uint64_t final_count = 0;
+  for (size_t i = 0; i < options.rows; ++i) {
+    bool all = true;
+    for (size_t p = 0; p < 3; ++p) {
+      const auto value = generated.table->GetValue(
+          p, {0, static_cast<ChunkOffset>(i)});
+      all = all &&
+            (ValueAs<int32_t>(value) == generated.search_values[p]);
+    }
+    EXPECT_EQ(all, generated.final_mask[i] != 0) << "row " << i;
+    final_count += all;
+  }
+  EXPECT_EQ(final_count, generated.stage_matches.back());
+}
+
+TEST(MakeScanTableTest, DeterministicForSeed) {
+  ScanTableOptions options;
+  options.rows = 1000;
+  options.selectivities = {0.2, 0.5};
+  options.seed = 99;
+  const auto a = MakeScanTable(options);
+  const auto b = MakeScanTable(options);
+  for (size_t i = 0; i < options.rows; ++i) {
+    EXPECT_EQ(ValueAs<int32_t>(a.table->GetValue(0, {0, (ChunkOffset)i})),
+              ValueAs<int32_t>(b.table->GetValue(0, {0, (ChunkOffset)i})));
+  }
+}
+
+TEST(MakeScanTableTest, ChunkedTablePreservesData) {
+  ScanTableOptions whole;
+  whole.rows = 1000;
+  whole.selectivities = {0.1, 0.5};
+  whole.seed = 17;
+  ScanTableOptions chunked = whole;
+  chunked.chunk_size = 333;
+
+  const auto a = MakeScanTable(whole);
+  const auto b = MakeScanTable(chunked);
+  EXPECT_EQ(b.table->chunk_count(), 4u);
+  EXPECT_EQ(b.table->row_count(), 1000u);
+  // Same seed => same values, only chunked differently.
+  for (size_t i = 0; i < whole.rows; ++i) {
+    const RowId flat{0, static_cast<ChunkOffset>(i)};
+    const RowId split{static_cast<ChunkId>(i / 333),
+                      static_cast<ChunkOffset>(i % 333)};
+    EXPECT_EQ(ValueAs<int32_t>(a.table->GetValue(0, flat)),
+              ValueAs<int32_t>(b.table->GetValue(0, split)));
+  }
+}
+
+TEST(MakeScanTableTest, DictionaryEncodedVariant) {
+  ScanTableOptions options;
+  options.rows = 2000;
+  options.selectivities = {0.25};
+  options.dictionary_encode = true;
+  const auto generated = MakeScanTable(options);
+  const BaseColumn& column = generated.table->chunk(0).column(0);
+  EXPECT_EQ(column.encoding(), ColumnEncoding::kDictionary);
+  EXPECT_EQ(generated.stage_matches[0], 500u);
+}
+
+}  // namespace
+}  // namespace fts

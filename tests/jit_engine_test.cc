@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "fts/common/cpu_info.h"
+#include "fts/jit/jit_cache.h"
+#include "fts/jit/jit_scan_engine.h"
+#include "fts/scan/table_scan.h"
+#include "fts/storage/bitpacked_column.h"
+#include "fts/storage/data_generator.h"
+#include "fts/storage/table_builder.h"
+
+namespace fts {
+namespace {
+
+// These tests compile real code through the system compiler; they are the
+// slowest in the suite but cover the paper's Section V pipeline
+// end-to-end.
+class JitEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!GetCpuFeatures().HasFusedScanAvx512()) {
+      GTEST_SKIP() << "AVX-512 not available";
+    }
+  }
+};
+
+ScanSpec TwoPredicateSpec(const GeneratedScanTable& generated) {
+  ScanSpec spec;
+  spec.predicates = {
+      {"c0", CompareOp::kEq, Value(generated.search_values[0])},
+      {"c1", CompareOp::kEq, Value(generated.search_values[1])}};
+  return spec;
+}
+
+TEST_F(JitEngineTest, MatchesGroundTruthAllWidths) {
+  ScanTableOptions options;
+  options.rows = 20000;
+  options.selectivities = {0.05, 0.5};
+  options.seed = 41;
+  const GeneratedScanTable generated = MakeScanTable(options);
+
+  for (const int width : {128, 256, 512}) {
+    JitCache cache;
+    JitScanEngine engine(width, &cache);
+    const auto matches =
+        engine.Execute(generated.table, TwoPredicateSpec(generated));
+    ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+    EXPECT_EQ(matches->TotalMatches(), generated.stage_matches.back())
+        << "width " << width;
+    for (const ChunkMatches& chunk : matches->chunks) {
+      for (const uint32_t pos : chunk.positions) {
+        ASSERT_TRUE(generated.final_mask[pos]);
+      }
+    }
+  }
+}
+
+TEST_F(JitEngineTest, AgreesWithStaticKernelOnChunkedDictionaryTable) {
+  ScanTableOptions options;
+  options.rows = 15000;
+  options.selectivities = {0.1, 0.5};
+  options.seed = 43;
+  options.chunk_size = 4096;
+  options.dictionary_encode = true;
+  const GeneratedScanTable generated = MakeScanTable(options);
+  const ScanSpec spec = TwoPredicateSpec(generated);
+
+  JitScanEngine engine(512);
+  const auto jit = engine.Execute(generated.table, spec);
+  ASSERT_TRUE(jit.ok()) << jit.status().ToString();
+  const auto reference =
+      ExecuteScan(generated.table, spec, ScanEngine::kScalarFused);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(jit->chunks.size(), reference->chunks.size());
+  for (size_t c = 0; c < jit->chunks.size(); ++c) {
+    EXPECT_EQ(jit->chunks[c].positions, reference->chunks[c].positions);
+  }
+}
+
+TEST_F(JitEngineTest, CacheHitsAcrossQueriesWithSameShape) {
+  JitCache cache;
+  JitScanEngine engine(512, &cache);
+
+  ScanTableOptions options;
+  options.rows = 1000;
+  options.selectivities = {0.5, 0.5};
+  const GeneratedScanTable generated = MakeScanTable(options);
+
+  ASSERT_TRUE(engine.Execute(generated.table,
+                             TwoPredicateSpec(generated)).ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Same shape, different values: must be a cache hit.
+  ScanSpec other = TwoPredicateSpec(generated);
+  other.predicates[0].value = Value(12345);
+  ASSERT_TRUE(engine.Execute(generated.table, other).ok());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_GE(cache.stats().hits, 1u);
+
+  // Different comparator: new signature, new compile.
+  other.predicates[0].op = CompareOp::kLt;
+  ASSERT_TRUE(engine.Execute(generated.table, other).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(JitEngineTest, CompilerFailureSurfacesAsStatus) {
+  JitCompilerOptions options;
+  options.compiler = "/nonexistent/compiler";
+  JitCompiler compiler(options);
+  const auto result = compiler.Compile("int x;", "x");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(JitEngineTest, BadSourceSurfacesCompilerLog) {
+  JitCompiler compiler;
+  const auto result = compiler.Compile("this is not C++", "foo");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_NE(result.status().message().find("error"), std::string::npos);
+}
+
+TEST_F(JitEngineTest, MissingSymbolFails) {
+  JitCompiler compiler;
+  const auto result =
+      compiler.Compile("extern \"C\" int present() { return 1; }",
+                       "absent");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("absent"), std::string::npos);
+}
+
+TEST_F(JitEngineTest, CountOnlyOperatorMatchesMaterializingOne) {
+  ScanTableOptions options;
+  options.rows = 30000;
+  options.selectivities = {0.2, 0.5};
+  options.seed = 47;
+  options.chunk_size = 7000;  // Several chunks, ragged tail.
+  const GeneratedScanTable generated = MakeScanTable(options);
+
+  JitCache cache;
+  JitScanEngine engine(512, &cache);
+  const ScanSpec spec = TwoPredicateSpec(generated);
+  const auto count = engine.ExecuteCount(generated.table, spec);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, generated.stage_matches.back());
+
+  // The count-only signature is distinct from the materializing one.
+  const auto matches = engine.Execute(generated.table, spec);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->TotalMatches(), *count);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST_F(JitEngineTest, BitPackedTableEndToEnd) {
+  // Bit-packed columns flow through signature -> codegen -> compiled
+  // operator; results must match the scalar engine.
+  Xoshiro256 rng(321);
+  AlignedVector<int32_t> a_values, b_values;
+  for (int i = 0; i < 20000; ++i) {
+    a_values.push_back(static_cast<int32_t>(rng.NextBounded(100)));
+    b_values.push_back(static_cast<int32_t>(rng.NextBounded(1000)));
+  }
+  TableBuilder builder({{"a", DataType::kInt32}, {"b", DataType::kInt32}});
+  FTS_CHECK(builder
+                .AddChunk({std::make_shared<BitPackedColumn<int32_t>>(
+                               BitPackedColumn<int32_t>::FromValues(
+                                   a_values)),
+                           std::make_shared<BitPackedColumn<int32_t>>(
+                               BitPackedColumn<int32_t>::FromValues(
+                                   b_values))})
+                .ok());
+  const TablePtr table = builder.Build();
+
+  ScanSpec spec;
+  spec.predicates = {{"a", CompareOp::kLt, Value(30)},
+                     {"b", CompareOp::kGe, Value(500)}};
+  const auto reference = ExecuteScan(table, spec, ScanEngine::kScalarFused);
+  ASSERT_TRUE(reference.ok());
+
+  JitScanEngine engine(512);
+  const auto jit = engine.Execute(table, spec);
+  ASSERT_TRUE(jit.ok()) << jit.status().ToString();
+  ASSERT_EQ(jit->chunks.size(), reference->chunks.size());
+  EXPECT_EQ(jit->chunks[0].positions, reference->chunks[0].positions);
+  EXPECT_GT(jit->TotalMatches(), 0u);
+}
+
+TEST_F(JitEngineTest, GeneratedSisdOperatorAlsoRuns) {
+  // The generated data-centric SISD operator (Section V discusses the JIT
+  // emitting either form) must produce the same matches.
+  JitScanSignature signature;
+  signature.stages = {{ScanElementType::kI32, CompareOp::kEq},
+                      {ScanElementType::kI32, CompareOp::kEq}};
+  const auto source = GenerateSisdScanSource(signature);
+  ASSERT_TRUE(source.ok());
+  JitCompiler compiler;
+  const auto module = compiler.Compile(*source, kJitScanSymbol);
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  const auto fn =
+      reinterpret_cast<JitScanFn>((*module)->symbol_address());
+
+  AlignedVector<int32_t> a = {5, 1, 5, 5}, b = {2, 2, 3, 2};
+  const void* columns[2] = {a.data(), b.data()};
+  alignas(8) unsigned char values[16] = {};
+  const int32_t v0 = 5, v1 = 2;
+  __builtin_memcpy(values, &v0, 4);
+  __builtin_memcpy(values + 8, &v1, 4);
+  uint32_t out[20];
+  ASSERT_EQ(fn(columns, values, 4, out), 2u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 3u);
+}
+
+}  // namespace
+}  // namespace fts

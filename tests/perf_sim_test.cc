@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "fts/common/random.h"
+#include "fts/perf/bandwidth.h"
+#include "fts/perf/branch_predictor.h"
+#include "fts/perf/perf_counters.h"
+#include "fts/perf/prefetcher.h"
+#include "fts/storage/data_generator.h"
+
+namespace fts {
+namespace {
+
+// --- Branch predictor models ------------------------------------------
+
+TEST(BranchPredictorTest, StaticPredictorCountsExactly) {
+  StaticPredictor taken(true);
+  taken.PredictAndUpdate(0, true);
+  taken.PredictAndUpdate(0, false);
+  taken.PredictAndUpdate(0, false);
+  EXPECT_EQ(taken.stats().branches, 3u);
+  EXPECT_EQ(taken.stats().mispredictions, 2u);
+}
+
+TEST(BranchPredictorTest, BimodalLearnsConstantDirection) {
+  BimodalPredictor predictor;
+  for (int i = 0; i < 1000; ++i) predictor.PredictAndUpdate(7, true);
+  // After warm-up (two updates) every prediction is correct.
+  EXPECT_LE(predictor.stats().mispredictions, 2u);
+}
+
+TEST(BranchPredictorTest, BimodalNearHalfOnRandom) {
+  BimodalPredictor predictor;
+  Xoshiro256 rng(3);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) predictor.PredictAndUpdate(7, rng.NextBool());
+  const double rate = predictor.stats().MispredictionRate();
+  EXPECT_GT(rate, 0.4);
+  EXPECT_LT(rate, 0.6);
+}
+
+TEST(BranchPredictorTest, GshareLearnsPeriodicPattern) {
+  // T,T,N repeating: history makes this perfectly predictable for gshare
+  // but not for bimodal (whose counter oscillates on the 2/3-1/3 mix).
+  GsharePredictor gshare;
+  BimodalPredictor bimodal;
+  for (int i = 0; i < 30000; ++i) {
+    const bool taken = (i % 3) != 2;
+    gshare.PredictAndUpdate(7, taken);
+    bimodal.PredictAndUpdate(7, taken);
+  }
+  EXPECT_LT(gshare.stats().MispredictionRate(), 0.02);
+  EXPECT_GT(bimodal.stats().MispredictionRate(), 0.1);
+}
+
+TEST(BranchPredictorTest, FactoryNames) {
+  EXPECT_NE(MakeBranchPredictor("bimodal"), nullptr);
+  EXPECT_NE(MakeBranchPredictor("gshare"), nullptr);
+  EXPECT_NE(MakeBranchPredictor("static-taken"), nullptr);
+  EXPECT_NE(MakeBranchPredictor("static-nottaken"), nullptr);
+  EXPECT_EQ(MakeBranchPredictor("tage"), nullptr);
+}
+
+// --- Scan branch-trace replays ------------------------------------------
+
+std::vector<AlignedVector<int32_t>> MakeColumns(size_t rows, double sel,
+                                                uint64_t seed,
+                                                std::vector<ScanStage>* out) {
+  Xoshiro256 rng(seed);
+  std::vector<AlignedVector<int32_t>> columns;
+  for (int s = 0; s < 2; ++s) {
+    const auto mask = ExactSelectivityMask(
+        rows, MatchCountForSelectivity(rows, sel), rng);
+    columns.push_back(FillFromMask<int32_t>(mask, 5, 1000, 1 << 30, rng));
+  }
+  out->clear();
+  for (int s = 0; s < 2; ++s) {
+    ScanStage stage;
+    stage.data = columns[s].data();
+    stage.type = ScanElementType::kI32;
+    stage.op = CompareOp::kEq;
+    stage.value.i32 = 5;
+    out->push_back(stage);
+  }
+  return columns;
+}
+
+TEST(BranchReplayTest, SisdBranchCountMatchesShortCircuit) {
+  // With selectivity s, the second predicate's branch executes only on
+  // first-stage matches: total branches = rows + matches_0.
+  const size_t rows = 10000;
+  std::vector<ScanStage> stages;
+  const auto columns = MakeColumns(rows, 0.25, 11, &stages);
+  StaticPredictor predictor(false);
+  const BranchStats stats =
+      ReplaySisdScanBranches(stages.data(), stages.size(), rows, predictor);
+  EXPECT_EQ(stats.branches, rows + 2500u);
+}
+
+TEST(BranchReplayTest, MispredictionsPeakAtMidSelectivity) {
+  const size_t rows = 50000;
+  uint64_t low = 0, mid = 0, full = 0;
+  for (const auto& [sel, out] :
+       std::vector<std::pair<double, uint64_t*>>{
+           {0.0001, &low}, {0.5, &mid}, {1.0, &full}}) {
+    std::vector<ScanStage> stages;
+    const auto columns = MakeColumns(rows, sel, 13, &stages);
+    GsharePredictor predictor;
+    *out = ReplaySisdScanBranches(stages.data(), stages.size(), rows,
+                                  predictor)
+               .mispredictions;
+  }
+  EXPECT_GT(mid, 10 * low);   // Mid-selectivity is the worst case.
+  EXPECT_GT(mid, 10 * full);  // At 100% the branch is predictable again.
+}
+
+TEST(BranchReplayTest, FusedScanBranchesFarFewer) {
+  const size_t rows = 50000;
+  std::vector<ScanStage> stages;
+  const auto columns = MakeColumns(rows, 0.5, 17, &stages);
+  GsharePredictor sisd_predictor, fused_predictor;
+  const auto sisd = ReplaySisdScanBranches(stages.data(), stages.size(),
+                                           rows, sisd_predictor);
+  const auto fused = ReplayFusedScanBranches(stages.data(), stages.size(),
+                                             rows, 16, fused_predictor);
+  // Fig. 6: roughly an order of magnitude fewer mispredictions.
+  EXPECT_LT(fused.mispredictions * 5, sisd.mispredictions);
+  EXPECT_LT(fused.branches, sisd.branches);
+}
+
+TEST(BranchReplayTest, WiderRegistersBranchLess) {
+  const size_t rows = 50000;
+  std::vector<ScanStage> stages;
+  const auto columns = MakeColumns(rows, 0.5, 19, &stages);
+  uint64_t branches[3];
+  const int lanes[3] = {4, 8, 16};
+  for (int i = 0; i < 3; ++i) {
+    GsharePredictor predictor;
+    branches[i] = ReplayFusedScanBranches(stages.data(), stages.size(),
+                                          rows, lanes[i], predictor)
+                      .branches;
+  }
+  EXPECT_GT(branches[0], branches[1]);
+  EXPECT_GT(branches[1], branches[2]);
+}
+
+// --- Prefetcher model ----------------------------------------------------
+
+TEST(PrefetcherTest, SequentialStreamIsUseful) {
+  StreamPrefetcherSim prefetcher;
+  for (uint64_t i = 0; i < 64 * 1024; i += 4) prefetcher.Access(i);
+  const PrefetchStats stats = prefetcher.Finish();
+  EXPECT_GT(stats.prefetches_issued, 100u);
+  // A pure sequential stream consumes nearly everything it prefetches.
+  EXPECT_GT(stats.useful_prefetches * 10, stats.useless_prefetches);
+}
+
+TEST(PrefetcherTest, RandomAccessesIssueFewPrefetches) {
+  StreamPrefetcherSim prefetcher;
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    prefetcher.Access(rng.Next() % (1ull << 30));
+  }
+  const PrefetchStats stats = prefetcher.Finish();
+  EXPECT_LT(stats.prefetches_issued, 1000u);
+}
+
+TEST(PrefetcherTest, SisdUselessPrefetchesPeakMidSelectivity) {
+  const size_t rows = 100000;
+  uint64_t low = 0, mid = 0, full = 0;
+  for (const auto& [sel, out] :
+       std::vector<std::pair<double, uint64_t*>>{
+           {0.001, &low}, {0.3, &mid}, {1.0, &full}}) {
+    std::vector<ScanStage> stages;
+    const auto columns = MakeColumns(rows, sel, 29, &stages);
+    StreamPrefetcherSim prefetcher;
+    *out = ReplaySisdScanAccesses(stages.data(), stages.size(), rows,
+                                  prefetcher)
+               .useless_prefetches;
+  }
+  // Fig. 1's arc: rises from low selectivity to the middle, falls again
+  // when every row qualifies (the stream becomes dense and useful).
+  EXPECT_GT(mid, low);
+  EXPECT_GT(mid, full);
+}
+
+TEST(PrefetcherTest, FusedAccessPatternWastesLess) {
+  const size_t rows = 100000;
+  std::vector<ScanStage> stages;
+  const auto columns = MakeColumns(rows, 0.3, 31, &stages);
+  StreamPrefetcherSim sisd_prefetcher, fused_prefetcher;
+  const uint64_t sisd = ReplaySisdScanAccesses(stages.data(), stages.size(),
+                                               rows, sisd_prefetcher)
+                            .useless_prefetches;
+  const uint64_t fused =
+      ReplayFusedScanAccesses(stages.data(), stages.size(), rows, 16,
+                              fused_prefetcher)
+          .useless_prefetches;
+  EXPECT_LE(fused, sisd);
+}
+
+// --- perf_event wrapper ---------------------------------------------------
+
+TEST(PerfCountersTest, OpenEitherWorksOrReportsUnavailable) {
+  auto group = PerfCounterGroup::Open({HwEvent::kBranchMisses});
+  if (!group.ok()) {
+    EXPECT_EQ(group.status().code(), StatusCode::kUnavailable);
+    EXPECT_FALSE(HardwareCountersAvailable());
+    return;
+  }
+  ASSERT_TRUE(group->Start().ok());
+  volatile int sink = 0;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
+  ASSERT_TRUE(group->Stop().ok());
+  const auto values = group->Read();
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values->size(), 1u);
+}
+
+TEST(PerfCountersTest, EmptyEventListRejected) {
+  EXPECT_EQ(PerfCounterGroup::Open({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PerfCountersTest, EventNames) {
+  EXPECT_STREQ(HwEventToString(HwEvent::kBranchMisses), "branch-misses");
+  EXPECT_STREQ(HwEventToString(HwEvent::kCycles), "cycles");
+}
+
+// --- Bandwidth helpers ----------------------------------------------------
+
+TEST(BandwidthTest, StridedCountCorrect) {
+  AlignedVector<int32_t> data(64, 1);
+  data[0] = 42;
+  data[16] = 42;
+  data[17] = 42;
+  EXPECT_EQ(StridedCompareCount(data.data(), data.size(), 42, 1), 3u);
+  EXPECT_EQ(StridedCompareCount(data.data(), data.size(), 42, 16), 2u);
+  EXPECT_EQ(StridedCompareCount(data.data(), data.size(), 42, 64), 1u);
+}
+
+TEST(BandwidthTest, SampleFieldsPopulated) {
+  Xoshiro256 rng(5);
+  const auto data = GenerateUniformColumn<int32_t>(1 << 20, 0, 100, rng);
+  const BandwidthSample sample =
+      MeasureStridedScan(data.data(), data.size(), 42, 4);
+  EXPECT_GT(sample.seconds, 0.0);
+  EXPECT_GT(sample.gb_per_second, 0.0);
+  EXPECT_GT(sample.values_per_microsecond, 0.0);
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/cpu_info.h"
+#include "fts/common/random.h"
+#include "fts/simd/dispatch.h"
+#include "fts/simd/kernels_scalar.h"
+
+namespace fts {
+namespace {
+
+// Typed test columns for kernel sweeps.
+struct TestColumns {
+  std::vector<AlignedVector<int32_t>> i32;
+  std::vector<AlignedVector<uint32_t>> u32;
+  std::vector<AlignedVector<float>> f32;
+  std::vector<AlignedVector<int64_t>> i64;
+  std::vector<AlignedVector<uint64_t>> u64;
+  std::vector<AlignedVector<double>> f64;
+};
+
+// Builds a stage with small-cardinality random data so every comparator
+// produces a healthy mix of selectivities.
+ScanStage MakeStage(ScanElementType type, CompareOp op, size_t rows,
+                    Xoshiro256& rng, TestColumns& columns) {
+  ScanStage stage;
+  stage.type = type;
+  stage.op = op;
+  const int64_t search = static_cast<int64_t>(rng.NextBounded(16)) - 4;
+  switch (type) {
+    case ScanElementType::kI32: {
+      AlignedVector<int32_t> data(rows);
+      for (auto& v : data) v = static_cast<int32_t>(rng.NextBounded(16)) - 4;
+      columns.i32.push_back(std::move(data));
+      stage.data = columns.i32.back().data();
+      stage.value.i32 = static_cast<int32_t>(search);
+      break;
+    }
+    case ScanElementType::kU32: {
+      AlignedVector<uint32_t> data(rows);
+      // Include values around the signed/unsigned boundary.
+      for (auto& v : data) {
+        v = static_cast<uint32_t>(rng.NextBounded(16)) +
+            (rng.NextBool() ? 0x7FFFFFF8u : 0u);
+      }
+      columns.u32.push_back(std::move(data));
+      stage.data = columns.u32.back().data();
+      stage.value.u32 =
+          static_cast<uint32_t>(rng.NextBounded(16)) +
+          (rng.NextBool() ? 0x7FFFFFF8u : 0u);
+      break;
+    }
+    case ScanElementType::kF32: {
+      AlignedVector<float> data(rows);
+      for (auto& v : data) {
+        v = static_cast<float>(static_cast<int64_t>(rng.NextBounded(16)) - 4) /
+            2.0f;
+      }
+      columns.f32.push_back(std::move(data));
+      stage.data = columns.f32.back().data();
+      stage.value.f32 = static_cast<float>(search) / 2.0f;
+      break;
+    }
+    case ScanElementType::kI64: {
+      AlignedVector<int64_t> data(rows);
+      for (auto& v : data) {
+        v = (static_cast<int64_t>(rng.NextBounded(16)) - 4) *
+            (rng.NextBool() ? 1'000'000'000'000LL : 1LL);
+      }
+      columns.i64.push_back(std::move(data));
+      stage.data = columns.i64.back().data();
+      stage.value.i64 = search * (rng.NextBool() ? 1'000'000'000'000LL : 1LL);
+      break;
+    }
+    case ScanElementType::kU64: {
+      AlignedVector<uint64_t> data(rows);
+      for (auto& v : data) {
+        v = rng.NextBounded(16) + (rng.NextBool() ? (1ULL << 63) : 0ULL);
+      }
+      columns.u64.push_back(std::move(data));
+      stage.data = columns.u64.back().data();
+      stage.value.u64 =
+          rng.NextBounded(16) + (rng.NextBool() ? (1ULL << 63) : 0ULL);
+      break;
+    }
+    case ScanElementType::kF64: {
+      AlignedVector<double> data(rows);
+      for (auto& v : data) {
+        v = static_cast<double>(static_cast<int64_t>(rng.NextBounded(16)) -
+                                4) /
+            2.0;
+      }
+      columns.f64.push_back(std::move(data));
+      stage.data = columns.f64.back().data();
+      stage.value.f64 = static_cast<double>(search) / 2.0;
+      break;
+    }
+  }
+  return stage;
+}
+
+void ExpectSameOutput(FusedScanFn kernel, const char* label,
+                      const std::vector<ScanStage>& stages, size_t rows) {
+  std::vector<uint32_t> expected(rows + kScanOutputSlack);
+  std::vector<uint32_t> actual(rows + kScanOutputSlack);
+  const size_t n_expected =
+      FusedScanScalar(stages.data(), stages.size(), rows, expected.data());
+  const size_t n_actual =
+      kernel(stages.data(), stages.size(), rows, actual.data());
+  ASSERT_EQ(n_actual, n_expected) << label << " rows=" << rows;
+  for (size_t i = 0; i < n_expected; ++i) {
+    ASSERT_EQ(actual[i], expected[i]) << label << " position " << i;
+  }
+}
+
+// Parameter space: kernel kind x element type x comparator.
+using KernelSweepParam =
+    std::tuple<FusedKernelKind, ScanElementType, CompareOp>;
+
+class KernelSweepTest : public ::testing::TestWithParam<KernelSweepParam> {
+ protected:
+  void SetUp() override {
+    const FusedKernelKind kind = std::get<0>(GetParam());
+    auto kernel = GetFusedScanKernel(kind);
+    if (!kernel.ok()) {
+      GTEST_SKIP() << kernel.status().ToString();
+    }
+    kernel_ = *kernel;
+  }
+  FusedScanFn kernel_ = nullptr;
+};
+
+TEST_P(KernelSweepTest, SinglePredicateMatchesReference) {
+  const auto [kind, type, op] = GetParam();
+  Xoshiro256 rng(static_cast<uint64_t>(type) * 100 +
+                 static_cast<uint64_t>(op));
+  // Sizes cover empty, sub-register, register-multiple, and ragged tails.
+  for (const size_t rows : {0ul, 1ul, 3ul, 4ul, 15ul, 16ul, 17ul, 64ul,
+                            100ul, 1000ul, 4099ul}) {
+    TestColumns columns;
+    std::vector<ScanStage> stages = {
+        MakeStage(type, op, rows, rng, columns)};
+    ExpectSameOutput(kernel_, FusedKernelKindToString(kind), stages, rows);
+  }
+}
+
+TEST_P(KernelSweepTest, ChainedWithSecondPredicate) {
+  const auto [kind, type, op] = GetParam();
+  Xoshiro256 rng(static_cast<uint64_t>(type) * 1000 +
+                 static_cast<uint64_t>(op) + 7);
+  for (const size_t rows : {33ul, 256ul, 1025ul}) {
+    TestColumns columns;
+    std::vector<ScanStage> stages;
+    // The parameterized stage first, then an i32 equality follow-up; and
+    // the reverse order, exercising the gather path for `type`.
+    stages.push_back(MakeStage(type, op, rows, rng, columns));
+    stages.push_back(
+        MakeStage(ScanElementType::kI32, CompareOp::kEq, rows, rng, columns));
+    ExpectSameOutput(kernel_, FusedKernelKindToString(kind), stages, rows);
+
+    std::swap(stages[0], stages[1]);
+    ExpectSameOutput(kernel_, FusedKernelKindToString(kind), stages, rows);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelSweepTest,
+    ::testing::Combine(
+        ::testing::Values(FusedKernelKind::kScalar, FusedKernelKind::kAvx2_128,
+                          FusedKernelKind::kAvx512_128,
+                          FusedKernelKind::kAvx512_256,
+                          FusedKernelKind::kAvx512_512),
+        ::testing::Values(ScanElementType::kI32, ScanElementType::kU32,
+                          ScanElementType::kF32, ScanElementType::kI64,
+                          ScanElementType::kU64, ScanElementType::kF64),
+        ::testing::ValuesIn(kAllCompareOps)));
+
+// Deep-chain and edge-case tests on the fastest available kernel.
+class FusedChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = *GetFusedScanKernel(BestAvailableKernel());
+  }
+  FusedScanFn kernel_ = nullptr;
+};
+
+TEST_F(FusedChainTest, FiveStageChain) {
+  Xoshiro256 rng(2024);
+  const size_t rows = 10000;
+  TestColumns columns;
+  std::vector<ScanStage> stages;
+  for (int s = 0; s < 5; ++s) {
+    stages.push_back(MakeStage(ScanElementType::kI32, CompareOp::kEq, rows,
+                               rng, columns));
+  }
+  ExpectSameOutput(kernel_, "five-stage", stages, rows);
+}
+
+TEST_F(FusedChainTest, MaxStageChain) {
+  Xoshiro256 rng(2025);
+  const size_t rows = 3000;
+  TestColumns columns;
+  std::vector<ScanStage> stages;
+  for (size_t s = 0; s < kMaxScanStages; ++s) {
+    stages.push_back(MakeStage(ScanElementType::kI32, CompareOp::kNe, rows,
+                               rng, columns));
+  }
+  ExpectSameOutput(kernel_, "max-stage", stages, rows);
+}
+
+TEST_F(FusedChainTest, AllRowsMatch) {
+  const size_t rows = 1000;
+  AlignedVector<int32_t> data(rows, 5);
+  std::vector<ScanStage> stages(2);
+  for (auto& stage : stages) {
+    stage = {data.data(), ScanElementType::kI32, CompareOp::kEq, {}};
+    stage.value.i32 = 5;
+  }
+  std::vector<uint32_t> out(rows + kScanOutputSlack);
+  EXPECT_EQ(kernel_(stages.data(), 2, rows, out.data()), rows);
+  for (size_t i = 0; i < rows; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST_F(FusedChainTest, NoRowMatches) {
+  const size_t rows = 1000;
+  AlignedVector<int32_t> data(rows, 5);
+  ScanStage stage{data.data(), ScanElementType::kI32, CompareOp::kEq, {}};
+  stage.value.i32 = 6;
+  std::vector<uint32_t> out(rows + kScanOutputSlack);
+  EXPECT_EQ(kernel_(&stage, 1, rows, out.data()), 0u);
+}
+
+TEST_F(FusedChainTest, SingleMatchAtLastRow) {
+  const size_t rows = 997;  // Ragged tail.
+  AlignedVector<int32_t> a(rows, 1), b(rows, 1);
+  a[rows - 1] = 5;
+  b[rows - 1] = 2;
+  std::vector<ScanStage> stages(2);
+  stages[0] = {a.data(), ScanElementType::kI32, CompareOp::kEq, {}};
+  stages[0].value.i32 = 5;
+  stages[1] = {b.data(), ScanElementType::kI32, CompareOp::kEq, {}};
+  stages[1].value.i32 = 2;
+  std::vector<uint32_t> out(rows + kScanOutputSlack);
+  ASSERT_EQ(kernel_(stages.data(), 2, rows, out.data()), 1u);
+  EXPECT_EQ(out[0], rows - 1);
+}
+
+TEST(DispatchTest, BestKernelIsAvailable) {
+  EXPECT_TRUE(GetFusedScanKernel(BestAvailableKernel()).ok());
+}
+
+TEST(DispatchTest, AvailableKernelsAllResolve) {
+  for (const FusedKernelKind kind : AvailableKernels()) {
+    EXPECT_TRUE(GetFusedScanKernel(kind).ok())
+        << FusedKernelKindToString(kind);
+  }
+}
+
+TEST(DispatchTest, ScalarAlwaysPresent) {
+  const auto kinds = AvailableKernels();
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), FusedKernelKind::kScalar),
+            kinds.end());
+}
+
+TEST(ScanStageTest, ElementTypeMapping) {
+  EXPECT_EQ(*ScanElementTypeFromDataType(DataType::kInt32),
+            ScanElementType::kI32);
+  EXPECT_EQ(*ScanElementTypeFromDataType(DataType::kFloat64),
+            ScanElementType::kF64);
+  EXPECT_FALSE(ScanElementTypeFromDataType(DataType::kInt8).ok());
+  EXPECT_FALSE(ScanElementTypeFromDataType(DataType::kUInt16).ok());
+}
+
+TEST(ScanStageTest, MakeScanValueBits) {
+  EXPECT_EQ(MakeScanValue(ScanElementType::kI32, Value(int32_t{-7})).i32,
+            -7);
+  EXPECT_EQ(MakeScanValue(ScanElementType::kU64, Value(uint64_t{1} << 60))
+                .u64,
+            uint64_t{1} << 60);
+  EXPECT_FLOAT_EQ(MakeScanValue(ScanElementType::kF32, Value(2.5f)).f32,
+                  2.5f);
+}
+
+}  // namespace
+}  // namespace fts

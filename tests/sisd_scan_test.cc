@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "fts/common/random.h"
+#include "fts/scan/sisd_scan.h"
+#include "fts/simd/kernels_scalar.h"
+#include "fts/storage/data_generator.h"
+
+namespace fts {
+namespace {
+
+// Both SISD build flavors must agree with the scalar fused reference for
+// counts and positions across types, ops, and chain lengths.
+struct Workload {
+  std::vector<AlignedVector<int32_t>> i32;
+  std::vector<AlignedVector<double>> f64;
+  std::vector<ScanStage> stages;
+};
+
+Workload MakeWorkload(size_t rows, size_t num_stages, bool mixed,
+                      uint64_t seed) {
+  Workload workload;
+  Xoshiro256 rng(seed);
+  for (size_t s = 0; s < num_stages; ++s) {
+    ScanStage stage;
+    stage.op = static_cast<CompareOp>(
+        kAllCompareOps[rng.NextBounded(6)]);
+    if (mixed && (s % 2 == 1)) {
+      AlignedVector<double> data(rows);
+      for (auto& v : data) {
+        v = static_cast<double>(static_cast<int64_t>(rng.NextBounded(10)));
+      }
+      workload.f64.push_back(std::move(data));
+      stage.data = workload.f64.back().data();
+      stage.type = ScanElementType::kF64;
+      stage.value.f64 = static_cast<double>(rng.NextBounded(10));
+    } else {
+      AlignedVector<int32_t> data(rows);
+      for (auto& v : data) v = static_cast<int32_t>(rng.NextBounded(10));
+      workload.i32.push_back(std::move(data));
+      stage.data = workload.i32.back().data();
+      stage.type = ScanElementType::kI32;
+      stage.value.i32 = static_cast<int32_t>(rng.NextBounded(10));
+    }
+    workload.stages.push_back(stage);
+  }
+  // Homogeneous chains must share one op to hit the tight path.
+  if (!mixed) {
+    for (auto& stage : workload.stages) stage.op = workload.stages[0].op;
+  }
+  return workload;
+}
+
+class SisdAgreementTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, bool>> {};
+
+TEST_P(SisdAgreementTest, CountsAgreeWithReference) {
+  const auto [rows, num_stages, mixed] = GetParam();
+  const Workload workload =
+      MakeWorkload(rows, num_stages, mixed, rows * 31 + num_stages);
+  const size_t expected = FusedScanScalarCount(
+      workload.stages.data(), workload.stages.size(), rows);
+  EXPECT_EQ(SisdScanNoVecCount(workload.stages.data(),
+                               workload.stages.size(), rows),
+            expected);
+  EXPECT_EQ(SisdScanAutoVecCount(workload.stages.data(),
+                                 workload.stages.size(), rows),
+            expected);
+}
+
+TEST_P(SisdAgreementTest, PositionsAgreeWithReference) {
+  const auto [rows, num_stages, mixed] = GetParam();
+  const Workload workload =
+      MakeWorkload(rows, num_stages, mixed, rows * 37 + num_stages);
+  std::vector<uint32_t> expected(rows + kScanOutputSlack);
+  std::vector<uint32_t> novec(rows + kScanOutputSlack);
+  std::vector<uint32_t> autovec(rows + kScanOutputSlack);
+  const size_t n = FusedScanScalar(workload.stages.data(),
+                                   workload.stages.size(), rows,
+                                   expected.data());
+  ASSERT_EQ(SisdScanNoVecCollect(workload.stages.data(),
+                                 workload.stages.size(), rows, novec.data()),
+            n);
+  ASSERT_EQ(
+      SisdScanAutoVecCollect(workload.stages.data(),
+                             workload.stages.size(), rows, autovec.data()),
+      n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(novec[i], expected[i]);
+    ASSERT_EQ(autovec[i], expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SisdAgreementTest,
+    ::testing::Combine(::testing::Values<size_t>(0, 1, 17, 1000, 4096),
+                       ::testing::Values<size_t>(1, 2, 3, 5, 8),
+                       ::testing::Bool()));
+
+TEST(SisdScanTest, EmptyInput) {
+  AlignedVector<int32_t> data = {1};
+  ScanStage stage{data.data(), ScanElementType::kI32, CompareOp::kEq, {}};
+  stage.value.i32 = 1;
+  EXPECT_EQ(SisdScanNoVecCount(&stage, 1, 0), 0u);
+}
+
+TEST(SisdScanTest, UnsignedBoundary) {
+  // u32 comparisons around the sign bit must be unsigned.
+  AlignedVector<uint32_t> data = {0u, 1u, 0x7FFFFFFFu, 0x80000000u,
+                                  0xFFFFFFFFu};
+  ScanStage stage{data.data(), ScanElementType::kU32, CompareOp::kGt, {}};
+  stage.value.u32 = 0x7FFFFFFFu;
+  EXPECT_EQ(SisdScanNoVecCount(&stage, 1, data.size()), 2u);
+  EXPECT_EQ(SisdScanAutoVecCount(&stage, 1, data.size()), 2u);
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "fts/sql/lexer.h"
+#include "fts/sql/parser.h"
+
+namespace fts {
+namespace {
+
+TEST(LexerTest, TokenizesKeywordsCaseInsensitive) {
+  const auto tokens = Tokenize("select COUNT from WhErE and between");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 7u);  // 6 + EOF.
+  EXPECT_EQ((*tokens)[0].type, TokenType::kSelect);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kCount);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFrom);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kWhere);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kAnd);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kBetween);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  const auto tokens = Tokenize("= <> != < <= > >= , * ( ) ; - +");
+  ASSERT_TRUE(tokens.ok());
+  const TokenType expected[] = {
+      TokenType::kEq, TokenType::kNe,    TokenType::kNe,
+      TokenType::kLt, TokenType::kLe,    TokenType::kGt,
+      TokenType::kGe, TokenType::kComma, TokenType::kStar,
+      TokenType::kLParen, TokenType::kRParen, TokenType::kSemicolon,
+      TokenType::kMinus,  TokenType::kPlus,   TokenType::kEndOfInput};
+  ASSERT_EQ(tokens->size(), std::size(expected));
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ((*tokens)[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = Tokenize("42 3.5 .25 1e3 2.5E-2");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kNumber) << i;
+  }
+  EXPECT_EQ((*tokens)[0].text, "42");
+  EXPECT_EQ((*tokens)[4].text, "2.5E-2");
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  const auto tokens = Tokenize("a  =  5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 3u);
+  EXPECT_EQ((*tokens)[2].position, 6u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("select @ from t").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(ParserTest, CountStarQuery) {
+  const auto statement =
+      ParseSelect("SELECT COUNT(*) FROM tbl WHERE a = 5 AND b = 2");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_TRUE(statement->count_star);
+  EXPECT_EQ(statement->table, "tbl");
+  ASSERT_EQ(statement->predicates.size(), 2u);
+  EXPECT_EQ(statement->predicates[0].column, "a");
+  EXPECT_EQ(statement->predicates[0].op, CompareOp::kEq);
+  EXPECT_EQ(ValueAs<int64_t>(statement->predicates[0].literal), 5);
+  EXPECT_EQ(statement->predicates[1].column, "b");
+}
+
+TEST(ParserTest, ProjectionList) {
+  const auto statement = ParseSelect("SELECT a, b, c FROM t;");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_FALSE(statement->count_star);
+  EXPECT_EQ(statement->columns,
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(statement->predicates.empty());
+}
+
+TEST(ParserTest, SelectStar) {
+  const auto statement = ParseSelect("SELECT * FROM t WHERE x >= 3");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_TRUE(statement->select_all);
+  EXPECT_EQ(statement->predicates[0].op, CompareOp::kGe);
+}
+
+TEST(ParserTest, AllComparators) {
+  const auto statement = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE a = 1 AND b <> 2 AND c != 3 AND d < 4 "
+      "AND e <= 5 AND f > 6 AND g >= 7");
+  ASSERT_TRUE(statement.ok());
+  const CompareOp expected[] = {CompareOp::kEq, CompareOp::kNe,
+                                CompareOp::kNe, CompareOp::kLt,
+                                CompareOp::kLe, CompareOp::kGt,
+                                CompareOp::kGe};
+  ASSERT_EQ(statement->predicates.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(statement->predicates[i].op, expected[i]) << i;
+  }
+}
+
+TEST(ParserTest, BetweenDesugars) {
+  const auto statement =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE a BETWEEN 3 AND 7");
+  ASSERT_TRUE(statement.ok());
+  ASSERT_EQ(statement->predicates.size(), 2u);
+  EXPECT_EQ(statement->predicates[0].op, CompareOp::kGe);
+  EXPECT_EQ(ValueAs<int64_t>(statement->predicates[0].literal), 3);
+  EXPECT_EQ(statement->predicates[1].op, CompareOp::kLe);
+  EXPECT_EQ(ValueAs<int64_t>(statement->predicates[1].literal), 7);
+}
+
+TEST(ParserTest, BetweenFollowedByAnd) {
+  const auto statement = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE a BETWEEN 3 AND 7 AND b = 1");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  EXPECT_EQ(statement->predicates.size(), 3u);
+}
+
+TEST(ParserTest, NegativeAndFloatLiterals) {
+  const auto statement =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE a = -5 AND b < 2.5");
+  ASSERT_TRUE(statement.ok());
+  EXPECT_EQ(ValueAs<int64_t>(statement->predicates[0].literal), -5);
+  EXPECT_DOUBLE_EQ(ValueAs<double>(statement->predicates[1].literal), 2.5);
+}
+
+TEST(ParserTest, ErrorsCarryPositionContext) {
+  const auto missing_from = ParseSelect("SELECT COUNT(*) tbl");
+  ASSERT_FALSE(missing_from.ok());
+  EXPECT_NE(missing_from.status().message().find("FROM"),
+            std::string::npos);
+
+  const auto bad_predicate = ParseSelect("SELECT * FROM t WHERE a ++ 5");
+  ASSERT_FALSE(bad_predicate.ok());
+
+  const auto trailing = ParseSelect("SELECT * FROM t WHERE a = 5 garbage");
+  ASSERT_FALSE(trailing.ok());
+}
+
+TEST(ParserTest, RejectsMalformedProjection) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a, FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT COUNT(a) FROM t").ok());
+}
+
+TEST(ParserTest, StatementToStringRoundTrip) {
+  const std::string sql =
+      "SELECT COUNT(*) FROM tbl WHERE a = 5 AND b < 2";
+  const auto statement = ParseSelect(sql);
+  ASSERT_TRUE(statement.ok());
+  const auto reparsed = ParseSelect(statement->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), statement->ToString());
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "fts/common/random.h"
+#include "fts/storage/data_generator.h"
+#include "fts/storage/table_builder.h"
+#include "fts/storage/table_statistics.h"
+#include "fts/storage/value_column.h"
+
+namespace fts {
+namespace {
+
+TablePtr MakeInt32Table(AlignedVector<int32_t> a, AlignedVector<int32_t> b,
+                        bool dictionary = false) {
+  TableBuilder builder({{"a", DataType::kInt32}, {"b", DataType::kInt32}});
+  if (dictionary) {
+    builder.SetDictionaryEncoded(0);
+    builder.SetDictionaryEncoded(1);
+    for (size_t i = 0; i < a.size(); ++i) {
+      FTS_CHECK(builder.AppendRow({Value(a[i]), Value(b[i])}).ok());
+    }
+    return builder.Build();
+  }
+  std::vector<ColumnPtr> columns = {
+      std::make_shared<ValueColumn<int32_t>>(std::move(a)),
+      std::make_shared<ValueColumn<int32_t>>(std::move(b))};
+  FTS_CHECK(builder.AddChunk(std::move(columns)).ok());
+  return builder.Build();
+}
+
+TEST(TableStatisticsTest, MinMaxExact) {
+  const TablePtr table =
+      MakeInt32Table({5, -3, 9, 0}, {100, 100, 100, 100});
+  const TableStatistics stats = TableStatistics::Compute(*table);
+  EXPECT_DOUBLE_EQ(stats.column(0).min, -3.0);
+  EXPECT_DOUBLE_EQ(stats.column(0).max, 9.0);
+  EXPECT_DOUBLE_EQ(stats.column(1).min, 100.0);
+  EXPECT_DOUBLE_EQ(stats.column(1).max, 100.0);
+  EXPECT_EQ(stats.row_count(), 4u);
+}
+
+TEST(TableStatisticsTest, DictionaryDistinctExact) {
+  const TablePtr table =
+      MakeInt32Table({1, 2, 2, 3, 3, 3}, {7, 7, 7, 7, 7, 7},
+                     /*dictionary=*/true);
+  const TableStatistics stats = TableStatistics::Compute(*table);
+  EXPECT_DOUBLE_EQ(stats.column(0).distinct_count, 3.0);
+  EXPECT_DOUBLE_EQ(stats.column(1).distinct_count, 1.0);
+}
+
+TEST(TableStatisticsTest, SelectivityEquality) {
+  // 100 distinct values uniformly: eq should estimate ~1%.
+  Xoshiro256 rng(5);
+  AlignedVector<int32_t> a = GenerateUniformColumn<int32_t>(10000, 0, 99, rng);
+  const TablePtr table = MakeInt32Table(std::move(a),
+                                        AlignedVector<int32_t>(10000, 1));
+  const TableStatistics stats = TableStatistics::Compute(*table);
+  const double sel = stats.EstimateSelectivity(0, CompareOp::kEq, Value(50));
+  EXPECT_GT(sel, 0.001);
+  EXPECT_LT(sel, 0.05);
+}
+
+TEST(TableStatisticsTest, SelectivityRange) {
+  AlignedVector<int32_t> a(1000);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<int32_t>(i);
+  const TablePtr table =
+      MakeInt32Table(std::move(a), AlignedVector<int32_t>(1000, 1));
+  const TableStatistics stats = TableStatistics::Compute(*table);
+  EXPECT_NEAR(stats.EstimateSelectivity(0, CompareOp::kLt, Value(500)), 0.5,
+              0.05);
+  EXPECT_NEAR(stats.EstimateSelectivity(0, CompareOp::kGe, Value(900)), 0.1,
+              0.05);
+  // Out-of-range probes.
+  EXPECT_DOUBLE_EQ(stats.EstimateSelectivity(0, CompareOp::kLt, Value(-5)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      stats.EstimateSelectivity(0, CompareOp::kLt, Value(10000)), 1.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateSelectivity(0, CompareOp::kEq, Value(-5)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(stats.EstimateSelectivity(0, CompareOp::kNe, Value(-5)),
+                   1.0);
+}
+
+TEST(TableStatisticsTest, EstimatesBounded) {
+  Xoshiro256 rng(6);
+  AlignedVector<int32_t> a = GenerateUniformColumn<int32_t>(5000, -50, 50, rng);
+  const TablePtr table =
+      MakeInt32Table(std::move(a), AlignedVector<int32_t>(5000, 1));
+  const TableStatistics stats = TableStatistics::Compute(*table);
+  for (const CompareOp op : kAllCompareOps) {
+    for (const int32_t probe : {-100, -50, 0, 50, 100}) {
+      const double sel = stats.EstimateSelectivity(0, op, Value(probe));
+      EXPECT_GE(sel, 0.0) << CompareOpToString(op) << " " << probe;
+      EXPECT_LE(sel, 1.0) << CompareOpToString(op) << " " << probe;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "fts/storage/data_type.h"
+#include "fts/storage/table.h"
+#include "fts/storage/table_builder.h"
+#include "fts/storage/value.h"
+#include "fts/storage/value_column.h"
+
+namespace fts {
+namespace {
+
+TEST(DataTypeTest, RoundTripNames) {
+  for (int i = 0; i < kNumDataTypes; ++i) {
+    const DataType type = static_cast<DataType>(i);
+    EXPECT_EQ(DataTypeFromString(DataTypeToString(type)), type);
+  }
+}
+
+TEST(DataTypeTest, SqlAliases) {
+  DataType type{};
+  ASSERT_TRUE(TryParseDataType("int", &type));
+  EXPECT_EQ(type, DataType::kInt32);
+  ASSERT_TRUE(TryParseDataType("bigint", &type));
+  EXPECT_EQ(type, DataType::kInt64);
+  ASSERT_TRUE(TryParseDataType("double", &type));
+  EXPECT_EQ(type, DataType::kFloat64);
+  EXPECT_FALSE(TryParseDataType("varchar", &type));
+}
+
+TEST(DataTypeTest, SizesAndClasses) {
+  EXPECT_EQ(DataTypeSize(DataType::kInt8), 1u);
+  EXPECT_EQ(DataTypeSize(DataType::kUInt16), 2u);
+  EXPECT_EQ(DataTypeSize(DataType::kFloat32), 4u);
+  EXPECT_EQ(DataTypeSize(DataType::kFloat64), 8u);
+  EXPECT_TRUE(DataTypeIsSigned(DataType::kInt8));
+  EXPECT_FALSE(DataTypeIsSigned(DataType::kUInt64));
+  EXPECT_TRUE(DataTypeIsFloat(DataType::kFloat32));
+  EXPECT_TRUE(DataTypeIsInteger(DataType::kUInt8));
+}
+
+TEST(DataTypeTest, DispatchHitsEveryType) {
+  int count = 0;
+  for (int i = 0; i < kNumDataTypes; ++i) {
+    DispatchDataType(static_cast<DataType>(i), [&](auto tag) {
+      EXPECT_EQ(TypeTraits<decltype(tag)>::kType, static_cast<DataType>(i));
+      ++count;
+    });
+  }
+  EXPECT_EQ(count, kNumDataTypes);
+}
+
+TEST(ValueTest, TypeTagMatchesAlternative) {
+  EXPECT_EQ(ValueType(Value(int32_t{5})), DataType::kInt32);
+  EXPECT_EQ(ValueType(Value(3.5)), DataType::kFloat64);
+  EXPECT_EQ(ValueType(Value(uint8_t{1})), DataType::kUInt8);
+}
+
+TEST(ValueTest, ToStringRendersByClass) {
+  EXPECT_EQ(ValueToString(Value(int32_t{-5})), "-5");
+  EXPECT_EQ(ValueToString(Value(uint64_t{5})), "5");
+  EXPECT_EQ(ValueToString(Value(2.5)), "2.5");
+}
+
+TEST(ValueTest, CastExactSucceeds) {
+  const auto casted = CastValue(Value(int64_t{5}), DataType::kInt8);
+  ASSERT_TRUE(casted.ok());
+  EXPECT_EQ(ValueType(*casted), DataType::kInt8);
+  EXPECT_EQ(ValueAs<int>(*casted), 5);
+}
+
+TEST(ValueTest, CastOverflowFails) {
+  EXPECT_FALSE(CastValue(Value(int64_t{300}), DataType::kInt8).ok());
+  EXPECT_FALSE(CastValue(Value(int64_t{-1}), DataType::kUInt32).ok());
+}
+
+TEST(ValueTest, CastFractionLossFails) {
+  EXPECT_FALSE(CastValue(Value(5.5), DataType::kInt32).ok());
+  EXPECT_TRUE(CastValue(Value(5.0), DataType::kInt32).ok());
+}
+
+TEST(ValueTest, ParseNumericLiteral) {
+  auto v = ParseNumericLiteral("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ValueType(*v), DataType::kInt64);
+  v = ParseNumericLiteral("2.5");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ValueType(*v), DataType::kFloat64);
+  v = ParseNumericLiteral("1e3");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(ValueAs<double>(*v), 1000.0);
+  EXPECT_FALSE(ParseNumericLiteral("abc").ok());
+  EXPECT_FALSE(ParseNumericLiteral("").ok());
+}
+
+TEST(TableBuilderTest, RowWiseBuildsChunks) {
+  TableBuilder builder(
+      {{"a", DataType::kInt32}, {"b", DataType::kFloat64}}, 3);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(builder
+                    .AppendRow({Value(int64_t{i}),
+                                Value(static_cast<double>(i) / 2)})
+                    .ok());
+  }
+  const TablePtr table = builder.Build();
+  EXPECT_EQ(table->row_count(), 7u);
+  EXPECT_EQ(table->chunk_count(), 3u);  // 3 + 3 + 1.
+  EXPECT_EQ(table->chunk(0).row_count(), 3u);
+  EXPECT_EQ(table->chunk(2).row_count(), 1u);
+  EXPECT_EQ(ValueAs<int>(table->GetValue(0, {2, 0})), 6);
+  EXPECT_DOUBLE_EQ(ValueAs<double>(table->GetValue(1, {1, 2})), 2.5);
+}
+
+TEST(TableBuilderTest, RejectsArityMismatch) {
+  TableBuilder builder({{"a", DataType::kInt32}});
+  EXPECT_FALSE(builder.AppendRow({Value(1), Value(2)}).ok());
+}
+
+TEST(TableBuilderTest, RejectsUnrepresentableValue) {
+  TableBuilder builder({{"a", DataType::kInt8}});
+  EXPECT_FALSE(builder.AppendRow({Value(int64_t{1000})}).ok());
+  // The failed row must not corrupt the builder.
+  ASSERT_TRUE(builder.AppendRow({Value(int64_t{5})}).ok());
+  EXPECT_EQ(builder.Build()->row_count(), 1u);
+}
+
+TEST(TableBuilderTest, BulkChunkTypeChecked) {
+  TableBuilder builder({{"a", DataType::kInt32}});
+  AlignedVector<int64_t> wrong = {1, 2, 3};
+  EXPECT_FALSE(
+      builder
+          .AddChunk({std::make_shared<ValueColumn<int64_t>>(std::move(wrong))})
+          .ok());
+  AlignedVector<int32_t> right = {1, 2, 3};
+  EXPECT_TRUE(
+      builder
+          .AddChunk({std::make_shared<ValueColumn<int32_t>>(std::move(right))})
+          .ok());
+  EXPECT_EQ(builder.Build()->row_count(), 3u);
+}
+
+TEST(TableTest, ColumnLookup) {
+  TableBuilder builder({{"a", DataType::kInt32}, {"b", DataType::kInt32}});
+  ASSERT_TRUE(builder.AppendRow({Value(1), Value(2)}).ok());
+  const TablePtr table = builder.Build();
+  EXPECT_EQ(*table->ColumnIndex("b"), 1u);
+  EXPECT_FALSE(table->ColumnIndex("zzz").ok());
+  EXPECT_EQ(table->column_definition(0).name, "a");
+}
+
+TEST(TableTest, DictionaryEncodedColumnRoundTrips) {
+  TableBuilder builder({{"a", DataType::kInt32}});
+  builder.SetDictionaryEncoded(0);
+  for (const int v : {5, 3, 5, 9, 3}) {
+    ASSERT_TRUE(builder.AppendRow({Value(v)}).ok());
+  }
+  const TablePtr table = builder.Build();
+  const BaseColumn& column = table->chunk(0).column(0);
+  EXPECT_EQ(column.encoding(), ColumnEncoding::kDictionary);
+  EXPECT_EQ(column.scan_type(), DataType::kUInt32);
+  EXPECT_EQ(ValueAs<int>(column.GetValue(0)), 5);
+  EXPECT_EQ(ValueAs<int>(column.GetValue(3)), 9);
+}
+
+}  // namespace
+}  // namespace fts
