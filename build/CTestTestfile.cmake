@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/fts/common")
+subdirs("src/fts/storage")
+subdirs("src/fts/simd")
+subdirs("src/fts/scan")
+subdirs("src/fts/perf")
+subdirs("src/fts/jit")
+subdirs("src/fts/sql")
+subdirs("src/fts/plan")
+subdirs("src/fts/db")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bitpacking.dir/ablation_bitpacking.cc.o"
+  "CMakeFiles/ablation_bitpacking.dir/ablation_bitpacking.cc.o.d"
+  "ablation_bitpacking"
+  "ablation_bitpacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bitpacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

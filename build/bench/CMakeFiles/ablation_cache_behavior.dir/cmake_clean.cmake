@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_behavior.dir/ablation_cache_behavior.cc.o"
+  "CMakeFiles/ablation_cache_behavior.dir/ablation_cache_behavior.cc.o.d"
+  "ablation_cache_behavior"
+  "ablation_cache_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_fusion.cc" "bench/CMakeFiles/ablation_fusion.dir/ablation_fusion.cc.o" "gcc" "bench/CMakeFiles/ablation_fusion.dir/ablation_fusion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fts/db/CMakeFiles/fts_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/plan/CMakeFiles/fts_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/jit/CMakeFiles/fts_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/scan/CMakeFiles/fts_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/perf/CMakeFiles/fts_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/simd/CMakeFiles/fts_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/sql/CMakeFiles/fts_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/storage/CMakeFiles/fts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/common/CMakeFiles/fts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

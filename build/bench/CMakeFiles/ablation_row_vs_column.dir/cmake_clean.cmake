@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_row_vs_column.dir/ablation_row_vs_column.cc.o"
+  "CMakeFiles/ablation_row_vs_column.dir/ablation_row_vs_column.cc.o.d"
+  "ablation_row_vs_column"
+  "ablation_row_vs_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_row_vs_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

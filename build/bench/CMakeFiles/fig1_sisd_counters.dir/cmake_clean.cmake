@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sisd_counters.dir/fig1_sisd_counters.cc.o"
+  "CMakeFiles/fig1_sisd_counters.dir/fig1_sisd_counters.cc.o.d"
+  "fig1_sisd_counters"
+  "fig1_sisd_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sisd_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bandwidth_ceiling.dir/fig2_bandwidth_ceiling.cc.o"
+  "CMakeFiles/fig2_bandwidth_ceiling.dir/fig2_bandwidth_ceiling.cc.o.d"
+  "fig2_bandwidth_ceiling"
+  "fig2_bandwidth_ceiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bandwidth_ceiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

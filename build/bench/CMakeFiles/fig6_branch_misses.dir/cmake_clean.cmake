@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_branch_misses.dir/fig6_branch_misses.cc.o"
+  "CMakeFiles/fig6_branch_misses.dir/fig6_branch_misses.cc.o.d"
+  "fig6_branch_misses"
+  "fig6_branch_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_branch_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_predicate_count.dir/fig7_predicate_count.cc.o"
+  "CMakeFiles/fig7_predicate_count.dir/fig7_predicate_count.cc.o.d"
+  "fig7_predicate_count"
+  "fig7_predicate_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_predicate_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_codegen_cost.dir/jit_codegen_cost.cc.o"
+  "CMakeFiles/jit_codegen_cost.dir/jit_codegen_cost.cc.o.d"
+  "jit_codegen_cost"
+  "jit_codegen_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_codegen_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_walkthrough.dir/fig3_walkthrough.cpp.o"
+  "CMakeFiles/fig3_walkthrough.dir/fig3_walkthrough.cpp.o.d"
+  "fig3_walkthrough"
+  "fig3_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_shell.dir/fts_shell.cpp.o"
+  "CMakeFiles/fts_shell.dir/fts_shell.cpp.o.d"
+  "fts_shell"
+  "fts_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_explorer.dir/jit_explorer.cpp.o"
+  "CMakeFiles/jit_explorer.dir/jit_explorer.cpp.o.d"
+  "jit_explorer"
+  "jit_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcc_visibility.dir/mvcc_visibility.cpp.o"
+  "CMakeFiles/mvcc_visibility.dir/mvcc_visibility.cpp.o.d"
+  "mvcc_visibility"
+  "mvcc_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcc_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

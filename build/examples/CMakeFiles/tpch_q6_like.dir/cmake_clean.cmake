@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_q6_like.dir/tpch_q6_like.cpp.o"
+  "CMakeFiles/tpch_q6_like.dir/tpch_q6_like.cpp.o.d"
+  "tpch_q6_like"
+  "tpch_q6_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_q6_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fts/common/cpu_info.cc" "src/fts/common/CMakeFiles/fts_common.dir/cpu_info.cc.o" "gcc" "src/fts/common/CMakeFiles/fts_common.dir/cpu_info.cc.o.d"
+  "/root/repo/src/fts/common/env.cc" "src/fts/common/CMakeFiles/fts_common.dir/env.cc.o" "gcc" "src/fts/common/CMakeFiles/fts_common.dir/env.cc.o.d"
+  "/root/repo/src/fts/common/random.cc" "src/fts/common/CMakeFiles/fts_common.dir/random.cc.o" "gcc" "src/fts/common/CMakeFiles/fts_common.dir/random.cc.o.d"
+  "/root/repo/src/fts/common/stats.cc" "src/fts/common/CMakeFiles/fts_common.dir/stats.cc.o" "gcc" "src/fts/common/CMakeFiles/fts_common.dir/stats.cc.o.d"
+  "/root/repo/src/fts/common/status.cc" "src/fts/common/CMakeFiles/fts_common.dir/status.cc.o" "gcc" "src/fts/common/CMakeFiles/fts_common.dir/status.cc.o.d"
+  "/root/repo/src/fts/common/string_util.cc" "src/fts/common/CMakeFiles/fts_common.dir/string_util.cc.o" "gcc" "src/fts/common/CMakeFiles/fts_common.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

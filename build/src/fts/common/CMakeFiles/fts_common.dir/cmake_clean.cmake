@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_common.dir/cpu_info.cc.o"
+  "CMakeFiles/fts_common.dir/cpu_info.cc.o.d"
+  "CMakeFiles/fts_common.dir/env.cc.o"
+  "CMakeFiles/fts_common.dir/env.cc.o.d"
+  "CMakeFiles/fts_common.dir/random.cc.o"
+  "CMakeFiles/fts_common.dir/random.cc.o.d"
+  "CMakeFiles/fts_common.dir/stats.cc.o"
+  "CMakeFiles/fts_common.dir/stats.cc.o.d"
+  "CMakeFiles/fts_common.dir/status.cc.o"
+  "CMakeFiles/fts_common.dir/status.cc.o.d"
+  "CMakeFiles/fts_common.dir/string_util.cc.o"
+  "CMakeFiles/fts_common.dir/string_util.cc.o.d"
+  "libfts_common.a"
+  "libfts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

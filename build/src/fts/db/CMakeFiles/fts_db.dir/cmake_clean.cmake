@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_db.dir/database.cc.o"
+  "CMakeFiles/fts_db.dir/database.cc.o.d"
+  "libfts_db.a"
+  "libfts_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fts/jit/code_generator.cc" "src/fts/jit/CMakeFiles/fts_jit.dir/code_generator.cc.o" "gcc" "src/fts/jit/CMakeFiles/fts_jit.dir/code_generator.cc.o.d"
+  "/root/repo/src/fts/jit/compiler_driver.cc" "src/fts/jit/CMakeFiles/fts_jit.dir/compiler_driver.cc.o" "gcc" "src/fts/jit/CMakeFiles/fts_jit.dir/compiler_driver.cc.o.d"
+  "/root/repo/src/fts/jit/jit_cache.cc" "src/fts/jit/CMakeFiles/fts_jit.dir/jit_cache.cc.o" "gcc" "src/fts/jit/CMakeFiles/fts_jit.dir/jit_cache.cc.o.d"
+  "/root/repo/src/fts/jit/jit_scan_engine.cc" "src/fts/jit/CMakeFiles/fts_jit.dir/jit_scan_engine.cc.o" "gcc" "src/fts/jit/CMakeFiles/fts_jit.dir/jit_scan_engine.cc.o.d"
+  "/root/repo/src/fts/jit/scan_signature.cc" "src/fts/jit/CMakeFiles/fts_jit.dir/scan_signature.cc.o" "gcc" "src/fts/jit/CMakeFiles/fts_jit.dir/scan_signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fts/scan/CMakeFiles/fts_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/simd/CMakeFiles/fts_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/common/CMakeFiles/fts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/storage/CMakeFiles/fts_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_jit.dir/code_generator.cc.o"
+  "CMakeFiles/fts_jit.dir/code_generator.cc.o.d"
+  "CMakeFiles/fts_jit.dir/compiler_driver.cc.o"
+  "CMakeFiles/fts_jit.dir/compiler_driver.cc.o.d"
+  "CMakeFiles/fts_jit.dir/jit_cache.cc.o"
+  "CMakeFiles/fts_jit.dir/jit_cache.cc.o.d"
+  "CMakeFiles/fts_jit.dir/jit_scan_engine.cc.o"
+  "CMakeFiles/fts_jit.dir/jit_scan_engine.cc.o.d"
+  "CMakeFiles/fts_jit.dir/scan_signature.cc.o"
+  "CMakeFiles/fts_jit.dir/scan_signature.cc.o.d"
+  "libfts_jit.a"
+  "libfts_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

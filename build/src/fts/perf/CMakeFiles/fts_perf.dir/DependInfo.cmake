@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fts/perf/bandwidth.cc" "src/fts/perf/CMakeFiles/fts_perf.dir/bandwidth.cc.o" "gcc" "src/fts/perf/CMakeFiles/fts_perf.dir/bandwidth.cc.o.d"
+  "/root/repo/src/fts/perf/branch_predictor.cc" "src/fts/perf/CMakeFiles/fts_perf.dir/branch_predictor.cc.o" "gcc" "src/fts/perf/CMakeFiles/fts_perf.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/fts/perf/cache_sim.cc" "src/fts/perf/CMakeFiles/fts_perf.dir/cache_sim.cc.o" "gcc" "src/fts/perf/CMakeFiles/fts_perf.dir/cache_sim.cc.o.d"
+  "/root/repo/src/fts/perf/perf_counters.cc" "src/fts/perf/CMakeFiles/fts_perf.dir/perf_counters.cc.o" "gcc" "src/fts/perf/CMakeFiles/fts_perf.dir/perf_counters.cc.o.d"
+  "/root/repo/src/fts/perf/prefetcher.cc" "src/fts/perf/CMakeFiles/fts_perf.dir/prefetcher.cc.o" "gcc" "src/fts/perf/CMakeFiles/fts_perf.dir/prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fts/simd/CMakeFiles/fts_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/common/CMakeFiles/fts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/storage/CMakeFiles/fts_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

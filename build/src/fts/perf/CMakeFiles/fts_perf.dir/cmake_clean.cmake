@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_perf.dir/bandwidth.cc.o"
+  "CMakeFiles/fts_perf.dir/bandwidth.cc.o.d"
+  "CMakeFiles/fts_perf.dir/branch_predictor.cc.o"
+  "CMakeFiles/fts_perf.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/fts_perf.dir/cache_sim.cc.o"
+  "CMakeFiles/fts_perf.dir/cache_sim.cc.o.d"
+  "CMakeFiles/fts_perf.dir/perf_counters.cc.o"
+  "CMakeFiles/fts_perf.dir/perf_counters.cc.o.d"
+  "CMakeFiles/fts_perf.dir/prefetcher.cc.o"
+  "CMakeFiles/fts_perf.dir/prefetcher.cc.o.d"
+  "libfts_perf.a"
+  "libfts_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

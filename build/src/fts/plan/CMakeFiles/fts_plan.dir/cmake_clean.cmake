@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_plan.dir/lqp.cc.o"
+  "CMakeFiles/fts_plan.dir/lqp.cc.o.d"
+  "CMakeFiles/fts_plan.dir/optimizer.cc.o"
+  "CMakeFiles/fts_plan.dir/optimizer.cc.o.d"
+  "CMakeFiles/fts_plan.dir/physical_plan.cc.o"
+  "CMakeFiles/fts_plan.dir/physical_plan.cc.o.d"
+  "CMakeFiles/fts_plan.dir/translator.cc.o"
+  "CMakeFiles/fts_plan.dir/translator.cc.o.d"
+  "libfts_plan.a"
+  "libfts_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fts/scan/row_store.cc" "src/fts/scan/CMakeFiles/fts_scan.dir/row_store.cc.o" "gcc" "src/fts/scan/CMakeFiles/fts_scan.dir/row_store.cc.o.d"
+  "/root/repo/src/fts/scan/scan_engine.cc" "src/fts/scan/CMakeFiles/fts_scan.dir/scan_engine.cc.o" "gcc" "src/fts/scan/CMakeFiles/fts_scan.dir/scan_engine.cc.o.d"
+  "/root/repo/src/fts/scan/scan_spec.cc" "src/fts/scan/CMakeFiles/fts_scan.dir/scan_spec.cc.o" "gcc" "src/fts/scan/CMakeFiles/fts_scan.dir/scan_spec.cc.o.d"
+  "/root/repo/src/fts/scan/sisd_scan_autovec.cc" "src/fts/scan/CMakeFiles/fts_scan.dir/sisd_scan_autovec.cc.o" "gcc" "src/fts/scan/CMakeFiles/fts_scan.dir/sisd_scan_autovec.cc.o.d"
+  "/root/repo/src/fts/scan/sisd_scan_novec.cc" "src/fts/scan/CMakeFiles/fts_scan.dir/sisd_scan_novec.cc.o" "gcc" "src/fts/scan/CMakeFiles/fts_scan.dir/sisd_scan_novec.cc.o.d"
+  "/root/repo/src/fts/scan/table_scan.cc" "src/fts/scan/CMakeFiles/fts_scan.dir/table_scan.cc.o" "gcc" "src/fts/scan/CMakeFiles/fts_scan.dir/table_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fts/simd/CMakeFiles/fts_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/storage/CMakeFiles/fts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/common/CMakeFiles/fts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_scan.dir/row_store.cc.o"
+  "CMakeFiles/fts_scan.dir/row_store.cc.o.d"
+  "CMakeFiles/fts_scan.dir/scan_engine.cc.o"
+  "CMakeFiles/fts_scan.dir/scan_engine.cc.o.d"
+  "CMakeFiles/fts_scan.dir/scan_spec.cc.o"
+  "CMakeFiles/fts_scan.dir/scan_spec.cc.o.d"
+  "CMakeFiles/fts_scan.dir/sisd_scan_autovec.cc.o"
+  "CMakeFiles/fts_scan.dir/sisd_scan_autovec.cc.o.d"
+  "CMakeFiles/fts_scan.dir/sisd_scan_novec.cc.o"
+  "CMakeFiles/fts_scan.dir/sisd_scan_novec.cc.o.d"
+  "CMakeFiles/fts_scan.dir/table_scan.cc.o"
+  "CMakeFiles/fts_scan.dir/table_scan.cc.o.d"
+  "libfts_scan.a"
+  "libfts_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fts/simd/dispatch.cc" "src/fts/simd/CMakeFiles/fts_simd.dir/dispatch.cc.o" "gcc" "src/fts/simd/CMakeFiles/fts_simd.dir/dispatch.cc.o.d"
+  "/root/repo/src/fts/simd/kernels_avx2.cc" "src/fts/simd/CMakeFiles/fts_simd.dir/kernels_avx2.cc.o" "gcc" "src/fts/simd/CMakeFiles/fts_simd.dir/kernels_avx2.cc.o.d"
+  "/root/repo/src/fts/simd/kernels_avx512.cc" "src/fts/simd/CMakeFiles/fts_simd.dir/kernels_avx512.cc.o" "gcc" "src/fts/simd/CMakeFiles/fts_simd.dir/kernels_avx512.cc.o.d"
+  "/root/repo/src/fts/simd/kernels_scalar.cc" "src/fts/simd/CMakeFiles/fts_simd.dir/kernels_scalar.cc.o" "gcc" "src/fts/simd/CMakeFiles/fts_simd.dir/kernels_scalar.cc.o.d"
+  "/root/repo/src/fts/simd/scan_stage.cc" "src/fts/simd/CMakeFiles/fts_simd.dir/scan_stage.cc.o" "gcc" "src/fts/simd/CMakeFiles/fts_simd.dir/scan_stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fts/storage/CMakeFiles/fts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/common/CMakeFiles/fts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_simd.dir/dispatch.cc.o"
+  "CMakeFiles/fts_simd.dir/dispatch.cc.o.d"
+  "CMakeFiles/fts_simd.dir/kernels_avx2.cc.o"
+  "CMakeFiles/fts_simd.dir/kernels_avx2.cc.o.d"
+  "CMakeFiles/fts_simd.dir/kernels_avx512.cc.o"
+  "CMakeFiles/fts_simd.dir/kernels_avx512.cc.o.d"
+  "CMakeFiles/fts_simd.dir/kernels_scalar.cc.o"
+  "CMakeFiles/fts_simd.dir/kernels_scalar.cc.o.d"
+  "CMakeFiles/fts_simd.dir/scan_stage.cc.o"
+  "CMakeFiles/fts_simd.dir/scan_stage.cc.o.d"
+  "libfts_simd.a"
+  "libfts_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

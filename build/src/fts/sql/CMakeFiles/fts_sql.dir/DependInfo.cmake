@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fts/sql/ast.cc" "src/fts/sql/CMakeFiles/fts_sql.dir/ast.cc.o" "gcc" "src/fts/sql/CMakeFiles/fts_sql.dir/ast.cc.o.d"
+  "/root/repo/src/fts/sql/lexer.cc" "src/fts/sql/CMakeFiles/fts_sql.dir/lexer.cc.o" "gcc" "src/fts/sql/CMakeFiles/fts_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/fts/sql/parser.cc" "src/fts/sql/CMakeFiles/fts_sql.dir/parser.cc.o" "gcc" "src/fts/sql/CMakeFiles/fts_sql.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fts/storage/CMakeFiles/fts_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fts/common/CMakeFiles/fts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_sql.dir/ast.cc.o"
+  "CMakeFiles/fts_sql.dir/ast.cc.o.d"
+  "CMakeFiles/fts_sql.dir/lexer.cc.o"
+  "CMakeFiles/fts_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/fts_sql.dir/parser.cc.o"
+  "CMakeFiles/fts_sql.dir/parser.cc.o.d"
+  "libfts_sql.a"
+  "libfts_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fts/storage/compare_op.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/compare_op.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/compare_op.cc.o.d"
+  "/root/repo/src/fts/storage/csv_loader.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/csv_loader.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/csv_loader.cc.o.d"
+  "/root/repo/src/fts/storage/data_generator.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/data_generator.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/data_generator.cc.o.d"
+  "/root/repo/src/fts/storage/data_type.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/data_type.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/data_type.cc.o.d"
+  "/root/repo/src/fts/storage/table.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/table.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/table.cc.o.d"
+  "/root/repo/src/fts/storage/table_builder.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/table_builder.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/table_builder.cc.o.d"
+  "/root/repo/src/fts/storage/table_statistics.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/table_statistics.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/table_statistics.cc.o.d"
+  "/root/repo/src/fts/storage/value.cc" "src/fts/storage/CMakeFiles/fts_storage.dir/value.cc.o" "gcc" "src/fts/storage/CMakeFiles/fts_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fts/common/CMakeFiles/fts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

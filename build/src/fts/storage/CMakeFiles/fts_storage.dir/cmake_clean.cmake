@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fts_storage.dir/compare_op.cc.o"
+  "CMakeFiles/fts_storage.dir/compare_op.cc.o.d"
+  "CMakeFiles/fts_storage.dir/csv_loader.cc.o"
+  "CMakeFiles/fts_storage.dir/csv_loader.cc.o.d"
+  "CMakeFiles/fts_storage.dir/data_generator.cc.o"
+  "CMakeFiles/fts_storage.dir/data_generator.cc.o.d"
+  "CMakeFiles/fts_storage.dir/data_type.cc.o"
+  "CMakeFiles/fts_storage.dir/data_type.cc.o.d"
+  "CMakeFiles/fts_storage.dir/table.cc.o"
+  "CMakeFiles/fts_storage.dir/table.cc.o.d"
+  "CMakeFiles/fts_storage.dir/table_builder.cc.o"
+  "CMakeFiles/fts_storage.dir/table_builder.cc.o.d"
+  "CMakeFiles/fts_storage.dir/table_statistics.cc.o"
+  "CMakeFiles/fts_storage.dir/table_statistics.cc.o.d"
+  "CMakeFiles/fts_storage.dir/value.cc.o"
+  "CMakeFiles/fts_storage.dir/value.cc.o.d"
+  "libfts_storage.a"
+  "libfts_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fts_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitpacked_test.dir/bitpacked_test.cc.o"
+  "CMakeFiles/bitpacked_test.dir/bitpacked_test.cc.o.d"
+  "bitpacked_test"
+  "bitpacked_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitpacked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_engine_test.dir/jit_engine_test.cc.o"
+  "CMakeFiles/jit_engine_test.dir/jit_engine_test.cc.o.d"
+  "jit_engine_test"
+  "jit_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_sim_test.dir/perf_sim_test.cc.o"
+  "CMakeFiles/perf_sim_test.dir/perf_sim_test.cc.o.d"
+  "perf_sim_test"
+  "perf_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_kernels_test.dir/simd_kernels_test.cc.o"
+  "CMakeFiles/simd_kernels_test.dir/simd_kernels_test.cc.o.d"
+  "simd_kernels_test"
+  "simd_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

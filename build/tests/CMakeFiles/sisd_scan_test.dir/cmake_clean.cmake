@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisd_scan_test.dir/sisd_scan_test.cc.o"
+  "CMakeFiles/sisd_scan_test.dir/sisd_scan_test.cc.o.d"
+  "sisd_scan_test"
+  "sisd_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisd_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
