@@ -164,11 +164,17 @@ void RunSql(ShellState& state, const std::string& sql) {
   }
   std::fputs(result->ToString(25).c_str(), stdout);
   if (state.timing) {
+    const fts::ExecutionReport& report = result->execution_report;
     std::printf("(%llu rows matched, %.3f ms, %s)\n",
                 static_cast<unsigned long long>(result->matched_rows),
-                millis,
-                fts::ScanEngineToString(
-                    state.options.engine.value_or(Database::DefaultEngine())));
+                millis, report.executed.ToString().c_str());
+    if (report.degraded) {
+      std::printf("note: degraded from %s — %s\n",
+                  report.requested.ToString().c_str(),
+                  report.attempts.empty()
+                      ? "(no attempts recorded)"
+                      : report.attempts.front().status.ToString().c_str());
+    }
   }
 }
 

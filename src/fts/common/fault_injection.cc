@@ -1,0 +1,79 @@
+#include "fts/common/fault_injection.h"
+
+#include <cstdlib>
+
+#include "fts/common/env.h"
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+FaultInjection& FaultInjection::Instance() {
+  // Never destroyed: fault checks may run during static destruction.
+  static FaultInjection& instance = *new FaultInjection();
+  return instance;
+}
+
+bool FaultInjection::ShouldFail(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end() || it->second.remaining == 0) return false;
+  if (it->second.remaining > 0) --it->second.remaining;
+  ++it->second.fired;
+  return true;
+}
+
+void FaultInjection::Arm(const std::string& point, int64_t times) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& state = points_[point];
+  state.remaining = times < 0 ? -1 : times;
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it != points_.end()) it->second.remaining = 0;
+}
+
+void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+}
+
+void FaultInjection::ReloadFromEnv() {
+  const std::string spec = GetEnvString("FTS_FAULT", "");
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string_view entry = Trim(raw);
+    if (entry.empty()) continue;
+    std::string name(entry);
+    int64_t times = -1;
+    const size_t colon = name.rfind(':');
+    if (colon != std::string::npos) {
+      const std::string count_text = name.substr(colon + 1);
+      char* end = nullptr;
+      const long long parsed = std::strtoll(count_text.c_str(), &end, 10);
+      if (end != count_text.c_str() && *end == '\0' && parsed >= 0) {
+        times = parsed;
+        name.resize(colon);
+      }
+    }
+    points_[name].remaining = times;
+  }
+}
+
+uint64_t FaultInjection::FireCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+bool FaultInjection::AnyArmed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, state] : points_) {
+    if (state.remaining != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace fts

@@ -1,0 +1,90 @@
+#ifndef FTS_COMMON_FAULT_INJECTION_H_
+#define FTS_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fts {
+
+// Process-wide registry of named fault-injection points.
+//
+// Production code declares a point by calling ShouldFail("layer.event") at
+// the place where the real failure would surface, and returning the same
+// error the real failure would produce. Points are armed either from the
+// FTS_FAULT environment variable — a comma-separated list of
+// `point[:count]` entries, e.g.
+//
+//   FTS_FAULT=jit.compiler_missing,jit.dlopen_fail:2
+//
+// — or programmatically by tests (Arm/Disarm/ScopedFault). A point armed
+// with a count fires that many times and then exhausts itself; without a
+// count it fires until disarmed.
+//
+// An unarmed point costs one mutex acquisition and one map lookup, which
+// is negligible next to the operations the points guard (process spawn,
+// dlopen, file I/O). Thread-safe.
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  FaultInjection(const FaultInjection&) = delete;
+  FaultInjection& operator=(const FaultInjection&) = delete;
+
+  // True when `point` is armed; consumes one firing from a counted arm.
+  bool ShouldFail(const std::string& point);
+
+  // Arms `point` to fire `times` times; `times` < 0 = until disarmed.
+  void Arm(const std::string& point, int64_t times = -1);
+
+  // Stops `point` from firing. Its fire count is retained.
+  void Disarm(const std::string& point);
+
+  // Disarms every point and clears all fire counts.
+  void Reset();
+
+  // Reset() + re-parse FTS_FAULT. Called once at first Instance() use;
+  // tests call it after changing the environment.
+  void ReloadFromEnv();
+
+  // How many times `point` actually fired (armed checks returning true).
+  uint64_t FireCount(const std::string& point) const;
+
+  // True when at least one point can still fire. Tests use this to skip
+  // assertions that only hold in a fault-free process.
+  bool AnyArmed() const;
+
+ private:
+  FaultInjection() { ReloadFromEnv(); }
+
+  struct Point {
+    int64_t remaining = -1;  // -1 = unlimited; 0 = exhausted/disarmed.
+    uint64_t fired = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Point> points_;
+};
+
+// Arms a fault point for the lifetime of a scope (test helper).
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string point, int64_t times = -1)
+      : point_(std::move(point)) {
+    FaultInjection::Instance().Arm(point_, times);
+  }
+  ~ScopedFault() { FaultInjection::Instance().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_FAULT_INJECTION_H_

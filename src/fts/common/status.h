@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kUnavailable,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -59,6 +60,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   Status(StatusCode code, std::string message)

@@ -84,6 +84,7 @@ StatusOr<PhysicalPlan> Database::Plan(const std::string& sql,
   TranslatorOptions translator_options;
   translator_options.engine = engine;
   translator_options.jit_register_bits = options.jit_register_bits;
+  translator_options.fallback = options.fallback;
   FTS_ASSIGN_OR_RETURN(PhysicalPlan plan,
                        TranslateLqp(lqp, translator_options));
   if (explain_text != nullptr) {

@@ -27,6 +27,13 @@ class Database {
     // CPU supports (AVX-512 512-bit on the paper's hardware class).
     std::optional<ScanEngine> engine;
     int jit_register_bits = 512;
+    // What happens when the chosen engine fails at runtime (JIT compiler
+    // missing/erroring/timing out, dlopen failure, unsupported CPU):
+    // kLadder (default) demotes through the degradation ladder —
+    // JIT-512 -> JIT-256/128 -> AVX-512 fused -> AVX2 -> scalar fused ->
+    // SISD — and records every demotion in QueryResult::execution_report;
+    // kStrict fails the query with the engine's error.
+    FallbackPolicy fallback = FallbackPolicy::kLadder;
     // Disable individual optimizer passes (for study/ablation).
     bool optimize = true;
     bool reorder_predicates = true;

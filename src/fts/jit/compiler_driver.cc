@@ -1,15 +1,25 @@
 #include "fts/jit/compiler_driver.h"
 
+#include <dirent.h>
 #include <dlfcn.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
 #include <stdlib.h>
+#include <string.h>
 #include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "fts/common/env.h"
+#include "fts/common/fault_injection.h"
 #include "fts/common/string_util.h"
 #include "fts/common/timer.h"
 
@@ -25,6 +35,137 @@ std::string ReadFileOrEmpty(const std::string& path) {
   return out.str();
 }
 
+// Bounded compiler-log excerpt for error messages.
+std::string LogExcerpt(const std::string& log_path) {
+  std::string log = ReadFileOrEmpty(log_path);
+  if (log.size() > 2000) log.resize(2000);
+  return log;
+}
+
+void SleepMillis(int64_t millis) {
+  timespec ts;
+  ts.tv_sec = millis / 1000;
+  ts.tv_nsec = (millis % 1000) * 1000000;
+  nanosleep(&ts, nullptr);
+}
+
+// Removes every entry directly inside `dir`, then `dir` itself. The
+// compiler may leave files beyond the ones we created (e.g. partial
+// objects), so the scratch directory is swept rather than removing a
+// fixed file list.
+void RemoveScratchDir(const std::string& dir) {
+  if (dir.empty()) return;
+  DIR* handle = opendir(dir.c_str());
+  if (handle != nullptr) {
+    while (dirent* entry = readdir(handle)) {
+      const char* name = entry->d_name;
+      if (strcmp(name, ".") == 0 || strcmp(name, "..") == 0) continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    closedir(handle);
+  }
+  rmdir(dir.c_str());
+}
+
+// Deletes the scratch directory on scope exit unless told to keep it.
+struct ScratchDirGuard {
+  std::string path;
+  bool keep = false;
+  ~ScratchDirGuard() {
+    if (!keep) RemoveScratchDir(path);
+  }
+};
+
+// Runs the external compiler: fork/exec with stdout+stderr redirected into
+// `log_path`, transient spawn failures retried with exponential backoff,
+// and a waitpid poll loop enforcing the compile deadline (SIGKILL + reap
+// on expiry, so no compiler process ever outlives the call).
+Status RunCompilerProcess(const std::vector<std::string>& command,
+                          const std::string& log_path,
+                          const JitCompilerOptions& options) {
+  std::vector<char*> argv;
+  argv.reserve(command.size() + 1);
+  for (const std::string& arg : command) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  pid_t pid = -1;
+  int64_t backoff = options.retry_backoff_millis > 0
+                        ? options.retry_backoff_millis
+                        : 1;
+  const int max_attempts =
+      options.max_spawn_attempts > 0 ? options.max_spawn_attempts : 1;
+  for (int attempt = 1;; ++attempt) {
+    int spawn_errno = 0;
+    if (FaultInjection::Instance().ShouldFail(kFaultJitSpawnTransient)) {
+      spawn_errno = EAGAIN;
+    } else {
+      pid = fork();
+      if (pid == 0) {
+        // Child: capture everything the compiler says, then exec. 127 is
+        // the shell convention for "command not found".
+        const int fd =
+            open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+          dup2(fd, STDOUT_FILENO);
+          dup2(fd, STDERR_FILENO);
+          close(fd);
+        }
+        execvp(argv[0], argv.data());
+        _exit(127);
+      }
+      if (pid > 0) break;
+      spawn_errno = errno;
+    }
+    const bool transient = spawn_errno == EAGAIN || spawn_errno == ENOMEM;
+    if (!transient || attempt >= max_attempts) {
+      return Status::Internal(StrFormat(
+          "cannot spawn JIT compiler '%s': %s (attempt %d of %d)",
+          command[0].c_str(), strerror(spawn_errno), attempt, max_attempts));
+    }
+    SleepMillis(backoff);
+    backoff *= 2;
+  }
+
+  Stopwatch stopwatch;
+  int wait_status = 0;
+  for (;;) {
+    const pid_t done = waitpid(pid, &wait_status, WNOHANG);
+    if (done == pid) break;
+    if (done < 0) {
+      return Status::Internal(
+          StrFormat("waitpid(compiler) failed: %s", strerror(errno)));
+    }
+    if (options.compile_timeout_millis > 0 &&
+        stopwatch.ElapsedMillis() >
+            static_cast<double>(options.compile_timeout_millis)) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &wait_status, 0);  // SIGKILL is unblockable: reap now.
+      return Status::DeadlineExceeded(StrFormat(
+          "JIT compilation exceeded %lld ms; compiler process killed",
+          static_cast<long long>(options.compile_timeout_millis)));
+    }
+    SleepMillis(5);
+  }
+
+  if (WIFSIGNALED(wait_status)) {
+    return Status::Internal(StrFormat(
+        "JIT compiler terminated by signal %d:\n%s", WTERMSIG(wait_status),
+        LogExcerpt(log_path).c_str()));
+  }
+  const int rc = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1;
+  if (rc == 127) {
+    return Status::Unavailable(StrFormat("JIT compiler '%s' not executable",
+                                         command[0].c_str()));
+  }
+  if (rc != 0) {
+    return Status::Internal(StrFormat("JIT compilation failed (rc=%d):\n%s",
+                                      rc, LogExcerpt(log_path).c_str()));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 JitModule::~JitModule() {
@@ -34,6 +175,8 @@ JitModule::~JitModule() {
 JitCompiler::JitCompiler(JitCompilerOptions options)
     : options_(std::move(options)) {
   options_.compiler = GetEnvString("FTS_JIT_CXX", options_.compiler);
+  options_.compile_timeout_millis = GetEnvInt64(
+      "FTS_JIT_COMPILE_TIMEOUT_MS", options_.compile_timeout_millis);
   if (options_.work_dir.empty()) {
     options_.work_dir = GetEnvString("TMPDIR", "/tmp");
   }
@@ -43,9 +186,17 @@ StatusOr<std::shared_ptr<JitModule>> JitCompiler::Compile(
     const std::string& source, const std::string& symbol) {
   if (source.empty()) return Status::InvalidArgument("empty source");
 
+  FaultInjection& faults = FaultInjection::Instance();
+  if (faults.ShouldFail(kFaultJitCompilerMissing)) {
+    return Status::Unavailable(
+        StrFormat("JIT compiler '%s' not executable (injected fault %s)",
+                  options_.compiler.c_str(), kFaultJitCompilerMissing));
+  }
+
   Stopwatch stopwatch;
 
-  // Private scratch directory per compilation.
+  // Private scratch directory per compilation, removed on every exit path
+  // (success or failure) unless artifacts were requested.
   std::string dir_template = options_.work_dir + "/fts-jit-XXXXXX";
   std::vector<char> dir_buffer(dir_template.begin(), dir_template.end());
   dir_buffer.push_back('\0');
@@ -53,61 +204,58 @@ StatusOr<std::shared_ptr<JitModule>> JitCompiler::Compile(
     return Status::Internal(
         StrFormat("mkdtemp(%s) failed", dir_template.c_str()));
   }
-  const std::string dir(dir_buffer.data());
-  const std::string src_path = dir + "/scan.cpp";
-  const std::string so_path = dir + "/scan.so";
-  const std::string log_path = dir + "/compile.log";
-
-  auto cleanup = [&]() {
-    if (options_.keep_artifacts) return;
-    std::remove(src_path.c_str());
-    std::remove(so_path.c_str());
-    std::remove(log_path.c_str());
-    rmdir(dir.c_str());
-  };
+  ScratchDirGuard scratch{std::string(dir_buffer.data()),
+                          options_.keep_artifacts};
+  const std::string src_path = scratch.path + "/scan.cpp";
+  const std::string so_path = scratch.path + "/scan.so";
+  const std::string log_path = scratch.path + "/compile.log";
 
   {
     std::ofstream out(src_path);
     if (!out) {
-      cleanup();
-      return Status::Internal(
-          StrFormat("cannot write %s", src_path.c_str()));
+      return Status::Internal(StrFormat("cannot write %s", src_path.c_str()));
     }
     out << source;
   }
 
-  const std::string command =
-      StrFormat("%s %s -o %s %s > %s 2>&1", options_.compiler.c_str(),
-                options_.flags.c_str(), so_path.c_str(), src_path.c_str(),
-                log_path.c_str());
-  const int rc = std::system(command.c_str());
-  if (rc != 0) {
-    std::string log = ReadFileOrEmpty(log_path);
-    if (log.size() > 2000) log.resize(2000);
-    const Status status =
-        (rc == 127 || rc == 32512)
-            ? Status::Unavailable(StrFormat(
-                  "JIT compiler '%s' not executable",
-                  options_.compiler.c_str()))
-            : Status::Internal(StrFormat("JIT compilation failed (rc=%d):\n%s",
-                                         rc, log.c_str()));
-    cleanup();
-    return status;
+  if (faults.ShouldFail(kFaultJitCompileError)) {
+    return Status::Internal(
+        StrFormat("JIT compilation failed (injected fault %s)",
+                  kFaultJitCompileError));
+  }
+  if (faults.ShouldFail(kFaultJitCompileTimeout)) {
+    return Status::DeadlineExceeded(
+        StrFormat("JIT compilation exceeded %lld ms (injected fault %s)",
+                  static_cast<long long>(options_.compile_timeout_millis),
+                  kFaultJitCompileTimeout));
   }
 
+  std::vector<std::string> command;
+  command.push_back(options_.compiler);
+  for (const std::string& flag : Split(options_.flags, ' ')) {
+    if (!flag.empty()) command.push_back(flag);
+  }
+  command.push_back("-o");
+  command.push_back(so_path);
+  command.push_back(src_path);
+  FTS_RETURN_IF_ERROR(RunCompilerProcess(command, log_path, options_));
+
+  if (faults.ShouldFail(kFaultJitDlopenFail)) {
+    return Status::Internal(StrFormat("dlopen failed (injected fault %s)",
+                                      kFaultJitDlopenFail));
+  }
   void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
-    const std::string error = dlerror();
-    cleanup();
-    return Status::Internal(StrFormat("dlopen failed: %s", error.c_str()));
+    const char* error = dlerror();
+    return Status::Internal(
+        StrFormat("dlopen failed: %s", error != nullptr ? error : "?"));
   }
   void* resolved = dlsym(handle, symbol.c_str());
+  if (faults.ShouldFail(kFaultJitSymbolMissing)) resolved = nullptr;
   if (resolved == nullptr) {
     dlclose(handle);
-    cleanup();
-    return Status::Internal(
-        StrFormat("symbol '%s' not found in generated module",
-                  symbol.c_str()));
+    return Status::Internal(StrFormat(
+        "symbol '%s' not found in generated module", symbol.c_str()));
   }
 
   auto module = std::shared_ptr<JitModule>(new JitModule());
@@ -116,8 +264,7 @@ StatusOr<std::shared_ptr<JitModule>> JitCompiler::Compile(
   module->compile_millis_ = stopwatch.ElapsedMillis();
   module->source_ = source;
   // The .so stays mapped via the dlopen handle; its directory entry can go
-  // unless artifacts were requested.
-  cleanup();
+  // unless artifacts were requested (ScratchDirGuard handles both).
   return module;
 }
 

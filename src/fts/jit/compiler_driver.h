@@ -8,6 +8,16 @@
 
 namespace fts {
 
+// Fault-injection points (fts/common/fault_injection.h) exercised by the
+// compiler driver; arm them via FTS_FAULT to simulate every way the JIT
+// path can fail in production without breaking the real toolchain.
+inline constexpr char kFaultJitCompilerMissing[] = "jit.compiler_missing";
+inline constexpr char kFaultJitCompileError[] = "jit.compile_error";
+inline constexpr char kFaultJitCompileTimeout[] = "jit.compile_timeout";
+inline constexpr char kFaultJitSpawnTransient[] = "jit.spawn_transient";
+inline constexpr char kFaultJitDlopenFail[] = "jit.dlopen_fail";
+inline constexpr char kFaultJitSymbolMissing[] = "jit.symbol_missing";
+
 // A loaded shared object produced by the JIT. Owns the dlopen handle; the
 // resolved symbol stays valid for the module's lifetime.
 class JitModule {
@@ -50,17 +60,31 @@ struct JitCompilerOptions {
       "-mavx512vl";
   // Directory for temporary artifacts; empty = /tmp.
   std::string work_dir;
-  // Keep the .cpp/.so/compile log on disk (debugging).
+  // Keep the .cpp/.so/compile log on disk (debugging) — on failure too.
   bool keep_artifacts = false;
+  // Wall-clock budget for one compiler invocation. On expiry the compiler
+  // process is SIGKILLed and reaped (no orphans) and Compile returns
+  // kDeadlineExceeded. Overridden by FTS_JIT_COMPILE_TIMEOUT_MS; <= 0
+  // disables the deadline.
+  int64_t compile_timeout_millis = 30000;
+  // Bounded retry for transient spawn failures (fork reporting EAGAIN or
+  // ENOMEM under load): total attempts, and the backoff before the first
+  // retry (doubled after each).
+  int max_spawn_attempts = 3;
+  int64_t retry_backoff_millis = 10;
 };
 
 class JitCompiler {
  public:
   explicit JitCompiler(JitCompilerOptions options = JitCompilerOptions());
 
-  // Compiles `source` and resolves `symbol`. Returns kUnavailable when the
-  // compiler binary cannot be executed and kInternal (with the compiler's
-  // stderr) on compile errors.
+  // Compiles `source` and resolves `symbol`. Error surface:
+  //   kUnavailable      — the compiler binary cannot be executed;
+  //   kDeadlineExceeded — the compiler exceeded compile_timeout_millis and
+  //                       was killed;
+  //   kInternal         — compile error (with the compiler's stderr),
+  //                       dlopen or symbol-resolution failure.
+  // Scratch artifacts are removed on every path unless keep_artifacts.
   StatusOr<std::shared_ptr<JitModule>> Compile(const std::string& source,
                                                const std::string& symbol);
 

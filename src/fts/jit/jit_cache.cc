@@ -2,35 +2,98 @@
 
 namespace fts {
 
-JitCache::JitCache(JitCompilerOptions options)
-    : compiler_(std::move(options)) {}
+JitCache::JitCache(JitCacheOptions options)
+    : compiler_(options.compiler), options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.max_compile_attempts < 1) options_.max_compile_attempts = 1;
+}
+
+JitCache::JitCache(JitCompilerOptions compiler_options)
+    : JitCache([&] {
+        JitCacheOptions options;
+        options.compiler = std::move(compiler_options);
+        return options;
+      }()) {}
+
+void JitCache::InsertLocked(const std::string& key, const Entry& entry) {
+  lru_.push_front(key);
+  entries_[key] = Resident{entry, lru_.begin()};
+  while (entries_.size() > options_.capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
 
 StatusOr<JitCache::Entry> JitCache::GetOrCompile(
     const JitScanSignature& signature) {
   const std::string key = signature.CacheKey();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.entry;
+    }
+    if (compiler_unavailable_) {
+      ++stats_.negative_hits;
+      return compiler_unavailable_status_;
+    }
+    const auto failed = failures_.find(key);
+    if (failed != failures_.end() &&
+        failed->second.attempts >= options_.max_compile_attempts) {
+      ++stats_.negative_hits;
+      return failed->second.status;
+    }
+    const auto flight = inflight_.find(key);
+    if (flight == inflight_.end()) break;
+    // Another thread is compiling this signature: wait for its verdict and
+    // re-check (single-flight — no compiler stampede per chunk/query).
+    ++stats_.single_flight_waits;
+    const std::shared_ptr<InFlight> shared = flight->second;
+    shared->cv.wait(lock, [&shared] { return shared->done; });
+  }
+
+  // This thread leads the compilation for `key`.
+  const auto flight = std::make_shared<InFlight>();
+  inflight_[key] = flight;
+  ++stats_.misses;
+  lock.unlock();
+
+  StatusOr<Entry> compiled = [&]() -> StatusOr<Entry> {
+    FTS_ASSIGN_OR_RETURN(const std::string source,
+                         GenerateFusedScanSource(signature));
+    FTS_ASSIGN_OR_RETURN(std::shared_ptr<JitModule> module,
+                         compiler_.Compile(source, kJitScanSymbol));
+    Entry entry;
+    entry.module = std::move(module);
+    entry.fn = reinterpret_cast<JitScanFn>(entry.module->symbol_address());
+    return entry;
+  }();
+
+  lock.lock();
+  if (compiled.ok()) {
+    stats_.total_compile_millis += compiled->module->compile_millis();
+    failures_.erase(key);
+    InsertLocked(key, *compiled);
+  } else {
+    ++stats_.compile_failures;
+    Failure& failure = failures_[key];
+    ++failure.attempts;
+    failure.status = compiled.status();
+    if (compiled.status().code() == StatusCode::kUnavailable) {
+      // The compiler binary itself is unusable; no signature can compile
+      // until the operator intervenes (or Clear() is called).
+      compiler_unavailable_ = true;
+      compiler_unavailable_status_ = compiled.status();
     }
   }
-  // Generate + compile outside the lock; a racing duplicate compile is
-  // harmless (last one wins, both modules are valid).
-  FTS_ASSIGN_OR_RETURN(const std::string source,
-                       GenerateFusedScanSource(signature));
-  FTS_ASSIGN_OR_RETURN(std::shared_ptr<JitModule> module,
-                       compiler_.Compile(source, kJitScanSymbol));
-  Entry entry;
-  entry.module = std::move(module);
-  entry.fn = reinterpret_cast<JitScanFn>(entry.module->symbol_address());
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.misses;
-  stats_.total_compile_millis += entry.module->compile_millis();
-  entries_[key] = entry;
-  return entry;
+  inflight_.erase(key);
+  flight->done = true;
+  flight->cv.notify_all();
+  return compiled;
 }
 
 JitCache::Stats JitCache::stats() const {
@@ -38,9 +101,18 @@ JitCache::Stats JitCache::stats() const {
   return stats_;
 }
 
+size_t JitCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
 void JitCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
+  failures_.clear();
+  compiler_unavailable_ = false;
+  compiler_unavailable_status_ = Status::Ok();
 }
 
 JitCache& GlobalJitCache() {

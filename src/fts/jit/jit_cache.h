@@ -1,6 +1,8 @@
 #ifndef FTS_JIT_JIT_CACHE_H_
 #define FTS_JIT_JIT_CACHE_H_
 
+#include <condition_variable>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,12 +15,36 @@
 
 namespace fts {
 
+struct JitCacheOptions {
+  JitCompilerOptions compiler;
+  // Maximum resident compiled modules; the least recently used entry is
+  // evicted beyond this (in-flight users stay alive via shared_ptr).
+  size_t capacity = 64;
+  // Compile attempts per signature before it is poisoned: further requests
+  // return the cached failure without invoking the compiler again.
+  int max_compile_attempts = 2;
+};
+
 // Signature-keyed cache of compiled fused-scan operators. Section V:
 // "Especially when compiled operators are cached for future use, we do not
 // see the additional compile time as a deciding bottleneck." Thread-safe.
+//
+// Robustness properties (all observable through Stats):
+//   - single-flight: concurrent requests for one signature trigger exactly
+//     one compilation; the others wait for its result;
+//   - negative caching: a signature whose compilation failed is retried at
+//     most max_compile_attempts times, then poisoned — per-chunk execution
+//     cannot stampede a broken toolchain;
+//   - sticky compiler-unavailable: when the compiler binary itself cannot
+//     be executed (kUnavailable), every signature short-circuits until
+//     Clear() — no signature can compile without a compiler;
+//   - bounded capacity with LRU eviction.
 class JitCache {
  public:
-  explicit JitCache(JitCompilerOptions options = JitCompilerOptions());
+  JitCache() : JitCache(JitCacheOptions()) {}
+  explicit JitCache(JitCacheOptions options);
+  // Legacy convenience: cache with default bounds over `compiler_options`.
+  explicit JitCache(JitCompilerOptions compiler_options);
 
   struct Entry {
     std::shared_ptr<JitModule> module;
@@ -31,18 +57,54 @@ class JitCache {
 
   struct Stats {
     uint64_t hits = 0;
+    // Compilations led by this cache (successful or not).
     uint64_t misses = 0;
+    // Requests short-circuited by a poisoned signature or a sticky
+    // compiler-unavailable state (degradation events).
+    uint64_t negative_hits = 0;
+    uint64_t compile_failures = 0;
+    // Requests that waited on another thread's in-flight compilation.
+    uint64_t single_flight_waits = 0;
+    uint64_t evictions = 0;
     double total_compile_millis = 0.0;
   };
   Stats stats() const;
 
-  // Drops all cached modules (the shared_ptrs keep in-flight users alive).
+  // Resident compiled modules.
+  size_t size() const;
+
+  // Drops all cached modules (the shared_ptrs keep in-flight users alive),
+  // forgets negative entries, and clears the compiler-unavailable latch.
   void Clear();
 
+  const JitCacheOptions& options() const { return options_; }
+
  private:
+  struct Resident {
+    Entry entry;
+    std::list<std::string>::iterator lru;  // Position in lru_.
+  };
+  struct Failure {
+    Status status;
+    int attempts = 0;
+  };
+  struct InFlight {
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  // Inserts under mutex_ and evicts beyond capacity.
+  void InsertLocked(const std::string& key, const Entry& entry);
+
   mutable std::mutex mutex_;
   JitCompiler compiler_;
-  std::map<std::string, Entry> entries_;
+  JitCacheOptions options_;
+  std::map<std::string, Resident> entries_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  std::map<std::string, Failure> failures_;
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
+  bool compiler_unavailable_ = false;
+  Status compiler_unavailable_status_;
   Stats stats_;
 };
 

@@ -7,21 +7,59 @@
 
 namespace fts {
 
-JitScanEngine::JitScanEngine(int register_bits, JitCache* cache)
-    : register_bits_(register_bits), cache_(cache) {
+JitScanEngine::JitScanEngine(int register_bits, JitCache* cache,
+                             FallbackPolicy fallback)
+    : register_bits_(register_bits), cache_(cache), fallback_(fallback) {
   FTS_CHECK(register_bits == 128 || register_bits == 256 ||
             register_bits == 512);
   FTS_CHECK(cache != nullptr);
 }
 
-StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
-                                              const ScanSpec& spec) {
+template <typename T, typename Run>
+StatusOr<T> JitScanEngine::RunLadder(ExecutionReport* report,
+                                     const Run& run) {
+  ExecutionReport local;
+  if (report == nullptr) report = &local;
+  report->requested = {ScanEngine::kJit, register_bits_};
+
+  std::vector<EngineChoice> rungs;
+  if (fallback_ == FallbackPolicy::kLadder) {
+    rungs = DegradationLadder(ScanEngine::kJit, register_bits_);
+  } else {
+    rungs = {{ScanEngine::kJit, register_bits_}};
+  }
+
+  // A kUnavailable JIT failure (no AVX-512, no usable compiler) dooms every
+  // JIT width; skip straight to the precompiled rungs in that case instead
+  // of burning a compile attempt per width.
+  bool jit_unavailable = false;
+  Status last = Status::Unavailable("no scan engine could run");
+  for (const EngineChoice& choice : rungs) {
+    if (choice.engine == ScanEngine::kJit && jit_unavailable) {
+      report->RecordFailure(choice, last);
+      continue;
+    }
+    StatusOr<T> result = run(choice);
+    if (result.ok()) {
+      report->RecordSuccess(choice);
+      return result;
+    }
+    report->RecordFailure(choice, result.status());
+    if (choice.engine == ScanEngine::kJit &&
+        result.status().code() == StatusCode::kUnavailable) {
+      jit_unavailable = true;
+    }
+    last = result.status();
+  }
+  return last;
+}
+
+StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
+                                                 int register_bits) {
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
-  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
-                       TableScanner::Prepare(std::move(table), spec));
 
   TableMatches result;
   result.chunks.reserve(scanner.chunk_plans().size());
@@ -44,7 +82,7 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
     // One compiled operator per chain signature; chunks of the same table
     // usually share it (dictionary rewrites can vary per chunk).
     const JitScanSignature signature =
-        SignatureForStages(plan.stages, register_bits_);
+        SignatureForStages(plan.stages, register_bits);
     FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
                          cache_->GetOrCompile(signature));
 
@@ -68,16 +106,14 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
   return result;
 }
 
-StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
-                                               const ScanSpec& spec) {
+StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
+                                                  int register_bits) {
   // COUNT(*) compiles a dedicated count-only operator (no compress-store,
   // no output buffer) — the precise shape of the paper's benchmark query.
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
-  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
-                       TableScanner::Prepare(std::move(table), spec));
 
   uint64_t total = 0;
   for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
@@ -87,7 +123,7 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
       continue;
     }
     JitScanSignature signature =
-        SignatureForStages(plan.stages, register_bits_);
+        SignatureForStages(plan.stages, register_bits);
     signature.count_only = true;
     FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
                          cache_->GetOrCompile(signature));
@@ -103,6 +139,34 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
     total += entry.fn(columns, values, plan.row_count, nullptr);
   }
   return total;
+}
+
+StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
+                                              const ScanSpec& spec,
+                                              ExecutionReport* report) {
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(std::move(table), spec));
+  return RunLadder<TableMatches>(
+      report, [&](const EngineChoice& choice) -> StatusOr<TableMatches> {
+        if (choice.engine == ScanEngine::kJit) {
+          return ExecuteJit(scanner, choice.jit_register_bits);
+        }
+        return scanner.Execute(choice.engine);
+      });
+}
+
+StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
+                                               const ScanSpec& spec,
+                                               ExecutionReport* report) {
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(std::move(table), spec));
+  return RunLadder<uint64_t>(
+      report, [&](const EngineChoice& choice) -> StatusOr<uint64_t> {
+        if (choice.engine == ScanEngine::kJit) {
+          return ExecuteJitCount(scanner, choice.jit_register_bits);
+        }
+        return scanner.ExecuteCount(choice.engine);
+      });
 }
 
 }  // namespace fts

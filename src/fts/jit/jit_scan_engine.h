@@ -3,6 +3,7 @@
 
 #include "fts/common/status.h"
 #include "fts/jit/jit_cache.h"
+#include "fts/scan/scan_engine.h"
 #include "fts/scan/scan_spec.h"
 #include "fts/scan/table_scan.h"
 #include "fts/storage/pos_list.h"
@@ -15,23 +16,46 @@ namespace fts {
 // dictionary predicate rewriting, then compiles (or fetches from the
 // cache) one specialized operator per distinct chain signature and runs it
 // per chunk.
+//
+// With FallbackPolicy::kLadder (default) a failing JIT path — compiler
+// missing, compile error/timeout, dlopen failure, CPU without AVX-512 —
+// degrades instead of failing the scan: narrower JIT widths first, then
+// the precompiled engines (AVX-512 fused -> AVX2 -> scalar fused -> SISD).
+// Every demotion is recorded in the caller-provided ExecutionReport. With
+// FallbackPolicy::kStrict the first failure is returned as-is.
 class JitScanEngine {
  public:
   // `register_bits` selects the generated code's register width
   // (128/256/512); `cache` defaults to the process-wide cache.
   explicit JitScanEngine(int register_bits = 512,
-                         JitCache* cache = &GlobalJitCache());
+                         JitCache* cache = &GlobalJitCache(),
+                         FallbackPolicy fallback = FallbackPolicy::kLadder);
 
-  StatusOr<TableMatches> Execute(TablePtr table, const ScanSpec& spec);
+  StatusOr<TableMatches> Execute(TablePtr table, const ScanSpec& spec,
+                                 ExecutionReport* report = nullptr);
 
-  StatusOr<uint64_t> ExecuteCount(TablePtr table, const ScanSpec& spec);
+  StatusOr<uint64_t> ExecuteCount(TablePtr table, const ScanSpec& spec,
+                                  ExecutionReport* report = nullptr);
 
   int register_bits() const { return register_bits_; }
+  FallbackPolicy fallback() const { return fallback_; }
   JitCache& cache() { return *cache_; }
 
  private:
+  // The pure JIT path at one register width; fails without fallback.
+  StatusOr<TableMatches> ExecuteJit(const TableScanner& scanner,
+                                    int register_bits);
+  StatusOr<uint64_t> ExecuteJitCount(const TableScanner& scanner,
+                                     int register_bits);
+
+  // Walks the ladder (or just the first rung under kStrict), recording
+  // attempts into `report`. `run` maps an EngineChoice to a result.
+  template <typename T, typename Run>
+  StatusOr<T> RunLadder(ExecutionReport* report, const Run& run);
+
   int register_bits_;
   JitCache* cache_;
+  FallbackPolicy fallback_;
 };
 
 }  // namespace fts

@@ -114,16 +114,77 @@ std::vector<Value> ComputeAggregates(
   return results;
 }
 
+// Runs the plan's first (full-chunk) scan step under the fallback policy,
+// demoting along DegradationLadder() when the requested engine fails and
+// recording every attempt in `report`. The JIT engine carries its own
+// internal ladder (narrow widths before static kernels); static engines
+// walk the ladder here.
+StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
+                                    const PhysicalPlan::ScanStep& step,
+                                    FallbackPolicy policy,
+                                    ExecutionReport* report) {
+  if (step.engine == ScanEngine::kJit) {
+    JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
+    return engine.Execute(table, step.spec, report);
+  }
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(table, step.spec));
+  report->requested = {step.engine, 0};
+  const std::vector<EngineChoice> rungs =
+      policy == FallbackPolicy::kLadder
+          ? DegradationLadder(step.engine, 0)
+          : std::vector<EngineChoice>{{step.engine, 0}};
+  Status last = Status::Unavailable("no scan engine could run");
+  for (const EngineChoice& choice : rungs) {
+    StatusOr<TableMatches> result = scanner.Execute(choice.engine);
+    if (result.ok()) {
+      report->RecordSuccess(choice);
+      return result;
+    }
+    report->RecordFailure(choice, result.status());
+    last = result.status();
+  }
+  return last;
+}
+
+// Count-only twin of RunFirstStep for the COUNT(*) fast path.
+StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
+                                     const PhysicalPlan::ScanStep& step,
+                                     FallbackPolicy policy,
+                                     ExecutionReport* report) {
+  if (step.engine == ScanEngine::kJit) {
+    JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
+    return engine.ExecuteCount(table, step.spec, report);
+  }
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(table, step.spec));
+  report->requested = {step.engine, 0};
+  const std::vector<EngineChoice> rungs =
+      policy == FallbackPolicy::kLadder
+          ? DegradationLadder(step.engine, 0)
+          : std::vector<EngineChoice>{{step.engine, 0}};
+  Status last = Status::Unavailable("no scan engine could run");
+  for (const EngineChoice& choice : rungs) {
+    StatusOr<uint64_t> result = scanner.ExecuteCount(choice.engine);
+    if (result.ok()) {
+      report->RecordSuccess(choice);
+      return result;
+    }
+    report->RecordFailure(choice, result.status());
+    last = result.status();
+  }
+  return last;
+}
+
 StatusOr<TableMatches> RunStep(const TablePtr& table,
                                const PhysicalPlan::ScanStep& step,
-                               const std::optional<TableMatches>& previous) {
+                               const std::optional<TableMatches>& previous,
+                               FallbackPolicy policy,
+                               ExecutionReport* report) {
   if (!previous.has_value()) {
-    if (step.engine == ScanEngine::kJit) {
-      JitScanEngine engine(step.jit_register_bits);
-      return engine.Execute(table, step.spec);
-    }
-    return ExecuteScan(table, step.spec, step.engine);
+    return RunFirstStep(table, step, policy, report);
   }
+  // Later steps refine position lists tuple-at-a-time; no engine involved.
   return RefineMatches(table, step.spec, *previous);
 }
 
@@ -218,26 +279,23 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   // Section II baseline) and the JIT compiles a count-only operator.
   if (plan.output == PhysicalPlan::Output::kCountStar &&
       plan.scan_steps.size() == 1) {
-    const PhysicalPlan::ScanStep& step = plan.scan_steps[0];
-    StatusOr<uint64_t> count = uint64_t{0};
-    if (step.engine == ScanEngine::kJit) {
-      JitScanEngine engine(step.jit_register_bits);
-      count = engine.ExecuteCount(plan.table, step.spec);
-    } else {
-      count = ExecuteScanCount(plan.table, step.spec, step.engine);
-    }
-    FTS_RETURN_IF_ERROR(count.status());
     QueryResult result;
+    const PhysicalPlan::ScanStep& step = plan.scan_steps[0];
+    const StatusOr<uint64_t> count = RunFirstStepCount(
+        plan.table, step, plan.fallback, &result.execution_report);
+    FTS_RETURN_IF_ERROR(count.status());
     result.matched_rows = *count;
     result.count = *count;
     result.column_names = {"count"};
     return result;
   }
 
+  ExecutionReport report;
   std::optional<TableMatches> matches;
   for (const PhysicalPlan::ScanStep& step : plan.scan_steps) {
-    FTS_ASSIGN_OR_RETURN(TableMatches next,
-                         RunStep(plan.table, step, matches));
+    FTS_ASSIGN_OR_RETURN(
+        TableMatches next,
+        RunStep(plan.table, step, matches, plan.fallback, &report));
     matches = std::move(next);
   }
   // No scan steps: every row matches.
@@ -258,6 +316,7 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   }
 
   QueryResult result;
+  result.execution_report = std::move(report);
   result.matched_rows = matches->TotalMatches();
   if (plan.output == PhysicalPlan::Output::kCountStar) {
     result.count = result.matched_rows;

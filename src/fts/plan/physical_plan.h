@@ -23,6 +23,9 @@ struct QueryResult {
   std::optional<uint64_t> count;
   // Rows matched by the scan pipeline (== rows.size() for projections).
   uint64_t matched_rows = 0;
+  // Which scan engine actually ran and why it was (or was not) demoted
+  // from the requested one — see FallbackPolicy in fts/scan/scan_engine.h.
+  ExecutionReport execution_report;
 
   // Renders a small result table (examples/debugging).
   std::string ToString(size_t max_rows = 20) const;
@@ -45,6 +48,10 @@ struct PhysicalPlan {
     int jit_register_bits = 512;  // Only for engine == kJit.
   };
   std::vector<ScanStep> scan_steps;
+
+  // What to do when a scan step's engine fails at runtime (e.g. the JIT
+  // compiler is missing): demote along DegradationLadder() or fail.
+  FallbackPolicy fallback = FallbackPolicy::kLadder;
 
   enum class Output : uint8_t { kCountStar, kAggregate, kProject };
   Output output = Output::kCountStar;

@@ -17,6 +17,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
 
   PhysicalPlan plan;
   plan.output = PhysicalPlan::Output::kCountStar;
+  plan.fallback = options.fallback;
 
   bool saw_output = false;
   std::optional<std::string> order_by_name;

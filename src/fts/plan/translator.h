@@ -15,6 +15,8 @@ struct TranslatorOptions {
   // Engine used for FusedScanNodes and single predicates.
   ScanEngine engine = ScanEngine::kAvx512Fused512;
   int jit_register_bits = 512;
+  // Runtime demotion behavior when the engine fails (see scan_engine.h).
+  FallbackPolicy fallback = FallbackPolicy::kLadder;
 };
 
 // Lowers an (optimized) LQP chain into a PhysicalPlan.

@@ -75,4 +75,94 @@ bool ScanEngineAvailable(ScanEngine engine) {
   return false;
 }
 
+const char* FallbackPolicyToString(FallbackPolicy policy) {
+  switch (policy) {
+    case FallbackPolicy::kStrict:
+      return "strict";
+    case FallbackPolicy::kLadder:
+      return "ladder";
+  }
+  return "?";
+}
+
+std::string EngineChoice::ToString() const {
+  if (engine == ScanEngine::kJit && jit_register_bits != 0) {
+    return StrFormat("%s (%d-bit)", ScanEngineToString(engine),
+                     jit_register_bits);
+  }
+  return ScanEngineToString(engine);
+}
+
+std::string ExecutionReport::ToString() const {
+  if (attempts.empty()) return "no scan engine executed";
+  std::string out = StrFormat(
+      "requested=%s executed=%s%s", requested.ToString().c_str(),
+      executed.ToString().c_str(), degraded ? " [degraded]" : "");
+  for (const EngineAttempt& attempt : attempts) {
+    out += StrFormat("\n  %s: %s", attempt.choice.ToString().c_str(),
+                     attempt.status.ToString().c_str());
+  }
+  return out;
+}
+
+std::vector<EngineChoice> DegradationLadder(ScanEngine requested,
+                                            int jit_register_bits) {
+  std::vector<EngineChoice> rungs;
+  const auto add = [&rungs](ScanEngine engine, int bits = 0) {
+    const EngineChoice choice{engine, bits};
+    for (const EngineChoice& existing : rungs) {
+      if (existing == choice) return;
+    }
+    rungs.push_back(choice);
+  };
+  // The static tail below the requested engine. Falls through so that each
+  // starting rung inherits everything beneath it.
+  const auto add_static_tail = [&add](ScanEngine from) {
+    switch (from) {
+      case ScanEngine::kAvx512Fused512:
+      case ScanEngine::kAvx512Fused256:
+      case ScanEngine::kAvx512Fused128:
+        add(from);
+        add(ScanEngine::kAvx2Fused128);
+        add(ScanEngine::kScalarFused);
+        add(ScanEngine::kSisdNoVec);
+        break;
+      case ScanEngine::kAvx2Fused128:
+        add(ScanEngine::kAvx2Fused128);
+        add(ScanEngine::kScalarFused);
+        add(ScanEngine::kSisdNoVec);
+        break;
+      case ScanEngine::kBlockwise:
+        add(ScanEngine::kBlockwise);
+        add(ScanEngine::kScalarFused);
+        add(ScanEngine::kSisdNoVec);
+        break;
+      case ScanEngine::kScalarFused:
+        add(ScanEngine::kScalarFused);
+        add(ScanEngine::kSisdNoVec);
+        break;
+      case ScanEngine::kSisdAutoVec:
+        add(ScanEngine::kSisdAutoVec);
+        add(ScanEngine::kSisdNoVec);
+        break;
+      case ScanEngine::kSisdNoVec:
+        add(ScanEngine::kSisdNoVec);
+        break;
+      case ScanEngine::kJit:
+        break;  // Handled by the caller.
+    }
+  };
+
+  if (requested == ScanEngine::kJit) {
+    const int start_bits = jit_register_bits == 0 ? 512 : jit_register_bits;
+    for (const int bits : {512, 256, 128}) {
+      if (bits <= start_bits) add(ScanEngine::kJit, bits);
+    }
+    add_static_tail(ScanEngine::kAvx512Fused512);
+  } else {
+    add_static_tail(requested);
+  }
+  return rungs;
+}
+
 }  // namespace fts

@@ -2,6 +2,7 @@
 #define FTS_SCAN_SCAN_ENGINE_H_
 
 #include <string>
+#include <vector>
 
 #include "fts/common/status.h"
 
@@ -33,6 +34,69 @@ StatusOr<ScanEngine> ParseScanEngine(const std::string& name);
 // True when the current CPU can execute `engine` (kJit also requires a
 // working host compiler, which this check does not verify).
 bool ScanEngineAvailable(ScanEngine engine);
+
+// What the executor does when the requested scan engine fails at runtime
+// (missing JIT compiler, compile error/timeout, dlopen failure, CPU without
+// the required ISA): fail the query, or demote along DegradationLadder()
+// until an engine succeeds. The SISD engines cannot fail, so a ladder walk
+// always terminates with a correct scan.
+enum class FallbackPolicy : uint8_t {
+  kStrict = 0,  // Surface the requested engine's error to the caller.
+  kLadder,      // Demote rung by rung; record each demotion.
+};
+
+const char* FallbackPolicyToString(FallbackPolicy policy);
+
+// One concrete way to run a scan: an engine plus, for kJit, the register
+// width the generated code targets.
+struct EngineChoice {
+  ScanEngine engine = ScanEngine::kSisdNoVec;
+  int jit_register_bits = 0;  // Non-zero only for engine == kJit.
+
+  std::string ToString() const;
+  friend bool operator==(const EngineChoice& a,
+                         const EngineChoice& b) = default;
+};
+
+// One rung tried during execution. `status` is OK for the rung that ran
+// and carries the demotion reason for every rung that was skipped over.
+struct EngineAttempt {
+  EngineChoice choice;
+  Status status;
+};
+
+// Which engine a scan actually executed and why. Every QueryResult carries
+// one, so degradations are observable instead of silent.
+struct ExecutionReport {
+  EngineChoice requested;
+  EngineChoice executed;
+  // True when `executed` differs from `requested` (any demotion happened).
+  bool degraded = false;
+  // Every rung tried, in order; the last entry is the one that ran.
+  std::vector<EngineAttempt> attempts;
+
+  void RecordFailure(const EngineChoice& choice, const Status& status) {
+    attempts.push_back({choice, status});
+  }
+  void RecordSuccess(const EngineChoice& choice) {
+    attempts.push_back({choice, Status::Ok()});
+    executed = choice;
+    degraded = !(choice == requested);
+  }
+
+  // Multi-line human-readable rendering (one line per attempt).
+  std::string ToString() const;
+};
+
+// The ordered fallback chain starting at `requested`:
+//   JIT-512 -> JIT-256 -> JIT-128 -> AVX-512 fused -> AVX2 fused ->
+//   scalar fused -> SISD.
+// Rungs are NOT filtered by CPU capability — an unavailable rung fails
+// with kUnavailable when tried, so the demotion reason lands in the
+// ExecutionReport instead of vanishing. `jit_register_bits` seeds the JIT
+// rungs when `requested` is kJit (narrower widths follow).
+std::vector<EngineChoice> DegradationLadder(ScanEngine requested,
+                                            int jit_register_bits);
 
 }  // namespace fts
 

@@ -1,0 +1,183 @@
+#include "fts/jit/jit_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fts/common/fault_injection.h"
+
+namespace fts {
+namespace {
+
+JitScanSignature MakeSignature(ScanElementType type, CompareOp op,
+                               int register_bits = 512) {
+  JitScanSignature signature;
+  signature.stages.push_back({type, op, /*packed_bits=*/0});
+  signature.register_bits = register_bits;
+  return signature;
+}
+
+class JitCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (FaultInjection::Instance().AnyArmed()) {
+      GTEST_SKIP() << "fault injection armed via FTS_FAULT; this suite "
+                      "manages its own faults";
+    }
+  }
+};
+
+TEST_F(JitCacheTest, SingleFlightCompilesOnce) {
+  JitCache cache;
+  const JitScanSignature signature =
+      MakeSignature(ScanElementType::kI32, CompareOp::kEq);
+
+  constexpr int kThreads = 8;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int ready = 0;
+  bool go = false;
+  std::atomic<int> ok_count{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (++ready == kThreads) cv.notify_all();
+        cv.wait(lock, [&] { return go; });
+      }
+      const auto entry = cache.GetOrCompile(signature);
+      if (entry.ok() && entry->fn != nullptr) ok_count.fetch_add(1);
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready == kThreads; });
+    go = true;
+    cv.notify_all();
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(ok_count.load(), kThreads);
+  const JitCache::Stats stats = cache.stats();
+  // Exactly one thread led the compilation; every other thread ends with a
+  // cache hit (after a single-flight wait if it arrived mid-compile).
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_LE(stats.single_flight_waits,
+            static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(JitCacheTest, FailedSignatureIsPoisonedAfterRetryBudget) {
+  const uint64_t fired_before =
+      FaultInjection::Instance().FireCount(kFaultJitCompileError);
+  ScopedFault fault(kFaultJitCompileError);
+  JitCacheOptions options;
+  options.max_compile_attempts = 2;
+  JitCache cache(options);
+  const JitScanSignature signature =
+      MakeSignature(ScanElementType::kI32, CompareOp::kLt);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto entry = cache.GetOrCompile(signature);
+    ASSERT_FALSE(entry.ok());
+    EXPECT_EQ(entry.status().code(), StatusCode::kInternal);
+  }
+
+  // Two real attempts, then the poisoned entry answers without touching
+  // the compiler again.
+  EXPECT_EQ(FaultInjection::Instance().FireCount(kFaultJitCompileError) -
+                fired_before,
+            2u);
+  const JitCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.compile_failures, 2u);
+  EXPECT_EQ(stats.negative_hits, 3u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(JitCacheTest, CompilerUnavailableIsStickyAcrossSignatures) {
+  // One kUnavailable failure (compiler binary missing) must short-circuit
+  // *every* signature: no signature can compile without a compiler.
+  JitCache cache;
+  const JitScanSignature first =
+      MakeSignature(ScanElementType::kI32, CompareOp::kEq);
+  const JitScanSignature second =
+      MakeSignature(ScanElementType::kU32, CompareOp::kGt);
+  {
+    ScopedFault fault(kFaultJitCompilerMissing, 1);
+    const auto entry = cache.GetOrCompile(first);
+    ASSERT_FALSE(entry.ok());
+    EXPECT_EQ(entry.status().code(), StatusCode::kUnavailable);
+  }
+  // Fault disarmed, but the latch holds — even for a brand-new signature.
+  const auto second_entry = cache.GetOrCompile(second);
+  ASSERT_FALSE(second_entry.ok());
+  EXPECT_EQ(second_entry.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_GE(cache.stats().negative_hits, 1u);
+
+  // Clear() releases the latch; compilation works again.
+  cache.Clear();
+  const auto after_clear = cache.GetOrCompile(second);
+  ASSERT_TRUE(after_clear.ok()) << after_clear.status().ToString();
+  EXPECT_NE(after_clear->fn, nullptr);
+}
+
+TEST_F(JitCacheTest, LruEvictionBeyondCapacity) {
+  JitCacheOptions options;
+  options.capacity = 2;
+  JitCache cache(options);
+
+  const JitScanSignature a =
+      MakeSignature(ScanElementType::kI32, CompareOp::kEq);
+  const JitScanSignature b =
+      MakeSignature(ScanElementType::kI32, CompareOp::kLt);
+  const JitScanSignature c =
+      MakeSignature(ScanElementType::kI32, CompareOp::kGt);
+
+  ASSERT_TRUE(cache.GetOrCompile(a).ok());
+  ASSERT_TRUE(cache.GetOrCompile(b).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch `a` so `b` is the least recently used, then overflow with `c`.
+  ASSERT_TRUE(cache.GetOrCompile(a).ok());
+  ASSERT_TRUE(cache.GetOrCompile(c).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // `a` and `c` are resident; `b` was evicted and recompiles on demand.
+  const uint64_t misses_before = cache.stats().misses;
+  ASSERT_TRUE(cache.GetOrCompile(a).ok());
+  ASSERT_TRUE(cache.GetOrCompile(c).ok());
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  ASSERT_TRUE(cache.GetOrCompile(b).ok());
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+TEST_F(JitCacheTest, ClearForgetsPoisonedSignatures) {
+  JitCacheOptions options;
+  options.max_compile_attempts = 1;
+  JitCache cache(options);
+  const JitScanSignature signature =
+      MakeSignature(ScanElementType::kI64, CompareOp::kNe);
+  {
+    ScopedFault fault(kFaultJitCompileError, 1);
+    ASSERT_FALSE(cache.GetOrCompile(signature).ok());
+  }
+  ASSERT_FALSE(cache.GetOrCompile(signature).ok());  // Poisoned.
+  cache.Clear();
+  const auto entry = cache.GetOrCompile(signature);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+}
+
+}  // namespace
+}  // namespace fts

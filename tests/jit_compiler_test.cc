@@ -1,0 +1,224 @@
+#include "fts/jit/compiler_driver.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fts/common/fault_injection.h"
+#include "fts/common/timer.h"
+
+namespace fts {
+namespace {
+
+// The hardened compiler driver is exercised with the real system compiler
+// (generated sources only need to *compile*, not run, so no AVX-512 CPU is
+// required) plus fault injection for the paths a healthy toolchain cannot
+// reach.
+class JitCompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (FaultInjection::Instance().AnyArmed()) {
+      GTEST_SKIP() << "fault injection armed via FTS_FAULT; this suite "
+                      "manages its own faults";
+    }
+    char dir_template[] = "/tmp/fts-compiler-test-XXXXXX";
+    ASSERT_NE(mkdtemp(dir_template), nullptr);
+    work_dir_ = dir_template;
+  }
+
+  void TearDown() override {
+    if (!work_dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(work_dir_, ec);
+    }
+  }
+
+  size_t WorkDirEntries() const {
+    size_t count = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(work_dir_)) {
+      (void)entry;
+      ++count;
+    }
+    return count;
+  }
+
+  std::string work_dir_;
+};
+
+constexpr char kValidSource[] =
+    "extern \"C\" int fts_test_symbol() { return 42; }\n";
+
+TEST_F(JitCompilerTest, CompilesAndResolvesSymbol) {
+  JitCompilerOptions options;
+  options.work_dir = work_dir_;
+  JitCompiler compiler(options);
+  const auto module = compiler.Compile(kValidSource, "fts_test_symbol");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  EXPECT_NE((*module)->symbol_address(), nullptr);
+  EXPECT_GT((*module)->compile_millis(), 0.0);
+  // Scratch directory removed even on success (the .so stays mapped).
+  EXPECT_EQ(WorkDirEntries(), 0u);
+}
+
+TEST_F(JitCompilerTest, ArtifactsCleanedUpOnCompileFailure) {
+  JitCompilerOptions options;
+  options.work_dir = work_dir_;
+  JitCompiler compiler(options);
+  const auto result = compiler.Compile("this is not C++", "nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  // keep_artifacts == false must clean up the .cpp/.log scratch files on
+  // the failure path too, not only on success.
+  EXPECT_EQ(WorkDirEntries(), 0u);
+}
+
+TEST_F(JitCompilerTest, ArtifactsKeptOnFailureWhenRequested) {
+  JitCompilerOptions options;
+  options.work_dir = work_dir_;
+  options.keep_artifacts = true;
+  JitCompiler compiler(options);
+  const auto result = compiler.Compile("this is not C++", "nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_GE(WorkDirEntries(), 1u);  // The fts-jit-* scratch dir survives.
+}
+
+TEST_F(JitCompilerTest, MissingCompilerIsUnavailable) {
+  JitCompilerOptions options;
+  options.compiler = "/nonexistent/compiler";
+  options.work_dir = work_dir_;
+  JitCompiler compiler(options);
+  const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(WorkDirEntries(), 0u);
+}
+
+TEST_F(JitCompilerTest, TimeoutKillsCompilerProcessAndLeavesNoOrphan) {
+  // A fake "compiler" that records its PID and then hangs far beyond the
+  // deadline. The driver must return kDeadlineExceeded promptly, SIGKILL
+  // the process, and reap it (no orphan / zombie).
+  const std::string pid_file = work_dir_ + "/compiler.pid";
+  const std::string fake_compiler = work_dir_ + "/slow_compiler.sh";
+  {
+    std::ofstream script(fake_compiler);
+    script << "#!/bin/sh\necho $$ > " << pid_file << "\nexec sleep 300\n";
+  }
+  ASSERT_EQ(chmod(fake_compiler.c_str(), 0755), 0);
+
+  JitCompilerOptions options;
+  options.compiler = fake_compiler;
+  options.work_dir = work_dir_;
+  options.compile_timeout_millis = 300;
+  JitCompiler compiler(options);
+
+  Stopwatch stopwatch;
+  const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(stopwatch.ElapsedMillis(), 10000.0);
+
+  // The recorded PID must be gone: killed and reaped by the driver.
+  std::ifstream in(pid_file);
+  pid_t pid = 0;
+  ASSERT_TRUE(in >> pid);
+  ASSERT_GT(pid, 0);
+  errno = 0;
+  EXPECT_EQ(kill(pid, 0), -1);
+  EXPECT_EQ(errno, ESRCH);
+}
+
+TEST_F(JitCompilerTest, TransientSpawnFailureIsRetriedWithBackoff) {
+  // Fire counts accumulate per process, so assert the delta.
+  const uint64_t fired_before =
+      FaultInjection::Instance().FireCount(kFaultJitSpawnTransient);
+  ScopedFault fault(kFaultJitSpawnTransient, 2);
+  JitCompilerOptions options;
+  options.work_dir = work_dir_;
+  options.max_spawn_attempts = 3;
+  options.retry_backoff_millis = 1;
+  JitCompiler compiler(options);
+  const auto module = compiler.Compile(kValidSource, "fts_test_symbol");
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  EXPECT_EQ(FaultInjection::Instance().FireCount(kFaultJitSpawnTransient) -
+                fired_before,
+            2u);
+}
+
+TEST_F(JitCompilerTest, SpawnRetryBudgetIsBounded) {
+  const uint64_t fired_before =
+      FaultInjection::Instance().FireCount(kFaultJitSpawnTransient);
+  ScopedFault fault(kFaultJitSpawnTransient);  // Fails every attempt.
+  JitCompilerOptions options;
+  options.work_dir = work_dir_;
+  options.max_spawn_attempts = 3;
+  options.retry_backoff_millis = 1;
+  JitCompiler compiler(options);
+  const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(FaultInjection::Instance().FireCount(kFaultJitSpawnTransient) -
+                fired_before,
+            3u);
+  EXPECT_EQ(WorkDirEntries(), 0u);
+}
+
+TEST_F(JitCompilerTest, InjectedFaultsMapToDocumentedStatusCodes) {
+  JitCompilerOptions options;
+  options.work_dir = work_dir_;
+  JitCompiler compiler(options);
+
+  {
+    ScopedFault fault(kFaultJitCompilerMissing);
+    const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  }
+  {
+    ScopedFault fault(kFaultJitCompileError);
+    const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    EXPECT_EQ(WorkDirEntries(), 0u);
+  }
+  {
+    ScopedFault fault(kFaultJitCompileTimeout);
+    const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  {
+    ScopedFault fault(kFaultJitDlopenFail);
+    const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    EXPECT_NE(result.status().message().find("dlopen"), std::string::npos);
+  }
+  {
+    ScopedFault fault(kFaultJitSymbolMissing);
+    const auto result = compiler.Compile(kValidSource, "fts_test_symbol");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+    EXPECT_NE(result.status().message().find("not found"),
+              std::string::npos);
+  }
+  EXPECT_EQ(WorkDirEntries(), 0u);
+}
+
+TEST_F(JitCompilerTest, CompileTimeoutEnvOverride) {
+  ASSERT_EQ(setenv("FTS_JIT_COMPILE_TIMEOUT_MS", "1234", 1), 0);
+  JitCompiler compiler;
+  EXPECT_EQ(compiler.options().compile_timeout_millis, 1234);
+  ASSERT_EQ(unsetenv("FTS_JIT_COMPILE_TIMEOUT_MS"), 0);
+}
+
+}  // namespace
+}  // namespace fts
