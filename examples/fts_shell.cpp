@@ -10,6 +10,7 @@
 //   \load NAME FILE             load a CSV (typed header "name:type,...")
 //   \tables                     list registered tables
 //   \engine NAME                set engine (sisd-novec, avx512-512, jit, ...)
+//   \threads N                  scan worker threads (0 = FTS_THREADS)
 //   \explain SQL                show logical + physical plans
 //   \timing on|off              toggle per-query wall-clock reporting
 //   \help                       this text
@@ -26,6 +27,7 @@
 #include "fts/db/database.h"
 #include "fts/storage/csv_loader.h"
 #include "fts/storage/data_generator.h"
+#include "fts/storage/table_builder.h"
 
 namespace {
 
@@ -37,6 +39,7 @@ constexpr char kHelp[] =
     "  \\load NAME FILE            load a CSV with typed header\n"
     "  \\tables                    list registered tables\n"
     "  \\engine NAME               set scan engine\n"
+    "  \\threads N                 scan worker threads (0 = FTS_THREADS)\n"
     "  \\explain SQL               show the plans for SQL\n"
     "  \\timing on|off             toggle timing output\n"
     "  \\help                      show this help\n"
@@ -83,6 +86,21 @@ void RunCommand(ShellState& state, const std::string& line) {
     std::printf("engine = %s\n", fts::ScanEngineToString(*engine));
     return;
   }
+  if (command == "\\threads") {
+    int threads = -1;
+    in >> threads;
+    if (threads < 0) {
+      std::printf("usage: \\threads N (0 = FTS_THREADS/auto, 1 = serial)\n");
+      return;
+    }
+    state.options.threads = threads;
+    if (threads == 0) {
+      std::printf("threads = auto (FTS_THREADS, else serial)\n");
+    } else {
+      std::printf("threads = %d\n", threads);
+    }
+    return;
+  }
   if (command == "\\timing") {
     std::string flag;
     in >> flag;
@@ -101,6 +119,9 @@ void RunCommand(ShellState& state, const std::string& line) {
     }
     fts::ScanTableOptions options;
     options.rows = rows;
+    // Chunk at the row-wise default so big tables are multi-chunk and
+    // \threads N has morsels to schedule.
+    options.chunk_size = fts::kDefaultChunkSize;
     for (const std::string& field : fts::Split(sels_text, ',')) {
       options.selectivities.push_back(std::atof(field.c_str()));
     }
@@ -165,9 +186,17 @@ void RunSql(ShellState& state, const std::string& sql) {
   std::fputs(result->ToString(25).c_str(), stdout);
   if (state.timing) {
     const fts::ExecutionReport& report = result->execution_report;
-    std::printf("(%llu rows matched, %.3f ms, %s)\n",
-                static_cast<unsigned long long>(result->matched_rows),
-                millis, report.executed.ToString().c_str());
+    if (report.morsel_count > 0) {
+      std::printf("(%llu rows matched, %.3f ms, %s, %d workers / %zu "
+                  "morsels)\n",
+                  static_cast<unsigned long long>(result->matched_rows),
+                  millis, report.executed.ToString().c_str(),
+                  report.worker_count, report.morsel_count);
+    } else {
+      std::printf("(%llu rows matched, %.3f ms, %s)\n",
+                  static_cast<unsigned long long>(result->matched_rows),
+                  millis, report.executed.ToString().c_str());
+    }
     if (report.degraded) {
       std::printf("note: degraded from %s — %s\n",
                   report.requested.ToString().c_str(),

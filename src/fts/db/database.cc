@@ -85,6 +85,7 @@ StatusOr<PhysicalPlan> Database::Plan(const std::string& sql,
   translator_options.engine = engine;
   translator_options.jit_register_bits = options.jit_register_bits;
   translator_options.fallback = options.fallback;
+  translator_options.threads = options.threads;
   FTS_ASSIGN_OR_RETURN(PhysicalPlan plan,
                        TranslateLqp(lqp, translator_options));
   if (explain_text != nullptr) {

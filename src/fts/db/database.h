@@ -37,6 +37,12 @@ class Database {
     // Disable individual optimizer passes (for study/ablation).
     bool optimize = true;
     bool reorder_predicates = true;
+    // Worker threads for the scan: morsel-driven chunk parallelism via the
+    // work-stealing TaskPool (fts/exec). 0 = FTS_THREADS env, defaulting
+    // to single-threaded; N > 1 = N workers. Results are byte-identical
+    // for every value; QueryResult::execution_report records the worker
+    // count and per-morsel engine decisions.
+    int threads = 0;
   };
 
   Database() = default;

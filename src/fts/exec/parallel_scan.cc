@@ -1,0 +1,207 @@
+#include "fts/exec/parallel_scan.h"
+
+#include <algorithm>
+
+#include "fts/jit/jit_scan_engine.h"
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+namespace {
+
+// Everything one morsel produces. Each task writes only its own slot of a
+// preallocated vector, so the scheduler needs no cross-task locking and
+// the merge is deterministic by construction.
+struct MorselOutcome {
+  bool ok = false;
+  Status error;           // Last rung's failure when !ok.
+  EngineChoice executed;  // Rung that ran when ok.
+  size_t rung_index = 0;  // Ladder depth of `executed` (0 = requested).
+  std::vector<EngineAttempt> attempts;
+  PosList positions;  // Materialize mode.
+  uint64_t count = 0;  // Count mode.
+};
+
+std::vector<EngineChoice> RungsFor(const ParallelScanOptions& options) {
+  if (options.fallback == FallbackPolicy::kLadder) {
+    return DegradationLadder(options.requested.engine,
+                             options.requested.jit_register_bits);
+  }
+  return {options.requested};
+}
+
+// Walks the ladder for one chunk. Mirrors JitScanEngine::RunLadder, but at
+// morsel granularity: a kUnavailable JIT failure (no AVX-512, no usable
+// compiler) dooms every JIT width for this morsel, so skip straight to the
+// precompiled rungs instead of burning a compile attempt per width.
+void RunMorsel(const TableScanner& scanner, JitCache& cache,
+               const std::vector<EngineChoice>& rungs, bool count_only,
+               ChunkId chunk_id, MorselOutcome* out) {
+  const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
+  // Thread-local output list, reused across rungs and moved into the
+  // outcome slot on success.
+  PosList buffer;
+  if (!count_only) buffer.resize(plan.row_count + kScanOutputSlack);
+
+  bool jit_unavailable = false;
+  Status jit_unavailable_status;
+  for (size_t r = 0; r < rungs.size(); ++r) {
+    const EngineChoice& choice = rungs[r];
+    if (choice.engine == ScanEngine::kJit && jit_unavailable) {
+      out->attempts.push_back({choice, jit_unavailable_status});
+      continue;
+    }
+
+    Status status;
+    uint64_t value = 0;
+    if (choice.engine == ScanEngine::kJit) {
+      const StatusOr<size_t> result =
+          JitExecuteChunk(cache, plan, choice.jit_register_bits, count_only,
+                          count_only ? nullptr : buffer.data());
+      if (result.ok()) {
+        value = *result;
+      } else {
+        status = result.status();
+      }
+    } else if (count_only) {
+      const StatusOr<uint64_t> result =
+          scanner.ExecuteChunkCount(choice.engine, chunk_id);
+      if (result.ok()) {
+        value = *result;
+      } else {
+        status = result.status();
+      }
+    } else {
+      const StatusOr<size_t> result =
+          scanner.ExecuteChunk(choice.engine, chunk_id, buffer.data());
+      if (result.ok()) {
+        value = *result;
+      } else {
+        status = result.status();
+      }
+    }
+
+    if (status.ok()) {
+      if (count_only) {
+        out->count = value;
+      } else {
+        buffer.resize(static_cast<size_t>(value));
+        out->positions = std::move(buffer);
+      }
+      out->attempts.push_back({choice, Status::Ok()});
+      out->executed = choice;
+      out->rung_index = r;
+      out->ok = true;
+      return;
+    }
+    out->attempts.push_back({choice, status});
+    out->error = status;
+    if (choice.engine == ScanEngine::kJit &&
+        status.code() == StatusCode::kUnavailable) {
+      jit_unavailable = true;
+      jit_unavailable_status = status;
+    }
+  }
+}
+
+// Schedules every chunk as one morsel, merges outcomes, and fills the
+// report. On failure the first failed morsel in chunk order decides the
+// returned status (deterministic regardless of scheduling).
+Status RunMorsels(const TableScanner& scanner,
+                  const ParallelScanOptions& options, bool count_only,
+                  std::vector<MorselOutcome>* outcomes,
+                  ExecutionReport* report) {
+  ExecutionReport local;
+  if (report == nullptr) report = &local;
+  report->requested = options.requested;
+
+  JitCache& cache =
+      options.cache != nullptr ? *options.cache : GlobalJitCache();
+  const std::vector<EngineChoice> rungs = RungsFor(options);
+  const size_t chunk_count = scanner.chunk_plans().size();
+
+  int threads = options.pool != nullptr ? options.pool->thread_count()
+                : options.threads <= 0
+                    ? TaskPool::DefaultThreadCount()
+                    : std::min(options.threads, kMaxTaskPoolThreads);
+
+  outcomes->clear();
+  outcomes->resize(chunk_count);
+  if (chunk_count == 0) {
+    report->worker_count = 1;
+    report->RecordSuccess(options.requested);
+    return Status::Ok();
+  }
+
+  const auto run_morsel = [&](size_t chunk) {
+    RunMorsel(scanner, cache, rungs, count_only,
+              static_cast<ChunkId>(chunk), &(*outcomes)[chunk]);
+  };
+  if (threads <= 1 || chunk_count == 1) {
+    threads = 1;
+    for (size_t chunk = 0; chunk < chunk_count; ++chunk) run_morsel(chunk);
+  } else if (options.pool != nullptr) {
+    options.pool->ParallelFor(chunk_count, run_morsel);
+  } else if (threads == TaskPool::Global().thread_count()) {
+    TaskPool::Global().ParallelFor(chunk_count, run_morsel);
+  } else {
+    TaskPool scan_pool(threads);
+    scan_pool.ParallelFor(chunk_count, run_morsel);
+  }
+
+  report->worker_count = threads;
+  report->morsel_count = chunk_count;
+  for (const MorselOutcome& outcome : *outcomes) {
+    if (outcome.ok) continue;
+    report->attempts = outcome.attempts;
+    return outcome.error;
+  }
+
+  // The deepest rung any morsel reached defines the scan-level ladder
+  // trail; per-morsel decisions stay visible in morsel_choices.
+  size_t deepest = 0;
+  for (size_t i = 1; i < outcomes->size(); ++i) {
+    if ((*outcomes)[i].rung_index > (*outcomes)[deepest].rung_index) {
+      deepest = i;
+    }
+  }
+  report->morsel_choices.reserve(chunk_count);
+  for (const MorselOutcome& outcome : *outcomes) {
+    report->morsel_choices.push_back(outcome.executed);
+  }
+  report->attempts = (*outcomes)[deepest].attempts;
+  report->executed = (*outcomes)[deepest].executed;
+  report->degraded = !(report->executed == report->requested);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<TableMatches> ExecuteParallelScan(const TableScanner& scanner,
+                                           const ParallelScanOptions& options,
+                                           ExecutionReport* report) {
+  std::vector<MorselOutcome> outcomes;
+  FTS_RETURN_IF_ERROR(
+      RunMorsels(scanner, options, /*count_only=*/false, &outcomes, report));
+  TableMatches result;
+  result.chunks.reserve(outcomes.size());
+  for (ChunkId chunk_id = 0; chunk_id < outcomes.size(); ++chunk_id) {
+    ChunkMatches matches;
+    matches.chunk_id = chunk_id;
+    matches.positions = std::move(outcomes[chunk_id].positions);
+    result.chunks.push_back(std::move(matches));
+  }
+  return result;
+}
+
+StatusOr<uint64_t> ExecuteParallelScanCount(const TableScanner& scanner,
+                                            const ParallelScanOptions& options,
+                                            ExecutionReport* report) {
+  std::vector<MorselOutcome> outcomes;
+  FTS_RETURN_IF_ERROR(
+      RunMorsels(scanner, options, /*count_only=*/true, &outcomes, report));
+  uint64_t total = 0;
+  for (const MorselOutcome& outcome : outcomes) total += outcome.count;
+  return total;
+}
+
+}  // namespace fts

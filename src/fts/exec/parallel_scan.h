@@ -1,0 +1,57 @@
+#ifndef FTS_EXEC_PARALLEL_SCAN_H_
+#define FTS_EXEC_PARALLEL_SCAN_H_
+
+#include "fts/common/status.h"
+#include "fts/exec/task_pool.h"
+#include "fts/jit/jit_cache.h"
+#include "fts/scan/scan_engine.h"
+#include "fts/scan/table_scan.h"
+#include "fts/storage/pos_list.h"
+
+namespace fts {
+
+// Morsel-driven parallel execution of a prepared scan (Hyrise-style
+// chunk-granular parallelism). Each chunk is one morsel; a TaskPool
+// worker runs the selected engine rung over its morsels into a
+// thread-local PosList, and the per-chunk lists are stitched together in
+// chunk order — the output is byte-identical to the single-threaded path
+// for every thread count.
+//
+// Degradation is per-morsel: under FallbackPolicy::kLadder each morsel
+// walks DegradationLadder() independently, so one chunk's JIT compile
+// failure mid-query demotes only that chunk (the JitCache's single-flight
+// and negative caching keep concurrent morsels from stampeding a broken
+// toolchain). The ExecutionReport records the worker count, the morsel
+// count, and every morsel's executed engine.
+struct ParallelScanOptions {
+  // Engine to run (any rung, including kJit with its register width).
+  EngineChoice requested;
+  // kLadder demotes failing morsels rung by rung; kStrict fails the scan
+  // on the first morsel whose requested rung fails.
+  FallbackPolicy fallback = FallbackPolicy::kLadder;
+  // Worker threads: 0 = TaskPool::DefaultThreadCount() (FTS_THREADS env,
+  // else hardware concurrency), 1 = run morsels inline on the caller,
+  // N > 1 = N workers.
+  int threads = 0;
+  // Compiled-operator cache for kJit rungs; null = GlobalJitCache().
+  JitCache* cache = nullptr;
+  // Pool to schedule on; null = TaskPool::Global() when its width matches
+  // the resolved thread count, else a scan-local pool.
+  TaskPool* pool = nullptr;
+};
+
+// Runs the prepared scan morsel-by-morsel and materializes matching
+// positions per chunk (same result shape as TableScanner::Execute).
+StatusOr<TableMatches> ExecuteParallelScan(const TableScanner& scanner,
+                                           const ParallelScanOptions& options,
+                                           ExecutionReport* report = nullptr);
+
+// Count-only twin: JIT morsels compile count-only operators, SISD morsels
+// run the paper's counting loop, fused morsels count a thread-local list.
+StatusOr<uint64_t> ExecuteParallelScanCount(
+    const TableScanner& scanner, const ParallelScanOptions& options,
+    ExecutionReport* report = nullptr);
+
+}  // namespace fts
+
+#endif  // FTS_EXEC_PARALLEL_SCAN_H_

@@ -7,6 +7,40 @@
 
 namespace fts {
 
+StatusOr<size_t> JitExecuteChunk(JitCache& cache,
+                                 const TableScanner::ChunkPlan& plan,
+                                 int register_bits, bool count_only,
+                                 ChunkOffset* out) {
+  if (!GetCpuFeatures().HasFusedScanAvx512()) {
+    return Status::Unavailable(
+        "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
+  }
+  if (plan.impossible || plan.row_count == 0) return size_t{0};
+  if (plan.stages.empty()) {
+    if (!count_only) std::iota(out, out + plan.row_count, ChunkOffset{0});
+    return plan.row_count;
+  }
+
+  // One compiled operator per chain signature; chunks of the same table
+  // usually share it (dictionary rewrites can vary per chunk).
+  JitScanSignature signature = SignatureForStages(plan.stages, register_bits);
+  signature.count_only = count_only;
+  FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
+                       cache.GetOrCompile(signature));
+
+  const void* columns[kMaxScanStages];
+  alignas(8) unsigned char values[kMaxScanStages * kJitValueSlotBytes] = {};
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    columns[s] = plan.stages[s].data;
+    // ScanValue is an 8-byte union; copy its raw bits into the slot.
+    static_assert(sizeof(ScanValue) == kJitValueSlotBytes);
+    __builtin_memcpy(values + s * kJitValueSlotBytes, &plan.stages[s].value,
+                     kJitValueSlotBytes);
+  }
+  // Count-only operators never touch the output buffer.
+  return entry.fn(columns, values, plan.row_count, count_only ? nullptr : out);
+}
+
 JitScanEngine::JitScanEngine(int register_bits, JitCache* cache,
                              FallbackPolicy fallback)
     : register_bits_(register_bits), cache_(cache), fallback_(fallback) {
@@ -60,7 +94,6 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
-
   TableMatches result;
   result.chunks.reserve(scanner.chunk_plans().size());
   for (ChunkId chunk_id = 0; chunk_id < scanner.chunk_plans().size();
@@ -68,39 +101,15 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
     const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
     ChunkMatches matches;
     matches.chunk_id = chunk_id;
-    if (plan.impossible || plan.row_count == 0) {
-      result.chunks.push_back(std::move(matches));
-      continue;
+    if (!plan.impossible && plan.row_count > 0) {
+      PosList positions(plan.row_count + kScanOutputSlack);
+      FTS_ASSIGN_OR_RETURN(
+          const size_t count,
+          JitExecuteChunk(*cache_, plan, register_bits,
+                          /*count_only=*/false, positions.data()));
+      positions.resize(count);
+      matches.positions = std::move(positions);
     }
-    if (plan.stages.empty()) {
-      matches.positions.resize(plan.row_count);
-      std::iota(matches.positions.begin(), matches.positions.end(), 0u);
-      result.chunks.push_back(std::move(matches));
-      continue;
-    }
-
-    // One compiled operator per chain signature; chunks of the same table
-    // usually share it (dictionary rewrites can vary per chunk).
-    const JitScanSignature signature =
-        SignatureForStages(plan.stages, register_bits);
-    FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
-                         cache_->GetOrCompile(signature));
-
-    const void* columns[kMaxScanStages];
-    alignas(8) unsigned char values[kMaxScanStages * kJitValueSlotBytes] = {};
-    for (size_t s = 0; s < plan.stages.size(); ++s) {
-      columns[s] = plan.stages[s].data;
-      // ScanValue is an 8-byte union; copy its raw bits into the slot.
-      static_assert(sizeof(ScanValue) == kJitValueSlotBytes);
-      __builtin_memcpy(values + s * kJitValueSlotBytes,
-                       &plan.stages[s].value, kJitValueSlotBytes);
-    }
-
-    PosList positions(plan.row_count + kScanOutputSlack);
-    const size_t count =
-        entry.fn(columns, values, plan.row_count, positions.data());
-    positions.resize(count);
-    matches.positions = std::move(positions);
     result.chunks.push_back(std::move(matches));
   }
   return result;
@@ -114,29 +123,12 @@ StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
-
   uint64_t total = 0;
   for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
-    if (plan.impossible || plan.row_count == 0) continue;
-    if (plan.stages.empty()) {
-      total += plan.row_count;
-      continue;
-    }
-    JitScanSignature signature =
-        SignatureForStages(plan.stages, register_bits);
-    signature.count_only = true;
-    FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
-                         cache_->GetOrCompile(signature));
-
-    const void* columns[kMaxScanStages];
-    alignas(8) unsigned char values[kMaxScanStages * kJitValueSlotBytes] = {};
-    for (size_t s = 0; s < plan.stages.size(); ++s) {
-      columns[s] = plan.stages[s].data;
-      __builtin_memcpy(values + s * kJitValueSlotBytes,
-                       &plan.stages[s].value, kJitValueSlotBytes);
-    }
-    // Count-only operators never touch the output buffer.
-    total += entry.fn(columns, values, plan.row_count, nullptr);
+    FTS_ASSIGN_OR_RETURN(const size_t count,
+                         JitExecuteChunk(*cache_, plan, register_bits,
+                                         /*count_only=*/true, nullptr));
+    total += count;
   }
   return total;
 }

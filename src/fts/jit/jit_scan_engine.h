@@ -11,6 +11,19 @@
 
 namespace fts {
 
+// Runs one chunk's prepared plan through a JIT-compiled operator — the
+// morsel primitive shared by JitScanEngine and the parallel executor
+// (fts/exec/parallel_scan.h). Compiles (or fetches from `cache`) the
+// operator for the chunk's chain signature at `register_bits`. In
+// count-only mode `out` may be null and the return value is the match
+// count; otherwise `out` must have capacity for row_count +
+// kScanOutputSlack positions. Thread-safe: JitCache single-flights
+// concurrent compiles of one signature.
+StatusOr<size_t> JitExecuteChunk(JitCache& cache,
+                                 const TableScanner::ChunkPlan& plan,
+                                 int register_bits, bool count_only,
+                                 ChunkOffset* out);
+
 // Executes conjunctive scans through runtime-generated code (Section V).
 // Reuses TableScanner::Prepare for column resolution / value casting /
 // dictionary predicate rewriting, then compiles (or fetches from the

@@ -4,11 +4,30 @@
 #include <numeric>
 
 #include "fts/common/string_util.h"
+#include "fts/exec/parallel_scan.h"
+#include "fts/exec/task_pool.h"
 #include "fts/jit/jit_scan_engine.h"
 #include "fts/scan/table_scan.h"
 
 namespace fts {
 namespace {
+
+// Worker threads for a scan step: the step's spec hint, then the plan
+// default, then FTS_THREADS; an unset chain stays single-threaded so
+// plain queries keep the serial execution path (and its reports) exactly.
+int ResolveStepThreads(const PhysicalPlan& plan,
+                       const PhysicalPlan::ScanStep& step) {
+  int threads = step.spec.threads != 0 ? step.spec.threads : plan.threads;
+  if (threads == 0) threads = TaskPool::ThreadCountFromEnv(1);
+  return threads;
+}
+
+// The requested rung for the parallel executor. Static engines carry no
+// register width (EngineChoice contract).
+EngineChoice StepEngineChoice(const PhysicalPlan::ScanStep& step) {
+  return {step.engine,
+          step.engine == ScanEngine::kJit ? step.jit_register_bits : 0};
+}
 
 // Applies `spec` to an existing position list, evaluating predicates
 // row-at-a-time at the surviving positions (the materialize-and-refine
@@ -121,8 +140,19 @@ std::vector<Value> ComputeAggregates(
 // walk the ladder here.
 StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
                                     const PhysicalPlan::ScanStep& step,
-                                    FallbackPolicy policy,
+                                    FallbackPolicy policy, int threads,
                                     ExecutionReport* report) {
+  if (threads > 1 && table->chunk_count() > 1) {
+    // Morsel-driven parallel path: per-chunk morsels on the task pool,
+    // per-morsel degradation, byte-identical output (fts/exec).
+    FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                         TableScanner::Prepare(table, step.spec));
+    ParallelScanOptions options;
+    options.requested = StepEngineChoice(step);
+    options.fallback = policy;
+    options.threads = threads;
+    return ExecuteParallelScan(scanner, options, report);
+  }
   if (step.engine == ScanEngine::kJit) {
     JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
     return engine.Execute(table, step.spec, report);
@@ -150,8 +180,17 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
 // Count-only twin of RunFirstStep for the COUNT(*) fast path.
 StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
                                      const PhysicalPlan::ScanStep& step,
-                                     FallbackPolicy policy,
+                                     FallbackPolicy policy, int threads,
                                      ExecutionReport* report) {
+  if (threads > 1 && table->chunk_count() > 1) {
+    FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                         TableScanner::Prepare(table, step.spec));
+    ParallelScanOptions options;
+    options.requested = StepEngineChoice(step);
+    options.fallback = policy;
+    options.threads = threads;
+    return ExecuteParallelScanCount(scanner, options, report);
+  }
   if (step.engine == ScanEngine::kJit) {
     JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
     return engine.ExecuteCount(table, step.spec, report);
@@ -179,10 +218,10 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
 StatusOr<TableMatches> RunStep(const TablePtr& table,
                                const PhysicalPlan::ScanStep& step,
                                const std::optional<TableMatches>& previous,
-                               FallbackPolicy policy,
+                               FallbackPolicy policy, int threads,
                                ExecutionReport* report) {
   if (!previous.has_value()) {
-    return RunFirstStep(table, step, policy, report);
+    return RunFirstStep(table, step, policy, threads, report);
   }
   // Later steps refine position lists tuple-at-a-time; no engine involved.
   return RefineMatches(table, step.spec, *previous);
@@ -281,8 +320,10 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
       plan.scan_steps.size() == 1) {
     QueryResult result;
     const PhysicalPlan::ScanStep& step = plan.scan_steps[0];
-    const StatusOr<uint64_t> count = RunFirstStepCount(
-        plan.table, step, plan.fallback, &result.execution_report);
+    const StatusOr<uint64_t> count =
+        RunFirstStepCount(plan.table, step, plan.fallback,
+                          ResolveStepThreads(plan, step),
+                          &result.execution_report);
     FTS_RETURN_IF_ERROR(count.status());
     result.matched_rows = *count;
     result.count = *count;
@@ -295,7 +336,8 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   for (const PhysicalPlan::ScanStep& step : plan.scan_steps) {
     FTS_ASSIGN_OR_RETURN(
         TableMatches next,
-        RunStep(plan.table, step, matches, plan.fallback, &report));
+        RunStep(plan.table, step, matches, plan.fallback,
+                ResolveStepThreads(plan, step), &report));
     matches = std::move(next);
   }
   // No scan steps: every row matches.

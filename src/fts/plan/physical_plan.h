@@ -53,6 +53,12 @@ struct PhysicalPlan {
   // compiler is missing): demote along DegradationLadder() or fail.
   FallbackPolicy fallback = FallbackPolicy::kLadder;
 
+  // Worker threads for the first (full-chunk) scan step, executed
+  // morsel-driven over chunks when > 1 (fts/exec/parallel_scan.h).
+  // 0 = resolve from FTS_THREADS, defaulting to single-threaded; results
+  // are byte-identical for every value.
+  int threads = 0;
+
   enum class Output : uint8_t { kCountStar, kAggregate, kProject };
   Output output = Output::kCountStar;
   // Set when the optimizer proved the conjunction contradictory: the plan

@@ -18,6 +18,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
   PhysicalPlan plan;
   plan.output = PhysicalPlan::Output::kCountStar;
   plan.fallback = options.fallback;
+  plan.threads = options.threads;
 
   bool saw_output = false;
   std::optional<std::string> order_by_name;
@@ -59,6 +60,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
         const auto* predicate = static_cast<const PredicateNode*>(node);
         PhysicalPlan::ScanStep step;
         step.spec.predicates = {ToPredicateSpec(predicate->predicate())};
+        step.spec.threads = options.threads;
         step.engine = options.engine;
         step.jit_register_bits = options.jit_register_bits;
         steps_root_first.push_back(std::move(step));
@@ -71,6 +73,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
         for (const AstPredicate& predicate : fused->predicates()) {
           step.spec.predicates.push_back(ToPredicateSpec(predicate));
         }
+        step.spec.threads = options.threads;
         step.engine = options.engine;
         step.jit_register_bits = options.jit_register_bits;
         steps_root_first.push_back(std::move(step));

@@ -17,6 +17,9 @@ struct TranslatorOptions {
   int jit_register_bits = 512;
   // Runtime demotion behavior when the engine fails (see scan_engine.h).
   FallbackPolicy fallback = FallbackPolicy::kLadder;
+  // Worker threads for the morsel-driven first scan step (0 = FTS_THREADS
+  // env, defaulting to single-threaded).
+  int threads = 0;
 };
 
 // Lowers an (optimized) LQP chain into a PhysicalPlan.

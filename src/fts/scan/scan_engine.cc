@@ -98,6 +98,14 @@ std::string ExecutionReport::ToString() const {
   std::string out = StrFormat(
       "requested=%s executed=%s%s", requested.ToString().c_str(),
       executed.ToString().c_str(), degraded ? " [degraded]" : "");
+  if (morsel_count > 0) {
+    out += StrFormat(" workers=%d morsels=%zu", worker_count, morsel_count);
+    size_t demoted = 0;
+    for (const EngineChoice& choice : morsel_choices) {
+      if (!(choice == requested)) ++demoted;
+    }
+    if (demoted > 0) out += StrFormat(" (%zu demoted)", demoted);
+  }
   for (const EngineAttempt& attempt : attempts) {
     out += StrFormat("\n  %s: %s", attempt.choice.ToString().c_str(),
                      attempt.status.ToString().c_str());

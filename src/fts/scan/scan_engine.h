@@ -67,6 +67,12 @@ struct EngineAttempt {
 
 // Which engine a scan actually executed and why. Every QueryResult carries
 // one, so degradations are observable instead of silent.
+//
+// The morsel-driven parallel path (fts/exec/parallel_scan.h) walks the
+// degradation ladder independently per morsel (= chunk), so one chunk's
+// JIT compile failure demotes only that chunk. `executed` is then the
+// deepest rung any morsel ran, `attempts` is that morsel's ladder trail,
+// and `morsel_choices` records every morsel's decision in chunk order.
 struct ExecutionReport {
   EngineChoice requested;
   EngineChoice executed;
@@ -74,6 +80,15 @@ struct ExecutionReport {
   bool degraded = false;
   // Every rung tried, in order; the last entry is the one that ran.
   std::vector<EngineAttempt> attempts;
+  // Worker threads that executed the scan (1 = single-threaded path).
+  int worker_count = 1;
+  // Morsels (chunk-granular work units) the scan was split into. 0 for the
+  // single-threaded path, which runs chunks inline without a scheduler.
+  size_t morsel_count = 0;
+  // Engine that ran each morsel, in chunk order. Empty unless the parallel
+  // path executed. Byte-identical output is guaranteed regardless of the
+  // per-morsel choices (all rungs compute the same positions).
+  std::vector<EngineChoice> morsel_choices;
 
   void RecordFailure(const EngineChoice& choice, const Status& status) {
     attempts.push_back({choice, status});

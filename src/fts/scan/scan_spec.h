@@ -24,6 +24,13 @@ struct PredicateSpec {
 struct ScanSpec {
   std::vector<PredicateSpec> predicates;
 
+  // Execution hint: worker threads for the morsel-driven parallel path
+  // (fts/exec/parallel_scan.h). 0 = resolve from the FTS_THREADS
+  // environment variable (defaulting to single-threaded); 1 = force the
+  // single-threaded path; N > 1 = N workers. Output is byte-identical
+  // regardless of the value; this only affects scheduling.
+  int threads = 0;
+
   std::string ToString() const;
 };
 

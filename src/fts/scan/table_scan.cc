@@ -80,11 +80,37 @@ Status BuildStage(const BaseColumn& column, const PredicateSpec& predicate,
   return Status::Ok();
 }
 
-// All chunk rows as a position list (for predicate-free plans).
-PosList AllPositions(size_t row_count) {
-  PosList all(row_count);
-  std::iota(all.begin(), all.end(), 0u);
-  return all;
+// Maps a fused ScanEngine to its static kernel. Callers have already
+// checked availability.
+FusedScanFn FusedFnForEngine(ScanEngine engine) {
+  switch (engine) {
+    case ScanEngine::kScalarFused:
+      return *GetFusedScanKernel(FusedKernelKind::kScalar);
+    case ScanEngine::kAvx2Fused128:
+      return *GetFusedScanKernel(FusedKernelKind::kAvx2_128);
+    case ScanEngine::kAvx512Fused128:
+      return *GetFusedScanKernel(FusedKernelKind::kAvx512_128);
+    case ScanEngine::kAvx512Fused256:
+      return *GetFusedScanKernel(FusedKernelKind::kAvx512_256);
+    case ScanEngine::kAvx512Fused512:
+      return *GetFusedScanKernel(FusedKernelKind::kAvx512_512);
+    default:
+      return nullptr;
+  }
+}
+
+// Shared entry checks for every execution path.
+Status ValidateEngine(ScanEngine engine) {
+  if (engine == ScanEngine::kJit) {
+    return Status::InvalidArgument(
+        "the JIT engine is driven by fts::JitScanEngine (fts/jit)");
+  }
+  if (!ScanEngineAvailable(engine)) {
+    return Status::Unavailable(StrFormat(
+        "scan engine %s is not available on this CPU",
+        ScanEngineToString(engine)));
+  }
+  return Status::Ok();
 }
 
 // Classic block-at-a-time execution: the first predicate runs vectorized
@@ -158,104 +184,90 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
   return TableScanner(std::move(table), std::move(plans));
 }
 
-StatusOr<TableMatches> TableScanner::Execute(ScanEngine engine) const {
-  if (engine == ScanEngine::kJit) {
+StatusOr<size_t> TableScanner::ExecuteChunk(ScanEngine engine,
+                                            ChunkId chunk_id,
+                                            ChunkOffset* out) const {
+  FTS_RETURN_IF_ERROR(ValidateEngine(engine));
+  if (chunk_id >= chunk_plans_.size()) {
     return Status::InvalidArgument(
-        "the JIT engine is driven by fts::JitScanEngine (fts/jit)");
+        StrFormat("chunk %u out of range (%zu chunks)", chunk_id,
+                  chunk_plans_.size()));
   }
-  if (!ScanEngineAvailable(engine)) {
-    return Status::Unavailable(StrFormat(
-        "scan engine %s is not available on this CPU",
-        ScanEngineToString(engine)));
+  const ChunkPlan& plan = chunk_plans_[chunk_id];
+  if (plan.impossible || plan.row_count == 0) return size_t{0};
+  if (plan.stages.empty()) {
+    std::iota(out, out + plan.row_count, ChunkOffset{0});
+    return plan.row_count;
   }
-
-  // Resolve the kernel once outside the chunk loop.
-  FusedScanFn fused_fn = nullptr;
   switch (engine) {
-    case ScanEngine::kScalarFused:
-      fused_fn = *GetFusedScanKernel(FusedKernelKind::kScalar);
-      break;
-    case ScanEngine::kAvx2Fused128:
-      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx2_128);
-      break;
-    case ScanEngine::kAvx512Fused128:
-      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx512_128);
-      break;
-    case ScanEngine::kAvx512Fused256:
-      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx512_256);
-      break;
-    case ScanEngine::kAvx512Fused512:
-      fused_fn = *GetFusedScanKernel(FusedKernelKind::kAvx512_512);
-      break;
+    case ScanEngine::kSisdNoVec:
+      return SisdScanNoVecCollect(plan.stages.data(), plan.stages.size(),
+                                  plan.row_count, out);
+    case ScanEngine::kSisdAutoVec:
+      return SisdScanAutoVecCollect(plan.stages.data(), plan.stages.size(),
+                                    plan.row_count, out);
+    case ScanEngine::kBlockwise:
+      return BlockwiseScan(plan.stages, plan.row_count, out);
     default:
-      break;
+      return FusedFnForEngine(engine)(plan.stages.data(), plan.stages.size(),
+                                      plan.row_count, out);
   }
+}
 
+StatusOr<uint64_t> TableScanner::ExecuteChunkCount(ScanEngine engine,
+                                                   ChunkId chunk_id) const {
+  FTS_RETURN_IF_ERROR(ValidateEngine(engine));
+  if (chunk_id >= chunk_plans_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("chunk %u out of range (%zu chunks)", chunk_id,
+                  chunk_plans_.size()));
+  }
+  const ChunkPlan& plan = chunk_plans_[chunk_id];
+  if (plan.impossible || plan.row_count == 0) return uint64_t{0};
+  if (plan.stages.empty()) return plan.row_count;
+  // The SISD engines count without materializing — the paper's Section II
+  // baseline loop.
+  if (engine == ScanEngine::kSisdNoVec) {
+    return SisdScanNoVecCount(plan.stages.data(), plan.stages.size(),
+                              plan.row_count);
+  }
+  if (engine == ScanEngine::kSisdAutoVec) {
+    return SisdScanAutoVecCount(plan.stages.data(), plan.stages.size(),
+                                plan.row_count);
+  }
+  PosList scratch(plan.row_count + kScanOutputSlack);
+  return ExecuteChunk(engine, chunk_id, scratch.data());
+}
+
+StatusOr<TableMatches> TableScanner::Execute(ScanEngine engine) const {
+  FTS_RETURN_IF_ERROR(ValidateEngine(engine));
   TableMatches result;
   result.chunks.reserve(chunk_plans_.size());
   for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
     const ChunkPlan& plan = chunk_plans_[chunk_id];
     ChunkMatches matches;
     matches.chunk_id = chunk_id;
-    if (plan.impossible || plan.row_count == 0) {
-      result.chunks.push_back(std::move(matches));
-      continue;
+    if (!plan.impossible && plan.row_count > 0) {
+      PosList positions(plan.row_count + kScanOutputSlack);
+      FTS_ASSIGN_OR_RETURN(const size_t count,
+                           ExecuteChunk(engine, chunk_id, positions.data()));
+      positions.resize(count);
+      matches.positions = std::move(positions);
     }
-    if (plan.stages.empty()) {
-      matches.positions = AllPositions(plan.row_count);
-      result.chunks.push_back(std::move(matches));
-      continue;
-    }
-
-    PosList positions(plan.row_count + kScanOutputSlack);
-    size_t count = 0;
-    switch (engine) {
-      case ScanEngine::kSisdNoVec:
-        count = SisdScanNoVecCollect(plan.stages.data(), plan.stages.size(),
-                                     plan.row_count, positions.data());
-        break;
-      case ScanEngine::kSisdAutoVec:
-        count = SisdScanAutoVecCollect(plan.stages.data(),
-                                       plan.stages.size(), plan.row_count,
-                                       positions.data());
-        break;
-      case ScanEngine::kBlockwise:
-        count = BlockwiseScan(plan.stages, plan.row_count, positions.data());
-        break;
-      default:
-        count = fused_fn(plan.stages.data(), plan.stages.size(),
-                         plan.row_count, positions.data());
-        break;
-    }
-    positions.resize(count);
-    matches.positions = std::move(positions);
     result.chunks.push_back(std::move(matches));
   }
   return result;
 }
 
 StatusOr<uint64_t> TableScanner::ExecuteCount(ScanEngine engine) const {
-  // The SISD engines count without materializing — the paper's Section II
-  // baseline loop.
-  if (engine == ScanEngine::kSisdNoVec || engine == ScanEngine::kSisdAutoVec) {
-    uint64_t total = 0;
-    for (const ChunkPlan& plan : chunk_plans_) {
-      if (plan.impossible || plan.row_count == 0) continue;
-      if (plan.stages.empty()) {
-        total += plan.row_count;
-        continue;
-      }
-      total += (engine == ScanEngine::kSisdNoVec)
-                   ? SisdScanNoVecCount(plan.stages.data(),
-                                        plan.stages.size(), plan.row_count)
-                   : SisdScanAutoVecCount(plan.stages.data(),
-                                          plan.stages.size(),
-                                          plan.row_count);
-    }
-    return total;
+  FTS_RETURN_IF_ERROR(ValidateEngine(engine));
+  uint64_t total = 0;
+  for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
+    FTS_ASSIGN_OR_RETURN(const uint64_t count,
+                         ExecuteChunkCount(engine, chunk_id));
+    total += count;
   }
-  FTS_ASSIGN_OR_RETURN(const TableMatches matches, Execute(engine));
-  return matches.TotalMatches();
+  return total;
 }
 
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

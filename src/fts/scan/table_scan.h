@@ -45,6 +45,18 @@ class TableScanner {
   // paper's comparison setup.
   StatusOr<uint64_t> ExecuteCount(ScanEngine engine) const;
 
+  // Runs one chunk's plan — the morsel primitive the parallel executor
+  // (fts/exec/parallel_scan.h) schedules. `out` must have capacity for
+  // row_count + kScanOutputSlack positions; returns the match count.
+  // Impossible chunks return 0; predicate-free chunks emit every row.
+  StatusOr<size_t> ExecuteChunk(ScanEngine engine, ChunkId chunk_id,
+                                ChunkOffset* out) const;
+
+  // Count-only morsel primitive. SISD engines count without materializing;
+  // the others materialize into a scratch list and return its size.
+  StatusOr<uint64_t> ExecuteChunkCount(ScanEngine engine,
+                                       ChunkId chunk_id) const;
+
   const std::vector<ChunkPlan>& chunk_plans() const { return chunk_plans_; }
   const TablePtr& table() const { return table_; }
 

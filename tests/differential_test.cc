@@ -1,0 +1,341 @@
+// Cross-engine differential fuzzer. Where property_test checks every
+// engine against a boxed-value oracle on friendly value ranges, this
+// harness stresses the parts oracles gloss over: row counts that are not
+// multiples of the 16/8-lane register widths, boundary values
+// (INT32_MIN/MAX and friends), every compare op, predicate chains up to
+// the kMaxScanStages limit, mixed encodings — and the morsel-driven
+// parallel path at 1/2/4 threads, which must return output
+// position-for-position identical to the single-threaded SISD reference.
+//
+// The reference is the kSisdNoVec engine itself (not a double-boxed
+// oracle), so int64/uint32 boundary values that double cannot represent
+// exactly are fair game: the property under test is *engine equivalence*,
+// which is precisely what the paper's fused kernels and JIT must preserve.
+//
+// Every failure message carries the seed and a one-line replay command;
+// FTS_TEST_SEED=<seed> reruns exactly that case (see tests/test_util.h).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fts/common/cpu_info.h"
+#include "fts/common/fault_injection.h"
+#include "fts/common/random.h"
+#include "fts/common/string_util.h"
+#include "fts/exec/parallel_scan.h"
+#include "fts/exec/task_pool.h"
+#include "fts/jit/jit_scan_engine.h"
+#include "fts/scan/table_scan.h"
+#include "fts/storage/compare_op.h"
+#include "fts/storage/table_builder.h"
+#include "test_util.h"
+
+namespace fts {
+namespace {
+
+constexpr const char* kBinary = "differential_test";
+
+// Row counts the lane widths mistreat first: empty, single row, one off
+// either side of the 8- and 16-lane widths, one off a 64-row block, and a
+// couple of sizes that are not multiples of anything interesting.
+constexpr size_t kAwkwardRows[] = {1, 2, 7, 15, 16, 17, 31, 33,
+                                   63, 64, 65, 100, 127, 129, 1000};
+
+Value RandomLiteral(DataType type, Xoshiro256& rng) {
+  // 1-in-8 draws pick a boundary value of the column type; the rest stay
+  // in a small range so conjunctions keep matching rows.
+  const bool boundary = rng.NextBounded(8) == 0;
+  const int64_t small = static_cast<int64_t>(rng.NextBounded(20)) - 10;
+  switch (type) {
+    case DataType::kInt32:
+      if (boundary) {
+        constexpr int32_t kEdges[] = {INT32_MIN, INT32_MIN + 1, -1, 0,
+                                      INT32_MAX - 1, INT32_MAX};
+        return Value(kEdges[rng.NextBounded(6)]);
+      }
+      return Value(static_cast<int32_t>(small));
+    case DataType::kInt64:
+      if (boundary) {
+        constexpr int64_t kEdges[] = {INT64_MIN, INT64_MIN + 1, -1, 0,
+                                      INT64_MAX - 1, INT64_MAX};
+        return Value(kEdges[rng.NextBounded(6)]);
+      }
+      return Value(small * 1000000007LL);
+    case DataType::kUInt32:
+      if (boundary) {
+        constexpr uint32_t kEdges[] = {0, 1, UINT32_MAX - 1, UINT32_MAX};
+        return Value(kEdges[rng.NextBounded(4)]);
+      }
+      return Value(static_cast<uint32_t>(small + 10));
+    case DataType::kFloat64:
+      // Halves are exact; boundaries use huge magnitudes (NaN is excluded
+      // on purpose — it is not a storage value the generator produces).
+      if (boundary) {
+        constexpr double kEdges[] = {-1e300, -0.0, 0.0, 1e300};
+        return Value(kEdges[rng.NextBounded(4)]);
+      }
+      return Value(static_cast<double>(small) / 2.0);
+    default:
+      return Value(static_cast<int32_t>(small));
+  }
+}
+
+struct FuzzCase {
+  TablePtr table;
+  ScanSpec spec;
+};
+
+FuzzCase MakeCase(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  FuzzCase result;
+
+  // Half the cases use an awkward row count, half a random one.
+  const size_t rows = rng.NextBounded(2) == 0
+                          ? kAwkwardRows[rng.NextBounded(
+                                std::size(kAwkwardRows))]
+                          : rng.NextBounded(4000) + 1;
+  const size_t num_columns = rng.NextBounded(4) + 1;
+  const DataType kTypes[] = {DataType::kInt32, DataType::kInt64,
+                             DataType::kUInt32, DataType::kFloat64};
+
+  std::vector<ColumnDefinition> schema;
+  for (size_t c = 0; c < num_columns; ++c) {
+    schema.push_back({StrFormat("c%zu", c), kTypes[rng.NextBounded(4)]});
+  }
+  // Random chunking so the parallel path usually sees several morsels,
+  // including tail chunks of awkward sizes.
+  const size_t chunk_size = rng.NextBounded(2) == 0
+                                ? rng.NextBounded(rows) + 1
+                                : rows;
+  TableBuilder builder(schema, chunk_size);
+  for (size_t c = 0; c < num_columns; ++c) {
+    const uint64_t encoding = rng.NextBounded(4);
+    if (encoding == 0) builder.SetDictionaryEncoded(c);
+    // Bit-packing caps the dictionary at kMaxPackedBits; boundary draws
+    // keep cardinality small (a handful of edge values), so it fits.
+    if (encoding == 1) builder.SetBitPacked(c);
+  }
+
+  std::vector<Value> row(num_columns, Value(int32_t{0}));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      row[c] = RandomLiteral(schema[c].type, rng);
+    }
+    FTS_CHECK(builder.AppendRow(row).ok());
+  }
+  result.table = builder.Build();
+
+  // 1..7 predicates — up to one short of kMaxScanStages, exercising the
+  // deepest chains the static kernels unroll.
+  const size_t num_predicates = rng.NextBounded(7) + 1;
+  for (size_t p = 0; p < num_predicates; ++p) {
+    const size_t column = rng.NextBounded(num_columns);
+    PredicateSpec predicate;
+    predicate.column = schema[column].name;
+    predicate.op = kAllCompareOps[rng.NextBounded(6)];
+    predicate.value = RandomLiteral(schema[column].type, rng);
+    result.spec.predicates.push_back(predicate);
+  }
+  return result;
+}
+
+// Position-for-position comparison against the reference, chunk by chunk.
+void ExpectSameMatches(const TableMatches& reference,
+                       const TableMatches& got, const std::string& what,
+                       uint64_t seed, const ScanSpec& spec) {
+  const std::string context =
+      StrFormat("%s seed=%llu spec=%s\n%s", what.c_str(),
+                static_cast<unsigned long long>(seed),
+                spec.ToString().c_str(),
+                testing::ReplayCommand(kBinary, seed).c_str());
+  ASSERT_EQ(reference.chunks.size(), got.chunks.size()) << context;
+  for (size_t i = 0; i < reference.chunks.size(); ++i) {
+    ASSERT_EQ(reference.chunks[i].chunk_id, got.chunks[i].chunk_id)
+        << context;
+    ASSERT_EQ(reference.chunks[i].positions, got.chunks[i].positions)
+        << context << "\nchunk " << reference.chunks[i].chunk_id;
+  }
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Every static rung (and Blockwise) returns exactly what the SISD
+// reference scan returns.
+TEST_P(DifferentialTest, StaticEnginesMatchSisdReference) {
+  const uint64_t seed = GetParam();
+  const FuzzCase fuzz = MakeCase(seed);
+
+  const auto prepared = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  if (!prepared.ok()) {
+    // Non-representable literal: every engine must reject identically.
+    for (const ScanEngine engine :
+         {ScanEngine::kSisdNoVec, ScanEngine::kScalarFused,
+          ScanEngine::kAvx512Fused512}) {
+      if (!ScanEngineAvailable(engine)) continue;
+      EXPECT_FALSE(ExecuteScan(fuzz.table, fuzz.spec, engine).ok())
+          << testing::ReplayCommand(kBinary, seed);
+    }
+    return;
+  }
+
+  const auto reference = prepared->Execute(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString() << "\n"
+                              << testing::ReplayCommand(kBinary, seed);
+  const auto reference_count = prepared->ExecuteCount(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference_count.ok());
+
+  for (const ScanEngine engine :
+       {ScanEngine::kSisdAutoVec, ScanEngine::kScalarFused,
+        ScanEngine::kAvx2Fused128, ScanEngine::kAvx512Fused128,
+        ScanEngine::kAvx512Fused256, ScanEngine::kAvx512Fused512,
+        ScanEngine::kBlockwise}) {
+    if (!ScanEngineAvailable(engine)) continue;
+    const auto matches = prepared->Execute(engine);
+    ASSERT_TRUE(matches.ok())
+        << ScanEngineToString(engine) << ": " << matches.status().ToString()
+        << "\n" << testing::ReplayCommand(kBinary, seed);
+    ExpectSameMatches(*reference, *matches, ScanEngineToString(engine),
+                      seed, fuzz.spec);
+    const auto count = prepared->ExecuteCount(engine);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, *reference_count)
+        << ScanEngineToString(engine) << " "
+        << testing::ReplayCommand(kBinary, seed);
+  }
+}
+
+// The morsel-driven parallel path returns byte-identical output at every
+// thread count. Static engines only here — the JIT rungs get their own,
+// smaller seed range below, and TSan cannot follow JIT-compiled code.
+TEST_P(DifferentialTest, ParallelPathMatchesSisdReference) {
+  const uint64_t seed = GetParam();
+  const FuzzCase fuzz = MakeCase(seed);
+
+  const auto prepared = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  if (!prepared.ok()) return;
+  const auto reference = prepared->Execute(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference.ok());
+  const auto reference_count = prepared->ExecuteCount(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference_count.ok());
+
+  const ScanEngine requested_engines[] = {
+      ScanEngine::kScalarFused,
+      GetCpuFeatures().HasFusedScanAvx512() ? ScanEngine::kAvx512Fused512
+                                            : ScanEngine::kSisdAutoVec};
+  for (const ScanEngine requested : requested_engines) {
+    for (const int threads : {1, 2, 4}) {
+      ParallelScanOptions options;
+      options.requested = {requested, 0};
+      options.fallback = FallbackPolicy::kStrict;
+      options.threads = threads;
+      ExecutionReport report;
+      const auto matches = ExecuteParallelScan(*prepared, options, &report);
+      ASSERT_TRUE(matches.ok())
+          << matches.status().ToString() << "\n"
+          << testing::ReplayCommand(kBinary, seed);
+      ExpectSameMatches(
+          *reference, *matches,
+          StrFormat("parallel(%s, threads=%d)",
+                    ScanEngineToString(requested), threads),
+          seed, fuzz.spec);
+      EXPECT_EQ(report.worker_count, fuzz.table->chunk_count() > 1
+                                         ? threads
+                                         : 1);
+      EXPECT_EQ(report.morsel_count, fuzz.table->chunk_count());
+
+      const auto count = ExecuteParallelScanCount(*prepared, options);
+      ASSERT_TRUE(count.ok());
+      EXPECT_EQ(*count, *reference_count)
+          << testing::ReplayCommand(kBinary, seed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::ValuesIn(testing::SeedRange(1, 49)));
+
+// JIT rungs are expensive per distinct signature (one compiler invocation
+// each), so they run over a handful of seeds. Skipped under TSan: the
+// dlopen'd operators are uninstrumented code TSan cannot model.
+class JitDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JitDifferentialTest, JitEnginesMatchSisdReference) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "JIT-compiled code is not TSan-instrumented";
+#endif
+  if (!GetCpuFeatures().HasFusedScanAvx512()) {
+    GTEST_SKIP() << "AVX-512 not available";
+  }
+  const uint64_t seed = GetParam();
+  const FuzzCase fuzz = MakeCase(seed);
+  const auto prepared = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  if (!prepared.ok()) return;
+  const auto reference = prepared->Execute(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference.ok());
+
+  // Serial JIT engine...
+  JitScanEngine engine(512);
+  const auto serial = engine.Execute(fuzz.table, fuzz.spec);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString() << "\n"
+                           << testing::ReplayCommand(kBinary, seed);
+  ExpectSameMatches(*reference, *serial, "jit512", seed, fuzz.spec);
+
+  // ... and the parallel path running the JIT rung per morsel, where
+  // concurrent compiles of the same signature must single-flight.
+  for (const int threads : {2, 4}) {
+    ParallelScanOptions options;
+    options.requested = {ScanEngine::kJit, 512};
+    options.threads = threads;
+    ExecutionReport report;
+    const auto parallel = ExecuteParallelScan(*prepared, options, &report);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString() << "\n"
+                               << testing::ReplayCommand(kBinary, seed);
+    ExpectSameMatches(*reference, *parallel,
+                      StrFormat("parallel(jit512, threads=%d)", threads),
+                      seed, fuzz.spec);
+    EXPECT_FALSE(report.degraded)
+        << report.ToString() << "\n"
+        << testing::ReplayCommand(kBinary, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JitDifferentialTest,
+                         ::testing::ValuesIn(testing::SeedRange(200, 204)));
+
+// A JIT compile failing for *one* morsel mid-query must demote only that
+// morsel's rung, never corrupt the merged output. The fault fires once,
+// and the fresh cache means the first compile attempt hits it.
+TEST(DifferentialFaultTest, MidQueryCompileFailureKeepsOutputIdentical) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "JIT-compiled code is not TSan-instrumented";
+#endif
+  if (!GetCpuFeatures().HasFusedScanAvx512()) {
+    GTEST_SKIP() << "AVX-512 not available";
+  }
+  const uint64_t seed = 7;
+  const FuzzCase fuzz = MakeCase(seed);
+  const auto prepared = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  ASSERT_TRUE(prepared.ok());
+  const auto reference = prepared->Execute(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference.ok());
+
+  JitCache cache;  // Fresh cache so the armed fault hits a real compile.
+  ScopedFault fault("jit.compile_error", /*times=*/1);
+  ParallelScanOptions options;
+  options.requested = {ScanEngine::kJit, 512};
+  options.threads = 2;
+  options.cache = &cache;
+  ExecutionReport report;
+  const auto matches = ExecuteParallelScan(*prepared, options, &report);
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  ExpectSameMatches(*reference, *matches, "parallel(jit512, fault)", seed,
+                    fuzz.spec);
+  // The report records the per-morsel decisions either way; whether a
+  // rung actually demoted depends on which compile drew the fault (the
+  // cache retries failed signatures once).
+  EXPECT_EQ(report.morsel_choices.size(), fuzz.table->chunk_count());
+}
+
+}  // namespace
+}  // namespace fts

@@ -11,6 +11,7 @@
 #include "fts/jit/jit_scan_engine.h"
 #include "fts/scan/table_scan.h"
 #include "fts/storage/table_builder.h"
+#include "test_util.h"
 
 namespace fts {
 namespace {
@@ -154,12 +155,14 @@ TEST_P(PropertyTest, AllEnginesMatchOracle) {
     const auto rows = Flatten(*matches, *test_case.table);
     ASSERT_EQ(rows, test_case.oracle_rows)
         << ScanEngineToString(engine) << " seed=" << GetParam()
-        << " spec=" << test_case.spec.ToString();
+        << " spec=" << test_case.spec.ToString() << "\n"
+        << testing::ReplayCommand("property_test", GetParam());
   }
 }
 
+// FTS_TEST_SEED=<seed> narrows the suite to one replayed seed.
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
-                         ::testing::Range<uint64_t>(1, 41));
+                         ::testing::ValuesIn(testing::SeedRange(1, 41)));
 
 // The JIT engine is expensive per distinct signature; run fewer seeds.
 class JitPropertyTest : public ::testing::TestWithParam<uint64_t> {};
@@ -177,11 +180,12 @@ TEST_P(JitPropertyTest, JitMatchesOracle) {
   const auto matches = engine.Execute(test_case.table, test_case.spec);
   ASSERT_TRUE(matches.ok()) << matches.status().ToString();
   EXPECT_EQ(Flatten(*matches, *test_case.table), test_case.oracle_rows)
-      << " seed=" << GetParam() << " spec=" << test_case.spec.ToString();
+      << " seed=" << GetParam() << " spec=" << test_case.spec.ToString()
+      << "\n" << testing::ReplayCommand("property_test", GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JitPropertyTest,
-                         ::testing::Range<uint64_t>(100, 106));
+                         ::testing::ValuesIn(testing::SeedRange(100, 106)));
 
 }  // namespace
 }  // namespace fts
