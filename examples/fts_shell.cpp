@@ -11,6 +11,7 @@
 //   \tables                     list registered tables
 //   \engine NAME                set engine (sisd-novec, avx512-512, jit, ...)
 //   \threads N                  scan worker threads (0 = FTS_THREADS)
+//   \stats NAME                 per-chunk zone maps (min/max/rows) of NAME
 //   \explain SQL                show logical + physical plans
 //   \timing on|off              toggle per-query wall-clock reporting
 //   \help                       this text
@@ -40,6 +41,7 @@ constexpr char kHelp[] =
     "  \\tables                    list registered tables\n"
     "  \\engine NAME               set scan engine\n"
     "  \\threads N                 scan worker threads (0 = FTS_THREADS)\n"
+    "  \\stats NAME                per-chunk zone maps of table NAME\n"
     "  \\explain SQL               show the plans for SQL\n"
     "  \\timing on|off             toggle timing output\n"
     "  \\help                      show this help\n"
@@ -158,6 +160,50 @@ void RunCommand(ShellState& state, const std::string& line) {
                 static_cast<unsigned long long>((*table)->row_count()));
     return;
   }
+  if (command == "\\stats") {
+    std::string name;
+    in >> name;
+    if (name.empty()) {
+      std::printf("usage: \\stats NAME\n");
+      return;
+    }
+    const auto table = state.db.GetTable(name);
+    if (!table.ok()) {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+      return;
+    }
+    // Cap the dump so \stats on a thousand-chunk table stays readable.
+    constexpr size_t kMaxChunks = 16;
+    const size_t chunk_count = (*table)->chunk_count();
+    const size_t shown = std::min(chunk_count, kMaxChunks);
+    std::printf("%s: %llu rows, %zu columns, %zu chunks\n", name.c_str(),
+                static_cast<unsigned long long>((*table)->row_count()),
+                (*table)->column_count(), chunk_count);
+    for (fts::ChunkId chunk_id = 0; chunk_id < shown; ++chunk_id) {
+      const fts::Chunk& chunk = (*table)->chunk(chunk_id);
+      std::printf("  chunk %-4u %8zu rows", chunk_id, chunk.row_count());
+      for (size_t c = 0; c < chunk.column_count(); ++c) {
+        const fts::ZoneMap* zone = chunk.zone_map(c);
+        const std::string& column =
+            (*table)->column_definition(c).name;
+        if (zone == nullptr) {
+          std::printf("  %s=[no zone map]", column.c_str());
+          continue;
+        }
+        std::printf("  %s=[%s, %s]", column.c_str(),
+                    fts::ValueToString(zone->min).c_str(),
+                    fts::ValueToString(zone->max).c_str());
+        if (zone->has_codes) {
+          std::printf(" codes [%u, %u]", zone->min_code, zone->max_code);
+        }
+      }
+      std::printf("\n");
+    }
+    if (shown < chunk_count) {
+      std::printf("  ... %zu more chunks\n", chunk_count - shown);
+    }
+    return;
+  }
   if (command == "\\explain") {
     std::string sql;
     std::getline(in, sql);
@@ -186,16 +232,23 @@ void RunSql(ShellState& state, const std::string& sql) {
   std::fputs(result->ToString(25).c_str(), stdout);
   if (state.timing) {
     const fts::ExecutionReport& report = result->execution_report;
+    // Zone-map pruning annotation: only when something was actually pruned.
+    std::string pruned;
+    if (report.chunks_total > 0 && report.chunks_pruned > 0) {
+      pruned = fts::StrFormat(", pruned %zu/%zu chunks",
+                              report.chunks_pruned, report.chunks_total);
+    }
     if (report.morsel_count > 0) {
       std::printf("(%llu rows matched, %.3f ms, %s, %d workers / %zu "
-                  "morsels)\n",
+                  "morsels%s)\n",
                   static_cast<unsigned long long>(result->matched_rows),
                   millis, report.executed.ToString().c_str(),
-                  report.worker_count, report.morsel_count);
+                  report.worker_count, report.morsel_count, pruned.c_str());
     } else {
-      std::printf("(%llu rows matched, %.3f ms, %s)\n",
+      std::printf("(%llu rows matched, %.3f ms, %s%s)\n",
                   static_cast<unsigned long long>(result->matched_rows),
-                  millis, report.executed.ToString().c_str());
+                  millis, report.executed.ToString().c_str(),
+                  pruned.c_str());
     }
     if (report.degraded) {
       std::printf("note: degraded from %s — %s\n",

@@ -103,9 +103,14 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
   }
 }
 
-// Schedules every chunk as one morsel, merges outcomes, and fills the
-// report. On failure the first failed morsel in chunk order decides the
-// returned status (deterministic regardless of scheduling).
+// Schedules every runnable chunk as one morsel, merges outcomes, and fills
+// the report. Chunks the prepared scanner proved impossible (dictionary
+// translation or zone-map bounds) and 0-row chunks are excluded BEFORE
+// morsel creation, so pruned chunks cost no scheduling, no thread
+// hand-off, and no ladder walk — their outcome slots simply stay empty,
+// which the merge reads as zero matches. On failure the first failed
+// morsel in chunk order decides the returned status (deterministic
+// regardless of scheduling).
 Status RunMorsels(const TableScanner& scanner,
                   const ParallelScanOptions& options, bool count_only,
                   std::vector<MorselOutcome>* outcomes,
@@ -113,6 +118,7 @@ Status RunMorsels(const TableScanner& scanner,
   ExecutionReport local;
   if (report == nullptr) report = &local;
   report->requested = options.requested;
+  FillPruningReport(scanner, report);
 
   JitCache& cache =
       options.cache != nullptr ? *options.cache : GlobalJitCache();
@@ -126,46 +132,55 @@ Status RunMorsels(const TableScanner& scanner,
 
   outcomes->clear();
   outcomes->resize(chunk_count);
-  if (chunk_count == 0) {
+
+  std::vector<ChunkId> runnable;
+  runnable.reserve(chunk_count);
+  for (ChunkId chunk_id = 0; chunk_id < chunk_count; ++chunk_id) {
+    const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
+    if (!plan.impossible && plan.row_count > 0) runnable.push_back(chunk_id);
+  }
+  if (runnable.empty()) {
     report->worker_count = 1;
     report->RecordSuccess(options.requested);
     return Status::Ok();
   }
 
-  const auto run_morsel = [&](size_t chunk) {
-    RunMorsel(scanner, cache, rungs, count_only,
-              static_cast<ChunkId>(chunk), &(*outcomes)[chunk]);
+  const auto run_morsel = [&](size_t index) {
+    const ChunkId chunk = runnable[index];
+    RunMorsel(scanner, cache, rungs, count_only, chunk, &(*outcomes)[chunk]);
   };
-  if (threads <= 1 || chunk_count == 1) {
+  if (threads <= 1 || runnable.size() == 1) {
     threads = 1;
-    for (size_t chunk = 0; chunk < chunk_count; ++chunk) run_morsel(chunk);
+    for (size_t i = 0; i < runnable.size(); ++i) run_morsel(i);
   } else if (options.pool != nullptr) {
-    options.pool->ParallelFor(chunk_count, run_morsel);
+    options.pool->ParallelFor(runnable.size(), run_morsel);
   } else if (threads == TaskPool::Global().thread_count()) {
-    TaskPool::Global().ParallelFor(chunk_count, run_morsel);
+    TaskPool::Global().ParallelFor(runnable.size(), run_morsel);
   } else {
     TaskPool scan_pool(threads);
-    scan_pool.ParallelFor(chunk_count, run_morsel);
+    scan_pool.ParallelFor(runnable.size(), run_morsel);
   }
 
   report->worker_count = threads;
-  report->morsel_count = chunk_count;
-  for (const MorselOutcome& outcome : *outcomes) {
+  report->morsel_count = runnable.size();
+  for (const ChunkId chunk_id : runnable) {
+    const MorselOutcome& outcome = (*outcomes)[chunk_id];
     if (outcome.ok) continue;
     report->attempts = outcome.attempts;
     return outcome.error;
   }
 
   // The deepest rung any morsel reached defines the scan-level ladder
-  // trail; per-morsel decisions stay visible in morsel_choices.
-  size_t deepest = 0;
-  for (size_t i = 1; i < outcomes->size(); ++i) {
-    if ((*outcomes)[i].rung_index > (*outcomes)[deepest].rung_index) {
-      deepest = i;
+  // trail; per-morsel decisions stay visible in morsel_choices (one entry
+  // per *runnable* chunk, in chunk order — pruned chunks never chose an
+  // engine).
+  ChunkId deepest = runnable.front();
+  report->morsel_choices.reserve(runnable.size());
+  for (const ChunkId chunk_id : runnable) {
+    const MorselOutcome& outcome = (*outcomes)[chunk_id];
+    if (outcome.rung_index > (*outcomes)[deepest].rung_index) {
+      deepest = chunk_id;
     }
-  }
-  report->morsel_choices.reserve(chunk_count);
-  for (const MorselOutcome& outcome : *outcomes) {
     report->morsel_choices.push_back(outcome.executed);
   }
   report->attempts = (*outcomes)[deepest].attempts;

@@ -138,6 +138,7 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
                                               ExecutionReport* report) {
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(std::move(table), spec));
+  if (report != nullptr) FillPruningReport(scanner, report);
   return RunLadder<TableMatches>(
       report, [&](const EngineChoice& choice) -> StatusOr<TableMatches> {
         if (choice.engine == ScanEngine::kJit) {
@@ -152,6 +153,7 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
                                                ExecutionReport* report) {
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(std::move(table), spec));
+  if (report != nullptr) FillPruningReport(scanner, report);
   return RunLadder<uint64_t>(
       report, [&](const EngineChoice& choice) -> StatusOr<uint64_t> {
         if (choice.engine == ScanEngine::kJit) {

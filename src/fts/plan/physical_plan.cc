@@ -160,6 +160,7 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(table, step.spec));
   report->requested = {step.engine, 0};
+  FillPruningReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)
@@ -198,6 +199,7 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(table, step.spec));
   report->requested = {step.engine, 0};
+  FillPruningReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)

@@ -106,6 +106,14 @@ std::string ExecutionReport::ToString() const {
     }
     if (demoted > 0) out += StrFormat(" (%zu demoted)", demoted);
   }
+  if (chunks_pruned > 0 || stages_dropped > 0) {
+    out += StrFormat(" pruned=%zu/%zu chunks", chunks_pruned, chunks_total);
+    if (stages_dropped > 0) {
+      out += StrFormat(" dropped=%zu stages", stages_dropped);
+    }
+    out += StrFormat(" (~%llu bytes skipped)",
+                     static_cast<unsigned long long>(bytes_skipped));
+  }
   for (const EngineAttempt& attempt : attempts) {
     out += StrFormat("\n  %s: %s", attempt.choice.ToString().c_str(),
                      attempt.status.ToString().c_str());

@@ -1,6 +1,7 @@
 #ifndef FTS_SCAN_SCAN_ENGINE_H_
 #define FTS_SCAN_SCAN_ENGINE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,16 @@ struct ExecutionReport {
   // path executed. Byte-identical output is guaranteed regardless of the
   // per-morsel choices (all rungs compute the same positions).
   std::vector<EngineChoice> morsel_choices;
+  // Zone-map accounting (fts/storage/zone_map.h), filled from the prepared
+  // scanner's PruningSummary by every execution path. `chunks_pruned`
+  // counts chunks proven matchless before execution (zone-map bounds or
+  // dictionary translation); `stages_dropped` counts per-chunk tautological
+  // conjuncts removed from fused chains; `bytes_skipped` estimates the
+  // column bytes those prunes avoided reading.
+  size_t chunks_total = 0;
+  size_t chunks_pruned = 0;
+  size_t stages_dropped = 0;
+  uint64_t bytes_skipped = 0;
 
   void RecordFailure(const EngineChoice& choice, const Status& status) {
     attempts.push_back({choice, status});

@@ -7,15 +7,34 @@
 #include "fts/simd/dispatch.h"
 #include "fts/storage/bitpacked_column.h"
 #include "fts/storage/dictionary_column.h"
+#include "fts/storage/zone_map.h"
 
 namespace fts {
 namespace {
 
+// Bytes a scan of this column's chunk actually touches: the packed stream
+// for bit-packed columns, the scan representation (codes for dictionary
+// columns, values otherwise) for the rest. Used for the bytes-skipped
+// estimate in PruningSummary.
+uint64_t ColumnScanBytes(const BaseColumn& column) {
+  const int bits = column.packed_bit_width();
+  if (bits != 0) {
+    return (static_cast<uint64_t>(column.size()) * bits + 7) / 8;
+  }
+  return static_cast<uint64_t>(column.size()) *
+         DataTypeSize(column.scan_type());
+}
+
 // Builds the ScanStage for one predicate against one chunk's column.
 // Returns true in `*dropped` when the predicate is a tautology for this
-// chunk and sets `*impossible` when it cannot match.
-Status BuildStage(const BaseColumn& column, const PredicateSpec& predicate,
-                  ScanStage* stage, bool* dropped, bool* impossible) {
+// chunk and sets `*impossible` when it cannot match. `zone` is the chunk's
+// zone map for this column (nullptr when absent or pruning is disabled);
+// bounds that disprove or prove the predicate short-circuit stage
+// construction exactly like dictionary translation does, so serial and
+// parallel executors see one unified impossible/dropped mechanism.
+Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
+                  const PredicateSpec& predicate, ScanStage* stage,
+                  bool* dropped, bool* impossible) {
   *dropped = false;
   *impossible = false;
 
@@ -49,6 +68,23 @@ Status BuildStage(const BaseColumn& column, const PredicateSpec& predicate,
         *dropped = true;
         return Status::Ok();
       case DictionaryPredicate::Kind::kCompare:
+        if (zone != nullptr && zone->has_codes) {
+          // Code-space classification catches chunk-level facts the
+          // whole-dictionary translation cannot see — e.g. a chunk whose
+          // rows all share one code, or whose codes sit entirely on one
+          // side of the translated boundary.
+          switch (ClassifyZone<uint32_t>(zone->min_code, zone->max_code,
+                                         translated.op, translated.code)) {
+            case ZoneFate::kNone:
+              *impossible = true;
+              return Status::Ok();
+            case ZoneFate::kAll:
+              *dropped = true;
+              return Status::Ok();
+            case ZoneFate::kMaybe:
+              break;
+          }
+        }
         stage->data = column.scan_data();
         stage->type = ScanElementType::kU32;
         stage->op = translated.op;
@@ -73,6 +109,22 @@ Status BuildStage(const BaseColumn& column, const PredicateSpec& predicate,
                        ScanElementTypeFromDataType(column.scan_type()));
   FTS_ASSIGN_OR_RETURN(const Value casted,
                        CastValue(predicate.value, column.data_type()));
+  if (zone != nullptr && zone->valid) {
+    ZoneFate fate = ZoneFate::kMaybe;
+    DispatchDataType(column.data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      fate = ClassifyZone<T>(ValueAs<T>(zone->min), ValueAs<T>(zone->max),
+                             predicate.op, ValueAs<T>(casted));
+    });
+    if (fate == ZoneFate::kNone) {
+      *impossible = true;
+      return Status::Ok();
+    }
+    if (fate == ZoneFate::kAll) {
+      *dropped = true;
+      return Status::Ok();
+    }
+  }
   stage->data = column.scan_data();
   stage->type = element_type;
   stage->op = predicate.op;
@@ -142,6 +194,12 @@ size_t BlockwiseScan(const std::vector<ScanStage>& stages, size_t row_count,
 
 StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
                                              const ScanSpec& spec) {
+  return Prepare(std::move(table), spec, PrepareOptions{});
+}
+
+StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
+                                             const ScanSpec& spec,
+                                             const PrepareOptions& options) {
   if (table == nullptr) {
     return Status::InvalidArgument("null table");
   }
@@ -161,27 +219,57 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
 
   std::vector<ChunkPlan> plans;
   plans.reserve(table->chunk_count());
+  PruningSummary pruning;
+  pruning.chunks_total = table->chunk_count();
   for (ChunkId chunk_id = 0; chunk_id < table->chunk_count(); ++chunk_id) {
     const Chunk& chunk = table->chunk(chunk_id);
     ChunkPlan plan;
     plan.row_count = chunk.row_count();
+    const uint64_t chunk_bytes_before = pruning.bytes_skipped;
+    const size_t chunk_drops_before = pruning.stages_dropped;
     for (size_t p = 0; p < spec.predicates.size(); ++p) {
+      const ZoneMap* zone = options.use_zone_maps
+                                ? chunk.zone_map(column_indexes[p])
+                                : nullptr;
       ScanStage stage;
       bool dropped = false;
       bool impossible = false;
-      FTS_RETURN_IF_ERROR(BuildStage(chunk.column(column_indexes[p]),
+      FTS_RETURN_IF_ERROR(BuildStage(chunk.column(column_indexes[p]), zone,
                                      spec.predicates[p], &stage, &dropped,
                                      &impossible));
       if (impossible) {
         plan.impossible = true;
         plan.stages.clear();
+        // A skipped chunk avoids reading every predicate column, not just
+        // the disproving one; replace any dropped-stage bytes already
+        // accumulated for this chunk (a subset) and count each distinct
+        // column once.
+        pruning.chunks_pruned++;
+        pruning.bytes_skipped = chunk_bytes_before;
+        pruning.stages_dropped = chunk_drops_before;
+        for (size_t q = 0; q < column_indexes.size(); ++q) {
+          bool counted = false;
+          for (size_t r = 0; r < q; ++r) {
+            if (column_indexes[r] == column_indexes[q]) counted = true;
+          }
+          if (!counted) {
+            pruning.bytes_skipped +=
+                ColumnScanBytes(chunk.column(column_indexes[q]));
+          }
+        }
         break;
       }
-      if (!dropped) plan.stages.push_back(stage);
+      if (dropped) {
+        pruning.stages_dropped++;
+        pruning.bytes_skipped +=
+            ColumnScanBytes(chunk.column(column_indexes[p]));
+        continue;
+      }
+      plan.stages.push_back(stage);
     }
     plans.push_back(std::move(plan));
   }
-  return TableScanner(std::move(table), std::move(plans));
+  return TableScanner(std::move(table), std::move(plans), pruning);
 }
 
 StatusOr<size_t> TableScanner::ExecuteChunk(ScanEngine engine,
@@ -268,6 +356,14 @@ StatusOr<uint64_t> TableScanner::ExecuteCount(ScanEngine engine) const {
     total += count;
   }
   return total;
+}
+
+void FillPruningReport(const TableScanner& scanner, ExecutionReport* report) {
+  const TableScanner::PruningSummary& pruning = scanner.pruning();
+  report->chunks_total = pruning.chunks_total;
+  report->chunks_pruned = pruning.chunks_pruned;
+  report->stages_dropped = pruning.stages_dropped;
+  report->bytes_skipped = pruning.bytes_skipped;
 }
 
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

@@ -32,7 +32,27 @@ class TableScanner {
     size_t row_count = 0;
   };
 
+  struct PrepareOptions {
+    // Consult chunk zone maps (fts/storage/zone_map.h) while planning:
+    // disproved conjuncts mark the chunk impossible, tautological conjuncts
+    // are dropped from its fused chain. Off only for apples-to-apples
+    // benchmarking of the unpruned scan (bench/fig9_zone_pruning.cc).
+    bool use_zone_maps = true;
+  };
+
+  // What zone maps and dictionary translation proved during Prepare().
+  // `bytes_skipped` estimates the predicate-column bytes the pruned chunks
+  // and dropped stages would otherwise have read.
+  struct PruningSummary {
+    size_t chunks_total = 0;
+    size_t chunks_pruned = 0;
+    size_t stages_dropped = 0;
+    uint64_t bytes_skipped = 0;
+  };
+
   static StatusOr<TableScanner> Prepare(TablePtr table, const ScanSpec& spec);
+  static StatusOr<TableScanner> Prepare(TablePtr table, const ScanSpec& spec,
+                                        const PrepareOptions& options);
 
   // Runs the scan and materializes matching positions per chunk.
   // Fails when `engine` is not available on this CPU or is kJit (the JIT
@@ -58,15 +78,25 @@ class TableScanner {
                                        ChunkId chunk_id) const;
 
   const std::vector<ChunkPlan>& chunk_plans() const { return chunk_plans_; }
+  const PruningSummary& pruning() const { return pruning_; }
   const TablePtr& table() const { return table_; }
 
  private:
-  TableScanner(TablePtr table, std::vector<ChunkPlan> chunk_plans)
-      : table_(std::move(table)), chunk_plans_(std::move(chunk_plans)) {}
+  TableScanner(TablePtr table, std::vector<ChunkPlan> chunk_plans,
+               PruningSummary pruning)
+      : table_(std::move(table)),
+        chunk_plans_(std::move(chunk_plans)),
+        pruning_(pruning) {}
 
   TablePtr table_;
   std::vector<ChunkPlan> chunk_plans_;
+  PruningSummary pruning_;
 };
+
+// Copies the scanner's PruningSummary into the report's zone-map fields.
+// Every execution path (serial ladder, JIT, morsel-parallel) calls this so
+// pruning is observable uniformly.
+void FillPruningReport(const TableScanner& scanner, ExecutionReport* report);
 
 // Convenience wrapper: Prepare + Execute.
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

@@ -1,0 +1,238 @@
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "fts/simd/minmax_kernels.h"
+
+// Compiled with -mavx2 (see CMakeLists.txt); never executed unless the
+// dispatcher confirmed CPUID.
+
+namespace fts {
+namespace minmax_detail {
+// Shared scalar packed reduction (minmax_scalar.cc) — reused as the tail.
+void ScalarPackedMinMax(const uint8_t* packed, size_t rows, int bits,
+                        uint32_t* min, uint32_t* max);
+}  // namespace minmax_detail
+
+namespace {
+
+// AVX2 has no 256-bit horizontal reductions; accumulators are spilled to a
+// small stack array at the very end (that is the final reduction, not an
+// unpacked copy of the data).
+
+template <typename T>
+void ReduceLanes(__m256i vlo, __m256i vhi, T* lo, T* hi) {
+  alignas(32) T lanes_lo[32 / sizeof(T)];
+  alignas(32) T lanes_hi[32 / sizeof(T)];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes_lo), vlo);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes_hi), vhi);
+  for (size_t l = 0; l < 32 / sizeof(T); ++l) {
+    if (lanes_lo[l] < *lo) *lo = lanes_lo[l];
+    if (lanes_hi[l] > *hi) *hi = lanes_hi[l];
+  }
+}
+
+bool MinMaxI32(const int32_t* data, size_t rows, int32_t* min, int32_t* max) {
+  __m256i vlo = _mm256_set1_epi32(data[0]);
+  __m256i vhi = vlo;
+  size_t i = 0;
+  for (; i + 8 <= rows; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    vlo = _mm256_min_epi32(vlo, v);
+    vhi = _mm256_max_epi32(vhi, v);
+  }
+  int32_t lo = data[0];
+  int32_t hi = data[0];
+  ReduceLanes(vlo, vhi, &lo, &hi);
+  for (; i < rows; ++i) {
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+bool MinMaxU32(const uint32_t* data, size_t rows, uint32_t* min,
+               uint32_t* max) {
+  __m256i vlo = _mm256_set1_epi32(static_cast<int>(data[0]));
+  __m256i vhi = vlo;
+  size_t i = 0;
+  for (; i + 8 <= rows; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    vlo = _mm256_min_epu32(vlo, v);
+    vhi = _mm256_max_epu32(vhi, v);
+  }
+  uint32_t lo = data[0];
+  uint32_t hi = data[0];
+  ReduceLanes(vlo, vhi, &lo, &hi);
+  for (; i < rows; ++i) {
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+bool MinMaxF32(const float* data, size_t rows, float* min, float* max) {
+  __m256 vlo = _mm256_set1_ps(data[0]);
+  __m256 vhi = vlo;
+  __m256 unordered = _mm256_cmp_ps(vlo, vlo, _CMP_UNORD_Q);
+  size_t i = 0;
+  for (; i + 8 <= rows; i += 8) {
+    const __m256 v = _mm256_loadu_ps(data + i);
+    unordered = _mm256_or_ps(unordered, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    vlo = _mm256_min_ps(vlo, v);
+    vhi = _mm256_max_ps(vhi, v);
+  }
+  if (_mm256_movemask_ps(unordered) != 0) return false;
+  alignas(32) float lanes_lo[8];
+  alignas(32) float lanes_hi[8];
+  _mm256_store_ps(lanes_lo, vlo);
+  _mm256_store_ps(lanes_hi, vhi);
+  float lo = data[0];
+  float hi = data[0];
+  for (int l = 0; l < 8; ++l) {
+    if (lanes_lo[l] < lo) lo = lanes_lo[l];
+    if (lanes_hi[l] > hi) hi = lanes_hi[l];
+  }
+  for (; i < rows; ++i) {
+    if (std::isnan(data[i])) return false;
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+bool MinMaxF64(const double* data, size_t rows, double* min, double* max) {
+  __m256d vlo = _mm256_set1_pd(data[0]);
+  __m256d vhi = vlo;
+  __m256d unordered = _mm256_cmp_pd(vlo, vlo, _CMP_UNORD_Q);
+  size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const __m256d v = _mm256_loadu_pd(data + i);
+    unordered = _mm256_or_pd(unordered, _mm256_cmp_pd(v, v, _CMP_UNORD_Q));
+    vlo = _mm256_min_pd(vlo, v);
+    vhi = _mm256_max_pd(vhi, v);
+  }
+  if (_mm256_movemask_pd(unordered) != 0) return false;
+  alignas(32) double lanes_lo[4];
+  alignas(32) double lanes_hi[4];
+  _mm256_store_pd(lanes_lo, vlo);
+  _mm256_store_pd(lanes_hi, vhi);
+  double lo = data[0];
+  double hi = data[0];
+  for (int l = 0; l < 4; ++l) {
+    if (lanes_lo[l] < lo) lo = lanes_lo[l];
+    if (lanes_hi[l] > hi) hi = lanes_hi[l];
+  }
+  for (; i < rows; ++i) {
+    if (std::isnan(data[i])) return false;
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+// Bit-packed code reduction, AVX2 flavour of the AVX-512 dataflow: 8 rows
+// per iteration, two 4-lane byte-granular window gathers
+// (vpgatherqq-by-dword-index), variable shift, mask — codes stay in
+// registers, no unpacked temporary buffer. kBitPackedSlackBytes keeps the
+// window loads in bounds.
+void PackedMinMax(const uint8_t* packed, size_t rows, int bits,
+                  uint32_t* min, uint32_t* max) {
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  const __m256i vmask64 = _mm256_set1_epi64x(static_cast<long long>(mask));
+  // Min-neutral init is the largest possible code (all accumulation below
+  // uses signed 64-bit compares, valid because codes are at most 26 bits).
+  __m256i acc_lo = vmask64;
+  __m256i acc_hi = _mm256_setzero_si256();
+
+  size_t i = 0;
+  if (rows >= 8) {
+    const __m256i vbits = _mm256_set1_epi32(bits);
+    const __m256i seven = _mm256_set1_epi32(7);
+    __m256i row_vec = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i step = _mm256_set1_epi32(8);
+    // AVX2 lacks unsigned 64-bit min/max; codes are at most 26 bits, so
+    // signed epi64 compares order them correctly.
+    for (; i + 8 <= rows; i += 8) {
+      const __m256i bit_offset = _mm256_mullo_epi32(row_vec, vbits);
+      const __m256i byte_offset = _mm256_srli_epi32(bit_offset, 3);
+      const __m256i shift32 = _mm256_and_si256(bit_offset, seven);
+
+      const __m256i window_lo = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(packed),
+          _mm256_castsi256_si128(byte_offset), 1);
+      const __m256i codes_lo = _mm256_and_si256(
+          _mm256_srlv_epi64(window_lo,
+                            _mm256_cvtepu32_epi64(
+                                _mm256_castsi256_si128(shift32))),
+          vmask64);
+
+      const __m256i window_hi = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(packed),
+          _mm256_extracti128_si256(byte_offset, 1), 1);
+      const __m256i codes_hi = _mm256_and_si256(
+          _mm256_srlv_epi64(window_hi,
+                            _mm256_cvtepu32_epi64(
+                                _mm256_extracti128_si256(shift32, 1))),
+          vmask64);
+
+      const __m256i lo_pair = _mm256_blendv_epi8(
+          codes_lo, codes_hi, _mm256_cmpgt_epi64(codes_lo, codes_hi));
+      const __m256i hi_pair = _mm256_blendv_epi8(
+          codes_hi, codes_lo, _mm256_cmpgt_epi64(codes_lo, codes_hi));
+      acc_lo = _mm256_blendv_epi8(acc_lo, lo_pair,
+                                  _mm256_cmpgt_epi64(acc_lo, lo_pair));
+      acc_hi = _mm256_blendv_epi8(acc_hi, hi_pair,
+                                  _mm256_cmpgt_epi64(hi_pair, acc_hi));
+      row_vec = _mm256_add_epi32(row_vec, step);
+    }
+  }
+
+  uint32_t lo = ~uint32_t{0};
+  uint32_t hi = 0;
+  if (i > 0) {
+    alignas(32) uint64_t lanes_lo[4];
+    alignas(32) uint64_t lanes_hi[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes_lo), acc_lo);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes_hi), acc_hi);
+    for (int l = 0; l < 4; ++l) {
+      lo = std::min(lo, static_cast<uint32_t>(lanes_lo[l]));
+      hi = std::max(hi, static_cast<uint32_t>(lanes_hi[l]));
+    }
+  }
+  if (i < rows) {
+    uint32_t tail_lo;
+    uint32_t tail_hi;
+    minmax_detail::ScalarPackedMinMax(
+        packed + (i * static_cast<size_t>(bits)) / 8, rows - i, bits,
+        &tail_lo, &tail_hi);
+    lo = std::min(lo, tail_lo);
+    hi = std::max(hi, tail_hi);
+  }
+  *min = lo;
+  *max = hi;
+}
+
+const MinMaxKernels kAvx2Kernels = {
+    &MinMaxI32,          &MinMaxU32,
+    &ScalarMinMax<int64_t>,  // AVX2 lacks 64-bit integer min/max.
+    &ScalarMinMax<uint64_t>,
+    &MinMaxF32,          &MinMaxF64,
+    &PackedMinMax,
+};
+
+}  // namespace
+
+const MinMaxKernels* GetAvx2MinMaxKernels() { return &kAvx2Kernels; }
+
+}  // namespace fts

@@ -1,0 +1,218 @@
+#include <immintrin.h>
+
+#include "fts/simd/minmax_kernels.h"
+
+// Compiled with -mavx512f -mavx512bw -mavx512dq -mavx512vl (see
+// CMakeLists.txt); never executed unless the dispatcher confirmed CPUID.
+
+namespace fts {
+namespace {
+
+// 32/64-bit full-register reductions with a scalar tail. The tail is at
+// most 15 elements, noise next to the chunk-sized bodies these run over.
+
+bool MinMaxI32(const int32_t* data, size_t rows, int32_t* min, int32_t* max) {
+  __m512i vlo = _mm512_set1_epi32(data[0]);
+  __m512i vhi = vlo;
+  size_t i = 0;
+  for (; i + 16 <= rows; i += 16) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    vlo = _mm512_min_epi32(vlo, v);
+    vhi = _mm512_max_epi32(vhi, v);
+  }
+  int32_t lo = _mm512_reduce_min_epi32(vlo);
+  int32_t hi = _mm512_reduce_max_epi32(vhi);
+  for (; i < rows; ++i) {
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+bool MinMaxU32(const uint32_t* data, size_t rows, uint32_t* min,
+               uint32_t* max) {
+  __m512i vlo = _mm512_set1_epi32(static_cast<int>(data[0]));
+  __m512i vhi = vlo;
+  size_t i = 0;
+  for (; i + 16 <= rows; i += 16) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    vlo = _mm512_min_epu32(vlo, v);
+    vhi = _mm512_max_epu32(vhi, v);
+  }
+  uint32_t lo = _mm512_reduce_min_epu32(vlo);
+  uint32_t hi = _mm512_reduce_max_epu32(vhi);
+  for (; i < rows; ++i) {
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+bool MinMaxI64(const int64_t* data, size_t rows, int64_t* min, int64_t* max) {
+  __m512i vlo = _mm512_set1_epi64(data[0]);
+  __m512i vhi = vlo;
+  size_t i = 0;
+  for (; i + 8 <= rows; i += 8) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    vlo = _mm512_min_epi64(vlo, v);
+    vhi = _mm512_max_epi64(vhi, v);
+  }
+  int64_t lo = _mm512_reduce_min_epi64(vlo);
+  int64_t hi = _mm512_reduce_max_epi64(vhi);
+  for (; i < rows; ++i) {
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+bool MinMaxU64(const uint64_t* data, size_t rows, uint64_t* min,
+               uint64_t* max) {
+  __m512i vlo = _mm512_set1_epi64(static_cast<long long>(data[0]));
+  __m512i vhi = vlo;
+  size_t i = 0;
+  for (; i + 8 <= rows; i += 8) {
+    const __m512i v = _mm512_loadu_si512(data + i);
+    vlo = _mm512_min_epu64(vlo, v);
+    vhi = _mm512_max_epu64(vhi, v);
+  }
+  uint64_t lo = _mm512_reduce_min_epu64(vlo);
+  uint64_t hi = _mm512_reduce_max_epu64(vhi);
+  for (; i < rows; ++i) {
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+// Float reductions track NaN with an unordered self-compare; a single NaN
+// invalidates the zone map (min/max cannot prune rows that compare false
+// against everything).
+
+bool MinMaxF32(const float* data, size_t rows, float* min, float* max) {
+  __m512 vlo = _mm512_set1_ps(data[0]);
+  __m512 vhi = vlo;
+  __mmask16 unordered = _mm512_cmp_ps_mask(vlo, vlo, _CMP_UNORD_Q);
+  size_t i = 0;
+  for (; i + 16 <= rows; i += 16) {
+    const __m512 v = _mm512_loadu_ps(data + i);
+    unordered |= _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+    vlo = _mm512_min_ps(vlo, v);
+    vhi = _mm512_max_ps(vhi, v);
+  }
+  if (unordered != 0) return false;
+  float lo = _mm512_reduce_min_ps(vlo);
+  float hi = _mm512_reduce_max_ps(vhi);
+  for (; i < rows; ++i) {
+    if (std::isnan(data[i])) return false;
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+bool MinMaxF64(const double* data, size_t rows, double* min, double* max) {
+  __m512d vlo = _mm512_set1_pd(data[0]);
+  __m512d vhi = vlo;
+  __mmask8 unordered = _mm512_cmp_pd_mask(vlo, vlo, _CMP_UNORD_Q);
+  size_t i = 0;
+  for (; i + 8 <= rows; i += 8) {
+    const __m512d v = _mm512_loadu_pd(data + i);
+    unordered |= _mm512_cmp_pd_mask(v, v, _CMP_UNORD_Q);
+    vlo = _mm512_min_pd(vlo, v);
+    vhi = _mm512_max_pd(vhi, v);
+  }
+  if (unordered != 0) return false;
+  double lo = _mm512_reduce_min_pd(vlo);
+  double hi = _mm512_reduce_max_pd(vhi);
+  for (; i < rows; ++i) {
+    if (std::isnan(data[i])) return false;
+    if (data[i] < lo) lo = data[i];
+    if (data[i] > hi) hi = data[i];
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+// Bit-packed code reduction, register-resident end to end: 16 rows per
+// iteration are turned into byte offsets and shifts, their 8-byte windows
+// gathered at byte granularity, shifted and masked into 64-bit code lanes
+// (the fused kernels' PackedCompare dataflow, kernels_avx512.cc), and
+// min/max-accumulated — no unpacked temporary buffer exists at any point.
+// The stream's kBitPackedSlackBytes padding keeps every window in bounds.
+void PackedMinMax(const uint8_t* packed, size_t rows, int bits,
+                  uint32_t* min, uint32_t* max) {
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  __m512i acc_lo = _mm512_set1_epi64(-1);  // All-ones: neutral for min.
+  __m512i acc_hi = _mm512_setzero_si512();
+  const __m512i vbits = _mm512_set1_epi32(bits);
+  const __m512i vmask64 = _mm512_set1_epi64(static_cast<long long>(mask));
+  const __m512i seven = _mm512_set1_epi32(7);
+  __m512i row_vec = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                      12, 13, 14, 15);
+  const __m512i step = _mm512_set1_epi32(16);
+
+  size_t i = 0;
+  for (; i + 16 <= rows; i += 16) {
+    const __m512i bit_offset = _mm512_mullo_epi32(row_vec, vbits);
+    const __m512i byte_offset = _mm512_srli_epi32(bit_offset, 3);
+    const __m512i shift32 = _mm512_and_si512(bit_offset, seven);
+
+    const __m512i window_lo = _mm512_mask_i32gather_epi64(
+        _mm512_setzero_si512(), static_cast<__mmask8>(0xFF),
+        _mm512_castsi512_si256(byte_offset), packed, 1);
+    const __m512i codes_lo = _mm512_and_si512(
+        _mm512_srlv_epi64(window_lo,
+                          _mm512_cvtepu32_epi64(
+                              _mm512_castsi512_si256(shift32))),
+        vmask64);
+
+    const __m512i window_hi = _mm512_mask_i32gather_epi64(
+        _mm512_setzero_si512(), static_cast<__mmask8>(0xFF),
+        _mm512_extracti64x4_epi64(byte_offset, 1), packed, 1);
+    const __m512i codes_hi = _mm512_and_si512(
+        _mm512_srlv_epi64(window_hi,
+                          _mm512_cvtepu32_epi64(
+                              _mm512_extracti64x4_epi64(shift32, 1))),
+        vmask64);
+
+    acc_lo = _mm512_min_epu64(acc_lo, _mm512_min_epu64(codes_lo, codes_hi));
+    acc_hi = _mm512_max_epu64(acc_hi, _mm512_max_epu64(codes_lo, codes_hi));
+    row_vec = _mm512_add_epi32(row_vec, step);
+  }
+
+  uint64_t lo = i > 0 ? _mm512_reduce_min_epu64(acc_lo) : ~uint64_t{0};
+  uint64_t hi = i > 0 ? _mm512_reduce_max_epu64(acc_hi) : 0;
+  for (; i < rows; ++i) {
+    const size_t bit_offset = i * static_cast<size_t>(bits);
+    uint64_t window;
+    __builtin_memcpy(&window, packed + (bit_offset >> 3), sizeof(window));
+    const uint64_t code = (window >> (bit_offset & 7)) & mask;
+    if (code < lo) lo = code;
+    if (code > hi) hi = code;
+  }
+  *min = static_cast<uint32_t>(lo);
+  *max = static_cast<uint32_t>(hi);
+}
+
+const MinMaxKernels kAvx512Kernels = {
+    &MinMaxI32, &MinMaxU32, &MinMaxI64, &MinMaxU64,
+    &MinMaxF32, &MinMaxF64, &PackedMinMax,
+};
+
+}  // namespace
+
+const MinMaxKernels* GetAvx512MinMaxKernels() { return &kAvx512Kernels; }
+
+}  // namespace fts

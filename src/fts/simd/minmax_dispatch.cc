@@ -1,0 +1,38 @@
+#include "fts/common/cpu_info.h"
+#include "fts/simd/minmax_kernels.h"
+
+namespace fts {
+
+const char* MinMaxKernelKindToString(MinMaxKernelKind kind) {
+  switch (kind) {
+    case MinMaxKernelKind::kScalar:
+      return "scalar";
+    case MinMaxKernelKind::kAvx2:
+      return "avx2";
+    case MinMaxKernelKind::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+const MinMaxKernels* GetMinMaxKernels(MinMaxKernelKind kind) {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  switch (kind) {
+    case MinMaxKernelKind::kScalar:
+      return GetScalarMinMaxKernels();
+    case MinMaxKernelKind::kAvx2:
+      return cpu.avx2 ? GetAvx2MinMaxKernels() : nullptr;
+    case MinMaxKernelKind::kAvx512:
+      return cpu.HasFusedScanAvx512() ? GetAvx512MinMaxKernels() : nullptr;
+  }
+  return nullptr;
+}
+
+MinMaxKernelKind BestMinMaxKernel() {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  if (cpu.HasFusedScanAvx512()) return MinMaxKernelKind::kAvx512;
+  if (cpu.avx2) return MinMaxKernelKind::kAvx2;
+  return MinMaxKernelKind::kScalar;
+}
+
+}  // namespace fts

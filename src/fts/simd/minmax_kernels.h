@@ -1,0 +1,92 @@
+#ifndef FTS_SIMD_MINMAX_KERNELS_H_
+#define FTS_SIMD_MINMAX_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace fts {
+
+// Min/max reduction kernels that build the zone maps
+// (fts/storage/zone_map.h) at ingest. Dispatched like the fused-scan
+// compare kernels: one scalar reference, an AVX2 translation unit, an
+// AVX-512 translation unit, each compiled with its own ISA flags and
+// selected at runtime via CPUID (BestMinMaxKernel).
+//
+// The floating-point reductions return false when the data contains a NaN
+// — min/max bounds over such a chunk cannot prune soundly, so the caller
+// leaves the zone map invalid.
+enum class MinMaxKernelKind : uint8_t {
+  kScalar = 0,
+  kAvx2,
+  kAvx512,
+};
+
+const char* MinMaxKernelKindToString(MinMaxKernelKind kind);
+
+// Function table for one kernel kind. Integer reductions always succeed;
+// float/double return false on NaN (out-params untouched in that case).
+// `packed` reduces a bit-packed code stream (fts/storage/
+// bitpacked_column.h layout: code i in bits [i*bits, (i+1)*bits)) without
+// ever unpacking into a temporary buffer: codes are extracted from 8-byte
+// windows — registers-at-a-time on the SIMD rungs, exactly the fused
+// kernels' gather-shift-mask dataflow. All entries require rows >= 1.
+struct MinMaxKernels {
+  bool (*i32)(const int32_t* data, size_t rows, int32_t* min, int32_t* max);
+  bool (*u32)(const uint32_t* data, size_t rows, uint32_t* min,
+              uint32_t* max);
+  bool (*i64)(const int64_t* data, size_t rows, int64_t* min, int64_t* max);
+  bool (*u64)(const uint64_t* data, size_t rows, uint64_t* min,
+              uint64_t* max);
+  bool (*f32)(const float* data, size_t rows, float* min, float* max);
+  bool (*f64)(const double* data, size_t rows, double* min, double* max);
+  void (*packed)(const uint8_t* packed, size_t rows, int bits, uint32_t* min,
+                 uint32_t* max);
+};
+
+// Kernel table for `kind`; null when the CPU lacks the instruction set.
+const MinMaxKernels* GetMinMaxKernels(MinMaxKernelKind kind);
+
+// The fastest kind available on this CPU (AVX-512 when present, else AVX2,
+// else scalar).
+MinMaxKernelKind BestMinMaxKernel();
+
+// Portable reference reduction for any supported element type, shared by
+// the scalar kernel table, the narrow (8/16-bit) ingest path, and the
+// tests that verify the SIMD rungs. Returns false on NaN.
+template <typename T>
+bool ScalarMinMax(const T* data, size_t rows, T* min, T* max) {
+  T lo = data[0];
+  T hi = data[0];
+  if constexpr (std::is_floating_point_v<T>) {
+    bool nan = std::isnan(data[0]);
+    for (size_t i = 1; i < rows; ++i) {
+      const T v = data[i];
+      nan |= std::isnan(v);
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    if (nan) return false;
+  } else {
+    for (size_t i = 1; i < rows; ++i) {
+      const T v = data[i];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+  }
+  *min = lo;
+  *max = hi;
+  return true;
+}
+
+// Per-ISA kernel tables, one per translation unit (minmax_scalar.cc,
+// minmax_avx2.cc, minmax_avx512.cc). Callers go through GetMinMaxKernels,
+// which adds the CPUID gate.
+const MinMaxKernels* GetScalarMinMaxKernels();
+const MinMaxKernels* GetAvx2MinMaxKernels();
+const MinMaxKernels* GetAvx512MinMaxKernels();
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_MINMAX_KERNELS_H_

@@ -1,0 +1,44 @@
+#include "fts/simd/minmax_kernels.h"
+
+namespace fts {
+namespace minmax_detail {
+
+// Scalar packed-code reduction: each code is pulled from the 8-byte window
+// containing it (the same dataflow as BitPackedColumn::ExtractCode), never
+// materializing an unpacked buffer. The stream carries
+// kBitPackedSlackBytes of padding, so the window load at the last code
+// stays in bounds.
+void ScalarPackedMinMax(const uint8_t* packed, size_t rows, int bits,
+                        uint32_t* min, uint32_t* max) {
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  uint32_t lo = ~uint32_t{0};
+  uint32_t hi = 0;
+  for (size_t row = 0; row < rows; ++row) {
+    const size_t bit_offset = row * static_cast<size_t>(bits);
+    uint64_t window;
+    __builtin_memcpy(&window, packed + (bit_offset >> 3), sizeof(window));
+    const auto code =
+        static_cast<uint32_t>((window >> (bit_offset & 7)) & mask);
+    if (code < lo) lo = code;
+    if (code > hi) hi = code;
+  }
+  *min = lo;
+  *max = hi;
+}
+
+}  // namespace minmax_detail
+
+namespace {
+
+const MinMaxKernels kScalarKernels = {
+    &ScalarMinMax<int32_t>,  &ScalarMinMax<uint32_t>,
+    &ScalarMinMax<int64_t>,  &ScalarMinMax<uint64_t>,
+    &ScalarMinMax<float>,    &ScalarMinMax<double>,
+    &minmax_detail::ScalarPackedMinMax,
+};
+
+}  // namespace
+
+const MinMaxKernels* GetScalarMinMaxKernels() { return &kScalarKernels; }
+
+}  // namespace fts

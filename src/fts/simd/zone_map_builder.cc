@@ -1,0 +1,117 @@
+#include "fts/simd/zone_map_builder.h"
+
+#include "fts/simd/minmax_kernels.h"
+#include "fts/storage/bitpacked_column.h"
+#include "fts/storage/dictionary_column.h"
+#include "fts/storage/value_column.h"
+
+namespace fts {
+namespace {
+
+// Typed reduction over a plain value array through the dispatched kernel
+// table; the narrow types the kernels don't cover run the scalar
+// reference. Returns false on NaN.
+template <typename T>
+bool ReduceValues(const MinMaxKernels& kernels, const T* data, size_t rows,
+                  T* min, T* max) {
+  if constexpr (std::is_same_v<T, int32_t>) {
+    return kernels.i32(data, rows, min, max);
+  } else if constexpr (std::is_same_v<T, uint32_t>) {
+    return kernels.u32(data, rows, min, max);
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    return kernels.i64(data, rows, min, max);
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    return kernels.u64(data, rows, min, max);
+  } else if constexpr (std::is_same_v<T, float>) {
+    return kernels.f32(data, rows, min, max);
+  } else if constexpr (std::is_same_v<T, double>) {
+    return kernels.f64(data, rows, min, max);
+  } else {
+    return ScalarMinMax(data, rows, min, max);
+  }
+}
+
+// Dictionary entries are engine-produced sorted values; NaN would already
+// break the sorted-translation contract, but a hand-built column could
+// still smuggle one in — bounds containing NaN must not prune.
+template <typename T>
+bool BoundsUsable(T min, T max) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return !std::isnan(min) && !std::isnan(max);
+  }
+  (void)min;
+  (void)max;
+  return true;
+}
+
+}  // namespace
+
+ZoneMap BuildColumnZoneMap(const BaseColumn& column) {
+  ZoneMap zone;
+  zone.row_count = column.size();
+  if (column.size() == 0) return zone;  // Invalid: nothing to bound.
+
+  const MinMaxKernels& kernels = *GetMinMaxKernels(BestMinMaxKernel());
+
+  DispatchDataType(column.data_type(), [&](auto tag) {
+    using T = decltype(tag);
+    switch (column.encoding()) {
+      case ColumnEncoding::kPlain: {
+        const auto& plain = static_cast<const ValueColumn<T>&>(column);
+        T min{};
+        T max{};
+        if (ReduceValues(kernels, plain.values().data(),
+                         plain.values().size(), &min, &max)) {
+          zone.min = min;
+          zone.max = max;
+          zone.valid = true;
+        }
+        return;
+      }
+      case ColumnEncoding::kDictionary: {
+        const auto& dict = static_cast<const DictionaryColumn<T>&>(column);
+        kernels.u32(dict.codes().data(), dict.codes().size(), &zone.min_code,
+                    &zone.max_code);
+        zone.has_codes = true;
+        // The dictionary is sorted, so the code bounds index the value
+        // bounds directly — and stay exact even for hand-built dictionaries
+        // carrying entries no row references.
+        const T lo = dict.dictionary()[zone.min_code];
+        const T hi = dict.dictionary()[zone.max_code];
+        if (BoundsUsable(lo, hi)) {
+          zone.min = lo;
+          zone.max = hi;
+          zone.valid = true;
+        }
+        return;
+      }
+      case ColumnEncoding::kBitPacked: {
+        const auto& packed = static_cast<const BitPackedColumn<T>&>(column);
+        // The SIMD packed reductions compute bit offsets in 32-bit lanes
+        // (like the scan kernels); oversized chunks take the scalar path,
+        // which uses size_t offsets throughout.
+        const bool fits_u32 =
+            static_cast<uint64_t>(packed.size()) * packed.bit_width() <
+            (uint64_t{1} << 32);
+        const MinMaxKernels& packed_kernels =
+            fits_u32 ? kernels
+                     : *GetMinMaxKernels(MinMaxKernelKind::kScalar);
+        packed_kernels.packed(
+            static_cast<const uint8_t*>(packed.scan_data()), packed.size(),
+            packed.bit_width(), &zone.min_code, &zone.max_code);
+        zone.has_codes = true;
+        const T lo = packed.dictionary()[zone.min_code];
+        const T hi = packed.dictionary()[zone.max_code];
+        if (BoundsUsable(lo, hi)) {
+          zone.min = lo;
+          zone.max = hi;
+          zone.valid = true;
+        }
+        return;
+      }
+    }
+  });
+  return zone;
+}
+
+}  // namespace fts

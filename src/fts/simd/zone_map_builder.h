@@ -1,0 +1,28 @@
+#ifndef FTS_SIMD_ZONE_MAP_BUILDER_H_
+#define FTS_SIMD_ZONE_MAP_BUILDER_H_
+
+#include "fts/storage/column.h"
+#include "fts/storage/zone_map.h"
+
+namespace fts {
+
+// Computes the zone map for one column via the fastest min-max reduction
+// kernel this CPU offers (fts/simd/minmax_kernels.h). Called once per
+// column at ingest by TableBuilder, which covers every construction path
+// (row-wise AppendRow, bulk AddChunk, CsvLoader, DataGenerator).
+//
+// Returns an invalid zone map (ZoneMap::valid == false) for empty columns
+// and for floating-point columns containing NaN — consumers skip those and
+// simply scan the chunk in full.
+//
+// Dictionary and bit-packed columns additionally carry code-space bounds
+// (min/max over the stored codes; the bit-packed reduction reads the
+// packed stream directly, never unpacking into a temporary buffer). Their
+// value bounds come from indexing the sorted dictionary with the code
+// bounds, which stays exact even when a hand-built dictionary carries
+// entries no row references.
+ZoneMap BuildColumnZoneMap(const BaseColumn& column);
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_ZONE_MAP_BUILDER_H_

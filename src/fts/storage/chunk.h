@@ -1,10 +1,12 @@
 #ifndef FTS_STORAGE_CHUNK_H_
 #define FTS_STORAGE_CHUNK_H_
 
+#include <utility>
 #include <vector>
 
 #include "fts/common/macros.h"
 #include "fts/storage/column.h"
+#include "fts/storage/zone_map.h"
 
 namespace fts {
 
@@ -14,8 +16,14 @@ namespace fts {
 class Chunk {
  public:
   explicit Chunk(std::vector<ColumnPtr> columns)
-      : columns_(std::move(columns)) {
+      : Chunk(std::move(columns), {}) {}
+
+  // Zone maps are per column, parallel to `columns`; pass an empty vector
+  // for a chunk without them (scans then simply read every row).
+  Chunk(std::vector<ColumnPtr> columns, std::vector<ZoneMap> zone_maps)
+      : columns_(std::move(columns)), zone_maps_(std::move(zone_maps)) {
     FTS_CHECK(!columns_.empty());
+    FTS_CHECK(zone_maps_.empty() || zone_maps_.size() == columns_.size());
     for (const auto& column : columns_) {
       FTS_CHECK(column != nullptr);
       FTS_CHECK(column->size() == columns_.front()->size());
@@ -35,8 +43,18 @@ class Chunk {
     return columns_[index];
   }
 
+  // Zone map for one column, or nullptr when the chunk carries none for it
+  // (hand-built chunk, or bounds unusable — e.g. NaN in a float column).
+  const ZoneMap* zone_map(size_t index) const {
+    FTS_CHECK(index < columns_.size());
+    if (index >= zone_maps_.size()) return nullptr;
+    const ZoneMap& zone = zone_maps_[index];
+    return zone.valid ? &zone : nullptr;
+  }
+
  private:
   std::vector<ColumnPtr> columns_;
+  std::vector<ZoneMap> zone_maps_;
 };
 
 }  // namespace fts

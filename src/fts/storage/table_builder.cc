@@ -1,11 +1,27 @@
 #include "fts/storage/table_builder.h"
 
 #include "fts/common/string_util.h"
+#include "fts/simd/zone_map_builder.h"
 #include "fts/storage/bitpacked_column.h"
 #include "fts/storage/dictionary_column.h"
 #include "fts/storage/value_column.h"
 
 namespace fts {
+namespace {
+
+// Every chunk that passes through the builder gets zone maps, so all
+// ingest paths (AppendRow, AddChunk, CsvLoader, DataGenerator) produce
+// prunable tables without opting in.
+std::vector<ZoneMap> BuildZoneMaps(const std::vector<ColumnPtr>& columns) {
+  std::vector<ZoneMap> zones;
+  zones.reserve(columns.size());
+  for (const auto& column : columns) {
+    zones.push_back(BuildColumnZoneMap(*column));
+  }
+  return zones;
+}
+
+}  // namespace
 
 TableBuilder::TableBuilder(std::vector<ColumnDefinition> schema,
                            size_t target_chunk_size)
@@ -88,7 +104,9 @@ void TableBuilder::FlushBufferedChunk() {
         },
         buffers_[c]);
   }
-  chunks_.push_back(std::make_shared<Chunk>(std::move(columns)));
+  std::vector<ZoneMap> zones = BuildZoneMaps(columns);
+  chunks_.push_back(
+      std::make_shared<Chunk>(std::move(columns), std::move(zones)));
   ResetBuffers();
 }
 
@@ -110,7 +128,9 @@ Status TableBuilder::AddChunk(std::vector<ColumnPtr> columns) {
     }
   }
   FlushBufferedChunk();
-  chunks_.push_back(std::make_shared<Chunk>(std::move(columns)));
+  std::vector<ZoneMap> zones = BuildZoneMaps(columns);
+  chunks_.push_back(
+      std::make_shared<Chunk>(std::move(columns), std::move(zones)));
   return Status::Ok();
 }
 

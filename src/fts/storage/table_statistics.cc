@@ -100,6 +100,18 @@ TableStatistics TableStatistics::Compute(const Table& table,
     out.row_count = table.row_count();
     out.min = acc.min;
     out.max = acc.max;
+    // Zone list for the zone-weighted selectivity model; all-or-nothing so
+    // the estimate never mixes bounded and unbounded chunks.
+    out.zones.reserve(table.chunk_count());
+    for (ChunkId chunk_id = 0; chunk_id < table.chunk_count(); ++chunk_id) {
+      const ZoneMap* zone = table.chunk(chunk_id).zone_map(c);
+      if (zone == nullptr) {
+        out.zones.clear();
+        break;
+      }
+      out.zones.push_back({ValueAs<double>(zone->min),
+                           ValueAs<double>(zone->max), zone->row_count});
+    }
     if (acc.all_dictionary) {
       out.distinct_count = static_cast<double>(acc.exact_distinct_hint);
     } else if (acc.sampled_rows > 0) {
@@ -122,44 +134,76 @@ const ColumnStatistics& TableStatistics::column(size_t index) const {
   return columns_[index];
 }
 
+namespace {
+
+// Uniform-distribution selectivity over one [min, max] interval. The
+// distinct count is the column-global estimate; within a zone it only
+// feeds the 1/distinct equality terms, where a modest overestimate is
+// harmless for predicate ordering.
+double SelectivityFromBounds(double min, double max, double distinct,
+                             CompareOp op, double v) {
+  const double width = max - min;
+  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+
+  switch (op) {
+    case CompareOp::kEq:
+      if (v < min || v > max) return 0.0;
+      return clamp01(1.0 / distinct);
+    case CompareOp::kNe:
+      if (v < min || v > max) return 1.0;
+      return clamp01(1.0 - 1.0 / distinct);
+    case CompareOp::kLt:
+      if (v <= min) return 0.0;
+      if (v > max) return 1.0;
+      if (width <= 0.0) return 0.0;
+      return clamp01((v - min) / width);
+    case CompareOp::kLe:
+      if (v < min) return 0.0;
+      if (v >= max) return 1.0;
+      if (width <= 0.0) return 1.0;
+      return clamp01((v - min) / width + 1.0 / distinct);
+    case CompareOp::kGt:
+      if (v >= max) return 0.0;
+      if (v < min) return 1.0;
+      if (width <= 0.0) return 0.0;
+      return clamp01((max - v) / width);
+    case CompareOp::kGe:
+      if (v > max) return 0.0;
+      if (v <= min) return 1.0;
+      if (width <= 0.0) return 1.0;
+      return clamp01((max - v) / width + 1.0 / distinct);
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace
+
 double TableStatistics::EstimateSelectivity(size_t column_index, CompareOp op,
                                             const Value& value) const {
   const ColumnStatistics& stats = column(column_index);
   if (stats.row_count == 0) return 0.0;
   const double v = ValueAs<double>(value);
-  const double width = stats.max - stats.min;
 
-  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
-
-  switch (op) {
-    case CompareOp::kEq:
-      if (v < stats.min || v > stats.max) return 0.0;
-      return clamp01(1.0 / stats.distinct_count);
-    case CompareOp::kNe:
-      if (v < stats.min || v > stats.max) return 1.0;
-      return clamp01(1.0 - 1.0 / stats.distinct_count);
-    case CompareOp::kLt:
-      if (v <= stats.min) return 0.0;
-      if (v > stats.max) return 1.0;
-      if (width <= 0.0) return 0.0;
-      return clamp01((v - stats.min) / width);
-    case CompareOp::kLe:
-      if (v < stats.min) return 0.0;
-      if (v >= stats.max) return 1.0;
-      if (width <= 0.0) return 1.0;
-      return clamp01((v - stats.min) / width + 1.0 / stats.distinct_count);
-    case CompareOp::kGt:
-      if (v >= stats.max) return 0.0;
-      if (v < stats.min) return 1.0;
-      if (width <= 0.0) return 0.0;
-      return clamp01((stats.max - v) / width);
-    case CompareOp::kGe:
-      if (v > stats.max) return 0.0;
-      if (v <= stats.min) return 1.0;
-      if (width <= 0.0) return 1.0;
-      return clamp01((stats.max - v) / width + 1.0 / stats.distinct_count);
+  // Zone-weighted model: estimate per chunk from its own bounds and weight
+  // by its rows. On clustered data the zones are narrow and disjoint, so
+  // chunks the predicate cannot touch contribute exactly 0 — far tighter
+  // than prorating over the global [min, max].
+  if (!stats.zones.empty()) {
+    double matched_rows = 0.0;
+    uint64_t total_rows = 0;
+    for (const ColumnZone& zone : stats.zones) {
+      matched_rows += SelectivityFromBounds(zone.min, zone.max,
+                                            stats.distinct_count, op, v) *
+                      static_cast<double>(zone.row_count);
+      total_rows += zone.row_count;
+    }
+    if (total_rows > 0) {
+      return std::clamp(matched_rows / static_cast<double>(total_rows), 0.0,
+                        1.0);
+    }
   }
-  __builtin_unreachable();
+  return SelectivityFromBounds(stats.min, stats.max, stats.distinct_count, op,
+                               v);
 }
 
 std::shared_ptr<const TableStatistics> GetCachedStatistics(

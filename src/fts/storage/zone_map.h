@@ -1,0 +1,94 @@
+#ifndef FTS_STORAGE_ZONE_MAP_H_
+#define FTS_STORAGE_ZONE_MAP_H_
+
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+
+#include "fts/storage/compare_op.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+// Small Materialized Aggregate for one column of one chunk: exact min/max
+// plus row count, computed once at ingest (table_builder.cc) via the SIMD
+// reduction kernels in fts/simd/minmax_kernels.h. Scans consult it before
+// building a chunk's fused chain: a conjunct disproved by the bounds skips
+// the chunk entirely, a tautological conjunct is dropped from that chunk's
+// chain (per-chunk stage specialization).
+//
+// `valid` is false when the column carries no usable bounds — notably
+// floating-point chunks containing NaN, where min/max-based pruning is
+// unsound (NaN compares false against everything, so "min >= v" proves
+// nothing about rows holding NaN). Invalid zone maps are simply ignored.
+struct ZoneMap {
+  bool valid = false;
+  // Bounds in the column's value domain, boxed at the column's own type so
+  // int64 values beyond double's 2^53 exact range stay exact.
+  Value min;
+  Value max;
+  uint64_t row_count = 0;
+  // This engine stores no NULLs, so every zone map is nulls-free today;
+  // recorded explicitly because min/max pruning is only sound over columns
+  // where every row holds a value.
+  bool nulls_free = true;
+  // Code-space bounds for dictionary / bit-packed columns: min/max over
+  // the *stored codes*. Chunk-local dictionaries built by FromValues
+  // reference every entry, but hand-built columns may carry unused
+  // dictionary entries, so the code bounds are computed from the codes.
+  bool has_codes = false;
+  uint32_t min_code = 0;
+  uint32_t max_code = 0;
+};
+
+// What the zone map proves about one predicate over one chunk.
+enum class ZoneFate : uint8_t {
+  kMaybe = 0,  // Bounds prove nothing; scan the chunk.
+  kNone,       // No row can match; skip the chunk.
+  kAll,        // Every row matches; drop the stage from the chain.
+};
+
+// Classifies `value op x` for all x in [min, max] (inclusive, exact, no
+// NaN among the data — enforced by ZoneMap::valid). Conservative: anything
+// not provable is kMaybe.
+template <typename T>
+ZoneFate ClassifyZone(T min, T max, CompareOp op, T value) {
+  if constexpr (std::is_floating_point_v<T>) {
+    // A NaN search value compares false under every ordered op, so the
+    // outcome is decided without looking at the bounds at all.
+    if (std::isnan(value)) {
+      return op == CompareOp::kNe ? ZoneFate::kAll : ZoneFate::kNone;
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      if (value < min || value > max) return ZoneFate::kNone;
+      if (min == max && min == value) return ZoneFate::kAll;
+      return ZoneFate::kMaybe;
+    case CompareOp::kNe:
+      if (min == max && min == value) return ZoneFate::kNone;
+      if (value < min || value > max) return ZoneFate::kAll;
+      return ZoneFate::kMaybe;
+    case CompareOp::kLt:
+      if (min >= value) return ZoneFate::kNone;
+      if (max < value) return ZoneFate::kAll;
+      return ZoneFate::kMaybe;
+    case CompareOp::kLe:
+      if (min > value) return ZoneFate::kNone;
+      if (max <= value) return ZoneFate::kAll;
+      return ZoneFate::kMaybe;
+    case CompareOp::kGt:
+      if (max <= value) return ZoneFate::kNone;
+      if (min > value) return ZoneFate::kAll;
+      return ZoneFate::kMaybe;
+    case CompareOp::kGe:
+      if (max < value) return ZoneFate::kNone;
+      if (min >= value) return ZoneFate::kAll;
+      return ZoneFate::kMaybe;
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_ZONE_MAP_H_

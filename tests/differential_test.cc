@@ -81,10 +81,41 @@ Value RandomLiteral(DataType type, Xoshiro256& rng) {
   }
 }
 
+// A handful of clustered values for "narrow" columns: chunk-local
+// dictionaries then hold very few codes, so zone maps routinely prove a
+// predicate impossible or tautological for individual chunks — the
+// per-chunk drop/impossible machinery every rung must honor identically.
+Value NarrowLiteral(DataType type, Xoshiro256& rng) {
+  const int64_t pick = static_cast<int64_t>(rng.NextBounded(3)) * 5 - 5;
+  switch (type) {
+    case DataType::kInt32:
+      return Value(static_cast<int32_t>(pick));
+    case DataType::kInt64:
+      return Value(pick * 1000000007LL);
+    case DataType::kUInt32:
+      return Value(static_cast<uint32_t>(pick + 5));
+    case DataType::kFloat64:
+      return Value(static_cast<double>(pick) / 2.0);
+    default:
+      return Value(static_cast<int32_t>(pick));
+  }
+}
+
 struct FuzzCase {
   TablePtr table;
   ScanSpec spec;
 };
+
+// Chunks the prepared scanner will actually schedule: not proven
+// impossible (dictionary translation or zone maps) and not empty. The
+// parallel path excludes the rest before morsel creation.
+size_t RunnableChunks(const TableScanner& scanner) {
+  size_t runnable = 0;
+  for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
+    if (!plan.impossible && plan.row_count > 0) ++runnable;
+  }
+  return runnable;
+}
 
 FuzzCase MakeCase(uint64_t seed) {
   Xoshiro256 rng(seed);
@@ -109,18 +140,23 @@ FuzzCase MakeCase(uint64_t seed) {
                                 ? rng.NextBounded(rows) + 1
                                 : rows;
   TableBuilder builder(schema, chunk_size);
+  std::vector<bool> narrow(num_columns, false);
   for (size_t c = 0; c < num_columns; ++c) {
     const uint64_t encoding = rng.NextBounded(4);
     if (encoding == 0) builder.SetDictionaryEncoded(c);
     // Bit-packing caps the dictionary at kMaxPackedBits; boundary draws
     // keep cardinality small (a handful of edge values), so it fits.
     if (encoding == 1) builder.SetBitPacked(c);
+    // A third of columns draw from a 3-value set so chunk dictionaries
+    // and zone maps frequently prune or drop per chunk.
+    narrow[c] = rng.NextBounded(3) == 0;
   }
 
   std::vector<Value> row(num_columns, Value(int32_t{0}));
   for (size_t r = 0; r < rows; ++r) {
     for (size_t c = 0; c < num_columns; ++c) {
-      row[c] = RandomLiteral(schema[c].type, rng);
+      row[c] = narrow[c] ? NarrowLiteral(schema[c].type, rng)
+                         : RandomLiteral(schema[c].type, rng);
     }
     FTS_CHECK(builder.AppendRow(row).ok());
   }
@@ -239,10 +275,12 @@ TEST_P(DifferentialTest, ParallelPathMatchesSisdReference) {
           StrFormat("parallel(%s, threads=%d)",
                     ScanEngineToString(requested), threads),
           seed, fuzz.spec);
-      EXPECT_EQ(report.worker_count, fuzz.table->chunk_count() > 1
-                                         ? threads
-                                         : 1);
-      EXPECT_EQ(report.morsel_count, fuzz.table->chunk_count());
+      const size_t runnable = RunnableChunks(*prepared);
+      EXPECT_EQ(report.worker_count, runnable > 1 ? threads : 1);
+      EXPECT_EQ(report.morsel_count, runnable);
+      EXPECT_EQ(report.chunks_total, fuzz.table->chunk_count());
+      EXPECT_LE(report.chunks_pruned, fuzz.table->chunk_count() - runnable)
+          << "pruned chunks must be a subset of the non-runnable ones";
 
       const auto count = ExecuteParallelScanCount(*prepared, options);
       ASSERT_TRUE(count.ok());
@@ -254,6 +292,85 @@ TEST_P(DifferentialTest, ParallelPathMatchesSisdReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::ValuesIn(testing::SeedRange(1, 49)));
+
+// Deterministic narrow-dictionary table: each chunk's c0 holds exactly one
+// value (the chunk index), so for `c0 >= 3 AND c0 <= 5 AND c1 >= 2` the
+// prepared plans must mark chunks 0-2 and 6-7 impossible and drop both c0
+// stages from chunks 3-5 — identically on the serial path and the morsel
+// path at every thread count, on every rung.
+TEST(NarrowDictionaryDifferentialTest, PerChunkDropAndImpossibleEveryRung) {
+  constexpr size_t kChunks = 8;
+  constexpr size_t kRowsPerChunk = 257;  // Awkward: not a lane multiple.
+  TableBuilder builder({{"c0", DataType::kInt32}, {"c1", DataType::kInt32}},
+                       kRowsPerChunk);
+  builder.SetDictionaryEncoded(0);
+  builder.SetBitPacked(1);
+  for (size_t chunk = 0; chunk < kChunks; ++chunk) {
+    for (size_t r = 0; r < kRowsPerChunk; ++r) {
+      FTS_CHECK(builder
+                    .AppendRow({Value(static_cast<int32_t>(chunk)),
+                                Value(static_cast<int32_t>(r % 5))})
+                    .ok());
+    }
+  }
+  const TablePtr table = builder.Build();
+
+  ScanSpec spec;
+  spec.predicates = {{"c0", CompareOp::kGe, Value(int32_t{3})},
+                     {"c0", CompareOp::kLe, Value(int32_t{5})},
+                     {"c1", CompareOp::kGe, Value(int32_t{2})}};
+
+  const auto prepared = TableScanner::Prepare(table, spec);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_EQ(prepared->chunk_plans().size(), kChunks);
+  for (size_t chunk = 0; chunk < kChunks; ++chunk) {
+    const TableScanner::ChunkPlan& plan = prepared->chunk_plans()[chunk];
+    if (chunk >= 3 && chunk <= 5) {
+      EXPECT_FALSE(plan.impossible) << "chunk " << chunk;
+      EXPECT_EQ(plan.stages.size(), 1u) << "chunk " << chunk;
+    } else {
+      EXPECT_TRUE(plan.impossible) << "chunk " << chunk;
+    }
+  }
+  EXPECT_EQ(prepared->pruning().chunks_pruned, kChunks - 3);
+  EXPECT_EQ(prepared->pruning().stages_dropped, 3u * 2u);
+  EXPECT_EQ(RunnableChunks(*prepared), 3u);
+
+  const auto reference = prepared->Execute(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference.ok());
+  // 3 chunks survive; c1 >= 2 keeps r%5 in {2,3,4}, 51 rows each in 0..256.
+  EXPECT_EQ(reference->TotalMatches(), 3u * 3u * (kRowsPerChunk / 5));
+
+  for (const ScanEngine engine :
+       {ScanEngine::kSisdNoVec, ScanEngine::kSisdAutoVec,
+        ScanEngine::kScalarFused, ScanEngine::kAvx2Fused128,
+        ScanEngine::kAvx512Fused128, ScanEngine::kAvx512Fused256,
+        ScanEngine::kAvx512Fused512, ScanEngine::kBlockwise}) {
+    if (!ScanEngineAvailable(engine)) continue;
+    const auto serial = prepared->Execute(engine);
+    ASSERT_TRUE(serial.ok()) << ScanEngineToString(engine);
+    ExpectSameMatches(*reference, *serial, ScanEngineToString(engine),
+                      /*seed=*/0, spec);
+    for (const int threads : {1, 2, 4}) {
+      ParallelScanOptions options;
+      options.requested = {engine, 0};
+      options.fallback = FallbackPolicy::kStrict;
+      options.threads = threads;
+      ExecutionReport report;
+      const auto parallel = ExecuteParallelScan(*prepared, options, &report);
+      ASSERT_TRUE(parallel.ok())
+          << ScanEngineToString(engine) << " threads=" << threads;
+      ExpectSameMatches(*reference, *parallel,
+                        StrFormat("parallel(%s, threads=%d)",
+                                  ScanEngineToString(engine), threads),
+                        /*seed=*/0, spec);
+      EXPECT_EQ(report.chunks_pruned, kChunks - 3);
+      EXPECT_EQ(report.stages_dropped, 3u * 2u);
+      EXPECT_EQ(report.morsel_count, 3u);
+      EXPECT_GT(report.bytes_skipped, 0u);
+    }
+  }
+}
 
 // JIT rungs are expensive per distinct signature (one compiler invocation
 // each), so they run over a handful of seeds. Skipped under TSan: the
@@ -333,8 +450,9 @@ TEST(DifferentialFaultTest, MidQueryCompileFailureKeepsOutputIdentical) {
                     fuzz.spec);
   // The report records the per-morsel decisions either way; whether a
   // rung actually demoted depends on which compile drew the fault (the
-  // cache retries failed signatures once).
-  EXPECT_EQ(report.morsel_choices.size(), fuzz.table->chunk_count());
+  // cache retries failed signatures once). Pruned chunks never choose an
+  // engine, so only runnable chunks appear.
+  EXPECT_EQ(report.morsel_choices.size(), RunnableChunks(*prepared));
 }
 
 }  // namespace
