@@ -16,11 +16,13 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fts/common/env.h"
 #include "fts/common/stats.h"
 #include "fts/common/timer.h"
+#include "fts/obs/json_writer.h"
 
 namespace fts::bench {
 
@@ -54,6 +56,51 @@ inline double MedianMillis(int reps, const std::function<void()>& fn) {
   }
   return Median(samples);
 }
+
+// One machine-readable result line:
+//   BENCH {"figure":"fig8_thread_scaling","threads":4,"median_ms":1.234}
+// Built on the same obs::JsonWriter the tracing/metrics exporters use, so
+// every BENCH line is well-formed JSON (strings escaped, commas managed).
+// Usage: BenchLine("fig8_thread_scaling").Field("threads", 4).Emit();
+class BenchLine {
+ public:
+  explicit BenchLine(std::string_view figure) {
+    writer_.BeginObject();
+    Field("figure", figure);
+  }
+
+  BenchLine& Field(std::string_view key, std::string_view value) {
+    writer_.Key(key).String(value);
+    return *this;
+  }
+  BenchLine& Field(std::string_view key, const char* value) {
+    writer_.Key(key).String(value);
+    return *this;
+  }
+  BenchLine& Field(std::string_view key, double value) {
+    writer_.Key(key).Number(value);
+    return *this;
+  }
+  BenchLine& Field(std::string_view key, uint64_t value) {
+    writer_.Key(key).Number(value);
+    return *this;
+  }
+  BenchLine& Field(std::string_view key, int64_t value) {
+    writer_.Key(key).Number(value);
+    return *this;
+  }
+  BenchLine& Field(std::string_view key, int value) {
+    writer_.Key(key).Number(value);
+    return *this;
+  }
+  void Emit() {
+    writer_.EndObject();
+    std::printf("BENCH %s\n", writer_.str().c_str());
+  }
+
+ private:
+  obs::JsonWriter writer_;
+};
 
 inline void PrintRule(char c = '-', int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar(c);

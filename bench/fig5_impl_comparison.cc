@@ -46,6 +46,8 @@ int main() {
   std::printf("\n");
   PrintRule('-', 12 + 22 * 6);
 
+  std::vector<BenchLine> bench_lines;
+
   for (const double selectivity : kSelectivities) {
     fts::ScanTableOptions options;
     options.rows = rows;
@@ -76,9 +78,17 @@ int main() {
         fts::DoNotOptimizeAway(result.ok());
       });
       std::printf("%22.3f", ms);
+      bench_lines.push_back(BenchLine("fig5_impl_comparison")
+                                .Field("engine",
+                                       fts::ScanEngineToString(engine))
+                                .Field("match_pct", selectivity * 100.0)
+                                .Field("rows", static_cast<uint64_t>(rows))
+                                .Field("median_ms", ms));
     }
     std::printf("\n");
   }
+  // BENCH lines after the table so the human-readable grid stays aligned.
+  for (BenchLine& line : bench_lines) line.Emit();
   std::printf(
       "\nShape checks vs the paper: fused < SISD everywhere; "
       "AVX-512(128) < AVX2(128); 512 < 256 < 128.\n");

@@ -98,11 +98,13 @@ int main() {
     FTS_CHECK(count.ok() && *count == expected);
   });
   std::printf("%-10s%16.3f%12s\n", "serial", serial_ms, "1.00x");
-  std::printf(
-      "BENCH {\"figure\":\"fig8_thread_scaling\",\"engine\":\"%s\","
-      "\"threads\":0,\"label\":\"serial\",\"median_ms\":%.3f,"
-      "\"speedup\":1.0}\n",
-      fts::ScanEngineToString(engine), serial_ms);
+  BenchLine("fig8_thread_scaling")
+      .Field("engine", fts::ScanEngineToString(engine))
+      .Field("threads", 0)
+      .Field("label", "serial")
+      .Field("median_ms", serial_ms)
+      .Field("speedup", 1.0)
+      .Emit();
 
   for (const int threads : ThreadSweep()) {
     // The pool is constructed outside the timed region — steady-state
@@ -120,10 +122,12 @@ int main() {
     });
     const double speedup = ms > 0.0 ? serial_ms / ms : 0.0;
     std::printf("%-10d%16.3f%11.2fx\n", threads, ms, speedup);
-    std::printf(
-        "BENCH {\"figure\":\"fig8_thread_scaling\",\"engine\":\"%s\","
-        "\"threads\":%d,\"median_ms\":%.3f,\"speedup\":%.3f}\n",
-        fts::ScanEngineToString(engine), threads, ms, speedup);
+    BenchLine("fig8_thread_scaling")
+        .Field("engine", fts::ScanEngineToString(engine))
+        .Field("threads", threads)
+        .Field("median_ms", ms)
+        .Field("speedup", speedup)
+        .Emit();
   }
 
   std::printf(

@@ -167,12 +167,15 @@ int main() {
       std::printf("%-12s%14.3f%14.3f%14.3f%9.2fx%6zu/%zu\n", layout.name,
                   selectivity, pruned_ms, unpruned_ms, speedup,
                   pruning.chunks_pruned, pruning.chunks_total);
-      std::printf(
-          "BENCH {\"figure\":\"fig9_zone_pruning\",\"layout\":\"%s\","
-          "\"selectivity\":%g,\"pruned_ms\":%.3f,\"unpruned_ms\":%.3f,"
-          "\"speedup\":%.3f,\"chunks_pruned\":%zu,\"chunks_total\":%zu}\n",
-          layout.name, selectivity, pruned_ms, unpruned_ms, speedup,
-          pruning.chunks_pruned, pruning.chunks_total);
+      BenchLine("fig9_zone_pruning")
+          .Field("layout", layout.name)
+          .Field("selectivity", selectivity)
+          .Field("pruned_ms", pruned_ms)
+          .Field("unpruned_ms", unpruned_ms)
+          .Field("speedup", speedup)
+          .Field("chunks_pruned", static_cast<uint64_t>(pruning.chunks_pruned))
+          .Field("chunks_total", static_cast<uint64_t>(pruning.chunks_total))
+          .Emit();
     }
   }
 

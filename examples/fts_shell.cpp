@@ -13,19 +13,26 @@
 //   \threads N                  scan worker threads (0 = FTS_THREADS)
 //   \stats NAME                 per-chunk zone maps (min/max/rows) of NAME
 //   \explain SQL                show logical + physical plans
+//   (EXPLAIN ANALYZE SELECT ... runs the query and prints the plan with
+//   actual rows, per-stage times, per-morsel engines and counters.)
 //   \timing on|off              toggle per-query wall-clock reporting
+//   \metrics                    dump the process metrics registry
+//   \trace on FILE | \trace off record spans, write Chrome trace JSON
 //   \help                       this text
 //   \quit
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "fts/common/string_util.h"
 #include "fts/common/timer.h"
 #include "fts/db/database.h"
+#include "fts/obs/metrics.h"
+#include "fts/obs/trace.h"
 #include "fts/storage/csv_loader.h"
 #include "fts/storage/data_generator.h"
 #include "fts/storage/table_builder.h"
@@ -43,7 +50,11 @@ constexpr char kHelp[] =
     "  \\threads N                 scan worker threads (0 = FTS_THREADS)\n"
     "  \\stats NAME                per-chunk zone maps of table NAME\n"
     "  \\explain SQL               show the plans for SQL\n"
+    "  EXPLAIN ANALYZE SELECT ... run a query, print the annotated plan\n"
     "  \\timing on|off             toggle timing output\n"
+    "  \\metrics                   dump the process metrics registry\n"
+    "  \\trace on FILE             start recording trace spans\n"
+    "  \\trace off                 stop, write Chrome trace JSON to FILE\n"
     "  \\help                      show this help\n"
     "  \\quit                      exit\n";
 
@@ -51,7 +62,27 @@ struct ShellState {
   Database db;
   Database::QueryOptions options;
   bool timing = true;
+  // Active span recorder (\trace on). Spans accumulate here until
+  // \trace off writes them out as Chrome trace JSON.
+  std::unique_ptr<fts::obs::TraceSink> trace_sink;
+  std::string trace_path;
 };
+
+// Writes out a still-recording trace on exit so \quit or EOF never drops
+// recorded spans.
+void FlushTrace(ShellState& state) {
+  if (state.trace_sink == nullptr) return;
+  fts::obs::DetachTraceSink();
+  const auto status = state.trace_sink->WriteChromeTrace(state.trace_path);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+  } else {
+    std::printf("wrote %zu spans to %s\n", state.trace_sink->size(),
+                state.trace_path.c_str());
+  }
+  state.trace_sink.reset();
+  state.trace_path.clear();
+}
 
 void RunCommand(ShellState& state, const std::string& line) {
   std::istringstream in(line);
@@ -215,7 +246,53 @@ void RunCommand(ShellState& state, const std::string& line) {
     std::fputs(text->c_str(), stdout);
     return;
   }
+  if (command == "\\metrics") {
+    std::fputs(fts::obs::MetricsRegistry::Global().RenderPrometheus().c_str(),
+               stdout);
+    return;
+  }
+  if (command == "\\trace") {
+    std::string flag, path;
+    in >> flag >> path;
+    if (flag == "on") {
+      if (path.empty()) {
+        std::printf("usage: \\trace on FILE\n");
+        return;
+      }
+      if (state.trace_sink != nullptr) {
+        std::printf("trace already recording to %s (\\trace off first)\n",
+                    state.trace_path.c_str());
+        return;
+      }
+      state.trace_sink = std::make_unique<fts::obs::TraceSink>();
+      state.trace_path = path;
+      fts::obs::AttachTraceSink(state.trace_sink.get());
+      std::printf("trace recording; \\trace off writes %s\n", path.c_str());
+      return;
+    }
+    if (flag == "off") {
+      if (state.trace_sink == nullptr) {
+        std::printf("trace is not recording (\\trace on FILE)\n");
+        return;
+      }
+      fts::obs::DetachTraceSink();
+      const auto status =
+          state.trace_sink->WriteChromeTrace(state.trace_path);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+      } else {
+        std::printf("wrote %zu spans to %s\n", state.trace_sink->size(),
+                    state.trace_path.c_str());
+      }
+      state.trace_sink.reset();
+      state.trace_path.clear();
+      return;
+    }
+    std::printf("usage: \\trace on FILE | \\trace off\n");
+    return;
+  }
   if (command == "\\quit" || command == "\\q") {
+    FlushTrace(state);
     std::exit(0);
   }
   std::printf("unknown command %s (try \\help)\n", command.c_str());
@@ -230,7 +307,12 @@ void RunSql(ShellState& state, const std::string& sql) {
     return;
   }
   std::fputs(result->ToString(25).c_str(), stdout);
-  if (state.timing) {
+  // Plain EXPLAIN plans without executing; a timing line for it would
+  // report a default ExecutionReport. EXPLAIN ANALYZE (attempts recorded)
+  // keeps the line: it shows total wall time including parse/plan.
+  const bool executed = result->explain_text.empty() ||
+                        !result->execution_report.attempts.empty();
+  if (state.timing && executed) {
     const fts::ExecutionReport& report = result->execution_report;
     // Zone-map pruning annotation: only when something was actually pruned.
     std::string pruned;
@@ -238,16 +320,26 @@ void RunSql(ShellState& state, const std::string& sql) {
       pruned = fts::StrFormat(", pruned %zu/%zu chunks",
                               report.chunks_pruned, report.chunks_total);
     }
+    // Split total wall time into JIT compilation and scan execution so a
+    // cold JIT query is not mistaken for a slow scan.
+    std::string timing = fts::StrFormat("%.3f ms", millis);
+    if (report.jit_compile_millis > 0.0) {
+      timing += fts::StrFormat(" (jit compile %.3f ms + scan %.3f ms)",
+                               report.jit_compile_millis,
+                               report.scan_millis);
+    } else if (report.scan_millis > 0.0) {
+      timing += fts::StrFormat(" (scan %.3f ms)", report.scan_millis);
+    }
     if (report.morsel_count > 0) {
-      std::printf("(%llu rows matched, %.3f ms, %s, %d workers / %zu "
+      std::printf("(%llu rows matched, %s, %s, %d workers / %zu "
                   "morsels%s)\n",
                   static_cast<unsigned long long>(result->matched_rows),
-                  millis, report.executed.ToString().c_str(),
+                  timing.c_str(), report.executed.ToString().c_str(),
                   report.worker_count, report.morsel_count, pruned.c_str());
     } else {
-      std::printf("(%llu rows matched, %.3f ms, %s%s)\n",
+      std::printf("(%llu rows matched, %s, %s%s)\n",
                   static_cast<unsigned long long>(result->matched_rows),
-                  millis, report.executed.ToString().c_str(),
+                  timing.c_str(), report.executed.ToString().c_str(),
                   pruned.c_str());
     }
     if (report.degraded) {
@@ -262,6 +354,7 @@ void RunSql(ShellState& state, const std::string& sql) {
 
 int RunShell(std::istream& in, bool interactive) {
   ShellState state;
+  fts::obs::SetCurrentThreadLabel("shell main");
   std::printf("Fused Table Scan shell. \\help for commands; default engine "
               "%s.\n",
               fts::ScanEngineToString(Database::DefaultEngine()));
@@ -281,6 +374,7 @@ int RunShell(std::istream& in, bool interactive) {
       RunSql(state, std::string(trimmed));
     }
   }
+  FlushTrace(state);
   return 0;
 }
 

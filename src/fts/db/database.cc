@@ -2,6 +2,9 @@
 
 #include "fts/common/cpu_info.h"
 #include "fts/common/string_util.h"
+#include "fts/common/timer.h"
+#include "fts/obs/metrics.h"
+#include "fts/obs/trace.h"
 #include "fts/plan/lqp.h"
 #include "fts/plan/optimizer.h"
 #include "fts/plan/translator.h"
@@ -49,13 +52,15 @@ ScanEngine Database::DefaultEngine() {
   return ScanEngine::kScalarFused;
 }
 
-StatusOr<PhysicalPlan> Database::Plan(const std::string& sql,
+StatusOr<PhysicalPlan> Database::Plan(const SelectStatement& statement,
                                       const QueryOptions& options,
                                       std::string* explain_text) const {
-  FTS_ASSIGN_OR_RETURN(const SelectStatement statement, ParseSelect(sql));
   FTS_ASSIGN_OR_RETURN(const TablePtr table, GetTable(statement.table));
-  FTS_ASSIGN_OR_RETURN(LqpNodePtr lqp,
-                       BuildLqp(statement, statement.table, table));
+  LqpNodePtr lqp;
+  {
+    obs::TraceSpan span("build_lqp", "plan");
+    FTS_ASSIGN_OR_RETURN(lqp, BuildLqp(statement, statement.table, table));
+  }
 
   const ScanEngine engine = options.engine.value_or(DefaultEngine());
 
@@ -65,6 +70,7 @@ StatusOr<PhysicalPlan> Database::Plan(const std::string& sql,
   }
 
   if (options.optimize) {
+    obs::TraceSpan span("optimize", "plan");
     OptimizerOptions optimizer_options;
     optimizer_options.enable_reordering = options.reorder_predicates;
     // Fusion only helps engines that execute a whole chain in one
@@ -81,6 +87,7 @@ StatusOr<PhysicalPlan> Database::Plan(const std::string& sql,
     }
   }
 
+  obs::TraceSpan span("translate", "plan");
   TranslatorOptions translator_options;
   translator_options.engine = engine;
   translator_options.jit_register_bits = options.jit_register_bits;
@@ -97,14 +104,51 @@ StatusOr<PhysicalPlan> Database::Plan(const std::string& sql,
 
 StatusOr<QueryResult> Database::Query(const std::string& sql,
                                       const QueryOptions& options) const {
-  FTS_ASSIGN_OR_RETURN(const PhysicalPlan plan, Plan(sql, options, nullptr));
-  return ExecutePlan(plan);
+  obs::TraceSpan query_span("query", "db");
+  Stopwatch timer;
+  obs::Metrics().queries_total->Increment();
+
+  SelectStatement statement;
+  {
+    obs::TraceSpan span("parse", "sql");
+    FTS_ASSIGN_OR_RETURN(statement, ParseSelect(sql));
+  }
+
+  if (statement.explain && !statement.analyze) {
+    // EXPLAIN: plan only, never execute. The rendered plans become the
+    // result's explain_text.
+    QueryResult result;
+    FTS_RETURN_IF_ERROR(
+        Plan(statement, options, &result.explain_text).status());
+    obs::Metrics().query_micros->Record(
+        static_cast<uint64_t>(timer.ElapsedMicros()));
+    return result;
+  }
+
+  FTS_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(statement, options, nullptr));
+  if (statement.analyze) plan.collect_counters = true;
+
+  FTS_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan));
+  if (result.execution_report.degraded) {
+    obs::Metrics().degradation_events_total->Increment();
+  }
+  if (statement.analyze) {
+    result.explain_text = RenderExplainAnalyze(plan, result);
+  }
+  obs::Metrics().query_micros->Record(
+      static_cast<uint64_t>(timer.ElapsedMicros()));
+  return result;
 }
 
 StatusOr<std::string> Database::Explain(const std::string& sql,
                                         const QueryOptions& options) const {
+  SelectStatement statement;
+  {
+    obs::TraceSpan span("parse", "sql");
+    FTS_ASSIGN_OR_RETURN(statement, ParseSelect(sql));
+  }
   std::string text;
-  FTS_RETURN_IF_ERROR(Plan(sql, options, &text).status());
+  FTS_RETURN_IF_ERROR(Plan(statement, options, &text).status());
   return text;
 }
 

@@ -8,6 +8,7 @@
 #include "fts/common/status.h"
 #include "fts/plan/physical_plan.h"
 #include "fts/scan/scan_engine.h"
+#include "fts/sql/ast.h"
 #include "fts/storage/table.h"
 
 namespace fts {
@@ -56,6 +57,11 @@ class Database {
   // Parses, plans, optimizes, and executes `sql`. (Overloads instead of a
   // `= {}` default: nested-class default member initializers are not yet
   // parsed when an in-class default argument would need them.)
+  //
+  // An `EXPLAIN SELECT ...` statement plans without executing and returns
+  // the rendered plans in QueryResult::explain_text; `EXPLAIN ANALYZE`
+  // executes the query with counter collection enabled and returns the
+  // physical plan annotated with actuals (RenderExplainAnalyze).
   StatusOr<QueryResult> Query(const std::string& sql,
                               const QueryOptions& options) const;
   StatusOr<QueryResult> Query(const std::string& sql) const {
@@ -74,7 +80,7 @@ class Database {
   static ScanEngine DefaultEngine();
 
  private:
-  StatusOr<PhysicalPlan> Plan(const std::string& sql,
+  StatusOr<PhysicalPlan> Plan(const SelectStatement& statement,
                               const QueryOptions& options,
                               std::string* explain_text) const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "fts/jit/jit_scan_engine.h"
+#include "fts/obs/metrics.h"
+#include "fts/obs/trace.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -19,6 +21,8 @@ struct MorselOutcome {
   std::vector<EngineAttempt> attempts;
   PosList positions;  // Materialize mode.
   uint64_t count = 0;  // Count mode.
+  // JIT cache/compile attribution for this morsel's ladder walk.
+  JitChunkStats jit;
 };
 
 std::vector<EngineChoice> RungsFor(const ParallelScanOptions& options) {
@@ -37,6 +41,13 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
                const std::vector<EngineChoice>& rungs, bool count_only,
                ChunkId chunk_id, MorselOutcome* out) {
   const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
+  // The morsel span covers the whole ladder walk; the chunk-execution
+  // spans underneath it (scan_chunk) nest inside on the worker's track.
+  obs::TraceSpan span("morsel", "exec");
+  if (span.active()) {
+    span.AddArg("chunk", static_cast<uint64_t>(chunk_id));
+    span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
+  }
   // Thread-local output list, reused across rungs and moved into the
   // outcome slot on success.
   PosList buffer;
@@ -56,7 +67,7 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
     if (choice.engine == ScanEngine::kJit) {
       const StatusOr<size_t> result =
           JitExecuteChunk(cache, plan, choice.jit_register_bits, count_only,
-                          count_only ? nullptr : buffer.data());
+                          count_only ? nullptr : buffer.data(), &out->jit);
       if (result.ok()) {
         value = *result;
       } else {
@@ -91,6 +102,11 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
       out->executed = choice;
       out->rung_index = r;
       out->ok = true;
+      if (span.active()) {
+        span.AddArg("engine", choice.ToString());
+        span.AddArg("matches", count_only ? out->count
+                                          : uint64_t{out->positions.size()});
+      }
       return;
     }
     out->attempts.push_back({choice, status});
@@ -163,6 +179,13 @@ Status RunMorsels(const TableScanner& scanner,
 
   report->worker_count = threads;
   report->morsel_count = runnable.size();
+  obs::Metrics().morsels_total->Add(runnable.size());
+  for (const ChunkId chunk_id : runnable) {
+    const MorselOutcome& outcome = (*outcomes)[chunk_id];
+    report->jit_compile_millis += outcome.jit.compile_millis;
+    report->jit_cache_hits += outcome.jit.cache_hits;
+    report->jit_cache_misses += outcome.jit.cache_misses;
+  }
   for (const ChunkId chunk_id : runnable) {
     const MorselOutcome& outcome = (*outcomes)[chunk_id];
     if (outcome.ok) continue;

@@ -5,6 +5,9 @@
 
 #include "fts/common/env.h"
 #include "fts/common/macros.h"
+#include "fts/common/string_util.h"
+#include "fts/obs/metrics.h"
+#include "fts/obs/trace.h"
 
 namespace fts {
 namespace {
@@ -106,13 +109,19 @@ bool TaskPool::RunOneTask(size_t self) {
   if (task == nullptr) return false;
   pending_.fetch_sub(1, std::memory_order_acq_rel);
   executed_.fetch_add(1, std::memory_order_relaxed);
-  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) {
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    obs::Metrics().morsels_stolen_total->Increment();
+  }
   task();
   return true;
 }
 
 void TaskPool::WorkerLoop(size_t self) {
   tls_inside_worker = true;
+  // Registers this thread's rank + label so trace exports name one track
+  // per worker ("pool worker N").
+  obs::SetCurrentThreadLabel(StrFormat("pool worker %zu", self));
   for (;;) {
     if (RunOneTask(self)) continue;
     std::unique_lock<std::mutex> lock(wake_mutex_);

@@ -1,5 +1,8 @@
 #include "fts/jit/jit_cache.h"
 
+#include "fts/obs/metrics.h"
+#include "fts/obs/trace.h"
+
 namespace fts {
 
 JitCache::JitCache(JitCacheOptions options)
@@ -34,17 +37,23 @@ StatusOr<JitCache::Entry> JitCache::GetOrCompile(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      obs::Metrics().jit_cache_hits_total->Increment();
       lru_.splice(lru_.begin(), lru_, it->second.lru);
-      return it->second.entry;
+      Entry entry = it->second.entry;
+      entry.compile_millis = 0.0;
+      entry.cache_hit = true;
+      return entry;
     }
     if (compiler_unavailable_) {
       ++stats_.negative_hits;
+      obs::Metrics().jit_cache_negative_hits_total->Increment();
       return compiler_unavailable_status_;
     }
     const auto failed = failures_.find(key);
     if (failed != failures_.end() &&
         failed->second.attempts >= options_.max_compile_attempts) {
       ++stats_.negative_hits;
+      obs::Metrics().jit_cache_negative_hits_total->Increment();
       return failed->second.status;
     }
     const auto flight = inflight_.find(key);
@@ -60,9 +69,11 @@ StatusOr<JitCache::Entry> JitCache::GetOrCompile(
   const auto flight = std::make_shared<InFlight>();
   inflight_[key] = flight;
   ++stats_.misses;
+  obs::Metrics().jit_cache_misses_total->Increment();
   lock.unlock();
 
   StatusOr<Entry> compiled = [&]() -> StatusOr<Entry> {
+    obs::TraceSpan span("jit_compile", "jit");
     FTS_ASSIGN_OR_RETURN(const std::string source,
                          GenerateFusedScanSource(signature));
     FTS_ASSIGN_OR_RETURN(std::shared_ptr<JitModule> module,
@@ -70,16 +81,26 @@ StatusOr<JitCache::Entry> JitCache::GetOrCompile(
     Entry entry;
     entry.module = std::move(module);
     entry.fn = reinterpret_cast<JitScanFn>(entry.module->symbol_address());
+    entry.compile_millis = entry.module->compile_millis();
+    entry.cache_hit = false;
+    if (span.active()) {
+      span.AddArg("signature", key);
+      span.AddArg("compile_millis",
+                  static_cast<uint64_t>(entry.compile_millis));
+    }
     return entry;
   }();
 
   lock.lock();
   if (compiled.ok()) {
     stats_.total_compile_millis += compiled->module->compile_millis();
+    obs::Metrics().jit_compile_micros->Record(
+        static_cast<uint64_t>(compiled->module->compile_millis() * 1000.0));
     failures_.erase(key);
     InsertLocked(key, *compiled);
   } else {
     ++stats_.compile_failures;
+    obs::Metrics().jit_compile_failures_total->Increment();
     Failure& failure = failures_[key];
     ++failure.attempts;
     failure.status = compiled.status();

@@ -49,6 +49,12 @@ class JitCache {
   struct Entry {
     std::shared_ptr<JitModule> module;
     JitScanFn fn = nullptr;
+    // Attribution for the request that produced this copy of the entry:
+    // a cache hit returns {0.0, true}; the request that led the compile
+    // returns the compile wall time with cache_hit = false. Callers
+    // accumulate these into their query's ExecutionReport.
+    double compile_millis = 0.0;
+    bool cache_hit = false;
   };
 
   // Returns the compiled operator for `signature`, generating and

@@ -4,13 +4,15 @@
 
 #include "fts/common/cpu_info.h"
 #include "fts/common/macros.h"
+#include "fts/obs/metrics.h"
+#include "fts/obs/trace.h"
 
 namespace fts {
 
 StatusOr<size_t> JitExecuteChunk(JitCache& cache,
                                  const TableScanner::ChunkPlan& plan,
                                  int register_bits, bool count_only,
-                                 ChunkOffset* out) {
+                                 ChunkOffset* out, JitChunkStats* stats) {
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
@@ -27,6 +29,14 @@ StatusOr<size_t> JitExecuteChunk(JitCache& cache,
   signature.count_only = count_only;
   FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
                        cache.GetOrCompile(signature));
+  if (stats != nullptr) {
+    stats->compile_millis += entry.compile_millis;
+    if (entry.cache_hit) {
+      ++stats->cache_hits;
+    } else {
+      ++stats->cache_misses;
+    }
+  }
 
   const void* columns[kMaxScanStages];
   alignas(8) unsigned char values[kMaxScanStages * kJitValueSlotBytes] = {};
@@ -37,8 +47,23 @@ StatusOr<size_t> JitExecuteChunk(JitCache& cache,
     __builtin_memcpy(values + s * kJitValueSlotBytes, &plan.stages[s].value,
                      kJitValueSlotBytes);
   }
+  obs::TraceSpan span("scan_chunk", "scan");
   // Count-only operators never touch the output buffer.
-  return entry.fn(columns, values, plan.row_count, count_only ? nullptr : out);
+  const size_t count =
+      entry.fn(columns, values, plan.row_count, count_only ? nullptr : out);
+  {
+    const obs::EngineMetrics& metrics = obs::Metrics();
+    metrics.rows_scanned_total->Add(plan.row_count);
+    metrics.rows_emitted_total->Add(count);
+    EngineExecutionCounter(ScanEngine::kJit)->Increment();
+  }
+  if (span.active()) {
+    span.AddArg("engine", "JIT Fused");
+    span.AddArg("register_bits", static_cast<uint64_t>(register_bits));
+    span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
+    span.AddArg("matches", static_cast<uint64_t>(count));
+  }
+  return count;
 }
 
 JitScanEngine::JitScanEngine(int register_bits, JitCache* cache,
@@ -89,7 +114,8 @@ StatusOr<T> JitScanEngine::RunLadder(ExecutionReport* report,
 }
 
 StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
-                                                 int register_bits) {
+                                                 int register_bits,
+                                                 JitChunkStats* stats) {
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
@@ -106,7 +132,7 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
       FTS_ASSIGN_OR_RETURN(
           const size_t count,
           JitExecuteChunk(*cache_, plan, register_bits,
-                          /*count_only=*/false, positions.data()));
+                          /*count_only=*/false, positions.data(), stats));
       positions.resize(count);
       matches.positions = std::move(positions);
     }
@@ -116,7 +142,8 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
 }
 
 StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
-                                                  int register_bits) {
+                                                  int register_bits,
+                                                  JitChunkStats* stats) {
   // COUNT(*) compiles a dedicated count-only operator (no compress-store,
   // no output buffer) — the precise shape of the paper's benchmark query.
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
@@ -127,7 +154,7 @@ StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
   for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
     FTS_ASSIGN_OR_RETURN(const size_t count,
                          JitExecuteChunk(*cache_, plan, register_bits,
-                                         /*count_only=*/true, nullptr));
+                                         /*count_only=*/true, nullptr, stats));
     total += count;
   }
   return total;
@@ -139,13 +166,20 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(std::move(table), spec));
   if (report != nullptr) FillPruningReport(scanner, report);
-  return RunLadder<TableMatches>(
+  JitChunkStats stats;
+  StatusOr<TableMatches> result = RunLadder<TableMatches>(
       report, [&](const EngineChoice& choice) -> StatusOr<TableMatches> {
         if (choice.engine == ScanEngine::kJit) {
-          return ExecuteJit(scanner, choice.jit_register_bits);
+          return ExecuteJit(scanner, choice.jit_register_bits, &stats);
         }
         return scanner.Execute(choice.engine);
       });
+  if (report != nullptr) {
+    report->jit_compile_millis += stats.compile_millis;
+    report->jit_cache_hits += stats.cache_hits;
+    report->jit_cache_misses += stats.cache_misses;
+  }
+  return result;
 }
 
 StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
@@ -154,13 +188,20 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(std::move(table), spec));
   if (report != nullptr) FillPruningReport(scanner, report);
-  return RunLadder<uint64_t>(
+  JitChunkStats stats;
+  StatusOr<uint64_t> result = RunLadder<uint64_t>(
       report, [&](const EngineChoice& choice) -> StatusOr<uint64_t> {
         if (choice.engine == ScanEngine::kJit) {
-          return ExecuteJitCount(scanner, choice.jit_register_bits);
+          return ExecuteJitCount(scanner, choice.jit_register_bits, &stats);
         }
         return scanner.ExecuteCount(choice.engine);
       });
+  if (report != nullptr) {
+    report->jit_compile_millis += stats.compile_millis;
+    report->jit_cache_hits += stats.cache_hits;
+    report->jit_cache_misses += stats.cache_misses;
+  }
+  return result;
 }
 
 }  // namespace fts

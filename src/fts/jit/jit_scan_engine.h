@@ -11,18 +11,34 @@
 
 namespace fts {
 
+// Per-call JIT attribution, accumulated across chunk executions so a
+// query's ExecutionReport can split compile time from scan time.
+struct JitChunkStats {
+  double compile_millis = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  void Merge(const JitChunkStats& other) {
+    compile_millis += other.compile_millis;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+  }
+};
+
 // Runs one chunk's prepared plan through a JIT-compiled operator — the
 // morsel primitive shared by JitScanEngine and the parallel executor
 // (fts/exec/parallel_scan.h). Compiles (or fetches from `cache`) the
 // operator for the chunk's chain signature at `register_bits`. In
 // count-only mode `out` may be null and the return value is the match
 // count; otherwise `out` must have capacity for row_count +
-// kScanOutputSlack positions. Thread-safe: JitCache single-flights
-// concurrent compiles of one signature.
+// kScanOutputSlack positions. When `stats` is non-null, cache/compile
+// attribution for this call is accumulated into it. Thread-safe: JitCache
+// single-flights concurrent compiles of one signature.
 StatusOr<size_t> JitExecuteChunk(JitCache& cache,
                                  const TableScanner::ChunkPlan& plan,
                                  int register_bits, bool count_only,
-                                 ChunkOffset* out);
+                                 ChunkOffset* out,
+                                 JitChunkStats* stats = nullptr);
 
 // Executes conjunctive scans through runtime-generated code (Section V).
 // Reuses TableScanner::Prepare for column resolution / value casting /
@@ -56,10 +72,11 @@ class JitScanEngine {
 
  private:
   // The pure JIT path at one register width; fails without fallback.
+  // `stats` accumulates cache/compile attribution across chunks.
   StatusOr<TableMatches> ExecuteJit(const TableScanner& scanner,
-                                    int register_bits);
+                                    int register_bits, JitChunkStats* stats);
   StatusOr<uint64_t> ExecuteJitCount(const TableScanner& scanner,
-                                     int register_bits);
+                                     int register_bits, JitChunkStats* stats);
 
   // Walks the ladder (or just the first rung under kStrict), recording
   // attempts into `report`. `run` maps an EngineChoice to a result.

@@ -1,0 +1,54 @@
+#ifndef FTS_OBS_JSON_WRITER_H_
+#define FTS_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fts::obs {
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included). Control characters become \u00XX sequences.
+std::string JsonEscape(std::string_view text);
+
+// Minimal streaming JSON writer shared by every exposition path in the
+// repository: the Chrome-trace exporter, the metrics-registry JSON dump,
+// and the benches' BENCH lines. Emits compact JSON (no whitespace) with
+// commas managed automatically; the caller is responsible for balanced
+// Begin/End calls (checked in debug builds via the container stack).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object key; must be followed by exactly one value (or container).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(uint64_t value);
+  JsonWriter& Number(int64_t value);
+  JsonWriter& Number(int value) { return Number(static_cast<int64_t>(value)); }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices pre-rendered JSON (e.g. a cached args fragment) as one value.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  // Emits the separating comma unless this is the first element of the
+  // enclosing container (or the value completing a key).
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<bool> first_in_container_;
+  bool after_key_ = false;
+};
+
+}  // namespace fts::obs
+
+#endif  // FTS_OBS_JSON_WRITER_H_

@@ -1,0 +1,186 @@
+#include "fts/obs/trace.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include "fts/obs/json_writer.h"
+
+namespace fts::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{true};
+std::atomic<TraceSink*> g_active_sink{nullptr};
+
+std::atomic<uint32_t> g_next_thread_rank{0};
+
+// rank -> label registry. Written rarely (once per labelled thread), read
+// only at export time; a plain mutex is fine.
+std::mutex& LabelMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+std::vector<std::pair<uint32_t, std::string>>& LabelStore() {
+  static auto* labels = new std::vector<std::pair<uint32_t, std::string>>();
+  return *labels;
+}
+
+}  // namespace
+
+void TraceSink::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceSink::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> snapshot = events();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  // Thread-name metadata first, so viewers name tracks before any event
+  // references them.
+  for (const auto& [rank, label] : ThreadLabels()) {
+    json.BeginObject();
+    json.Key("ph").String("M");
+    json.Key("pid").Number(1);
+    json.Key("tid").Number(static_cast<uint64_t>(rank));
+    json.Key("name").String("thread_name");
+    json.Key("args").BeginObject();
+    json.Key("name").String(label);
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const TraceEvent& event : snapshot) {
+    json.BeginObject();
+    json.Key("ph").String("X");
+    json.Key("pid").Number(1);
+    json.Key("tid").Number(static_cast<uint64_t>(event.thread_rank));
+    json.Key("name").String(event.name);
+    json.Key("cat").String(event.category);
+    // Chrome trace timestamps are microseconds; keep sub-µs precision as
+    // fractional values.
+    json.Key("ts").Number(static_cast<double>(event.start_ns) / 1000.0);
+    json.Key("dur").Number(static_cast<double>(event.duration_ns) / 1000.0);
+    if (!event.args_json.empty()) {
+      json.Key("args").Raw(event.args_json);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").String("ms");
+  json.EndObject();
+  return json.str();
+}
+
+Status TraceSink::WriteChromeTrace(const std::string& path) const {
+  const std::string payload = ToChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != payload.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+TraceSink* AttachTraceSink(TraceSink* sink) {
+  return g_active_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* DetachTraceSink() {
+  return g_active_sink.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+TraceSink* ActiveTraceSink() {
+  return g_active_sink.load(std::memory_order_acquire);
+}
+
+uint32_t CurrentThreadRank() {
+  thread_local const uint32_t rank =
+      g_next_thread_rank.fetch_add(1, std::memory_order_relaxed);
+  return rank;
+}
+
+void SetCurrentThreadLabel(const std::string& label) {
+  const uint32_t rank = CurrentThreadRank();
+  std::lock_guard<std::mutex> lock(LabelMutex());
+  auto& labels = LabelStore();
+  for (auto& [stored_rank, stored_label] : labels) {
+    if (stored_rank == rank) {
+      stored_label = label;
+      return;
+    }
+  }
+  labels.emplace_back(rank, label);
+}
+
+std::vector<std::pair<uint32_t, std::string>> ThreadLabels() {
+  std::lock_guard<std::mutex> lock(LabelMutex());
+  return LabelStore();
+}
+
+uint64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+void TraceSpan::AddArg(std::string_view key, uint64_t value) {
+  if (sink_ == nullptr) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%.*s\":%llu",
+                static_cast<int>(key.size()), key.data(),
+                static_cast<unsigned long long>(value));
+  args_json_ += args_json_.empty() ? "" : ",";
+  args_json_ += buf;
+}
+
+void TraceSpan::AddArg(std::string_view key, std::string_view value) {
+  if (sink_ == nullptr) return;
+  args_json_ += args_json_.empty() ? "" : ",";
+  args_json_ += '"';
+  args_json_ += JsonEscape(key);
+  args_json_ += "\":\"";
+  args_json_ += JsonEscape(value);
+  args_json_ += '"';
+}
+
+void TraceSpan::Finish() {
+  if (sink_ == nullptr) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.duration_ns = MonotonicNanos() - start_ns_;
+  event.thread_rank = CurrentThreadRank();
+  if (!args_json_.empty()) {
+    event.args_json = "{" + args_json_ + "}";
+  }
+  sink_->Record(std::move(event));
+  sink_ = nullptr;
+}
+
+}  // namespace fts::obs

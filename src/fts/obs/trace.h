@@ -1,0 +1,137 @@
+#ifndef FTS_OBS_TRACE_H_
+#define FTS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fts/common/status.h"
+
+namespace fts::obs {
+
+// Per-query tracing as scoped spans (parse, optimize, translate, JIT
+// compile, per-morsel scan execution) with worker-thread attribution,
+// exportable as Chrome-trace JSON (chrome://tracing / Perfetto).
+//
+// Cost model: when no sink is attached — the steady state — starting a
+// span is two pointer stores, one relaxed atomic load, and a branch; no
+// clock read, no allocation. The enabled flag is a second, independent
+// gate so the overhead-guard test can compare "tracing compiled in but
+// off" against "on but unattached".
+
+// One completed span. `name`/`category` are string literals by contract
+// (spans are created at fixed instrumentation points), so events store the
+// pointers; `args_json` carries optional pre-rendered details.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t thread_rank = 0;
+  std::string args_json;  // Empty, or a JSON object fragment like {"rows":5}.
+};
+
+// Collects events from all threads for one traced window. Attach with
+// AttachTraceSink; spans record into it on destruction.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void Record(TraceEvent event);
+
+  std::vector<TraceEvent> events() const;
+  size_t size() const;
+
+  // Chrome trace event format: {"traceEvents":[...]}. Emits one complete
+  // ("ph":"X") event per span plus "M" thread_name metadata records so
+  // Perfetto shows one named track per worker.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+// --- Global attachment (two gates) ---------------------------------------
+
+// Master switch, default true. Turning it off makes spans no-op even with
+// a sink attached; it exists so the overhead guard can measure the
+// unattached fast path against a fully disabled baseline.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+// At most one sink is active at a time. Attach does not take ownership;
+// the caller must detach before destroying the sink. Returns the
+// previously attached sink (nullptr if none).
+TraceSink* AttachTraceSink(TraceSink* sink);
+TraceSink* DetachTraceSink();
+TraceSink* ActiveTraceSink();
+
+// --- Thread identity ------------------------------------------------------
+
+// Small dense id for the calling thread (0 for the first thread that asks,
+// then 1, 2, ...), stable for the thread's lifetime. Used as the Chrome
+// trace `tid` so each worker gets its own track.
+uint32_t CurrentThreadRank();
+
+// Associates a human-readable label ("worker 3", "main") with the calling
+// thread's rank; exported as Chrome "M"/thread_name metadata.
+void SetCurrentThreadLabel(const std::string& label);
+
+// Snapshot of rank -> label for all labelled threads.
+std::vector<std::pair<uint32_t, std::string>> ThreadLabels();
+
+// --- RAII span ------------------------------------------------------------
+
+// Monotonic clock reading in nanoseconds (exposed for tests).
+uint64_t MonotonicNanos();
+
+// Scoped span. Captures the active sink at construction; if tracing is off
+// or no sink is attached, every member is a no-op (no clock read, no
+// allocation). The sink captured at construction is used at destruction,
+// so a span straddling a detach still records into the sink that was
+// active when it started — the sink must outlive in-flight spans (the
+// shell detaches only between queries; tests join their threads first).
+class TraceSpan {
+ public:
+  // `name` and `category` must be string literals (or otherwise outlive
+  // the sink's export).
+  TraceSpan(const char* name, const char* category)
+      : name_(name), category_(category) {
+    if (!TracingEnabled()) return;
+    sink_ = ActiveTraceSink();
+    if (sink_ == nullptr) return;
+    start_ns_ = MonotonicNanos();
+  }
+  ~TraceSpan() { Finish(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+
+  // Attach a key/value to the span's args. No-ops when inactive.
+  void AddArg(std::string_view key, uint64_t value);
+  void AddArg(std::string_view key, std::string_view value);
+
+  // Ends the span and records it (the destructor then does nothing).
+  void Finish();
+
+ private:
+  const char* name_;
+  const char* category_;
+  TraceSink* sink_ = nullptr;
+  uint64_t start_ns_ = 0;
+  std::string args_json_;
+};
+
+}  // namespace fts::obs
+
+#endif  // FTS_OBS_TRACE_H_

@@ -1,12 +1,18 @@
 #include "fts/plan/physical_plan.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
+#include <optional>
 
 #include "fts/common/string_util.h"
+#include "fts/common/timer.h"
 #include "fts/exec/parallel_scan.h"
 #include "fts/exec/task_pool.h"
 #include "fts/jit/jit_scan_engine.h"
+#include "fts/obs/trace.h"
+#include "fts/perf/branch_predictor.h"
+#include "fts/perf/perf_counters.h"
 #include "fts/scan/table_scan.h"
 
 namespace fts {
@@ -229,9 +235,120 @@ StatusOr<TableMatches> RunStep(const TablePtr& table,
   return RefineMatches(table, step.spec, *previous);
 }
 
+// Operator name used by both Explain() and the ANALYZE renderer.
+const char* StepOpName(const PhysicalPlan::ScanStep& step) {
+  return (step.spec.predicates.size() > 1 || step.engine == ScanEngine::kJit)
+             ? "FusedTableScan"
+             : "TableScan";
+}
+
+// --- Scan counter collection ----------------------------------------------
+
+// Lanes the fused-branch replay models for the executed engine; 0 selects
+// the SISD (tuple-at-a-time) replay. The scalar fused kernel keeps the
+// fused control structure at the narrowest width, so it maps to 4 lanes.
+int ReplayLanesFor(const EngineChoice& choice) {
+  switch (choice.engine) {
+    case ScanEngine::kSisdNoVec:
+    case ScanEngine::kSisdAutoVec:
+    case ScanEngine::kBlockwise:
+      return 0;
+    case ScanEngine::kScalarFused:
+    case ScanEngine::kAvx2Fused128:
+    case ScanEngine::kAvx512Fused128:
+      return 4;
+    case ScanEngine::kAvx512Fused256:
+      return 8;
+    case ScanEngine::kAvx512Fused512:
+      return 16;
+    case ScanEngine::kJit:
+      return choice.jit_register_bits == 0 ? 16
+                                           : choice.jit_register_bits / 32;
+  }
+  return 0;
+}
+
+// Replays the first scan step's branch trace through a gshare predictor
+// (the closest simple model to the hardware the paper measured) and fills
+// `report->counters` labelled as simulated. O(rows) — only called when the
+// plan asked for counters and the PMU was unavailable.
+void SimulateScanCounters(const PhysicalPlan& plan, ExecutionReport* report) {
+  if (plan.scan_steps.empty()) return;
+  const StatusOr<TableScanner> scanner =
+      TableScanner::Prepare(plan.table, plan.scan_steps[0].spec);
+  if (!scanner.ok()) return;
+  GsharePredictor predictor;
+  const int lanes = ReplayLanesFor(report->executed);
+  uint64_t branches = 0;
+  uint64_t misses = 0;
+  for (const TableScanner::ChunkPlan& chunk : scanner->chunk_plans()) {
+    if (chunk.impossible || chunk.row_count == 0 || chunk.stages.empty()) {
+      continue;
+    }
+    const BranchStats stats =
+        lanes == 0
+            ? ReplaySisdScanBranches(chunk.stages.data(), chunk.stages.size(),
+                                     chunk.row_count, predictor)
+            : ReplayFusedScanBranches(chunk.stages.data(),
+                                      chunk.stages.size(), chunk.row_count,
+                                      lanes, predictor);
+    branches += stats.branches;
+    misses += stats.mispredictions;
+  }
+  report->counters.source = CounterSource::kSimulated;
+  report->counters.detail =
+      lanes == 0 ? std::string("gshare replay, sisd loop")
+                 : StrFormat("gshare replay, %d-lane fused", lanes);
+  report->counters.branches = branches;
+  report->counters.branch_misses = misses;
+}
+
+// Arms the PMU (when requested and available) for the duration of the
+// first scan step. Finish() stops and reads it; when no hardware read
+// happened the caller falls back to the simulator.
+class ScanCounterScope {
+ public:
+  explicit ScanCounterScope(bool enabled) {
+    if (!enabled || !HardwareCountersAvailable()) return;
+    StatusOr<PerfCounterGroup> opened = PerfCounterGroup::Open(
+        {HwEvent::kCycles, HwEvent::kInstructions, HwEvent::kBranches,
+         HwEvent::kBranchMisses});
+    if (!opened.ok()) return;
+    group_.emplace(std::move(opened).value());
+    if (!group_->Start().ok()) group_.reset();
+  }
+
+  bool Finish(ExecutionReport* report) {
+    if (!group_.has_value()) return false;
+    if (!group_->Stop().ok()) return false;
+    const StatusOr<std::vector<uint64_t>> values = group_->Read();
+    group_.reset();
+    if (!values.ok() || values->size() != 4) return false;
+    report->counters.source = CounterSource::kHardware;
+    report->counters.detail = "perf_event_open";
+    report->counters.cycles = (*values)[0];
+    report->counters.instructions = (*values)[1];
+    report->counters.branches = (*values)[2];
+    report->counters.branch_misses = (*values)[3];
+    return true;
+  }
+
+ private:
+  std::optional<PerfCounterGroup> group_;
+};
+
+// Stops the PMU after the first scan step (or replays the simulator) and
+// records provenance. No-op when the plan did not ask for counters.
+void FinishCounters(const PhysicalPlan& plan, ScanCounterScope* scope,
+                    ExecutionReport* report) {
+  if (scope->Finish(report)) return;
+  if (plan.collect_counters) SimulateScanCounters(plan, report);
+}
+
 }  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
+  if (!explain_text.empty()) return explain_text;
   std::string out;
   if (count.has_value()) {
     return StrFormat("COUNT(*) = %llu\n",
@@ -274,11 +391,7 @@ std::string PhysicalPlan::Explain() const {
   for (size_t i = scan_steps.size(); i-- > 0;) {
     const ScanStep& step = scan_steps[i];
     out += std::string(static_cast<size_t>(depth) * 2, ' ');
-    const char* op_name =
-        (step.spec.predicates.size() > 1 || step.engine == ScanEngine::kJit)
-            ? "FusedTableScan"
-            : "TableScan";
-    out += StrFormat("%s [%s]: %s\n", op_name,
+    out += StrFormat("%s [%s]: %s\n", StepOpName(step),
                      ScanEngineToString(step.engine),
                      step.spec.ToString().c_str());
     ++depth;
@@ -322,11 +435,20 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
       plan.scan_steps.size() == 1) {
     QueryResult result;
     const PhysicalPlan::ScanStep& step = plan.scan_steps[0];
+    ExecutionReport& report = result.execution_report;
+    ScanCounterScope counters(plan.collect_counters);
+    Stopwatch timer;
     const StatusOr<uint64_t> count =
         RunFirstStepCount(plan.table, step, plan.fallback,
-                          ResolveStepThreads(plan, step),
-                          &result.execution_report);
+                          ResolveStepThreads(plan, step), &report);
+    const double millis = timer.ElapsedMillis();
     FTS_RETURN_IF_ERROR(count.status());
+    FinishCounters(plan, &counters, &report);
+    report.rows_matched = *count;
+    report.scan_millis = millis;
+    report.stages.push_back(StageReport{
+        StrFormat("%s [%s]", StepOpName(step), report.executed.ToString().c_str()),
+        report.rows_scanned, *count, millis});
     result.matched_rows = *count;
     result.count = *count;
     result.column_names = {"count"};
@@ -334,12 +456,24 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   }
 
   ExecutionReport report;
+  ScanCounterScope counters(plan.collect_counters);
   std::optional<TableMatches> matches;
   for (const PhysicalPlan::ScanStep& step : plan.scan_steps) {
+    const bool first = !matches.has_value();
+    const uint64_t rows_in = first ? 0 : matches->TotalMatches();
+    Stopwatch timer;
     FTS_ASSIGN_OR_RETURN(
         TableMatches next,
         RunStep(plan.table, step, matches, plan.fallback,
                 ResolveStepThreads(plan, step), &report));
+    const double millis = timer.ElapsedMillis();
+    if (first) FinishCounters(plan, &counters, &report);
+    report.scan_millis += millis;
+    report.stages.push_back(StageReport{
+        first ? StrFormat("%s [%s]", StepOpName(step),
+                          report.executed.ToString().c_str())
+              : StrFormat("Refine: %s", step.spec.ToString().c_str()),
+        first ? report.rows_scanned : rows_in, next.TotalMatches(), millis});
     matches = std::move(next);
   }
   // No scan steps: every row matches.
@@ -360,22 +494,28 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   }
 
   QueryResult result;
+  report.rows_matched = matches->TotalMatches();
   result.execution_report = std::move(report);
-  result.matched_rows = matches->TotalMatches();
+  result.matched_rows = result.execution_report.rows_matched;
   if (plan.output == PhysicalPlan::Output::kCountStar) {
     result.count = result.matched_rows;
     result.column_names = {"count"};
     return result;
   }
   if (plan.output == PhysicalPlan::Output::kAggregate) {
+    Stopwatch aggregate_timer;
     result.rows.push_back(
         ComputeAggregates(*plan.table, *matches, plan.aggregate_items));
     for (const AggregateItem& item : plan.aggregate_items) {
       result.column_names.push_back(item.ToString());
     }
+    result.execution_report.stages.push_back(
+        StageReport{"Aggregate", result.matched_rows, 1,
+                    aggregate_timer.ElapsedMillis()});
     return result;
   }
 
+  Stopwatch project_timer;
   result.column_names = plan.projection_names;
   result.rows.reserve(result.matched_rows);
   for (const ChunkMatches& chunk_matches : matches->chunks) {
@@ -405,7 +545,134 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   if (plan.limit.has_value() && result.rows.size() > *plan.limit) {
     result.rows.resize(*plan.limit);
   }
+  result.execution_report.stages.push_back(
+      StageReport{"Project", result.matched_rows, result.rows.size(),
+                  project_timer.ElapsedMillis()});
   return result;
+}
+
+std::string RenderExplainAnalyze(const PhysicalPlan& plan,
+                                 const QueryResult& result) {
+  const ExecutionReport& report = result.execution_report;
+  std::string out;
+
+  // Output node with its actuals (the trailing stage when one exists).
+  const StageReport* output_stage = nullptr;
+  if (report.stages.size() > plan.scan_steps.size()) {
+    output_stage = &report.stages.back();
+  }
+  if (plan.output == PhysicalPlan::Output::kCountStar) {
+    out += StrFormat("CountAggregate  (count=%llu)\n",
+                     static_cast<unsigned long long>(
+                         result.count.value_or(result.matched_rows)));
+  } else if (plan.output == PhysicalPlan::Output::kAggregate) {
+    std::vector<std::string> parts;
+    parts.reserve(plan.aggregate_items.size());
+    for (const AggregateItem& item : plan.aggregate_items) {
+      parts.push_back(item.ToString());
+    }
+    out += "Aggregate: " + Join(parts, ", ");
+    if (output_stage != nullptr) {
+      out += StrFormat("  (actual rows in=%llu, time=%.3f ms)",
+                       static_cast<unsigned long long>(output_stage->rows_in),
+                       output_stage->millis);
+    }
+    out += "\n";
+  } else {
+    out += "Project: " + Join(plan.projection_names, ", ");
+    if (output_stage != nullptr) {
+      out += StrFormat("  (actual rows=%llu, time=%.3f ms)",
+                       static_cast<unsigned long long>(output_stage->rows_out),
+                       output_stage->millis);
+    }
+    out += "\n";
+  }
+
+  int depth = 1;
+  if (plan.empty_result) {
+    out += "  EmptyResult (contradictory predicates, nothing scanned)\n";
+    out += StrFormat("    GetTable: %s\n", plan.table_name.c_str());
+    return out;
+  }
+
+  for (size_t i = plan.scan_steps.size(); i-- > 0;) {
+    const PhysicalPlan::ScanStep& step = plan.scan_steps[i];
+    const std::string indent(static_cast<size_t>(depth) * 2, ' ');
+    out += indent;
+    out += StrFormat("%s [%s]: %s\n", StepOpName(step),
+                     ScanEngineToString(step.engine),
+                     step.spec.ToString().c_str());
+    if (i < report.stages.size()) {
+      const StageReport& stage = report.stages[i];
+      out += indent;
+      out += StrFormat("  actual: rows in=%llu out=%llu, time=%.3f ms",
+                       static_cast<unsigned long long>(stage.rows_in),
+                       static_cast<unsigned long long>(stage.rows_out),
+                       stage.millis);
+      if (i == 0) {
+        out += StrFormat(", executed=%s%s",
+                         report.executed.ToString().c_str(),
+                         report.degraded ? " [degraded]" : "");
+      }
+      out += "\n";
+    }
+    if (i == 0) {
+      // First (full-chunk) step: morsel/worker attribution and JIT status.
+      if (report.morsel_count > 0) {
+        out += indent;
+        out += StrFormat("  parallel: workers=%d morsels=%zu engines={",
+                         report.worker_count, report.morsel_count);
+        // Engine mix over morsels, in first-seen order.
+        std::vector<std::pair<std::string, size_t>> mix;
+        for (const EngineChoice& choice : report.morsel_choices) {
+          const std::string name = choice.ToString();
+          bool found = false;
+          for (auto& [mix_name, mix_count] : mix) {
+            if (mix_name == name) {
+              ++mix_count;
+              found = true;
+            }
+          }
+          if (!found) mix.emplace_back(name, 1);
+        }
+        std::vector<std::string> parts;
+        parts.reserve(mix.size());
+        for (const auto& [name, count] : mix) {
+          parts.push_back(StrFormat("%s x%zu", name.c_str(), count));
+        }
+        out += Join(parts, ", ") + "}\n";
+      }
+      if (report.jit_cache_hits + report.jit_cache_misses > 0) {
+        out += indent;
+        out += StrFormat("  jit: cache %llu hit / %llu miss",
+                         static_cast<unsigned long long>(report.jit_cache_hits),
+                         static_cast<unsigned long long>(
+                             report.jit_cache_misses));
+        if (report.jit_compile_millis > 0.0) {
+          out += StrFormat(", compile=%.3f ms", report.jit_compile_millis);
+        }
+        out += "\n";
+      }
+    }
+    ++depth;
+  }
+
+  out += std::string(static_cast<size_t>(depth) * 2, ' ');
+  out += StrFormat("GetTable: %s  (chunks=%zu", plan.table_name.c_str(),
+                   report.chunks_total);
+  if (report.chunks_pruned > 0 || report.stages_dropped > 0) {
+    out += StrFormat(", pruned=%zu", report.chunks_pruned);
+    if (report.stages_dropped > 0) {
+      out += StrFormat(", stages dropped=%zu", report.stages_dropped);
+    }
+    out += StrFormat(", ~%llu bytes skipped",
+                     static_cast<unsigned long long>(report.bytes_skipped));
+  }
+  out += StrFormat(", rows scanned=%llu)\n",
+                   static_cast<unsigned long long>(report.rows_scanned));
+
+  out += report.counters.ToString() + "\n";
+  return out;
 }
 
 }  // namespace fts

@@ -26,6 +26,9 @@ struct QueryResult {
   // Which scan engine actually ran and why it was (or was not) demoted
   // from the requested one — see FallbackPolicy in fts/scan/scan_engine.h.
   ExecutionReport execution_report;
+  // Non-empty for EXPLAIN / EXPLAIN ANALYZE: the rendered (annotated)
+  // plan. ToString() returns it verbatim in that case.
+  std::string explain_text;
 
   // Renders a small result table (examples/debugging).
   std::string ToString(size_t max_rows = 20) const;
@@ -59,6 +62,12 @@ struct PhysicalPlan {
   // are byte-identical for every value.
   int threads = 0;
 
+  // Collect per-scan microarchitectural counters into the report: a PMU
+  // read (perf_event_open) when the host exposes one, else a
+  // branch-predictor-simulator replay of the first scan step. The
+  // simulator is O(rows), so this is opt-in (EXPLAIN ANALYZE sets it).
+  bool collect_counters = false;
+
   enum class Output : uint8_t { kCountStar, kAggregate, kProject };
   Output output = Output::kCountStar;
   // Set when the optimizer proved the conjunction contradictory: the plan
@@ -81,6 +90,14 @@ struct PhysicalPlan {
 // Runs the plan. The first step scans full chunks; subsequent steps refine
 // the surviving position lists tuple-at-a-time.
 StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan);
+
+// Renders the physical plan annotated with the actuals recorded in
+// `result.execution_report`: per-stage rows and wall time, the engine per
+// morsel, zone-map pruning, JIT compile/cache status, and — when collected
+// — branch-miss/cycle counters with their source labelled. This is the
+// body of EXPLAIN ANALYZE output.
+std::string RenderExplainAnalyze(const PhysicalPlan& plan,
+                                 const QueryResult& result);
 
 }  // namespace fts
 

@@ -2,6 +2,7 @@
 
 #include "fts/common/cpu_info.h"
 #include "fts/common/string_util.h"
+#include "fts/obs/metrics.h"
 
 namespace fts {
 
@@ -75,6 +76,85 @@ bool ScanEngineAvailable(ScanEngine engine) {
   return false;
 }
 
+const char* CounterSourceToString(CounterSource source) {
+  switch (source) {
+    case CounterSource::kUnavailable:
+      return "unavailable";
+    case CounterSource::kHardware:
+      return "hardware";
+    case CounterSource::kSimulated:
+      return "simulated";
+  }
+  return "?";
+}
+
+std::string ScanCounters::ToString() const {
+  if (source == CounterSource::kUnavailable) return "counters: unavailable";
+  std::string out = StrFormat("counters (%s", CounterSourceToString(source));
+  if (!detail.empty()) out += ", " + detail;
+  out += "):";
+  if (cycles > 0) {
+    out += StrFormat(" cycles=%llu", static_cast<unsigned long long>(cycles));
+  }
+  if (instructions > 0) {
+    out += StrFormat(" instructions=%llu",
+                     static_cast<unsigned long long>(instructions));
+  }
+  out += StrFormat(" branches=%llu branch_misses=%llu",
+                   static_cast<unsigned long long>(branches),
+                   static_cast<unsigned long long>(branch_misses));
+  if (branches > 0) {
+    out += StrFormat(" (%.2f%% missed)",
+                     100.0 * static_cast<double>(branch_misses) /
+                         static_cast<double>(branches));
+  }
+  return out;
+}
+
+// The per-engine name used in the metrics label: the short parseable
+// spelling from ParseScanEngine, not the display name.
+static const char* EngineLabel(ScanEngine engine) {
+  switch (engine) {
+    case ScanEngine::kSisdNoVec:
+      return "sisd-novec";
+    case ScanEngine::kSisdAutoVec:
+      return "sisd-autovec";
+    case ScanEngine::kScalarFused:
+      return "scalar-fused";
+    case ScanEngine::kAvx2Fused128:
+      return "avx2-128";
+    case ScanEngine::kAvx512Fused128:
+      return "avx512-128";
+    case ScanEngine::kAvx512Fused256:
+      return "avx512-256";
+    case ScanEngine::kAvx512Fused512:
+      return "avx512-512";
+    case ScanEngine::kBlockwise:
+      return "blockwise";
+    case ScanEngine::kJit:
+      return "jit";
+  }
+  return "unknown";
+}
+
+obs::Counter* EngineExecutionCounter(ScanEngine engine) {
+  // One-time resolution of all nine counters; after that a lookup is a
+  // bounds check and an array index.
+  static obs::Counter* const* counters = [] {
+    static obs::Counter* table[9];
+    for (int i = 0; i < 9; ++i) {
+      const auto e = static_cast<ScanEngine>(i);
+      table[i] = obs::MetricsRegistry::Global().GetCounter(
+          StrFormat("fts_engine_executions_total{engine=\"%s\"}",
+                    EngineLabel(e)),
+          "Chunk executions per scan engine");
+    }
+    return table;
+  }();
+  const auto index = static_cast<size_t>(engine);
+  return counters[index < 9 ? index : 0];
+}
+
 const char* FallbackPolicyToString(FallbackPolicy policy) {
   switch (policy) {
     case FallbackPolicy::kStrict:
@@ -113,6 +193,23 @@ std::string ExecutionReport::ToString() const {
     }
     out += StrFormat(" (~%llu bytes skipped)",
                      static_cast<unsigned long long>(bytes_skipped));
+  }
+  if (rows_scanned > 0) {
+    out += StrFormat(" rows=%llu matched=%llu",
+                     static_cast<unsigned long long>(rows_scanned),
+                     static_cast<unsigned long long>(rows_matched));
+  }
+  if (jit_cache_hits + jit_cache_misses > 0) {
+    out += StrFormat(" jit_cache=%llu/%llu hit",
+                     static_cast<unsigned long long>(jit_cache_hits),
+                     static_cast<unsigned long long>(
+                         jit_cache_hits + jit_cache_misses));
+    if (jit_compile_millis > 0.0) {
+      out += StrFormat(" compile=%.2fms", jit_compile_millis);
+    }
+  }
+  if (counters.source != CounterSource::kUnavailable) {
+    out += "\n  " + counters.ToString();
   }
   for (const EngineAttempt& attempt : attempts) {
     out += StrFormat("\n  %s: %s", attempt.choice.ToString().c_str(),

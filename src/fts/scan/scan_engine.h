@@ -66,6 +66,44 @@ struct EngineAttempt {
   Status status;
 };
 
+// Where a scan's cycle/branch counters came from. kHardware means a real
+// PMU read via perf_event_open; kSimulated means the branch-predictor
+// simulator replayed the scan's branch stream (fts/perf/branch_predictor.h);
+// kUnavailable means neither ran (the default for untraced queries when
+// the PMU is inaccessible — the simulator is O(rows) and only runs when
+// counter collection is explicitly requested).
+enum class CounterSource : uint8_t {
+  kUnavailable = 0,
+  kHardware,
+  kSimulated,
+};
+
+const char* CounterSourceToString(CounterSource source);
+
+// Per-scan microarchitectural counters with their provenance. Populated by
+// the plan executor (EXPLAIN ANALYZE, or any query when the PMU opens).
+struct ScanCounters {
+  CounterSource source = CounterSource::kUnavailable;
+  // Which PMU events or which simulator produced the numbers, e.g.
+  // "perf_event_open" or "gshare(14)".
+  std::string detail;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t branches = 0;
+  uint64_t branch_misses = 0;
+
+  std::string ToString() const;
+};
+
+// Wall time and row movement of one plan stage (scan step, refine step,
+// aggregation), for EXPLAIN ANALYZE rendering.
+struct StageReport {
+  std::string label;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  double millis = 0.0;
+};
+
 // Which engine a scan actually executed and why. Every QueryResult carries
 // one, so degradations are observable instead of silent.
 //
@@ -100,6 +138,23 @@ struct ExecutionReport {
   size_t chunks_pruned = 0;
   size_t stages_dropped = 0;
   uint64_t bytes_skipped = 0;
+  // Rows actually evaluated (pruned chunks excluded) and rows that matched
+  // every predicate. Filled by the plan executor.
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  // JIT attribution: wall time spent compiling inside this query (0 when
+  // every kernel came from the cache) and cache hit/miss counts across the
+  // query's chunk executions.
+  double jit_compile_millis = 0.0;
+  uint64_t jit_cache_hits = 0;
+  uint64_t jit_cache_misses = 0;
+  // Wall time of the scan stages alone (excludes parse/plan/aggregate).
+  double scan_millis = 0.0;
+  // Per-stage breakdown for EXPLAIN ANALYZE; one entry per executed plan
+  // stage in execution order.
+  std::vector<StageReport> stages;
+  // Microarchitectural counters for the first scan stage, when collected.
+  ScanCounters counters;
 
   void RecordFailure(const EngineChoice& choice, const Status& status) {
     attempts.push_back({choice, status});
@@ -123,6 +178,17 @@ struct ExecutionReport {
 // rungs when `requested` is kJit (narrower widths follow).
 std::vector<EngineChoice> DegradationLadder(ScanEngine requested,
                                             int jit_register_bits);
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+// Global per-engine execution counter
+// (`fts_engine_executions_total{engine="..."}` in the metrics registry).
+// Lives here rather than in fts/obs because obs cannot see the ScanEngine
+// enum without an upward dependency. Pointers are resolved once and
+// cached, so hot paths pay one array index plus a striped atomic add.
+obs::Counter* EngineExecutionCounter(ScanEngine engine);
 
 }  // namespace fts
 

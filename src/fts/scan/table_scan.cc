@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "fts/common/string_util.h"
+#include "fts/obs/metrics.h"
+#include "fts/obs/trace.h"
 #include "fts/scan/sisd_scan.h"
 #include "fts/simd/dispatch.h"
 #include "fts/storage/bitpacked_column.h"
@@ -190,6 +192,16 @@ size_t BlockwiseScan(const std::vector<ScanStage>& stages, size_t row_count,
   return count;
 }
 
+// Process-lifetime accounting for one chunk execution. The fused path of
+// ExecuteChunkCount delegates to ExecuteChunk, so only ExecuteChunk and the
+// SISD count fast paths call this — each chunk is counted exactly once.
+void RecordChunkExecution(ScanEngine engine, size_t rows, size_t matches) {
+  const obs::EngineMetrics& metrics = obs::Metrics();
+  metrics.rows_scanned_total->Add(rows);
+  metrics.rows_emitted_total->Add(matches);
+  EngineExecutionCounter(engine)->Increment();
+}
+
 }  // namespace
 
 StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
@@ -283,23 +295,38 @@ StatusOr<size_t> TableScanner::ExecuteChunk(ScanEngine engine,
   }
   const ChunkPlan& plan = chunk_plans_[chunk_id];
   if (plan.impossible || plan.row_count == 0) return size_t{0};
+  obs::TraceSpan span("scan_chunk", "scan");
+  size_t count;
   if (plan.stages.empty()) {
     std::iota(out, out + plan.row_count, ChunkOffset{0});
-    return plan.row_count;
+    count = plan.row_count;
+  } else {
+    switch (engine) {
+      case ScanEngine::kSisdNoVec:
+        count = SisdScanNoVecCollect(plan.stages.data(), plan.stages.size(),
+                                     plan.row_count, out);
+        break;
+      case ScanEngine::kSisdAutoVec:
+        count = SisdScanAutoVecCollect(plan.stages.data(), plan.stages.size(),
+                                       plan.row_count, out);
+        break;
+      case ScanEngine::kBlockwise:
+        count = BlockwiseScan(plan.stages, plan.row_count, out);
+        break;
+      default:
+        count = FusedFnForEngine(engine)(plan.stages.data(),
+                                         plan.stages.size(), plan.row_count,
+                                         out);
+    }
   }
-  switch (engine) {
-    case ScanEngine::kSisdNoVec:
-      return SisdScanNoVecCollect(plan.stages.data(), plan.stages.size(),
-                                  plan.row_count, out);
-    case ScanEngine::kSisdAutoVec:
-      return SisdScanAutoVecCollect(plan.stages.data(), plan.stages.size(),
-                                    plan.row_count, out);
-    case ScanEngine::kBlockwise:
-      return BlockwiseScan(plan.stages, plan.row_count, out);
-    default:
-      return FusedFnForEngine(engine)(plan.stages.data(), plan.stages.size(),
-                                      plan.row_count, out);
+  RecordChunkExecution(engine, plan.row_count, count);
+  if (span.active()) {
+    span.AddArg("chunk", static_cast<uint64_t>(chunk_id));
+    span.AddArg("engine", ScanEngineToString(engine));
+    span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
+    span.AddArg("matches", static_cast<uint64_t>(count));
   }
+  return count;
 }
 
 StatusOr<uint64_t> TableScanner::ExecuteChunkCount(ScanEngine engine,
@@ -312,16 +339,29 @@ StatusOr<uint64_t> TableScanner::ExecuteChunkCount(ScanEngine engine,
   }
   const ChunkPlan& plan = chunk_plans_[chunk_id];
   if (plan.impossible || plan.row_count == 0) return uint64_t{0};
-  if (plan.stages.empty()) return plan.row_count;
+  if (plan.stages.empty()) {
+    RecordChunkExecution(engine, plan.row_count, plan.row_count);
+    return plan.row_count;
+  }
   // The SISD engines count without materializing — the paper's Section II
   // baseline loop.
-  if (engine == ScanEngine::kSisdNoVec) {
-    return SisdScanNoVecCount(plan.stages.data(), plan.stages.size(),
-                              plan.row_count);
-  }
-  if (engine == ScanEngine::kSisdAutoVec) {
-    return SisdScanAutoVecCount(plan.stages.data(), plan.stages.size(),
-                                plan.row_count);
+  if (engine == ScanEngine::kSisdNoVec ||
+      engine == ScanEngine::kSisdAutoVec) {
+    obs::TraceSpan span("scan_chunk", "scan");
+    const uint64_t count =
+        engine == ScanEngine::kSisdNoVec
+            ? SisdScanNoVecCount(plan.stages.data(), plan.stages.size(),
+                                 plan.row_count)
+            : SisdScanAutoVecCount(plan.stages.data(), plan.stages.size(),
+                                   plan.row_count);
+    RecordChunkExecution(engine, plan.row_count, count);
+    if (span.active()) {
+      span.AddArg("chunk", static_cast<uint64_t>(chunk_id));
+      span.AddArg("engine", ScanEngineToString(engine));
+      span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
+      span.AddArg("matches", count);
+    }
+    return count;
   }
   PosList scratch(plan.row_count + kScanOutputSlack);
   return ExecuteChunk(engine, chunk_id, scratch.data());
@@ -364,6 +404,21 @@ void FillPruningReport(const TableScanner& scanner, ExecutionReport* report) {
   report->chunks_pruned = pruning.chunks_pruned;
   report->stages_dropped = pruning.stages_dropped;
   report->bytes_skipped = pruning.bytes_skipped;
+  uint64_t rows_scanned = 0;
+  for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
+    if (!plan.impossible) rows_scanned += plan.row_count;
+  }
+  report->rows_scanned = rows_scanned;
+  // Each execution path fills its report exactly once per scan, so this is
+  // also where pruning lands in the process-lifetime registry.
+  const obs::EngineMetrics& metrics = obs::Metrics();
+  metrics.scans_total->Increment();
+  if (pruning.chunks_pruned > 0) {
+    metrics.chunks_pruned_total->Add(pruning.chunks_pruned);
+  }
+  if (pruning.stages_dropped > 0) {
+    metrics.stages_dropped_total->Add(pruning.stages_dropped);
+  }
 }
 
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

@@ -31,7 +31,9 @@ std::string AggregateItem::ToString() const {
 }
 
 std::string SelectStatement::ToString() const {
-  std::string out = "SELECT ";
+  std::string out;
+  if (explain) out += analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ";
+  out += "SELECT ";
   if (!aggregates.empty()) {
     std::vector<std::string> parts;
     parts.reserve(aggregates.size());

@@ -46,6 +46,10 @@ struct AggregateItem {
 //   [WHERE pred AND pred AND ...]
 //   [ORDER BY col [ASC|DESC]] [LIMIT n] [;]
 struct SelectStatement {
+  // EXPLAIN prefix: render the plan instead of (explain) or in addition to
+  // (explain + analyze, which executes and annotates with actuals).
+  bool explain = false;
+  bool analyze = false;
   bool count_star = false;  // True iff aggregates == {COUNT(*)}.
   bool select_all = false;  // SELECT *
   std::vector<std::string> columns;        // Plain projection list.

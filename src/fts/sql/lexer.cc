@@ -32,6 +32,8 @@ TokenType KeywordOrIdentifier(const std::string& word) {
   if (upper == "ASC") return TokenType::kAsc;
   if (upper == "DESC") return TokenType::kDesc;
   if (upper == "LIMIT") return TokenType::kLimit;
+  if (upper == "EXPLAIN") return TokenType::kExplain;
+  if (upper == "ANALYZE") return TokenType::kAnalyze;
   return TokenType::kIdentifier;
 }
 
@@ -99,6 +101,10 @@ const char* TokenTypeToString(TokenType type) {
       return "DESC";
     case TokenType::kLimit:
       return "LIMIT";
+    case TokenType::kExplain:
+      return "EXPLAIN";
+    case TokenType::kAnalyze:
+      return "ANALYZE";
     case TokenType::kEndOfInput:
       return "end of input";
   }

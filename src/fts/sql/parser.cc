@@ -13,6 +13,14 @@ class Parser {
 
   StatusOr<SelectStatement> Parse() {
     SelectStatement statement;
+    if (Peek().type == TokenType::kExplain) {
+      Advance();
+      statement.explain = true;
+      if (Peek().type == TokenType::kAnalyze) {
+        Advance();
+        statement.analyze = true;
+      }
+    }
     FTS_RETURN_IF_ERROR(Expect(TokenType::kSelect));
     FTS_RETURN_IF_ERROR(ParseProjection(&statement));
     FTS_RETURN_IF_ERROR(Expect(TokenType::kFrom));

@@ -38,6 +38,8 @@ enum class TokenType : uint8_t {
   kAsc,
   kDesc,
   kLimit,
+  kExplain,
+  kAnalyze,
   kEndOfInput,
 };
 

@@ -1,6 +1,7 @@
 #include "fts/storage/table_builder.h"
 
 #include "fts/common/string_util.h"
+#include "fts/obs/metrics.h"
 #include "fts/simd/zone_map_builder.h"
 #include "fts/storage/bitpacked_column.h"
 #include "fts/storage/dictionary_column.h"
@@ -105,8 +106,12 @@ void TableBuilder::FlushBufferedChunk() {
         buffers_[c]);
   }
   std::vector<ZoneMap> zones = BuildZoneMaps(columns);
+  const size_t rows = columns.front()->size();
   chunks_.push_back(
       std::make_shared<Chunk>(std::move(columns), std::move(zones)));
+  const obs::EngineMetrics& metrics = obs::Metrics();
+  metrics.rows_ingested_total->Add(rows);
+  metrics.chunks_built_total->Increment();
   ResetBuffers();
 }
 
@@ -129,8 +134,12 @@ Status TableBuilder::AddChunk(std::vector<ColumnPtr> columns) {
   }
   FlushBufferedChunk();
   std::vector<ZoneMap> zones = BuildZoneMaps(columns);
+  const size_t rows = columns.front()->size();
   chunks_.push_back(
       std::make_shared<Chunk>(std::move(columns), std::move(zones)));
+  const obs::EngineMetrics& metrics = obs::Metrics();
+  metrics.rows_ingested_total->Add(rows);
+  metrics.chunks_built_total->Increment();
   return Status::Ok();
 }
 

@@ -1,0 +1,194 @@
+// Tests for EXPLAIN / EXPLAIN ANALYZE: parser flags, plan-only routing,
+// and the annotated plan's agreement with the query's ExecutionReport.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fts/common/string_util.h"
+#include "fts/db/database.h"
+#include "fts/sql/parser.h"
+#include "fts/storage/data_generator.h"
+
+namespace fts {
+namespace {
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScanTableOptions options;
+    options.rows = 50000;
+    options.selectivities = {0.1, 0.5};
+    options.seed = 314;
+    // Multiple chunks so the parallel/pruning annotations have structure.
+    options.chunk_size = 10000;
+    generated_ = MakeScanTable(options);
+    ASSERT_TRUE(db_.RegisterTable("tbl", generated_.table).ok());
+  }
+
+  Database db_;
+  GeneratedScanTable generated_;
+};
+
+TEST(ExplainParserTest, ParsesExplainPrefixes) {
+  const auto plain = ParseSelect("SELECT COUNT(*) FROM t WHERE a = 1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->explain);
+  EXPECT_FALSE(plain->analyze);
+
+  const auto explain = ParseSelect("EXPLAIN SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_TRUE(explain->explain);
+  EXPECT_FALSE(explain->analyze);
+
+  const auto analyze =
+      ParseSelect("explain analyze SELECT c0 FROM t WHERE a = 1");
+  ASSERT_TRUE(analyze.ok());
+  EXPECT_TRUE(analyze->explain);
+  EXPECT_TRUE(analyze->analyze);
+  EXPECT_EQ(analyze->ToString().rfind("EXPLAIN ANALYZE SELECT", 0), 0u);
+
+  // ANALYZE without EXPLAIN is not a statement.
+  EXPECT_FALSE(ParseSelect("ANALYZE SELECT COUNT(*) FROM t").ok());
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainPlansWithoutExecuting) {
+  const auto result =
+      db_.Query("EXPLAIN SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->explain_text.empty());
+  EXPECT_NE(result->explain_text.find("Logical plan"), std::string::npos);
+  EXPECT_NE(result->explain_text.find("Physical plan"), std::string::npos);
+  // Nothing executed: no count, no rows, default report.
+  EXPECT_FALSE(result->count.has_value());
+  EXPECT_EQ(result->matched_rows, 0u);
+  EXPECT_TRUE(result->execution_report.attempts.empty());
+  // ToString returns the rendered plan verbatim.
+  EXPECT_EQ(result->ToString(), result->explain_text);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeExecutesAndAnnotates) {
+  const std::string sql =
+      "EXPLAIN ANALYZE SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2";
+  const auto result = db_.Query(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExecutionReport& report = result->execution_report;
+  const std::string& text = result->explain_text;
+  ASSERT_FALSE(text.empty());
+
+  // The query really ran and matches ground truth.
+  ASSERT_TRUE(result->count.has_value());
+  EXPECT_EQ(*result->count, generated_.stage_matches.back());
+  EXPECT_FALSE(report.attempts.empty());
+
+  // The rendered actuals agree with the ExecutionReport, field by field.
+  EXPECT_NE(text.find(StrFormat("count=%llu",
+                                static_cast<unsigned long long>(
+                                    *result->count))),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(StrFormat(
+                "rows in=%llu",
+                static_cast<unsigned long long>(report.rows_scanned))),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(StrFormat(
+                "rows scanned=%llu",
+                static_cast<unsigned long long>(report.rows_scanned))),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(StrFormat("chunks=%zu", report.chunks_total)),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("executed=" + report.executed.ToString()),
+            std::string::npos)
+      << text;
+
+  // EXPLAIN ANALYZE collects counters; the source is always labelled.
+  EXPECT_NE(report.counters.source, CounterSource::kUnavailable);
+  EXPECT_NE(text.find("counters ("), std::string::npos) << text;
+  EXPECT_NE(text.find(CounterSourceToString(report.counters.source)),
+            std::string::npos)
+      << text;
+
+  // Stage table: the COUNT(*) fast path runs as one fused scan stage
+  // whose output is the match count.
+  ASSERT_FALSE(report.stages.empty());
+  EXPECT_EQ(report.stages.front().rows_in, report.rows_scanned);
+  EXPECT_EQ(report.stages.back().rows_out, *result->count);
+}
+
+TEST_F(ExplainAnalyzeTest, PlainQueryCollectsNoCounters) {
+  const auto result =
+      db_.Query("SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->explain_text.empty());
+  // Counter collection is opt-in (the simulator is O(rows)).
+  EXPECT_EQ(result->execution_report.counters.source,
+            CounterSource::kUnavailable);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeProjectionQuery) {
+  const auto result = db_.Query(
+      "EXPLAIN ANALYZE SELECT c0, c1 FROM tbl WHERE c0 = 5 AND c1 = 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string& text = result->explain_text;
+  EXPECT_NE(text.find("Project"), std::string::npos) << text;
+  EXPECT_NE(text.find(StrFormat(
+                "actual rows=%llu",
+                static_cast<unsigned long long>(result->matched_rows))),
+            std::string::npos)
+      << text;
+  // Projection results still materialize alongside the annotation.
+  EXPECT_EQ(result->rows.size(), result->matched_rows);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeParallelScanReportsWorkers) {
+  Database::QueryOptions options;
+  options.threads = 4;
+  const auto result = db_.Query(
+      "EXPLAIN ANALYZE SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2",
+      options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExecutionReport& report = result->execution_report;
+  EXPECT_EQ(report.worker_count, 4);
+  EXPECT_GT(report.morsel_count, 0u);
+  const std::string& text = result->explain_text;
+  EXPECT_NE(text.find(StrFormat("workers=%d morsels=%zu",
+                                report.worker_count, report.morsel_count)),
+            std::string::npos)
+      << text;
+  // Every morsel's engine shows up in the mix annotation.
+  EXPECT_NE(text.find("engines={"), std::string::npos) << text;
+  EXPECT_EQ(*result->count, generated_.stage_matches.back());
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeReportsZoneMapPruning) {
+  // c0 is non-negative in generated tables, so c0 = -1 prunes everything.
+  const auto result =
+      db_.Query("EXPLAIN ANALYZE SELECT COUNT(*) FROM tbl WHERE c0 = -1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExecutionReport& report = result->execution_report;
+  EXPECT_EQ(report.chunks_pruned, report.chunks_total);
+  EXPECT_EQ(*result->count, 0u);
+  EXPECT_NE(result->explain_text.find(
+                StrFormat("pruned=%zu", report.chunks_pruned)),
+            std::string::npos)
+      << result->explain_text;
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeMatchesPlainQueryResults) {
+  const std::string where = " FROM tbl WHERE c0 = 5 AND c1 = 2";
+  const auto plain = db_.Query("SELECT COUNT(*)" + where);
+  const auto analyzed = db_.Query("EXPLAIN ANALYZE SELECT COUNT(*)" + where);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(*plain->count, *analyzed->count);
+  EXPECT_EQ(plain->execution_report.rows_scanned,
+            analyzed->execution_report.rows_scanned);
+  EXPECT_EQ(plain->execution_report.chunks_total,
+            analyzed->execution_report.chunks_total);
+}
+
+}  // namespace
+}  // namespace fts

@@ -1,0 +1,232 @@
+// Tests for the obs metrics layer: striped counters under concurrency,
+// base-2 exponential histograms, and the registry's Prometheus/JSON
+// exposition.
+
+#include "fts/obs/metrics.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fts/obs/json_writer.h"
+#include "mini_json.h"
+
+namespace fts::obs {
+namespace {
+
+using fts::testing::JsonValue;
+using fts::testing::ParseJson;
+
+TEST(CounterTest, StartsAtZeroAndAdds) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, ConcurrentMixedAddsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter.Add(static_cast<uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Sum over t of (t+1) * kPerThread = kPerThread * kThreads*(kThreads+1)/2.
+  EXPECT_EQ(counter.Value(), kPerThread * kThreads * (kThreads + 1) / 2);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwo) {
+  // Bucket i holds values with bit_width == i: bucket 0 is exactly {0},
+  // bucket 1 is {1}, bucket 2 is [2,4), bucket 3 is [4,8), ...
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(10), 512u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), ~uint64_t{0});
+}
+
+TEST(HistogramTest, RecordsIntoCorrectBuckets) {
+  Histogram hist;
+  hist.Record(0);    // bucket 0
+  hist.Record(1);    // bucket 1
+  hist.Record(2);    // bucket 2
+  hist.Record(3);    // bucket 2
+  hist.Record(700);  // bucket 10 ([512, 1024))
+  EXPECT_EQ(hist.Count(), 5u);
+  EXPECT_EQ(hist.Sum(), 706u);
+  EXPECT_EQ(hist.BucketCount(0), 1u);
+  EXPECT_EQ(hist.BucketCount(1), 1u);
+  EXPECT_EQ(hist.BucketCount(2), 2u);
+  EXPECT_EQ(hist.BucketCount(10), 1u);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBucketError) {
+  Histogram hist;
+  for (uint64_t v = 1; v <= 1000; ++v) hist.Record(v);
+  // The histogram is exponential, so any percentile is within a factor of
+  // two of the exact order statistic.
+  const double p50 = hist.Percentile(50);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  const double p99 = hist.Percentile(99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  // Percentiles are monotone in p.
+  EXPECT_LE(hist.Percentile(10), hist.Percentile(50));
+  EXPECT_LE(hist.Percentile(50), hist.Percentile(90));
+  EXPECT_LE(hist.Percentile(90), hist.Percentile(100));
+}
+
+TEST(HistogramTest, EmptyAndReset) {
+  Histogram hist;
+  EXPECT_EQ(hist.Percentile(50), 0.0);
+  hist.Record(123);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Sum(), 0u);
+  EXPECT_EQ(hist.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      for (uint64_t i = 0; i < kPerThread; ++i) hist.Record(i % 1024);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.Count(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("fts_test_total", "help");
+  Counter* b = registry.GetCounter("fts_test_total");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("fts_test_micros");
+  Histogram* h2 = registry.GetHistogram("fts_test_micros");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("fts_widgets_total", "Widgets made")->Add(7);
+  registry.GetCounter("fts_labeled_total{kind=\"a\"}", "Labeled")->Add(1);
+  registry.GetCounter("fts_labeled_total{kind=\"b\"}")->Add(2);
+  Histogram* hist = registry.GetHistogram("fts_latency_micros", "Latency");
+  hist->Record(3);
+  hist->Record(300);
+
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP fts_widgets_total Widgets made\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fts_widgets_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fts_widgets_total 7\n"), std::string::npos);
+  // Labelled series: sample lines keep the labels, the family header is
+  // emitted once without them.
+  EXPECT_NE(text.find("fts_labeled_total{kind=\"a\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fts_labeled_total{kind=\"b\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("# TYPE fts_labeled_total{"), std::string::npos);
+  // Histogram exposition: cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("fts_latency_micros_bucket{le=\"4\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fts_latency_micros_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fts_latency_micros_sum 303\n"), std::string::npos);
+  EXPECT_NE(text.find("fts_latency_micros_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonDumpRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("fts_a_total")->Add(5);
+  registry.GetHistogram("fts_b_micros")->Record(100);
+
+  const auto parsed = ParseJson(registry.RenderJson());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* a = counters->Find("fts_a_total");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->number, 5.0);
+  const JsonValue* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* b = histograms->Find("fts_b_micros");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(b->Find("count"), nullptr);
+  EXPECT_EQ(b->Find("count")->number, 1.0);
+  ASSERT_NE(b->Find("p50"), nullptr);
+  EXPECT_GT(b->Find("p50")->number, 0.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("fts_x_total")->Add(9);
+  registry.GetHistogram("fts_y_micros")->Record(9);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("fts_x_total")->Value(), 0u);
+  EXPECT_EQ(registry.GetHistogram("fts_y_micros")->Count(), 0u);
+}
+
+TEST(EngineMetricsTest, GlobalInstanceResolves) {
+  const EngineMetrics& metrics = Metrics();
+  ASSERT_NE(metrics.queries_total, nullptr);
+  ASSERT_NE(metrics.jit_compile_micros, nullptr);
+  // Same call, same pointers (resolved once).
+  EXPECT_EQ(&Metrics(), &metrics);
+  // The instance is backed by the global registry.
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("fts_queries_total"),
+            metrics.queries_total);
+}
+
+TEST(JsonWriterTest, EscapesAndNests) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("s").String("a\"b\\c\nd");
+  json.Key("list").BeginArray().Number(1).Number(2.5).Bool(true).EndArray();
+  json.Key("n").Null();
+  json.EndObject();
+  const auto parsed = ParseJson(json.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->Find("s"), nullptr);
+  EXPECT_EQ(parsed->Find("s")->string, "a\"b\\c\nd");
+  ASSERT_NE(parsed->Find("list"), nullptr);
+  ASSERT_EQ(parsed->Find("list")->array.size(), 3u);
+  EXPECT_EQ(parsed->Find("list")->array[1].number, 2.5);
+}
+
+}  // namespace
+}  // namespace fts::obs

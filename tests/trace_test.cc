@@ -1,0 +1,248 @@
+// Tests for the obs tracing layer: span lifecycle and nesting, the
+// two-gate fast path, worker-thread attribution, and the Chrome-trace
+// JSON export (verified by round-tripping through an independent parser).
+
+#include "fts/obs/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mini_json.h"
+
+namespace fts::obs {
+namespace {
+
+using fts::testing::JsonValue;
+using fts::testing::ParseJson;
+
+// Every test detaches on exit so suites don't leak an active sink into
+// each other.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    DetachTraceSink();
+    SetTracingEnabled(true);
+  }
+};
+
+TEST_F(TraceTest, SpanRecordsIntoAttachedSink) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  {
+    TraceSpan span("unit_span", "test");
+    EXPECT_TRUE(span.active());
+  }
+  DetachTraceSink();
+  ASSERT_EQ(sink.size(), 1u);
+  const TraceEvent event = sink.events()[0];
+  EXPECT_STREQ(event.name, "unit_span");
+  EXPECT_STREQ(event.category, "test");
+  EXPECT_GT(event.start_ns, 0u);
+}
+
+TEST_F(TraceTest, NoSinkMeansInactive) {
+  TraceSpan span("orphan", "test");
+  EXPECT_FALSE(span.active());
+}
+
+TEST_F(TraceTest, DisabledGateWinsOverAttachedSink) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  SetTracingEnabled(false);
+  {
+    TraceSpan span("gated", "test");
+    EXPECT_FALSE(span.active());
+  }
+  SetTracingEnabled(true);
+  DetachTraceSink();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST_F(TraceTest, AttachReturnsPreviousSink) {
+  TraceSink first, second;
+  EXPECT_EQ(AttachTraceSink(&first), nullptr);
+  EXPECT_EQ(ActiveTraceSink(), &first);
+  EXPECT_EQ(AttachTraceSink(&second), &first);
+  EXPECT_EQ(DetachTraceSink(), &second);
+  EXPECT_EQ(ActiveTraceSink(), nullptr);
+}
+
+TEST_F(TraceTest, NestedSpansStayWithinParentWindow) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  {
+    TraceSpan outer("outer", "test");
+    {
+      TraceSpan inner("inner", "test");
+    }
+  }
+  DetachTraceSink();
+  ASSERT_EQ(sink.size(), 2u);
+  // Destruction order records inner first.
+  const std::vector<TraceEvent> events = sink.events();
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+  // Same thread: identical rank.
+  EXPECT_EQ(inner.thread_rank, outer.thread_rank);
+}
+
+TEST_F(TraceTest, ExplicitFinishRecordsOnce) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  {
+    TraceSpan span("finished", "test");
+    span.Finish();
+    EXPECT_FALSE(span.active());
+    // Destructor must not double-record.
+  }
+  DetachTraceSink();
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctRanks) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      SetCurrentThreadLabel("test worker " + std::to_string(t));
+      TraceSpan span("thread_span", "test");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  DetachTraceSink();
+
+  ASSERT_EQ(sink.size(), kThreads);
+  std::set<uint32_t> ranks;
+  for (const TraceEvent& event : sink.events()) {
+    ranks.insert(event.thread_rank);
+  }
+  EXPECT_EQ(ranks.size(), kThreads);
+
+  // Every recorded rank is labelled.
+  const auto labels = ThreadLabels();
+  for (const uint32_t rank : ranks) {
+    const bool labelled =
+        std::any_of(labels.begin(), labels.end(),
+                    [rank](const auto& entry) {
+                      return entry.first == rank &&
+                             entry.second.rfind("test worker", 0) == 0;
+                    });
+    EXPECT_TRUE(labelled) << "rank " << rank << " has no label";
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceJsonRoundTrips) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  SetCurrentThreadLabel("roundtrip main");
+  {
+    TraceSpan span("with_args", "test");
+    span.AddArg("rows", uint64_t{12345});
+    span.AddArg("engine", "AVX-512 \"fused\"");
+  }
+  {
+    TraceSpan span("plain", "test");
+  }
+  DetachTraceSink();
+
+  const std::string json = sink.ToChromeTraceJson();
+  const auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  size_t complete_events = 0;
+  bool saw_thread_name = false;
+  bool saw_args = false;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      EXPECT_EQ(event.Find("name")->string, "thread_name");
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      if (args->Find("name")->string == "roundtrip main") {
+        saw_thread_name = true;
+      }
+      continue;
+    }
+    ASSERT_EQ(ph->string, "X");
+    ++complete_events;
+    ASSERT_NE(event.Find("ts"), nullptr);
+    ASSERT_NE(event.Find("dur"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    EXPECT_GE(event.Find("dur")->number, 0.0);
+    if (event.Find("name")->string == "with_args") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->Find("rows")->number, 12345.0);
+      // The escaped quote survives the round trip.
+      EXPECT_EQ(args->Find("engine")->string, "AVX-512 \"fused\"");
+      saw_args = true;
+    }
+  }
+  EXPECT_EQ(complete_events, 2u);
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_args);
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  {
+    TraceSpan span("file_span", "test");
+  }
+  DetachTraceSink();
+
+  const std::string path =
+      ::testing::TempDir() + "/fts_trace_test_output.json";
+  ASSERT_TRUE(sink.WriteChromeTrace(path).ok());
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  const auto parsed = ParseJson(contents);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->Find("traceEvents"), nullptr);
+}
+
+TEST_F(TraceTest, ConcurrentSpansAllRecorded) {
+  TraceSink sink;
+  AttachTraceSink(&sink);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("burst", "test");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  DetachTraceSink();
+  EXPECT_EQ(sink.size(), kThreads * kSpansPerThread);
+}
+
+}  // namespace
+}  // namespace fts::obs
