@@ -7,6 +7,8 @@
 // the predicate count (gathers touch only surviving rows).
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "fts/common/string_util.h"
@@ -58,6 +60,7 @@ int main() {
     FTS_CHECK(scanner.ok());
 
     std::printf("%-12zu", num_predicates);
+    std::vector<std::pair<ScanEngine, double>> measured;
     for (const ScanEngine engine : kEngines) {
       if (!fts::ScanEngineAvailable(engine)) {
         std::printf("%24s", "n/a");
@@ -69,8 +72,17 @@ int main() {
         fts::DoNotOptimizeAway(scanner->ExecuteCount(engine).ok());
       });
       std::printf("%24.3f", ms);
+      measured.emplace_back(engine, ms);
     }
     std::printf("\n");
+    for (const auto& [engine, ms] : measured) {
+      BenchLine("fig7_predicate_count")
+          .Field("predicates", static_cast<uint64_t>(num_predicates))
+          .Field("engine", fts::ScanEngineToString(engine))
+          .Field("rows", static_cast<uint64_t>(rows))
+          .Field("median_ms", ms)
+          .Emit();
+    }
   }
   std::printf(
       "\nShape check vs the paper: the fused runtimes grow far slower "

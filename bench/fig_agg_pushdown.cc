@@ -1,0 +1,123 @@
+// Aggregate pushdown: fused aggregation (masked SIMD accumulators inside
+// the scan loop, no position list) vs materialize-then-aggregate (scan to
+// a position list, then walk it computing the aggregates), across
+// predicate selectivities.
+//
+// Expectation: the fused path wins everywhere and the gap widens as
+// selectivity drops — the materialize arm still allocates and walks a
+// position list plus re-reads the aggregate column tuple-at-a-time, while
+// the fused arm folds survivors straight out of the compare mask.
+//
+// Every reported value is self-verified against the SISD scalar reference
+// (materialize path, sisd-novec), and the pushed-down row must be
+// byte-identical across 1/2/4 worker threads.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fts/common/string_util.h"
+#include "fts/db/database.h"
+#include "fts/storage/data_generator.h"
+
+namespace {
+using namespace fts::bench;
+
+constexpr double kSelectivities[] = {0.001, 0.01, 0.05, 0.10, 0.25, 0.50};
+
+// One aggregate result row rendered for comparison.
+std::string RenderRow(const fts::QueryResult& result) {
+  FTS_CHECK(result.rows.size() == 1);
+  std::vector<std::string> cells;
+  cells.reserve(result.rows[0].size());
+  for (const fts::Value& value : result.rows[0]) {
+    cells.push_back(fts::ValueToString(value));
+  }
+  return fts::Join(cells, " | ");
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "Aggregate pushdown -- fused aggregation vs materialize-then-"
+      "aggregate, SUM+MIN+COUNT over one predicate");
+  const size_t rows = ScaleRows(FullScale() ? 32'000'000 : MaxRows());
+  const int reps = Reps();
+  std::printf("rows = %zu, reps = %d, query = SELECT SUM(c1), MIN(c1), "
+              "COUNT(*) FROM t WHERE c0 = <v>\n\n",
+              rows, reps);
+
+  std::printf("%-14s%18s%18s%10s\n", "selectivity", "materialize (ms)",
+              "pushdown (ms)", "speedup");
+  PrintRule('-', 14 + 18 + 18 + 10);
+
+  fts::Database db;
+  for (const double selectivity : kSelectivities) {
+    fts::ScanTableOptions options;
+    options.rows = rows;
+    options.selectivities = {selectivity, 0.5};
+    options.seed = 0xA66;
+    // Multi-chunk so the thread-determinism check schedules real morsels.
+    options.chunk_size = rows / 8;
+    const fts::GeneratedScanTable generated = fts::MakeScanTable(options);
+    FTS_CHECK(db.RegisterTable("t", generated.table).ok());
+    const std::string sql = fts::StrFormat(
+        "SELECT SUM(c1), MIN(c1), COUNT(*) FROM t WHERE c0 = %d",
+        generated.search_values[0]);
+
+    fts::Database::QueryOptions materialize;
+    materialize.aggregate_pushdown = false;
+    fts::Database::QueryOptions pushdown;
+    pushdown.aggregate_pushdown = true;
+
+    // SISD scalar reference (materialize path): the ground truth every
+    // measured arm must reproduce.
+    fts::Database::QueryOptions reference = materialize;
+    reference.engine = fts::ScanEngine::kSisdNoVec;
+    const auto expected = db.Query(sql, reference);
+    FTS_CHECK(expected.ok());
+    const std::string expected_row = RenderRow(*expected);
+
+    const auto materialized = db.Query(sql, materialize);
+    FTS_CHECK(materialized.ok() &&
+              !materialized->execution_report.aggregate_pushdown);
+    FTS_CHECK(RenderRow(*materialized) == expected_row);
+    const auto pushed = db.Query(sql, pushdown);
+    FTS_CHECK(pushed.ok() && pushed->execution_report.aggregate_pushdown);
+    FTS_CHECK(RenderRow(*pushed) == expected_row);
+
+    // Determinism: the pushed-down row is byte-identical across worker
+    // thread counts (chunk-order merge of partial accumulators).
+    for (const int threads : {1, 2, 4}) {
+      fts::Database::QueryOptions threaded = pushdown;
+      threaded.threads = threads;
+      const auto result = db.Query(sql, threaded);
+      FTS_CHECK(result.ok() && RenderRow(*result) == expected_row);
+    }
+
+    const double materialize_ms = MedianMillis(reps, [&] {
+      fts::DoNotOptimizeAway(db.Query(sql, materialize).ok());
+    });
+    const double pushdown_ms = MedianMillis(reps, [&] {
+      fts::DoNotOptimizeAway(db.Query(sql, pushdown).ok());
+    });
+    const double speedup = pushdown_ms > 0.0 ? materialize_ms / pushdown_ms
+                                             : 0.0;
+    std::printf("%-14.3f%18.3f%18.3f%9.2fx\n", selectivity, materialize_ms,
+                pushdown_ms, speedup);
+    BenchLine("fig_agg_pushdown")
+        .Field("selectivity", selectivity)
+        .Field("rows", static_cast<uint64_t>(rows))
+        .Field("materialize_ms", materialize_ms)
+        .Field("pushdown_ms", pushdown_ms)
+        .Field("speedup", speedup)
+        .Emit();
+    FTS_CHECK(db.DropTable("t").ok());
+  }
+  std::printf(
+      "\nShape check: pushdown >= 1.5x at selectivities <= 10%% — the "
+      "fused fold avoids materializing and re-walking a position list.\n");
+  return 0;
+}

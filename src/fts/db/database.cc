@@ -93,6 +93,7 @@ StatusOr<PhysicalPlan> Database::Plan(const SelectStatement& statement,
   translator_options.jit_register_bits = options.jit_register_bits;
   translator_options.fallback = options.fallback;
   translator_options.threads = options.threads;
+  translator_options.enable_aggregate_pushdown = options.aggregate_pushdown;
   FTS_ASSIGN_OR_RETURN(PhysicalPlan plan,
                        TranslateLqp(lqp, translator_options));
   if (explain_text != nullptr) {

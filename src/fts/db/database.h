@@ -44,6 +44,10 @@ class Database {
     // for every value; QueryResult::execution_report records the worker
     // count and per-morsel engine decisions.
     int threads = 0;
+    // Fold eligible aggregate projections inside the scan kernels instead
+    // of materializing a position list (see TranslatorOptions). Disable to
+    // force the materialize-then-aggregate path.
+    bool aggregate_pushdown = true;
   };
 
   Database() = default;

@@ -10,6 +10,10 @@
 namespace fts {
 namespace {
 
+// What a morsel computes: a materialized position list, a match count, or
+// folded aggregate partials (aggregate pushdown).
+enum class MorselMode { kMaterialize, kCount, kAggregate };
+
 // Everything one morsel produces. Each task writes only its own slot of a
 // preallocated vector, so the scheduler needs no cross-task locking and
 // the merge is deterministic by construction.
@@ -20,7 +24,8 @@ struct MorselOutcome {
   size_t rung_index = 0;  // Ladder depth of `executed` (0 = requested).
   std::vector<EngineAttempt> attempts;
   PosList positions;  // Materialize mode.
-  uint64_t count = 0;  // Count mode.
+  uint64_t count = 0;  // Count and aggregate modes (the match count).
+  std::vector<AggAccumulator> aggs;  // Aggregate mode: per-term partials.
   // JIT cache/compile attribution for this morsel's ladder walk.
   JitChunkStats jit;
 };
@@ -38,7 +43,7 @@ std::vector<EngineChoice> RungsFor(const ParallelScanOptions& options) {
 // compiler) dooms every JIT width for this morsel, so skip straight to the
 // precompiled rungs instead of burning a compile attempt per width.
 void RunMorsel(const TableScanner& scanner, JitCache& cache,
-               const std::vector<EngineChoice>& rungs, bool count_only,
+               const std::vector<EngineChoice>& rungs, MorselMode mode,
                ChunkId chunk_id, MorselOutcome* out) {
   const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
   // The morsel span covers the whole ladder walk; the chunk-execution
@@ -51,7 +56,13 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
   // Thread-local output list, reused across rungs and moved into the
   // outcome slot on success.
   PosList buffer;
-  if (!count_only) buffer.resize(plan.row_count + kScanOutputSlack);
+  if (mode == MorselMode::kMaterialize) {
+    buffer.resize(plan.row_count + kScanOutputSlack);
+  }
+  std::vector<AggAccumulator> aggs;
+  if (mode == MorselMode::kAggregate) {
+    aggs.resize(scanner.num_agg_terms());
+  }
 
   bool jit_unavailable = false;
   Status jit_unavailable_status;
@@ -66,14 +77,29 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
     uint64_t value = 0;
     if (choice.engine == ScanEngine::kJit) {
       const StatusOr<size_t> result =
-          JitExecuteChunk(cache, plan, choice.jit_register_bits, count_only,
-                          count_only ? nullptr : buffer.data(), &out->jit);
+          mode == MorselMode::kAggregate
+              ? JitExecuteChunkAggregate(cache, plan,
+                                         choice.jit_register_bits,
+                                         aggs.data(), &out->jit)
+              : JitExecuteChunk(cache, plan, choice.jit_register_bits,
+                                mode == MorselMode::kCount,
+                                mode == MorselMode::kCount ? nullptr
+                                                           : buffer.data(),
+                                &out->jit);
       if (result.ok()) {
         value = *result;
       } else {
         status = result.status();
       }
-    } else if (count_only) {
+    } else if (mode == MorselMode::kAggregate) {
+      const StatusOr<size_t> result =
+          scanner.ExecuteChunkAggregate(choice.engine, chunk_id, aggs.data());
+      if (result.ok()) {
+        value = *result;
+      } else {
+        status = result.status();
+      }
+    } else if (mode == MorselMode::kCount) {
       const StatusOr<uint64_t> result =
           scanner.ExecuteChunkCount(choice.engine, chunk_id);
       if (result.ok()) {
@@ -92,11 +118,12 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
     }
 
     if (status.ok()) {
-      if (count_only) {
-        out->count = value;
-      } else {
+      if (mode == MorselMode::kMaterialize) {
         buffer.resize(static_cast<size_t>(value));
         out->positions = std::move(buffer);
+      } else {
+        out->count = value;
+        if (mode == MorselMode::kAggregate) out->aggs = std::move(aggs);
       }
       out->attempts.push_back({choice, Status::Ok()});
       out->executed = choice;
@@ -104,8 +131,9 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
       out->ok = true;
       if (span.active()) {
         span.AddArg("engine", choice.ToString());
-        span.AddArg("matches", count_only ? out->count
-                                          : uint64_t{out->positions.size()});
+        span.AddArg("matches", mode == MorselMode::kMaterialize
+                                   ? uint64_t{out->positions.size()}
+                                   : out->count);
       }
       return;
     }
@@ -128,7 +156,7 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
 // morsel in chunk order decides the returned status (deterministic
 // regardless of scheduling).
 Status RunMorsels(const TableScanner& scanner,
-                  const ParallelScanOptions& options, bool count_only,
+                  const ParallelScanOptions& options, MorselMode mode,
                   std::vector<MorselOutcome>* outcomes,
                   ExecutionReport* report) {
   ExecutionReport local;
@@ -163,7 +191,7 @@ Status RunMorsels(const TableScanner& scanner,
 
   const auto run_morsel = [&](size_t index) {
     const ChunkId chunk = runnable[index];
-    RunMorsel(scanner, cache, rungs, count_only, chunk, &(*outcomes)[chunk]);
+    RunMorsel(scanner, cache, rungs, mode, chunk, &(*outcomes)[chunk]);
   };
   if (threads <= 1 || runnable.size() == 1) {
     threads = 1;
@@ -218,8 +246,8 @@ StatusOr<TableMatches> ExecuteParallelScan(const TableScanner& scanner,
                                            const ParallelScanOptions& options,
                                            ExecutionReport* report) {
   std::vector<MorselOutcome> outcomes;
-  FTS_RETURN_IF_ERROR(
-      RunMorsels(scanner, options, /*count_only=*/false, &outcomes, report));
+  FTS_RETURN_IF_ERROR(RunMorsels(scanner, options, MorselMode::kMaterialize,
+                                 &outcomes, report));
   TableMatches result;
   result.chunks.reserve(outcomes.size());
   for (ChunkId chunk_id = 0; chunk_id < outcomes.size(); ++chunk_id) {
@@ -236,10 +264,36 @@ StatusOr<uint64_t> ExecuteParallelScanCount(const TableScanner& scanner,
                                             ExecutionReport* report) {
   std::vector<MorselOutcome> outcomes;
   FTS_RETURN_IF_ERROR(
-      RunMorsels(scanner, options, /*count_only=*/true, &outcomes, report));
+      RunMorsels(scanner, options, MorselMode::kCount, &outcomes, report));
   uint64_t total = 0;
   for (const MorselOutcome& outcome : outcomes) total += outcome.count;
   return total;
+}
+
+StatusOr<TableScanner::AggResult> ExecuteParallelScanAggregate(
+    const TableScanner& scanner, const ParallelScanOptions& options,
+    ExecutionReport* report) {
+  if (scanner.num_agg_terms() == 0) {
+    return Status::InvalidArgument(
+        "scan spec carries no aggregates; use ExecuteParallelScan");
+  }
+  std::vector<MorselOutcome> outcomes;
+  FTS_RETURN_IF_ERROR(RunMorsels(scanner, options, MorselMode::kAggregate,
+                                 &outcomes, report));
+  // Merge partials in chunk order: combined with each term's fixed
+  // fold order inside a chunk, the result is byte-identical for every
+  // thread count and scheduling interleave (integer sums are exact mod
+  // 2^64; float folds happen in one deterministic sequence per engine).
+  TableScanner::AggResult result;
+  result.accumulators.resize(scanner.num_agg_terms());
+  for (const MorselOutcome& outcome : outcomes) {
+    if (outcome.aggs.empty()) continue;  // Pruned or empty chunk.
+    result.matched += outcome.count;
+    for (size_t i = 0; i < result.accumulators.size(); ++i) {
+      result.accumulators[i].Merge(outcome.aggs[i]);
+    }
+  }
+  return result;
 }
 
 }  // namespace fts

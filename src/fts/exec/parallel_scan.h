@@ -52,6 +52,16 @@ StatusOr<uint64_t> ExecuteParallelScanCount(
     const TableScanner& scanner, const ParallelScanOptions& options,
     ExecutionReport* report = nullptr);
 
+// Aggregate-pushdown twin: every morsel folds the spec's aggregates inside
+// its kernel loop (JIT morsels compile a specialized aggregate operator)
+// and the per-morsel partial accumulators are merged in chunk order — the
+// result is byte-identical to the single-threaded path for every thread
+// count and worker interleaving. Requires the scanner's spec to carry
+// aggregates.
+StatusOr<TableScanner::AggResult> ExecuteParallelScanAggregate(
+    const TableScanner& scanner, const ParallelScanOptions& options,
+    ExecutionReport* report = nullptr);
+
 }  // namespace fts
 
 #endif  // FTS_EXEC_PARALLEL_SCAN_H_

@@ -240,6 +240,88 @@ const char* CppOpFor(CompareOp op) {
   return "?";
 }
 
+// True when any aggregate term reads column values (COUNT-only terms fold
+// nothing per row; the match count is added to every term at return).
+bool AnyAggValueTerm(const JitScanSignature& sig) {
+  for (const JitAggSignature& a : sig.aggs) {
+    if (a.op != AggOp::kCount) return true;
+  }
+  return false;
+}
+
+// Per-row fold statements of the aggregate terms for survivor row `r`
+// (inside the generated fold_rows loop). Mirrors FoldValueAtRow with every
+// op/type/domain decision burned in.
+std::string AggFoldBody(const JitScanSignature& sig) {
+  std::string out;
+  for (size_t t = 0; t < sig.aggs.size(); ++t) {
+    const JitAggSignature& a = sig.aggs[t];
+    if (a.op == AggOp::kCount) continue;
+    const std::string v = StrFormat("agg_col%zu[r]", t);
+    if (a.op == AggOp::kSum) {
+      switch (a.domain) {
+        case AggDomain::kSigned:
+          out += StrFormat(
+              "      accs[%zu].sum_bits += (unsigned long long)(long long)"
+              "%s;\n",
+              t, v.c_str());
+          break;
+        case AggDomain::kUnsigned:
+          out += StrFormat(
+              "      accs[%zu].sum_bits += (unsigned long long)%s;\n", t,
+              v.c_str());
+          break;
+        case AggDomain::kFloat:
+          out += StrFormat("      accs[%zu].sum_double += (double)%s;\n", t,
+                           v.c_str());
+          break;
+      }
+      continue;
+    }
+    // MIN / MAX: widen to the accumulator domain, then conditional update.
+    const char* wide = a.domain == AggDomain::kSigned ? "long long"
+                       : a.domain == AggDomain::kUnsigned
+                           ? "unsigned long long"
+                           : "double";
+    const char* field =
+        a.domain == AggDomain::kSigned
+            ? (a.op == AggOp::kMin ? "min_i" : "max_i")
+            : a.domain == AggDomain::kUnsigned
+                  ? (a.op == AggOp::kMin ? "min_u" : "max_u")
+                  : (a.op == AggOp::kMin ? "min_d" : "max_d");
+    out += StrFormat(
+        "      { const %s fv%zu = (%s)%s;\n"
+        "        if (fv%zu %s accs[%zu].%s) accs[%zu].%s = fv%zu; }\n",
+        wide, t, wide, v.c_str(), t, a.op == AggOp::kMin ? "<" : ">", t,
+        field, t, field, t);
+  }
+  return out;
+}
+
+// Final-stage emission statements: what happens to a surviving mask of
+// positions. Three shapes: count-only (popcount), aggregate pushdown
+// (compress-store survivors to a stack buffer, fold each, popcount), or
+// position materialization (compress-store to `out`).
+std::string FinalEmitCode(const WidthStrings& w, const JitScanSignature& sig,
+                          const std::string& mask, const std::string& pos,
+                          const char* indent) {
+  std::string out;
+  if (!sig.aggs.empty() && AnyAggValueTerm(sig)) {
+    out += StrFormat("%salignas(64) uint32_t fold_buf[16];\n", indent);
+    out += StrFormat("%s%s(fold_buf, %s, %s);\n", indent, w.compressstore32,
+                     mask.c_str(), pos.c_str());
+    out += StrFormat(
+        "%sfold_rows(fold_buf, __builtin_popcount((unsigned)%s));\n", indent,
+        mask.c_str());
+  } else if (sig.aggs.empty() && !sig.count_only) {
+    out += StrFormat("%s%s(out + out_count, %s, %s);\n", indent,
+                     w.compressstore32, mask.c_str(), pos.c_str());
+  }
+  out += StrFormat("%sout_count += (size_t)__builtin_popcount((unsigned)%s);\n",
+                   indent, mask.c_str());
+  return out;
+}
+
 // Masked-compare expression for `lanes`-wide 32-bit data, e.g.
 // _mm512_mask_cmp_epi32_mask(valid, a, search, _MM_CMPINT_EQ).
 std::string Cmp32Expr(const WidthStrings& w, ScanElementType type,
@@ -416,12 +498,8 @@ std::string ProcessLambda(const WidthStrings& w, const JitScanSignature& sig,
   }
 
   body += "    if (m == 0) return;\n";
-  if (last && sig.count_only) {
-    body += "    out_count += (size_t)__builtin_popcount((unsigned)m);\n";
-  } else if (last) {
-    body += StrFormat("    %s(out + out_count, m, pos);\n",
-                      w.compressstore32);
-    body += "    out_count += (size_t)__builtin_popcount((unsigned)m);\n";
+  if (last) {
+    body += FinalEmitCode(w, sig, "m", "pos", "    ");
   } else {
     body += StrFormat(
         "    push_%zu(%s(m, pos), __builtin_popcount((unsigned)m));\n",
@@ -491,14 +569,8 @@ std::string MainLoop(const WidthStrings& w, const JitScanSignature& sig) {
   }
 
   std::string on_match;
-  if (single && sig.count_only) {
-    on_match =
-        "      out_count += (size_t)__builtin_popcount((unsigned)m0);\n";
-  } else if (single) {
-    on_match = StrFormat(
-        "      %s(out + out_count, m0, indices);\n"
-        "      out_count += (size_t)__builtin_popcount((unsigned)m0);\n",
-        w.compressstore32);
+  if (single) {
+    on_match = FinalEmitCode(w, sig, "m0", "indices", "      ");
   } else {
     on_match = StrFormat(
         "      push_1(%s(m0, indices), __builtin_popcount((unsigned)m0));\n",
@@ -540,6 +612,16 @@ StatusOr<std::string> GenerateFusedScanSource(
         StrFormat("signature has %zu stages; supported range is 1..%zu",
                   signature.stages.size(), kMaxScanStages));
   }
+  if (!signature.aggs.empty() && signature.count_only) {
+    return Status::InvalidArgument(
+        "count_only and aggregate terms are mutually exclusive");
+  }
+  if (signature.aggs.size() > kMaxAggTerms) {
+    return Status::InvalidArgument(
+        StrFormat("signature has %zu aggregate terms; kernels support up "
+                  "to %zu",
+                  signature.aggs.size(), kMaxAggTerms));
+  }
   bool any_packed = false;
   for (const JitStageSignature& stage : signature.stages) {
     if (stage.packed_bits == 0) continue;
@@ -572,6 +654,46 @@ StatusOr<std::string> GenerateFusedScanSource(
       "      static_cast<const char*>(values);\n"
       "  size_t out_count = 0;\n",
       signature.CacheKey().c_str(), kJitScanSymbol);
+
+  // Aggregate-pushdown state: a field-for-field mirror of
+  // fts::AggAccumulator (every member 8 bytes, no padding — pinned by
+  // static_asserts on both sides), the typed aggregate column pointers
+  // (appended after the stage columns), and the per-survivor fold loop.
+  if (!signature.aggs.empty()) {
+    src +=
+        "  struct Acc {\n"
+        "    unsigned long long count;\n"
+        "    unsigned long long sum_bits;\n"
+        "    double sum_double;\n"
+        "    long long min_i;\n"
+        "    long long max_i;\n"
+        "    unsigned long long min_u;\n"
+        "    unsigned long long max_u;\n"
+        "    double min_d;\n"
+        "    double max_d;\n"
+        "  };\n"
+        "  static_assert(sizeof(Acc) == 72,\n"
+        "                \"mirror of fts::AggAccumulator\");\n"
+        "  Acc* const accs = reinterpret_cast<Acc*>(out);\n";
+    for (size_t t = 0; t < signature.aggs.size(); ++t) {
+      if (signature.aggs[t].op == AggOp::kCount) continue;
+      const char* type = CppTypeFor(signature.aggs[t].type);
+      src += StrFormat(
+          "  const %s* const agg_col%zu = static_cast<const %s*>("
+          "columns[%zu]);\n",
+          type, t, type, n + t);
+    }
+    if (AnyAggValueTerm(signature)) {
+      src += StrFormat(
+          "  const auto fold_rows = [&](const uint32_t* rows, int fn) {\n"
+          "    for (int fi = 0; fi < fn; ++fi) {\n"
+          "      const size_t r = rows[fi];\n"
+          "%s"
+          "    }\n"
+          "  };\n",
+          AggFoldBody(signature).c_str());
+    }
+  }
 
   // Column pointers and broadcast search values.
   if (any_packed) {
@@ -614,6 +736,11 @@ StatusOr<std::string> GenerateFusedScanSource(
         "    process_%zu(acc%zu, (%s)((1u << pending) - 1));\n"
         "  }\n",
         s, s, s, s, s, w.mask);
+  }
+  // Every term's count is the conjunction's match count, folded once.
+  for (size_t t = 0; t < signature.aggs.size(); ++t) {
+    src += StrFormat(
+        "  accs[%zu].count += (unsigned long long)out_count;\n", t);
   }
   src += "  return out_count;\n}\n";
   return src;

@@ -1,11 +1,13 @@
 #include "fts/jit/jit_scan_engine.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "fts/common/cpu_info.h"
 #include "fts/common/macros.h"
 #include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
+#include "fts/simd/kernels_scalar.h"
 
 namespace fts {
 
@@ -51,6 +53,92 @@ StatusOr<size_t> JitExecuteChunk(JitCache& cache,
   // Count-only operators never touch the output buffer.
   const size_t count =
       entry.fn(columns, values, plan.row_count, count_only ? nullptr : out);
+  {
+    const obs::EngineMetrics& metrics = obs::Metrics();
+    metrics.rows_scanned_total->Add(plan.row_count);
+    metrics.rows_emitted_total->Add(count);
+    EngineExecutionCounter(ScanEngine::kJit)->Increment();
+  }
+  if (span.active()) {
+    span.AddArg("engine", "JIT Fused");
+    span.AddArg("register_bits", static_cast<uint64_t>(register_bits));
+    span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
+    span.AddArg("matches", static_cast<uint64_t>(count));
+  }
+  return count;
+}
+
+StatusOr<size_t> JitExecuteChunkAggregate(JitCache& cache,
+                                          const TableScanner::ChunkPlan& plan,
+                                          int register_bits,
+                                          AggAccumulator* accs,
+                                          JitChunkStats* stats) {
+  if (!GetCpuFeatures().HasFusedScanAvx512()) {
+    return Status::Unavailable(
+        "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
+  }
+  const size_t num_terms = plan.agg_terms.size();
+  if (num_terms == 0) {
+    return Status::InvalidArgument("chunk plan carries no aggregate terms");
+  }
+  for (size_t i = 0; i < num_terms; ++i) accs[i] = AggAccumulator{};
+  if (plan.impossible || plan.row_count == 0) return size_t{0};
+  if (plan.agg_zone_shortcut) {
+    std::copy(plan.agg_zone_partials.begin(), plan.agg_zone_partials.end(),
+              accs);
+    return plan.row_count;
+  }
+  for (const AggTerm& term : plan.agg_terms) {
+    if (term.dict != nullptr || term.packed_bits != 0) {
+      // The ladder demotes this morsel to the static kernels, which fold
+      // dictionary / bit-packed terms through their scalar decode path.
+      return Status::InvalidArgument(
+          "JIT aggregate operators fold plain columns only");
+    }
+  }
+  if (plan.stages.empty()) {
+    // Every row matches and there is no chain to specialize; the scalar
+    // reference fold is already a tight typed loop.
+    return FusedAggScanScalar(nullptr, 0, plan.row_count,
+                              plan.agg_terms.data(), num_terms, accs);
+  }
+
+  JitScanSignature signature = SignatureForStages(plan.stages, register_bits);
+  signature.aggs.reserve(num_terms);
+  for (const AggTerm& term : plan.agg_terms) {
+    signature.aggs.push_back({term.op, term.type, term.domain});
+  }
+  FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
+                       cache.GetOrCompile(signature));
+  if (stats != nullptr) {
+    stats->compile_millis += entry.compile_millis;
+    if (entry.cache_hit) {
+      ++stats->cache_hits;
+    } else {
+      ++stats->cache_misses;
+    }
+  }
+
+  const void* columns[kMaxScanStages + kMaxAggTerms];
+  alignas(8) unsigned char values[kMaxScanStages * kJitValueSlotBytes] = {};
+  FTS_CHECK(plan.stages.size() <= kMaxScanStages);
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    columns[s] = plan.stages[s].data;
+    static_assert(sizeof(ScanValue) == kJitValueSlotBytes);
+    __builtin_memcpy(values + s * kJitValueSlotBytes, &plan.stages[s].value,
+                     kJitValueSlotBytes);
+  }
+  // Aggregate columns ride after the stage columns (null for COUNT terms;
+  // the generated code never reads those slots).
+  for (size_t t = 0; t < num_terms; ++t) {
+    columns[plan.stages.size() + t] = plan.agg_terms[t].data;
+  }
+  obs::TraceSpan span("scan_chunk_agg", "scan");
+  // The accumulator array doubles as the generated operator's `out`
+  // argument; its layout is mirrored field-for-field in generated code.
+  const size_t count =
+      entry.fn(columns, values, plan.row_count,
+               reinterpret_cast<uint32_t*>(accs));
   {
     const obs::EngineMetrics& metrics = obs::Metrics();
     metrics.rows_scanned_total->Add(plan.row_count);
@@ -160,6 +248,29 @@ StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
   return total;
 }
 
+StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteJitAggregate(
+    const TableScanner& scanner, int register_bits, JitChunkStats* stats) {
+  if (!GetCpuFeatures().HasFusedScanAvx512()) {
+    return Status::Unavailable(
+        "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
+  }
+  TableScanner::AggResult result;
+  result.accumulators.resize(scanner.num_agg_terms());
+  std::vector<AggAccumulator> partial(scanner.num_agg_terms());
+  for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
+    if (plan.impossible || plan.row_count == 0) continue;
+    FTS_ASSIGN_OR_RETURN(
+        const size_t count,
+        JitExecuteChunkAggregate(*cache_, plan, register_bits,
+                                 partial.data(), stats));
+    result.matched += count;
+    for (size_t i = 0; i < partial.size(); ++i) {
+      result.accumulators[i].Merge(partial[i]);
+    }
+  }
+  return result;
+}
+
 StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
                                               const ScanSpec& spec,
                                               ExecutionReport* report) {
@@ -196,6 +307,35 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
         }
         return scanner.ExecuteCount(choice.engine);
       });
+  if (report != nullptr) {
+    report->jit_compile_millis += stats.compile_millis;
+    report->jit_cache_hits += stats.cache_hits;
+    report->jit_cache_misses += stats.cache_misses;
+  }
+  return result;
+}
+
+StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteAggregate(
+    TablePtr table, const ScanSpec& spec, ExecutionReport* report) {
+  if (spec.aggregates.empty()) {
+    return Status::InvalidArgument(
+        "ExecuteAggregate requires at least one aggregate");
+  }
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(std::move(table), spec));
+  if (report != nullptr) FillPruningReport(scanner, report);
+  JitChunkStats stats;
+  StatusOr<TableScanner::AggResult> result =
+      RunLadder<TableScanner::AggResult>(
+          report,
+          [&](const EngineChoice& choice)
+              -> StatusOr<TableScanner::AggResult> {
+            if (choice.engine == ScanEngine::kJit) {
+              return ExecuteJitAggregate(scanner, choice.jit_register_bits,
+                                         &stats);
+            }
+            return scanner.ExecuteAggregate(choice.engine);
+          });
   if (report != nullptr) {
     report->jit_compile_millis += stats.compile_millis;
     report->jit_cache_hits += stats.cache_hits;

@@ -40,6 +40,18 @@ StatusOr<size_t> JitExecuteChunk(JitCache& cache,
                                  ChunkOffset* out,
                                  JitChunkStats* stats = nullptr);
 
+// Aggregate-pushdown morsel primitive: compiles (or fetches) a specialized
+// operator that folds the chunk's aggregate terms at every emission site
+// and writes the partials into `accs` (one slot per term, reset here).
+// Zone-shortcut chunks are answered without compiling anything. Only plain
+// aggregate columns are JIT-eligible; dictionary / bit-packed terms return
+// InvalidArgument so the per-morsel ladder demotes to the static kernels.
+StatusOr<size_t> JitExecuteChunkAggregate(JitCache& cache,
+                                          const TableScanner::ChunkPlan& plan,
+                                          int register_bits,
+                                          AggAccumulator* accs,
+                                          JitChunkStats* stats = nullptr);
+
 // Executes conjunctive scans through runtime-generated code (Section V).
 // Reuses TableScanner::Prepare for column resolution / value casting /
 // dictionary predicate rewriting, then compiles (or fetches from the
@@ -66,6 +78,13 @@ class JitScanEngine {
   StatusOr<uint64_t> ExecuteCount(TablePtr table, const ScanSpec& spec,
                                   ExecutionReport* report = nullptr);
 
+  // Aggregate pushdown: spec.aggregates must be non-empty. JIT morsels
+  // compile specialized aggregate operators; ladder rungs below JIT run
+  // the static aggregate kernels.
+  StatusOr<TableScanner::AggResult> ExecuteAggregate(
+      TablePtr table, const ScanSpec& spec,
+      ExecutionReport* report = nullptr);
+
   int register_bits() const { return register_bits_; }
   FallbackPolicy fallback() const { return fallback_; }
   JitCache& cache() { return *cache_; }
@@ -77,6 +96,8 @@ class JitScanEngine {
                                     int register_bits, JitChunkStats* stats);
   StatusOr<uint64_t> ExecuteJitCount(const TableScanner& scanner,
                                      int register_bits, JitChunkStats* stats);
+  StatusOr<TableScanner::AggResult> ExecuteJitAggregate(
+      const TableScanner& scanner, int register_bits, JitChunkStats* stats);
 
   // Walks the ladder (or just the first rung under kStrict), recording
   // attempts into `report`. `run` maps an EngineChoice to a result.

@@ -15,6 +15,25 @@ std::string JitScanSignature::CacheKey() const {
     }
   }
   if (count_only) key += "#count";
+  if (!aggs.empty()) {
+    key += "#agg:";
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      if (i > 0) key += ',';
+      key += AggOpToString(aggs[i].op);
+      key += ScanElementTypeToString(aggs[i].type);
+      switch (aggs[i].domain) {
+        case AggDomain::kSigned:
+          key += 's';
+          break;
+        case AggDomain::kUnsigned:
+          key += 'u';
+          break;
+        case AggDomain::kFloat:
+          key += 'f';
+          break;
+      }
+    }
+  }
   return key;
 }
 

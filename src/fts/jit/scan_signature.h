@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "fts/simd/agg_spec.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -26,6 +27,20 @@ struct JitStageSignature {
                          const JitStageSignature& b) = default;
 };
 
+// One aggregate term of a generated aggregate-pushdown operator. Only
+// plain (non-dictionary, non-bit-packed) columns are JIT-eligible — the
+// other engines fold those; the ladder demotes such morsels past the JIT
+// rungs. The fold code depends on the op, the element type read from the
+// column, and the accumulator domain, so all three are signature.
+struct JitAggSignature {
+  AggOp op = AggOp::kCount;
+  ScanElementType type = ScanElementType::kI32;
+  AggDomain domain = AggDomain::kSigned;
+
+  friend bool operator==(const JitAggSignature& a,
+                         const JitAggSignature& b) = default;
+};
+
 struct JitScanSignature {
   std::vector<JitStageSignature> stages;
   int register_bits = 512;  // 128, 256 or 512.
@@ -33,9 +48,16 @@ struct JitScanSignature {
   // just accumulate popcounts — the exact shape of the paper's
   // SELECT COUNT(*) query. The generated function ignores `out`.
   bool count_only = false;
+  // Aggregate-pushdown operators fold these terms at every emission site
+  // instead of materializing positions; `out` is reinterpreted as an
+  // AggAccumulator array (one 72-byte slot per term, already
+  // default-initialized by the caller). Mutually exclusive with
+  // `count_only`; aggregate column pointers follow the stage columns in
+  // the `columns` argument.
+  std::vector<JitAggSignature> aggs;
 
   // Canonical cache key, e.g. "512:i32=;u32<;f64>=" or
-  // "512:i32=;i32=#count".
+  // "512:i32=;i32=#count" or "512:i32<#agg:SUMi32s,MINf64f".
   std::string CacheKey() const;
 
   friend bool operator==(const JitScanSignature& a,

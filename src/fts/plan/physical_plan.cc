@@ -77,8 +77,8 @@ StatusOr<TableMatches> RefineMatches(const TablePtr& table,
 
 // Evaluates the aggregate projection over the matched rows. Integer
 // columns accumulate in int64/uint64, floats in double; AVG always in
-// double. Empty inputs yield 0 for every aggregate (this engine has no
-// NULL; documented divergence from SQL's NULL semantics).
+// double. Per SQL semantics, MIN/MAX/AVG over zero matched rows yield
+// NULL; SUM stays a typed 0 and COUNT(*) a plain 0.
 std::vector<Value> ComputeAggregates(
     const Table& table, const TableMatches& matches,
     const std::vector<AggregateItem>& items) {
@@ -122,14 +122,16 @@ std::vector<Value> ComputeAggregates(
           results.emplace_back(sum);
           break;
         case AggregateKind::kMin:
-          results.emplace_back(any ? min_value : T{});
+          results.push_back(any ? Value(min_value) : NullValue());
           break;
         case AggregateKind::kMax:
-          results.emplace_back(any ? max_value : T{});
+          results.push_back(any ? Value(max_value) : NullValue());
           break;
         case AggregateKind::kAvg:
-          results.emplace_back(
-              matched == 0 ? 0.0 : avg_sum / static_cast<double>(matched));
+          results.push_back(matched == 0
+                                ? NullValue()
+                                : Value(avg_sum /
+                                        static_cast<double>(matched)));
           break;
         case AggregateKind::kCountStar:
           break;  // Handled above.
@@ -221,6 +223,135 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
     last = result.status();
   }
   return last;
+}
+
+// Aggregate-pushdown twin of RunFirstStep: the scan step's spec carries
+// fold terms (spec.aggregates), so every rung computes partial
+// accumulators per chunk and merges them in chunk order — no position
+// list exists at any point.
+StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
+    const TablePtr& table, const PhysicalPlan::ScanStep& step,
+    FallbackPolicy policy, int threads, ExecutionReport* report) {
+  if (threads > 1 && table->chunk_count() > 1) {
+    FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                         TableScanner::Prepare(table, step.spec));
+    ParallelScanOptions options;
+    options.requested = StepEngineChoice(step);
+    options.fallback = policy;
+    options.threads = threads;
+    return ExecuteParallelScanAggregate(scanner, options, report);
+  }
+  if (step.engine == ScanEngine::kJit) {
+    JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
+    return engine.ExecuteAggregate(table, step.spec, report);
+  }
+  FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
+                       TableScanner::Prepare(table, step.spec));
+  report->requested = {step.engine, 0};
+  FillPruningReport(scanner, report);
+  const std::vector<EngineChoice> rungs =
+      policy == FallbackPolicy::kLadder
+          ? DegradationLadder(step.engine, 0)
+          : std::vector<EngineChoice>{{step.engine, 0}};
+  Status last = Status::Unavailable("no scan engine could run");
+  for (const EngineChoice& choice : rungs) {
+    StatusOr<TableScanner::AggResult> result =
+        scanner.ExecuteAggregate(choice.engine);
+    if (result.ok()) {
+      report->RecordSuccess(choice);
+      return result;
+    }
+    report->RecordFailure(choice, result.status());
+    last = result.status();
+  }
+  return last;
+}
+
+// Turns the merged accumulators into the aggregate projection's output
+// row, matching the materialize path's Value types exactly (typed SUM in
+// int64/uint64/double, MIN/MAX in the column's own type, AVG in double)
+// so the two paths are comparable value-for-value. MIN/MAX/AVG over zero
+// matched rows yield NULL; SUM stays a typed 0 and COUNT(*) a plain 0.
+StatusOr<std::vector<Value>> FinalizeAggregates(
+    const Table& table, const std::vector<AggregateItem>& items,
+    const std::vector<int>& bindings, const TableScanner::AggResult& agg) {
+  if (bindings.size() != items.size()) {
+    return Status::Internal("aggregate pushdown bindings out of sync");
+  }
+  std::vector<Value> results;
+  results.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const AggregateItem& item = items[i];
+    const size_t term = static_cast<size_t>(bindings[i]);
+    if (term >= agg.accumulators.size()) {
+      return Status::Internal("aggregate pushdown bindings out of sync");
+    }
+    const AggAccumulator& acc = agg.accumulators[term];
+    if (item.kind == AggregateKind::kCountStar) {
+      results.emplace_back(static_cast<uint64_t>(acc.count));
+      continue;
+    }
+    FTS_ASSIGN_OR_RETURN(const size_t column_index,
+                         table.ColumnIndex(item.column));
+    const DataType type = table.column_definition(column_index).type;
+    DispatchDataType(type, [&](auto tag) {
+      using T = decltype(tag);
+      constexpr bool kFloat = std::is_floating_point_v<T>;
+      constexpr bool kSigned = std::is_signed_v<T> && !kFloat;
+      switch (item.kind) {
+        case AggregateKind::kSum:
+          if constexpr (kFloat) {
+            results.emplace_back(acc.sum_double);
+          } else if constexpr (kSigned) {
+            results.emplace_back(static_cast<int64_t>(acc.sum_bits));
+          } else {
+            results.emplace_back(static_cast<uint64_t>(acc.sum_bits));
+          }
+          break;
+        case AggregateKind::kMin:
+          if (acc.count == 0) {
+            results.push_back(NullValue());
+          } else if constexpr (kFloat) {
+            results.emplace_back(static_cast<T>(acc.min_d));
+          } else if constexpr (kSigned) {
+            results.emplace_back(static_cast<T>(acc.min_i));
+          } else {
+            results.emplace_back(static_cast<T>(acc.min_u));
+          }
+          break;
+        case AggregateKind::kMax:
+          if (acc.count == 0) {
+            results.push_back(NullValue());
+          } else if constexpr (kFloat) {
+            results.emplace_back(static_cast<T>(acc.max_d));
+          } else if constexpr (kSigned) {
+            results.emplace_back(static_cast<T>(acc.max_i));
+          } else {
+            results.emplace_back(static_cast<T>(acc.max_u));
+          }
+          break;
+        case AggregateKind::kAvg: {
+          if (acc.count == 0) {
+            results.push_back(NullValue());
+            break;
+          }
+          double sum;
+          if constexpr (kFloat) {
+            sum = acc.sum_double;
+          } else if constexpr (kSigned) {
+            sum = static_cast<double>(static_cast<int64_t>(acc.sum_bits));
+          } else {
+            sum = static_cast<double>(acc.sum_bits);
+          }
+          results.emplace_back(sum / static_cast<double>(acc.count));
+          break;
+        }
+        case AggregateKind::kCountStar:
+          break;  // Handled above.
+      }
+    });
+  }
+  return results;
 }
 
 StatusOr<TableMatches> RunStep(const TablePtr& table,
@@ -345,6 +476,47 @@ void FinishCounters(const PhysicalPlan& plan, ScanCounterScope* scope,
   if (plan.collect_counters) SimulateScanCounters(plan, report);
 }
 
+// The pushed-down aggregate path: one fused pass folds every term inside
+// the scan kernels, the per-chunk partials merge in chunk order, and the
+// accumulators finalize straight into the output row. No position list is
+// ever materialized.
+StatusOr<QueryResult> ExecuteAggregatePushdown(const PhysicalPlan& plan) {
+  QueryResult result;
+  const PhysicalPlan::ScanStep& step = *plan.pushdown_step;
+  ExecutionReport& report = result.execution_report;
+  report.aggregate_pushdown = true;
+  ScanCounterScope counters(plan.collect_counters);
+  Stopwatch timer;
+  const StatusOr<TableScanner::AggResult> agg =
+      RunFirstStepAggregate(plan.table, step, plan.fallback,
+                            ResolveStepThreads(plan, step), &report);
+  const double millis = timer.ElapsedMillis();
+  FTS_RETURN_IF_ERROR(agg.status());
+  FinishCounters(plan, &counters, &report);
+  report.rows_matched = agg->matched;
+  report.rows_folded = agg->matched;
+  report.scan_millis = millis;
+  if (!plan.scan_steps.empty()) {
+    report.stages.push_back(StageReport{
+        StrFormat("%s [%s]", StepOpName(plan.scan_steps[0]),
+                  report.executed.ToString().c_str()),
+        report.rows_scanned, agg->matched, millis});
+  }
+  Stopwatch finalize_timer;
+  FTS_ASSIGN_OR_RETURN(
+      std::vector<Value> row,
+      FinalizeAggregates(*plan.table, plan.aggregate_items,
+                         plan.pushdown_bindings, *agg));
+  result.rows.push_back(std::move(row));
+  for (const AggregateItem& item : plan.aggregate_items) {
+    result.column_names.push_back(item.ToString());
+  }
+  result.matched_rows = agg->matched;
+  report.stages.push_back(StageReport{"Aggregate [pushdown]", agg->matched,
+                                      1, finalize_timer.ElapsedMillis()});
+  return result;
+}
+
 }  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
@@ -378,7 +550,9 @@ std::string PhysicalPlan::Explain() const {
     for (const AggregateItem& item : aggregate_items) {
       parts.push_back(item.ToString());
     }
-    out += "Aggregate: " + Join(parts, ", ") + "\n";
+    out += "Aggregate: " + Join(parts, ", ");
+    if (pushdown_step.has_value()) out += "  [pushdown]";
+    out += "\n";
   } else {
     out += "Project: " + Join(projection_names, ", ") + "\n";
   }
@@ -426,6 +600,13 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
       result.column_names = plan.projection_names;
     }
     return result;
+  }
+
+  // Pushed-down aggregates skip position materialization entirely: the
+  // scan kernels fold every term under the final predicate mask.
+  if (plan.output == PhysicalPlan::Output::kAggregate &&
+      plan.pushdown_step.has_value()) {
+    return ExecuteAggregatePushdown(plan);
   }
 
   // COUNT(*) over a single scan step skips position materialization
@@ -576,6 +757,13 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
       out += StrFormat("  (actual rows in=%llu, time=%.3f ms)",
                        static_cast<unsigned long long>(output_stage->rows_in),
                        output_stage->millis);
+    }
+    out += "\n";
+    out += StrFormat("  AggregatePushdown: %s",
+                     report.aggregate_pushdown ? "yes" : "no");
+    if (report.aggregate_pushdown) {
+      out += StrFormat(" (rows folded=%llu)",
+                       static_cast<unsigned long long>(report.rows_folded));
     }
     out += "\n";
   } else {

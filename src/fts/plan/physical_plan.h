@@ -79,6 +79,16 @@ struct PhysicalPlan {
   // Aggregate projection (output == kAggregate; kCountStar is the
   // single-COUNT(*) special case with its own fast path).
   std::vector<AggregateItem> aggregate_items;
+  // Aggregate pushdown (output == kAggregate, set by the translator for
+  // eligible plans): a copy of the single scan step (or a predicate-less
+  // step when the query has no WHERE) whose spec.aggregates carry the fold
+  // terms, deduplicated by (op, column) with AVG lowered to SUM — every
+  // term tracks its own match count, so AVG finalizes as sum/count.
+  // `pushdown_bindings[i]` is the term index answering aggregate_items[i].
+  // When set, the executor folds aggregates inside the scan kernels and
+  // never materializes a position list.
+  std::optional<ScanStep> pushdown_step;
+  std::vector<int> pushdown_bindings;
   // ORDER BY / LIMIT for projection outputs.
   std::optional<size_t> order_by_index;
   bool order_descending = false;

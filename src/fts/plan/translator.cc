@@ -1,12 +1,88 @@
 #include "fts/plan/translator.h"
 
 #include "fts/common/string_util.h"
+#include "fts/simd/agg_spec.h"
+#include "fts/simd/scan_stage.h"
 
 namespace fts {
 namespace {
 
 PredicateSpec ToPredicateSpec(const AstPredicate& predicate) {
   return PredicateSpec{predicate.column, predicate.op, predicate.literal};
+}
+
+// Routes an eligible aggregate projection onto the scan: the plan's single
+// scan step (or a synthesized predicate-less step when the query has no
+// WHERE) gains spec.aggregates, and the executor folds them inside the
+// kernel loop without materializing a position list. Ineligible plans are
+// left untouched and run materialize-then-aggregate:
+//   - multi-step (non-fused) scan chains refine position lists, which the
+//     fold kernels never produce;
+//   - 8/16-bit plain columns have no fused fold (dictionary chunks widen
+//     their decode tables per chunk, but the logical type gates here);
+//   - more distinct (op, column) terms than kMaxAggTerms.
+void PlanAggregatePushdown(PhysicalPlan* plan,
+                           const TranslatorOptions& options) {
+  if (plan->output != PhysicalPlan::Output::kAggregate) return;
+  if (plan->empty_result || plan->scan_steps.size() > 1) return;
+
+  std::vector<AggregateSpec> terms;
+  std::vector<int> bindings;
+  const auto term_index = [&terms](AggOp op, const std::string& column) {
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (terms[i].op == op && terms[i].column == column) {
+        return static_cast<int>(i);
+      }
+    }
+    if (terms.size() == kMaxAggTerms) return -1;
+    terms.push_back(AggregateSpec{op, column});
+    return static_cast<int>(terms.size()) - 1;
+  };
+
+  for (const AggregateItem& item : plan->aggregate_items) {
+    if (item.kind == AggregateKind::kCountStar) {
+      const int index = term_index(AggOp::kCount, std::string());
+      if (index < 0) return;
+      bindings.push_back(index);
+      continue;
+    }
+    const StatusOr<size_t> column = plan->table->ColumnIndex(item.column);
+    // Unknown columns fall through to the materialize path, which surfaces
+    // the error with its usual message.
+    if (!column.ok()) return;
+    const DataType type = plan->table->column_definition(*column).type;
+    if (!ScanElementTypeFromDataType(type).ok()) return;
+    AggOp op;
+    switch (item.kind) {
+      case AggregateKind::kSum:
+      case AggregateKind::kAvg:
+        op = AggOp::kSum;
+        break;
+      case AggregateKind::kMin:
+        op = AggOp::kMin;
+        break;
+      case AggregateKind::kMax:
+        op = AggOp::kMax;
+        break;
+      case AggregateKind::kCountStar:
+        return;  // Handled above.
+    }
+    const int index = term_index(op, item.column);
+    if (index < 0) return;
+    bindings.push_back(index);
+  }
+
+  PhysicalPlan::ScanStep step;
+  if (!plan->scan_steps.empty()) {
+    step = plan->scan_steps[0];
+  } else {
+    step.spec.threads = options.threads;
+    step.engine = options.engine;
+    step.jit_register_bits = options.jit_register_bits;
+  }
+  step.spec.aggregates = std::move(terms);
+  plan->pushdown_step = std::move(step);
+  plan->pushdown_bindings = std::move(bindings);
 }
 
 }  // namespace
@@ -133,6 +209,9 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
 
   plan.scan_steps.assign(steps_root_first.rbegin(),
                          steps_root_first.rend());
+  if (options.enable_aggregate_pushdown) {
+    PlanAggregatePushdown(&plan, options);
+  }
   return plan;
 }
 

@@ -20,6 +20,11 @@ struct TranslatorOptions {
   // Worker threads for the morsel-driven first scan step (0 = FTS_THREADS
   // env, defaulting to single-threaded).
   int threads = 0;
+  // Fold eligible aggregate projections inside the scan kernels (masked
+  // SIMD accumulators; no position list). Disabled, every aggregate runs
+  // the materialize-then-aggregate path — the bench harness uses this to
+  // measure the pushdown speedup.
+  bool enable_aggregate_pushdown = true;
 };
 
 // Lowers an (optimized) LQP chain into a PhysicalPlan.

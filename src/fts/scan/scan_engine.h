@@ -142,6 +142,12 @@ struct ExecutionReport {
   // every predicate. Filled by the plan executor.
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
+  // Aggregate pushdown: true when the plan folded its aggregates inside
+  // the scan kernels instead of materializing a position list;
+  // `rows_folded` counts the matched rows folded into accumulators
+  // (zone-shortcut chunks contribute without being scanned).
+  bool aggregate_pushdown = false;
+  uint64_t rows_folded = 0;
   // JIT attribution: wall time spent compiling inside this query (0 when
   // every kernel came from the cache) and cache hit/miss counts across the
   // query's chunk executions.

@@ -9,6 +9,11 @@ std::string PredicateSpec::ToString() const {
                    ValueToString(value).c_str());
 }
 
+std::string AggregateSpec::ToString() const {
+  if (op == AggOp::kCount && column.empty()) return "COUNT(*)";
+  return StrFormat("%s(%s)", AggOpToString(op), column.c_str());
+}
+
 std::string ScanSpec::ToString() const {
   std::vector<std::string> parts;
   parts.reserve(predicates.size());

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "fts/simd/agg_spec.h"
 #include "fts/storage/compare_op.h"
 #include "fts/storage/value.h"
 
@@ -19,10 +20,26 @@ struct PredicateSpec {
   std::string ToString() const;
 };
 
+// One aggregate pushed down into the scan loop: `op(column)`. COUNT takes
+// no column (empty string). AVG is lowered to SUM + COUNT before this
+// layer (fts/plan/translator.cc).
+struct AggregateSpec {
+  AggOp op = AggOp::kCount;
+  std::string column;
+
+  // E.g. "SUM(v)".
+  std::string ToString() const;
+};
+
 // A conjunctive multi-predicate scan specification — the workload class
 // the Fused Table Scan targets (SELECT ... WHERE p1 AND p2 AND ...).
 struct ScanSpec {
   std::vector<PredicateSpec> predicates;
+
+  // Aggregates folded inside the kernel loop (aggregate pushdown). When
+  // non-empty, the Execute*Aggregate entry points are usable; the
+  // position-materializing entry points ignore this field.
+  std::vector<AggregateSpec> aggregates;
 
   // Execution hint: worker threads for the morsel-driven parallel path
   // (fts/exec/parallel_scan.h). 0 = resolve from the FTS_THREADS

@@ -1,6 +1,9 @@
 #include "fts/scan/table_scan.h"
 
+#include <algorithm>
+#include <memory>
 #include <numeric>
+#include <optional>
 
 #include "fts/common/string_util.h"
 #include "fts/obs/metrics.h"
@@ -134,6 +137,139 @@ Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
   return Status::Ok();
 }
 
+// Value domain of a column type, selecting the AggAccumulator fields and
+// widening rule an aggregate term uses.
+AggDomain AggDomainForType(DataType type) {
+  AggDomain domain = AggDomain::kSigned;
+  DispatchDataType(type, [&](auto tag) {
+    using T = decltype(tag);
+    if constexpr (std::is_floating_point_v<T>) {
+      domain = AggDomain::kFloat;
+    } else if constexpr (std::is_signed_v<T>) {
+      domain = AggDomain::kSigned;
+    } else {
+      domain = AggDomain::kUnsigned;
+    }
+  });
+  return domain;
+}
+
+// Builds the AggTerm for one aggregate against one chunk's column and
+// appends it to `plan`. Dictionary / bit-packed columns get a decode table
+// widened to 8 bytes per entry (owned by plan->agg_dicts) so the kernels
+// fold decoded values without per-row type dispatch.
+Status BuildAggTerm(const Chunk& chunk,
+                    const std::optional<size_t>& column_index, AggOp op,
+                    TableScanner::ChunkPlan* plan) {
+  AggTerm term;
+  term.op = op;
+  if (!column_index.has_value()) {  // COUNT(*): no column read.
+    plan->agg_terms.push_back(term);
+    return Status::Ok();
+  }
+  const BaseColumn& column = chunk.column(*column_index);
+  term.domain = AggDomainForType(column.data_type());
+  if (column.encoding() == ColumnEncoding::kDictionary ||
+      column.encoding() == ColumnEncoding::kBitPacked) {
+    term.data = column.scan_data();
+    term.type = ScanElementType::kU32;
+    term.packed_bits = column.packed_bit_width();
+    FTS_RETURN_IF_ERROR(DispatchDataType(
+        column.data_type(), [&](auto tag) -> Status {
+          using T = decltype(tag);
+          const std::vector<T>& dict =
+              column.encoding() == ColumnEncoding::kDictionary
+                  ? static_cast<const DictionaryColumn<T>&>(column)
+                        .dictionary()
+                  : static_cast<const BitPackedColumn<T>&>(column)
+                        .dictionary();
+          if constexpr (std::is_floating_point_v<T>) {
+            auto widened = std::make_shared<std::vector<double>>(
+                dict.begin(), dict.end());
+            term.dict = widened->data();
+            plan->agg_dicts.emplace_back(std::move(widened));
+          } else if constexpr (std::is_signed_v<T>) {
+            auto widened = std::make_shared<std::vector<int64_t>>(
+                dict.begin(), dict.end());
+            term.dict = widened->data();
+            plan->agg_dicts.emplace_back(std::move(widened));
+          } else {
+            auto widened = std::make_shared<std::vector<uint64_t>>(
+                dict.begin(), dict.end());
+            term.dict = widened->data();
+            plan->agg_dicts.emplace_back(std::move(widened));
+          }
+          return Status::Ok();
+        }));
+    plan->agg_terms.push_back(term);
+    return Status::Ok();
+  }
+  // Plain column: the SIMD gathers read the values directly, so the
+  // element type must be scan-supported (32/64-bit). 8/16-bit plain
+  // columns are rejected here; the planner routes those to the
+  // materialize-then-aggregate path instead.
+  FTS_ASSIGN_OR_RETURN(term.type,
+                       ScanElementTypeFromDataType(column.scan_type()));
+  term.data = column.scan_data();
+  plan->agg_terms.push_back(term);
+  return Status::Ok();
+}
+
+// When every conjunct of a chunk was proved tautological and every term is
+// answerable from zone metadata alone (COUNT from the row count, MIN/MAX
+// from the bounds), precomputes the chunk's contribution so execution
+// skips the chunk's data entirely. SUM needs the actual values, so any SUM
+// term disables the shortcut.
+void TryAggZoneShortcut(const Chunk& chunk,
+                        const std::vector<std::optional<size_t>>& columns,
+                        TableScanner::ChunkPlan* plan) {
+  if (!plan->stages.empty() || plan->impossible || plan->row_count == 0) {
+    return;
+  }
+  std::vector<AggAccumulator> partials(plan->agg_terms.size());
+  for (size_t i = 0; i < plan->agg_terms.size(); ++i) {
+    const AggTerm& term = plan->agg_terms[i];
+    AggAccumulator& acc = partials[i];
+    acc.count = plan->row_count;
+    if (term.op == AggOp::kCount) continue;
+    if (term.op == AggOp::kSum) return;  // Zone maps hold no sums.
+    const ZoneMap* zone = chunk.zone_map(*columns[i]);
+    if (zone == nullptr || !zone->valid) return;
+    const Value& bound = term.op == AggOp::kMin ? zone->min : zone->max;
+    switch (term.domain) {
+      case AggDomain::kSigned:
+        FoldSigned(term.op, ValueAs<int64_t>(bound), acc);
+        break;
+      case AggDomain::kUnsigned:
+        FoldUnsigned(term.op, ValueAs<uint64_t>(bound), acc);
+        break;
+      case AggDomain::kFloat:
+        FoldFloat(term.op, ValueAs<double>(bound), acc);
+        break;
+    }
+  }
+  plan->agg_zone_shortcut = true;
+  plan->agg_zone_partials = std::move(partials);
+}
+
+// Maps a ScanEngine to its aggregate-pushdown kernel. SISD and Blockwise
+// engines (and the scalar fused engine) run the scalar reference fold; the
+// JIT engine never reaches this (ValidateEngine rejects it).
+FusedAggScanFn AggFnForEngine(ScanEngine engine) {
+  switch (engine) {
+    case ScanEngine::kAvx2Fused128:
+      return *GetFusedAggKernel(FusedKernelKind::kAvx2_128);
+    case ScanEngine::kAvx512Fused128:
+      return *GetFusedAggKernel(FusedKernelKind::kAvx512_128);
+    case ScanEngine::kAvx512Fused256:
+      return *GetFusedAggKernel(FusedKernelKind::kAvx512_256);
+    case ScanEngine::kAvx512Fused512:
+      return *GetFusedAggKernel(FusedKernelKind::kAvx512_512);
+    default:
+      return *GetFusedAggKernel(FusedKernelKind::kScalar);
+  }
+}
+
 // Maps a fused ScanEngine to its static kernel. Callers have already
 // checked availability.
 FusedScanFn FusedFnForEngine(ScanEngine engine) {
@@ -228,6 +364,22 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
                          table->ColumnIndex(predicate.column));
     column_indexes.push_back(index);
   }
+  if (spec.aggregates.size() > kMaxAggTerms) {
+    return Status::InvalidArgument(
+        StrFormat("scan has %zu aggregates; kernels support up to %zu",
+                  spec.aggregates.size(), kMaxAggTerms));
+  }
+  std::vector<std::optional<size_t>> agg_columns;
+  agg_columns.reserve(spec.aggregates.size());
+  for (const AggregateSpec& aggregate : spec.aggregates) {
+    if (aggregate.op == AggOp::kCount && aggregate.column.empty()) {
+      agg_columns.emplace_back(std::nullopt);
+      continue;
+    }
+    FTS_ASSIGN_OR_RETURN(const size_t index,
+                         table->ColumnIndex(aggregate.column));
+    agg_columns.emplace_back(index);
+  }
 
   std::vector<ChunkPlan> plans;
   plans.reserve(table->chunk_count());
@@ -279,9 +431,19 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
       }
       plan.stages.push_back(stage);
     }
+    if (!spec.aggregates.empty() && !plan.impossible) {
+      for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+        FTS_RETURN_IF_ERROR(BuildAggTerm(chunk, agg_columns[a],
+                                         spec.aggregates[a].op, &plan));
+      }
+      if (options.use_zone_maps) {
+        TryAggZoneShortcut(chunk, agg_columns, &plan);
+      }
+    }
     plans.push_back(std::move(plan));
   }
-  return TableScanner(std::move(table), std::move(plans), pruning);
+  return TableScanner(std::move(table), std::move(plans), pruning,
+                      spec.aggregates.size());
 }
 
 StatusOr<size_t> TableScanner::ExecuteChunk(ScanEngine engine,
@@ -365,6 +527,64 @@ StatusOr<uint64_t> TableScanner::ExecuteChunkCount(ScanEngine engine,
   }
   PosList scratch(plan.row_count + kScanOutputSlack);
   return ExecuteChunk(engine, chunk_id, scratch.data());
+}
+
+StatusOr<size_t> TableScanner::ExecuteChunkAggregate(
+    ScanEngine engine, ChunkId chunk_id, AggAccumulator* accs) const {
+  FTS_RETURN_IF_ERROR(ValidateEngine(engine));
+  if (num_agg_terms_ == 0) {
+    return Status::InvalidArgument(
+        "scan spec carries no aggregates; use ExecuteChunk");
+  }
+  if (chunk_id >= chunk_plans_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("chunk %u out of range (%zu chunks)", chunk_id,
+                  chunk_plans_.size()));
+  }
+  const ChunkPlan& plan = chunk_plans_[chunk_id];
+  for (size_t i = 0; i < num_agg_terms_; ++i) accs[i] = AggAccumulator{};
+  if (plan.impossible || plan.row_count == 0) return size_t{0};
+  if (plan.agg_zone_shortcut) {
+    // Answered from zone metadata: no column bytes touched.
+    std::copy(plan.agg_zone_partials.begin(), plan.agg_zone_partials.end(),
+              accs);
+    RecordChunkExecution(engine, 0, plan.row_count);
+    return plan.row_count;
+  }
+  obs::TraceSpan span("scan_chunk_agg", "scan");
+  const size_t count = AggFnForEngine(engine)(
+      plan.stages.data(), plan.stages.size(), plan.row_count,
+      plan.agg_terms.data(), plan.agg_terms.size(), accs);
+  RecordChunkExecution(engine, plan.row_count, count);
+  if (span.active()) {
+    span.AddArg("chunk", static_cast<uint64_t>(chunk_id));
+    span.AddArg("engine", ScanEngineToString(engine));
+    span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
+    span.AddArg("matches", static_cast<uint64_t>(count));
+  }
+  return count;
+}
+
+StatusOr<TableScanner::AggResult> TableScanner::ExecuteAggregate(
+    ScanEngine engine) const {
+  FTS_RETURN_IF_ERROR(ValidateEngine(engine));
+  if (num_agg_terms_ == 0) {
+    return Status::InvalidArgument(
+        "scan spec carries no aggregates; use Execute");
+  }
+  AggResult result;
+  result.accumulators.resize(num_agg_terms_);
+  std::vector<AggAccumulator> partial(num_agg_terms_);
+  for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
+    FTS_ASSIGN_OR_RETURN(
+        const size_t count,
+        ExecuteChunkAggregate(engine, chunk_id, partial.data()));
+    result.matched += count;
+    for (size_t i = 0; i < num_agg_terms_; ++i) {
+      result.accumulators[i].Merge(partial[i]);
+    }
+  }
+  return result;
 }
 
 StatusOr<TableMatches> TableScanner::Execute(ScanEngine engine) const {

@@ -1,11 +1,13 @@
 #ifndef FTS_SCAN_TABLE_SCAN_H_
 #define FTS_SCAN_TABLE_SCAN_H_
 
+#include <memory>
 #include <vector>
 
 #include "fts/common/status.h"
 #include "fts/scan/scan_engine.h"
 #include "fts/scan/scan_spec.h"
+#include "fts/simd/agg_spec.h"
 #include "fts/simd/scan_stage.h"
 #include "fts/storage/pos_list.h"
 #include "fts/storage/table.h"
@@ -30,6 +32,27 @@ class TableScanner {
     // Some predicate can never match in this chunk.
     bool impossible = false;
     size_t row_count = 0;
+
+    // Aggregate pushdown (populated only when the spec carries
+    // aggregates). `agg_terms` parallels ScanSpec::aggregates; dictionary
+    // and bit-packed terms point `dict` into `agg_dicts`-owned widened
+    // decode tables (shared so ChunkPlan copies stay valid).
+    std::vector<AggTerm> agg_terms;
+    std::vector<std::shared_ptr<const void>> agg_dicts;
+    // Every conjunct proved tautological and every term answerable from
+    // the zone maps alone: ExecuteChunkAggregate copies
+    // `agg_zone_partials` without touching the chunk's data. SUM terms
+    // always force a scan (zone maps hold no sums).
+    bool agg_zone_shortcut = false;
+    std::vector<AggAccumulator> agg_zone_partials;
+  };
+
+  // Result of an aggregate-pushdown execution: one partial accumulator per
+  // ScanSpec aggregate (already merged across chunks for the whole-table
+  // entry point) plus the conjunction's match count.
+  struct AggResult {
+    std::vector<AggAccumulator> accumulators;
+    uint64_t matched = 0;
   };
 
   struct PrepareOptions {
@@ -77,20 +100,42 @@ class TableScanner {
   StatusOr<uint64_t> ExecuteChunkCount(ScanEngine engine,
                                        ChunkId chunk_id) const;
 
+  // Aggregate-pushdown morsel primitive: evaluates the chunk's conjunction
+  // and folds the spec's aggregates inside the kernel loop — no position
+  // list is materialized. `accs` must hold spec.aggregates.size() slots;
+  // they are reset to fresh accumulators before folding. Returns the match
+  // count. Zone-shortcut chunks (see ChunkPlan) are answered without
+  // touching column data; impossible chunks contribute nothing. Requires
+  // Prepare() to have seen a spec with aggregates. SISD/Blockwise engines
+  // run the scalar reference fold.
+  StatusOr<size_t> ExecuteChunkAggregate(ScanEngine engine, ChunkId chunk_id,
+                                         AggAccumulator* accs) const;
+
+  // Whole-table aggregate pushdown: runs every chunk through
+  // ExecuteChunkAggregate and merges partials in chunk order (the
+  // deterministic merge order the parallel executor reproduces).
+  StatusOr<AggResult> ExecuteAggregate(ScanEngine engine) const;
+
+  // Number of aggregate terms the prepared spec carries (0 = the spec had
+  // no aggregates and the Execute*Aggregate entry points will fail).
+  size_t num_agg_terms() const { return num_agg_terms_; }
+
   const std::vector<ChunkPlan>& chunk_plans() const { return chunk_plans_; }
   const PruningSummary& pruning() const { return pruning_; }
   const TablePtr& table() const { return table_; }
 
  private:
   TableScanner(TablePtr table, std::vector<ChunkPlan> chunk_plans,
-               PruningSummary pruning)
+               PruningSummary pruning, size_t num_agg_terms)
       : table_(std::move(table)),
         chunk_plans_(std::move(chunk_plans)),
-        pruning_(pruning) {}
+        pruning_(pruning),
+        num_agg_terms_(num_agg_terms) {}
 
   TablePtr table_;
   std::vector<ChunkPlan> chunk_plans_;
   PruningSummary pruning_;
+  size_t num_agg_terms_ = 0;
 };
 
 // Copies the scanner's PruningSummary into the report's zone-map fields.

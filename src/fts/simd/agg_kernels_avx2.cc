@@ -1,0 +1,74 @@
+#include "fts/simd/agg_spec.h"
+#include "fts/simd/fused_chain_avx2.h"
+#include "fts/simd/kernels_avx2.h"
+
+// AVX2 aggregate-pushdown kernel: the predicate chain runs fully SIMD
+// through fused_chain_avx2.h; the sink folds the (at most 4) survivors of
+// each emitted mask scalar. AVX2 lacks the masked min/max and compress
+// primitives that make the AVX-512 fold profitable, and this rung only
+// runs as a fallback — the win over materialize-then-aggregate (no
+// position list, no second pass) is preserved either way.
+//
+// Compiled with -mavx2 only; no AVX-512 instructions may appear here.
+
+namespace fts {
+namespace {
+
+struct AggSinkAvx2 {
+  AggSinkAvx2(const AggTerm* terms, size_t num_terms, AggAccumulator* accs)
+      : terms_(terms), num_terms_(num_terms), accs_(accs) {
+    FTS_CHECK(num_terms <= kMaxAggTerms);
+  }
+
+  void Emit(int m, __m128i positions) {
+    alignas(16) uint32_t pos[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(pos), positions);
+    matches_ += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(m)));
+    for (int lanes = m; lanes != 0; lanes &= lanes - 1) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(lanes));
+      for (size_t t = 0; t < num_terms_; ++t) {
+        FoldValueAtRow(terms_[t], pos[lane], accs_[t]);
+      }
+    }
+  }
+
+  size_t Finalize() {
+    for (size_t t = 0; t < num_terms_; ++t) accs_[t].count += matches_;
+    return matches_;
+  }
+
+  const AggTerm* terms_;
+  size_t num_terms_;
+  AggAccumulator* accs_;
+  size_t matches_ = 0;
+};
+
+}  // namespace
+
+size_t FusedAggScanAvx2_128(const ScanStage* stages, size_t num_stages,
+                            size_t row_count, const AggTerm* terms,
+                            size_t num_terms, AggAccumulator* accs) {
+  if (row_count == 0) return 0;
+  for (size_t s = 0; s < num_stages; ++s) {
+    if (stages[s].packed_bits != 0) {
+      FTS_CHECK(row_count * stages[s].packed_bits < (uint64_t{1} << 32));
+    }
+  }
+  AggSinkAvx2 sink(terms, num_terms, accs);
+  if (num_stages == 0) {
+    // All conjuncts dropped as tautological: every row matches.
+    for (size_t row = 0; row < row_count; ++row) {
+      for (size_t t = 0; t < num_terms; ++t) {
+        FoldValueAtRow(terms[t], row, accs[t]);
+      }
+    }
+    for (size_t t = 0; t < num_terms; ++t) accs[t].count += row_count;
+    return row_count;
+  }
+  avx2_detail::FusedChainAvx2<AggSinkAvx2> chain(stages, num_stages, sink);
+  chain.Run(row_count);
+  return sink.Finalize();
+}
+
+}  // namespace fts

@@ -1,0 +1,19 @@
+#include "fts/simd/agg_spec.h"
+
+namespace fts {
+
+const char* AggOpToString(AggOp op) {
+  switch (op) {
+    case AggOp::kCount:
+      return "COUNT";
+    case AggOp::kSum:
+      return "SUM";
+    case AggOp::kMin:
+      return "MIN";
+    case AggOp::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace fts

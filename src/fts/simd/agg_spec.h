@@ -1,0 +1,220 @@
+#ifndef FTS_SIMD_AGG_SPEC_H_
+#define FTS_SIMD_AGG_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// Aggregate operations the fused kernels fold inside the scan loop. AVG is
+// lowered to SUM + COUNT by the planner before reaching this layer.
+enum class AggOp : uint8_t {
+  kCount = 0,
+  kSum,
+  kMin,
+  kMax,
+};
+
+const char* AggOpToString(AggOp op);
+
+// Value domain of a term after decode. Selects which accumulator fields the
+// term uses and the widening rule: signed/unsigned integers fold into
+// wrapping 64-bit integer lanes, floats into double.
+enum class AggDomain : uint8_t {
+  kSigned = 0,
+  kUnsigned,
+  kFloat,
+};
+
+// One aggregate folded inside the scan loop. For kCount, `data` is null and
+// the remaining fields are ignored. Dictionary-encoded columns point `data`
+// at the u32 code vector (or at the packed byte stream when `packed_bits`
+// is non-zero) and `dict` at a decode table widened to 8 bytes per entry —
+// int64_t for kSigned, uint64_t for kUnsigned, double for kFloat — indexed
+// by code. Plain columns leave `dict` null and are read directly per
+// `type`.
+struct AggTerm {
+  AggOp op = AggOp::kCount;
+  const void* data = nullptr;
+  ScanElementType type = ScanElementType::kI32;
+  uint8_t packed_bits = 0;     // Non-zero: bit-packed u32 codes.
+  const void* dict = nullptr;  // Non-null: widened decode table.
+  AggDomain domain = AggDomain::kSigned;
+};
+
+// Maximum aggregate terms per fused scan, mirroring kMaxScanStages.
+inline constexpr size_t kMaxAggTerms = 8;
+
+// Partial aggregate state for one term. Every field is 8 bytes and the
+// struct has no padding, so the JIT engine can emit a mirror struct with
+// identical layout in generated code (a static_assert there pins sizeof).
+// Integer sums wrap mod 2^64 — exact for any input once the finalizer
+// reinterprets the bits per domain; float sums accumulate in double.
+// Merge is domain-agnostic: only the fields a term's op/domain pair uses
+// are ever read back, so merging all of them is harmless.
+struct AggAccumulator {
+  uint64_t count = 0;
+  uint64_t sum_bits = 0;
+  double sum_double = 0.0;
+  int64_t min_i = std::numeric_limits<int64_t>::max();
+  int64_t max_i = std::numeric_limits<int64_t>::min();
+  uint64_t min_u = std::numeric_limits<uint64_t>::max();
+  uint64_t max_u = 0;
+  double min_d = std::numeric_limits<double>::infinity();
+  double max_d = -std::numeric_limits<double>::infinity();
+
+  void Merge(const AggAccumulator& o) {
+    count += o.count;
+    sum_bits += o.sum_bits;
+    sum_double += o.sum_double;
+    if (o.min_i < min_i) min_i = o.min_i;
+    if (o.max_i > max_i) max_i = o.max_i;
+    if (o.min_u < min_u) min_u = o.min_u;
+    if (o.max_u > max_u) max_u = o.max_u;
+    if (o.min_d < min_d) min_d = o.min_d;
+    if (o.max_d > max_d) max_d = o.max_d;
+  }
+};
+
+static_assert(sizeof(AggAccumulator) == 9 * 8,
+              "generated JIT code mirrors this layout field-for-field");
+
+// Extracts the b-bit code of logical element `row` from a bit-packed byte
+// stream (same windowed read as EvaluateStageAtRow; requires the stream's
+// kBitPackedSlackBytes padding).
+inline uint32_t ExtractPackedCode(const void* data, uint8_t bits,
+                                  size_t row) {
+  const auto* packed = static_cast<const uint8_t*>(data);
+  const size_t bit_offset = row * bits;
+  uint64_t window;
+  __builtin_memcpy(&window, packed + (bit_offset >> 3), sizeof(window));
+  return static_cast<uint32_t>((window >> (bit_offset & 7)) &
+                               ((1ull << bits) - 1));
+}
+
+// Domain-typed folds (value only; `count` is maintained by the caller —
+// SIMD sinks add one popcount per emitted mask instead of one increment
+// per row).
+inline void FoldSigned(AggOp op, int64_t v, AggAccumulator& acc) {
+  switch (op) {
+    case AggOp::kSum:
+      acc.sum_bits += static_cast<uint64_t>(v);
+      break;
+    case AggOp::kMin:
+      if (v < acc.min_i) acc.min_i = v;
+      break;
+    case AggOp::kMax:
+      if (v > acc.max_i) acc.max_i = v;
+      break;
+    case AggOp::kCount:
+      break;
+  }
+}
+
+inline void FoldUnsigned(AggOp op, uint64_t v, AggAccumulator& acc) {
+  switch (op) {
+    case AggOp::kSum:
+      acc.sum_bits += v;
+      break;
+    case AggOp::kMin:
+      if (v < acc.min_u) acc.min_u = v;
+      break;
+    case AggOp::kMax:
+      if (v > acc.max_u) acc.max_u = v;
+      break;
+    case AggOp::kCount:
+      break;
+  }
+}
+
+inline void FoldFloat(AggOp op, double v, AggAccumulator& acc) {
+  switch (op) {
+    case AggOp::kSum:
+      acc.sum_double += v;
+      break;
+    case AggOp::kMin:
+      if (v < acc.min_d) acc.min_d = v;
+      break;
+    case AggOp::kMax:
+      if (v > acc.max_d) acc.max_d = v;
+      break;
+    case AggOp::kCount:
+      break;
+  }
+}
+
+// Folds the term's decoded value at `row` into `acc` without touching
+// `count`. Used by SIMD sinks for the cases they handle scalar (dictionary
+// and bit-packed terms) and by the scalar kernel for every row.
+inline void FoldValueAtRow(const AggTerm& term, size_t row,
+                           AggAccumulator& acc) {
+  if (term.op == AggOp::kCount) return;
+  if (term.dict != nullptr) {
+    const uint32_t code =
+        term.packed_bits != 0
+            ? ExtractPackedCode(term.data, term.packed_bits, row)
+            : static_cast<const uint32_t*>(term.data)[row];
+    switch (term.domain) {
+      case AggDomain::kSigned:
+        FoldSigned(term.op, static_cast<const int64_t*>(term.dict)[code],
+                   acc);
+        return;
+      case AggDomain::kUnsigned:
+        FoldUnsigned(term.op, static_cast<const uint64_t*>(term.dict)[code],
+                     acc);
+        return;
+      case AggDomain::kFloat:
+        FoldFloat(term.op, static_cast<const double*>(term.dict)[code], acc);
+        return;
+    }
+    __builtin_unreachable();
+  }
+  switch (term.type) {
+    case ScanElementType::kI32:
+      FoldSigned(term.op, static_cast<const int32_t*>(term.data)[row], acc);
+      return;
+    case ScanElementType::kU32:
+      FoldUnsigned(term.op, static_cast<const uint32_t*>(term.data)[row],
+                   acc);
+      return;
+    case ScanElementType::kF32:
+      FoldFloat(term.op, static_cast<const float*>(term.data)[row], acc);
+      return;
+    case ScanElementType::kI64:
+      FoldSigned(term.op, static_cast<const int64_t*>(term.data)[row], acc);
+      return;
+    case ScanElementType::kU64:
+      FoldUnsigned(term.op, static_cast<const uint64_t*>(term.data)[row],
+                   acc);
+      return;
+    case ScanElementType::kF64:
+      FoldFloat(term.op, static_cast<const double*>(term.data)[row], acc);
+      return;
+  }
+  __builtin_unreachable();
+}
+
+// Scalar fold of one matching row (count + value) — the semantic reference
+// every SIMD/JIT fold is verified against.
+inline void FoldRowScalar(const AggTerm& term, size_t row,
+                          AggAccumulator& acc) {
+  acc.count += 1;
+  FoldValueAtRow(term, row, acc);
+}
+
+// Aggregate kernel contract shared by the scalar, AVX2, AVX-512 and JIT
+// implementations: evaluate the conjunction of `stages` (num_stages may be
+// 0, meaning every row matches — possible when zone maps drop every
+// conjunct as tautological but a SUM still forces the scan), fold each
+// surviving row into the per-term accumulators, return the match count.
+// No position list is ever materialized.
+using FusedAggScanFn = size_t (*)(const ScanStage* stages, size_t num_stages,
+                                  size_t row_count, const AggTerm* terms,
+                                  size_t num_terms, AggAccumulator* accs);
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_AGG_SPEC_H_

@@ -53,6 +53,35 @@ StatusOr<FusedScanFn> GetFusedScanKernel(FusedKernelKind kind) {
   return Status::InvalidArgument("unknown kernel kind");
 }
 
+StatusOr<FusedAggScanFn> GetFusedAggKernel(FusedKernelKind kind) {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  switch (kind) {
+    case FusedKernelKind::kScalar:
+      return FusedAggScanFn{&FusedAggScanScalar};
+    case FusedKernelKind::kAvx2_128:
+      if (!cpu.avx2) {
+        return Status::Unavailable("CPU does not support AVX2");
+      }
+      return FusedAggScanFn{&FusedAggScanAvx2_128};
+    case FusedKernelKind::kAvx512_128:
+    case FusedKernelKind::kAvx512_256:
+    case FusedKernelKind::kAvx512_512:
+      if (!cpu.HasFusedScanAvx512()) {
+        return Status::Unavailable(StrFormat(
+            "CPU lacks AVX-512 F/BW/DQ/VL (detected: %s)",
+            cpu.ToString().c_str()));
+      }
+      if (kind == FusedKernelKind::kAvx512_128) {
+        return FusedAggScanFn{&FusedAggScanAvx512_128};
+      }
+      if (kind == FusedKernelKind::kAvx512_256) {
+        return FusedAggScanFn{&FusedAggScanAvx512_256};
+      }
+      return FusedAggScanFn{&FusedAggScanAvx512_512};
+  }
+  return Status::InvalidArgument("unknown kernel kind");
+}
+
 FusedKernelKind BestAvailableKernel() {
   const CpuFeatures& cpu = GetCpuFeatures();
   if (cpu.HasFusedScanAvx512()) return FusedKernelKind::kAvx512_512;

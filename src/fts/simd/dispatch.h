@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fts/common/status.h"
+#include "fts/simd/agg_spec.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -25,6 +26,10 @@ const char* FusedKernelKindToString(FusedKernelKind kind);
 // Returns the kernel for `kind`, or an error when the CPU lacks the
 // required instruction set.
 StatusOr<FusedScanFn> GetFusedScanKernel(FusedKernelKind kind);
+
+// Returns the aggregate-pushdown kernel for `kind` (same availability
+// rules as GetFusedScanKernel).
+StatusOr<FusedAggScanFn> GetFusedAggKernel(FusedKernelKind kind);
 
 // The fastest kernel available on this CPU (AVX-512 512-bit when present,
 // else AVX2, else scalar).

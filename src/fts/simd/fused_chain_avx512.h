@@ -1,0 +1,699 @@
+#ifndef FTS_SIMD_FUSED_CHAIN_AVX512_H_
+#define FTS_SIMD_FUSED_CHAIN_AVX512_H_
+
+// The AVX-512 fused-chain dataflow (Fig. 3), shared by the position-list
+// kernels (kernels_avx512.cc) and the aggregate-pushdown kernels
+// (agg_kernels_avx512.cc). The chain is templated on a Sink that receives
+// the final predicate's survivors as (mask, position-register) pairs —
+// a position-list sink compress-stores them, an aggregate sink gathers the
+// aggregate columns under the mask and folds into vector accumulators.
+//
+// ONLY include this header from translation units compiled with
+//   -mavx512f -mavx512bw -mavx512dq -mavx512vl
+// (see simd/CMakeLists.txt); it emits AVX-512 instructions unconditionally.
+
+#include <immintrin.h>
+
+#include "fts/common/macros.h"
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+namespace avx512_detail {
+
+// Width traits: one implementation of the Fig. 3 dataflow, instantiated at
+// 512/256/128 bits. Lane masks are passed around as uint32_t and cast to
+// the intrinsic mask type at the call boundary.
+template <int kBits>
+struct WidthTraits;
+
+template <>
+struct WidthTraits<512> {
+  using VecI = __m512i;
+  static constexpr int kLanes32 = 16;
+
+  static VecI Zero() { return _mm512_setzero_si512(); }
+  static VecI Set1_32(uint32_t v) {
+    return _mm512_set1_epi32(static_cast<int>(v));
+  }
+  static VecI Set1_64(uint64_t v) {
+    return _mm512_set1_epi64(static_cast<long long>(v));
+  }
+  static VecI FirstIndices() {
+    return _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                             14, 15);
+  }
+  static VecI Add32(VecI a, VecI b) { return _mm512_add_epi32(a, b); }
+  static VecI LoadU(const void* p) { return _mm512_loadu_si512(p); }
+  static VecI MaskzLoad32(uint32_t k, const void* p) {
+    return _mm512_maskz_loadu_epi32(static_cast<__mmask16>(k), p);
+  }
+  static VecI MaskzCompress32(uint32_t k, VecI v) {
+    return _mm512_maskz_compress_epi32(static_cast<__mmask16>(k), v);
+  }
+  // Appends the dense lanes of `vals` after the first `count` lanes of
+  // `acc`: a single vpexpandd replaces the paper's permutex2var +
+  // mask_compress pair.
+  static VecI Append32(VecI acc, int count, VecI vals) {
+    const auto k = static_cast<__mmask16>(0xFFFFu << count);
+    return _mm512_mask_expand_epi32(acc, k, vals);
+  }
+  static void CompressStore32(void* p, uint32_t k, VecI v) {
+    _mm512_mask_compressstoreu_epi32(p, static_cast<__mmask16>(k), v);
+  }
+  static VecI Gather32(uint32_t k, VecI idx, const void* base) {
+    return _mm512_mask_i32gather_epi32(Zero(), static_cast<__mmask16>(k),
+                                       idx, base, 4);
+  }
+  // 64-bit gather of the low/high half of a 32-bit index vector.
+  static VecI Gather64Lo(uint32_t k, VecI idx, const void* base) {
+    return _mm512_mask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                       _mm512_castsi512_si256(idx), base, 8);
+  }
+  static VecI Gather64Hi(uint32_t k, VecI idx, const void* base) {
+    return _mm512_mask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                       _mm512_extracti64x4_epi64(idx, 1),
+                                       base, 8);
+  }
+  // Byte-granular (scale 1) window gathers for bit-packed streams.
+  static VecI Gather64LoBytes(uint32_t k, VecI byte_idx, const void* base) {
+    return _mm512_mask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                       _mm512_castsi512_si256(byte_idx),
+                                       base, 1);
+  }
+  static VecI Gather64HiBytes(uint32_t k, VecI byte_idx, const void* base) {
+    return _mm512_mask_i32gather_epi64(
+        Zero(), static_cast<__mmask8>(k),
+        _mm512_extracti64x4_epi64(byte_idx, 1), base, 1);
+  }
+  static VecI Mullo32(VecI a, VecI b) { return _mm512_mullo_epi32(a, b); }
+  static VecI Srli32_3(VecI v) { return _mm512_srli_epi32(v, 3); }
+  static VecI And(VecI a, VecI b) { return _mm512_and_si512(a, b); }
+  static VecI Srlv64(VecI v, VecI counts) {
+    return _mm512_srlv_epi64(v, counts);
+  }
+  // Zero-extends the low/high 32-bit half into 64-bit lanes.
+  static VecI WidenLo32(VecI v) {
+    return _mm512_cvtepu32_epi64(_mm512_castsi512_si256(v));
+  }
+  static VecI WidenHi32(VecI v) {
+    return _mm512_cvtepu32_epi64(_mm512_extracti64x4_epi64(v, 1));
+  }
+  // Zero-extends the register into the low lanes of a zmm (identity at
+  // 512 bits) — the aggregate sink folds at full width regardless of the
+  // chain's register width.
+  static __m512i ZeroExtendTo512(VecI v) { return v; }
+
+  template <int kImm>
+  static uint32_t CmpI32(uint32_t k, VecI a, VecI b) {
+    return _mm512_mask_cmp_epi32_mask(static_cast<__mmask16>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpU32(uint32_t k, VecI a, VecI b) {
+    return _mm512_mask_cmp_epu32_mask(static_cast<__mmask16>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpF32(uint32_t k, VecI a, VecI b) {
+    return _mm512_mask_cmp_ps_mask(static_cast<__mmask16>(k),
+                                   _mm512_castsi512_ps(a),
+                                   _mm512_castsi512_ps(b), kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpI64(uint32_t k, VecI a, VecI b) {
+    return _mm512_mask_cmp_epi64_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpU64(uint32_t k, VecI a, VecI b) {
+    return _mm512_mask_cmp_epu64_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpF64(uint32_t k, VecI a, VecI b) {
+    return _mm512_mask_cmp_pd_mask(static_cast<__mmask8>(k),
+                                   _mm512_castsi512_pd(a),
+                                   _mm512_castsi512_pd(b), kImm);
+  }
+  static VecI MaskzLoad64(uint32_t k, const void* p) {
+    return _mm512_maskz_loadu_epi64(static_cast<__mmask8>(k), p);
+  }
+};
+
+template <>
+struct WidthTraits<256> {
+  using VecI = __m256i;
+  static constexpr int kLanes32 = 8;
+
+  static VecI Zero() { return _mm256_setzero_si256(); }
+  static VecI Set1_32(uint32_t v) {
+    return _mm256_set1_epi32(static_cast<int>(v));
+  }
+  static VecI Set1_64(uint64_t v) {
+    return _mm256_set1_epi64x(static_cast<long long>(v));
+  }
+  static VecI FirstIndices() {
+    return _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  }
+  static VecI Add32(VecI a, VecI b) { return _mm256_add_epi32(a, b); }
+  static VecI LoadU(const void* p) {
+    return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+  }
+  static VecI MaskzLoad32(uint32_t k, const void* p) {
+    return _mm256_maskz_loadu_epi32(static_cast<__mmask8>(k), p);
+  }
+  static VecI MaskzCompress32(uint32_t k, VecI v) {
+    return _mm256_maskz_compress_epi32(static_cast<__mmask8>(k), v);
+  }
+  static VecI Append32(VecI acc, int count, VecI vals) {
+    const auto k = static_cast<__mmask8>(0xFFu << count);
+    return _mm256_mask_expand_epi32(acc, k, vals);
+  }
+  static void CompressStore32(void* p, uint32_t k, VecI v) {
+    _mm256_mask_compressstoreu_epi32(p, static_cast<__mmask8>(k), v);
+  }
+  static VecI Gather32(uint32_t k, VecI idx, const void* base) {
+    return _mm256_mmask_i32gather_epi32(Zero(), static_cast<__mmask8>(k),
+                                        idx, base, 4);
+  }
+  static VecI Gather64Lo(uint32_t k, VecI idx, const void* base) {
+    return _mm256_mmask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                        _mm256_castsi256_si128(idx), base, 8);
+  }
+  static VecI Gather64Hi(uint32_t k, VecI idx, const void* base) {
+    return _mm256_mmask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                        _mm256_extracti128_si256(idx, 1),
+                                        base, 8);
+  }
+  static VecI Gather64LoBytes(uint32_t k, VecI byte_idx, const void* base) {
+    return _mm256_mmask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                        _mm256_castsi256_si128(byte_idx),
+                                        base, 1);
+  }
+  static VecI Gather64HiBytes(uint32_t k, VecI byte_idx, const void* base) {
+    return _mm256_mmask_i32gather_epi64(
+        Zero(), static_cast<__mmask8>(k),
+        _mm256_extracti128_si256(byte_idx, 1), base, 1);
+  }
+  static VecI Mullo32(VecI a, VecI b) { return _mm256_mullo_epi32(a, b); }
+  static VecI Srli32_3(VecI v) { return _mm256_srli_epi32(v, 3); }
+  static VecI And(VecI a, VecI b) { return _mm256_and_si256(a, b); }
+  static VecI Srlv64(VecI v, VecI counts) {
+    return _mm256_srlv_epi64(v, counts);
+  }
+  static VecI WidenLo32(VecI v) {
+    return _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v));
+  }
+  static VecI WidenHi32(VecI v) {
+    return _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1));
+  }
+  static __m512i ZeroExtendTo512(VecI v) {
+    return _mm512_zextsi256_si512(v);
+  }
+
+  template <int kImm>
+  static uint32_t CmpI32(uint32_t k, VecI a, VecI b) {
+    return _mm256_mask_cmp_epi32_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpU32(uint32_t k, VecI a, VecI b) {
+    return _mm256_mask_cmp_epu32_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpF32(uint32_t k, VecI a, VecI b) {
+    return _mm256_mask_cmp_ps_mask(static_cast<__mmask8>(k),
+                                   _mm256_castsi256_ps(a),
+                                   _mm256_castsi256_ps(b), kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpI64(uint32_t k, VecI a, VecI b) {
+    return _mm256_mask_cmp_epi64_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpU64(uint32_t k, VecI a, VecI b) {
+    return _mm256_mask_cmp_epu64_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpF64(uint32_t k, VecI a, VecI b) {
+    return _mm256_mask_cmp_pd_mask(static_cast<__mmask8>(k),
+                                   _mm256_castsi256_pd(a),
+                                   _mm256_castsi256_pd(b), kImm);
+  }
+  static VecI MaskzLoad64(uint32_t k, const void* p) {
+    return _mm256_maskz_loadu_epi64(static_cast<__mmask8>(k), p);
+  }
+};
+
+template <>
+struct WidthTraits<128> {
+  using VecI = __m128i;
+  static constexpr int kLanes32 = 4;
+
+  static VecI Zero() { return _mm_setzero_si128(); }
+  static VecI Set1_32(uint32_t v) {
+    return _mm_set1_epi32(static_cast<int>(v));
+  }
+  static VecI Set1_64(uint64_t v) {
+    return _mm_set1_epi64x(static_cast<long long>(v));
+  }
+  static VecI FirstIndices() { return _mm_setr_epi32(0, 1, 2, 3); }
+  static VecI Add32(VecI a, VecI b) { return _mm_add_epi32(a, b); }
+  static VecI LoadU(const void* p) {
+    return _mm_loadu_si128(static_cast<const __m128i*>(p));
+  }
+  static VecI MaskzLoad32(uint32_t k, const void* p) {
+    return _mm_maskz_loadu_epi32(static_cast<__mmask8>(k), p);
+  }
+  static VecI MaskzCompress32(uint32_t k, VecI v) {
+    return _mm_maskz_compress_epi32(static_cast<__mmask8>(k), v);
+  }
+  static VecI Append32(VecI acc, int count, VecI vals) {
+    const auto k = static_cast<__mmask8>((0xFu << count) & 0xFu);
+    return _mm_mask_expand_epi32(acc, k, vals);
+  }
+  static void CompressStore32(void* p, uint32_t k, VecI v) {
+    _mm_mask_compressstoreu_epi32(p, static_cast<__mmask8>(k), v);
+  }
+  static VecI Gather32(uint32_t k, VecI idx, const void* base) {
+    return _mm_mmask_i32gather_epi32(Zero(), static_cast<__mmask8>(k), idx,
+                                     base, 4);
+  }
+  static VecI Gather64Lo(uint32_t k, VecI idx, const void* base) {
+    return _mm_mmask_i32gather_epi64(Zero(), static_cast<__mmask8>(k), idx,
+                                     base, 8);
+  }
+  static VecI Gather64Hi(uint32_t k, VecI idx, const void* base) {
+    // Move lanes 2,3 of idx into lanes 0,1 for the second 2-wide gather.
+    return _mm_mmask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                     _mm_unpackhi_epi64(idx, idx), base, 8);
+  }
+  static VecI Gather64LoBytes(uint32_t k, VecI byte_idx, const void* base) {
+    return _mm_mmask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                     byte_idx, base, 1);
+  }
+  static VecI Gather64HiBytes(uint32_t k, VecI byte_idx, const void* base) {
+    return _mm_mmask_i32gather_epi64(Zero(), static_cast<__mmask8>(k),
+                                     _mm_unpackhi_epi64(byte_idx, byte_idx),
+                                     base, 1);
+  }
+  static VecI Mullo32(VecI a, VecI b) { return _mm_mullo_epi32(a, b); }
+  static VecI Srli32_3(VecI v) { return _mm_srli_epi32(v, 3); }
+  static VecI And(VecI a, VecI b) { return _mm_and_si128(a, b); }
+  static VecI Srlv64(VecI v, VecI counts) {
+    return _mm_srlv_epi64(v, counts);
+  }
+  static VecI WidenLo32(VecI v) { return _mm_cvtepu32_epi64(v); }
+  static VecI WidenHi32(VecI v) {
+    return _mm_cvtepu32_epi64(_mm_unpackhi_epi64(v, v));
+  }
+  static __m512i ZeroExtendTo512(VecI v) {
+    return _mm512_zextsi128_si512(v);
+  }
+
+  template <int kImm>
+  static uint32_t CmpI32(uint32_t k, VecI a, VecI b) {
+    return _mm_mask_cmp_epi32_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpU32(uint32_t k, VecI a, VecI b) {
+    return _mm_mask_cmp_epu32_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpF32(uint32_t k, VecI a, VecI b) {
+    return _mm_mask_cmp_ps_mask(static_cast<__mmask8>(k),
+                                _mm_castsi128_ps(a), _mm_castsi128_ps(b),
+                                kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpI64(uint32_t k, VecI a, VecI b) {
+    return _mm_mask_cmp_epi64_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpU64(uint32_t k, VecI a, VecI b) {
+    return _mm_mask_cmp_epu64_mask(static_cast<__mmask8>(k), a, b, kImm);
+  }
+  template <int kImm>
+  static uint32_t CmpF64(uint32_t k, VecI a, VecI b) {
+    return _mm_mask_cmp_pd_mask(static_cast<__mmask8>(k),
+                                _mm_castsi128_pd(a), _mm_castsi128_pd(b),
+                                kImm);
+  }
+  static VecI MaskzLoad64(uint32_t k, const void* p) {
+    return _mm_maskz_loadu_epi64(static_cast<__mmask8>(k), p);
+  }
+};
+
+// Integer comparison immediates follow _MM_CMPINT_* and equal the CompareOp
+// enum values (see compare_op.h). Float immediates use the ordered/
+// unordered variants that match C++ scalar semantics on NaN: ==, <, <=,
+// >, >= are false when either operand is NaN; != is true.
+template <typename Traits>
+uint32_t CompareMasked32(ScanElementType type, CompareOp op, uint32_t k,
+                         typename Traits::VecI a, typename Traits::VecI b) {
+  switch (type) {
+    case ScanElementType::kI32:
+      switch (op) {
+        case CompareOp::kEq:
+          return Traits::template CmpI32<_MM_CMPINT_EQ>(k, a, b);
+        case CompareOp::kLt:
+          return Traits::template CmpI32<_MM_CMPINT_LT>(k, a, b);
+        case CompareOp::kLe:
+          return Traits::template CmpI32<_MM_CMPINT_LE>(k, a, b);
+        case CompareOp::kNe:
+          return Traits::template CmpI32<_MM_CMPINT_NE>(k, a, b);
+        case CompareOp::kGe:
+          return Traits::template CmpI32<_MM_CMPINT_NLT>(k, a, b);
+        case CompareOp::kGt:
+          return Traits::template CmpI32<_MM_CMPINT_NLE>(k, a, b);
+      }
+      break;
+    case ScanElementType::kU32:
+      switch (op) {
+        case CompareOp::kEq:
+          return Traits::template CmpU32<_MM_CMPINT_EQ>(k, a, b);
+        case CompareOp::kLt:
+          return Traits::template CmpU32<_MM_CMPINT_LT>(k, a, b);
+        case CompareOp::kLe:
+          return Traits::template CmpU32<_MM_CMPINT_LE>(k, a, b);
+        case CompareOp::kNe:
+          return Traits::template CmpU32<_MM_CMPINT_NE>(k, a, b);
+        case CompareOp::kGe:
+          return Traits::template CmpU32<_MM_CMPINT_NLT>(k, a, b);
+        case CompareOp::kGt:
+          return Traits::template CmpU32<_MM_CMPINT_NLE>(k, a, b);
+      }
+      break;
+    case ScanElementType::kF32:
+      switch (op) {
+        case CompareOp::kEq:
+          return Traits::template CmpF32<_CMP_EQ_OQ>(k, a, b);
+        case CompareOp::kLt:
+          return Traits::template CmpF32<_CMP_LT_OS>(k, a, b);
+        case CompareOp::kLe:
+          return Traits::template CmpF32<_CMP_LE_OS>(k, a, b);
+        case CompareOp::kNe:
+          return Traits::template CmpF32<_CMP_NEQ_UQ>(k, a, b);
+        case CompareOp::kGe:
+          return Traits::template CmpF32<_CMP_GE_OS>(k, a, b);
+        case CompareOp::kGt:
+          return Traits::template CmpF32<_CMP_GT_OS>(k, a, b);
+      }
+      break;
+    default:
+      break;
+  }
+  __builtin_unreachable();
+}
+
+template <typename Traits>
+uint32_t CompareMasked64(ScanElementType type, CompareOp op, uint32_t k,
+                         typename Traits::VecI a, typename Traits::VecI b) {
+  switch (type) {
+    case ScanElementType::kI64:
+      switch (op) {
+        case CompareOp::kEq:
+          return Traits::template CmpI64<_MM_CMPINT_EQ>(k, a, b);
+        case CompareOp::kLt:
+          return Traits::template CmpI64<_MM_CMPINT_LT>(k, a, b);
+        case CompareOp::kLe:
+          return Traits::template CmpI64<_MM_CMPINT_LE>(k, a, b);
+        case CompareOp::kNe:
+          return Traits::template CmpI64<_MM_CMPINT_NE>(k, a, b);
+        case CompareOp::kGe:
+          return Traits::template CmpI64<_MM_CMPINT_NLT>(k, a, b);
+        case CompareOp::kGt:
+          return Traits::template CmpI64<_MM_CMPINT_NLE>(k, a, b);
+      }
+      break;
+    case ScanElementType::kU64:
+      switch (op) {
+        case CompareOp::kEq:
+          return Traits::template CmpU64<_MM_CMPINT_EQ>(k, a, b);
+        case CompareOp::kLt:
+          return Traits::template CmpU64<_MM_CMPINT_LT>(k, a, b);
+        case CompareOp::kLe:
+          return Traits::template CmpU64<_MM_CMPINT_LE>(k, a, b);
+        case CompareOp::kNe:
+          return Traits::template CmpU64<_MM_CMPINT_NE>(k, a, b);
+        case CompareOp::kGe:
+          return Traits::template CmpU64<_MM_CMPINT_NLT>(k, a, b);
+        case CompareOp::kGt:
+          return Traits::template CmpU64<_MM_CMPINT_NLE>(k, a, b);
+      }
+      break;
+    case ScanElementType::kF64:
+      switch (op) {
+        case CompareOp::kEq:
+          return Traits::template CmpF64<_CMP_EQ_OQ>(k, a, b);
+        case CompareOp::kLt:
+          return Traits::template CmpF64<_CMP_LT_OS>(k, a, b);
+        case CompareOp::kLe:
+          return Traits::template CmpF64<_CMP_LE_OS>(k, a, b);
+        case CompareOp::kNe:
+          return Traits::template CmpF64<_CMP_NEQ_UQ>(k, a, b);
+        case CompareOp::kGe:
+          return Traits::template CmpF64<_CMP_GE_OS>(k, a, b);
+        case CompareOp::kGt:
+          return Traits::template CmpF64<_CMP_GT_OS>(k, a, b);
+      }
+      break;
+    default:
+      break;
+  }
+  __builtin_unreachable();
+}
+
+inline bool Is64Bit(ScanElementType type) {
+  return type == ScanElementType::kI64 || type == ScanElementType::kU64 ||
+         type == ScanElementType::kF64;
+}
+
+// The fused scan chain state and logic for one register width. `Sink`
+// receives every final-stage survivor set via
+//   sink.Emit(uint32_t mask, VecI positions)
+// where set bits of `mask` select the matching lanes of `positions`
+// (positions are NOT compressed — the sink chooses compress-store or
+// masked gather as needed).
+template <int kBits, typename Sink>
+class FusedChain {
+  using Traits = WidthTraits<kBits>;
+  using VecI = typename Traits::VecI;
+  static constexpr int kW = Traits::kLanes32;
+  static constexpr uint32_t kFullMask = (kW == 32) ? ~0u : ((1u << kW) - 1);
+
+ public:
+  FusedChain(const ScanStage* stages, size_t num_stages, Sink& sink)
+      : stages_(stages), num_stages_(num_stages), sink_(sink) {
+    FTS_CHECK(num_stages >= 1 && num_stages <= kMaxScanStages);
+    seven32_ = Traits::Set1_32(7);
+    for (size_t s = 0; s < num_stages; ++s) {
+      acc_[s] = Traits::Zero();
+      count_[s] = 0;
+      if (stages[s].packed_bits != 0) {
+        // Bit-packed stage: codes are unpacked into 64-bit lanes and
+        // compared there, so the search code broadcasts as epi64.
+        FTS_CHECK(stages[s].type == ScanElementType::kU32);
+        const int bits = stages[s].packed_bits;
+        broadcast_[s] = Traits::Set1_64(stages[s].value.u32);
+        packed_mult_[s] = Traits::Set1_32(static_cast<uint32_t>(bits));
+        packed_mask64_[s] = Traits::Set1_64((1ull << bits) - 1);
+      } else if (Is64Bit(stages[s].type)) {
+        broadcast_[s] = Traits::Set1_64(stages[s].value.u64);
+      } else {
+        broadcast_[s] = Traits::Set1_32(stages[s].value.u32);
+      }
+    }
+  }
+
+  // Runs the whole chain over `row_count` rows.
+  void Run(size_t row_count) {
+    const ScanStage& first = stages_[0];
+    VecI indices = Traits::FirstIndices();
+    const VecI step = Traits::Set1_32(kW);
+
+    const size_t full_blocks = row_count / kW;
+    for (size_t b = 0; b < full_blocks; ++b) {
+      const uint32_t m = CompareBlock(first, b * kW, kFullMask, indices);
+      EmitFromFirstStage(indices, m);
+      indices = Traits::Add32(indices, step);
+    }
+    const size_t tail = row_count - full_blocks * kW;
+    if (tail > 0) {
+      const uint32_t valid = (1u << tail) - 1;
+      const uint32_t m =
+          CompareBlock(first, full_blocks * kW, valid, indices);
+      EmitFromFirstStage(indices, m);
+    }
+    // Drain the partially-filled accumulators front to back; flushing
+    // stage s can only push positions into stages > s.
+    for (size_t s = 1; s < num_stages_; ++s) Flush(s);
+  }
+
+ private:
+  // Unpack-and-compare of a bit-packed stage at the rows in `row_vec`
+  // (stage 0 passes the running block indices; gather stages pass the
+  // accumulated positions). Each row's b-bit code is fetched by loading
+  // the 8-byte window that contains it (byte-granular gather), shifting it
+  // into place (vpsrlvq) and masking — the "extraction of single values as
+  // part of the gather step" the paper's Future Work describes.
+  uint32_t PackedCompare(size_t s, VecI row_vec, uint32_t valid) {
+    const ScanStage& stage = stages_[s];
+    const VecI bit_offset = Traits::Mullo32(row_vec, packed_mult_[s]);
+    const VecI byte_offset = Traits::Srli32_3(bit_offset);
+    const VecI shift32 = Traits::And(bit_offset, seven32_);
+    constexpr int kHalf = kW / 2;
+    const uint32_t valid_lo = valid & ((1u << kHalf) - 1);
+    const uint32_t valid_hi = valid >> kHalf;
+    uint32_t m = 0;
+    if (valid_lo != 0) {
+      const VecI window =
+          Traits::Gather64LoBytes(valid_lo, byte_offset, stage.data);
+      const VecI codes = Traits::And(
+          Traits::Srlv64(window, Traits::WidenLo32(shift32)),
+          packed_mask64_[s]);
+      m |= CompareMasked64<Traits>(ScanElementType::kU64, stage.op,
+                                   valid_lo, codes, broadcast_[s]);
+    }
+    if (valid_hi != 0) {
+      const VecI window =
+          Traits::Gather64HiBytes(valid_hi, byte_offset, stage.data);
+      const VecI codes = Traits::And(
+          Traits::Srlv64(window, Traits::WidenHi32(shift32)),
+          packed_mask64_[s]);
+      m |= CompareMasked64<Traits>(ScanElementType::kU64, stage.op,
+                                   valid_hi, codes, broadcast_[s])
+           << kHalf;
+    }
+    return m;
+  }
+
+  // Compares one kW-row block of the first column; `valid` masks the tail.
+  uint32_t CompareBlock(const ScanStage& stage, size_t start,
+                        uint32_t valid, VecI indices) {
+    if (stage.packed_bits != 0) return PackedCompare(0, indices, valid);
+    if (!Is64Bit(stage.type)) {
+      const char* ptr =
+          static_cast<const char*>(stage.data) + start * 4;
+      const VecI data = (valid == kFullMask)
+                            ? Traits::LoadU(ptr)
+                            : Traits::MaskzLoad32(valid, ptr);
+      return CompareMasked32<Traits>(stage.type, stage.op, valid, data,
+                                     broadcast_[0]);
+    }
+    // 64-bit first column: two half-width loads and compares per block.
+    const char* ptr = static_cast<const char*>(stage.data) + start * 8;
+    constexpr int kHalf = kW / 2;
+    const uint32_t valid_lo = valid & ((1u << kHalf) - 1);
+    const uint32_t valid_hi = valid >> kHalf;
+    uint32_t m = 0;
+    if (valid_lo != 0) {
+      const VecI lo = Traits::MaskzLoad64(valid_lo, ptr);
+      m |= CompareMasked64<Traits>(stage.type, stage.op, valid_lo, lo,
+                                   broadcast_[0]);
+    }
+    if (valid_hi != 0) {
+      const VecI hi = Traits::MaskzLoad64(valid_hi, ptr + kHalf * 8);
+      m |= CompareMasked64<Traits>(stage.type, stage.op, valid_hi, hi,
+                                   broadcast_[0]) << kHalf;
+    }
+    return m;
+  }
+
+  // Routes the first predicate's matches onward: straight to the sink for
+  // single-predicate scans, otherwise into stage 1's accumulator.
+  void EmitFromFirstStage(VecI indices, uint32_t m) {
+    if (m == 0) return;
+    if (num_stages_ == 1) {
+      sink_.Emit(m, indices);
+      return;
+    }
+    Push(1, Traits::MaskzCompress32(m, indices), __builtin_popcount(m));
+  }
+
+  // Appends `n` dense positions to stage `s`'s accumulator. If they do not
+  // fit, the incomplete accumulator is processed first and a new list is
+  // started (Section III: "we first process the incomplete list and then
+  // start a new list").
+  void Push(size_t s, VecI positions, int n) {
+    if (n == 0) return;
+    if (count_[s] + n > kW) Flush(s);
+    acc_[s] = Traits::Append32(acc_[s], count_[s], positions);
+    count_[s] += n;
+    if (count_[s] == kW) Flush(s);
+  }
+
+  // Applies predicate `s` to the accumulated positions: masked gather of
+  // column s at those row ids, masked compare, compress survivors onward.
+  void Flush(size_t s) {
+    const int n = count_[s];
+    count_[s] = 0;
+    if (n == 0) return;
+    const uint32_t valid = (n == kW) ? kFullMask : ((1u << n) - 1);
+    const ScanStage& stage = stages_[s];
+    const VecI positions = acc_[s];
+
+    uint32_t m;
+    if (stage.packed_bits != 0) {
+      m = PackedCompare(s, positions, valid);
+    } else if (!Is64Bit(stage.type)) {
+      const VecI gathered = Traits::Gather32(valid, positions, stage.data);
+      m = CompareMasked32<Traits>(stage.type, stage.op, valid, gathered,
+                                  broadcast_[s]);
+    } else {
+      // Width transition (Section V): 32-bit row ids indexing an 8-byte
+      // column need two half-width 64-bit gathers per position register.
+      constexpr int kHalf = kW / 2;
+      const uint32_t valid_lo = valid & ((1u << kHalf) - 1);
+      const uint32_t valid_hi = valid >> kHalf;
+      m = 0;
+      if (valid_lo != 0) {
+        const VecI lo = Traits::Gather64Lo(valid_lo, positions, stage.data);
+        m |= CompareMasked64<Traits>(stage.type, stage.op, valid_lo, lo,
+                                     broadcast_[s]);
+      }
+      if (valid_hi != 0) {
+        const VecI hi = Traits::Gather64Hi(valid_hi, positions, stage.data);
+        m |= CompareMasked64<Traits>(stage.type, stage.op, valid_hi, hi,
+                                     broadcast_[s]) << kHalf;
+      }
+    }
+    if (m == 0) return;
+    if (s + 1 == num_stages_) {
+      sink_.Emit(m, positions);
+      return;
+    }
+    Push(s + 1, Traits::MaskzCompress32(m, positions),
+         __builtin_popcount(m));
+  }
+
+  const ScanStage* stages_;
+  size_t num_stages_;
+  Sink& sink_;
+  VecI acc_[kMaxScanStages];
+  VecI broadcast_[kMaxScanStages];
+  VecI packed_mult_[kMaxScanStages];
+  VecI packed_mask64_[kMaxScanStages];
+  VecI seven32_;
+  int count_[kMaxScanStages] = {};
+};
+
+// Feeds every row of [0, row_count) to the sink as full-mask blocks — the
+// degenerate chain used when zone maps proved every conjunct tautological
+// but an aggregate still needs the scan (num_stages == 0).
+template <int kBits, typename Sink>
+void EmitAllRows(size_t row_count, Sink& sink) {
+  using Traits = WidthTraits<kBits>;
+  using VecI = typename Traits::VecI;
+  constexpr int kW = Traits::kLanes32;
+  constexpr uint32_t kFullMask = (kW == 32) ? ~0u : ((1u << kW) - 1);
+  VecI indices = Traits::FirstIndices();
+  const VecI step = Traits::Set1_32(kW);
+  const size_t full_blocks = row_count / kW;
+  for (size_t b = 0; b < full_blocks; ++b) {
+    sink.Emit(kFullMask, indices);
+    indices = Traits::Add32(indices, step);
+  }
+  const size_t tail = row_count - full_blocks * kW;
+  if (tail > 0) sink.Emit((1u << tail) - 1, indices);
+}
+
+}  // namespace avx512_detail
+}  // namespace fts
+
+#endif  // FTS_SIMD_FUSED_CHAIN_AVX512_H_

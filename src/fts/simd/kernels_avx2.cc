@@ -1,431 +1,29 @@
 #include "fts/simd/kernels_avx2.h"
 
-#include <immintrin.h>
-
-#include <cstring>
-
 #include "fts/common/macros.h"
+#include "fts/simd/fused_chain_avx2.h"
 
 // Compiled with -mavx2 only — no AVX-512 instructions may appear here;
-// this is the paper's backport baseline.
+// this is the paper's backport baseline. The chain dataflow lives in
+// fused_chain_avx2.h, shared with the aggregate-pushdown kernel; this file
+// instantiates it with the position-list sink.
 
 namespace fts {
 namespace {
 
-constexpr int kW = 4;  // 32-bit lanes in a 128-bit register.
+// Emulated compress-store sink: writes a full (compressed) register and
+// advances by the match count — hence the kScanOutputSlack requirement.
+struct PositionListSinkAvx2 {
+  explicit PositionListSinkAvx2(uint32_t* out) : out_(out) {}
 
-// Shuffle controls emulating vpcompressd: entry m moves the lanes whose
-// bit is set in m densely to the front; remaining bytes become zero
-// (0x80 in PSHUFB zeroes the byte). This table *is* the paper's AVX2
-// mask_compress emulation.
-struct CompressLut {
-  alignas(16) uint8_t bytes[16][16];
-};
-
-constexpr CompressLut MakeCompressLut() {
-  CompressLut lut{};
-  for (int mask = 0; mask < 16; ++mask) {
-    int out_lane = 0;
-    for (int lane = 0; lane < 4; ++lane) {
-      if ((mask >> lane) & 1) {
-        for (int b = 0; b < 4; ++b) {
-          lut.bytes[mask][out_lane * 4 + b] =
-              static_cast<uint8_t>(lane * 4 + b);
-        }
-        ++out_lane;
-      }
-    }
-    for (int lane = out_lane; lane < 4; ++lane) {
-      for (int b = 0; b < 4; ++b) {
-        lut.bytes[mask][lane * 4 + b] = 0x80;
-      }
-    }
-  }
-  return lut;
-}
-
-// Shuffle controls shifting lanes upward by `count` (entry c moves lane j
-// to lane j + c), used to emulate the append half of vpexpandd.
-struct ShiftUpLut {
-  alignas(16) uint8_t bytes[5][16];
-};
-
-constexpr ShiftUpLut MakeShiftUpLut() {
-  ShiftUpLut lut{};
-  for (int count = 0; count <= 4; ++count) {
-    for (int lane = 0; lane < 4; ++lane) {
-      for (int b = 0; b < 4; ++b) {
-        const int src = lane - count;
-        lut.bytes[count][lane * 4 + b] =
-            (src >= 0) ? static_cast<uint8_t>(src * 4 + b) : 0x80;
-      }
-    }
-  }
-  return lut;
-}
-
-// Byte masks with the first `count` 32-bit lanes set (for PBLENDVB), and
-// lane masks with the first `count` lanes set (for masked gather/load).
-struct LaneMaskLut {
-  alignas(16) uint8_t bytes[5][16];
-};
-
-constexpr LaneMaskLut MakeLaneMaskLut() {
-  LaneMaskLut lut{};
-  for (int count = 0; count <= 4; ++count) {
-    for (int byte = 0; byte < 16; ++byte) {
-      lut.bytes[count][byte] = (byte / 4 < count) ? 0xFF : 0x00;
-    }
-  }
-  return lut;
-}
-
-constexpr CompressLut kCompressLut = MakeCompressLut();
-constexpr ShiftUpLut kShiftUpLut = MakeShiftUpLut();
-constexpr LaneMaskLut kLaneMaskLut = MakeLaneMaskLut();
-
-inline __m128i LoadLut16(const uint8_t (&row)[16]) {
-  return _mm_load_si128(reinterpret_cast<const __m128i*>(row));
-}
-
-// Emulated _mm_maskz_compress_epi32: the paper's 32-line AVX2 equivalent.
-inline __m128i EmulatedCompress32(int mask, __m128i v) {
-  return _mm_shuffle_epi8(v, LoadLut16(kCompressLut.bytes[mask]));
-}
-
-// Emulated append (vpexpandd): keep the low `count` lanes of `acc`, place
-// `vals` starting at lane `count`.
-inline __m128i EmulatedAppend32(__m128i acc, int count, __m128i vals) {
-  const __m128i shifted =
-      _mm_shuffle_epi8(vals, LoadLut16(kShiftUpLut.bytes[count]));
-  return _mm_blendv_epi8(shifted, acc, LoadLut16(kLaneMaskLut.bytes[count]));
-}
-
-// Vector mask with the first `count` lanes all-ones.
-inline __m128i LaneCountMask(int count) {
-  return LoadLut16(kLaneMaskLut.bytes[count]);
-}
-
-inline bool Is64Bit(ScanElementType type) {
-  return type == ScanElementType::kI64 || type == ScanElementType::kU64 ||
-         type == ScanElementType::kF64;
-}
-
-const __m128i kSignFlip32 = _mm_set1_epi32(static_cast<int>(0x80000000u));
-const __m128i kSignFlip64 =
-    _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
-
-// Vector-mask comparison for 4 x 32-bit lanes. AVX2 has no unsigned
-// compares and no single-instruction Ge/Le, so they are composed.
-inline __m128i CompareVec32(ScanElementType type, CompareOp op, __m128i a,
-                            __m128i b) {
-  if (type == ScanElementType::kF32) {
-    const __m128 fa = _mm_castsi128_ps(a);
-    const __m128 fb = _mm_castsi128_ps(b);
-    switch (op) {
-      case CompareOp::kEq:
-        return _mm_castps_si128(_mm_cmp_ps(fa, fb, _CMP_EQ_OQ));
-      case CompareOp::kNe:
-        return _mm_castps_si128(_mm_cmp_ps(fa, fb, _CMP_NEQ_UQ));
-      case CompareOp::kLt:
-        return _mm_castps_si128(_mm_cmp_ps(fa, fb, _CMP_LT_OS));
-      case CompareOp::kLe:
-        return _mm_castps_si128(_mm_cmp_ps(fa, fb, _CMP_LE_OS));
-      case CompareOp::kGe:
-        return _mm_castps_si128(_mm_cmp_ps(fa, fb, _CMP_GE_OS));
-      case CompareOp::kGt:
-        return _mm_castps_si128(_mm_cmp_ps(fa, fb, _CMP_GT_OS));
-    }
-    __builtin_unreachable();
-  }
-  if (type == ScanElementType::kU32) {
-    // Bias both operands so signed compares produce unsigned ordering.
-    a = _mm_xor_si128(a, kSignFlip32);
-    b = _mm_xor_si128(b, kSignFlip32);
-  }
-  switch (op) {
-    case CompareOp::kEq:
-      return _mm_cmpeq_epi32(a, b);
-    case CompareOp::kNe:
-      return _mm_xor_si128(_mm_cmpeq_epi32(a, b), _mm_set1_epi32(-1));
-    case CompareOp::kLt:
-      return _mm_cmpgt_epi32(b, a);
-    case CompareOp::kLe:
-      return _mm_xor_si128(_mm_cmpgt_epi32(a, b), _mm_set1_epi32(-1));
-    case CompareOp::kGe:
-      return _mm_xor_si128(_mm_cmpgt_epi32(b, a), _mm_set1_epi32(-1));
-    case CompareOp::kGt:
-      return _mm_cmpgt_epi32(a, b);
-  }
-  __builtin_unreachable();
-}
-
-// Vector-mask comparison for 2 x 64-bit lanes.
-inline __m128i CompareVec64(ScanElementType type, CompareOp op, __m128i a,
-                            __m128i b) {
-  if (type == ScanElementType::kF64) {
-    const __m128d fa = _mm_castsi128_pd(a);
-    const __m128d fb = _mm_castsi128_pd(b);
-    switch (op) {
-      case CompareOp::kEq:
-        return _mm_castpd_si128(_mm_cmp_pd(fa, fb, _CMP_EQ_OQ));
-      case CompareOp::kNe:
-        return _mm_castpd_si128(_mm_cmp_pd(fa, fb, _CMP_NEQ_UQ));
-      case CompareOp::kLt:
-        return _mm_castpd_si128(_mm_cmp_pd(fa, fb, _CMP_LT_OS));
-      case CompareOp::kLe:
-        return _mm_castpd_si128(_mm_cmp_pd(fa, fb, _CMP_LE_OS));
-      case CompareOp::kGe:
-        return _mm_castpd_si128(_mm_cmp_pd(fa, fb, _CMP_GE_OS));
-      case CompareOp::kGt:
-        return _mm_castpd_si128(_mm_cmp_pd(fa, fb, _CMP_GT_OS));
-    }
-    __builtin_unreachable();
-  }
-  if (type == ScanElementType::kU64) {
-    a = _mm_xor_si128(a, kSignFlip64);
-    b = _mm_xor_si128(b, kSignFlip64);
-  }
-  switch (op) {
-    case CompareOp::kEq:
-      return _mm_cmpeq_epi64(a, b);
-    case CompareOp::kNe:
-      return _mm_xor_si128(_mm_cmpeq_epi64(a, b), _mm_set1_epi32(-1));
-    case CompareOp::kLt:
-      return _mm_cmpgt_epi64(b, a);
-    case CompareOp::kLe:
-      return _mm_xor_si128(_mm_cmpgt_epi64(a, b), _mm_set1_epi32(-1));
-    case CompareOp::kGe:
-      return _mm_xor_si128(_mm_cmpgt_epi64(b, a), _mm_set1_epi32(-1));
-    case CompareOp::kGt:
-      return _mm_cmpgt_epi64(a, b);
-  }
-  __builtin_unreachable();
-}
-
-// 4-bit lane mask from a 32-bit vector mask.
-inline int MoveMask32(__m128i m) {
-  return _mm_movemask_ps(_mm_castsi128_ps(m));
-}
-
-// The AVX2 fused chain; mirrors FusedChain in kernels_avx512.cc with every
-// AVX-512 primitive replaced by its multi-instruction AVX2 emulation.
-class FusedChainAvx2 {
- public:
-  FusedChainAvx2(const ScanStage* stages, size_t num_stages, uint32_t* out)
-      : stages_(stages), num_stages_(num_stages), out_(out) {
-    FTS_CHECK(num_stages >= 1 && num_stages <= kMaxScanStages);
-    for (size_t s = 0; s < num_stages; ++s) {
-      acc_[s] = _mm_setzero_si128();
-      count_[s] = 0;
-      if (stages[s].packed_bits != 0) {
-        FTS_CHECK(stages[s].type == ScanElementType::kU32);
-        const int bits = stages[s].packed_bits;
-        broadcast_[s] =
-            _mm_set1_epi64x(static_cast<long long>(stages[s].value.u32));
-        packed_mult_[s] = _mm_set1_epi32(bits);
-        packed_mask64_[s] =
-            _mm_set1_epi64x(static_cast<long long>((1ull << bits) - 1));
-      } else if (Is64Bit(stages[s].type)) {
-        broadcast_[s] =
-            _mm_set1_epi64x(static_cast<long long>(stages[s].value.u64));
-      } else {
-        broadcast_[s] =
-            _mm_set1_epi32(static_cast<int>(stages[s].value.u32));
-      }
-    }
+  void Emit(int m, __m128i positions) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out_ + count_),
+                     avx2_detail::EmulatedCompress32(m, positions));
+    count_ += static_cast<size_t>(__builtin_popcount(m));
   }
 
-  size_t Run(size_t row_count) {
-    const ScanStage& first = stages_[0];
-    __m128i indices = _mm_setr_epi32(0, 1, 2, 3);
-    const __m128i step = _mm_set1_epi32(kW);
-
-    const size_t full_blocks = row_count / kW;
-    for (size_t b = 0; b < full_blocks; ++b) {
-      const int m = CompareBlock(first, b * kW, kW, indices);
-      EmitFromFirstStage(indices, m);
-      indices = _mm_add_epi32(indices, step);
-    }
-    const int tail = static_cast<int>(row_count - full_blocks * kW);
-    if (tail > 0) {
-      const int m = CompareBlock(first, full_blocks * kW, tail, indices);
-      EmitFromFirstStage(indices, m);
-    }
-    for (size_t s = 1; s < num_stages_; ++s) Flush(s);
-    return out_count_;
-  }
-
- private:
-  // Bit-packed unpack-and-compare at the first `valid_lanes` rows of
-  // `row_vec` (AVX2 equivalent of the AVX-512 PackedCompare: byte-granular
-  // 64-bit window gathers + variable shift + mask, two lanes at a time).
-  int PackedCompare(size_t s, __m128i row_vec, int valid_lanes) {
-    const ScanStage& stage = stages_[s];
-    const __m128i bit_offset = _mm_mullo_epi32(row_vec, packed_mult_[s]);
-    const __m128i byte_offset = _mm_srli_epi32(bit_offset, 3);
-    const __m128i shift32 = _mm_and_si128(bit_offset, _mm_set1_epi32(7));
-    const long long* base = static_cast<const long long*>(stage.data);
-    int m = 0;
-    const int lo_lanes = valid_lanes < 2 ? valid_lanes : 2;
-    const int hi_lanes = valid_lanes - lo_lanes;
-    if (lo_lanes > 0) {
-      const __m128i window = _mm_mask_i32gather_epi64(
-          _mm_setzero_si128(), base, byte_offset,
-          LaneCountMask(2 * lo_lanes), 1);
-      const __m128i codes =
-          _mm_and_si128(_mm_srlv_epi64(window, _mm_cvtepu32_epi64(shift32)),
-                        packed_mask64_[s]);
-      const __m128i cm = CompareVec64(ScanElementType::kU64, stage.op,
-                                      codes, broadcast_[s]);
-      m |= _mm_movemask_pd(_mm_castsi128_pd(cm)) & ((1 << lo_lanes) - 1);
-    }
-    if (hi_lanes > 0) {
-      const __m128i hi_off = _mm_unpackhi_epi64(byte_offset, byte_offset);
-      const __m128i hi_shift = _mm_cvtepu32_epi64(
-          _mm_unpackhi_epi64(shift32, shift32));
-      const __m128i window = _mm_mask_i32gather_epi64(
-          _mm_setzero_si128(), base, hi_off, LaneCountMask(2 * hi_lanes),
-          1);
-      const __m128i codes = _mm_and_si128(
-          _mm_srlv_epi64(window, hi_shift), packed_mask64_[s]);
-      const __m128i cm = CompareVec64(ScanElementType::kU64, stage.op,
-                                      codes, broadcast_[s]);
-      m |= (_mm_movemask_pd(_mm_castsi128_pd(cm)) & ((1 << hi_lanes) - 1))
-           << 2;
-    }
-    return m;
-  }
-
-  int CompareBlock(const ScanStage& stage, size_t start, int valid_lanes,
-                   __m128i indices) {
-    if (stage.packed_bits != 0) {
-      return PackedCompare(0, indices, valid_lanes);
-    }
-    if (!Is64Bit(stage.type)) {
-      const int* ptr = reinterpret_cast<const int*>(
-          static_cast<const char*>(stage.data) + start * 4);
-      const __m128i data =
-          (valid_lanes == kW)
-              ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(ptr))
-              : _mm_maskload_epi32(ptr, LaneCountMask(valid_lanes));
-      const __m128i m = CompareVec32(stage.type, stage.op, data,
-                                     broadcast_[0]);
-      return MoveMask32(m) & ((1 << valid_lanes) - 1);
-    }
-    // 64-bit first column: two 2-lane loads/compares per 4-row block.
-    const long long* ptr = reinterpret_cast<const long long*>(
-        static_cast<const char*>(stage.data) + start * 8);
-    int m = 0;
-    const int lo_lanes = valid_lanes < 2 ? valid_lanes : 2;
-    const int hi_lanes = valid_lanes - lo_lanes;
-    if (lo_lanes > 0) {
-      const __m128i lo =
-          (lo_lanes == 2)
-              ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(ptr))
-              : _mm_maskload_epi64(ptr, LaneCountMask(2 * lo_lanes));
-      const __m128i cm = CompareVec64(stage.type, stage.op, lo,
-                                      broadcast_[0]);
-      m |= _mm_movemask_pd(_mm_castsi128_pd(cm)) & ((1 << lo_lanes) - 1);
-    }
-    if (hi_lanes > 0) {
-      const __m128i hi =
-          (hi_lanes == 2)
-              ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(ptr + 2))
-              : _mm_maskload_epi64(ptr + 2, LaneCountMask(2 * hi_lanes));
-      const __m128i cm = CompareVec64(stage.type, stage.op, hi,
-                                      broadcast_[0]);
-      m |= (_mm_movemask_pd(_mm_castsi128_pd(cm)) & ((1 << hi_lanes) - 1))
-           << 2;
-    }
-    return m;
-  }
-
-  void EmitFromFirstStage(__m128i indices, int m) {
-    if (m == 0) return;
-    if (num_stages_ == 1) {
-      StoreCompressed(indices, m);
-      return;
-    }
-    Push(1, EmulatedCompress32(m, indices), __builtin_popcount(m));
-  }
-
-  void Push(size_t s, __m128i positions, int n) {
-    if (n == 0) return;
-    if (count_[s] + n > kW) Flush(s);
-    acc_[s] = EmulatedAppend32(acc_[s], count_[s], positions);
-    count_[s] += n;
-    if (count_[s] == kW) Flush(s);
-  }
-
-  void Flush(size_t s) {
-    const int n = count_[s];
-    count_[s] = 0;
-    if (n == 0) return;
-    const ScanStage& stage = stages_[s];
-    const __m128i positions = acc_[s];
-
-    int m;
-    if (stage.packed_bits != 0) {
-      m = PackedCompare(s, positions, n);
-    } else if (!Is64Bit(stage.type)) {
-      const __m128i lane_mask = LaneCountMask(n);
-      const __m128i gathered = _mm_mask_i32gather_epi32(
-          _mm_setzero_si128(), static_cast<const int*>(stage.data),
-          positions, lane_mask, 4);
-      const __m128i cm = CompareVec32(stage.type, stage.op, gathered,
-                                      broadcast_[s]);
-      m = MoveMask32(cm) & ((1 << n) - 1);
-    } else {
-      // Two 2-wide 64-bit gathers per 4-entry position list.
-      const long long* base = static_cast<const long long*>(stage.data);
-      m = 0;
-      const int lo_lanes = n < 2 ? n : 2;
-      const int hi_lanes = n - lo_lanes;
-      if (lo_lanes > 0) {
-        const __m128i g = _mm_mask_i32gather_epi64(
-            _mm_setzero_si128(), base, positions,
-            LaneCountMask(2 * lo_lanes), 8);
-        const __m128i cm = CompareVec64(stage.type, stage.op, g,
-                                        broadcast_[s]);
-        m |= _mm_movemask_pd(_mm_castsi128_pd(cm)) & ((1 << lo_lanes) - 1);
-      }
-      if (hi_lanes > 0) {
-        const __m128i hi_idx = _mm_unpackhi_epi64(positions, positions);
-        const __m128i g = _mm_mask_i32gather_epi64(
-            _mm_setzero_si128(), base, hi_idx, LaneCountMask(2 * hi_lanes),
-            8);
-        const __m128i cm = CompareVec64(stage.type, stage.op, g,
-                                        broadcast_[s]);
-        m |= (_mm_movemask_pd(_mm_castsi128_pd(cm)) & ((1 << hi_lanes) - 1))
-             << 2;
-      }
-    }
-    if (m == 0) return;
-    if (s + 1 == num_stages_) {
-      StoreCompressed(positions, m);
-      return;
-    }
-    Push(s + 1, EmulatedCompress32(m, positions), __builtin_popcount(m));
-  }
-
-  // Emulated compress-store: writes a full (compressed) register and
-  // advances by the match count — hence the kScanOutputSlack requirement.
-  void StoreCompressed(__m128i positions, int m) {
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out_ + out_count_),
-                     EmulatedCompress32(m, positions));
-    out_count_ += static_cast<size_t>(__builtin_popcount(m));
-  }
-
-  const ScanStage* stages_;
-  size_t num_stages_;
   uint32_t* out_;
-  size_t out_count_ = 0;
-  __m128i acc_[kMaxScanStages];
-  __m128i broadcast_[kMaxScanStages];
-  __m128i packed_mult_[kMaxScanStages];
-  __m128i packed_mask64_[kMaxScanStages];
-  int count_[kMaxScanStages] = {};
+  size_t count_ = 0;
 };
 
 }  // namespace
@@ -438,8 +36,11 @@ size_t FusedScanAvx2_128(const ScanStage* stages, size_t num_stages,
       FTS_CHECK(row_count * stages[s].packed_bits < (uint64_t{1} << 32));
     }
   }
-  FusedChainAvx2 chain(stages, num_stages, out);
-  return chain.Run(row_count);
+  PositionListSinkAvx2 sink(out);
+  avx2_detail::FusedChainAvx2<PositionListSinkAvx2> chain(stages,
+                                                          num_stages, sink);
+  chain.Run(row_count);
+  return sink.count_;
 }
 
 }  // namespace fts

@@ -1,6 +1,7 @@
 #ifndef FTS_SIMD_KERNELS_AVX2_H_
 #define FTS_SIMD_KERNELS_AVX2_H_
 
+#include "fts/simd/agg_spec.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -19,6 +20,14 @@ namespace fts {
 // Requires AVX2 at runtime (check GetCpuFeatures().avx2).
 size_t FusedScanAvx2_128(const ScanStage* stages, size_t num_stages,
                          size_t row_count, uint32_t* out);
+
+// Aggregate-pushdown variant: the predicate chain runs SIMD, survivors of
+// each final mask are folded scalar into the per-term accumulators (AVX2
+// lacks the masked min/max + compress primitives the AVX-512 fold uses).
+// Accepts num_stages == 0 (all rows match).
+size_t FusedAggScanAvx2_128(const ScanStage* stages, size_t num_stages,
+                            size_t row_count, const AggTerm* terms,
+                            size_t num_terms, AggAccumulator* accs);
 
 }  // namespace fts
 

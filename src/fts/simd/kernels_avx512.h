@@ -1,6 +1,7 @@
 #ifndef FTS_SIMD_KERNELS_AVX512_H_
 #define FTS_SIMD_KERNELS_AVX512_H_
 
+#include "fts/simd/agg_spec.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -22,6 +23,22 @@ size_t FusedScanAvx512_256(const ScanStage* stages, size_t num_stages,
                            size_t row_count, uint32_t* out);
 size_t FusedScanAvx512_128(const ScanStage* stages, size_t num_stages,
                            size_t row_count, uint32_t* out);
+
+// Aggregate-pushdown variants: same chain dataflow, but the final
+// predicate's survivors are gathered under their k-mask and folded into
+// vector accumulators (COUNT via popcount, SUM via widening masked adds
+// into 64-bit lanes, MIN/MAX via masked vmin/vmax) with one horizontal
+// reduction per call — no position list is materialized. All three widths
+// fold at 512 bits. Accept num_stages == 0 (all rows match).
+size_t FusedAggScanAvx512_512(const ScanStage* stages, size_t num_stages,
+                              size_t row_count, const AggTerm* terms,
+                              size_t num_terms, AggAccumulator* accs);
+size_t FusedAggScanAvx512_256(const ScanStage* stages, size_t num_stages,
+                              size_t row_count, const AggTerm* terms,
+                              size_t num_terms, AggAccumulator* accs);
+size_t FusedAggScanAvx512_128(const ScanStage* stages, size_t num_stages,
+                              size_t row_count, const AggTerm* terms,
+                              size_t num_terms, AggAccumulator* accs);
 
 }  // namespace fts
 

@@ -38,4 +38,26 @@ size_t FusedScanScalarCount(const ScanStage* stages, size_t num_stages,
   return matches;
 }
 
+size_t FusedAggScanScalar(const ScanStage* stages, size_t num_stages,
+                          size_t row_count, const AggTerm* terms,
+                          size_t num_terms, AggAccumulator* accs) {
+  FTS_CHECK(num_terms <= kMaxAggTerms);
+  size_t matches = 0;
+  for (size_t row = 0; row < row_count; ++row) {
+    bool all = true;
+    for (size_t s = 0; s < num_stages; ++s) {
+      if (!EvaluateStageAtRow(stages[s], row)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    ++matches;
+    for (size_t t = 0; t < num_terms; ++t) {
+      FoldRowScalar(terms[t], row, accs[t]);
+    }
+  }
+  return matches;
+}
+
 }  // namespace fts

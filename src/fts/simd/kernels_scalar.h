@@ -1,6 +1,7 @@
 #ifndef FTS_SIMD_KERNELS_SCALAR_H_
 #define FTS_SIMD_KERNELS_SCALAR_H_
 
+#include "fts/simd/agg_spec.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -16,6 +17,14 @@ size_t FusedScanScalar(const ScanStage* stages, size_t num_stages,
 // the paper's naive COUNT(*) loop.
 size_t FusedScanScalarCount(const ScanStage* stages, size_t num_stages,
                             size_t row_count);
+
+// Aggregate-pushdown variant: folds every matching row directly into the
+// per-term accumulators (tuple-at-a-time; the semantic reference for the
+// SIMD and JIT aggregate kernels). Accepts num_stages == 0 (all rows
+// match).
+size_t FusedAggScanScalar(const ScanStage* stages, size_t num_stages,
+                          size_t row_count, const AggTerm* terms,
+                          size_t num_terms, AggAccumulator* accs);
 
 }  // namespace fts
 

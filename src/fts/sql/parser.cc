@@ -178,7 +178,9 @@ class Parser {
     return std::visit(
         [](auto v) -> StatusOr<Value> {
           using T = decltype(v);
-          if constexpr (std::is_unsigned_v<T>) {
+          if constexpr (std::is_same_v<T, std::monostate>) {
+            return Status::InvalidArgument("cannot negate NULL");
+          } else if constexpr (std::is_unsigned_v<T>) {
             return Status::InvalidArgument("cannot negate unsigned literal");
           } else {
             return Value(static_cast<T>(-v));

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "fts/common/macros.h"
 #include "fts/common/string_util.h"
 
 namespace fts {
@@ -24,15 +25,26 @@ bool RepresentableAs(From from) {
 }  // namespace
 
 DataType ValueType(const Value& value) {
+  FTS_CHECK_MSG(!IsNull(value), "NULL has no DataType");
   return std::visit(
-      [](auto v) { return TypeTraits<decltype(v)>::kType; }, value);
+      [](auto v) -> DataType {
+        using T = decltype(v);
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          __builtin_unreachable();  // Guarded by the FTS_CHECK above.
+        } else {
+          return TypeTraits<T>::kType;
+        }
+      },
+      value);
 }
 
 std::string ValueToString(const Value& value) {
   return std::visit(
       [](auto v) -> std::string {
         using T = decltype(v);
-        if constexpr (std::is_floating_point_v<T>) {
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          return "NULL";
+        } else if constexpr (std::is_floating_point_v<T>) {
           return StrFormat("%g", static_cast<double>(v));
         } else if constexpr (std::is_signed_v<T>) {
           return StrFormat("%lld", static_cast<long long>(v));
@@ -46,16 +58,21 @@ std::string ValueToString(const Value& value) {
 StatusOr<Value> CastValue(const Value& value, DataType target) {
   return std::visit(
       [&](auto v) -> StatusOr<Value> {
-        return DispatchDataType(target, [&](auto target_tag) -> StatusOr<Value> {
-          using To = decltype(target_tag);
-          if (!RepresentableAs<To>(v)) {
-            return Status::OutOfRange(
-                StrFormat("value %s not representable as %s",
-                          ValueToString(Value(v)).c_str(),
-                          DataTypeToString(target)));
-          }
-          return Value(static_cast<To>(v));
-        });
+        if constexpr (std::is_same_v<decltype(v), std::monostate>) {
+          return Value(v);  // NULL survives any cast unchanged.
+        } else {
+          return DispatchDataType(
+              target, [&](auto target_tag) -> StatusOr<Value> {
+                using To = decltype(target_tag);
+                if (!RepresentableAs<To>(v)) {
+                  return Status::OutOfRange(
+                      StrFormat("value %s not representable as %s",
+                                ValueToString(Value(v)).c_str(),
+                                DataTypeToString(target)));
+                }
+                return Value(static_cast<To>(v));
+              });
+        }
       },
       value);
 }

@@ -11,21 +11,45 @@
 namespace fts {
 
 // A dynamically-typed scalar covering exactly the ten supported column
-// types. Used at API boundaries (SQL literals, predicate search values);
-// hot loops always work on unboxed T.
+// types, plus SQL NULL (std::monostate, deliberately last so default
+// construction still yields int8_t{0}). Used at API boundaries (SQL
+// literals, predicate search values, aggregate results); hot loops always
+// work on unboxed T. Columns themselves remain NULL-free: NULL is only
+// produced by aggregate finalization over zero matched rows (MIN/MAX/AVG
+// per SQL semantics).
 using Value = std::variant<int8_t, int16_t, int32_t, int64_t, uint8_t,
-                           uint16_t, uint32_t, uint64_t, float, double>;
+                           uint16_t, uint32_t, uint64_t, float, double,
+                           std::monostate>;
 
-// The DataType tag of the alternative currently held.
+// True when `value` holds SQL NULL.
+inline bool IsNull(const Value& value) {
+  return std::holds_alternative<std::monostate>(value);
+}
+
+// A NULL-holding Value (Value{} default-constructs int8_t, not NULL).
+inline Value NullValue() { return Value(std::monostate{}); }
+
+// The DataType tag of the alternative currently held. Aborts on NULL
+// (NULL has no column type; callers must check IsNull first).
 DataType ValueType(const Value& value);
 
 // Renders the value for plan descriptions and test failure messages.
+// NULL renders as "NULL".
 std::string ValueToString(const Value& value);
 
 // Numeric cast of `value` to the C++ type `T` (static_cast semantics).
+// NULL yields T{} — callers that care must check IsNull first.
 template <typename T>
 T ValueAs(const Value& value) {
-  return std::visit([](auto v) { return static_cast<T>(v); }, value);
+  return std::visit(
+      [](auto v) -> T {
+        if constexpr (std::is_same_v<decltype(v), std::monostate>) {
+          return T{};
+        } else {
+          return static_cast<T>(v);
+        }
+      },
+      value);
 }
 
 // Casts `value` to `target` type, e.g. when a SQL literal "5" meets an

@@ -72,20 +72,38 @@ TEST_F(AggregateTest, FloatAggregates) {
   EXPECT_DOUBLE_EQ(ValueAs<double>(result->rows[0][1]), 197.0);
 }
 
-TEST_F(AggregateTest, EmptyMatchYieldsZeros) {
-  const auto result =
-      db_.Query("SELECT SUM(v), MIN(v), COUNT(*) FROM t WHERE v > 1000");
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(ValueAs<int64_t>(result->rows[0][0]), 0);
-  EXPECT_EQ(ValueAs<int>(result->rows[0][1]), 0);
-  EXPECT_EQ(ValueAs<uint64_t>(result->rows[0][2]), 0u);
+TEST_F(AggregateTest, EmptyMatchNullSemantics) {
+  // SQL semantics over zero matched rows: MIN/MAX/AVG are NULL, SUM stays
+  // a typed 0, COUNT(*) a plain 0 — on both the pushed-down and the
+  // materialize-then-aggregate paths.
+  for (const bool pushdown : {true, false}) {
+    Database::QueryOptions options;
+    options.aggregate_pushdown = pushdown;
+    const auto result = db_.Query(
+        "SELECT SUM(v), MIN(v), MAX(v), AVG(v), COUNT(*) FROM t "
+        "WHERE v > 1000",
+        options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::vector<Value>& row = result->rows[0];
+    EXPECT_FALSE(IsNull(row[0])) << "pushdown=" << pushdown;
+    EXPECT_EQ(ValueAs<int64_t>(row[0]), 0);
+    EXPECT_TRUE(IsNull(row[1])) << "pushdown=" << pushdown;
+    EXPECT_TRUE(IsNull(row[2])) << "pushdown=" << pushdown;
+    EXPECT_TRUE(IsNull(row[3])) << "pushdown=" << pushdown;
+    EXPECT_FALSE(IsNull(row[4]));
+    EXPECT_EQ(ValueAs<uint64_t>(row[4]), 0u);
+    // NULL cells render as the literal "NULL" in result tables.
+    EXPECT_EQ(ValueToString(row[1]), "NULL");
+    EXPECT_NE(result->ToString().find("NULL"), std::string::npos);
+  }
 }
 
 TEST_F(AggregateTest, ContradictionShortCircuitsAggregates) {
-  const auto result =
-      db_.Query("SELECT SUM(v), COUNT(*) FROM t WHERE v = 1 AND v = 2");
+  const auto result = db_.Query(
+      "SELECT SUM(v), MIN(v), COUNT(*) FROM t WHERE v = 1 AND v = 2");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(ValueAs<int64_t>(result->rows[0][0]), 0);
+  EXPECT_TRUE(IsNull(result->rows[0][1]));
   EXPECT_EQ(result->matched_rows, 0u);
 }
 
