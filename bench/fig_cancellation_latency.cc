@@ -1,0 +1,208 @@
+// Query lifecycle: time-to-cancel and admission throughput.
+//
+// Arm 1 measures the cancellation latency contract on the paper's scan
+// shape: a multi-predicate scan over a large table at 4 worker threads
+// with a 5 ms deadline. The deadline fires on the timer wheel; the scan
+// notices at the next morsel boundary. The reported overshoot
+// (wall-clock past the armed deadline) is the cost of cooperative
+// cancellation — one in-flight morsel per worker, never a kernel
+// abandoned midway. The acceptance bar is p99 overshoot <= 10 ms.
+//
+// Arm 2 measures admission-controller throughput under contention: 64
+// submitter threads hammer a local controller (4 slots, queue depth 64)
+// with short critical sections, reporting sustained admissions/sec and
+// queue-wait percentiles. Rejections only happen when the bounded queue
+// overflows, and every admit is eventually released — the counters must
+// drain to zero.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fts/common/stats.h"
+#include "fts/common/string_util.h"
+#include "fts/db/database.h"
+#include "fts/exec/admission.h"
+#include "fts/storage/data_generator.h"
+
+namespace {
+using namespace fts::bench;
+
+constexpr int64_t kDeadlineMillis = 5;
+
+void RunCancellationArm() {
+  const size_t rows = ScaleRows(MaxRows());
+  // Enough reps for a meaningful p99 (the acceptance criterion is stated
+  // over 100 runs).
+  const int reps = std::max(Reps(), 100);
+
+  fts::ScanTableOptions options;
+  options.rows = rows;
+  options.selectivities = {0.2, 0.5};
+  options.seed = 0xCA7;
+  options.chunk_size = rows / 64;  // 64 morsels: fine-grained boundaries.
+  const fts::GeneratedScanTable generated = fts::MakeScanTable(options);
+
+  fts::Database db;
+  FTS_CHECK(db.RegisterTable("t", generated.table).ok());
+  const std::string sql = fts::StrFormat(
+      "SELECT COUNT(*) FROM t WHERE c0 = %d AND c1 = %d",
+      generated.search_values[0], generated.search_values[1]);
+
+  // Unconstrained baseline: how long the scan takes when nothing cancels
+  // it. If this is already under the deadline the arm cannot measure
+  // overshoot (tiny FTS_BENCH_MAX_ROWS); it reports completions instead.
+  fts::Database::QueryOptions plain;
+  plain.threads = 4;
+  const double scan_ms = MedianMillis(5, [&] {
+    fts::DoNotOptimizeAway(db.Query(sql, plain).ok());
+  });
+
+  std::printf("rows = %zu, scan (no deadline, 4 threads) = %.3f ms, "
+              "deadline = %lld ms, reps = %d\n\n",
+              rows, scan_ms, static_cast<long long>(kDeadlineMillis), reps);
+
+  std::vector<double> overshoot_ms;
+  overshoot_ms.reserve(static_cast<size_t>(reps));
+  int completed = 0;
+  for (int i = 0; i < reps; ++i) {
+    fts::Database::QueryOptions deadline;
+    deadline.threads = 4;
+    deadline.deadline_millis = kDeadlineMillis;
+    fts::Stopwatch stopwatch;
+    const auto result = db.Query(sql, deadline);
+    const double elapsed = stopwatch.ElapsedMillis();
+    if (result.ok()) {
+      ++completed;
+      continue;
+    }
+    FTS_CHECK(result.status().code() == fts::StatusCode::kDeadlineExceeded);
+    overshoot_ms.push_back(elapsed - static_cast<double>(kDeadlineMillis));
+  }
+
+  if (overshoot_ms.empty()) {
+    std::printf("every run completed before the deadline (table too small "
+                "to measure overshoot)\n");
+    BenchLine("fig_cancellation_latency")
+        .Field("arm", "time_to_cancel")
+        .Field("rows", static_cast<uint64_t>(rows))
+        .Field("deadline_ms", kDeadlineMillis)
+        .Field("reps", reps)
+        .Field("completed", completed)
+        .Emit();
+    return;
+  }
+
+  const double p50 = fts::Percentile(overshoot_ms, 50.0);
+  const double p99 = fts::Percentile(overshoot_ms, 99.0);
+  std::printf("%-22s%12s%12s%12s\n", "", "p50 (ms)", "p99 (ms)", "runs");
+  PrintRule('-', 22 + 12 + 12 + 12);
+  std::printf("%-22s%12.3f%12.3f%12zu\n", "deadline overshoot", p50, p99,
+              overshoot_ms.size());
+  if (completed > 0) {
+    std::printf("(%d of %d runs finished under the deadline)\n", completed,
+                reps);
+  }
+  BenchLine("fig_cancellation_latency")
+      .Field("arm", "time_to_cancel")
+      .Field("rows", static_cast<uint64_t>(rows))
+      .Field("deadline_ms", kDeadlineMillis)
+      .Field("reps", reps)
+      .Field("cancelled_runs", static_cast<uint64_t>(overshoot_ms.size()))
+      .Field("completed_runs", completed)
+      .Field("overshoot_p50_ms", p50)
+      .Field("overshoot_p99_ms", p99)
+      .Emit();
+  std::printf("\nShape check: p99 overshoot <= 10 ms — a worker finishes "
+              "at most one in-flight morsel before honoring the deadline.\n");
+}
+
+void RunAdmissionArm() {
+  constexpr int kSubmitters = 64;
+  constexpr int kAdmitsPerSubmitter = 200;
+  fts::AdmissionOptions options;
+  options.max_concurrent = 4;
+  options.queue_depth = kSubmitters;  // Every submitter can queue: no
+                                      // rejections, pure throughput.
+  fts::AdmissionController controller(options);
+
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<int64_t> waits_micros(
+      static_cast<size_t>(kSubmitters) * kAdmitsPerSubmitter, 0);
+
+  fts::Stopwatch stopwatch;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int i = 0; i < kAdmitsPerSubmitter; ++i) {
+        auto ticket = controller.Admit(nullptr);
+        if (!ticket.ok()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        waits_micros[static_cast<size_t>(s) * kAdmitsPerSubmitter +
+                     static_cast<size_t>(i)] = ticket->queue_wait_micros();
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        // Short critical section standing in for a fast query.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ticket->Release();
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  const double elapsed_ms = stopwatch.ElapsedMillis();
+
+  // The controller must fully drain: no slot leaked by any path.
+  const fts::AdmissionController::Stats stats = controller.stats();
+  FTS_CHECK(stats.running == 0 && stats.waiting == 0);
+
+  std::vector<double> waits_ms;
+  waits_ms.reserve(waits_micros.size());
+  for (const int64_t w : waits_micros) {
+    waits_ms.push_back(static_cast<double>(w) / 1000.0);
+  }
+  const double wait_p50 = fts::Percentile(waits_ms, 50.0);
+  const double wait_p99 = fts::Percentile(waits_ms, 99.0);
+  const double throughput =
+      static_cast<double>(admitted.load()) / (elapsed_ms / 1000.0);
+
+  std::printf("\nsubmitters = %d, admits each = %d, slots = %d, queue "
+              "depth = %d\n",
+              kSubmitters, kAdmitsPerSubmitter, options.max_concurrent,
+              options.queue_depth);
+  std::printf("admitted = %llu, rejected = %llu, elapsed = %.1f ms, "
+              "throughput = %.0f admits/s\n",
+              static_cast<unsigned long long>(admitted.load()),
+              static_cast<unsigned long long>(rejected.load()), elapsed_ms,
+              throughput);
+  std::printf("queue wait: p50 = %.3f ms, p99 = %.3f ms\n", wait_p50,
+              wait_p99);
+  BenchLine("fig_cancellation_latency")
+      .Field("arm", "admission_throughput")
+      .Field("submitters", kSubmitters)
+      .Field("max_concurrent", options.max_concurrent)
+      .Field("queue_depth", options.queue_depth)
+      .Field("admitted", admitted.load())
+      .Field("rejected", rejected.load())
+      .Field("elapsed_ms", elapsed_ms)
+      .Field("admits_per_sec", throughput)
+      .Field("queue_wait_p50_ms", wait_p50)
+      .Field("queue_wait_p99_ms", wait_p99)
+      .Emit();
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "Query lifecycle -- time-to-cancel under a 5 ms deadline and "
+      "admission throughput under 64 submitters");
+  RunCancellationArm();
+  RunAdmissionArm();
+  return 0;
+}

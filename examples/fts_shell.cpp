@@ -15,12 +15,17 @@
 //   \explain SQL                show logical + physical plans
 //   (EXPLAIN ANALYZE SELECT ... runs the query and prints the plan with
 //   actual rows, per-stage times, per-morsel engines and counters.)
+//   \timeout MS                 per-query deadline (0 clears)
+//   \cancel [MS]                cancel the next query MS ms after start;
+//                               Ctrl-C cancels the in-flight query
 //   \timing on|off              toggle per-query wall-clock reporting
 //   \metrics                    dump the process metrics registry
 //   \trace on FILE | \trace off record spans, write Chrome trace JSON
 //   \help                       this text
 //   \quit
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -28,9 +33,11 @@
 #include <sstream>
 #include <string>
 
+#include "fts/common/query_context.h"
 #include "fts/common/string_util.h"
 #include "fts/common/timer.h"
 #include "fts/db/database.h"
+#include "fts/exec/timer_wheel.h"
 #include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
 #include "fts/storage/csv_loader.h"
@@ -51,6 +58,10 @@ constexpr char kHelp[] =
     "  \\stats NAME                per-chunk zone maps of table NAME\n"
     "  \\explain SQL               show the plans for SQL\n"
     "  EXPLAIN ANALYZE SELECT ... run a query, print the annotated plan\n"
+    "  \\timeout MS                deadline for every query (0 clears)\n"
+    "  \\cancel [MS]               cancel the next query MS ms after it\n"
+    "                             starts (default 0); Ctrl-C cancels the\n"
+    "                             in-flight query\n"
     "  \\timing on|off             toggle timing output\n"
     "  \\metrics                   dump the process metrics registry\n"
     "  \\trace on FILE             start recording trace spans\n"
@@ -58,10 +69,22 @@ constexpr char kHelp[] =
     "  \\help                      show this help\n"
     "  \\quit                      exit\n";
 
+// The in-flight query's context, for the SIGINT handler. Cancel() is a
+// couple of lock-free atomic stores, so calling it from the handler is
+// async-signal-safe; the query notices at its next morsel/chunk boundary.
+std::atomic<fts::QueryContext*> g_active_query{nullptr};
+
+void HandleSigint(int) {
+  fts::QueryContext* ctx = g_active_query.load(std::memory_order_acquire);
+  if (ctx != nullptr) ctx->Cancel(fts::StatusCode::kQueryCanceled);
+}
+
 struct ShellState {
   Database db;
   Database::QueryOptions options;
   bool timing = true;
+  // One-shot \cancel delay for the next query; -1 = not armed.
+  int64_t cancel_after_millis = -1;
   // Active span recorder (\trace on). Spans accumulate here until
   // \trace off writes them out as Chrome trace JSON.
   std::unique_ptr<fts::obs::TraceSink> trace_sink;
@@ -132,6 +155,33 @@ void RunCommand(ShellState& state, const std::string& line) {
     } else {
       std::printf("threads = %d\n", threads);
     }
+    return;
+  }
+  if (command == "\\timeout") {
+    long long millis = -1;
+    in >> millis;
+    if (millis < 0) {
+      std::printf("usage: \\timeout MS (0 clears the deadline)\n");
+      return;
+    }
+    state.options.deadline_millis = millis;
+    if (millis == 0) {
+      std::printf("timeout cleared\n");
+    } else {
+      std::printf("timeout = %lld ms per query\n", millis);
+    }
+    return;
+  }
+  if (command == "\\cancel") {
+    long long millis = 0;
+    in >> millis;  // Optional; absent leaves 0 (cancel at first boundary).
+    if (millis < 0) {
+      std::printf("usage: \\cancel [MS]\n");
+      return;
+    }
+    state.cancel_after_millis = millis;
+    std::printf("next query will be canceled %lld ms after it starts\n",
+                millis);
     return;
   }
   if (command == "\\timing") {
@@ -299,9 +349,30 @@ void RunCommand(ShellState& state, const std::string& line) {
 }
 
 void RunSql(ShellState& state, const std::string& sql) {
+  // Per-query lifecycle context: \timeout applies through QueryOptions,
+  // Ctrl-C cancels via g_active_query, \cancel arms a timer-wheel entry.
+  const std::shared_ptr<fts::QueryContext> ctx = fts::QueryContext::Create();
+  Database::QueryOptions options = state.options;
+  options.context = ctx;
+  fts::TimerWheel::TimerId cancel_timer = 0;
+  if (state.cancel_after_millis >= 0) {
+    std::weak_ptr<fts::QueryContext> weak = ctx;
+    cancel_timer = fts::TimerWheel::Global().Schedule(
+        state.cancel_after_millis, [weak] {
+          if (const auto locked = weak.lock()) {
+            locked->Cancel(fts::StatusCode::kQueryCanceled);
+          }
+        });
+    state.cancel_after_millis = -1;
+  }
+  g_active_query.store(ctx.get(), std::memory_order_release);
+
   fts::Stopwatch stopwatch;
-  const auto result = state.db.Query(sql, state.options);
+  const auto result = state.db.Query(sql, options);
   const double millis = stopwatch.ElapsedMillis();
+
+  g_active_query.store(nullptr, std::memory_order_release);
+  if (cancel_timer != 0) fts::TimerWheel::Global().Cancel(cancel_timer);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -355,6 +426,7 @@ void RunSql(ShellState& state, const std::string& sql) {
 int RunShell(std::istream& in, bool interactive) {
   ShellState state;
   fts::obs::SetCurrentThreadLabel("shell main");
+  std::signal(SIGINT, HandleSigint);
   std::printf("Fused Table Scan shell. \\help for commands; default engine "
               "%s.\n",
               fts::ScanEngineToString(Database::DefaultEngine()));

@@ -1,0 +1,116 @@
+#include "fts/common/query_context.h"
+
+#include "fts/common/fault_injection.h"
+#include "fts/common/string_util.h"
+
+namespace fts {
+
+namespace {
+std::atomic<uint64_t> g_next_query_id{1};
+}  // namespace
+
+QueryContext::QueryContext()
+    : id_(g_next_query_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+void QueryContext::SetDeadlineMillis(int64_t millis) {
+  if (millis <= 0) return;
+  deadline_budget_millis_.store(millis, std::memory_order_relaxed);
+  deadline_ns_.store(NowNanos() + millis * 1'000'000, std::memory_order_release);
+}
+
+double QueryContext::RemainingMillis() const {
+  const int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  if (deadline == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(deadline - NowNanos()) / 1e6;
+}
+
+void QueryContext::Cancel(StatusCode code) {
+  // First cancel wins; a deadline firing after an explicit cancel (or vice
+  // versa) must not change the status the query reports. Only atomic ops:
+  // fts_shell calls this from a SIGINT handler.
+  int expected = 0;
+  cancel_code_.compare_exchange_strong(expected, static_cast<int>(code),
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed);
+}
+
+Status QueryContext::CheckCancelled() {
+  const uint64_t check = checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t cancel_at = cancel_at_check_.load(std::memory_order_relaxed);
+  if (FTS_UNLIKELY(cancel_at != 0 && check >= cancel_at)) {
+    Cancel(StatusCode::kQueryCanceled);
+  }
+  if (FTS_UNLIKELY(cancelled())) return CancelStatus();
+  // Lazy deadline enforcement: even if the timer wheel tick is late (or
+  // the wheel is not running at all), the next boundary catches an
+  // expired deadline with one clock read.
+  const int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  if (FTS_UNLIKELY(deadline != 0 && NowNanos() >= deadline)) {
+    Cancel(StatusCode::kDeadlineExceeded);
+    return CancelStatus();
+  }
+  return Status::Ok();
+}
+
+Status QueryContext::CancelStatus() const {
+  const int code = cancel_code_.load(std::memory_order_acquire);
+  if (code == 0) return Status::Ok();
+  if (static_cast<StatusCode>(code) == StatusCode::kDeadlineExceeded) {
+    return Status::DeadlineExceeded(
+        StrFormat("query %llu exceeded its %lld ms deadline",
+                  static_cast<unsigned long long>(id_),
+                  static_cast<long long>(deadline_millis())));
+  }
+  return Status::QueryCanceled(StrFormat(
+      "query %llu canceled", static_cast<unsigned long long>(id_)));
+}
+
+Status QueryContext::ReserveMemory(uint64_t bytes) {
+  if (FTS_UNLIKELY(FaultInjection::Instance().ShouldFail(kFaultAlloc))) {
+    return Status::ResourceExhausted(
+        StrFormat("query %llu: scan allocation of %llu bytes failed "
+                  "(fault injection: %s)",
+                  static_cast<unsigned long long>(id_),
+                  static_cast<unsigned long long>(bytes), kFaultAlloc));
+  }
+  const uint64_t budget = memory_budget_.load(std::memory_order_relaxed);
+  const uint64_t now =
+      memory_reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (FTS_UNLIKELY(budget != 0 && now > budget)) {
+    memory_reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(StrFormat(
+        "query %llu over memory budget: %llu bytes reserved + %llu "
+        "requested > %llu budget",
+        static_cast<unsigned long long>(id_),
+        static_cast<unsigned long long>(now - bytes),
+        static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(budget)));
+  }
+  // Track the high-water mark (best effort under concurrency).
+  uint64_t peak = memory_peak_.load(std::memory_order_relaxed);
+  while (now > peak && !memory_peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::Ok();
+}
+
+void QueryContext::ReleaseMemory(uint64_t bytes) {
+  memory_reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status ScopedMemoryReservation::Reserve(QueryContext* ctx, uint64_t bytes) {
+  Release();
+  if (ctx == nullptr) return Status::Ok();
+  FTS_RETURN_IF_ERROR(ctx->ReserveMemory(bytes));
+  ctx_ = ctx;
+  bytes_ = bytes;
+  return Status::Ok();
+}
+
+void ScopedMemoryReservation::Release() {
+  if (ctx_ != nullptr) ctx_->ReleaseMemory(bytes_);
+  ctx_ = nullptr;
+  bytes_ = 0;
+}
+
+}  // namespace fts

@@ -1,0 +1,216 @@
+#ifndef FTS_COMMON_QUERY_CONTEXT_H_
+#define FTS_COMMON_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "fts/common/status.h"
+
+namespace fts {
+
+// Fault point fired by QueryContext::ReserveMemory. Arming it
+// (FTS_FAULT=alloc) makes the next budget-checked scan allocation fail
+// with kResourceExhausted exactly as a real budget overflow would,
+// exercising the typed-error path without needing a tiny budget.
+inline constexpr char kFaultAlloc[] = "alloc";
+
+// Per-query lifecycle state: identity, deadline, cooperative cancellation,
+// and a memory budget. One QueryContext is created per Database::Query call
+// and threaded by raw pointer through ScanSpec / TranslatorOptions /
+// PhysicalPlan / ParallelScanOptions down to the morsel loop and the JIT
+// compiler driver. A null context everywhere means "no lifecycle limits"
+// and costs nothing, so library layers below the database remain usable
+// standalone.
+//
+// Thread-safety: all mutating entry points are lock-free atomics.
+// Cancel() in particular performs only relaxed/release atomic stores and
+// is async-signal-safe — fts_shell calls it from a SIGINT handler, and the
+// timer wheel calls it from its tick thread while pool workers are
+// mid-scan. Status messages are materialized lazily by the *observing*
+// thread (CheckCancelled / CancelStatus), never by the canceling one.
+//
+// Cancellation is cooperative: checks live at morsel/chunk boundaries and
+// ladder-rung starts, never inside a SIMD kernel (see DESIGN.md §12). A
+// deadline is enforced two ways: the timer wheel flips the cancel flag
+// asynchronously when it fires, and CheckCancelled() itself compares
+// against the clock, so a query whose deadline passed is caught at the
+// next boundary even if the wheel tick is late.
+class QueryContext {
+ public:
+  QueryContext();
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  // Convenience for the common shared-ownership pattern: the database
+  // keeps the shared_ptr alive for the duration of the query while the
+  // timer wheel holds a weak_ptr so a late-firing deadline callback never
+  // touches a freed context.
+  static std::shared_ptr<QueryContext> Create() {
+    return std::make_shared<QueryContext>();
+  }
+
+  // Monotonically increasing process-wide query id (1-based).
+  uint64_t id() const { return id_; }
+
+  // --- Deadline ------------------------------------------------------
+
+  // Arms a deadline `millis` from now. <= 0 is ignored (no deadline).
+  void SetDeadlineMillis(int64_t millis);
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  // The deadline budget this query was armed with (0 when none) — used
+  // for report/EXPLAIN surfaces and error messages.
+  int64_t deadline_millis() const {
+    return deadline_budget_millis_.load(std::memory_order_relaxed);
+  }
+
+  // Milliseconds until the deadline fires; +inf when no deadline is set,
+  // <= 0 once it has passed. Deadline-aware engine selection (JitCache)
+  // compares this against the compile-budget floor.
+  double RemainingMillis() const;
+
+  // --- Cancellation --------------------------------------------------
+
+  // Flips the cancel flag. `code` must be kQueryCanceled (explicit
+  // cancel: \cancel, SIGINT) or kDeadlineExceeded (deadline fired). The
+  // first cancel wins; later calls are no-ops. Async-signal-safe.
+  void Cancel(StatusCode code);
+
+  bool cancelled() const {
+    return cancel_code_.load(std::memory_order_acquire) != 0;
+  }
+
+  // The cancellation point. Returns OK while the query may keep running;
+  // otherwise the typed cancel status. Also lazily enforces the deadline
+  // (clock check) and the CancelAtCheck test hook. Every caller sits at a
+  // morsel/chunk/rung/step boundary — never inside a kernel.
+  Status CheckCancelled();
+
+  // The status a cancelled query must return: kDeadlineExceeded or
+  // kQueryCanceled with a message naming the query. OK when not cancelled.
+  Status CancelStatus() const;
+
+  // Number of cancellation checks executed so far (test observability).
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+
+  // Test hook for the cancellation fuzzer: the Nth CheckCancelled call
+  // (1-based) cancels the query with kQueryCanceled. This makes "cancel
+  // at a random morsel boundary" deterministic per seed instead of racing
+  // a timer. 0 disables the hook.
+  void CancelAtCheck(uint64_t nth) {
+    cancel_at_check_.store(nth, std::memory_order_relaxed);
+  }
+
+  // --- Memory budget -------------------------------------------------
+
+  // Caps the bytes the scan path may hold at once. 0 = unlimited.
+  void SetMemoryBudget(uint64_t bytes) {
+    memory_budget_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t memory_budget() const {
+    return memory_budget_.load(std::memory_order_relaxed);
+  }
+
+  // Accounts `bytes` against the budget before a scan-path allocation.
+  // Over budget (or with the `alloc` fault armed) the reservation is
+  // rolled back and a typed kResourceExhausted is returned — the scan
+  // fails cleanly instead of the allocator aborting the process.
+  Status ReserveMemory(uint64_t bytes);
+  void ReleaseMemory(uint64_t bytes);
+
+  uint64_t memory_reserved() const {
+    return memory_reserved_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_peak() const {
+    return memory_peak_.load(std::memory_order_relaxed);
+  }
+
+  // --- Admission bookkeeping ----------------------------------------
+
+  // Time the query spent queued in the admission controller, recorded by
+  // AdmissionController::Admit and surfaced in ExecutionReport /
+  // EXPLAIN ANALYZE.
+  void set_queue_wait_micros(int64_t micros) {
+    queue_wait_micros_.store(micros, std::memory_order_relaxed);
+  }
+  int64_t queue_wait_micros() const {
+    return queue_wait_micros_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // steady_clock nanosecond timestamp of the deadline; 0 = none.
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  const uint64_t id_;
+  std::atomic<int64_t> deadline_ns_{0};
+  std::atomic<int64_t> deadline_budget_millis_{0};
+  // 0 = not cancelled, else the StatusCode cast to its underlying int.
+  std::atomic<int> cancel_code_{0};
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<uint64_t> cancel_at_check_{0};
+  std::atomic<uint64_t> memory_budget_{0};
+  std::atomic<uint64_t> memory_reserved_{0};
+  std::atomic<uint64_t> memory_peak_{0};
+  std::atomic<int64_t> queue_wait_micros_{0};
+};
+
+// Checks the context's cancel flag if one is present. The `ctx` argument
+// of the scan/exec entry points is nullable by design; this keeps call
+// sites one line.
+inline Status CheckCancellation(QueryContext* ctx) {
+  if (ctx == nullptr) return Status::Ok();
+  return ctx->CheckCancelled();
+}
+
+// RAII reservation against a query's memory budget. A null context
+// reserves nothing and always succeeds.
+class ScopedMemoryReservation {
+ public:
+  ScopedMemoryReservation() = default;
+  ~ScopedMemoryReservation() { Release(); }
+
+  ScopedMemoryReservation(const ScopedMemoryReservation&) = delete;
+  ScopedMemoryReservation& operator=(const ScopedMemoryReservation&) = delete;
+  ScopedMemoryReservation(ScopedMemoryReservation&& other) noexcept
+      : ctx_(other.ctx_), bytes_(other.bytes_) {
+    other.ctx_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedMemoryReservation& operator=(ScopedMemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Release();
+      ctx_ = other.ctx_;
+      bytes_ = other.bytes_;
+      other.ctx_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  // Reserves `bytes` against `ctx` (releasing any prior reservation this
+  // object held). Returns the typed kResourceExhausted on overflow.
+  Status Reserve(QueryContext* ctx, uint64_t bytes);
+
+  void Release();
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  QueryContext* ctx_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace fts
+
+#endif  // FTS_COMMON_QUERY_CONTEXT_H_

@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kQueryCanceled:
+      return "QueryCanceled";
+    case StatusCode::kAdmissionRejected:
+      return "AdmissionRejected";
   }
   return "UnknownStatusCode";
 }

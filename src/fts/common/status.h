@@ -24,6 +24,8 @@ enum class StatusCode {
   kUnavailable,
   kResourceExhausted,
   kDeadlineExceeded,
+  kQueryCanceled,
+  kAdmissionRejected,
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -63,6 +65,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status QueryCanceled(std::string msg) {
+    return Status(StatusCode::kQueryCanceled, std::move(msg));
+  }
+  static Status AdmissionRejected(std::string msg) {
+    return Status(StatusCode::kAdmissionRejected, std::move(msg));
   }
 
   Status(StatusCode code, std::string message)

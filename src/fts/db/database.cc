@@ -1,8 +1,11 @@
 #include "fts/db/database.h"
 
 #include "fts/common/cpu_info.h"
+#include "fts/common/env.h"
 #include "fts/common/string_util.h"
 #include "fts/common/timer.h"
+#include "fts/exec/admission.h"
+#include "fts/exec/timer_wheel.h"
 #include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
 #include "fts/plan/lqp.h"
@@ -54,6 +57,7 @@ ScanEngine Database::DefaultEngine() {
 
 StatusOr<PhysicalPlan> Database::Plan(const SelectStatement& statement,
                                       const QueryOptions& options,
+                                      QueryContext* context,
                                       std::string* explain_text) const {
   FTS_ASSIGN_OR_RETURN(const TablePtr table, GetTable(statement.table));
   LqpNodePtr lqp;
@@ -94,6 +98,7 @@ StatusOr<PhysicalPlan> Database::Plan(const SelectStatement& statement,
   translator_options.fallback = options.fallback;
   translator_options.threads = options.threads;
   translator_options.enable_aggregate_pushdown = options.aggregate_pushdown;
+  translator_options.context = context;
   FTS_ASSIGN_OR_RETURN(PhysicalPlan plan,
                        TranslateLqp(lqp, translator_options));
   if (explain_text != nullptr) {
@@ -116,21 +121,96 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
   }
 
   if (statement.explain && !statement.analyze) {
-    // EXPLAIN: plan only, never execute. The rendered plans become the
-    // result's explain_text.
+    // EXPLAIN: plan only, never execute — no admission slot, no deadline.
     QueryResult result;
     FTS_RETURN_IF_ERROR(
-        Plan(statement, options, &result.explain_text).status());
+        Plan(statement, options, nullptr, &result.explain_text).status());
     obs::Metrics().query_micros->Record(
         static_cast<uint64_t>(timer.ElapsedMicros()));
     return result;
   }
 
-  FTS_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(statement, options, nullptr));
+  // Query lifecycle: one context carries the deadline, cancellation flag
+  // and memory budget through every layer below. Callers that want to
+  // cancel concurrently pass their own.
+  const std::shared_ptr<QueryContext> ctx =
+      options.context != nullptr ? options.context : QueryContext::Create();
+  if (options.deadline_millis > 0) {
+    ctx->SetDeadlineMillis(options.deadline_millis);
+  }
+  const uint64_t budget =
+      options.memory_budget_bytes > 0
+          ? options.memory_budget_bytes
+          : static_cast<uint64_t>(
+                GetEnvInt64("FTS_QUERY_MEMORY_BUDGET_BYTES", 0));
+  if (budget > 0) ctx->SetMemoryBudget(budget);
+
+  // Classifies a lifecycle failure into the right counter. Admission
+  // rejections are counted by the controller itself.
+  const auto count_failure = [](const Status& status) {
+    if (status.code() == StatusCode::kQueryCanceled) {
+      obs::Metrics().queries_cancelled_total->Increment();
+    } else if (status.code() == StatusCode::kDeadlineExceeded) {
+      obs::Metrics().queries_deadline_exceeded_total->Increment();
+    }
+  };
+
+  // Admission: take a bounded run-queue slot before planning. Queue time
+  // counts against the deadline — a query that waits past it leaves the
+  // queue canceled instead of occupying a slot it can no longer use.
+  StatusOr<AdmissionController::Ticket> ticket =
+      AdmissionController::Global().Admit(ctx.get());
+  if (!ticket.ok()) {
+    count_failure(ticket.status());
+    return ticket.status();
+  }
+
+  // The deadline fires asynchronously on the global timer wheel (so a
+  // query stuck on one uninterruptible kernel still flips the flag in
+  // time for the next boundary) and is also checked lazily against the
+  // clock at every cancellation point. weak_ptr: the wheel may outlive
+  // this query, and Cancel() below may lose the race with the tick
+  // thread.
+  TimerWheel::TimerId deadline_timer = 0;
+  if (ctx->has_deadline()) {
+    std::weak_ptr<QueryContext> weak = ctx;
+    deadline_timer = TimerWheel::Global().Schedule(
+        static_cast<int64_t>(ctx->RemainingMillis()), [weak] {
+          if (const std::shared_ptr<QueryContext> locked = weak.lock()) {
+            locked->Cancel(StatusCode::kDeadlineExceeded);
+          }
+        });
+  }
+  struct TimerGuard {
+    TimerWheel::TimerId id;
+    ~TimerGuard() {
+      if (id != 0) TimerWheel::Global().Cancel(id);
+    }
+  } timer_guard{deadline_timer};
+
+  StatusOr<PhysicalPlan> planned =
+      Plan(statement, options, ctx.get(), nullptr);
+  if (!planned.ok()) {
+    count_failure(planned.status());
+    return planned.status();
+  }
+  PhysicalPlan plan = std::move(planned).value();
   if (statement.analyze) plan.collect_counters = true;
 
-  FTS_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan));
-  if (result.execution_report.degraded) {
+  StatusOr<QueryResult> executed = ExecutePlan(plan);
+  if (!executed.ok()) {
+    count_failure(executed.status());
+    return executed.status();
+  }
+  QueryResult result = std::move(executed).value();
+
+  ExecutionReport& report = result.execution_report;
+  report.deadline_millis = ctx->deadline_millis();
+  report.deadline_hit = false;
+  report.cancelled = false;
+  report.queue_wait_millis =
+      static_cast<double>(ctx->queue_wait_micros()) / 1000.0;
+  if (report.degraded) {
     obs::Metrics().degradation_events_total->Increment();
   }
   if (statement.analyze) {
@@ -149,7 +229,7 @@ StatusOr<std::string> Database::Explain(const std::string& sql,
     FTS_ASSIGN_OR_RETURN(statement, ParseSelect(sql));
   }
   std::string text;
-  FTS_RETURN_IF_ERROR(Plan(statement, options, &text).status());
+  FTS_RETURN_IF_ERROR(Plan(statement, options, nullptr, &text).status());
   return text;
 }
 

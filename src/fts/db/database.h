@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "fts/common/query_context.h"
 #include "fts/common/status.h"
 #include "fts/plan/physical_plan.h"
 #include "fts/scan/scan_engine.h"
@@ -48,6 +49,21 @@ class Database {
     // of materializing a position list (see TranslatorOptions). Disable to
     // force the materialize-then-aggregate path.
     bool aggregate_pushdown = true;
+    // Wall-clock deadline for the whole query — admission queueing,
+    // planning, and execution all count against it. 0 = none. The global
+    // TimerWheel flips the context when it expires and the query returns
+    // kDeadlineExceeded at its next cancellation point (morsel/chunk/plan
+    // step boundary; running SIMD kernels are uninterruptible).
+    int64_t deadline_millis = 0;
+    // Budget for in-flight scan scratch (per-chunk position lists); the
+    // query fails with kResourceExhausted when a reservation would exceed
+    // it. 0 = FTS_QUERY_MEMORY_BUDGET_BYTES env, else unlimited.
+    uint64_t memory_budget_bytes = 0;
+    // External lifecycle context. When set, the deadline/budget fields
+    // above are applied to it and the caller may Cancel() it from another
+    // thread (or a signal handler) while the query runs — the shell's
+    // \cancel and Ctrl-C do exactly that. Null: Query creates its own.
+    std::shared_ptr<QueryContext> context;
   };
 
   Database() = default;
@@ -86,6 +102,7 @@ class Database {
  private:
   StatusOr<PhysicalPlan> Plan(const SelectStatement& statement,
                               const QueryOptions& options,
+                              QueryContext* context,
                               std::string* explain_text) const;
 
   std::map<std::string, TablePtr> tables_;

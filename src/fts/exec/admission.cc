@@ -1,0 +1,103 @@
+#include "fts/exec/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fts/common/env.h"
+#include "fts/common/string_util.h"
+#include "fts/obs/metrics.h"
+
+namespace fts {
+
+namespace {
+constexpr int kDefaultMaxConcurrent = 64;
+constexpr int kDefaultQueueDepth = 128;
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : max_concurrent_(options.max_concurrent > 0
+                          ? options.max_concurrent
+                          : std::max<int>(1, static_cast<int>(GetEnvInt64(
+                                                 "FTS_MAX_CONCURRENT_QUERIES",
+                                                 kDefaultMaxConcurrent)))),
+      queue_depth_(options.queue_depth > 0
+                       ? options.queue_depth
+                       : std::max<int>(0, static_cast<int>(GetEnvInt64(
+                                              "FTS_QUEUE_DEPTH",
+                                              kDefaultQueueDepth)))) {}
+
+AdmissionController& AdmissionController::Global() {
+  static AdmissionController* controller = new AdmissionController();
+  return *controller;
+}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    QueryContext* ctx) {
+  using Clock = std::chrono::steady_clock;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (running_ < max_concurrent_) {
+    ++running_;
+    ++stats_.admitted;
+    if (ctx != nullptr) ctx->set_queue_wait_micros(0);
+    obs::Metrics().admission_queue_wait_micros->Record(0);
+    return Ticket(this, 0);
+  }
+  if (waiting_ >= queue_depth_) {
+    ++stats_.rejected;
+    obs::Metrics().admission_rejected_total->Increment();
+    return Status::AdmissionRejected(StrFormat(
+        "admission queue full: %d running (max %d), %d queued (depth %d)",
+        running_, max_concurrent_, waiting_, queue_depth_));
+  }
+  const auto enqueued = Clock::now();
+  ++waiting_;
+  ++stats_.queued;
+  // Poll in short slices so a queued query notices cancellation or an
+  // expiring deadline promptly; CheckCancelled costs one clock read.
+  Status cancel = Status::Ok();
+  while (running_ >= max_concurrent_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+    cancel = CheckCancellation(ctx);
+    if (!cancel.ok()) break;
+  }
+  --waiting_;
+  if (!cancel.ok()) {
+    // Leaving without a slot: a waiter may have been notified for us.
+    cv_.notify_one();
+    return cancel;
+  }
+  ++running_;
+  ++stats_.admitted;
+  const int64_t waited_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            enqueued)
+          .count();
+  if (ctx != nullptr) ctx->set_queue_wait_micros(waited_micros);
+  obs::Metrics().admission_queue_wait_micros->Record(
+      static_cast<uint64_t>(waited_micros));
+  return Ticket(this, waited_micros);
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.running = running_;
+  snapshot.waiting = waiting_;
+  return snapshot;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Release();
+  controller_ = nullptr;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+  }
+  cv_.notify_one();
+}
+
+}  // namespace fts

@@ -1,0 +1,116 @@
+#ifndef FTS_EXEC_ADMISSION_H_
+#define FTS_EXEC_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "fts/common/query_context.h"
+#include "fts/common/status.h"
+
+namespace fts {
+
+struct AdmissionOptions {
+  // Queries allowed to execute at once. <= 0 resolves from
+  // FTS_MAX_CONCURRENT_QUERIES (default 64). Admitted queries share the
+  // TaskPool; this bounds how many can pile work onto it, it does not
+  // reserve threads per query.
+  int max_concurrent = 0;
+  // Queries allowed to wait for a slot. <= 0 resolves from
+  // FTS_QUEUE_DEPTH (default 128). A query arriving with the queue full
+  // is rejected immediately with kAdmissionRejected — bounded queue, no
+  // unbounded pile-up, callers retry with backoff.
+  int queue_depth = 0;
+};
+
+// Bounded run-queue in front of the execution stack. Database::Query
+// takes a ticket before planning/executing and releases it (RAII) when
+// the query finishes, succeeds or not. Waiters are deadline- and
+// cancellation-aware: a queued query whose deadline fires (or that is
+// canceled) leaves the queue with its cancel status instead of occupying
+// a slot it can no longer use.
+class AdmissionController {
+ public:
+  AdmissionController() : AdmissionController(AdmissionOptions()) {}
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Move-only slot holder; releasing (destruction) wakes one waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    Ticket(Ticket&& other) noexcept
+        : controller_(other.controller_),
+          queue_wait_micros_(other.queue_wait_micros_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        queue_wait_micros_ = other.queue_wait_micros_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+
+    void Release();
+
+    // Time spent queued before the slot was granted (0 when admitted
+    // immediately).
+    int64_t queue_wait_micros() const { return queue_wait_micros_; }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, int64_t queue_wait_micros)
+        : controller_(controller), queue_wait_micros_(queue_wait_micros) {}
+
+    AdmissionController* controller_ = nullptr;
+    int64_t queue_wait_micros_ = 0;
+  };
+
+  // Blocks until a slot is free. Errors: kAdmissionRejected when the wait
+  // queue is full on arrival; the context's cancel status when `ctx` is
+  // canceled (or its deadline fires) while queued. `ctx` may be null.
+  // On success the queue wait is also recorded into `ctx` and the
+  // admission queue-wait histogram.
+  StatusOr<Ticket> Admit(QueryContext* ctx);
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t queued = 0;    // Admissions that had to wait.
+    uint64_t rejected = 0;  // Queue-full rejections.
+    int running = 0;
+    int waiting = 0;
+  };
+  Stats stats() const;
+
+  int max_concurrent() const { return max_concurrent_; }
+  int queue_depth() const { return queue_depth_; }
+
+  // Process-wide controller used by Database::Query, configured from
+  // FTS_MAX_CONCURRENT_QUERIES / FTS_QUEUE_DEPTH at first use.
+  static AdmissionController& Global();
+
+ private:
+  void Release();
+
+  const int max_concurrent_;
+  const int queue_depth_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int running_ = 0;
+  int waiting_ = 0;
+  Stats stats_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EXEC_ADMISSION_H_

@@ -19,6 +19,9 @@ enum class MorselMode { kMaterialize, kCount, kAggregate };
 // the merge is deterministic by construction.
 struct MorselOutcome {
   bool ok = false;
+  // Morsel hit a cancellation boundary and was discarded without a rung
+  // completing (partial-abort accounting; `error` holds the cancel status).
+  bool aborted = false;
   Status error;           // Last rung's failure when !ok.
   EngineChoice executed;  // Rung that ran when ok.
   size_t rung_index = 0;  // Ladder depth of `executed` (0 = requested).
@@ -44,8 +47,19 @@ std::vector<EngineChoice> RungsFor(const ParallelScanOptions& options) {
 // precompiled rungs instead of burning a compile attempt per width.
 void RunMorsel(const TableScanner& scanner, JitCache& cache,
                const std::vector<EngineChoice>& rungs, MorselMode mode,
-               ChunkId chunk_id, MorselOutcome* out) {
+               ChunkId chunk_id, QueryContext* ctx, MorselOutcome* out) {
   const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
+  // Morsel boundary = cancellation point. A canceled morsel is discarded
+  // before any rung runs; its outcome slot records the abort so the merge
+  // and the report see the deterministic partial-abort.
+  if (ctx != nullptr) {
+    const Status cancel = ctx->CheckCancelled();
+    if (!cancel.ok()) {
+      out->aborted = true;
+      out->error = cancel;
+      return;
+    }
+  }
   // The morsel span covers the whole ladder walk; the chunk-execution
   // spans underneath it (scan_chunk) nest inside on the worker's track.
   obs::TraceSpan span("morsel", "exec");
@@ -54,9 +68,19 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
     span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
   }
   // Thread-local output list, reused across rungs and moved into the
-  // outcome slot on success.
+  // outcome slot on success. Charged against the query's memory budget
+  // while the morsel holds it: a budget overflow is a typed morsel
+  // failure (kResourceExhausted), not a process abort.
+  ScopedMemoryReservation reservation;
   PosList buffer;
   if (mode == MorselMode::kMaterialize) {
+    const Status reserved = reservation.Reserve(
+        ctx, static_cast<uint64_t>(plan.row_count + kScanOutputSlack) *
+                 sizeof(ChunkOffset));
+    if (!reserved.ok()) {
+      out->error = reserved;
+      return;
+    }
     buffer.resize(plan.row_count + kScanOutputSlack);
   }
   std::vector<AggAccumulator> aggs;
@@ -68,6 +92,17 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
   Status jit_unavailable_status;
   for (size_t r = 0; r < rungs.size(); ++r) {
     const EngineChoice& choice = rungs[r];
+    // Rung boundary = cancellation point: a deadline firing mid-ladder
+    // (e.g. during a JIT compile on an earlier rung) aborts the walk
+    // instead of demoting — lower rungs of a dead query cannot help.
+    // Checked via cancelled() rather than a rung's status code so the
+    // compile-budget floor (kDeadlineExceeded WITHOUT a canceled context)
+    // still demotes to a precompiled rung.
+    if (ctx != nullptr && ctx->cancelled()) {
+      out->aborted = true;
+      out->error = ctx->CancelStatus();
+      return;
+    }
     if (choice.engine == ScanEngine::kJit && jit_unavailable) {
       out->attempts.push_back({choice, jit_unavailable_status});
       continue;
@@ -80,12 +115,12 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
           mode == MorselMode::kAggregate
               ? JitExecuteChunkAggregate(cache, plan,
                                          choice.jit_register_bits,
-                                         aggs.data(), &out->jit)
+                                         aggs.data(), &out->jit, ctx)
               : JitExecuteChunk(cache, plan, choice.jit_register_bits,
                                 mode == MorselMode::kCount,
                                 mode == MorselMode::kCount ? nullptr
                                                            : buffer.data(),
-                                &out->jit);
+                                &out->jit, ctx);
       if (result.ok()) {
         value = *result;
       } else {
@@ -164,6 +199,10 @@ Status RunMorsels(const TableScanner& scanner,
   report->requested = options.requested;
   FillPruningReport(scanner, report);
 
+  QueryContext* ctx =
+      options.context != nullptr ? options.context : scanner.context();
+  if (ctx != nullptr) report->deadline_millis = ctx->deadline_millis();
+
   JitCache& cache =
       options.cache != nullptr ? *options.cache : GlobalJitCache();
   const std::vector<EngineChoice> rungs = RungsFor(options);
@@ -191,11 +230,16 @@ Status RunMorsels(const TableScanner& scanner,
 
   const auto run_morsel = [&](size_t index) {
     const ChunkId chunk = runnable[index];
-    RunMorsel(scanner, cache, rungs, mode, chunk, &(*outcomes)[chunk]);
+    RunMorsel(scanner, cache, rungs, mode, chunk, ctx, &(*outcomes)[chunk]);
   };
   if (threads <= 1 || runnable.size() == 1) {
     threads = 1;
-    for (size_t i = 0; i < runnable.size(); ++i) run_morsel(i);
+    for (size_t i = 0; i < runnable.size(); ++i) {
+      run_morsel(i);
+      // Undispatched morsels of a canceled scan are discarded here; the
+      // pool path reaches the same state by draining aborting morsels.
+      if (ctx != nullptr && ctx->cancelled()) break;
+    }
   } else if (options.pool != nullptr) {
     options.pool->ParallelFor(runnable.size(), run_morsel);
   } else if (threads == TaskPool::Global().thread_count()) {
@@ -214,6 +258,35 @@ Status RunMorsels(const TableScanner& scanner,
     report->jit_cache_hits += outcome.jit.cache_hits;
     report->jit_cache_misses += outcome.jit.cache_misses;
   }
+
+  // Partial-abort accounting. A morsel either completed (ran a rung to its
+  // boundary), aborted at a cancellation point, or — when the inline loop
+  // stopped early — was never dispatched (its slot is untouched: !ok with
+  // an OK error), which counts as aborted too.
+  const bool cancelled = ctx != nullptr && ctx->cancelled();
+  size_t completed = 0;
+  size_t aborted = 0;
+  for (const ChunkId chunk_id : runnable) {
+    const MorselOutcome& outcome = (*outcomes)[chunk_id];
+    if (outcome.ok) {
+      ++completed;
+    } else if (outcome.aborted || (cancelled && outcome.error.ok())) {
+      ++aborted;
+    }
+  }
+  report->morsels_completed = completed;
+  report->morsels_aborted = aborted;
+  if (aborted > 0) obs::Metrics().morsels_aborted_total->Add(aborted);
+  if (cancelled) {
+    // The context's status — not whichever morsel noticed first — decides
+    // the result, so a canceled scan is deterministic regardless of
+    // scheduling.
+    report->cancelled = true;
+    const Status cancel = ctx->CancelStatus();
+    report->deadline_hit = cancel.code() == StatusCode::kDeadlineExceeded;
+    return cancel;
+  }
+
   for (const ChunkId chunk_id : runnable) {
     const MorselOutcome& outcome = (*outcomes)[chunk_id];
     if (outcome.ok) continue;

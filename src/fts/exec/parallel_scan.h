@@ -38,6 +38,14 @@ struct ParallelScanOptions {
   // Pool to schedule on; null = TaskPool::Global() when its width matches
   // the resolved thread count, else a scan-local pool.
   TaskPool* pool = nullptr;
+  // Query lifecycle context (fts/common/query_context.h); overrides the
+  // scanner's captured context when non-null. Cancellation is checked at
+  // every morsel boundary and ladder-rung start: a canceled scan stops
+  // dispatching new morsels, in-flight morsels run to their boundary (the
+  // kernels are uninterruptible), and the pool drains normally — the
+  // slot-per-chunk merge then discards cleanly and the scan returns the
+  // context's cancel status deterministically.
+  QueryContext* context = nullptr;
 };
 
 // Runs the prepared scan morsel-by-morsel and materializes matching

@@ -1,0 +1,158 @@
+#include "fts/exec/timer_wheel.h"
+
+#include <utility>
+
+#include "fts/common/macros.h"
+#include "fts/obs/trace.h"
+
+namespace fts {
+
+TimerWheel::TimerWheel(Options options)
+    : options_(options), slots_(options.slots == 0 ? 1 : options.slots) {
+  FTS_CHECK_MSG(options_.tick_millis > 0, "timer wheel tick must be positive");
+  if (options_.start_thread) {
+    next_edge_ = Clock::now() + std::chrono::milliseconds(options_.tick_millis);
+    thread_ = std::thread([this] { TickLoop(); });
+  }
+}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Pending timers are dropped, not fired: a wheel being destroyed has no
+  // queries left that a deadline could meaningfully cancel.
+}
+
+TimerWheel& TimerWheel::Global() {
+  // Leaked on purpose: the wheel thread may observe statics during exit
+  // otherwise, and process teardown reclaims everything anyway.
+  static TimerWheel* wheel = new TimerWheel();
+  return *wheel;
+}
+
+TimerWheel::TimerId TimerWheel::Schedule(int64_t delay_millis,
+                                         std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t ticks;
+  if (options_.start_thread) {
+    // The next tick edge is usually mid-tick relative to this call, so
+    // counting it as a full tick would fire up to one tick early —
+    // breaking the never-early contract. Count only the time actually
+    // remaining until that edge, then whole ticks past it.
+    const auto now = Clock::now();
+    const int64_t until_edge_ns =
+        std::max<int64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              next_edge_ - now)
+                              .count(),
+                          0);
+    const int64_t delay_ns = std::max<int64_t>(delay_millis, 0) * 1'000'000;
+    const int64_t tick_ns = options_.tick_millis * 1'000'000;
+    ticks = delay_ns <= until_edge_ns
+                ? 1
+                : 1 + (delay_ns - until_edge_ns + tick_ns - 1) / tick_ns;
+  } else {
+    // Manual wheels advance in whole ticks (AdvanceForTest), so the first
+    // edge is a full tick away by construction.
+    ticks = delay_millis <= 0
+                ? 1
+                : (delay_millis + options_.tick_millis - 1) /
+                      options_.tick_millis;
+  }
+  return ScheduleLocked(ticks, std::move(fn));
+}
+
+TimerWheel::TimerId TimerWheel::ScheduleLocked(int64_t delay_ticks,
+                                               std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  const size_t slot =
+      (cursor_ + static_cast<size_t>(delay_ticks)) % slots_.size();
+  Entry entry;
+  entry.id = id;
+  // The cursor advances before each slot is processed, so it first visits
+  // `slot` at tick ((delay-1) mod slots) + 1; (delay-1)/slots full
+  // revolutions must pass on top of that. Using delay/slots instead would
+  // fire exact-multiple delays one revolution late.
+  entry.rounds = (static_cast<uint64_t>(delay_ticks) - 1) / slots_.size();
+  entry.fn = std::move(fn);
+  slots_[slot].push_back(std::move(entry));
+  index_[id] = Location{slot, std::prev(slots_[slot].end())};
+  ++stats_.scheduled;
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = index_.find(id);
+  if (found == index_.end()) return false;
+  slots_[found->second.slot].erase(found->second.it);
+  index_.erase(found);
+  ++stats_.cancelled;
+  return true;
+}
+
+size_t TimerWheel::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+TimerWheel::Stats TimerWheel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TimerWheel::CollectDueLocked(std::vector<Entry>* due) {
+  cursor_ = (cursor_ + 1) % slots_.size();
+  Slot& slot = slots_[cursor_];
+  for (auto it = slot.begin(); it != slot.end();) {
+    if (it->rounds == 0) {
+      // Spliced out while holding the lock: from here on Cancel(id)
+      // returns false and the callback is committed to run.
+      index_.erase(it->id);
+      due->push_back(std::move(*it));
+      it = slot.erase(it);
+      ++stats_.fired;
+    } else {
+      --it->rounds;
+      ++stats_.cascaded;
+      ++it;
+    }
+  }
+}
+
+void TimerWheel::AdvanceForTest(int64_t ticks) {
+  FTS_CHECK_MSG(!options_.start_thread,
+                "AdvanceForTest requires a wheel without a tick thread");
+  for (int64_t i = 0; i < ticks; ++i) {
+    std::vector<Entry> due;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      CollectDueLocked(&due);
+    }
+    for (Entry& entry : due) entry.fn();
+  }
+}
+
+void TimerWheel::TickLoop() {
+  obs::SetCurrentThreadLabel("timer wheel");
+  const auto tick = std::chrono::milliseconds(options_.tick_millis);
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Absolute tick edges (next_edge_, shared with Schedule's never-early
+  // arithmetic) so callback time does not accumulate as drift.
+  while (!stop_) {
+    if (cv_.wait_until(lock, next_edge_, [this] { return stop_; })) break;
+    next_edge_ += tick;
+    std::vector<Entry> due;
+    CollectDueLocked(&due);
+    if (!due.empty()) {
+      lock.unlock();
+      for (Entry& entry : due) entry.fn();
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace fts

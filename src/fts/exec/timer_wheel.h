@@ -1,0 +1,138 @@
+#ifndef FTS_EXEC_TIMER_WHEEL_H_
+#define FTS_EXEC_TIMER_WHEEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fts {
+
+// A hashed timer wheel: one background tick thread fires every query
+// deadline in the process, so N in-flight queries cost N wheel entries
+// instead of N sleeping threads.
+//
+// Classic hashed-wheel design: `slots` buckets of `tick_millis` width
+// arranged in a ring. A timer due in D ticks lands in slot
+// (cursor + D) % slots with a `rounds` counter of D / slots; each tick
+// the cursor advances one slot, decrements the rounds of every entry in
+// it (a "cascade" visit), and fires the entries that reached zero. With
+// a 1 ms tick and 256 slots, deadlines up to ~256 ms fire without ever
+// being revisited; longer ones pay one counter decrement per ~quarter
+// second. Timers never fire early; they fire at the first tick edge at
+// or after their due time, so worst-case lateness is one tick plus
+// scheduler jitter.
+//
+// Callbacks run on the wheel thread with no lock held. They must be
+// cheap and non-blocking — the intended payload is exactly
+// `QueryContext::Cancel(kDeadlineExceeded)` (a couple of atomic stores);
+// the canceled query notices at its next cancellation point. A slow
+// callback delays every other timer behind it.
+//
+// Cancel(id) wins only while the entry is still in the wheel: once the
+// tick thread has spliced an entry out to fire it, Cancel returns false
+// and the callback runs (or already ran). Callers that race completion
+// against the deadline therefore hold the guarded state via weak_ptr —
+// see Database::Query.
+class TimerWheel {
+ public:
+  using TimerId = uint64_t;
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    int64_t tick_millis = 1;
+    size_t slots = 256;
+    // false = no tick thread; tests drive time with AdvanceForTest for
+    // deterministic expiry-order/cascade/cancel coverage.
+    bool start_thread = true;
+  };
+
+  struct Stats {
+    uint64_t scheduled = 0;
+    uint64_t fired = 0;
+    uint64_t cancelled = 0;
+    // Entries visited by the cursor that still had rounds to serve.
+    uint64_t cascaded = 0;
+  };
+
+  // Overload instead of a `= Options()` default: nested-class default
+  // member initializers are not parsed yet where an in-class default
+  // argument would need them (same workaround as Database::Query).
+  TimerWheel() : TimerWheel(Options()) {}
+  explicit TimerWheel(Options options);
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Process-wide wheel used for query deadlines (1 ms tick, 256 slots).
+  // Started lazily on first use; never destroyed (intentionally leaked so
+  // late cancels during static teardown stay safe).
+  static TimerWheel& Global();
+
+  // Schedules `fn` to run `delay_millis` from now (delays <= 0 fire on
+  // the next tick). Returns an id usable with Cancel.
+  TimerId Schedule(int64_t delay_millis, std::function<void()> fn);
+
+  // Removes a pending timer. True if it was removed before firing; false
+  // if it already fired, is mid-fire, or never existed.
+  bool Cancel(TimerId id);
+
+  // Timers currently in the wheel.
+  size_t pending() const;
+
+  Stats stats() const;
+
+  // Test-only (requires start_thread = false): advances the wheel by
+  // `ticks` tick edges, firing due timers synchronously on the caller's
+  // thread.
+  void AdvanceForTest(int64_t ticks);
+
+ private:
+  struct Entry {
+    TimerId id = 0;
+    uint64_t rounds = 0;  // Cursor passes to survive before firing.
+    std::function<void()> fn;
+  };
+  using Slot = std::list<Entry>;
+
+  struct Location {
+    size_t slot = 0;
+    Slot::iterator it;
+  };
+
+  // Places an entry due in `delay_ticks` relative to the cursor.
+  // Requires mutex_ held.
+  TimerId ScheduleLocked(int64_t delay_ticks, std::function<void()> fn);
+
+  // Advances one tick and moves due entries onto `due`. Requires mutex_
+  // held.
+  void CollectDueLocked(std::vector<Entry>* due);
+
+  void TickLoop();
+
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  std::unordered_map<TimerId, Location> index_;
+  size_t cursor_ = 0;
+  // Next tick edge of the live tick thread; Schedule reads it so a timer
+  // placed mid-tick is never counted a full tick it won't get.
+  Clock::time_point next_edge_{};
+  TimerId next_id_ = 1;
+  Stats stats_;
+  bool stop_ = false;
+
+  std::thread thread_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_EXEC_TIMER_WHEEL_H_

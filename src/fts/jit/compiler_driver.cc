@@ -22,6 +22,7 @@
 #include "fts/common/fault_injection.h"
 #include "fts/common/string_util.h"
 #include "fts/common/timer.h"
+#include "fts/obs/metrics.h"
 
 namespace fts {
 namespace {
@@ -78,11 +79,14 @@ struct ScratchDirGuard {
 
 // Runs the external compiler: fork/exec with stdout+stderr redirected into
 // `log_path`, transient spawn failures retried with exponential backoff,
-// and a waitpid poll loop enforcing the compile deadline (SIGKILL + reap
-// on expiry, so no compiler process ever outlives the call).
+// and a waitpid poll loop enforcing both the compile deadline and the
+// owning query's cancellation (SIGKILL + reap on either, so no compiler
+// process ever outlives the call). `child` reports the pid and whether it
+// was killed/reaped, for the zombie-free assertions in tests.
 Status RunCompilerProcess(const std::vector<std::string>& command,
                           const std::string& log_path,
-                          const JitCompilerOptions& options) {
+                          const JitCompilerOptions& options, QueryContext* ctx,
+                          JitCompiler::ChildStats* child) {
   std::vector<char*> argv;
   argv.reserve(command.size() + 1);
   for (const std::string& arg : command) {
@@ -128,20 +132,41 @@ Status RunCompilerProcess(const std::vector<std::string>& command,
     backoff *= 2;
   }
 
+  child->pid = pid;
+
   Stopwatch stopwatch;
   int wait_status = 0;
   for (;;) {
     const pid_t done = waitpid(pid, &wait_status, WNOHANG);
-    if (done == pid) break;
+    if (done == pid) {
+      child->reaped = true;
+      break;
+    }
     if (done < 0) {
       return Status::Internal(
           StrFormat("waitpid(compiler) failed: %s", strerror(errno)));
+    }
+    // The owning query was canceled (or its deadline fired): the compile
+    // result can never be used, so kill the child now rather than letting
+    // it burn the core until its own timeout. SIGKILL is unblockable, so
+    // the blocking reap below cannot hang.
+    const Status cancel = CheckCancellation(ctx);
+    if (!cancel.ok()) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &wait_status, 0);
+      child->killed = true;
+      child->reaped = true;
+      obs::Metrics().jit_compiles_killed_total->Increment();
+      return Status(cancel.code(),
+                    cancel.message() + "; in-flight compiler process killed");
     }
     if (options.compile_timeout_millis > 0 &&
         stopwatch.ElapsedMillis() >
             static_cast<double>(options.compile_timeout_millis)) {
       kill(pid, SIGKILL);
       waitpid(pid, &wait_status, 0);  // SIGKILL is unblockable: reap now.
+      child->killed = true;
+      child->reaped = true;
       return Status::DeadlineExceeded(StrFormat(
           "JIT compilation exceeded %lld ms; compiler process killed",
           static_cast<long long>(options.compile_timeout_millis)));
@@ -183,8 +208,11 @@ JitCompiler::JitCompiler(JitCompilerOptions options)
 }
 
 StatusOr<std::shared_ptr<JitModule>> JitCompiler::Compile(
-    const std::string& source, const std::string& symbol) {
+    const std::string& source, const std::string& symbol, QueryContext* ctx) {
   if (source.empty()) return Status::InvalidArgument("empty source");
+  // A query canceled before the compile starts skips the spawn entirely
+  // (nothing to kill, nothing to clean up).
+  FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
 
   FaultInjection& faults = FaultInjection::Instance();
   if (faults.ShouldFail(kFaultJitCompilerMissing)) {
@@ -238,7 +266,11 @@ StatusOr<std::shared_ptr<JitModule>> JitCompiler::Compile(
   command.push_back("-o");
   command.push_back(so_path);
   command.push_back(src_path);
-  FTS_RETURN_IF_ERROR(RunCompilerProcess(command, log_path, options_));
+  ChildStats child;
+  const Status run_status =
+      RunCompilerProcess(command, log_path, options_, ctx, &child);
+  if (child.pid > 0) RecordChild(child);
+  FTS_RETURN_IF_ERROR(run_status);
 
   if (faults.ShouldFail(kFaultJitDlopenFail)) {
     return Status::Internal(StrFormat("dlopen failed (injected fault %s)",

@@ -1,9 +1,13 @@
 #ifndef FTS_JIT_COMPILER_DRIVER_H_
 #define FTS_JIT_COMPILER_DRIVER_H_
 
+#include <sys/types.h>
+
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "fts/common/query_context.h"
 #include "fts/common/status.h"
 
 namespace fts {
@@ -78,20 +82,49 @@ class JitCompiler {
  public:
   explicit JitCompiler(JitCompilerOptions options = JitCompilerOptions());
 
+  // waitpid bookkeeping for the most recent child compiler process this
+  // driver spawned. Tests assert the cancellation path leaves no zombies:
+  // after a canceled compile, `killed` and `reaped` are both true and
+  // kill(pid, 0) reports ESRCH.
+  struct ChildStats {
+    pid_t pid = -1;
+    bool killed = false;  // SIGKILLed by deadline/cancellation.
+    bool reaped = false;  // waitpid() collected the exit status.
+  };
+
   // Compiles `source` and resolves `symbol`. Error surface:
   //   kUnavailable      — the compiler binary cannot be executed;
-  //   kDeadlineExceeded — the compiler exceeded compile_timeout_millis and
-  //                       was killed;
+  //   kDeadlineExceeded — the compiler exceeded compile_timeout_millis (or
+  //                       the query's deadline fired mid-compile) and was
+  //                       killed;
+  //   kQueryCanceled    — `ctx` was canceled mid-compile; the compiler
+  //                       process was SIGKILLed and reaped;
   //   kInternal         — compile error (with the compiler's stderr),
   //                       dlopen or symbol-resolution failure.
-  // Scratch artifacts are removed on every path unless keep_artifacts.
+  // Scratch artifacts are removed on every path unless keep_artifacts —
+  // including the kill paths, so a canceled query orphans no files.
+  // `ctx` (nullable) is polled between waitpid probes, so an in-flight
+  // compiler dies within one poll interval of cancellation.
   StatusOr<std::shared_ptr<JitModule>> Compile(const std::string& source,
-                                               const std::string& symbol);
+                                               const std::string& symbol,
+                                               QueryContext* ctx = nullptr);
+
+  ChildStats last_child() const {
+    std::lock_guard<std::mutex> lock(child_mutex_);
+    return last_child_;
+  }
 
   const JitCompilerOptions& options() const { return options_; }
 
  private:
+  void RecordChild(const ChildStats& child) {
+    std::lock_guard<std::mutex> lock(child_mutex_);
+    last_child_ = child;
+  }
+
   JitCompilerOptions options_;
+  mutable std::mutex child_mutex_;
+  ChildStats last_child_;
 };
 
 }  // namespace fts

@@ -1,5 +1,7 @@
 #include "fts/jit/jit_cache.h"
 
+#include "fts/common/env.h"
+#include "fts/common/string_util.h"
 #include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
 
@@ -9,6 +11,8 @@ JitCache::JitCache(JitCacheOptions options)
     : compiler_(options.compiler), options_(std::move(options)) {
   if (options_.capacity == 0) options_.capacity = 1;
   if (options_.max_compile_attempts < 1) options_.max_compile_attempts = 1;
+  options_.min_compile_budget_millis = GetEnvInt64(
+      "FTS_JIT_MIN_COMPILE_BUDGET_MS", options_.min_compile_budget_millis);
 }
 
 JitCache::JitCache(JitCompilerOptions compiler_options)
@@ -30,7 +34,7 @@ void JitCache::InsertLocked(const std::string& key, const Entry& entry) {
 }
 
 StatusOr<JitCache::Entry> JitCache::GetOrCompile(
-    const JitScanSignature& signature) {
+    const JitScanSignature& signature, QueryContext* ctx) {
   const std::string key = signature.CacheKey();
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -43,6 +47,22 @@ StatusOr<JitCache::Entry> JitCache::GetOrCompile(
       entry.compile_millis = 0.0;
       entry.cache_hit = true;
       return entry;
+    }
+    // Cache miss: deadline-aware engine selection. A remaining budget
+    // below the compile floor cannot amortize a compile (nor a wait on
+    // someone else's), so refuse here and let the ladder demote to a
+    // precompiled rung. Intentionally NOT recorded as a failure: the
+    // signature stays compilable for queries with room.
+    if (ctx != nullptr && options_.min_compile_budget_millis > 0 &&
+        ctx->has_deadline() &&
+        ctx->RemainingMillis() <
+            static_cast<double>(options_.min_compile_budget_millis)) {
+      obs::Metrics().jit_compiles_skipped_budget_total->Increment();
+      return Status::DeadlineExceeded(StrFormat(
+          "remaining deadline budget %.1f ms is below the %lld ms JIT "
+          "compile floor; demoting to a precompiled engine",
+          ctx->RemainingMillis(),
+          static_cast<long long>(options_.min_compile_budget_millis)));
     }
     if (compiler_unavailable_) {
       ++stats_.negative_hits;
@@ -77,7 +97,7 @@ StatusOr<JitCache::Entry> JitCache::GetOrCompile(
     FTS_ASSIGN_OR_RETURN(const std::string source,
                          GenerateFusedScanSource(signature));
     FTS_ASSIGN_OR_RETURN(std::shared_ptr<JitModule> module,
-                         compiler_.Compile(source, kJitScanSymbol));
+                         compiler_.Compile(source, kJitScanSymbol, ctx));
     Entry entry;
     entry.module = std::move(module);
     entry.fn = reinterpret_cast<JitScanFn>(entry.module->symbol_address());
@@ -98,6 +118,11 @@ StatusOr<JitCache::Entry> JitCache::GetOrCompile(
         static_cast<uint64_t>(compiled->module->compile_millis() * 1000.0));
     failures_.erase(key);
     InsertLocked(key, *compiled);
+  } else if (ctx != nullptr && ctx->cancelled()) {
+    // The compile was aborted because THIS query died, which says nothing
+    // about the signature or the toolchain: no poisoning, no sticky
+    // unavailable latch. Single-flight waiters wake, find neither an
+    // entry nor a failure, and the next one leads a fresh compile.
   } else {
     ++stats_.compile_failures;
     obs::Metrics().jit_compile_failures_total->Increment();

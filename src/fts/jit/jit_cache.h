@@ -23,6 +23,13 @@ struct JitCacheOptions {
   // Compile attempts per signature before it is poisoned: further requests
   // return the cached failure without invoking the compiler again.
   int max_compile_attempts = 2;
+  // Deadline-aware engine selection: a query whose remaining deadline
+  // budget is below this floor does not start a compile for a cache miss
+  // (kDeadlineExceeded is returned and the ladder demotes to a
+  // precompiled rung). A compile latency the budget cannot amortize is a
+  // robustness hazard on short queries, not a perf win. Overridden by
+  // FTS_JIT_MIN_COMPILE_BUDGET_MS; <= 0 disables the floor.
+  int64_t min_compile_budget_millis = 100;
 };
 
 // Signature-keyed cache of compiled fused-scan operators. Section V:
@@ -58,8 +65,19 @@ class JitCache {
   };
 
   // Returns the compiled operator for `signature`, generating and
-  // compiling it on first use.
-  StatusOr<Entry> GetOrCompile(const JitScanSignature& signature);
+  // compiling it on first use. `ctx` (nullable) makes the compile
+  // lifecycle-aware: a cache hit is always served, but a miss is refused
+  // when the remaining deadline budget is below the compile floor, an
+  // in-flight compile is killed when the query is canceled, and — unlike
+  // real toolchain failures — a cancellation-driven abort is NOT recorded
+  // against the signature (no poisoning, no sticky latch): the next query
+  // compiles it fresh.
+  StatusOr<Entry> GetOrCompile(const JitScanSignature& signature,
+                               QueryContext* ctx = nullptr);
+
+  // The driver owning the child-process bookkeeping (tests assert killed
+  // compiles are reaped through this).
+  const JitCompiler& compiler() const { return compiler_; }
 
   struct Stats {
     uint64_t hits = 0;

@@ -14,7 +14,8 @@ namespace fts {
 StatusOr<size_t> JitExecuteChunk(JitCache& cache,
                                  const TableScanner::ChunkPlan& plan,
                                  int register_bits, bool count_only,
-                                 ChunkOffset* out, JitChunkStats* stats) {
+                                 ChunkOffset* out, JitChunkStats* stats,
+                                 QueryContext* ctx) {
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
@@ -30,7 +31,7 @@ StatusOr<size_t> JitExecuteChunk(JitCache& cache,
   JitScanSignature signature = SignatureForStages(plan.stages, register_bits);
   signature.count_only = count_only;
   FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
-                       cache.GetOrCompile(signature));
+                       cache.GetOrCompile(signature, ctx));
   if (stats != nullptr) {
     stats->compile_millis += entry.compile_millis;
     if (entry.cache_hit) {
@@ -72,7 +73,8 @@ StatusOr<size_t> JitExecuteChunkAggregate(JitCache& cache,
                                           const TableScanner::ChunkPlan& plan,
                                           int register_bits,
                                           AggAccumulator* accs,
-                                          JitChunkStats* stats) {
+                                          JitChunkStats* stats,
+                                          QueryContext* ctx) {
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
@@ -109,7 +111,7 @@ StatusOr<size_t> JitExecuteChunkAggregate(JitCache& cache,
     signature.aggs.push_back({term.op, term.type, term.domain});
   }
   FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
-                       cache.GetOrCompile(signature));
+                       cache.GetOrCompile(signature, ctx));
   if (stats != nullptr) {
     stats->compile_millis += entry.compile_millis;
     if (entry.cache_hit) {
@@ -163,7 +165,8 @@ JitScanEngine::JitScanEngine(int register_bits, JitCache* cache,
 }
 
 template <typename T, typename Run>
-StatusOr<T> JitScanEngine::RunLadder(ExecutionReport* report,
+StatusOr<T> JitScanEngine::RunLadder(QueryContext* ctx,
+                                     ExecutionReport* report,
                                      const Run& run) {
   ExecutionReport local;
   if (report == nullptr) report = &local;
@@ -192,6 +195,13 @@ StatusOr<T> JitScanEngine::RunLadder(ExecutionReport* report,
       return result;
     }
     report->RecordFailure(choice, result.status());
+    // A canceled context stops the walk: lower rungs would fail at their
+    // first cancellation point too. This is distinct from the compile-
+    // budget floor, which returns kDeadlineExceeded *without* canceling
+    // the context precisely so the ladder demotes past it.
+    if (ctx != nullptr && ctx->cancelled()) {
+      return result.status();
+    }
     if (choice.engine == ScanEngine::kJit &&
         result.status().code() == StatusCode::kUnavailable) {
       jit_unavailable = true;
@@ -208,19 +218,26 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
+  QueryContext* ctx = scanner.context();
   TableMatches result;
   result.chunks.reserve(scanner.chunk_plans().size());
   for (ChunkId chunk_id = 0; chunk_id < scanner.chunk_plans().size();
        ++chunk_id) {
+    FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
     const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
     ChunkMatches matches;
     matches.chunk_id = chunk_id;
     if (!plan.impossible && plan.row_count > 0) {
+      ScopedMemoryReservation reservation;
+      FTS_RETURN_IF_ERROR(reservation.Reserve(
+          ctx, static_cast<uint64_t>(plan.row_count + kScanOutputSlack) *
+                   sizeof(ChunkOffset)));
       PosList positions(plan.row_count + kScanOutputSlack);
       FTS_ASSIGN_OR_RETURN(
           const size_t count,
           JitExecuteChunk(*cache_, plan, register_bits,
-                          /*count_only=*/false, positions.data(), stats));
+                          /*count_only=*/false, positions.data(), stats,
+                          ctx));
       positions.resize(count);
       matches.positions = std::move(positions);
     }
@@ -238,11 +255,14 @@ StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
+  QueryContext* ctx = scanner.context();
   uint64_t total = 0;
   for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
+    FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
     FTS_ASSIGN_OR_RETURN(const size_t count,
                          JitExecuteChunk(*cache_, plan, register_bits,
-                                         /*count_only=*/true, nullptr, stats));
+                                         /*count_only=*/true, nullptr, stats,
+                                         ctx));
     total += count;
   }
   return total;
@@ -254,15 +274,17 @@ StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteJitAggregate(
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
+  QueryContext* ctx = scanner.context();
   TableScanner::AggResult result;
   result.accumulators.resize(scanner.num_agg_terms());
   std::vector<AggAccumulator> partial(scanner.num_agg_terms());
   for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
     if (plan.impossible || plan.row_count == 0) continue;
+    FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
     FTS_ASSIGN_OR_RETURN(
         const size_t count,
         JitExecuteChunkAggregate(*cache_, plan, register_bits,
-                                 partial.data(), stats));
+                                 partial.data(), stats, ctx));
     result.matched += count;
     for (size_t i = 0; i < partial.size(); ++i) {
       result.accumulators[i].Merge(partial[i]);
@@ -279,7 +301,8 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
   if (report != nullptr) FillPruningReport(scanner, report);
   JitChunkStats stats;
   StatusOr<TableMatches> result = RunLadder<TableMatches>(
-      report, [&](const EngineChoice& choice) -> StatusOr<TableMatches> {
+      scanner.context(), report,
+      [&](const EngineChoice& choice) -> StatusOr<TableMatches> {
         if (choice.engine == ScanEngine::kJit) {
           return ExecuteJit(scanner, choice.jit_register_bits, &stats);
         }
@@ -301,7 +324,8 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
   if (report != nullptr) FillPruningReport(scanner, report);
   JitChunkStats stats;
   StatusOr<uint64_t> result = RunLadder<uint64_t>(
-      report, [&](const EngineChoice& choice) -> StatusOr<uint64_t> {
+      scanner.context(), report,
+      [&](const EngineChoice& choice) -> StatusOr<uint64_t> {
         if (choice.engine == ScanEngine::kJit) {
           return ExecuteJitCount(scanner, choice.jit_register_bits, &stats);
         }
@@ -327,7 +351,7 @@ StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteAggregate(
   JitChunkStats stats;
   StatusOr<TableScanner::AggResult> result =
       RunLadder<TableScanner::AggResult>(
-          report,
+          scanner.context(), report,
           [&](const EngineChoice& choice)
               -> StatusOr<TableScanner::AggResult> {
             if (choice.engine == ScanEngine::kJit) {

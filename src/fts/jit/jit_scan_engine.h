@@ -33,12 +33,15 @@ struct JitChunkStats {
 // count; otherwise `out` must have capacity for row_count +
 // kScanOutputSlack positions. When `stats` is non-null, cache/compile
 // attribution for this call is accumulated into it. Thread-safe: JitCache
-// single-flights concurrent compiles of one signature.
+// single-flights concurrent compiles of one signature. `ctx` (nullable)
+// makes the compile lifecycle-aware (budget floor, kill on cancel); the
+// generated kernel itself is uninterruptible once running.
 StatusOr<size_t> JitExecuteChunk(JitCache& cache,
                                  const TableScanner::ChunkPlan& plan,
                                  int register_bits, bool count_only,
                                  ChunkOffset* out,
-                                 JitChunkStats* stats = nullptr);
+                                 JitChunkStats* stats = nullptr,
+                                 QueryContext* ctx = nullptr);
 
 // Aggregate-pushdown morsel primitive: compiles (or fetches) a specialized
 // operator that folds the chunk's aggregate terms at every emission site
@@ -50,7 +53,8 @@ StatusOr<size_t> JitExecuteChunkAggregate(JitCache& cache,
                                           const TableScanner::ChunkPlan& plan,
                                           int register_bits,
                                           AggAccumulator* accs,
-                                          JitChunkStats* stats = nullptr);
+                                          JitChunkStats* stats = nullptr,
+                                          QueryContext* ctx = nullptr);
 
 // Executes conjunctive scans through runtime-generated code (Section V).
 // Reuses TableScanner::Prepare for column resolution / value casting /
@@ -101,8 +105,13 @@ class JitScanEngine {
 
   // Walks the ladder (or just the first rung under kStrict), recording
   // attempts into `report`. `run` maps an EngineChoice to a result.
+  // `ctx` (nullable) separates demotion from abort: a rung failing with
+  // the compile-budget floor demotes, but a context actually canceled
+  // (explicit cancel or expired deadline) stops the walk — retrying lower
+  // rungs for a dead query would just re-fail at their first boundary.
   template <typename T, typename Run>
-  StatusOr<T> RunLadder(ExecutionReport* report, const Run& run);
+  StatusOr<T> RunLadder(QueryContext* ctx, ExecutionReport* report,
+                        const Run& run);
 
   int register_bits_;
   JitCache* cache_;

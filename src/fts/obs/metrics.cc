@@ -249,10 +249,32 @@ const EngineMetrics& Metrics() {
         reg.GetCounter("fts_rows_ingested_total", "Rows appended at ingest");
     m->chunks_built_total = reg.GetCounter(
         "fts_chunks_built_total", "Chunks sealed by the table builder");
+    m->queries_cancelled_total = reg.GetCounter(
+        "fts_queries_cancelled_total",
+        "Queries that returned QueryCanceled (explicit cancel)");
+    m->queries_deadline_exceeded_total = reg.GetCounter(
+        "fts_queries_deadline_exceeded_total",
+        "Queries that returned DeadlineExceeded");
+    m->admission_rejected_total = reg.GetCounter(
+        "fts_admission_rejected_total",
+        "Queries rejected because the admission queue was full");
+    m->morsels_aborted_total = reg.GetCounter(
+        "fts_morsels_aborted_total",
+        "Morsels discarded at a cancellation boundary without running");
+    m->jit_compiles_killed_total = reg.GetCounter(
+        "fts_jit_compiles_killed_total",
+        "In-flight compiler processes killed by cancellation or deadline");
+    m->jit_compiles_skipped_budget_total = reg.GetCounter(
+        "fts_jit_compiles_skipped_budget_total",
+        "JIT compiles skipped because the remaining deadline budget was "
+        "below the compile floor (ladder demoted)");
     m->jit_compile_micros = reg.GetHistogram(
         "fts_jit_compile_micros", "JIT compile latency in microseconds");
     m->query_micros = reg.GetHistogram(
         "fts_query_micros", "End-to-end SQL query latency in microseconds");
+    m->admission_queue_wait_micros = reg.GetHistogram(
+        "fts_admission_queue_wait_micros",
+        "Time admitted queries spent waiting in the admission queue");
     return m;
   }();
   return *metrics;

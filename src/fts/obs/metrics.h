@@ -143,8 +143,16 @@ struct EngineMetrics {
   Counter* degradation_events_total;
   Counter* rows_ingested_total;
   Counter* chunks_built_total;
+  // Query lifecycle (deadlines / cancellation / admission control).
+  Counter* queries_cancelled_total;
+  Counter* queries_deadline_exceeded_total;
+  Counter* admission_rejected_total;
+  Counter* morsels_aborted_total;
+  Counter* jit_compiles_killed_total;
+  Counter* jit_compiles_skipped_budget_total;
   Histogram* jit_compile_micros;
   Histogram* query_micros;
+  Histogram* admission_queue_wait_micros;
 };
 
 // Global instance backed by MetricsRegistry::Global().

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 
+#include "fts/common/query_context.h"
 #include "fts/common/string_util.h"
 #include "fts/common/timer.h"
 #include "fts/exec/parallel_scan.h"
@@ -46,6 +47,7 @@ StatusOr<TableMatches> RefineMatches(const TablePtr& table,
   TableMatches refined;
   refined.chunks.reserve(previous.chunks.size());
   for (const ChunkMatches& chunk_matches : previous.chunks) {
+    FTS_RETURN_IF_ERROR(CheckCancellation(spec.context));
     const TableScanner::ChunkPlan& plan =
         scanner.chunk_plans()[chunk_matches.chunk_id];
     ChunkMatches out;
@@ -577,6 +579,7 @@ std::string PhysicalPlan::Explain() const {
 
 StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   if (plan.table == nullptr) return Status::InvalidArgument("plan has no table");
+  FTS_RETURN_IF_ERROR(CheckCancellation(plan.context));
 
   if (plan.empty_result) {
     TableMatches none;
@@ -640,6 +643,7 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   ScanCounterScope counters(plan.collect_counters);
   std::optional<TableMatches> matches;
   for (const PhysicalPlan::ScanStep& step : plan.scan_steps) {
+    FTS_RETURN_IF_ERROR(CheckCancellation(plan.context));
     const bool first = !matches.has_value();
     const uint64_t rows_in = first ? 0 : matches->TotalMatches();
     Stopwatch timer;
@@ -774,6 +778,22 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
                        output_stage->millis);
     }
     out += "\n";
+  }
+
+  // Query lifecycle actuals. The `Deadline:` and `QueueWait:` markers are
+  // rendered unconditionally — harnesses grep for them.
+  if (report.deadline_millis > 0) {
+    out += StrFormat("  Deadline: %lld ms%s\n",
+                     static_cast<long long>(report.deadline_millis),
+                     report.deadline_hit ? " [exceeded]" : "");
+  } else {
+    out += "  Deadline: none\n";
+  }
+  out += StrFormat("  QueueWait: %.3f ms\n", report.queue_wait_millis);
+  if (report.cancelled || report.morsels_aborted > 0) {
+    out += StrFormat(
+        "  Cancelled: yes (morsels completed=%zu, aborted=%zu)\n",
+        report.morsels_completed, report.morsels_aborted);
   }
 
   int depth = 1;

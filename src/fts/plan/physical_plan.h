@@ -62,6 +62,13 @@ struct PhysicalPlan {
   // are byte-identical for every value.
   int threads = 0;
 
+  // Query lifecycle context (fts/common/query_context.h), mirrored into
+  // every scan step's spec by the translator. ExecutePlan checks it
+  // between plan steps (and the scan layers check it at every chunk /
+  // morsel / rung boundary); null runs the plan without lifecycle checks.
+  // Borrowed — must outlive execution.
+  QueryContext* context = nullptr;
+
   // Collect per-scan microarchitectural counters into the report: a PMU
   // read (perf_event_open) when the host exposes one, else a
   // branch-predictor-simulator replay of the first scan step. The

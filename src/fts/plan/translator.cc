@@ -77,6 +77,7 @@ void PlanAggregatePushdown(PhysicalPlan* plan,
     step = plan->scan_steps[0];
   } else {
     step.spec.threads = options.threads;
+    step.spec.context = options.context;
     step.engine = options.engine;
     step.jit_register_bits = options.jit_register_bits;
   }
@@ -95,6 +96,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
   plan.output = PhysicalPlan::Output::kCountStar;
   plan.fallback = options.fallback;
   plan.threads = options.threads;
+  plan.context = options.context;
 
   bool saw_output = false;
   std::optional<std::string> order_by_name;
@@ -137,6 +139,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
         PhysicalPlan::ScanStep step;
         step.spec.predicates = {ToPredicateSpec(predicate->predicate())};
         step.spec.threads = options.threads;
+        step.spec.context = options.context;
         step.engine = options.engine;
         step.jit_register_bits = options.jit_register_bits;
         steps_root_first.push_back(std::move(step));
@@ -150,6 +153,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
           step.spec.predicates.push_back(ToPredicateSpec(predicate));
         }
         step.spec.threads = options.threads;
+        step.spec.context = options.context;
         step.engine = options.engine;
         step.jit_register_bits = options.jit_register_bits;
         steps_root_first.push_back(std::move(step));

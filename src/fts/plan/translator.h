@@ -25,6 +25,11 @@ struct TranslatorOptions {
   // the materialize-then-aggregate path — the bench harness uses this to
   // measure the pushdown speedup.
   bool enable_aggregate_pushdown = true;
+  // Query lifecycle context (fts/common/query_context.h); threaded into
+  // every ScanStep's spec and the plan itself so deadlines, cancellation
+  // and the memory budget reach the scan/JIT/parallel layers. Borrowed —
+  // must outlive plan execution.
+  QueryContext* context = nullptr;
 };
 
 // Lowers an (optimized) LQP chain into a PhysicalPlan.

@@ -154,6 +154,18 @@ struct ExecutionReport {
   double jit_compile_millis = 0.0;
   uint64_t jit_cache_hits = 0;
   uint64_t jit_cache_misses = 0;
+  // Query lifecycle (fts/common/query_context.h). `deadline_millis` is the
+  // budget the query was armed with (0 = none); `deadline_hit` / `cancelled`
+  // report how it ended. Morsel accounting shows the deterministic partial
+  // abort: completed morsels ran to their boundary, aborted morsels were
+  // discarded without running. `queue_wait_millis` is the time spent in the
+  // admission controller's run queue before execution began.
+  int64_t deadline_millis = 0;
+  bool deadline_hit = false;
+  bool cancelled = false;
+  size_t morsels_completed = 0;
+  size_t morsels_aborted = 0;
+  double queue_wait_millis = 0.0;
   // Wall time of the scan stages alone (excludes parse/plan/aggregate).
   double scan_millis = 0.0;
   // Per-stage breakdown for EXPLAIN ANALYZE; one entry per executed plan

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "fts/common/query_context.h"
 #include "fts/simd/agg_spec.h"
 #include "fts/storage/compare_op.h"
 #include "fts/storage/value.h"
@@ -47,6 +48,12 @@ struct ScanSpec {
   // single-threaded path; N > 1 = N workers. Output is byte-identical
   // regardless of the value; this only affects scheduling.
   int threads = 0;
+
+  // Query lifecycle state (deadline, cancellation, memory budget) the scan
+  // should honor at chunk/morsel boundaries. Null = no lifecycle limits.
+  // Borrowed, not owned: the Database::Query call (or test) that created
+  // the context keeps it alive for the duration of the scan.
+  QueryContext* context = nullptr;
 
   std::string ToString() const;
 };

@@ -443,7 +443,14 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
     plans.push_back(std::move(plan));
   }
   return TableScanner(std::move(table), std::move(plans), pruning,
-                      spec.aggregates.size());
+                      spec.aggregates.size(), spec.context);
+}
+
+// Bytes a chunk's scratch position list costs against the query's memory
+// budget (fts/common/query_context.h).
+static uint64_t PosListBytes(size_t row_count) {
+  return static_cast<uint64_t>(row_count + kScanOutputSlack) *
+         sizeof(ChunkOffset);
 }
 
 StatusOr<size_t> TableScanner::ExecuteChunk(ScanEngine engine,
@@ -525,6 +532,9 @@ StatusOr<uint64_t> TableScanner::ExecuteChunkCount(ScanEngine engine,
     }
     return count;
   }
+  ScopedMemoryReservation reservation;
+  FTS_RETURN_IF_ERROR(
+      reservation.Reserve(context_, PosListBytes(plan.row_count)));
   PosList scratch(plan.row_count + kScanOutputSlack);
   return ExecuteChunk(engine, chunk_id, scratch.data());
 }
@@ -576,6 +586,7 @@ StatusOr<TableScanner::AggResult> TableScanner::ExecuteAggregate(
   result.accumulators.resize(num_agg_terms_);
   std::vector<AggAccumulator> partial(num_agg_terms_);
   for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
+    FTS_RETURN_IF_ERROR(CheckCancellation(context_));
     FTS_ASSIGN_OR_RETURN(
         const size_t count,
         ExecuteChunkAggregate(engine, chunk_id, partial.data()));
@@ -592,10 +603,16 @@ StatusOr<TableMatches> TableScanner::Execute(ScanEngine engine) const {
   TableMatches result;
   result.chunks.reserve(chunk_plans_.size());
   for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
+    // Cancellation points sit between chunks, never inside a kernel: a
+    // chunk in flight always runs to completion (DESIGN.md §12).
+    FTS_RETURN_IF_ERROR(CheckCancellation(context_));
     const ChunkPlan& plan = chunk_plans_[chunk_id];
     ChunkMatches matches;
     matches.chunk_id = chunk_id;
     if (!plan.impossible && plan.row_count > 0) {
+      ScopedMemoryReservation reservation;
+      FTS_RETURN_IF_ERROR(
+          reservation.Reserve(context_, PosListBytes(plan.row_count)));
       PosList positions(plan.row_count + kScanOutputSlack);
       FTS_ASSIGN_OR_RETURN(const size_t count,
                            ExecuteChunk(engine, chunk_id, positions.data()));
@@ -611,6 +628,7 @@ StatusOr<uint64_t> TableScanner::ExecuteCount(ScanEngine engine) const {
   FTS_RETURN_IF_ERROR(ValidateEngine(engine));
   uint64_t total = 0;
   for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
+    FTS_RETURN_IF_ERROR(CheckCancellation(context_));
     FTS_ASSIGN_OR_RETURN(const uint64_t count,
                          ExecuteChunkCount(engine, chunk_id));
     total += count;

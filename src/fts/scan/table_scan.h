@@ -124,18 +124,27 @@ class TableScanner {
   const PruningSummary& pruning() const { return pruning_; }
   const TablePtr& table() const { return table_; }
 
+  // The query lifecycle context captured from the spec at Prepare() (null
+  // when the spec carried none). Whole-table execution loops check it at
+  // chunk boundaries and account scratch buffers against its memory
+  // budget; the parallel executor reads it for its morsel boundaries.
+  QueryContext* context() const { return context_; }
+
  private:
   TableScanner(TablePtr table, std::vector<ChunkPlan> chunk_plans,
-               PruningSummary pruning, size_t num_agg_terms)
+               PruningSummary pruning, size_t num_agg_terms,
+               QueryContext* context)
       : table_(std::move(table)),
         chunk_plans_(std::move(chunk_plans)),
         pruning_(pruning),
-        num_agg_terms_(num_agg_terms) {}
+        num_agg_terms_(num_agg_terms),
+        context_(context) {}
 
   TablePtr table_;
   std::vector<ChunkPlan> chunk_plans_;
   PruningSummary pruning_;
   size_t num_agg_terms_ = 0;
+  QueryContext* context_ = nullptr;
 };
 
 // Copies the scanner's PruningSummary into the report's zone-map fields.

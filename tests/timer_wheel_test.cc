@@ -1,0 +1,137 @@
+// Unit tests for the hashed timer wheel (fts/exec/timer_wheel.h): expiry
+// ordering, cascading when the delay exceeds one wheel revolution, cancel
+// before fire, and the live tick thread. The deterministic cases drive
+// time manually with AdvanceForTest (start_thread = false) so slot and
+// round arithmetic is tested without wall-clock races.
+
+#include "fts/exec/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace fts {
+namespace {
+
+TimerWheel::Options ManualOptions(int64_t tick_millis = 1,
+                                  size_t slots = 8) {
+  TimerWheel::Options options;
+  options.tick_millis = tick_millis;
+  options.slots = slots;
+  options.start_thread = false;
+  return options;
+}
+
+TEST(TimerWheelTest, FiresInExpiryOrder) {
+  TimerWheel wheel(ManualOptions());
+  std::vector<int> fired;
+  wheel.Schedule(3, [&] { fired.push_back(3); });
+  wheel.Schedule(1, [&] { fired.push_back(1); });
+  wheel.Schedule(2, [&] { fired.push_back(2); });
+  EXPECT_EQ(wheel.pending(), 3u);
+
+  wheel.AdvanceForTest(1);
+  EXPECT_EQ(fired, std::vector<int>({1}));
+  wheel.AdvanceForTest(1);
+  EXPECT_EQ(fired, std::vector<int>({1, 2}));
+  wheel.AdvanceForTest(1);
+  EXPECT_EQ(fired, std::vector<int>({1, 2, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(wheel.stats().fired, 3u);
+}
+
+TEST(TimerWheelTest, NonPositiveDelayFiresOnNextTick) {
+  TimerWheel wheel(ManualOptions());
+  int fired = 0;
+  wheel.Schedule(0, [&] { ++fired; });
+  wheel.Schedule(-5, [&] { ++fired; });
+  EXPECT_EQ(fired, 0);  // Never synchronously in Schedule.
+  wheel.AdvanceForTest(1);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheelTest, CascadesDelaysLongerThanOneRevolution) {
+  // 8 slots x 1 ms: a 20-tick timer must survive two full cursor passes
+  // (rounds = 2) before firing in its slot on the third.
+  TimerWheel wheel(ManualOptions(1, 8));
+  int fired = 0;
+  wheel.Schedule(20, [&] { ++fired; });
+
+  wheel.AdvanceForTest(8);
+  EXPECT_EQ(fired, 0);
+  wheel.AdvanceForTest(8);
+  EXPECT_EQ(fired, 0);
+  EXPECT_GE(wheel.stats().cascaded, 2u);  // Visited once per revolution.
+  wheel.AdvanceForTest(4);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ManyTimersInterleavedAcrossSlots) {
+  TimerWheel wheel(ManualOptions(1, 4));
+  std::vector<int> fired;
+  for (int delay = 1; delay <= 12; ++delay) {
+    wheel.Schedule(delay, [&fired, delay] { fired.push_back(delay); });
+  }
+  wheel.AdvanceForTest(12);
+  std::vector<int> expected;
+  for (int delay = 1; delay <= 12; ++delay) expected.push_back(delay);
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(TimerWheelTest, CancelBeforeFire) {
+  TimerWheel wheel(ManualOptions());
+  int fired = 0;
+  const TimerWheel::TimerId keep = wheel.Schedule(2, [&] { ++fired; });
+  const TimerWheel::TimerId cancel = wheel.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(wheel.Cancel(cancel));
+  EXPECT_FALSE(wheel.Cancel(cancel));  // Already removed.
+  wheel.AdvanceForTest(2);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(wheel.Cancel(keep));  // Already fired.
+  EXPECT_EQ(wheel.stats().cancelled, 1u);
+  EXPECT_EQ(wheel.stats().fired, 1u);
+}
+
+TEST(TimerWheelTest, CancelUnknownIdIsFalse) {
+  TimerWheel wheel(ManualOptions());
+  EXPECT_FALSE(wheel.Cancel(12345));
+}
+
+TEST(TimerWheelTest, StatsCountScheduled) {
+  TimerWheel wheel(ManualOptions());
+  wheel.Schedule(1, [] {});
+  wheel.Schedule(1, [] {});
+  EXPECT_EQ(wheel.stats().scheduled, 2u);
+}
+
+TEST(TimerWheelTest, TickThreadFiresWithoutManualAdvance) {
+  TimerWheel wheel;  // Default options: live 1 ms tick thread.
+  std::atomic<bool> fired{false};
+  wheel.Schedule(5, [&] { fired.store(true); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!fired.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(TimerWheelTest, DestructorDropsPendingTimers) {
+  int fired = 0;
+  {
+    TimerWheel wheel(ManualOptions());
+    wheel.Schedule(100, [&] { ++fired; });
+  }
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheelTest, GlobalWheelIsSingleInstance) {
+  EXPECT_EQ(&TimerWheel::Global(), &TimerWheel::Global());
+}
+
+}  // namespace
+}  // namespace fts
