@@ -62,6 +62,8 @@ Variant BuildVariant(const AlignedVector<int32_t>& a,
             std::move(column)));
         break;
       }
+      default:
+        FTS_CHECK_MSG(false, "ablation covers plain/dict/bit-packed only");
     }
   }
   FTS_CHECK(builder.AddChunk(std::move(columns)).ok());

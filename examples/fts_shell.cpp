@@ -12,6 +12,7 @@
 //   \engine NAME                set engine (sisd-novec, avx512-512, jit, ...)
 //   \threads N                  scan worker threads (0 = FTS_THREADS)
 //   \stats NAME                 per-chunk zone maps (min/max/rows) of NAME
+//   \encoding NAME [COL ENC]    show or change per-column encodings
 //   \explain SQL                show logical + physical plans
 //   (EXPLAIN ANALYZE SELECT ... runs the query and prints the plan with
 //   actual rows, per-stage times, per-morsel engines and counters.)
@@ -24,6 +25,7 @@
 //   \help                       this text
 //   \quit
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -32,6 +34,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
 
 #include "fts/common/query_context.h"
 #include "fts/common/string_util.h"
@@ -40,9 +43,15 @@
 #include "fts/exec/timer_wheel.h"
 #include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
+#include "fts/storage/bitpacked_column.h"
 #include "fts/storage/csv_loader.h"
 #include "fts/storage/data_generator.h"
+#include "fts/storage/delta_column.h"
+#include "fts/storage/dictionary_column.h"
+#include "fts/storage/for_column.h"
+#include "fts/storage/rle_column.h"
 #include "fts/storage/table_builder.h"
+#include "fts/storage/value_column.h"
 
 namespace {
 
@@ -56,6 +65,10 @@ constexpr char kHelp[] =
     "  \\engine NAME               set scan engine\n"
     "  \\threads N                 scan worker threads (0 = FTS_THREADS)\n"
     "  \\stats NAME                per-chunk zone maps of table NAME\n"
+    "  \\encoding NAME             per-column encoding mix of table NAME\n"
+    "  \\encoding NAME COL ENC     re-encode column COL as ENC (plain,\n"
+    "                             dict, bitpacked, rle, for, delta);\n"
+    "                             chunks that cannot carry ENC stay plain\n"
     "  \\explain SQL               show the plans for SQL\n"
     "  EXPLAIN ANALYZE SELECT ... run a query, print the annotated plan\n"
     "  \\timeout MS                deadline for every query (0 clears)\n"
@@ -90,6 +103,63 @@ struct ShellState {
   std::unique_ptr<fts::obs::TraceSink> trace_sink;
   std::string trace_path;
 };
+
+fts::StatusOr<fts::ColumnEncoding> ParseEncoding(const std::string& name) {
+  for (int e = 0; e <= 5; ++e) {
+    const auto encoding = static_cast<fts::ColumnEncoding>(e);
+    if (name == fts::ColumnEncodingName(encoding)) return encoding;
+  }
+  return fts::Status::InvalidArgument(fts::StrFormat(
+      "unknown encoding '%s' (plain, dict, bitpacked, rle, for, delta)",
+      name.c_str()));
+}
+
+// Builds one chunk's column from `values` under `encoding`, mirroring
+// TableBuilder's per-chunk best-effort semantics: a chunk whose data
+// cannot carry the encoding stays plain and bumps `fallbacks`.
+template <typename T>
+fts::ColumnPtr EncodeValues(fts::AlignedVector<T> values,
+                            fts::ColumnEncoding encoding,
+                            size_t* fallbacks) {
+  switch (encoding) {
+    case fts::ColumnEncoding::kDictionary:
+      return std::make_shared<fts::DictionaryColumn<T>>(
+          fts::DictionaryColumn<T>::FromValues(values));
+    case fts::ColumnEncoding::kBitPacked: {
+      std::vector<T> distinct(values.begin(), values.end());
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      if (fts::BitPackedColumn<T>::BitWidthFor(distinct.size()) <=
+          fts::kMaxPackedBits) {
+        return std::make_shared<fts::BitPackedColumn<T>>(
+            fts::BitPackedColumn<T>::FromValues(values));
+      }
+      break;
+    }
+    case fts::ColumnEncoding::kRle:
+      return std::make_shared<fts::RleColumn<T>>(
+          fts::RleColumn<T>::FromValues(values));
+    case fts::ColumnEncoding::kFor:
+      if constexpr (std::is_integral_v<T>) {
+        if (auto encoded = fts::ForColumn<T>::TryFromValues(values)) {
+          return std::make_shared<fts::ForColumn<T>>(std::move(*encoded));
+        }
+      }
+      break;
+    case fts::ColumnEncoding::kDelta:
+      if constexpr (std::is_integral_v<T>) {
+        if (auto encoded = fts::DeltaColumn<T>::TryFromValues(values)) {
+          return std::make_shared<fts::DeltaColumn<T>>(std::move(*encoded));
+        }
+      }
+      break;
+    case fts::ColumnEncoding::kPlain:
+      break;
+  }
+  if (encoding != fts::ColumnEncoding::kPlain) ++*fallbacks;
+  return std::make_shared<fts::ValueColumn<T>>(std::move(values));
+}
 
 // Writes out a still-recording trace on exit so \quit or EOF never drops
 // recorded spans.
@@ -283,6 +353,103 @@ void RunCommand(ShellState& state, const std::string& line) {
     if (shown < chunk_count) {
       std::printf("  ... %zu more chunks\n", chunk_count - shown);
     }
+    return;
+  }
+  if (command == "\\encoding") {
+    std::string name, column_name, encoding_name;
+    in >> name >> column_name >> encoding_name;
+    if (name.empty() || (!column_name.empty() && encoding_name.empty())) {
+      std::printf("usage: \\encoding NAME [COL ENC]\n");
+      return;
+    }
+    const auto table = state.db.GetTable(name);
+    if (!table.ok()) {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+      return;
+    }
+    if (column_name.empty()) {
+      // Per-column encoding mix across chunks, in ColumnEncoding order.
+      for (size_t c = 0; c < (*table)->column_count(); ++c) {
+        size_t counts[6] = {};
+        for (fts::ChunkId id = 0; id < (*table)->chunk_count(); ++id) {
+          ++counts[static_cast<size_t>(
+              (*table)->chunk(id).column(c).encoding())];
+        }
+        std::printf("  %-16s",
+                    (*table)->column_definition(c).name.c_str());
+        bool first = true;
+        for (size_t e = 0; e < 6; ++e) {
+          if (counts[e] == 0) continue;
+          std::printf("%s%s x%zu", first ? " " : ", ",
+                      fts::ColumnEncodingName(
+                          static_cast<fts::ColumnEncoding>(e)),
+                      counts[e]);
+          first = false;
+        }
+        std::printf("\n");
+      }
+      return;
+    }
+    const auto encoding = ParseEncoding(encoding_name);
+    if (!encoding.ok()) {
+      std::printf("error: %s\n", encoding.status().ToString().c_str());
+      return;
+    }
+    const auto column_index = (*table)->ColumnIndex(column_name);
+    if (!column_index.ok()) {
+      std::printf("error: %s\n", column_index.status().ToString().c_str());
+      return;
+    }
+    // Rebuild the table chunk by chunk: untouched columns are shared with
+    // the old table (zero copy), the target column is decoded through
+    // GetValue and re-encoded, and chunk boundaries are preserved.
+    std::vector<fts::ColumnDefinition> schema;
+    schema.reserve((*table)->column_count());
+    for (size_t c = 0; c < (*table)->column_count(); ++c) {
+      schema.push_back((*table)->column_definition(c));
+    }
+    const fts::DataType type = schema[*column_index].type;
+    size_t fallbacks = 0;
+    fts::TableBuilder builder(std::move(schema));
+    for (fts::ChunkId id = 0; id < (*table)->chunk_count(); ++id) {
+      const fts::Chunk& chunk = (*table)->chunk(id);
+      std::vector<fts::ColumnPtr> columns;
+      columns.reserve(chunk.column_count());
+      for (size_t c = 0; c < chunk.column_count(); ++c) {
+        if (c != *column_index) {
+          columns.push_back(chunk.column_ptr(c));
+          continue;
+        }
+        fts::DispatchDataType(type, [&](auto tag) {
+          using T = decltype(tag);
+          const fts::BaseColumn& source = chunk.column(c);
+          fts::AlignedVector<T> values;
+          values.reserve(source.size());
+          for (size_t row = 0; row < source.size(); ++row) {
+            values.push_back(fts::ValueAs<T>(source.GetValue(row)));
+          }
+          columns.push_back(
+              EncodeValues<T>(std::move(values), *encoding, &fallbacks));
+        });
+      }
+      const auto status = builder.AddChunk(std::move(columns));
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return;
+      }
+    }
+    (void)state.db.DropTable(name);
+    const auto status = state.db.RegisterTable(name, builder.Build());
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("%s.%s -> %s", name.c_str(), column_name.c_str(),
+                fts::ColumnEncodingName(*encoding));
+    if (fallbacks > 0) {
+      std::printf(" (%zu chunks fell back to plain)", fallbacks);
+    }
+    std::printf("\n");
     return;
   }
   if (command == "\\explain") {

@@ -2,11 +2,12 @@
 # CI gate: build and run the tier-1 test suite in two configurations.
 #
 #   1. plain       -- cmake default flags, `ctest -L tier1`
-#   2. sanitizer   -- -DFTS_SANITIZE=thread, `ctest -L concurrency`
-#                     (task_pool_test + differential_test: the work-stealing
-#                     scheduler and the morsel-driven parallel scan under
-#                     TSan; JIT-compiled operators are dlopen'd
-#                     uninstrumented code, so JIT cases self-skip)
+#   2. sanitizer   -- -DFTS_SANITIZE=thread, `ctest -L concurrency` plus
+#                     the encoding fuzzers (property_test,
+#                     encoding_roundtrip_test) whose differential cases
+#                     drive RLE/FoR/delta chunks through the parallel
+#                     executor; JIT-compiled operators are dlopen'd
+#                     uninstrumented code, so JIT cases self-skip
 #
 # Usage: scripts/run_tier1.sh [--skip-tsan]
 #
@@ -39,8 +40,13 @@ cmake -S . -B "${TSAN_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DFTS_SANITIZE=thread >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}" --target task_pool_test \
   differential_test agg_pushdown_test zone_pruning_test metrics_test \
-  trace_test cancellation_fuzz_test
+  trace_test cancellation_fuzz_test property_test encoding_roundtrip_test
 ctest --test-dir "${TSAN_DIR}" -L concurrency -j "${JOBS}" \
   --output-on-failure
+# The encoding fuzzers are tier1-labelled (not concurrency), but their
+# multi-thread differential cases are exactly the races TSan should see;
+# run them in this config too.
+ctest --test-dir "${TSAN_DIR}" -j "${JOBS}" \
+  -R "property_test|encoding_roundtrip_test" --output-on-failure
 
 echo "==> tier-1 gate green (plain + thread sanitizer)"

@@ -120,7 +120,8 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
                                 mode == MorselMode::kCount,
                                 mode == MorselMode::kCount ? nullptr
                                                            : buffer.data(),
-                                &out->jit, ctx);
+                                &out->jit, ctx,
+                                scanner.compressed_stats().get());
       if (result.ok()) {
         value = *result;
       } else {
@@ -198,6 +199,7 @@ Status RunMorsels(const TableScanner& scanner,
   if (report == nullptr) report = &local;
   report->requested = options.requested;
   FillPruningReport(scanner, report);
+  FillCompressedReport(scanner, report);
 
   QueryContext* ctx =
       options.context != nullptr ? options.context : scanner.context();
@@ -310,6 +312,8 @@ Status RunMorsels(const TableScanner& scanner,
   report->attempts = (*outcomes)[deepest].attempts;
   report->executed = (*outcomes)[deepest].executed;
   report->degraded = !(report->executed == report->requested);
+  // Refresh: run/block counters accumulated across the finished morsels.
+  FillCompressedReport(scanner, report);
   return Status::Ok();
 }
 

@@ -596,6 +596,107 @@ std::string MainLoop(const WidthStrings& w, const JitScanSignature& sig) {
       compare_block.c_str(), on_match.c_str(), w.add32);
 }
 
+bool AnyRleStage(const JitScanSignature& sig) {
+  for (const JitStageSignature& s : sig.stages) {
+    if (s.encoding == static_cast<uint8_t>(ColumnEncoding::kRle)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// All-RLE compressed-domain operator: co-iterates the stages' run streams
+// over row segments. Each segment is the span up to the nearest run
+// boundary of any stage, so every compare touches run values — O(total
+// runs) work regardless of row_count — and qualifying segments are
+// emitted (or counted) as whole position spans.
+StatusOr<std::string> GenerateRleScanSource(
+    const JitScanSignature& signature) {
+  for (const JitStageSignature& stage : signature.stages) {
+    if (stage.encoding != static_cast<uint8_t>(ColumnEncoding::kRle) ||
+        stage.packed_bits != 0) {
+      return Status::InvalidArgument(
+          "RLE operators fuse all-RLE chains only");
+    }
+  }
+  if (!signature.aggs.empty()) {
+    return Status::InvalidArgument(
+        "RLE operators do not fold aggregate terms");
+  }
+  const size_t n = signature.stages.size();
+  std::string src;
+  src += StrFormat(
+      "// Generated by fts::GenerateFusedScanSource (RLE run\n"
+      "// co-iteration).\n"
+      "// Signature: %s\n"
+      "#include <cstddef>\n"
+      "#include <cstdint>\n\n"
+      "extern \"C\" size_t %s(const void* const* columns,\n"
+      "                       const void* values, size_t row_count,\n"
+      "                       uint32_t* out) {\n"
+      "  if (row_count == 0) return 0;\n"
+      "  // Structural mirror of fts::JitRleView (layout is ABI).\n"
+      "  struct RleView {\n"
+      "    const void* run_values;\n"
+      "    const uint32_t* run_ends;\n"
+      "    uint64_t run_count;\n"
+      "  };\n"
+      "  const char* const values_bytes =\n"
+      "      static_cast<const char*>(values);\n",
+      signature.CacheKey().c_str(), kJitScanSymbol);
+  for (size_t s = 0; s < n; ++s) {
+    const char* type = CppTypeFor(signature.stages[s].type);
+    src += StrFormat(
+        "  const RleView& view%zu =\n"
+        "      *static_cast<const RleView*>(columns[%zu]);\n"
+        "  const %s* const runs%zu =\n"
+        "      static_cast<const %s*>(view%zu.run_values);\n"
+        "  const %s v%zu = *reinterpret_cast<const %s*>(values_bytes + "
+        "%zu);\n"
+        "  uint64_t r%zu = 0;\n",
+        s, s, type, s, type, s, type, s, type, s * kJitValueSlotBytes, s);
+  }
+  src +=
+      "  size_t out_count = 0;\n"
+      "  uint32_t pos = 0;\n"
+      "  const uint32_t rows = (uint32_t)row_count;\n"
+      "  while (pos < rows) {\n";
+  for (size_t s = 0; s < n; ++s) {
+    src += StrFormat("    while (view%zu.run_ends[r%zu] <= pos) ++r%zu;\n",
+                     s, s, s);
+  }
+  src += "    uint32_t seg_end = view0.run_ends[r0];\n";
+  for (size_t s = 1; s < n; ++s) {
+    src += StrFormat(
+        "    if (view%zu.run_ends[r%zu] < seg_end) {\n"
+        "      seg_end = view%zu.run_ends[r%zu];\n"
+        "    }\n",
+        s, s, s, s);
+  }
+  src += "    if (seg_end > rows) seg_end = rows;\n";
+  std::string match;
+  for (size_t s = 0; s < n; ++s) {
+    if (s > 0) match += " &&\n        ";
+    match += StrFormat("runs%zu[r%zu] %s v%zu", s, s,
+                       CppOpFor(signature.stages[s].op), s);
+  }
+  src += StrFormat("    if (%s) {\n", match.c_str());
+  if (signature.count_only) {
+    src += "      out_count += seg_end - pos;\n";
+  } else {
+    src +=
+        "      for (uint32_t p = pos; p < seg_end; ++p) {\n"
+        "        out[out_count++] = p;\n"
+        "      }\n";
+  }
+  src +=
+      "    }\n"
+      "    pos = seg_end;\n"
+      "  }\n"
+      "  return out_count;\n}\n";
+  return src;
+}
+
 }  // namespace
 
 StatusOr<std::string> GenerateFusedScanSource(
@@ -621,6 +722,9 @@ StatusOr<std::string> GenerateFusedScanSource(
         StrFormat("signature has %zu aggregate terms; kernels support up "
                   "to %zu",
                   signature.aggs.size(), kMaxAggTerms));
+  }
+  if (AnyRleStage(signature)) {
+    return GenerateRleScanSource(signature);
   }
   bool any_packed = false;
   for (const JitStageSignature& stage : signature.stages) {
@@ -753,6 +857,11 @@ StatusOr<std::string> GenerateSisdScanSource(
     return Status::InvalidArgument(
         StrFormat("signature has %zu stages; supported range is 1..%zu",
                   signature.stages.size(), kMaxScanStages));
+  }
+  if (AnyRleStage(signature)) {
+    return Status::InvalidArgument(
+        "the SISD generator emits per-row loops; RLE chains have no "
+        "row-indexed operand stream");
   }
   const size_t n = signature.stages.size();
 

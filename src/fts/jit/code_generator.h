@@ -22,6 +22,16 @@ using JitScanFn = size_t (*)(const void* const* columns, const void* values,
 
 inline constexpr size_t kJitValueSlotBytes = 8;
 
+// Operand of one RLE stage in a generated all-RLE compressed-domain
+// operator: the engine passes `&view` in the stage's `columns` slot
+// instead of a row-indexed data pointer. The generated translation unit
+// declares a structurally identical mirror, so the layout is ABI.
+struct JitRleView {
+  const void* run_values = nullptr;   // run_count typed run values.
+  const uint32_t* run_ends = nullptr; // Cumulative ends; back() == rows.
+  uint64_t run_count = 0;
+};
+
 // Emits a standalone C++ translation unit implementing the fused scan for
 // `signature` (Section V: the operator "follows a very static pattern and
 // can easily be expressed as a code template", so the paper — and this
@@ -31,6 +41,13 @@ inline constexpr size_t kJitValueSlotBytes = 8;
 //
 // Fails for empty signatures, chains beyond kMaxScanStages, or an invalid
 // register width.
+//
+// Signatures whose stages are all RLE-encoded (SignatureForRleChain)
+// instead generate the compressed-domain run-coiteration operator: each
+// `columns` slot is a JitRleView, every run value is classified once, and
+// qualifying row segments are emitted (or counted) without per-row
+// compares. Mixed RLE/kernel chains and RLE aggregate operators are
+// rejected — the ladder demotes those to the interpreted path.
 StatusOr<std::string> GenerateFusedScanSource(
     const JitScanSignature& signature);
 

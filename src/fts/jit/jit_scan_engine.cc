@@ -5,22 +5,113 @@
 
 #include "fts/common/cpu_info.h"
 #include "fts/common/macros.h"
+#include "fts/jit/code_generator.h"
 #include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
 #include "fts/simd/kernels_scalar.h"
+#include "fts/storage/data_type.h"
+#include "fts/storage/rle_column.h"
 
 namespace fts {
+
+namespace {
+
+// Fills the generated RLE operator's per-stage views and search-value
+// slots from a compressed chain (every stage already proven RLE by
+// SignatureForRleChain).
+void MarshalRleStages(const TableScanner::ChunkPlan& plan,
+                      const JitScanSignature& signature, JitRleView* views,
+                      const void** columns, unsigned char* values) {
+  for (size_t s = 0; s < plan.compressed.size(); ++s) {
+    const CompressedScanStage& stage = plan.compressed[s];
+    DispatchDataType(stage.column->data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      const auto& column = static_cast<const RleColumn<T>&>(*stage.column);
+      views[s].run_values = column.run_values().data();
+      views[s].run_ends = column.run_ends().data();
+      views[s].run_count = column.run_count();
+    });
+    columns[s] = &views[s];
+    const ScanValue value =
+        MakeScanValue(signature.stages[s].type, stage.value);
+    static_assert(sizeof(ScanValue) == kJitValueSlotBytes);
+    __builtin_memcpy(values + s * kJitValueSlotBytes, &value,
+                     kJitValueSlotBytes);
+  }
+}
+
+// The generated operator classifies runs inline and reports no breakdown;
+// credit every stage's runs as classified so the compressed-domain
+// counters stay meaningful when JIT serves the chunk.
+void CreditRleRuns(const TableScanner::ChunkPlan& plan,
+                   AtomicCompressedStats* compressed_stats) {
+  if (compressed_stats == nullptr) return;
+  CompressedScanStats credit;
+  for (const CompressedScanStage& stage : plan.compressed) {
+    DispatchDataType(stage.column->data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      credit.rle_runs_classified +=
+          static_cast<const RleColumn<T>&>(*stage.column).run_count();
+    });
+  }
+  compressed_stats->Add(credit);
+}
+
+}  // namespace
 
 StatusOr<size_t> JitExecuteChunk(JitCache& cache,
                                  const TableScanner::ChunkPlan& plan,
                                  int register_bits, bool count_only,
                                  ChunkOffset* out, JitChunkStats* stats,
-                                 QueryContext* ctx) {
+                                 QueryContext* ctx,
+                                 AtomicCompressedStats* compressed_stats) {
   if (!GetCpuFeatures().HasFusedScanAvx512()) {
     return Status::Unavailable(
         "JIT scan generates AVX-512 code; CPU lacks F/BW/DQ/VL");
   }
   if (plan.impossible || plan.row_count == 0) return size_t{0};
+  if (!plan.compressed.empty()) {
+    if (!plan.stages.empty()) {
+      return Status::InvalidArgument(
+          "JIT compiles all-RLE chains only; mixed compressed/kernel "
+          "chunks run on the interpreted range path");
+    }
+    FTS_ASSIGN_OR_RETURN(
+        JitScanSignature signature,
+        SignatureForRleChain(plan.compressed, register_bits, count_only));
+    FTS_ASSIGN_OR_RETURN(const JitCache::Entry entry,
+                         cache.GetOrCompile(signature, ctx));
+    if (stats != nullptr) {
+      stats->compile_millis += entry.compile_millis;
+      if (entry.cache_hit) {
+        ++stats->cache_hits;
+      } else {
+        ++stats->cache_misses;
+      }
+    }
+    JitRleView views[kMaxScanStages];
+    const void* columns[kMaxScanStages];
+    alignas(8) unsigned char values[kMaxScanStages * kJitValueSlotBytes] =
+        {};
+    MarshalRleStages(plan, signature, views, columns, values);
+    obs::TraceSpan span("scan_chunk", "scan");
+    const size_t count = entry.fn(columns, values, plan.row_count,
+                                  count_only ? nullptr : out);
+    CreditRleRuns(plan, compressed_stats);
+    {
+      const obs::EngineMetrics& metrics = obs::Metrics();
+      metrics.rows_scanned_total->Add(plan.row_count);
+      metrics.rows_emitted_total->Add(count);
+      EngineExecutionCounter(ScanEngine::kJit)->Increment();
+    }
+    if (span.active()) {
+      span.AddArg("engine", "JIT Fused (RLE)");
+      span.AddArg("register_bits", static_cast<uint64_t>(register_bits));
+      span.AddArg("rows", static_cast<uint64_t>(plan.row_count));
+      span.AddArg("matches", static_cast<uint64_t>(count));
+    }
+    return count;
+  }
   if (plan.stages.empty()) {
     if (!count_only) std::iota(out, out + plan.row_count, ChunkOffset{0});
     return plan.row_count;
@@ -89,6 +180,12 @@ StatusOr<size_t> JitExecuteChunkAggregate(JitCache& cache,
     std::copy(plan.agg_zone_partials.begin(), plan.agg_zone_partials.end(),
               accs);
     return plan.row_count;
+  }
+  if (!plan.compressed.empty()) {
+    // The static engines materialize the compressed chain's positions and
+    // fold row-wise; no generated aggregate operator covers that shape.
+    return Status::InvalidArgument(
+        "JIT aggregate operators do not cover compressed-domain chains");
   }
   for (const AggTerm& term : plan.agg_terms) {
     if (term.dict != nullptr || term.packed_bits != 0) {
@@ -237,7 +334,7 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
           const size_t count,
           JitExecuteChunk(*cache_, plan, register_bits,
                           /*count_only=*/false, positions.data(), stats,
-                          ctx));
+                          ctx, scanner.compressed_stats().get()));
       positions.resize(count);
       matches.positions = std::move(positions);
     }
@@ -259,10 +356,11 @@ StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
   uint64_t total = 0;
   for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
     FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
-    FTS_ASSIGN_OR_RETURN(const size_t count,
-                         JitExecuteChunk(*cache_, plan, register_bits,
-                                         /*count_only=*/true, nullptr, stats,
-                                         ctx));
+    FTS_ASSIGN_OR_RETURN(
+        const size_t count,
+        JitExecuteChunk(*cache_, plan, register_bits,
+                        /*count_only=*/true, nullptr, stats, ctx,
+                        scanner.compressed_stats().get()));
     total += count;
   }
   return total;
@@ -298,7 +396,10 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
                                               ExecutionReport* report) {
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(std::move(table), spec));
-  if (report != nullptr) FillPruningReport(scanner, report);
+  if (report != nullptr) {
+    FillPruningReport(scanner, report);
+    FillCompressedReport(scanner, report);
+  }
   JitChunkStats stats;
   StatusOr<TableMatches> result = RunLadder<TableMatches>(
       scanner.context(), report,
@@ -312,6 +413,8 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
     report->jit_compile_millis += stats.compile_millis;
     report->jit_cache_hits += stats.cache_hits;
     report->jit_cache_misses += stats.cache_misses;
+    // Refresh: run counters accumulated during execution.
+    FillCompressedReport(scanner, report);
   }
   return result;
 }
@@ -321,7 +424,10 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
                                                ExecutionReport* report) {
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(std::move(table), spec));
-  if (report != nullptr) FillPruningReport(scanner, report);
+  if (report != nullptr) {
+    FillPruningReport(scanner, report);
+    FillCompressedReport(scanner, report);
+  }
   JitChunkStats stats;
   StatusOr<uint64_t> result = RunLadder<uint64_t>(
       scanner.context(), report,
@@ -335,6 +441,8 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
     report->jit_compile_millis += stats.compile_millis;
     report->jit_cache_hits += stats.cache_hits;
     report->jit_cache_misses += stats.cache_misses;
+    // Refresh: run counters accumulated during execution.
+    FillCompressedReport(scanner, report);
   }
   return result;
 }
@@ -347,7 +455,10 @@ StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteAggregate(
   }
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(std::move(table), spec));
-  if (report != nullptr) FillPruningReport(scanner, report);
+  if (report != nullptr) {
+    FillPruningReport(scanner, report);
+    FillCompressedReport(scanner, report);
+  }
   JitChunkStats stats;
   StatusOr<TableScanner::AggResult> result =
       RunLadder<TableScanner::AggResult>(
@@ -364,6 +475,8 @@ StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteAggregate(
     report->jit_compile_millis += stats.compile_millis;
     report->jit_cache_hits += stats.cache_hits;
     report->jit_cache_misses += stats.cache_misses;
+    // Refresh: run counters accumulated during execution.
+    FillCompressedReport(scanner, report);
   }
   return result;
 }

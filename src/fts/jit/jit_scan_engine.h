@@ -36,12 +36,19 @@ struct JitChunkStats {
 // single-flights concurrent compiles of one signature. `ctx` (nullable)
 // makes the compile lifecycle-aware (budget floor, kill on cancel); the
 // generated kernel itself is uninterruptible once running.
-StatusOr<size_t> JitExecuteChunk(JitCache& cache,
-                                 const TableScanner::ChunkPlan& plan,
-                                 int register_bits, bool count_only,
-                                 ChunkOffset* out,
-                                 JitChunkStats* stats = nullptr,
-                                 QueryContext* ctx = nullptr);
+//
+// Chunks whose plan carries compressed-domain stages compile the all-RLE
+// run-coiteration operator when every predicate is an RLE stage and the
+// chain has no kernel stages; anything else (delta stages, mixed chains)
+// returns InvalidArgument so the ladder demotes the morsel to the
+// interpreted range path the static engines share. `compressed_stats`
+// (nullable) receives the run-classification credit for such chunks —
+// pass the scanner's accumulator so EXPLAIN counters cover JIT morsels.
+StatusOr<size_t> JitExecuteChunk(
+    JitCache& cache, const TableScanner::ChunkPlan& plan, int register_bits,
+    bool count_only, ChunkOffset* out, JitChunkStats* stats = nullptr,
+    QueryContext* ctx = nullptr,
+    AtomicCompressedStats* compressed_stats = nullptr);
 
 // Aggregate-pushdown morsel primitive: compiles (or fetches) a specialized
 // operator that folds the chunk's aggregate terms at every emission site

@@ -56,7 +56,7 @@ StatusOr<TableMatches> RefineMatches(const TablePtr& table,
       refined.chunks.push_back(std::move(out));
       continue;
     }
-    if (plan.stages.empty()) {
+    if (plan.stages.empty() && plan.compressed.empty()) {
       out.positions = chunk_matches.positions;
       refined.chunks.push_back(std::move(out));
       continue;
@@ -69,6 +69,12 @@ StatusOr<TableMatches> RefineMatches(const TablePtr& table,
           all = false;
           break;
         }
+      }
+      // Predicates on RLE/delta columns live in plan.compressed, not
+      // plan.stages — a refine step must evaluate those too or the
+      // conjunct is silently dropped.
+      for (size_t s = 0; all && s < plan.compressed.size(); ++s) {
+        all = EvaluateCompressedStageAtRow(plan.compressed[s], pos);
       }
       if (all) out.positions.push_back(pos);
     }
@@ -171,6 +177,7 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
                        TableScanner::Prepare(table, step.spec));
   report->requested = {step.engine, 0};
   FillPruningReport(scanner, report);
+  FillCompressedReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)
@@ -180,6 +187,8 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
     StatusOr<TableMatches> result = scanner.Execute(choice.engine);
     if (result.ok()) {
       report->RecordSuccess(choice);
+      // Refresh: counters accumulated during the successful rung.
+      FillCompressedReport(scanner, report);
       return result;
     }
     report->RecordFailure(choice, result.status());
@@ -210,6 +219,7 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
                        TableScanner::Prepare(table, step.spec));
   report->requested = {step.engine, 0};
   FillPruningReport(scanner, report);
+  FillCompressedReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)
@@ -219,6 +229,8 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
     StatusOr<uint64_t> result = scanner.ExecuteCount(choice.engine);
     if (result.ok()) {
       report->RecordSuccess(choice);
+      // Refresh: counters accumulated during the successful rung.
+      FillCompressedReport(scanner, report);
       return result;
     }
     report->RecordFailure(choice, result.status());
@@ -251,6 +263,7 @@ StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
                        TableScanner::Prepare(table, step.spec));
   report->requested = {step.engine, 0};
   FillPruningReport(scanner, report);
+  FillCompressedReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)
@@ -261,6 +274,8 @@ StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
         scanner.ExecuteAggregate(choice.engine);
     if (result.ok()) {
       report->RecordSuccess(choice);
+      // Refresh: counters accumulated during the successful rung.
+      FillCompressedReport(scanner, report);
       return result;
     }
     report->RecordFailure(choice, result.status());
@@ -858,6 +873,38 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
                              report.jit_cache_misses));
         if (report.jit_compile_millis > 0.0) {
           out += StrFormat(", compile=%.3f ms", report.jit_compile_millis);
+        }
+        out += "\n";
+      }
+      // Per-stage encoding mix (counted per chunk x predicate during
+      // Prepare) plus the compressed-domain work counters.
+      uint64_t encoded_stages = 0;
+      for (const uint64_t count : report.stage_encodings) {
+        encoded_stages += count;
+      }
+      if (encoded_stages > 0) {
+        out += indent;
+        out += "  Encodings: ";
+        std::vector<std::string> parts;
+        for (size_t e = 0; e < 6; ++e) {
+          if (report.stage_encodings[e] == 0) continue;
+          parts.push_back(StrFormat(
+              "%s x%llu",
+              ColumnEncodingName(static_cast<ColumnEncoding>(e)),
+              static_cast<unsigned long long>(report.stage_encodings[e])));
+        }
+        out += Join(parts, ", ");
+        if (report.rle_runs_classified > 0) {
+          out += StrFormat(
+              "; rle runs classified=%llu skipped=%llu",
+              static_cast<unsigned long long>(report.rle_runs_classified),
+              static_cast<unsigned long long>(report.rle_runs_skipped));
+        }
+        if (report.delta_blocks_pruned + report.delta_blocks_decoded > 0) {
+          out += StrFormat(
+              "; delta blocks pruned=%llu decoded=%llu",
+              static_cast<unsigned long long>(report.delta_blocks_pruned),
+              static_cast<unsigned long long>(report.delta_blocks_decoded));
         }
         out += "\n";
       }

@@ -52,7 +52,19 @@ void PlanAggregatePushdown(PhysicalPlan* plan,
     if (!column.ok()) return;
     const DataType type = plan->table->column_definition(*column).type;
     if (!ScanElementTypeFromDataType(type).ok()) return;
-    AggOp op;
+    // The fold kernels read plain/dictionary/bit-packed operands only
+    // (BuildAggTerm rejects the rest per chunk); one RLE/FoR/delta chunk
+    // sends the whole query down the materialize path instead of failing
+    // mid-scan.
+    for (ChunkId chunk = 0; chunk < plan->table->chunk_count(); ++chunk) {
+      const ColumnEncoding encoding =
+          plan->table->chunk(chunk).column(*column).encoding();
+      if (!IsKernelScannable(encoding) ||
+          encoding == ColumnEncoding::kFor) {
+        return;
+      }
+    }
+    AggOp op = AggOp::kCount;
     switch (item.kind) {
       case AggregateKind::kSum:
       case AggregateKind::kAvg:

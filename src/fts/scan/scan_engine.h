@@ -142,6 +142,18 @@ struct ExecutionReport {
   // every predicate. Filled by the plan executor.
   uint64_t rows_scanned = 0;
   uint64_t rows_matched = 0;
+  // Compressed-domain execution (fts/scan/compressed_scan.h).
+  // `stage_encodings[e]` counts prepared predicate stages whose column
+  // carries ColumnEncoding e, summed over chunks (the per-stage encoding
+  // mix EXPLAIN ANALYZE prints). The run/block counters attribute the
+  // compressed paths: RLE runs classified once vs. runs whose whole
+  // position range was skipped, delta blocks answered from block min/max
+  // vs. blocks that had to be prefix-reconstructed.
+  uint64_t stage_encodings[6] = {0, 0, 0, 0, 0, 0};
+  uint64_t rle_runs_classified = 0;
+  uint64_t rle_runs_skipped = 0;
+  uint64_t delta_blocks_pruned = 0;
+  uint64_t delta_blocks_decoded = 0;
   // Aggregate pushdown: true when the plan folded its aggregates inside
   // the scan kernels instead of materializing a position list;
   // `rows_folded` counts the matched rows folded into accumulators

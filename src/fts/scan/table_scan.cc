@@ -11,17 +11,43 @@
 #include "fts/scan/sisd_scan.h"
 #include "fts/simd/dispatch.h"
 #include "fts/storage/bitpacked_column.h"
+#include "fts/storage/delta_column.h"
 #include "fts/storage/dictionary_column.h"
+#include "fts/storage/for_column.h"
+#include "fts/storage/rle_column.h"
 #include "fts/storage/zone_map.h"
 
 namespace fts {
 namespace {
 
 // Bytes a scan of this column's chunk actually touches: the packed stream
-// for bit-packed columns, the scan representation (codes for dictionary
-// columns, values otherwise) for the rest. Used for the bytes-skipped
-// estimate in PruningSummary.
+// for bit-packed / frame-of-reference columns, the run and block metadata
+// for the compressed-domain encodings, the scan representation (codes for
+// dictionary columns, values otherwise) for the rest. Used for the
+// bytes-skipped estimate in PruningSummary.
 uint64_t ColumnScanBytes(const BaseColumn& column) {
+  if (column.encoding() == ColumnEncoding::kRle) {
+    // Run values + cumulative ends; run-granular evaluation never touches
+    // per-row data.
+    uint64_t bytes = 0;
+    DispatchDataType(column.data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      bytes = static_cast<uint64_t>(
+                  static_cast<const RleColumn<T>&>(column).run_count()) *
+              (sizeof(T) + sizeof(uint32_t));
+    });
+    return bytes;
+  }
+  if (column.encoding() == ColumnEncoding::kDelta) {
+    uint64_t bytes = 0;
+    DispatchDataType(column.data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      if constexpr (std::is_integral_v<T>) {
+        bytes = static_cast<const DeltaColumn<T>&>(column).packed_bytes();
+      }
+    });
+    return bytes;
+  }
   const int bits = column.packed_bit_width();
   if (bits != 0) {
     return (static_cast<uint64_t>(column.size()) * bits + 7) / 8;
@@ -37,11 +63,125 @@ uint64_t ColumnScanBytes(const BaseColumn& column) {
 // bounds that disprove or prove the predicate short-circuit stage
 // construction exactly like dictionary translation does, so serial and
 // parallel executors see one unified impossible/dropped mechanism.
+// Predicates over RLE/delta columns that survive zone classification fill
+// `*compressed_stage` and set `*is_compressed` instead of building a
+// kernel stage (fts/scan/compressed_scan.h).
 Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
                   const PredicateSpec& predicate, ScanStage* stage,
+                  CompressedScanStage* compressed_stage, bool* is_compressed,
                   bool* dropped, bool* impossible) {
   *dropped = false;
   *impossible = false;
+  *is_compressed = false;
+
+  if (column.encoding() == ColumnEncoding::kFor) {
+    // Frame-of-reference: rebase the literal into the delta domain, after
+    // which the chunk scans through the packed-code path like a
+    // bit-packed column — no decode anywhere. The literal translation
+    // mirrors sorted-dictionary translation: out-of-frame literals are
+    // decided outright, in-frame literals compare exactly because
+    // value -> value - base is monotone over the frame.
+    FTS_ASSIGN_OR_RETURN(const Value casted,
+                         CastValue(predicate.value, column.data_type()));
+    uint64_t delta = 0;
+    uint32_t max_code = 0;
+    bool below = false;  // literal < base (below the frame)
+    bool above = false;  // literal > base + max_delta (above the frame)
+    DispatchDataType(column.data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      if constexpr (std::is_integral_v<T>) {
+        const auto& fr = static_cast<const ForColumn<T>&>(column);
+        const T literal = ValueAs<T>(casted);
+        const T frame_max = static_cast<T>(
+            static_cast<uint64_t>(fr.base()) + fr.max_delta());
+        below = literal < fr.base();
+        above = literal > frame_max;
+        max_code = static_cast<uint32_t>(fr.max_delta());
+        if (!below && !above) {
+          delta = ForColumn<T>::DeltaOf(literal, fr.base());
+        }
+      }
+    });
+    if (below || above) {
+      // Every stored value is >= base (below) or <= base + max_delta
+      // (above); the comparison is decided for the whole chunk.
+      switch (predicate.op) {
+        case CompareOp::kEq:
+          *impossible = true;
+          return Status::Ok();
+        case CompareOp::kNe:
+          *dropped = true;
+          return Status::Ok();
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+          *(below ? impossible : dropped) = true;
+          return Status::Ok();
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          *(below ? dropped : impossible) = true;
+          return Status::Ok();
+      }
+      __builtin_unreachable();
+    }
+    // In-frame literal: classify against the delta-domain code bounds
+    // (min delta is 0 by construction — the base is the chunk minimum).
+    switch (ClassifyZone<uint32_t>(0, max_code, predicate.op,
+                                   static_cast<uint32_t>(delta))) {
+      case ZoneFate::kNone:
+        *impossible = true;
+        return Status::Ok();
+      case ZoneFate::kAll:
+        *dropped = true;
+        return Status::Ok();
+      case ZoneFate::kMaybe:
+        break;
+    }
+    stage->data = column.scan_data();
+    stage->type = ScanElementType::kU32;
+    stage->op = predicate.op;
+    stage->value.u32 = static_cast<uint32_t>(delta);
+    stage->packed_bits = column.packed_bit_width();
+    stage->encoding = static_cast<uint8_t>(ColumnEncoding::kFor);
+    if (static_cast<uint64_t>(column.size()) * stage->packed_bits >=
+        (uint64_t{1} << 32)) {
+      return Status::InvalidArgument(StrFormat(
+          "frame-of-reference chunk too large (%zu rows x %d bits); "
+          "partition the table into smaller chunks",
+          column.size(), stage->packed_bits));
+    }
+    return Status::Ok();
+  }
+
+  if (column.encoding() == ColumnEncoding::kRle ||
+      column.encoding() == ColumnEncoding::kDelta) {
+    // Compressed-domain stage: keep the predicate in the value domain and
+    // let the range builder classify runs/blocks at execution. The zone
+    // map still gets first say so whole-chunk facts prune here like
+    // everywhere else.
+    FTS_ASSIGN_OR_RETURN(const Value casted,
+                         CastValue(predicate.value, column.data_type()));
+    if (zone != nullptr && zone->valid) {
+      ZoneFate fate = ZoneFate::kMaybe;
+      DispatchDataType(column.data_type(), [&](auto tag) {
+        using T = decltype(tag);
+        fate = ClassifyZone<T>(ValueAs<T>(zone->min), ValueAs<T>(zone->max),
+                               predicate.op, ValueAs<T>(casted));
+      });
+      if (fate == ZoneFate::kNone) {
+        *impossible = true;
+        return Status::Ok();
+      }
+      if (fate == ZoneFate::kAll) {
+        *dropped = true;
+        return Status::Ok();
+      }
+    }
+    compressed_stage->column = &column;
+    compressed_stage->op = predicate.op;
+    compressed_stage->value = casted;
+    *is_compressed = true;
+    return Status::Ok();
+  }
 
   if (column.encoding() == ColumnEncoding::kDictionary ||
       column.encoding() == ColumnEncoding::kBitPacked) {
@@ -95,6 +235,7 @@ Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
         stage->op = translated.op;
         stage->value.u32 = translated.code;
         stage->packed_bits = column.packed_bit_width();
+        stage->encoding = static_cast<uint8_t>(column.encoding());
         if (stage->packed_bits != 0 &&
             static_cast<uint64_t>(column.size()) * stage->packed_bits >=
                 (uint64_t{1} << 32)) {
@@ -134,6 +275,7 @@ Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
   stage->type = element_type;
   stage->op = predicate.op;
   stage->value = MakeScanValue(element_type, casted);
+  stage->encoding = static_cast<uint8_t>(ColumnEncoding::kPlain);
   return Status::Ok();
 }
 
@@ -169,6 +311,17 @@ Status BuildAggTerm(const Chunk& chunk,
   }
   const BaseColumn& column = chunk.column(*column_index);
   term.domain = AggDomainForType(column.data_type());
+  if (!IsKernelScannable(column.encoding()) ||
+      column.encoding() == ColumnEncoding::kFor) {
+    // RLE/delta terms would need per-row decode inside the kernel loop and
+    // FoR would need a rebase-add per fold; the planner routes these to
+    // the materialize-then-aggregate path (fts/plan/translator.cc), so
+    // only direct API callers can reach this.
+    return Status::InvalidArgument(StrFormat(
+        "aggregate pushdown folds plain/dictionary/bit-packed columns "
+        "only; column is %s-encoded",
+        ColumnEncodingName(column.encoding())));
+  }
   if (column.encoding() == ColumnEncoding::kDictionary ||
       column.encoding() == ColumnEncoding::kBitPacked) {
     term.data = column.scan_data();
@@ -223,7 +376,8 @@ Status BuildAggTerm(const Chunk& chunk,
 void TryAggZoneShortcut(const Chunk& chunk,
                         const std::vector<std::optional<size_t>>& columns,
                         TableScanner::ChunkPlan* plan) {
-  if (!plan->stages.empty() || plan->impossible || plan->row_count == 0) {
+  if (!plan->stages.empty() || !plan->compressed.empty() ||
+      plan->impossible || plan->row_count == 0) {
     return;
   }
   std::vector<AggAccumulator> partials(plan->agg_terms.size());
@@ -385,25 +539,41 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
   plans.reserve(table->chunk_count());
   PruningSummary pruning;
   pruning.chunks_total = table->chunk_count();
+  std::array<uint64_t, 6> stage_encodings{};
   for (ChunkId chunk_id = 0; chunk_id < table->chunk_count(); ++chunk_id) {
     const Chunk& chunk = table->chunk(chunk_id);
     ChunkPlan plan;
     plan.row_count = chunk.row_count();
+    if (plan.row_count == 0) {
+      // A zero-row chunk can never contribute matches: classify it as
+      // always-pruned instead of building stages against sentinel-valued
+      // (invalid) zone maps.
+      plan.impossible = true;
+      pruning.chunks_pruned++;
+      plans.push_back(std::move(plan));
+      continue;
+    }
     const uint64_t chunk_bytes_before = pruning.bytes_skipped;
     const size_t chunk_drops_before = pruning.stages_dropped;
     for (size_t p = 0; p < spec.predicates.size(); ++p) {
+      const BaseColumn& column = chunk.column(column_indexes[p]);
+      stage_encodings[static_cast<size_t>(column.encoding())]++;
       const ZoneMap* zone = options.use_zone_maps
                                 ? chunk.zone_map(column_indexes[p])
                                 : nullptr;
       ScanStage stage;
+      CompressedScanStage compressed_stage;
+      bool is_compressed = false;
       bool dropped = false;
       bool impossible = false;
-      FTS_RETURN_IF_ERROR(BuildStage(chunk.column(column_indexes[p]), zone,
-                                     spec.predicates[p], &stage, &dropped,
+      FTS_RETURN_IF_ERROR(BuildStage(column, zone, spec.predicates[p],
+                                     &stage, &compressed_stage,
+                                     &is_compressed, &dropped,
                                      &impossible));
       if (impossible) {
         plan.impossible = true;
         plan.stages.clear();
+        plan.compressed.clear();
         // A skipped chunk avoids reading every predicate column, not just
         // the disproving one; replace any dropped-stage bytes already
         // accumulated for this chunk (a subset) and count each distinct
@@ -429,7 +599,11 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
             ColumnScanBytes(chunk.column(column_indexes[p]));
         continue;
       }
-      plan.stages.push_back(stage);
+      if (is_compressed) {
+        plan.compressed.push_back(compressed_stage);
+      } else {
+        plan.stages.push_back(stage);
+      }
     }
     if (!spec.aggregates.empty() && !plan.impossible) {
       for (size_t a = 0; a < spec.aggregates.size(); ++a) {
@@ -443,7 +617,8 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
     plans.push_back(std::move(plan));
   }
   return TableScanner(std::move(table), std::move(plans), pruning,
-                      spec.aggregates.size(), spec.context);
+                      spec.aggregates.size(), spec.context,
+                      stage_encodings);
 }
 
 // Bytes a chunk's scratch position list costs against the query's memory
@@ -466,7 +641,15 @@ StatusOr<size_t> TableScanner::ExecuteChunk(ScanEngine engine,
   if (plan.impossible || plan.row_count == 0) return size_t{0};
   obs::TraceSpan span("scan_chunk", "scan");
   size_t count;
-  if (plan.stages.empty()) {
+  if (!plan.compressed.empty()) {
+    // Compressed-domain chunk: every engine runs the same run/block range
+    // path (byte-identical across engines and thread counts); the chosen
+    // engine only matters for the chunks the kernels scan directly.
+    CompressedScanStats stats;
+    count = ExecuteCompressedChunk(plan.compressed, plan.stages,
+                                   plan.row_count, out, &stats);
+    compressed_stats_->Add(stats);
+  } else if (plan.stages.empty()) {
     std::iota(out, out + plan.row_count, ChunkOffset{0});
     count = plan.row_count;
   } else {
@@ -508,14 +691,16 @@ StatusOr<uint64_t> TableScanner::ExecuteChunkCount(ScanEngine engine,
   }
   const ChunkPlan& plan = chunk_plans_[chunk_id];
   if (plan.impossible || plan.row_count == 0) return uint64_t{0};
-  if (plan.stages.empty()) {
+  if (plan.stages.empty() && plan.compressed.empty()) {
     RecordChunkExecution(engine, plan.row_count, plan.row_count);
     return plan.row_count;
   }
   // The SISD engines count without materializing — the paper's Section II
-  // baseline loop.
-  if (engine == ScanEngine::kSisdNoVec ||
-      engine == ScanEngine::kSisdAutoVec) {
+  // baseline loop. Compressed-domain chunks take the materializing path
+  // below so every engine shares one range evaluation.
+  if (plan.compressed.empty() &&
+      (engine == ScanEngine::kSisdNoVec ||
+       engine == ScanEngine::kSisdAutoVec)) {
     obs::TraceSpan span("scan_chunk", "scan");
     const uint64_t count =
         engine == ScanEngine::kSisdNoVec
@@ -562,9 +747,30 @@ StatusOr<size_t> TableScanner::ExecuteChunkAggregate(
     return plan.row_count;
   }
   obs::TraceSpan span("scan_chunk_agg", "scan");
-  const size_t count = AggFnForEngine(engine)(
-      plan.stages.data(), plan.stages.size(), plan.row_count,
-      plan.agg_terms.data(), plan.agg_terms.size(), accs);
+  size_t count;
+  if (!plan.compressed.empty()) {
+    // Compressed-domain conjunction: materialize the candidate positions
+    // through the range path, then fold each match with the scalar
+    // reference fold (the aggregate columns themselves are
+    // kernel-scannable — BuildAggTerm rejects the rest).
+    ScopedMemoryReservation reservation;
+    FTS_RETURN_IF_ERROR(
+        reservation.Reserve(context_, PosListBytes(plan.row_count)));
+    PosList positions(plan.row_count + kScanOutputSlack);
+    CompressedScanStats stats;
+    count = ExecuteCompressedChunk(plan.compressed, plan.stages,
+                                   plan.row_count, positions.data(), &stats);
+    compressed_stats_->Add(stats);
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t t = 0; t < plan.agg_terms.size(); ++t) {
+        FoldRowScalar(plan.agg_terms[t], positions[i], accs[t]);
+      }
+    }
+  } else {
+    count = AggFnForEngine(engine)(
+        plan.stages.data(), plan.stages.size(), plan.row_count,
+        plan.agg_terms.data(), plan.agg_terms.size(), accs);
+  }
   RecordChunkExecution(engine, plan.row_count, count);
   if (span.active()) {
     span.AddArg("chunk", static_cast<uint64_t>(chunk_id));
@@ -657,6 +863,23 @@ void FillPruningReport(const TableScanner& scanner, ExecutionReport* report) {
   if (pruning.stages_dropped > 0) {
     metrics.stages_dropped_total->Add(pruning.stages_dropped);
   }
+}
+
+void FillCompressedReport(const TableScanner& scanner,
+                          ExecutionReport* report) {
+  const std::array<uint64_t, 6>& mix = scanner.stage_encodings();
+  for (size_t e = 0; e < mix.size(); ++e) {
+    report->stage_encodings[e] = mix[e];
+  }
+  const AtomicCompressedStats& stats = *scanner.compressed_stats();
+  report->rle_runs_classified =
+      stats.rle_runs_classified.load(std::memory_order_relaxed);
+  report->rle_runs_skipped =
+      stats.rle_runs_skipped.load(std::memory_order_relaxed);
+  report->delta_blocks_pruned =
+      stats.delta_blocks_pruned.load(std::memory_order_relaxed);
+  report->delta_blocks_decoded =
+      stats.delta_blocks_decoded.load(std::memory_order_relaxed);
 }
 
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

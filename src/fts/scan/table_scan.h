@@ -1,10 +1,12 @@
 #ifndef FTS_SCAN_TABLE_SCAN_H_
 #define FTS_SCAN_TABLE_SCAN_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
 #include "fts/common/status.h"
+#include "fts/scan/compressed_scan.h"
 #include "fts/scan/scan_engine.h"
 #include "fts/scan/scan_spec.h"
 #include "fts/simd/agg_spec.h"
@@ -26,9 +28,14 @@ class TableScanner {
  public:
   // Per-chunk prepared state.
   struct ChunkPlan {
-    // Stages for this chunk, after dropping always-true predicates.
-    // Empty + !impossible => every row matches.
+    // Kernel stages for this chunk, after dropping always-true predicates.
+    // Empty + compressed empty + !impossible => every row matches.
     std::vector<ScanStage> stages;
+    // Predicates over RLE/delta columns, evaluated in the compressed
+    // domain (fts/scan/compressed_scan.h). When non-empty, every engine
+    // routes the chunk through ExecuteCompressedChunk: the compressed
+    // stages produce candidate ranges and `stages` refines them row-wise.
+    std::vector<CompressedScanStage> compressed;
     // Some predicate can never match in this chunk.
     bool impossible = false;
     size_t row_count = 0;
@@ -124,6 +131,21 @@ class TableScanner {
   const PruningSummary& pruning() const { return pruning_; }
   const TablePtr& table() const { return table_; }
 
+  // Per-stage encoding mix over all prepared chunk stages (indexed by
+  // ColumnEncoding; includes dropped/disproved stages' columns so the mix
+  // reflects what the query touches, not what survived pruning).
+  const std::array<uint64_t, 6>& stage_encodings() const {
+    return stage_encodings_;
+  }
+  // True when any chunk plan carries compressed-domain stages.
+  bool has_compressed_stages() const { return has_compressed_stages_; }
+  // Run/block counters accumulated across this scanner's chunk executions
+  // (shared_ptr: chunk executions run concurrently on the morsel path and
+  // the scanner itself is moved around by value via StatusOr).
+  const std::shared_ptr<AtomicCompressedStats>& compressed_stats() const {
+    return compressed_stats_;
+  }
+
   // The query lifecycle context captured from the spec at Prepare() (null
   // when the spec carried none). Whole-table execution loops check it at
   // chunk boundaries and account scratch buffers against its memory
@@ -133,24 +155,42 @@ class TableScanner {
  private:
   TableScanner(TablePtr table, std::vector<ChunkPlan> chunk_plans,
                PruningSummary pruning, size_t num_agg_terms,
-               QueryContext* context)
+               QueryContext* context,
+               std::array<uint64_t, 6> stage_encodings)
       : table_(std::move(table)),
         chunk_plans_(std::move(chunk_plans)),
         pruning_(pruning),
         num_agg_terms_(num_agg_terms),
-        context_(context) {}
+        context_(context),
+        stage_encodings_(stage_encodings) {
+    for (const ChunkPlan& plan : chunk_plans_) {
+      if (!plan.compressed.empty()) has_compressed_stages_ = true;
+    }
+  }
 
   TablePtr table_;
   std::vector<ChunkPlan> chunk_plans_;
   PruningSummary pruning_;
   size_t num_agg_terms_ = 0;
   QueryContext* context_ = nullptr;
+  std::array<uint64_t, 6> stage_encodings_{};
+  bool has_compressed_stages_ = false;
+  std::shared_ptr<AtomicCompressedStats> compressed_stats_ =
+      std::make_shared<AtomicCompressedStats>();
 };
 
 // Copies the scanner's PruningSummary into the report's zone-map fields.
 // Every execution path (serial ladder, JIT, morsel-parallel) calls this so
 // pruning is observable uniformly.
 void FillPruningReport(const TableScanner& scanner, ExecutionReport* report);
+
+// Copies the scanner's per-stage encoding mix and accumulated
+// compressed-domain counters into the report. Assignment semantics
+// (idempotent), so paths that fill reports at multiple points stay
+// consistent; called wherever FillPruningReport is, plus at the end of
+// executions so run/block counters reflect the finished scan.
+void FillCompressedReport(const TableScanner& scanner,
+                          ExecutionReport* report);
 
 // Convenience wrapper: Prepare + Execute.
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

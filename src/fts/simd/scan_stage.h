@@ -58,6 +58,13 @@ struct ScanStage {
   CompareOp op = CompareOp::kEq;
   ScanValue value{};
   uint8_t packed_bits = 0;  // 0 = plain fixed-size elements.
+  // Source column encoding (fts::ColumnEncoding values), for observability
+  // and JIT signatures. Kernels ignore it: a dictionary stage scans codes
+  // like a plain u32 stage, a frame-of-reference stage scans its rebased
+  // deltas through the packed path. RLE/delta predicates never become
+  // ScanStages — they run in the compressed domain
+  // (fts/scan/compressed_scan.h).
+  uint8_t encoding = 0;
 };
 
 // Maximum chain length supported by the static kernels. The JIT engine has

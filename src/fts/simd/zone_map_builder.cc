@@ -2,7 +2,10 @@
 
 #include "fts/simd/minmax_kernels.h"
 #include "fts/storage/bitpacked_column.h"
+#include "fts/storage/delta_column.h"
 #include "fts/storage/dictionary_column.h"
+#include "fts/storage/for_column.h"
+#include "fts/storage/rle_column.h"
 #include "fts/storage/value_column.h"
 
 namespace fts {
@@ -105,6 +108,52 @@ ZoneMap BuildColumnZoneMap(const BaseColumn& column) {
         if (BoundsUsable(lo, hi)) {
           zone.min = lo;
           zone.max = hi;
+          zone.valid = true;
+        }
+        return;
+      }
+      case ColumnEncoding::kRle: {
+        // Reduce over the run values — every stored value appears as a
+        // run value, so the bounds are exact without decoding any row.
+        const auto& rle = static_cast<const RleColumn<T>&>(column);
+        T min{};
+        T max{};
+        if (ReduceValues(kernels, rle.run_values().data(), rle.run_count(),
+                         &min, &max)) {
+          zone.min = min;
+          zone.max = max;
+          zone.valid = true;
+        }
+        return;
+      }
+      case ColumnEncoding::kFor: {
+        if constexpr (std::is_integral_v<T>) {
+          // The encoder already computed exact bounds: the base is the
+          // chunk minimum and max_delta spans to the maximum. The code
+          // bounds are the delta-domain bounds the rebased stages use.
+          const auto& fr = static_cast<const ForColumn<T>&>(column);
+          zone.min = fr.base();
+          zone.max = static_cast<T>(static_cast<uint64_t>(fr.base()) +
+                                    fr.max_delta());
+          zone.has_codes = true;
+          zone.min_code = 0;
+          zone.max_code = static_cast<uint32_t>(fr.max_delta());
+          zone.valid = true;
+        }
+        return;
+      }
+      case ColumnEncoding::kDelta: {
+        if constexpr (std::is_integral_v<T>) {
+          // Aggregate the per-block bounds the encoder tracked.
+          const auto& delta = static_cast<const DeltaColumn<T>&>(column);
+          T min = delta.blocks().front().min;
+          T max = delta.blocks().front().max;
+          for (const auto& block : delta.blocks()) {
+            min = std::min(min, block.min);
+            max = std::max(max, block.max);
+          }
+          zone.min = min;
+          zone.max = max;
           zone.valid = true;
         }
         return;

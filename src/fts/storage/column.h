@@ -14,7 +14,45 @@ enum class ColumnEncoding : uint8_t {
   kDictionary = 1,  // DictionaryColumn<T>: sorted dictionary + uint32 codes.
   kBitPacked = 2,   // BitPackedColumn<T>: dictionary + b-bit packed codes
                     // (null suppression; the paper's Future Work).
+  kRle = 3,         // RleColumn<T>: run values + cumulative run ends;
+                    // predicates classify each run once (DESIGN.md §13).
+  kFor = 4,         // ForColumn<T>: frame-of-reference — per-chunk base +
+                    // bit-packed unsigned deltas; literals rebase into the
+                    // delta domain and reuse the packed SIMD paths.
+  kDelta = 5,       // DeltaColumn<T>: blockwise delta — per-block base +
+                    // zigzag diffs; blocks prune on min/max and decode
+                    // only when a zone map can't answer.
 };
+
+// True for the encodings whose predicates the fused kernels evaluate
+// directly (plain values, dictionary codes, packed codes, rebased FoR
+// deltas). RLE and delta columns instead go through the compressed-domain
+// range path (fts/scan/compressed_scan.h).
+inline bool IsKernelScannable(ColumnEncoding encoding) {
+  switch (encoding) {
+    case ColumnEncoding::kPlain:
+    case ColumnEncoding::kDictionary:
+    case ColumnEncoding::kBitPacked:
+    case ColumnEncoding::kFor:
+      return true;
+    case ColumnEncoding::kRle:
+    case ColumnEncoding::kDelta:
+      return false;
+  }
+  return false;
+}
+
+inline const char* ColumnEncodingName(ColumnEncoding encoding) {
+  switch (encoding) {
+    case ColumnEncoding::kPlain: return "plain";
+    case ColumnEncoding::kDictionary: return "dict";
+    case ColumnEncoding::kBitPacked: return "bitpacked";
+    case ColumnEncoding::kRle: return "rle";
+    case ColumnEncoding::kFor: return "for";
+    case ColumnEncoding::kDelta: return "delta";
+  }
+  return "?";
+}
 
 // Abstract column interface. Columns are immutable once attached to a
 // chunk; scans access the contiguous fixed-size representation via

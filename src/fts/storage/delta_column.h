@@ -1,0 +1,197 @@
+#ifndef FTS_STORAGE_DELTA_COLUMN_H_
+#define FTS_STORAGE_DELTA_COLUMN_H_
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/macros.h"
+#include "fts/storage/column.h"
+
+namespace fts {
+
+// Rows per delta block: small enough that a maybe-block decode stays in
+// L1, large enough that per-block metadata is negligible.
+inline constexpr size_t kDeltaBlockRows = 1024;
+
+// Widest supported zigzag diff. Any width <= 56 is extractable from an
+// 8-byte window at byte granularity (bit shift < 8, so shift + bits <= 63).
+inline constexpr int kMaxDeltaBits = 56;
+
+// Delta-encoded column for append-ordered data (timestamps, sequence
+// numbers): rows are cut into kDeltaBlockRows blocks; each block stores
+// its first value raw plus zigzag-encoded consecutive differences at the
+// block's minimal bit width, and carries its own min/max. Scans answer
+// from the block min/max whenever they can (emit the whole block or skip
+// it) and prefix-reconstruct only the undecided blocks
+// (fts/scan/compressed_scan.h) — on sorted data that is almost never.
+template <typename T>
+class DeltaColumn final : public BaseColumn {
+  static_assert(std::is_integral_v<T>,
+                "delta encoding covers integral columns only");
+
+ public:
+  struct BlockMeta {
+    T base = T{0};  // First value of the block, stored raw.
+    T min = T{0};
+    T max = T{0};
+    uint64_t packed_byte_offset = 0;
+    uint32_t rows = 0;
+    uint8_t bits = 0;  // Zigzag diff width; 0 only for 1-row blocks.
+  };
+
+  // Returns nullopt when any block's diffs need more than kMaxDeltaBits
+  // bits — the builder then falls back to a plain column for this chunk.
+  static std::optional<DeltaColumn> TryFromValues(
+      const AlignedVector<T>& values) {
+    std::vector<BlockMeta> blocks;
+    AlignedVector<uint8_t> packed;
+    uint64_t bit_cursor = 0;  // Absolute bit position in `packed`.
+    for (size_t start = 0; start < values.size();
+         start += kDeltaBlockRows) {
+      const size_t rows = std::min(kDeltaBlockRows, values.size() - start);
+      BlockMeta meta;
+      meta.base = values[start];
+      meta.min = values[start];
+      meta.max = values[start];
+      uint64_t max_zz = 0;
+      for (size_t i = 1; i < rows; ++i) {
+        const T value = values[start + i];
+        meta.min = std::min(meta.min, value);
+        meta.max = std::max(meta.max, value);
+        max_zz = std::max(max_zz, ZigZag(values[start + i - 1], value));
+      }
+      const int bits =
+          max_zz == 0 ? (rows > 1 ? 1 : 0)
+                      : static_cast<int>(std::bit_width(max_zz));
+      if (bits > kMaxDeltaBits) return std::nullopt;
+      // Blocks start byte-aligned so each decodes independently.
+      bit_cursor = (bit_cursor + 7) & ~uint64_t{7};
+      meta.packed_byte_offset = bit_cursor >> 3;
+      meta.rows = static_cast<uint32_t>(rows);
+      meta.bits = static_cast<uint8_t>(bits);
+      const uint64_t block_bits =
+          static_cast<uint64_t>(rows - 1) * static_cast<uint64_t>(bits);
+      packed.resize((bit_cursor + block_bits + 7) / 8 + 8, 0);
+      for (size_t i = 1; i < rows; ++i) {
+        WriteWide(packed.data(),
+                  meta.packed_byte_offset * 8 +
+                      static_cast<uint64_t>(i - 1) * bits,
+                  bits, ZigZag(values[start + i - 1], values[start + i]));
+      }
+      bit_cursor += block_bits;
+      blocks.push_back(meta);
+    }
+    packed.resize(packed.size() + 8, 0);  // Slack for 8-byte window loads.
+    return DeltaColumn(std::move(blocks), std::move(packed), values.size());
+  }
+
+  DeltaColumn(std::vector<BlockMeta> blocks, AlignedVector<uint8_t> packed,
+              size_t rows)
+      : blocks_(std::move(blocks)),
+        packed_(std::move(packed)),
+        rows_(rows) {
+    FTS_CHECK(blocks_.size() == (rows_ + kDeltaBlockRows - 1) /
+                                    kDeltaBlockRows);
+  }
+
+  size_t size() const override { return rows_; }
+  DataType data_type() const override { return TypeTraits<T>::kType; }
+  ColumnEncoding encoding() const override {
+    return ColumnEncoding::kDelta;
+  }
+  // The packed zigzag stream — never kernel-scanned; the compressed-domain
+  // range builder goes through the block metadata instead.
+  const void* scan_data() const override { return packed_.data(); }
+  DataType scan_type() const override { return TypeTraits<T>::kType; }
+  Value GetValue(size_t row) const override { return ValueAt(row); }
+
+  // O(row % kDeltaBlockRows) prefix reconstruction — materialization and
+  // test use only; scans decode whole blocks via DecodeBlock.
+  T ValueAt(size_t row) const {
+    FTS_DCHECK(row < rows_);
+    const size_t block = row / kDeltaBlockRows;
+    const BlockMeta& meta = blocks_[block];
+    uint64_t value = static_cast<uint64_t>(meta.base);
+    const size_t in_block = row - block * kDeltaBlockRows;
+    for (size_t i = 0; i < in_block; ++i) {
+      value += UnZigZag(ExtractWide(
+          packed_.data(),
+          meta.packed_byte_offset * 8 + static_cast<uint64_t>(i) * meta.bits,
+          meta.bits));
+    }
+    return static_cast<T>(value);
+  }
+
+  // Reconstructs block `block_index` into `out` (capacity >= block rows);
+  // returns the row count. The scan's maybe-block path.
+  size_t DecodeBlock(size_t block_index, T* out) const {
+    const BlockMeta& meta = blocks_[block_index];
+    uint64_t value = static_cast<uint64_t>(meta.base);
+    out[0] = meta.base;
+    for (size_t i = 1; i < meta.rows; ++i) {
+      value += UnZigZag(ExtractWide(
+          packed_.data(),
+          meta.packed_byte_offset * 8 +
+              static_cast<uint64_t>(i - 1) * meta.bits,
+          meta.bits));
+      out[i] = static_cast<T>(value);
+    }
+    return meta.rows;
+  }
+
+  const std::vector<BlockMeta>& blocks() const { return blocks_; }
+  size_t packed_bytes() const { return packed_.size(); }
+
+  // Zigzag-encoded wraparound difference next - prev: small magnitudes of
+  // either sign pack into few bits.
+  static uint64_t ZigZag(T prev, T next) {
+    const uint64_t diff =
+        static_cast<uint64_t>(next) - static_cast<uint64_t>(prev);
+    const int64_t s = static_cast<int64_t>(diff);
+    return (static_cast<uint64_t>(s) << 1) ^
+           static_cast<uint64_t>(s >> 63);
+  }
+
+  static uint64_t UnZigZag(uint64_t zz) {
+    return (zz >> 1) ^ (~(zz & 1) + 1);
+  }
+
+  // 64-bit analogues of BitPackedColumn's window primitives, for widths
+  // up to kMaxDeltaBits. `bit_offset` is absolute within `packed`.
+  static uint64_t ExtractWide(const uint8_t* packed, uint64_t bit_offset,
+                              int bits) {
+    if (bits == 0) return 0;
+    const uint64_t byte_offset = bit_offset >> 3;
+    const int shift = static_cast<int>(bit_offset & 7);
+    uint64_t window;
+    __builtin_memcpy(&window, packed + byte_offset, sizeof(window));
+    const uint64_t mask = (uint64_t{1} << bits) - 1;
+    return (window >> shift) & mask;
+  }
+
+  static void WriteWide(uint8_t* packed, uint64_t bit_offset, int bits,
+                        uint64_t value) {
+    if (bits == 0) return;
+    const uint64_t byte_offset = bit_offset >> 3;
+    const int shift = static_cast<int>(bit_offset & 7);
+    uint64_t window;
+    __builtin_memcpy(&window, packed + byte_offset, sizeof(window));
+    const uint64_t mask = ((uint64_t{1} << bits) - 1) << shift;
+    window = (window & ~mask) | ((value << shift) & mask);
+    __builtin_memcpy(packed + byte_offset, &window, sizeof(window));
+  }
+
+ private:
+  std::vector<BlockMeta> blocks_;
+  AlignedVector<uint8_t> packed_;
+  size_t rows_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_DELTA_COLUMN_H_

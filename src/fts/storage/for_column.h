@@ -1,0 +1,114 @@
+#ifndef FTS_STORAGE_FOR_COLUMN_H_
+#define FTS_STORAGE_FOR_COLUMN_H_
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/macros.h"
+#include "fts/storage/bitpacked_column.h"
+#include "fts/storage/column.h"
+
+namespace fts {
+
+// Frame-of-reference column: a per-chunk base (the chunk minimum) plus
+// bit-packed unsigned deltas in the BitPackedColumn byte layout. The scan
+// never decodes: BuildStage rebases the comparison literal into the delta
+// domain (literal - base, with out-of-range literals resolved from the
+// zone map), after which every engine — scalar, AVX2, AVX-512, and the
+// JIT — runs its existing packed-code path unchanged. This is the FoR
+// half of the compressed-domain tentpole (DESIGN.md §13).
+template <typename T>
+class ForColumn final : public BaseColumn {
+  static_assert(std::is_integral_v<T>,
+                "frame-of-reference encodes integral columns only");
+
+ public:
+  // Returns nullopt when the value range needs more than kMaxPackedBits
+  // delta bits (e.g. an INT64_MIN..INT64_MAX column) — the builder then
+  // falls back to a plain column for this chunk.
+  static std::optional<ForColumn> TryFromValues(
+      const AlignedVector<T>& values) {
+    T base = values.empty() ? T{0} : values[0];
+    for (const T& value : values) base = std::min(base, value);
+    uint64_t max_delta = 0;
+    for (const T& value : values) {
+      max_delta = std::max(max_delta, DeltaOf(value, base));
+    }
+    const int bits = max_delta == 0
+                         ? 1
+                         : static_cast<int>(std::bit_width(max_delta));
+    if (bits > kMaxPackedBits) return std::nullopt;
+    AlignedVector<uint8_t> packed(
+        BitPackedColumn<T>::PackedBytes(values.size(), bits) +
+            kBitPackedSlackBytes,
+        0);
+    size_t row = 0;
+    for (const T& value : values) {
+      BitPackedColumn<T>::WriteCode(packed.data(), row++, bits,
+                                    DeltaOf(value, base));
+    }
+    return ForColumn(base, max_delta, std::move(packed), values.size(),
+                     bits);
+  }
+
+  ForColumn(T base, uint64_t max_delta, AlignedVector<uint8_t> packed,
+            size_t rows, int bits)
+      : base_(base),
+        max_delta_(max_delta),
+        packed_(std::move(packed)),
+        rows_(rows),
+        bits_(bits) {
+    FTS_CHECK(bits_ >= 1 && bits_ <= kMaxPackedBits);
+    FTS_CHECK(packed_.size() >=
+              BitPackedColumn<T>::PackedBytes(rows_, bits_) +
+                  kBitPackedSlackBytes);
+  }
+
+  size_t size() const override { return rows_; }
+  DataType data_type() const override { return TypeTraits<T>::kType; }
+  ColumnEncoding encoding() const override { return ColumnEncoding::kFor; }
+  // Scans read the packed delta stream exactly like a bit-packed column:
+  // logical scan elements are uint32 deltas of packed_bit_width() bits.
+  const void* scan_data() const override { return packed_.data(); }
+  DataType scan_type() const override { return DataType::kUInt32; }
+  uint8_t packed_bit_width() const override {
+    return static_cast<uint8_t>(bits_);
+  }
+  Value GetValue(size_t row) const override { return ValueAt(row); }
+
+  T ValueAt(size_t row) const {
+    FTS_DCHECK(row < rows_);
+    return static_cast<T>(
+        static_cast<uint64_t>(base_) +
+        BitPackedColumn<T>::ExtractCode(packed_.data(), row, bits_));
+  }
+
+  T base() const { return base_; }
+  // Largest stored delta; base + max_delta is the chunk maximum.
+  uint64_t max_delta() const { return max_delta_; }
+  int bit_width() const { return bits_; }
+  size_t packed_bytes() const {
+    return BitPackedColumn<T>::PackedBytes(rows_, bits_);
+  }
+
+  // Exact difference value - base as an unsigned delta (two's-complement
+  // wraparound subtraction; well-defined for value >= base).
+  static uint64_t DeltaOf(T value, T base) {
+    return static_cast<uint64_t>(value) - static_cast<uint64_t>(base);
+  }
+
+ private:
+  T base_;
+  uint64_t max_delta_;
+  AlignedVector<uint8_t> packed_;
+  size_t rows_;
+  int bits_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_FOR_COLUMN_H_

@@ -1,0 +1,86 @@
+#ifndef FTS_STORAGE_RLE_COLUMN_H_
+#define FTS_STORAGE_RLE_COLUMN_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/macros.h"
+#include "fts/storage/column.h"
+
+namespace fts {
+
+// Run-length-encoded column: the distinct run values plus the cumulative
+// run end positions (run i covers rows [run_ends[i-1], run_ends[i])); the
+// last entry equals the row count. Predicates are evaluated once per run
+// in the compressed domain (fts/scan/compressed_scan.h): a qualifying run
+// emits its whole position range without ever materializing the values,
+// which is where run-granular evaluation beats even the fused SIMD scan
+// on clustered data.
+template <typename T>
+class RleColumn final : public BaseColumn {
+ public:
+  // Encoding never fails: worst case (no repeats) stores one run per row.
+  static RleColumn FromValues(const AlignedVector<T>& values) {
+    std::vector<T> run_values;
+    AlignedVector<uint32_t> run_ends;
+    size_t i = 0;
+    while (i < values.size()) {
+      const T value = values[i];
+      size_t end = i + 1;
+      while (end < values.size() && values[end] == value) ++end;
+      run_values.push_back(value);
+      run_ends.push_back(static_cast<uint32_t>(end));
+      i = end;
+    }
+    return RleColumn(std::move(run_values), std::move(run_ends),
+                     values.size());
+  }
+
+  RleColumn(std::vector<T> run_values, AlignedVector<uint32_t> run_ends,
+            size_t rows)
+      : run_values_(std::move(run_values)),
+        run_ends_(std::move(run_ends)),
+        rows_(rows) {
+    FTS_CHECK(run_values_.size() == run_ends_.size());
+    FTS_CHECK(run_ends_.empty() || run_ends_.back() == rows_);
+    FTS_CHECK(rows_ <= static_cast<size_t>(UINT32_MAX));
+  }
+
+  size_t size() const override { return rows_; }
+  DataType data_type() const override { return TypeTraits<T>::kType; }
+  ColumnEncoding encoding() const override { return ColumnEncoding::kRle; }
+  // Run values, run_count() elements — NOT row-indexed. The fused kernels
+  // never read this; the compressed-domain range builder and the zone-map
+  // builder reduce over the run values directly.
+  const void* scan_data() const override { return run_values_.data(); }
+  DataType scan_type() const override { return TypeTraits<T>::kType; }
+  Value GetValue(size_t row) const override { return ValueAt(row); }
+
+  // Decoded value of `row` (binary search over the cumulative ends).
+  T ValueAt(size_t row) const {
+    FTS_DCHECK(row < rows_);
+    const auto it = std::upper_bound(run_ends_.begin(), run_ends_.end(),
+                                     static_cast<uint32_t>(row));
+    return run_values_[static_cast<size_t>(it - run_ends_.begin())];
+  }
+
+  size_t run_count() const { return run_values_.size(); }
+  const std::vector<T>& run_values() const { return run_values_; }
+  const AlignedVector<uint32_t>& run_ends() const { return run_ends_; }
+
+  // Start row of run `i` (the previous run's end, or 0).
+  uint32_t RunStart(size_t i) const {
+    return i == 0 ? 0 : run_ends_[i - 1];
+  }
+
+ private:
+  std::vector<T> run_values_;
+  AlignedVector<uint32_t> run_ends_;
+  size_t rows_;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_RLE_COLUMN_H_

@@ -4,7 +4,10 @@
 #include "fts/obs/metrics.h"
 #include "fts/simd/zone_map_builder.h"
 #include "fts/storage/bitpacked_column.h"
+#include "fts/storage/delta_column.h"
 #include "fts/storage/dictionary_column.h"
+#include "fts/storage/for_column.h"
+#include "fts/storage/rle_column.h"
 #include "fts/storage/value_column.h"
 
 namespace fts {
@@ -29,19 +32,23 @@ TableBuilder::TableBuilder(std::vector<ColumnDefinition> schema,
     : schema_(std::move(schema)), target_chunk_size_(target_chunk_size) {
   FTS_CHECK(!schema_.empty());
   FTS_CHECK(target_chunk_size_ > 0);
-  dictionary_encoded_.assign(schema_.size(), false);
-  bit_packed_.assign(schema_.size(), false);
+  encodings_.assign(schema_.size(), ColumnEncoding::kPlain);
   ResetBuffers();
 }
 
-void TableBuilder::SetDictionaryEncoded(size_t column_index, bool encoded) {
+void TableBuilder::SetEncoding(size_t column_index, ColumnEncoding encoding) {
   FTS_CHECK(column_index < schema_.size());
-  dictionary_encoded_[column_index] = encoded;
+  encodings_[column_index] = encoding;
+}
+
+void TableBuilder::SetDictionaryEncoded(size_t column_index, bool encoded) {
+  SetEncoding(column_index, encoded ? ColumnEncoding::kDictionary
+                                    : ColumnEncoding::kPlain);
 }
 
 void TableBuilder::SetBitPacked(size_t column_index, bool packed) {
-  FTS_CHECK(column_index < schema_.size());
-  bit_packed_[column_index] = packed;
+  SetEncoding(column_index, packed ? ColumnEncoding::kBitPacked
+                                   : ColumnEncoding::kPlain);
 }
 
 void TableBuilder::ResetBuffers() {
@@ -92,16 +99,45 @@ void TableBuilder::FlushBufferedChunk() {
     std::visit(
         [&](auto& buffer) {
           using T = typename std::decay_t<decltype(buffer)>::value_type;
-          if (bit_packed_[c]) {
-            columns.push_back(std::make_shared<BitPackedColumn<T>>(
-                BitPackedColumn<T>::FromValues(buffer)));
-          } else if (dictionary_encoded_[c]) {
-            columns.push_back(std::make_shared<DictionaryColumn<T>>(
-                DictionaryColumn<T>::FromValues(buffer)));
-          } else {
-            columns.push_back(
-                std::make_shared<ValueColumn<T>>(std::move(buffer)));
+          // Per-chunk encoding choice: FoR/delta encoders report whether
+          // this chunk's data fits (and only exist for integral types);
+          // a chunk that does not fit falls back to plain.
+          switch (encodings_[c]) {
+            case ColumnEncoding::kBitPacked:
+              columns.push_back(std::make_shared<BitPackedColumn<T>>(
+                  BitPackedColumn<T>::FromValues(buffer)));
+              return;
+            case ColumnEncoding::kDictionary:
+              columns.push_back(std::make_shared<DictionaryColumn<T>>(
+                  DictionaryColumn<T>::FromValues(buffer)));
+              return;
+            case ColumnEncoding::kRle:
+              columns.push_back(std::make_shared<RleColumn<T>>(
+                  RleColumn<T>::FromValues(buffer)));
+              return;
+            case ColumnEncoding::kFor:
+              if constexpr (std::is_integral_v<T>) {
+                if (auto encoded = ForColumn<T>::TryFromValues(buffer)) {
+                  columns.push_back(std::make_shared<ForColumn<T>>(
+                      std::move(*encoded)));
+                  return;
+                }
+              }
+              break;
+            case ColumnEncoding::kDelta:
+              if constexpr (std::is_integral_v<T>) {
+                if (auto encoded = DeltaColumn<T>::TryFromValues(buffer)) {
+                  columns.push_back(std::make_shared<DeltaColumn<T>>(
+                      std::move(*encoded)));
+                  return;
+                }
+              }
+              break;
+            case ColumnEncoding::kPlain:
+              break;
           }
+          columns.push_back(
+              std::make_shared<ValueColumn<T>>(std::move(buffer)));
         },
         buffers_[c]);
   }

@@ -8,6 +8,7 @@
 
 #include "fts/common/aligned_buffer.h"
 #include "fts/common/status.h"
+#include "fts/storage/column.h"
 #include "fts/storage/table.h"
 #include "fts/storage/value.h"
 
@@ -30,6 +31,13 @@ class TableBuilder {
  public:
   explicit TableBuilder(std::vector<ColumnDefinition> schema,
                         size_t target_chunk_size = kDefaultChunkSize);
+
+  // Requests an encoding for `column_index` in row-wise chunks. The
+  // request is per-chunk best-effort: a chunk whose data cannot carry the
+  // encoding (bit-packed/FoR needing > kMaxPackedBits, delta diffs wider
+  // than kMaxDeltaBits, FoR/delta on float columns) falls back to plain
+  // for that chunk only. RLE always succeeds.
+  void SetEncoding(size_t column_index, ColumnEncoding encoding);
 
   // Marks `column_index` to be dictionary-encoded in row-wise chunks.
   void SetDictionaryEncoded(size_t column_index, bool encoded = true);
@@ -64,8 +72,7 @@ class TableBuilder {
 
   std::vector<ColumnDefinition> schema_;
   size_t target_chunk_size_;
-  std::vector<bool> dictionary_encoded_;
-  std::vector<bool> bit_packed_;
+  std::vector<ColumnEncoding> encodings_;
   std::vector<ColumnBuffer> buffers_;
   std::vector<std::shared_ptr<const Chunk>> chunks_;
 };

@@ -1,0 +1,303 @@
+// Encode -> decode identity for the compressed encodings (RLE, frame of
+// reference, delta), with the adversarial inputs the scan paths must not
+// mishandle: empty and single-run chunks, runs crossing awkward chunk
+// tails (0/1/15/17 rows past a lane width), INT64_MIN/INT64_MAX
+// frame-of-reference rebase overflow, and monotone-decreasing sequences
+// whose zigzag diffs are all negative. The compressed-domain kernels
+// (fts/scan/compressed_scan.h) never decode; these tests pin down the
+// storage layer they reason over, so a differential failure can be split
+// into "encoder wrong" vs "range math wrong".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/random.h"
+#include "fts/storage/delta_column.h"
+#include "fts/storage/for_column.h"
+#include "fts/storage/rle_column.h"
+#include "fts/storage/table_builder.h"
+#include "fts/storage/value_column.h"
+#include "test_util.h"
+
+namespace fts {
+namespace {
+
+// Chunk tails the lane widths mistreat: the empty chunk, a single row,
+// one row short of / past the 16-lane width, and sizes around the delta
+// block boundary.
+constexpr size_t kAwkwardRows[] = {0, 1, 15, 17, 31, 64, 100,
+                                   1023, 1024, 1025, 3000};
+
+template <typename T, typename Column>
+void ExpectRoundTrip(const AlignedVector<T>& source, const Column& column,
+                     const char* what) {
+  ASSERT_EQ(column.size(), source.size()) << what;
+  for (size_t row = 0; row < source.size(); ++row) {
+    ASSERT_EQ(column.ValueAt(row), source[row])
+        << what << " row " << row << " of " << source.size();
+    // The boxed accessor (materialization path) must agree too.
+    ASSERT_EQ(ValueAs<T>(column.GetValue(row)), source[row])
+        << what << " row " << row;
+  }
+}
+
+TEST(RleRoundTripTest, RandomRunsEveryAwkwardSize) {
+  Xoshiro256 rng(19);
+  for (const size_t rows : kAwkwardRows) {
+    AlignedVector<int32_t> values(rows);
+    int32_t current = 0;
+    for (auto& v : values) {
+      // Geometric-ish run lengths: extend the run 3 times out of 4.
+      if (rng.NextBounded(4) == 0) {
+        current = static_cast<int32_t>(rng.NextBounded(7)) - 3;
+      }
+      v = current;
+    }
+    const RleColumn<int32_t> column = RleColumn<int32_t>::FromValues(values);
+    ExpectRoundTrip(values, column, "rle");
+    ASSERT_TRUE(column.run_ends().empty() ||
+                column.run_ends().back() == rows);
+    // Runs are maximal: consecutive run values always differ.
+    for (size_t i = 1; i < column.run_count(); ++i) {
+      EXPECT_NE(column.run_values()[i], column.run_values()[i - 1])
+          << "rows=" << rows << " run " << i;
+    }
+  }
+}
+
+TEST(RleRoundTripTest, SingleRunAndAlternatingExtremes) {
+  // One run covering the whole chunk.
+  AlignedVector<int64_t> constant(1000, INT64_MIN);
+  const auto single = RleColumn<int64_t>::FromValues(constant);
+  EXPECT_EQ(single.run_count(), 1u);
+  ExpectRoundTrip(constant, single, "rle single-run");
+
+  // Worst case: no repeats at all — one run per row, alternating the
+  // extremes so value comparisons see both signs.
+  AlignedVector<int64_t> alternating(17);
+  for (size_t i = 0; i < alternating.size(); ++i) {
+    alternating[i] = (i % 2 == 0) ? INT64_MAX - static_cast<int64_t>(i)
+                                  : INT64_MIN + static_cast<int64_t>(i);
+  }
+  const auto worst = RleColumn<int64_t>::FromValues(alternating);
+  EXPECT_EQ(worst.run_count(), alternating.size());
+  ExpectRoundTrip(alternating, worst, "rle worst-case");
+
+  // Empty chunk: zero runs, zero rows.
+  const auto empty = RleColumn<int64_t>::FromValues(AlignedVector<int64_t>{});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.run_count(), 0u);
+}
+
+TEST(ForRoundTripTest, RebaseRoundTripsEveryAwkwardSize) {
+  Xoshiro256 rng(23);
+  for (const size_t rows : kAwkwardRows) {
+    if (rows == 0) continue;  // Builder never emits zero-row chunks.
+    AlignedVector<int64_t> values(rows);
+    // A far-from-zero frame: FoR stores value - min, so the absolute
+    // magnitude must not matter as long as the *range* fits.
+    const int64_t frame = -1234567890123LL;
+    for (auto& v : values) {
+      v = frame + static_cast<int64_t>(rng.NextBounded(1u << 20));
+    }
+    const auto column = ForColumn<int64_t>::TryFromValues(values);
+    ASSERT_TRUE(column.has_value()) << "rows=" << rows;
+    ExpectRoundTrip(values, *column, "for");
+    EXPECT_EQ(column->base(), *std::min_element(values.begin(), values.end()));
+    EXPECT_LE(column->bit_width(), kMaxPackedBits);
+  }
+}
+
+TEST(ForRoundTripTest, FullTypeRangeRefusesToEncode) {
+  // INT64_MIN..INT64_MAX spans 64 delta bits — far past kMaxPackedBits;
+  // the encoder must refuse (the builder then falls back to plain), never
+  // wrap silently.
+  AlignedVector<int64_t> values = {INT64_MIN, 0, INT64_MAX};
+  EXPECT_FALSE(ForColumn<int64_t>::TryFromValues(values).has_value());
+
+  AlignedVector<int32_t> narrow32 = {INT32_MIN, INT32_MAX};
+  EXPECT_FALSE(ForColumn<int32_t>::TryFromValues(narrow32).has_value());
+
+  // But a range that *fits* right at a negative base must be exact:
+  // wraparound subtraction makes value - base well-defined across zero.
+  AlignedVector<int64_t> spanning = {INT64_MIN, INT64_MIN + 100,
+                                     INT64_MIN + (1 << 25)};
+  const auto column = ForColumn<int64_t>::TryFromValues(spanning);
+  ASSERT_TRUE(column.has_value());
+  EXPECT_EQ(column->base(), INT64_MIN);
+  ExpectRoundTrip(spanning, *column, "for spanning");
+
+  // Boundary: exactly kMaxPackedBits of range encodes...
+  AlignedVector<uint32_t> fits = {0u, (1u << kMaxPackedBits) - 1u};
+  EXPECT_TRUE(ForColumn<uint32_t>::TryFromValues(fits).has_value());
+  // ... one more bit does not.
+  AlignedVector<uint32_t> overflows = {0u, 1u << kMaxPackedBits};
+  EXPECT_FALSE(ForColumn<uint32_t>::TryFromValues(overflows).has_value());
+}
+
+TEST(DeltaRoundTripTest, MonotoneAndDecreasingEveryAwkwardSize) {
+  Xoshiro256 rng(29);
+  for (const size_t rows : kAwkwardRows) {
+    if (rows == 0) continue;
+    // Increasing (the timestamp shape), decreasing (negative zigzag
+    // diffs), and a random walk mixing both signs.
+    AlignedVector<int64_t> increasing(rows), decreasing(rows), walk(rows);
+    int64_t up = 1700000000000LL, down = 0, wander = 0;
+    for (size_t i = 0; i < rows; ++i) {
+      up += static_cast<int64_t>(rng.NextBounded(1000));
+      down -= static_cast<int64_t>(rng.NextBounded(1000));
+      wander += static_cast<int64_t>(rng.NextBounded(2001)) - 1000;
+      increasing[i] = up;
+      decreasing[i] = down;
+      walk[i] = wander;
+    }
+    for (const auto* values : {&increasing, &decreasing, &walk}) {
+      const auto column = DeltaColumn<int64_t>::TryFromValues(*values);
+      ASSERT_TRUE(column.has_value()) << "rows=" << rows;
+      ExpectRoundTrip(*values, *column, "delta");
+      // Block metadata must carry the true bounds — the scan prunes and
+      // emits whole blocks from them without reconstructing.
+      for (size_t b = 0; b < column->blocks().size(); ++b) {
+        const auto& meta = column->blocks()[b];
+        const size_t start = b * kDeltaBlockRows;
+        const auto begin = values->begin() + static_cast<ptrdiff_t>(start);
+        const auto end = begin + static_cast<ptrdiff_t>(meta.rows);
+        const auto [lo, hi] = std::minmax_element(begin, end);
+        EXPECT_EQ(meta.min, *lo) << "rows=" << rows << " block " << b;
+        EXPECT_EQ(meta.max, *hi) << "rows=" << rows << " block " << b;
+      }
+    }
+  }
+}
+
+TEST(DeltaRoundTripTest, DecodeBlockMatchesValueAt) {
+  Xoshiro256 rng(31);
+  AlignedVector<int32_t> values(kDeltaBlockRows * 2 + 17);
+  int32_t current = 0;
+  for (auto& v : values) {
+    current += static_cast<int32_t>(rng.NextBounded(201)) - 100;
+    v = current;
+  }
+  const auto column = DeltaColumn<int32_t>::TryFromValues(values);
+  ASSERT_TRUE(column.has_value());
+  AlignedVector<int32_t> decoded(kDeltaBlockRows);
+  size_t row = 0;
+  for (size_t b = 0; b < column->blocks().size(); ++b) {
+    const size_t block_rows = column->DecodeBlock(b, decoded.data());
+    for (size_t i = 0; i < block_rows; ++i, ++row) {
+      ASSERT_EQ(decoded[i], values[row]) << "block " << b << " offset " << i;
+    }
+  }
+  EXPECT_EQ(row, values.size());
+}
+
+TEST(DeltaRoundTripTest, WideDiffsRefuseToEncode) {
+  // A single jump wider than kMaxDeltaBits zigzag bits must refuse; the
+  // builder falls back to plain for the chunk.
+  AlignedVector<int64_t> values = {0, int64_t{1} << 60};
+  EXPECT_FALSE(DeltaColumn<int64_t>::TryFromValues(values).has_value());
+
+  // The widest representable diff still encodes: zigzag of +/-
+  // 2^(kMaxDeltaBits-1)-ish magnitudes stays within kMaxDeltaBits.
+  const int64_t max_step = (int64_t{1} << (kMaxDeltaBits - 1)) - 1;
+  AlignedVector<int64_t> edge = {0, max_step, 0, -max_step};
+  const auto column = DeltaColumn<int64_t>::TryFromValues(edge);
+  ASSERT_TRUE(column.has_value());
+  ExpectRoundTrip(edge, *column, "delta edge");
+}
+
+TEST(DeltaRoundTripTest, ZigZagAndWideWindowPrimitives) {
+  // ZigZag/UnZigZag are inverses over both signs and the extremes.
+  using D = DeltaColumn<int64_t>;
+  for (const int64_t prev : {int64_t{0}, int64_t{-5}, INT64_MIN, INT64_MAX}) {
+    for (const int64_t next :
+         {int64_t{0}, int64_t{7}, int64_t{-7}, INT64_MIN, INT64_MAX}) {
+      const uint64_t zz = D::ZigZag(prev, next);
+      const uint64_t diff = D::UnZigZag(zz);
+      EXPECT_EQ(static_cast<int64_t>(static_cast<uint64_t>(prev) + diff),
+                next)
+          << "prev=" << prev << " next=" << next;
+    }
+  }
+
+  // WriteWide/ExtractWide round-trip at every width, at bit offsets that
+  // sweep all 8 byte phases.
+  Xoshiro256 rng(37);
+  for (int bits = 1; bits <= kMaxDeltaBits; ++bits) {
+    AlignedVector<uint8_t> packed(256, 0);
+    const uint64_t mask =
+        bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    std::vector<uint64_t> expected;
+    for (size_t i = 0; i < 16; ++i) {
+      const uint64_t value = rng.Next() & mask;
+      expected.push_back(value);
+      D::WriteWide(packed.data(), i * static_cast<uint64_t>(bits), bits,
+                   value);
+    }
+    for (size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(D::ExtractWide(packed.data(),
+                               i * static_cast<uint64_t>(bits), bits),
+                expected[i])
+          << "bits=" << bits << " slot " << i;
+    }
+  }
+}
+
+// The builder's per-chunk fallback: a chunk whose data cannot carry the
+// requested encoding stores plain, and the table still round-trips. Chunk
+// size 17 makes runs cross chunk tails mid-run.
+TEST(TableBuilderEncodingTest, PerChunkFallbackPreservesValues) {
+  TableBuilder builder({{"ts", DataType::kInt64},
+                        {"grp", DataType::kInt32},
+                        {"f", DataType::kFloat64}},
+                       /*target_chunk_size=*/17);
+  builder.SetEncoding(0, ColumnEncoding::kDelta);
+  builder.SetEncoding(1, ColumnEncoding::kRle);
+  // FoR on float is unencodable by type: every chunk must fall back.
+  builder.SetEncoding(2, ColumnEncoding::kFor);
+
+  constexpr size_t kRows = 100;
+  std::vector<int64_t> ts(kRows);
+  std::vector<int32_t> grp(kRows);
+  std::vector<double> f(kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    // Chunk 2 (rows 34..50) carries one wide jump so *that* delta chunk
+    // alone falls back to plain.
+    ts[r] = r == 40 ? (int64_t{1} << 60)
+                    : 1700000000000LL + static_cast<int64_t>(r) * 1000;
+    grp[r] = static_cast<int32_t>(r / 10);
+    f[r] = static_cast<double>(r) / 2.0;
+    FTS_CHECK(builder
+                  .AppendRow({Value(ts[r]), Value(grp[r]), Value(f[r])})
+                  .ok());
+  }
+  const TablePtr table = builder.Build();
+  ASSERT_EQ(table->chunk_count(), 6u);  // 5 x 17 + 15.
+
+  size_t delta_chunks = 0, plain_ts_chunks = 0;
+  size_t row = 0;
+  for (ChunkId chunk_id = 0; chunk_id < table->chunk_count(); ++chunk_id) {
+    const Chunk& chunk = table->chunk(chunk_id);
+    const ColumnEncoding ts_encoding = chunk.column(0).encoding();
+    (ts_encoding == ColumnEncoding::kDelta ? delta_chunks
+                                           : plain_ts_chunks)++;
+    EXPECT_EQ(chunk.column(1).encoding(), ColumnEncoding::kRle)
+        << "chunk " << chunk_id;
+    EXPECT_EQ(chunk.column(2).encoding(), ColumnEncoding::kPlain)
+        << "chunk " << chunk_id;
+    for (size_t r = 0; r < chunk.row_count(); ++r, ++row) {
+      EXPECT_EQ(ValueAs<int64_t>(chunk.column(0).GetValue(r)), ts[row]);
+      EXPECT_EQ(ValueAs<int32_t>(chunk.column(1).GetValue(r)), grp[row]);
+      EXPECT_EQ(ValueAs<double>(chunk.column(2).GetValue(r)), f[row]);
+    }
+  }
+  EXPECT_EQ(row, kRows);
+  EXPECT_EQ(delta_chunks, 5u);     // All but the chunk holding row 40.
+  EXPECT_EQ(plain_ts_chunks, 1u);  // Rows 34..50 hold the wide jump.
+}
+
+}  // namespace
+}  // namespace fts

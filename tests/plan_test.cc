@@ -332,6 +332,43 @@ TEST(ExecutePlanTest, MultiStepRefinementMatchesFused) {
   }
 }
 
+// Regression: a refine step whose predicate lands on an RLE/delta column
+// carries it in ChunkPlan::compressed, not ChunkPlan::stages. RefineMatches
+// used to consult only `stages`, so the conjunct was silently dropped and
+// non-fused plans over-counted.
+TEST(ExecutePlanTest, MultiStepRefinementEvaluatesCompressedStages) {
+  constexpr size_t kRows = 2000;
+  TableBuilder builder(
+      {{"id", DataType::kInt64}, {"flag", DataType::kInt64}},
+      /*target_chunk_size=*/512);
+  builder.SetEncoding(0, ColumnEncoding::kDelta);
+  builder.SetEncoding(1, ColumnEncoding::kRle);
+  for (size_t i = 0; i < kRows; ++i) {
+    FTS_CHECK(builder
+                  .AppendRow({Value(static_cast<int64_t>(i)),
+                              Value(static_cast<int64_t>(i % 2))})
+                  .ok());
+  }
+  const TablePtr table = builder.Build();
+
+  for (const bool fused : {true, false}) {
+    auto lqp = ParseAndBuild(
+        "SELECT COUNT(*) FROM t WHERE flag = 0 AND id >= 100 AND id < 200",
+        table);
+    OptimizerOptions optimizer_options;
+    optimizer_options.enable_fusion = fused;
+    ASSERT_TRUE(OptimizeLqp(&lqp, optimizer_options).ok());
+    TranslatorOptions options;
+    options.engine =
+        fused ? ScanEngine::kScalarFused : ScanEngine::kSisdNoVec;
+    const auto plan = TranslateLqp(lqp, options);
+    ASSERT_TRUE(plan.ok());
+    const auto result = ExecutePlan(*plan);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result->count, 50u) << "fused=" << fused;
+  }
+}
+
 TEST(ExecutePlanTest, NoPredicates) {
   const TablePtr table = MakeSkewTable(123);
   auto lqp = ParseAndBuild("SELECT COUNT(*) FROM t", table);

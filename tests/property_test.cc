@@ -56,11 +56,17 @@ RandomQueryCase MakeCase(uint64_t seed) {
                                 : rows;
   TableBuilder builder(schema, chunk_size);
   for (size_t c = 0; c < num_columns; ++c) {
-    const uint64_t encoding = rng.NextBounded(4);
-    if (encoding == 0) builder.SetDictionaryEncoded(c);
+    // Every encoding the storage layer carries; the oracle is boxed
+    // values, so a mismatch in any compressed-domain path (RLE run
+    // classification, FoR rebase, delta reconstruction) fails here too.
     // Bit-packing needs a dictionary-sized value domain; the small
-    // literal range used here always fits kMaxPackedBits.
-    if (encoding == 1) builder.SetBitPacked(c);
+    // literal range used here always fits kMaxPackedBits, and FoR/delta
+    // on float columns fall back to plain per chunk by design.
+    constexpr ColumnEncoding kDraw[] = {
+        ColumnEncoding::kPlain,     ColumnEncoding::kDictionary,
+        ColumnEncoding::kBitPacked, ColumnEncoding::kRle,
+        ColumnEncoding::kFor,       ColumnEncoding::kDelta};
+    builder.SetEncoding(c, kDraw[rng.NextBounded(std::size(kDraw))]);
   }
 
   // Populate with small-cardinality values so predicates hit often.

@@ -12,10 +12,14 @@
 
 #include "fts/common/aligned_buffer.h"
 #include "fts/common/random.h"
+#include "fts/scan/table_scan.h"
 #include "fts/simd/minmax_kernels.h"
 #include "fts/simd/zone_map_builder.h"
 #include "fts/storage/bitpacked_column.h"
+#include "fts/storage/delta_column.h"
 #include "fts/storage/dictionary_column.h"
+#include "fts/storage/for_column.h"
+#include "fts/storage/rle_column.h"
 #include "fts/storage/table_builder.h"
 #include "fts/storage/value_column.h"
 #include "fts/storage/zone_map.h"
@@ -249,6 +253,84 @@ TEST(ZoneMapBuilderTest, BitPackedColumnEveryWidth) {
                                    hi - values.begin())));
     }
   }
+}
+
+// The compressed encodings build zone maps without decoding: RLE reduces
+// over the run values, FoR over base + delta bounds, delta over the
+// per-block min/max. Bounds must match the decoded data exactly — pruning
+// correctness for the compressed-domain scan paths hangs off these.
+TEST(ZoneMapBuilderTest, CompressedEncodingsCarryValueBounds) {
+  Xoshiro256 rng(13);
+  for (const size_t rows :
+       {size_t{1}, size_t{17}, size_t{1000}, size_t{1025}, size_t{4097}}) {
+    AlignedVector<int64_t> values(rows);
+    // Clustered values so RLE actually forms runs; spread enough that
+    // delta blocks carry distinct bounds.
+    int64_t current = static_cast<int64_t>(rng.NextBounded(1000));
+    for (auto& v : values) {
+      if (rng.NextBounded(4) == 0) {
+        current = static_cast<int64_t>(rng.NextBounded(1000)) - 500;
+      }
+      v = current;
+    }
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+
+    const RleColumn<int64_t> rle = RleColumn<int64_t>::FromValues(values);
+    const ZoneMap rle_zone = BuildColumnZoneMap(rle);
+    ASSERT_TRUE(rle_zone.valid) << "rle rows=" << rows;
+    EXPECT_EQ(rle_zone.row_count, rows);
+    EXPECT_EQ(ValueAs<int64_t>(rle_zone.min), *lo) << "rle rows=" << rows;
+    EXPECT_EQ(ValueAs<int64_t>(rle_zone.max), *hi) << "rle rows=" << rows;
+
+    const auto for_column = ForColumn<int64_t>::TryFromValues(values);
+    ASSERT_TRUE(for_column.has_value()) << "rows=" << rows;
+    const ZoneMap for_zone = BuildColumnZoneMap(*for_column);
+    ASSERT_TRUE(for_zone.valid) << "for rows=" << rows;
+    EXPECT_EQ(ValueAs<int64_t>(for_zone.min), *lo) << "for rows=" << rows;
+    EXPECT_EQ(ValueAs<int64_t>(for_zone.max), *hi) << "for rows=" << rows;
+
+    const auto delta = DeltaColumn<int64_t>::TryFromValues(values);
+    ASSERT_TRUE(delta.has_value()) << "rows=" << rows;
+    const ZoneMap delta_zone = BuildColumnZoneMap(*delta);
+    ASSERT_TRUE(delta_zone.valid) << "delta rows=" << rows;
+    EXPECT_EQ(ValueAs<int64_t>(delta_zone.min), *lo)
+        << "delta rows=" << rows;
+    EXPECT_EQ(ValueAs<int64_t>(delta_zone.max), *hi)
+        << "delta rows=" << rows;
+  }
+}
+
+// Regression: a zero-row chunk has no zone map bounds (BuildColumnZoneMap
+// returns invalid), and the planner used to build stages against the
+// sentinel values. It must instead classify the chunk as always-pruned —
+// impossible, counted in chunks_pruned, contributing zero matches.
+TEST(ZoneMapBuilderTest, ZeroRowChunkIsAlwaysPruned) {
+  TableBuilder builder({{"a", DataType::kInt32}});
+  ASSERT_TRUE(
+      builder
+          .AddChunk({std::make_shared<ValueColumn<int32_t>>(
+              AlignedVector<int32_t>{5, 6, 7})})
+          .ok());
+  ASSERT_TRUE(builder
+                  .AddChunk({std::make_shared<ValueColumn<int32_t>>(
+                      AlignedVector<int32_t>{})})
+                  .ok());
+  const TablePtr table = builder.Build();
+  ASSERT_EQ(table->chunk_count(), 2u);
+  // The invalid zone map is withheld entirely.
+  EXPECT_EQ(table->chunk(1).zone_map(0), nullptr);
+
+  ScanSpec spec;
+  spec.predicates = {{"a", CompareOp::kGe, Value(int32_t{6})}};
+  const auto prepared = TableScanner::Prepare(table, spec);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->chunk_plans()[0].impossible);
+  EXPECT_TRUE(prepared->chunk_plans()[1].impossible);
+  EXPECT_EQ(prepared->pruning().chunks_pruned, 1u);
+
+  const auto matches = prepared->Execute(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->TotalMatches(), 2u);  // Rows 6 and 7 in chunk 0 only.
 }
 
 TEST(ZoneMapBuilderTest, TableBuilderAttachesZoneMapsToEveryChunk) {
