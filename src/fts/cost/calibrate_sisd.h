@@ -1,0 +1,30 @@
+#ifndef FTS_COST_CALIBRATE_SISD_H_
+#define FTS_COST_CALIBRATE_SISD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fts/simd/scan_stage.h"
+
+namespace fts {
+
+// Calibration twins of the SISD baselines: the exact loop body of
+// fts/scan/sisd_scan_impl.inc.h compiled into this library under the same
+// per-TU flags (cost/calibrate_sisd_novec.cc disables auto-vectorization,
+// cost/calibrate_sisd_autovec.cc is plain -O3). fts_cost sits below
+// fts_scan in the link order, so it measures its own instantiations of
+// the shared implementation instead of linking the engine entry points —
+// identical codegen, no dependency cycle.
+size_t SisdScanCostNoVecCount(const ScanStage* stages, size_t num_stages,
+                              size_t row_count);
+size_t SisdScanCostNoVecCollect(const ScanStage* stages, size_t num_stages,
+                                size_t row_count, uint32_t* out);
+size_t SisdScanCostAutoVecCount(const ScanStage* stages, size_t num_stages,
+                                size_t row_count);
+size_t SisdScanCostAutoVecCollect(const ScanStage* stages,
+                                  size_t num_stages, size_t row_count,
+                                  uint32_t* out);
+
+}  // namespace fts
+
+#endif  // FTS_COST_CALIBRATE_SISD_H_

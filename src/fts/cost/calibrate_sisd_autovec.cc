@@ -1,0 +1,6 @@
+// "SISD (auto vec)" calibration twin — plain -O3, mirroring
+// scan/sisd_scan_autovec.cc.
+#include "fts/cost/calibrate_sisd.h"
+
+#define FTS_SISD_PREFIX CostAutoVec
+#include "fts/scan/sisd_scan_impl.inc.h"

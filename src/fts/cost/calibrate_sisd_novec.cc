@@ -1,0 +1,6 @@
+// "SISD (no vec)" calibration twin — built with auto-vectorization off
+// (see cost/CMakeLists.txt), mirroring scan/sisd_scan_novec.cc.
+#include "fts/cost/calibrate_sisd.h"
+
+#define FTS_SISD_PREFIX CostNoVec
+#include "fts/scan/sisd_scan_impl.inc.h"

@@ -1,0 +1,41 @@
+#include "fts/cost/cost_model.h"
+
+#include <algorithm>
+
+namespace fts {
+namespace cost {
+
+double StageRank(const CostProfile& profile, ScanEngine ranking_engine,
+                 EncClass enc, double selectivity) {
+  const EngineCostConstants& e = profile.For(ranking_engine);
+  const double per_row = e.available
+                             ? e.rest_ns[static_cast<size_t>(enc)]
+                             : 1.0;
+  const double ineffectiveness = std::max(1e-9, 1.0 - selectivity);
+  return per_row / ineffectiveness;
+}
+
+double ChainCostNs(const CostProfile& profile, ScanEngine engine,
+                   const std::vector<StageCost>& stages, double rows,
+                   ScanMode mode) {
+  const EngineCostConstants& e = profile.For(engine);
+  if (!e.available || stages.empty()) return 0.0;
+  double cost = rows * e.first_ns[static_cast<size_t>(stages[0].enc)];
+  double prefix_sel = stages[0].selectivity;
+  for (size_t i = 1; i < stages.size(); ++i) {
+    cost += rows * prefix_sel * e.rest_ns[static_cast<size_t>(stages[i].enc)];
+    prefix_sel *= stages[i].selectivity;
+  }
+  const bool sisd = engine == ScanEngine::kSisdNoVec ||
+                    engine == ScanEngine::kSisdAutoVec;
+  // The SISD count fast path never materializes positions; every other
+  // engine (and every materializing mode) pays emit per match. The
+  // aggregate kernels fold instead of emitting, at comparable per-match
+  // cost, so the emit constant stands in for the fold.
+  const bool emits = !(sisd && mode == ScanMode::kCount);
+  if (emits) cost += rows * prefix_sel * e.emit_ns;
+  return cost;
+}
+
+}  // namespace cost
+}  // namespace fts

@@ -1,0 +1,121 @@
+#ifndef FTS_COST_COST_PROFILE_H_
+#define FTS_COST_COST_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fts/common/status.h"
+#include "fts/scan/scan_engine.h"
+
+namespace fts {
+namespace cost {
+
+// Encoding classes the calibrated per-row constants are indexed by. The
+// kernels see only three operand shapes: 32-bit fixed-size elements
+// (plain i32/u32/f32 and unpacked dictionary code vectors), 64-bit
+// fixed-size elements, and bit-packed code streams (bit-packed,
+// frame-of-reference). RLE and delta stages never reach the kernels; they
+// carry their own run/block constants below.
+enum class EncClass : uint8_t {
+  kPlain32 = 0,
+  kPlain64,
+  kPacked,
+};
+inline constexpr size_t kNumEncClasses = 3;
+
+const char* EncClassName(EncClass enc);
+
+// Calibrated per-row constants for one ScanEngine. The chain cost model
+// (cost_model.h) is
+//
+//   cost = rows * first_ns[enc_0]
+//        + sum_{i>0} rows * prefix_sel_i * rest_ns[enc_i]
+//        + matches * emit_ns
+//
+// where prefix_sel_i is the product of the selectivities of stages
+// 0..i-1. `first_ns` is the full-width pass every chain pays for its
+// first stage; `rest_ns` is the per-surviving-row cost of each later
+// stage (the fused kernels gather survivors, the SISD loops short-circuit
+// — both are linear in rows reaching the stage); `emit_ns` is the cost of
+// materializing one match position. The SISD count path skips
+// materialization entirely, which the model credits (ScanMode::kCount).
+struct EngineCostConstants {
+  bool available = false;
+  std::array<double, kNumEncClasses> first_ns{};
+  std::array<double, kNumEncClasses> rest_ns{};
+  double emit_ns = 0.0;
+};
+
+inline constexpr size_t kNumEngines = 9;  // ScanEngine enumerator count.
+
+// The calibrated throughput profile: per-engine per-encoding-class scan
+// constants plus the compressed-domain and JIT constants. Produced either
+// by Defaults() (static, ballpark numbers — good enough for chain
+// ranking) or Calibrate() (measured on this machine — required for
+// engine adaptation and time prediction). Serialized to a versioned
+// key-value text file keyed by the calibrating CPU's feature string, so a
+// stale or foreign profile is detected and re-measured.
+struct CostProfile {
+  static constexpr int kVersion = 1;
+
+  int version = kVersion;
+  std::string cpu;        // GetCpuFeatures().ToString() at calibration.
+  bool calibrated = false;
+
+  // Indexed by static_cast<size_t>(ScanEngine). kJit's constants are
+  // derived from the best fused engine via jit_speed_factor at
+  // finalization; kBlockwise is never an adaptation candidate and stays
+  // unavailable.
+  std::array<EngineCostConstants, kNumEngines> engines{};
+
+  // Compressed-domain constants (engine-independent: every engine runs
+  // the same range path).
+  double rle_run_ns = 4.0;      // Classify one run + extend ranges.
+  double delta_block_ns = 12.0; // Classify one block from its min/max.
+  double delta_row_ns = 3.0;    // Prefix-reconstruct + compare one row.
+  double compressed_emit_ns = 0.5;  // Append one position from a range.
+
+  // JIT model: generated code runs at (best fused cost) * factor, and a
+  // cold chain signature pays one external-compiler invocation that the
+  // per-chunk decision amortizes over the chunks sharing the signature.
+  double jit_speed_factor = 0.85;
+  double jit_compile_millis = 150.0;
+
+  const EngineCostConstants& For(ScanEngine engine) const {
+    return engines[static_cast<size_t>(engine)];
+  }
+
+  // Versioned key-value text round-trip. Parse fails on a version or
+  // malformed-line mismatch; callers treat a cpu-string mismatch as a
+  // stale profile and recalibrate.
+  std::string Serialize() const;
+  static StatusOr<CostProfile> Parse(const std::string& text);
+
+  // Static ballpark constants: no measurement, every engine the CPU
+  // supports marked available. Used when only chain ranking is needed.
+  static CostProfile Defaults();
+
+  // Measures the constants on this machine with synthetic-column runs
+  // sized past L2 (memory-bound, like real scans). FTS_CALIBRATE_FAST=1
+  // shrinks rows/reps (CI smoke); expect ~1-3s full, ~20ms fast.
+  static CostProfile Calibrate();
+};
+
+// Process-wide profiles. DefaultProfile() is the static table;
+// CalibratedProfile() loads FTS_COST_PROFILE (when set) if its version
+// and CPU string match, else calibrates and (best-effort) rewrites the
+// file. Both are computed once and cached for the process lifetime.
+const CostProfile& DefaultProfile();
+const CostProfile& CalibratedProfile();
+
+// FTS_ADAPTIVE kill switch (default on): gates chain re-ranking and
+// per-chunk engine adaptation everywhere. Re-read on every call (it is
+// consulted once per Prepare) so the determinism fuzzers can toggle it
+// within one process.
+bool AdaptiveEnabled();
+
+}  // namespace cost
+}  // namespace fts
+
+#endif  // FTS_COST_COST_PROFILE_H_

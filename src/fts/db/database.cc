@@ -99,6 +99,10 @@ StatusOr<PhysicalPlan> Database::Plan(const SelectStatement& statement,
   translator_options.threads = options.threads;
   translator_options.enable_aggregate_pushdown = options.aggregate_pushdown;
   translator_options.context = context;
+  // An explicit engine request pins every chunk to it; only when the
+  // caller left the choice to the system may the cost model adapt per
+  // chunk (FTS_ADAPTIVE=0 still disables it globally).
+  translator_options.adaptive = !options.engine.has_value();
   FTS_ASSIGN_OR_RETURN(PhysicalPlan plan,
                        TranslateLqp(lqp, translator_options));
   if (explain_text != nullptr) {

@@ -25,6 +25,9 @@ struct MorselOutcome {
   Status error;           // Last rung's failure when !ok.
   EngineChoice executed;  // Rung that ran when ok.
   size_t rung_index = 0;  // Ladder depth of `executed` (0 = requested).
+  // `executed` is the cost model's per-chunk pick (DESIGN.md §14), not a
+  // ladder rung: the switch is a choice, not a degradation.
+  bool adapted = false;
   std::vector<EngineAttempt> attempts;
   PosList positions;  // Materialize mode.
   uint64_t count = 0;  // Count and aggregate modes (the match count).
@@ -88,10 +91,34 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
     aggs.resize(scanner.num_agg_terms());
   }
 
+  // Per-morsel engine adaptation (DESIGN.md §14): when the scan opted in,
+  // ask the cost model whether this chunk should run on a cheaper engine
+  // than the requested rung (near-empty / near-full chunks often should).
+  // The model's pick is prepended as an extra rung: if it somehow fails,
+  // the walk falls through to the original ladder unchanged.
+  std::vector<EngineChoice> walk;
+  const std::vector<EngineChoice>* walk_rungs = &rungs;
+  bool adapted_first = false;
+  if (scanner.adaptive() && !rungs.empty()) {
+    const cost::ScanMode cost_mode =
+        mode == MorselMode::kCount       ? cost::ScanMode::kCount
+        : mode == MorselMode::kAggregate ? cost::ScanMode::kAggregate
+                                         : cost::ScanMode::kMaterialize;
+    const EngineChoice adapted =
+        scanner.AdaptEngine(rungs.front(), chunk_id, cost_mode);
+    if (!(adapted == rungs.front())) {
+      adapted_first = true;
+      walk.reserve(rungs.size() + 1);
+      walk.push_back(adapted);
+      walk.insert(walk.end(), rungs.begin(), rungs.end());
+      walk_rungs = &walk;
+    }
+  }
+
   bool jit_unavailable = false;
   Status jit_unavailable_status;
-  for (size_t r = 0; r < rungs.size(); ++r) {
-    const EngineChoice& choice = rungs[r];
+  for (size_t r = 0; r < walk_rungs->size(); ++r) {
+    const EngineChoice& choice = (*walk_rungs)[r];
     // Rung boundary = cancellation point: a deadline firing mid-ladder
     // (e.g. during a JIT compile on an earlier rung) aborts the walk
     // instead of demoting — lower rungs of a dead query cannot help.
@@ -163,7 +190,10 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
       }
       out->attempts.push_back({choice, Status::Ok()});
       out->executed = choice;
-      out->rung_index = r;
+      // Ladder depth stays relative to the ORIGINAL rungs so the
+      // deepest-rung report logic is unaffected by the prepended pick.
+      out->adapted = adapted_first && r == 0;
+      out->rung_index = adapted_first ? (r == 0 ? 0 : r - 1) : r;
       out->ok = true;
       if (span.active()) {
         span.AddArg("engine", choice.ToString());
@@ -200,6 +230,7 @@ Status RunMorsels(const TableScanner& scanner,
   report->requested = options.requested;
   FillPruningReport(scanner, report);
   FillCompressedReport(scanner, report);
+  FillAdaptiveReport(scanner, report);
 
   QueryContext* ctx =
       options.context != nullptr ? options.context : scanner.context();
@@ -311,9 +342,14 @@ Status RunMorsels(const TableScanner& scanner,
   }
   report->attempts = (*outcomes)[deepest].attempts;
   report->executed = (*outcomes)[deepest].executed;
-  report->degraded = !(report->executed == report->requested);
-  // Refresh: run/block counters accumulated across the finished morsels.
+  // A cost-model engine pick is a choice, not a degradation: only a rung
+  // that ran because an earlier one failed counts as degraded.
+  report->degraded = !(report->executed == report->requested) &&
+                     !(*outcomes)[deepest].adapted;
+  // Refresh: run/block counters and adaptive engine-mix counters
+  // accumulated across the finished morsels.
   FillCompressedReport(scanner, report);
+  FillAdaptiveReport(scanner, report);
   return Status::Ok();
 }
 

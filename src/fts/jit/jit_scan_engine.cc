@@ -318,6 +318,11 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
   QueryContext* ctx = scanner.context();
   TableMatches result;
   result.chunks.reserve(scanner.chunk_plans().size());
+  // Once one chunk's chain has compiled, further chunks with kernel chains
+  // are near-certain cache hits (chunks of one table share the chain
+  // signature unless re-ranking split them), so the model stops charging
+  // them the amortized compile cost.
+  bool jit_warm = false;
   for (ChunkId chunk_id = 0; chunk_id < scanner.chunk_plans().size();
        ++chunk_id) {
     FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
@@ -330,11 +335,22 @@ StatusOr<TableMatches> JitScanEngine::ExecuteJit(const TableScanner& scanner,
           ctx, static_cast<uint64_t>(plan.row_count + kScanOutputSlack) *
                    sizeof(ChunkOffset)));
       PosList positions(plan.row_count + kScanOutputSlack);
-      FTS_ASSIGN_OR_RETURN(
-          const size_t count,
-          JitExecuteChunk(*cache_, plan, register_bits,
-                          /*count_only=*/false, positions.data(), stats,
-                          ctx, scanner.compressed_stats().get()));
+      const EngineChoice pick = scanner.AdaptEngine(
+          EngineChoice{ScanEngine::kJit, register_bits}, chunk_id,
+          cost::ScanMode::kMaterialize, jit_warm);
+      size_t count = 0;
+      if (pick.engine == ScanEngine::kJit) {
+        FTS_ASSIGN_OR_RETURN(
+            count,
+            JitExecuteChunk(*cache_, plan, register_bits,
+                            /*count_only=*/false, positions.data(), stats,
+                            ctx, scanner.compressed_stats().get()));
+        if (!plan.stages.empty()) jit_warm = true;
+      } else {
+        FTS_ASSIGN_OR_RETURN(
+            count, scanner.ExecuteChunk(pick.engine, chunk_id,
+                                        positions.data()));
+      }
       positions.resize(count);
       matches.positions = std::move(positions);
     }
@@ -354,13 +370,25 @@ StatusOr<uint64_t> JitScanEngine::ExecuteJitCount(const TableScanner& scanner,
   }
   QueryContext* ctx = scanner.context();
   uint64_t total = 0;
-  for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
+  bool jit_warm = false;
+  for (ChunkId chunk_id = 0; chunk_id < scanner.chunk_plans().size();
+       ++chunk_id) {
     FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
-    FTS_ASSIGN_OR_RETURN(
-        const size_t count,
-        JitExecuteChunk(*cache_, plan, register_bits,
-                        /*count_only=*/true, nullptr, stats, ctx,
-                        scanner.compressed_stats().get()));
+    const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
+    const EngineChoice pick = scanner.AdaptEngine(
+        EngineChoice{ScanEngine::kJit, register_bits}, chunk_id,
+        cost::ScanMode::kCount, jit_warm);
+    size_t count = 0;
+    if (pick.engine == ScanEngine::kJit) {
+      FTS_ASSIGN_OR_RETURN(
+          count, JitExecuteChunk(*cache_, plan, register_bits,
+                                 /*count_only=*/true, nullptr, stats, ctx,
+                                 scanner.compressed_stats().get()));
+      if (!plan.impossible && !plan.stages.empty()) jit_warm = true;
+    } else {
+      FTS_ASSIGN_OR_RETURN(count,
+                           scanner.ExecuteChunkCount(pick.engine, chunk_id));
+    }
     total += count;
   }
   return total;
@@ -376,13 +404,26 @@ StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteJitAggregate(
   TableScanner::AggResult result;
   result.accumulators.resize(scanner.num_agg_terms());
   std::vector<AggAccumulator> partial(scanner.num_agg_terms());
-  for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
+  bool jit_warm = false;
+  for (ChunkId chunk_id = 0; chunk_id < scanner.chunk_plans().size();
+       ++chunk_id) {
+    const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
     if (plan.impossible || plan.row_count == 0) continue;
     FTS_RETURN_IF_ERROR(CheckCancellation(ctx));
-    FTS_ASSIGN_OR_RETURN(
-        const size_t count,
-        JitExecuteChunkAggregate(*cache_, plan, register_bits,
-                                 partial.data(), stats, ctx));
+    const EngineChoice pick = scanner.AdaptEngine(
+        EngineChoice{ScanEngine::kJit, register_bits}, chunk_id,
+        cost::ScanMode::kAggregate, jit_warm);
+    size_t count = 0;
+    if (pick.engine == ScanEngine::kJit) {
+      FTS_ASSIGN_OR_RETURN(
+          count, JitExecuteChunkAggregate(*cache_, plan, register_bits,
+                                          partial.data(), stats, ctx));
+      if (!plan.stages.empty()) jit_warm = true;
+    } else {
+      FTS_ASSIGN_OR_RETURN(
+          count, scanner.ExecuteChunkAggregate(pick.engine, chunk_id,
+                                               partial.data()));
+    }
     result.matched += count;
     for (size_t i = 0; i < partial.size(); ++i) {
       result.accumulators[i].Merge(partial[i]);
@@ -399,6 +440,7 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
   if (report != nullptr) {
     FillPruningReport(scanner, report);
     FillCompressedReport(scanner, report);
+    FillAdaptiveReport(scanner, report);
   }
   JitChunkStats stats;
   StatusOr<TableMatches> result = RunLadder<TableMatches>(
@@ -415,6 +457,7 @@ StatusOr<TableMatches> JitScanEngine::Execute(TablePtr table,
     report->jit_cache_misses += stats.cache_misses;
     // Refresh: run counters accumulated during execution.
     FillCompressedReport(scanner, report);
+    FillAdaptiveReport(scanner, report);
   }
   return result;
 }
@@ -427,6 +470,7 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
   if (report != nullptr) {
     FillPruningReport(scanner, report);
     FillCompressedReport(scanner, report);
+    FillAdaptiveReport(scanner, report);
   }
   JitChunkStats stats;
   StatusOr<uint64_t> result = RunLadder<uint64_t>(
@@ -443,6 +487,7 @@ StatusOr<uint64_t> JitScanEngine::ExecuteCount(TablePtr table,
     report->jit_cache_misses += stats.cache_misses;
     // Refresh: run counters accumulated during execution.
     FillCompressedReport(scanner, report);
+    FillAdaptiveReport(scanner, report);
   }
   return result;
 }
@@ -458,6 +503,7 @@ StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteAggregate(
   if (report != nullptr) {
     FillPruningReport(scanner, report);
     FillCompressedReport(scanner, report);
+    FillAdaptiveReport(scanner, report);
   }
   JitChunkStats stats;
   StatusOr<TableScanner::AggResult> result =
@@ -477,6 +523,7 @@ StatusOr<TableScanner::AggResult> JitScanEngine::ExecuteAggregate(
     report->jit_cache_misses += stats.cache_misses;
     // Refresh: run counters accumulated during execution.
     FillCompressedReport(scanner, report);
+    FillAdaptiveReport(scanner, report);
   }
   return result;
 }

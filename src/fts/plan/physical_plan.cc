@@ -41,9 +41,21 @@ EngineChoice StepEngineChoice(const PhysicalPlan::ScanStep& step) {
 // execution of non-fused plans).
 StatusOr<TableMatches> RefineMatches(const TablePtr& table,
                                      const ScanSpec& spec,
-                                     const TableMatches& previous) {
+                                     const TableMatches& previous,
+                                     double* est_selectivity) {
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(table, spec));
+  if (est_selectivity != nullptr) {
+    // The refine predicate's whole-table selectivity under the model's
+    // zone-map estimates: what fraction of rows reaching this step
+    // survive it (independence assumption).
+    uint64_t rows = 0;
+    for (const TableScanner::ChunkPlan& plan : scanner.chunk_plans()) {
+      rows += plan.row_count;
+    }
+    *est_selectivity =
+        rows > 0 ? scanner.est_rows() / static_cast<double>(rows) : 1.0;
+  }
   TableMatches refined;
   refined.chunks.reserve(previous.chunks.size());
   for (const ChunkMatches& chunk_matches : previous.chunks) {
@@ -178,6 +190,7 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
   report->requested = {step.engine, 0};
   FillPruningReport(scanner, report);
   FillCompressedReport(scanner, report);
+  FillAdaptiveReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)
@@ -189,6 +202,7 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
       report->RecordSuccess(choice);
       // Refresh: counters accumulated during the successful rung.
       FillCompressedReport(scanner, report);
+      FillAdaptiveReport(scanner, report);
       return result;
     }
     report->RecordFailure(choice, result.status());
@@ -220,6 +234,7 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
   report->requested = {step.engine, 0};
   FillPruningReport(scanner, report);
   FillCompressedReport(scanner, report);
+  FillAdaptiveReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)
@@ -231,6 +246,7 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
       report->RecordSuccess(choice);
       // Refresh: counters accumulated during the successful rung.
       FillCompressedReport(scanner, report);
+      FillAdaptiveReport(scanner, report);
       return result;
     }
     report->RecordFailure(choice, result.status());
@@ -264,6 +280,7 @@ StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
   report->requested = {step.engine, 0};
   FillPruningReport(scanner, report);
   FillCompressedReport(scanner, report);
+  FillAdaptiveReport(scanner, report);
   const std::vector<EngineChoice> rungs =
       policy == FallbackPolicy::kLadder
           ? DegradationLadder(step.engine, 0)
@@ -276,6 +293,7 @@ StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
       report->RecordSuccess(choice);
       // Refresh: counters accumulated during the successful rung.
       FillCompressedReport(scanner, report);
+      FillAdaptiveReport(scanner, report);
       return result;
     }
     report->RecordFailure(choice, result.status());
@@ -375,12 +393,13 @@ StatusOr<TableMatches> RunStep(const TablePtr& table,
                                const PhysicalPlan::ScanStep& step,
                                const std::optional<TableMatches>& previous,
                                FallbackPolicy policy, int threads,
-                               ExecutionReport* report) {
+                               ExecutionReport* report,
+                               double* refine_selectivity) {
   if (!previous.has_value()) {
     return RunFirstStep(table, step, policy, threads, report);
   }
   // Later steps refine position lists tuple-at-a-time; no engine involved.
-  return RefineMatches(table, step.spec, *previous);
+  return RefineMatches(table, step.spec, *previous, refine_selectivity);
 }
 
 // Operator name used by both Explain() and the ANALYZE renderer.
@@ -514,10 +533,13 @@ StatusOr<QueryResult> ExecuteAggregatePushdown(const PhysicalPlan& plan) {
   report.rows_folded = agg->matched;
   report.scan_millis = millis;
   if (!plan.scan_steps.empty()) {
-    report.stages.push_back(StageReport{
+    StageReport stage{
         StrFormat("%s [%s]", StepOpName(plan.scan_steps[0]),
                   report.executed.ToString().c_str()),
-        report.rows_scanned, agg->matched, millis});
+        report.rows_scanned, agg->matched, millis};
+    stage.has_estimate = report.model_active;
+    stage.est_rows_out = report.est_rows;
+    report.stages.push_back(std::move(stage));
   }
   Stopwatch finalize_timer;
   FTS_ASSIGN_OR_RETURN(
@@ -645,9 +667,13 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
     FinishCounters(plan, &counters, &report);
     report.rows_matched = *count;
     report.scan_millis = millis;
-    report.stages.push_back(StageReport{
-        StrFormat("%s [%s]", StepOpName(step), report.executed.ToString().c_str()),
-        report.rows_scanned, *count, millis});
+    StageReport stage{
+        StrFormat("%s [%s]", StepOpName(step),
+                  report.executed.ToString().c_str()),
+        report.rows_scanned, *count, millis};
+    stage.has_estimate = report.model_active;
+    stage.est_rows_out = report.est_rows;
+    report.stages.push_back(std::move(stage));
     result.matched_rows = *count;
     result.count = *count;
     result.column_names = {"count"};
@@ -657,23 +683,32 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   ExecutionReport report;
   ScanCounterScope counters(plan.collect_counters);
   std::optional<TableMatches> matches;
+  // Running row estimate through the step chain: the first step's scanner
+  // estimate, narrowed by each refine predicate's estimated selectivity.
+  double est_rows = 0.0;
   for (const PhysicalPlan::ScanStep& step : plan.scan_steps) {
     FTS_RETURN_IF_ERROR(CheckCancellation(plan.context));
     const bool first = !matches.has_value();
     const uint64_t rows_in = first ? 0 : matches->TotalMatches();
     Stopwatch timer;
+    double refine_selectivity = 1.0;
     FTS_ASSIGN_OR_RETURN(
         TableMatches next,
         RunStep(plan.table, step, matches, plan.fallback,
-                ResolveStepThreads(plan, step), &report));
+                ResolveStepThreads(plan, step), &report,
+                first ? nullptr : &refine_selectivity));
     const double millis = timer.ElapsedMillis();
     if (first) FinishCounters(plan, &counters, &report);
     report.scan_millis += millis;
-    report.stages.push_back(StageReport{
+    est_rows = first ? report.est_rows : est_rows * refine_selectivity;
+    StageReport stage{
         first ? StrFormat("%s [%s]", StepOpName(step),
                           report.executed.ToString().c_str())
               : StrFormat("Refine: %s", step.spec.ToString().c_str()),
-        first ? report.rows_scanned : rows_in, next.TotalMatches(), millis});
+        first ? report.rows_scanned : rows_in, next.TotalMatches(), millis};
+    stage.has_estimate = report.model_active;
+    stage.est_rows_out = est_rows;
+    report.stages.push_back(std::move(stage));
     matches = std::move(next);
   }
   // No scan steps: every row matches.
@@ -828,10 +863,13 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
     if (i < report.stages.size()) {
       const StageReport& stage = report.stages[i];
       out += indent;
-      out += StrFormat("  actual: rows in=%llu out=%llu, time=%.3f ms",
+      out += StrFormat("  actual: rows in=%llu out=%llu",
                        static_cast<unsigned long long>(stage.rows_in),
-                       static_cast<unsigned long long>(stage.rows_out),
-                       stage.millis);
+                       static_cast<unsigned long long>(stage.rows_out));
+      if (stage.has_estimate) {
+        out += StrFormat(" (est out=%.0f)", stage.est_rows_out);
+      }
+      out += StrFormat(", time=%.3f ms", stage.millis);
       if (i == 0) {
         out += StrFormat(", executed=%s%s",
                          report.executed.ToString().c_str(),
@@ -864,6 +902,37 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
           parts.push_back(StrFormat("%s x%zu", name.c_str(), count));
         }
         out += Join(parts, ", ") + "}\n";
+      }
+      // Calibrated cost model (DESIGN.md §14). Rendered unconditionally —
+      // harnesses grep for the `CostModel:` marker.
+      out += indent;
+      if (!report.model_active) {
+        out += "  CostModel: off\n";
+      } else {
+        out += StrFormat("  CostModel: on%s, chunks reordered=%zu",
+                         report.adaptive_engines ? " (adaptive engines)" : "",
+                         report.chunks_reordered);
+        out += StrFormat(", est rows=%.0f actual=%llu", report.est_rows,
+                         static_cast<unsigned long long>(report.rows_matched));
+        if (report.adaptive_engines) {
+          uint64_t adapted_chunks = 0;
+          std::vector<std::string> parts;
+          for (size_t e = 0; e < 9; ++e) {
+            if (report.adaptive_chunk_engines[e] == 0) continue;
+            adapted_chunks += report.adaptive_chunk_engines[e];
+            parts.push_back(StrFormat(
+                "%s x%llu", ScanEngineToString(static_cast<ScanEngine>(e)),
+                static_cast<unsigned long long>(
+                    report.adaptive_chunk_engines[e])));
+          }
+          if (adapted_chunks > 0) {
+            out += StrFormat(", switches=%llu, engines={%s}",
+                             static_cast<unsigned long long>(
+                                 report.adaptive_engine_switches),
+                             Join(parts, ", ").c_str());
+          }
+        }
+        out += "\n";
       }
       if (report.jit_cache_hits + report.jit_cache_misses > 0) {
         out += indent;

@@ -90,6 +90,7 @@ void PlanAggregatePushdown(PhysicalPlan* plan,
   } else {
     step.spec.threads = options.threads;
     step.spec.context = options.context;
+    step.spec.adaptive = options.adaptive;
     step.engine = options.engine;
     step.jit_register_bits = options.jit_register_bits;
   }
@@ -152,6 +153,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
         step.spec.predicates = {ToPredicateSpec(predicate->predicate())};
         step.spec.threads = options.threads;
         step.spec.context = options.context;
+        step.spec.adaptive = options.adaptive;
         step.engine = options.engine;
         step.jit_register_bits = options.jit_register_bits;
         steps_root_first.push_back(std::move(step));
@@ -166,6 +168,7 @@ StatusOr<PhysicalPlan> TranslateLqp(const LqpNodePtr& root,
         }
         step.spec.threads = options.threads;
         step.spec.context = options.context;
+        step.spec.adaptive = options.adaptive;
         step.engine = options.engine;
         step.jit_register_bits = options.jit_register_bits;
         steps_root_first.push_back(std::move(step));

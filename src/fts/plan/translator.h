@@ -30,6 +30,11 @@ struct TranslatorOptions {
   // and the memory budget reach the scan/JIT/parallel layers. Borrowed —
   // must outlive plan execution.
   QueryContext* context = nullptr;
+  // Allow the calibrated cost model to pick the scan engine per chunk
+  // (ScanSpec::adaptive, DESIGN.md §14). The Database layer sets this when
+  // the caller left QueryOptions::engine unset — an explicit engine is a
+  // pin the model must not override.
+  bool adaptive = false;
 };
 
 // Lowers an (optimized) LQP chain into a PhysicalPlan.

@@ -102,6 +102,11 @@ struct StageReport {
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   double millis = 0.0;
+  // Planner/cost-model row estimate for this stage's output, so EXPLAIN
+  // ANALYZE can show estimated vs actual per stage. `has_estimate` is
+  // false when no statistics were available to estimate from.
+  bool has_estimate = false;
+  double est_rows_out = 0.0;
 };
 
 // Which engine a scan actually executed and why. Every QueryResult carries
@@ -178,6 +183,22 @@ struct ExecutionReport {
   size_t morsels_completed = 0;
   size_t morsels_aborted = 0;
   double queue_wait_millis = 0.0;
+  // Calibrated cost model (fts/cost, DESIGN.md §14). `model_active` is
+  // true when FTS_ADAPTIVE left the model on (per-chunk chain re-ranking
+  // eligible); `adaptive_engines` additionally means the model was free
+  // to pick the engine per chunk. `chunks_reordered` counts chunks whose
+  // fused chain ran in a different order than the spec's predicate
+  // order; `adaptive_engine_switches` counts chunks executed on a
+  // different engine than requested by the model's choice (not by
+  // degradation); `adaptive_chunk_engines[e]` is the per-engine chunk mix
+  // while adaptation was active. `est_rows` is the model's predicted
+  // match count for the scan.
+  bool model_active = false;
+  bool adaptive_engines = false;
+  size_t chunks_reordered = 0;
+  uint64_t adaptive_engine_switches = 0;
+  uint64_t adaptive_chunk_engines[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  double est_rows = 0.0;
   // Wall time of the scan stages alone (excludes parse/plan/aggregate).
   double scan_millis = 0.0;
   // Per-stage breakdown for EXPLAIN ANALYZE; one entry per executed plan

@@ -65,14 +65,18 @@ uint64_t ColumnScanBytes(const BaseColumn& column) {
 // parallel executors see one unified impossible/dropped mechanism.
 // Predicates over RLE/delta columns that survive zone classification fill
 // `*compressed_stage` and set `*is_compressed` instead of building a
-// kernel stage (fts/scan/compressed_scan.h).
+// kernel stage (fts/scan/compressed_scan.h). `*selectivity` receives the
+// cost model's estimate of the fraction of this chunk's rows the
+// predicate keeps, from the same bounds zone classification consults
+// (0.5 when no bounds exist).
 Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
                   const PredicateSpec& predicate, ScanStage* stage,
                   CompressedScanStage* compressed_stage, bool* is_compressed,
-                  bool* dropped, bool* impossible) {
+                  bool* dropped, bool* impossible, double* selectivity) {
   *dropped = false;
   *impossible = false;
   *is_compressed = false;
+  *selectivity = 0.5;
 
   if (column.encoding() == ColumnEncoding::kFor) {
     // Frame-of-reference: rebase the literal into the delta domain, after
@@ -136,6 +140,8 @@ Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
       case ZoneFate::kMaybe:
         break;
     }
+    *selectivity = cost::EstimateUniformSelectivity<uint32_t>(
+        0, max_code, predicate.op, static_cast<uint32_t>(delta));
     stage->data = column.scan_data();
     stage->type = ScanElementType::kU32;
     stage->op = predicate.op;
@@ -175,6 +181,12 @@ Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
         *dropped = true;
         return Status::Ok();
       }
+      DispatchDataType(column.data_type(), [&](auto tag) {
+        using T = decltype(tag);
+        *selectivity = cost::EstimateUniformSelectivity<T>(
+            ValueAs<T>(zone->min), ValueAs<T>(zone->max), predicate.op,
+            ValueAs<T>(casted));
+      });
     }
     compressed_stage->column = &column;
     compressed_stage->op = predicate.op;
@@ -229,6 +241,9 @@ Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
             case ZoneFate::kMaybe:
               break;
           }
+          *selectivity = cost::EstimateUniformSelectivity<uint32_t>(
+              zone->min_code, zone->max_code, translated.op,
+              translated.code);
         }
         stage->data = column.scan_data();
         stage->type = ScanElementType::kU32;
@@ -270,6 +285,12 @@ Status BuildStage(const BaseColumn& column, const ZoneMap* zone,
       *dropped = true;
       return Status::Ok();
     }
+    DispatchDataType(column.data_type(), [&](auto tag) {
+      using T = decltype(tag);
+      *selectivity = cost::EstimateUniformSelectivity<T>(
+          ValueAs<T>(zone->min), ValueAs<T>(zone->max), predicate.op,
+          ValueAs<T>(casted));
+    });
   }
   stage->data = column.scan_data();
   stage->type = element_type;
@@ -492,6 +513,69 @@ void RecordChunkExecution(ScanEngine engine, size_t rows, size_t matches) {
   EngineExecutionCounter(engine)->Increment();
 }
 
+// Operand shape of one kernel stage as the cost profile prices it.
+cost::EncClass EncClassOf(const ScanStage& stage) {
+  if (stage.packed_bits != 0) return cost::EncClass::kPacked;
+  switch (stage.type) {
+    case ScanElementType::kI64:
+    case ScanElementType::kU64:
+    case ScanElementType::kF64:
+      return cost::EncClass::kPlain64;
+    default:
+      return cost::EncClass::kPlain32;
+  }
+}
+
+// Engine whose calibrated constants order the chain. Re-ranking must not
+// depend on which engine later runs the chunk (the order would then differ
+// between adaptive on/off), so chains are ranked once against the best
+// fused kernel this CPU has — the engine the rest_ns ratios of which best
+// reflect how the fused chains actually behave.
+ScanEngine RankingEngine() {
+  switch (BestAvailableKernel()) {
+    case FusedKernelKind::kAvx512_512:
+      return ScanEngine::kAvx512Fused512;
+    case FusedKernelKind::kAvx512_256:
+      return ScanEngine::kAvx512Fused256;
+    case FusedKernelKind::kAvx512_128:
+      return ScanEngine::kAvx512Fused128;
+    case FusedKernelKind::kAvx2_128:
+      return ScanEngine::kAvx2Fused128;
+    case FusedKernelKind::kScalar:
+      break;
+  }
+  return ScanEngine::kScalarFused;
+}
+
+// Cost-model inputs of one compressed-domain stage: how many runs/blocks
+// the range builder classifies, and (delta only) how many rows sit in
+// blocks whose min/max cannot decide the predicate — those get
+// prefix-reconstructed at execution.
+TableScanner::ChunkPlan::CompressedCostInput CompressedCostOf(
+    const BaseColumn& column, const CompressedScanStage& stage) {
+  TableScanner::ChunkPlan::CompressedCostInput input;
+  DispatchDataType(column.data_type(), [&](auto tag) {
+    using T = decltype(tag);
+    if (column.encoding() == ColumnEncoding::kRle) {
+      input.units = static_cast<const RleColumn<T>&>(column).run_count();
+      return;
+    }
+    if constexpr (std::is_integral_v<T>) {
+      const auto& delta = static_cast<const DeltaColumn<T>&>(column);
+      input.is_delta = true;
+      input.units = delta.blocks().size();
+      const T value = ValueAs<T>(stage.value);
+      for (const auto& block : delta.blocks()) {
+        if (ClassifyZone<T>(block.min, block.max, stage.op, value) ==
+            ZoneFate::kMaybe) {
+          input.decode_rows += block.rows;
+        }
+      }
+    }
+  });
+  return input;
+}
+
 }  // namespace
 
 StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
@@ -535,6 +619,21 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
     agg_columns.emplace_back(index);
   }
 
+  // Cost-model state for this scan (DESIGN.md §14). FTS_ADAPTIVE=0 turns
+  // the whole model off; engine adaptation additionally needs the spec's
+  // opt-in. The calibrated profile (first use triggers calibration) is
+  // only loaded when engines will actually be picked from it — re-ranking
+  // alone runs off the static default table, whose cost *ratios* are what
+  // the rank key consumes.
+  const bool model_active = cost::AdaptiveEnabled();
+  const bool adaptive_engine = spec.adaptive && model_active;
+  const cost::CostProfile& profile =
+      adaptive_engine ? cost::CalibratedProfile() : cost::DefaultProfile();
+  const ScanEngine ranking_engine = RankingEngine();
+  size_t chunks_reordered = 0;
+  size_t runnable_chunks = 0;
+  double est_rows = 0.0;
+
   std::vector<ChunkPlan> plans;
   plans.reserve(table->chunk_count());
   PruningSummary pruning;
@@ -566,10 +665,11 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
       bool is_compressed = false;
       bool dropped = false;
       bool impossible = false;
+      double selectivity = 0.5;
       FTS_RETURN_IF_ERROR(BuildStage(column, zone, spec.predicates[p],
                                      &stage, &compressed_stage,
                                      &is_compressed, &dropped,
-                                     &impossible));
+                                     &impossible, &selectivity));
       if (impossible) {
         plan.impossible = true;
         plan.stages.clear();
@@ -601,8 +701,57 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
       }
       if (is_compressed) {
         plan.compressed.push_back(compressed_stage);
+        plan.compressed_sel.push_back(selectivity);
+        if (model_active) {
+          plan.compressed_cost.push_back(
+              CompressedCostOf(column, compressed_stage));
+        }
       } else {
         plan.stages.push_back(stage);
+        plan.stage_sel.push_back(selectivity);
+      }
+    }
+    if (!plan.impossible) {
+      // Re-rank the fused chain cheapest-effective-first for this chunk:
+      // ascending cost/(1 - selectivity) from the chunk's own zone-map
+      // estimates. Result-invariant for a conjunction (every order computes
+      // the same match set), so this applies regardless of spec.adaptive.
+      // The stable sort makes ties (and chunks without bounds) keep the
+      // spec's predicate order — uniform tables reorder nothing.
+      if (model_active && plan.stages.size() > 1) {
+        std::vector<size_t> order(plan.stages.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                           return cost::StageRank(profile, ranking_engine,
+                                                  EncClassOf(plan.stages[a]),
+                                                  plan.stage_sel[a]) <
+                                  cost::StageRank(profile, ranking_engine,
+                                                  EncClassOf(plan.stages[b]),
+                                                  plan.stage_sel[b]);
+                         });
+        if (!std::is_sorted(order.begin(), order.end())) {
+          std::vector<ScanStage> stages;
+          std::vector<double> sels;
+          stages.reserve(order.size());
+          sels.reserve(order.size());
+          for (size_t index : order) {
+            stages.push_back(plan.stages[index]);
+            sels.push_back(plan.stage_sel[index]);
+          }
+          plan.stages = std::move(stages);
+          plan.stage_sel = std::move(sels);
+          plan.reordered = true;
+          chunks_reordered++;
+        }
+      }
+      if (plan.row_count > 0) {
+        double sel = 1.0;
+        for (double s : plan.stage_sel) sel *= s;
+        for (double s : plan.compressed_sel) sel *= s;
+        plan.est_matches = static_cast<double>(plan.row_count) * sel;
+        est_rows += plan.est_matches;
+        runnable_chunks++;
       }
     }
     if (!spec.aggregates.empty() && !plan.impossible) {
@@ -616,9 +765,16 @@ StatusOr<TableScanner> TableScanner::Prepare(TablePtr table,
     }
     plans.push_back(std::move(plan));
   }
-  return TableScanner(std::move(table), std::move(plans), pruning,
-                      spec.aggregates.size(), spec.context,
-                      stage_encodings);
+  TableScanner scanner(std::move(table), std::move(plans), pruning,
+                       spec.aggregates.size(), spec.context,
+                       stage_encodings);
+  scanner.profile_ = &profile;
+  scanner.model_active_ = model_active;
+  scanner.adaptive_engine_ = adaptive_engine;
+  scanner.chunks_reordered_ = chunks_reordered;
+  scanner.runnable_chunks_ = runnable_chunks;
+  scanner.est_rows_ = est_rows;
+  return scanner;
 }
 
 // Bytes a chunk's scratch position list costs against the query's memory
@@ -793,9 +949,13 @@ StatusOr<TableScanner::AggResult> TableScanner::ExecuteAggregate(
   std::vector<AggAccumulator> partial(num_agg_terms_);
   for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
     FTS_RETURN_IF_ERROR(CheckCancellation(context_));
+    const ScanEngine chunk_engine =
+        AdaptEngine(EngineChoice{engine, 0}, chunk_id,
+                    cost::ScanMode::kAggregate)
+            .engine;
     FTS_ASSIGN_OR_RETURN(
         const size_t count,
-        ExecuteChunkAggregate(engine, chunk_id, partial.data()));
+        ExecuteChunkAggregate(chunk_engine, chunk_id, partial.data()));
     result.matched += count;
     for (size_t i = 0; i < num_agg_terms_; ++i) {
       result.accumulators[i].Merge(partial[i]);
@@ -820,8 +980,13 @@ StatusOr<TableMatches> TableScanner::Execute(ScanEngine engine) const {
       FTS_RETURN_IF_ERROR(
           reservation.Reserve(context_, PosListBytes(plan.row_count)));
       PosList positions(plan.row_count + kScanOutputSlack);
-      FTS_ASSIGN_OR_RETURN(const size_t count,
-                           ExecuteChunk(engine, chunk_id, positions.data()));
+      const ScanEngine chunk_engine =
+          AdaptEngine(EngineChoice{engine, 0}, chunk_id,
+                      cost::ScanMode::kMaterialize)
+              .engine;
+      FTS_ASSIGN_OR_RETURN(
+          const size_t count,
+          ExecuteChunk(chunk_engine, chunk_id, positions.data()));
       positions.resize(count);
       matches.positions = std::move(positions);
     }
@@ -835,9 +1000,131 @@ StatusOr<uint64_t> TableScanner::ExecuteCount(ScanEngine engine) const {
   uint64_t total = 0;
   for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
     FTS_RETURN_IF_ERROR(CheckCancellation(context_));
+    const ScanEngine chunk_engine =
+        AdaptEngine(EngineChoice{engine, 0}, chunk_id, cost::ScanMode::kCount)
+            .engine;
     FTS_ASSIGN_OR_RETURN(const uint64_t count,
-                         ExecuteChunkCount(engine, chunk_id));
+                         ExecuteChunkCount(chunk_engine, chunk_id));
     total += count;
+  }
+  return total;
+}
+
+EngineChoice TableScanner::AdaptEngine(const EngineChoice& requested,
+                                       ChunkId chunk_id, cost::ScanMode mode,
+                                       bool jit_warm) const {
+  if (!adaptive_engine_ || profile_ == nullptr ||
+      chunk_id >= chunk_plans_.size()) {
+    return requested;
+  }
+  const ChunkPlan& plan = chunk_plans_[chunk_id];
+  if (plan.impossible || plan.row_count == 0) return requested;
+  AdaptiveStats& stats = *adaptive_stats_;
+  if (!plan.compressed.empty() || plan.stages.empty()) {
+    // Compressed chunks run the engine-independent range path; stage-free
+    // chunks are a pure emit. Nothing to pick, but the chunk still counts
+    // toward the engine mix.
+    stats.chunk_engines[static_cast<size_t>(requested.engine)].fetch_add(
+        1, std::memory_order_relaxed);
+    return requested;
+  }
+  double requested_ns = EstimateChunkNanos(requested.engine, chunk_id, mode);
+  if (requested.engine == ScanEngine::kJit && !jit_warm) {
+    // Cold signature: a JIT pick pays its share of one compile spread over
+    // the scan's runnable chunks (each chunk decides independently, so the
+    // per-chunk share is the fair accounting).
+    requested_ns +=
+        profile_->jit_compile_millis * 1e6 /
+        static_cast<double>(std::max<size_t>(size_t{1}, runnable_chunks_));
+  }
+  // Candidates never upgrade the ISA: the SISD engines always qualify, and
+  // a kJit request may fall back to the best static fused kernel (the JIT
+  // targets the same instruction set the fused kernels use).
+  ScanEngine candidates[3];
+  size_t num_candidates = 0;
+  if (requested.engine == ScanEngine::kJit) {
+    candidates[num_candidates++] = RankingEngine();
+  }
+  candidates[num_candidates++] = ScanEngine::kSisdAutoVec;
+  candidates[num_candidates++] = ScanEngine::kSisdNoVec;
+  EngineChoice best = requested;
+  double best_ns = requested_ns;
+  for (size_t i = 0; i < num_candidates; ++i) {
+    if (!ScanEngineAvailable(candidates[i])) continue;
+    const double ns = EstimateChunkNanos(candidates[i], chunk_id, mode);
+    if (ns < best_ns) {
+      best = EngineChoice{candidates[i], 0};
+      best_ns = ns;
+    }
+  }
+  // Hysteresis: stay on the requested engine unless the winner is
+  // predicted at least 1.25x faster — estimates carry error, and the
+  // requested engine is usually the globally sensible one.
+  if (!(best == requested) && requested_ns < best_ns * 1.25) {
+    best = requested;
+  }
+  if (!(best == requested)) {
+    stats.engine_switches.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats.chunk_engines[static_cast<size_t>(best.engine)].fetch_add(
+      1, std::memory_order_relaxed);
+  return best;
+}
+
+double TableScanner::EstimateChunkNanos(ScanEngine engine, ChunkId chunk_id,
+                                        cost::ScanMode mode) const {
+  if (profile_ == nullptr || chunk_id >= chunk_plans_.size()) return 0.0;
+  const ChunkPlan& plan = chunk_plans_[chunk_id];
+  if (plan.impossible || plan.row_count == 0) return 0.0;
+  const double rows = static_cast<double>(plan.row_count);
+  const cost::EngineCostConstants& sisd =
+      profile_->For(ScanEngine::kSisdAutoVec);
+  if (!plan.compressed.empty()) {
+    // Range path: classify every run / block once, prefix-reconstruct the
+    // undecided delta blocks, then refine the surviving candidates with
+    // the kernel stages row-wise (the compressed executor evaluates those
+    // scalar, so SISD constants price them) and emit the matches.
+    double ns = 0.0;
+    double prefix = 1.0;
+    for (size_t i = 0; i < plan.compressed.size(); ++i) {
+      if (i < plan.compressed_cost.size()) {
+        const ChunkPlan::CompressedCostInput& input = plan.compressed_cost[i];
+        ns += static_cast<double>(input.units) *
+              (input.is_delta ? profile_->delta_block_ns
+                              : profile_->rle_run_ns);
+        ns += static_cast<double>(input.decode_rows) * profile_->delta_row_ns;
+      }
+      prefix *= i < plan.compressed_sel.size() ? plan.compressed_sel[i] : 0.5;
+    }
+    for (size_t s = 0; s < plan.stages.size(); ++s) {
+      ns += rows * prefix *
+            sisd.rest_ns[static_cast<size_t>(EncClassOf(plan.stages[s]))];
+      prefix *= s < plan.stage_sel.size() ? plan.stage_sel[s] : 0.5;
+    }
+    // Matches leave as `out[count++] = row` range expansion, not as a
+    // kernel's match store — priced by its own calibrated constant.
+    ns += rows * prefix * profile_->compressed_emit_ns;
+    return ns;
+  }
+  if (plan.stages.empty()) {
+    // Every row matches: the chunk is a pure position emit (iota).
+    return rows * profile_->compressed_emit_ns;
+  }
+  std::vector<cost::StageCost> stages;
+  stages.reserve(plan.stages.size());
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    stages.push_back(
+        {EncClassOf(plan.stages[s]),
+         s < plan.stage_sel.size() ? plan.stage_sel[s] : 0.5});
+  }
+  return cost::ChainCostNs(*profile_, engine, stages, rows, mode);
+}
+
+double TableScanner::EstimateScanNanos(ScanEngine engine,
+                                       cost::ScanMode mode) const {
+  double total = 0.0;
+  for (ChunkId chunk_id = 0; chunk_id < chunk_plans_.size(); ++chunk_id) {
+    total += EstimateChunkNanos(engine, chunk_id, mode);
   }
   return total;
 }
@@ -880,6 +1167,21 @@ void FillCompressedReport(const TableScanner& scanner,
       stats.delta_blocks_pruned.load(std::memory_order_relaxed);
   report->delta_blocks_decoded =
       stats.delta_blocks_decoded.load(std::memory_order_relaxed);
+}
+
+void FillAdaptiveReport(const TableScanner& scanner,
+                        ExecutionReport* report) {
+  report->model_active = scanner.model_active();
+  report->adaptive_engines = scanner.adaptive();
+  report->chunks_reordered = scanner.chunks_reordered();
+  report->est_rows = scanner.est_rows();
+  const TableScanner::AdaptiveStats& stats = *scanner.adaptive_stats();
+  report->adaptive_engine_switches =
+      stats.engine_switches.load(std::memory_order_relaxed);
+  for (size_t e = 0; e < cost::kNumEngines; ++e) {
+    report->adaptive_chunk_engines[e] =
+        stats.chunk_engines[e].load(std::memory_order_relaxed);
+  }
 }
 
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

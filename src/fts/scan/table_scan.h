@@ -2,10 +2,13 @@
 #define FTS_SCAN_TABLE_SCAN_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "fts/common/status.h"
+#include "fts/cost/cost_model.h"
+#include "fts/cost/cost_profile.h"
 #include "fts/scan/compressed_scan.h"
 #include "fts/scan/scan_engine.h"
 #include "fts/scan/scan_spec.h"
@@ -30,7 +33,35 @@ class TableScanner {
   struct ChunkPlan {
     // Kernel stages for this chunk, after dropping always-true predicates.
     // Empty + compressed empty + !impossible => every row matches.
+    // When the cost model is active (FTS_ADAPTIVE, default on) the stages
+    // are re-ranked cheapest-effective-first per chunk — ascending
+    // cost/(1 - selectivity) from this chunk's zone-map estimates — which
+    // is result-invariant for a conjunction.
     std::vector<ScanStage> stages;
+    // Estimated per-stage selectivities, parallel to `stages` (and kept
+    // in re-ranked order). From zone-map/code-space bounds under the
+    // uniform assumption; 0.5 when no bounds exist.
+    std::vector<double> stage_sel;
+    // Estimated selectivities of the compressed-domain stages, parallel
+    // to `compressed`.
+    std::vector<double> compressed_sel;
+    // Cost-model inputs for the compressed stages (parallel to
+    // `compressed`, filled only while the model is active): the run/block
+    // unit count the range path touches, and for delta stages the rows in
+    // blocks whose min/max cannot decide the predicate (those get
+    // prefix-reconstructed).
+    struct CompressedCostInput {
+      uint64_t units = 0;
+      uint64_t decode_rows = 0;
+      bool is_delta = false;
+    };
+    std::vector<CompressedCostInput> compressed_cost;
+    // Expected matches of the whole conjunction (independence assumption;
+    // 0 for impossible chunks).
+    double est_matches = 0.0;
+    // True when re-ranking changed this chunk's stage order relative to
+    // the spec's predicate order.
+    bool reordered = false;
     // Predicates over RLE/delta columns, evaluated in the compressed
     // domain (fts/scan/compressed_scan.h). When non-empty, every engine
     // routes the chunk through ExecuteCompressedChunk: the compressed
@@ -152,6 +183,50 @@ class TableScanner {
   // budget; the parallel executor reads it for its morsel boundaries.
   QueryContext* context() const { return context_; }
 
+  // ---- Calibrated cost model (fts/cost, DESIGN.md §14) ----
+
+  // Execution-time adaptive accounting, shared across the concurrent
+  // morsel executions of one scan (same ownership story as
+  // AtomicCompressedStats).
+  struct AdaptiveStats {
+    std::atomic<uint64_t> engine_switches{0};
+    // Chunks executed per engine while engine adaptation was active,
+    // indexed by static_cast<size_t>(ScanEngine).
+    std::array<std::atomic<uint64_t>, cost::kNumEngines> chunk_engines{};
+  };
+
+  // True when FTS_ADAPTIVE left the model on at Prepare (chains were
+  // re-rank-eligible and estimates were computed).
+  bool model_active() const { return model_active_; }
+  // True when per-chunk engine adaptation is allowed (spec.adaptive and
+  // the model is active).
+  bool adaptive() const { return adaptive_engine_; }
+  size_t chunks_reordered() const { return chunks_reordered_; }
+  // Model-estimated total matches across non-pruned chunks.
+  double est_rows() const { return est_rows_; }
+  const std::shared_ptr<AdaptiveStats>& adaptive_stats() const {
+    return adaptive_stats_;
+  }
+
+  // Picks the engine for one chunk: the cheapest candidate at or below
+  // `requested` (never an ISA upgrade), keeping `requested` unless a
+  // candidate is predicted at least 1.25x faster. Returns `requested`
+  // unchanged when adaptation is off, the chunk runs in the compressed
+  // domain (engine-independent there), or the chunk has no stages.
+  // `jit_warm` tells the model the chunk's chain signature is already
+  // compiled, zeroing the amortized compile cost a kJit request
+  // otherwise pays. Records the decision in adaptive_stats().
+  EngineChoice AdaptEngine(const EngineChoice& requested, ChunkId chunk_id,
+                           cost::ScanMode mode, bool jit_warm = false) const;
+
+  // Predicted execution cost of one chunk / the whole scan on `engine`,
+  // from the calibrated constants and the per-chunk estimates. Compressed
+  // chunks price the run/block range path; kJit adds nothing for compile
+  // (callers amortize it themselves if relevant).
+  double EstimateChunkNanos(ScanEngine engine, ChunkId chunk_id,
+                            cost::ScanMode mode) const;
+  double EstimateScanNanos(ScanEngine engine, cost::ScanMode mode) const;
+
  private:
   TableScanner(TablePtr table, std::vector<ChunkPlan> chunk_plans,
                PruningSummary pruning, size_t num_agg_terms,
@@ -177,6 +252,17 @@ class TableScanner {
   bool has_compressed_stages_ = false;
   std::shared_ptr<AtomicCompressedStats> compressed_stats_ =
       std::make_shared<AtomicCompressedStats>();
+  // Cost model state (set by Prepare). `profile_` points at one of the
+  // process-lifetime profiles in fts/cost — the calibrated one when
+  // engine adaptation is on, the static default table otherwise.
+  const cost::CostProfile* profile_ = nullptr;
+  bool model_active_ = false;
+  bool adaptive_engine_ = false;
+  size_t chunks_reordered_ = 0;
+  size_t runnable_chunks_ = 0;
+  double est_rows_ = 0.0;
+  std::shared_ptr<AdaptiveStats> adaptive_stats_ =
+      std::make_shared<AdaptiveStats>();
 };
 
 // Copies the scanner's PruningSummary into the report's zone-map fields.
@@ -191,6 +277,14 @@ void FillPruningReport(const TableScanner& scanner, ExecutionReport* report);
 // executions so run/block counters reflect the finished scan.
 void FillCompressedReport(const TableScanner& scanner,
                           ExecutionReport* report);
+
+// Copies the scanner's cost-model state (model on/off, chunks re-ranked,
+// estimated rows, per-chunk engine mix, switch count) into the report.
+// Assignment semantics like FillCompressedReport; called wherever
+// FillPruningReport is, plus at end of execution so the engine-mix
+// counters reflect the finished scan.
+void FillAdaptiveReport(const TableScanner& scanner,
+                        ExecutionReport* report);
 
 // Convenience wrapper: Prepare + Execute.
 StatusOr<TableMatches> ExecuteScan(TablePtr table, const ScanSpec& spec,

@@ -1,0 +1,416 @@
+// Calibrated cost model (fts/cost, DESIGN.md §14): profile round-trip and
+// version invalidation, selectivity estimation, chain-cost monotonicity,
+// and the per-chunk behaviors the model drives inside TableScanner —
+// re-ranking on adversarial skew and engine adaptation that never changes
+// results.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fts/common/cpu_info.h"
+#include "fts/cost/cost_model.h"
+#include "fts/cost/cost_profile.h"
+#include "fts/scan/table_scan.h"
+#include "fts/storage/table_builder.h"
+
+namespace fts {
+namespace {
+
+using cost::CostProfile;
+
+// Calibration is process-lifetime (CalibratedProfile() measures once);
+// force the fast mode before any test can trigger it so the suite stays
+// quick under TSan too.
+const bool kFastCalibration = [] {
+  setenv("FTS_CALIBRATE_FAST", "1", 1);
+  return true;
+}();
+
+// Toggles FTS_ADAPTIVE for the duration of a scope. Prepare() reads the
+// switch once, so a scanner prepared inside the scope keeps its behavior
+// after restore.
+class ScopedAdaptive {
+ public:
+  explicit ScopedAdaptive(bool on) {
+    setenv("FTS_ADAPTIVE", on ? "1" : "0", 1);
+  }
+  ~ScopedAdaptive() { unsetenv("FTS_ADAPTIVE"); }
+};
+
+TEST(CostProfileTest, SerializeParseRoundTrip) {
+  CostProfile profile = CostProfile::Defaults();
+  profile.calibrated = true;
+  profile.rle_run_ns = 7.25;
+  profile.delta_block_ns = 19.5;
+  profile.delta_row_ns = 2.125;
+  profile.jit_speed_factor = 0.75;
+  profile.jit_compile_millis = 42.5;
+
+  const auto parsed = CostProfile::Parse(profile.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->version, CostProfile::kVersion);
+  EXPECT_EQ(parsed->cpu, profile.cpu);
+  EXPECT_TRUE(parsed->calibrated);
+  EXPECT_DOUBLE_EQ(parsed->rle_run_ns, profile.rle_run_ns);
+  EXPECT_DOUBLE_EQ(parsed->delta_block_ns, profile.delta_block_ns);
+  EXPECT_DOUBLE_EQ(parsed->delta_row_ns, profile.delta_row_ns);
+  EXPECT_DOUBLE_EQ(parsed->jit_speed_factor, profile.jit_speed_factor);
+  EXPECT_DOUBLE_EQ(parsed->jit_compile_millis, profile.jit_compile_millis);
+  for (size_t i = 0; i < cost::kNumEngines; ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(parsed->engines[i].available, profile.engines[i].available);
+    if (!profile.engines[i].available) continue;
+    for (size_t e = 0; e < cost::kNumEncClasses; ++e) {
+      EXPECT_DOUBLE_EQ(parsed->engines[i].first_ns[e],
+                       profile.engines[i].first_ns[e]);
+      EXPECT_DOUBLE_EQ(parsed->engines[i].rest_ns[e],
+                       profile.engines[i].rest_ns[e]);
+    }
+    EXPECT_DOUBLE_EQ(parsed->engines[i].emit_ns, profile.engines[i].emit_ns);
+  }
+}
+
+TEST(CostProfileTest, ParseRejectsVersionMismatch) {
+  std::string text = CostProfile::Defaults().Serialize();
+  const std::string header = "fts-cost-profile v1";
+  ASSERT_EQ(text.compare(0, header.size(), header), 0);
+  text.replace(0, header.size(), "fts-cost-profile v2");
+  EXPECT_FALSE(CostProfile::Parse(text).ok());
+}
+
+TEST(CostProfileTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(CostProfile::Parse("").ok());
+  EXPECT_FALSE(CostProfile::Parse("not a profile\n").ok());
+  EXPECT_FALSE(
+      CostProfile::Parse("fts-cost-profile v1\nbogus_key 3\n").ok());
+  EXPECT_FALSE(
+      CostProfile::Parse("fts-cost-profile v1\nengine warp-drive first\n")
+          .ok());
+  EXPECT_FALSE(CostProfile::Parse(
+                   "fts-cost-profile v1\nengine scalar-fused first 1 2\n")
+                   .ok());
+}
+
+TEST(CostProfileTest, FastCalibrationMeasuresThisMachine) {
+  // Direct Calibrate() (not the cached CalibratedProfile()) so the test
+  // owns its run; FTS_CALIBRATE_FAST was pinned above.
+  const CostProfile profile = CostProfile::Calibrate();
+  EXPECT_TRUE(profile.calibrated);
+  EXPECT_EQ(profile.cpu, GetCpuFeatures().ToString());
+  // The portable engines are always measurable; their constants must come
+  // out positive in every encoding class.
+  for (const ScanEngine engine :
+       {ScanEngine::kSisdNoVec, ScanEngine::kSisdAutoVec,
+        ScanEngine::kScalarFused}) {
+    const cost::EngineCostConstants& e = profile.For(engine);
+    ASSERT_TRUE(e.available) << ScanEngineToString(engine);
+    for (size_t c = 0; c < cost::kNumEncClasses; ++c) {
+      EXPECT_GT(e.first_ns[c], 0.0) << ScanEngineToString(engine);
+      EXPECT_GT(e.rest_ns[c], 0.0) << ScanEngineToString(engine);
+    }
+  }
+  // JIT constants derive from the best measured fused engine.
+  EXPECT_TRUE(profile.For(ScanEngine::kJit).available);
+  EXPECT_FALSE(profile.For(ScanEngine::kBlockwise).available);
+  EXPECT_GT(profile.rle_run_ns, 0.0);
+  EXPECT_GT(profile.delta_block_ns, 0.0);
+  EXPECT_GT(profile.delta_row_ns, 0.0);
+  // And the measurement round-trips through the on-disk format.
+  const auto parsed = CostProfile::Parse(profile.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->calibrated);
+  EXPECT_EQ(parsed->cpu, profile.cpu);
+}
+
+TEST(CostModelTest, UniformSelectivityEndpoints) {
+  using cost::EstimateUniformSelectivity;
+  // Integral [0, 9]: ten distinct values.
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(0, 9, CompareOp::kEq, 4), 0.1);
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(0, 9, CompareOp::kLt, 5), 0.5);
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(0, 9, CompareOp::kLe, 9), 1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(0, 9, CompareOp::kGt, 9), 0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(0, 9, CompareOp::kGe, 0), 1.0);
+  // Out-of-range literals decide the predicate outright.
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(0, 9, CompareOp::kEq, 100), 0.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(0, 9, CompareOp::kNe, 100), 1.0);
+  // Degenerate bounds estimate nothing.
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<int32_t>(5, 4, CompareOp::kLt, 5), 0.5);
+  // Floating domains: kEq is a nominal sliver, ranges are proportional.
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<double>(0.0, 10.0, CompareOp::kEq, 5.0),
+      0.001);
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<double>(0.0, 10.0, CompareOp::kLt, 2.5),
+      0.25);
+  EXPECT_DOUBLE_EQ(
+      EstimateUniformSelectivity<double>(0.0, 10.0, CompareOp::kGe, 12.0),
+      0.0);
+}
+
+TEST(CostModelTest, ChainCostMonotonicInSelectivityAndRows) {
+  const CostProfile& profile = cost::DefaultProfile();
+  const auto chain = [](double first_sel) {
+    return std::vector<cost::StageCost>{
+        {cost::EncClass::kPlain32, first_sel},
+        {cost::EncClass::kPlain32, 0.5}};
+  };
+  double previous = -1.0;
+  for (const double sel : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    const double cost_ns =
+        cost::ChainCostNs(profile, ScanEngine::kScalarFused, chain(sel),
+                          1e6, cost::ScanMode::kMaterialize);
+    EXPECT_GT(cost_ns, previous) << "sel=" << sel;
+    previous = cost_ns;
+  }
+  const double small =
+      cost::ChainCostNs(profile, ScanEngine::kScalarFused, chain(0.5), 1e5,
+                        cost::ScanMode::kMaterialize);
+  const double large =
+      cost::ChainCostNs(profile, ScanEngine::kScalarFused, chain(0.5), 1e6,
+                        cost::ScanMode::kMaterialize);
+  EXPECT_GT(large, small);
+  EXPECT_NEAR(large / small, 10.0, 0.01);
+}
+
+TEST(CostModelTest, CountModeCreditsOnlySisdEngines) {
+  const CostProfile& profile = cost::DefaultProfile();
+  const std::vector<cost::StageCost> chain{{cost::EncClass::kPlain32, 0.9}};
+  // The SISD count loop materializes nothing: kCount must be strictly
+  // cheaper than kMaterialize. Fused engines materialize positions either
+  // way, so their two modes price identically.
+  EXPECT_LT(cost::ChainCostNs(profile, ScanEngine::kSisdNoVec, chain, 1e6,
+                              cost::ScanMode::kCount),
+            cost::ChainCostNs(profile, ScanEngine::kSisdNoVec, chain, 1e6,
+                              cost::ScanMode::kMaterialize));
+  EXPECT_DOUBLE_EQ(
+      cost::ChainCostNs(profile, ScanEngine::kScalarFused, chain, 1e6,
+                        cost::ScanMode::kCount),
+      cost::ChainCostNs(profile, ScanEngine::kScalarFused, chain, 1e6,
+                        cost::ScanMode::kMaterialize));
+}
+
+TEST(CostModelTest, StageRankPrefersSelectiveStages) {
+  const CostProfile& profile = cost::DefaultProfile();
+  // Same per-row cost: the stage that filters more ranks first.
+  EXPECT_LT(cost::StageRank(profile, ScanEngine::kScalarFused,
+                            cost::EncClass::kPlain32, 0.01),
+            cost::StageRank(profile, ScanEngine::kScalarFused,
+                            cost::EncClass::kPlain32, 0.9));
+  // A stage that filters nothing ranks (effectively) last regardless of
+  // how cheap it is.
+  EXPECT_GT(cost::StageRank(profile, ScanEngine::kScalarFused,
+                            cost::EncClass::kPlain32, 1.0),
+            cost::StageRank(profile, ScanEngine::kScalarFused,
+                            cost::EncClass::kPacked, 0.99));
+}
+
+// Two chunk types with opposite value distributions under one conjunction:
+// the per-chunk ranking must order each chunk's chain differently, and the
+// reordering must not change a single output position.
+class AdversarialSkewTest : public ::testing::Test {
+ protected:
+  static TablePtr BuildSkewTable() {
+    constexpr size_t kRowsPerChunk = 1024;
+    TableBuilder builder(
+        {{"c0", DataType::kInt32}, {"c1", DataType::kInt32}},
+        kRowsPerChunk);
+    // Chunk 0: c0 wide [0, 1000], c1 narrow [0, 10] -> under
+    // `c0 < 5 AND c1 < 5` the c0 stage is far more selective (~0.005 vs
+    // ~0.45) and must stay first. Chunk 1 swaps the columns, so the same
+    // conjunction must flip its order there.
+    for (size_t r = 0; r < kRowsPerChunk; ++r) {
+      FTS_CHECK(builder
+                    .AppendRow({Value(static_cast<int32_t>(r % 1001)),
+                                Value(static_cast<int32_t>(r % 11))})
+                    .ok());
+    }
+    for (size_t r = 0; r < kRowsPerChunk; ++r) {
+      FTS_CHECK(builder
+                    .AppendRow({Value(static_cast<int32_t>(r % 11)),
+                                Value(static_cast<int32_t>(r % 1001))})
+                    .ok());
+    }
+    return builder.Build();
+  }
+
+  static ScanSpec SkewSpec() {
+    ScanSpec spec;
+    spec.predicates = {{"c0", CompareOp::kLt, Value(int32_t{5})},
+                       {"c1", CompareOp::kLt, Value(int32_t{5})}};
+    return spec;
+  }
+};
+
+TEST_F(AdversarialSkewTest, PerChunkReorderFollowsZoneSelectivity) {
+  const TablePtr table = BuildSkewTable();
+  const ScanSpec spec = SkewSpec();
+
+  ScopedAdaptive adaptive(true);
+  const auto prepared = TableScanner::Prepare(table, spec);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->model_active());
+  ASSERT_EQ(prepared->chunk_plans().size(), 2u);
+
+  // Chunk 0 keeps the spec order (c0 already most selective); chunk 1
+  // flips to run its selective c1 stage first.
+  const TableScanner::ChunkPlan& keep = prepared->chunk_plans()[0];
+  const TableScanner::ChunkPlan& flip = prepared->chunk_plans()[1];
+  EXPECT_FALSE(keep.reordered);
+  EXPECT_TRUE(flip.reordered);
+  EXPECT_EQ(prepared->chunks_reordered(), 1u);
+  // In both chunks the executed-first stage is the selective one.
+  ASSERT_EQ(keep.stages.size(), 2u);
+  ASSERT_EQ(flip.stages.size(), 2u);
+  EXPECT_LT(keep.stage_sel[0], keep.stage_sel[1]);
+  EXPECT_LT(flip.stage_sel[0], flip.stage_sel[1]);
+  // The estimate sees the skew: ~5/1001 * ~5/11 of each chunk.
+  EXPECT_GT(prepared->est_rows(), 0.0);
+  EXPECT_LT(prepared->est_rows(), 100.0);
+
+  // Predicted cost is positive and finite for every available engine.
+  for (const ScanEngine engine :
+       {ScanEngine::kSisdNoVec, ScanEngine::kScalarFused}) {
+    const double ns =
+        prepared->EstimateScanNanos(engine, cost::ScanMode::kMaterialize);
+    EXPECT_GT(ns, 0.0) << ScanEngineToString(engine);
+  }
+}
+
+TEST_F(AdversarialSkewTest, ReorderedChainIsByteIdenticalToStatic) {
+  const TablePtr table = BuildSkewTable();
+  const ScanSpec spec = SkewSpec();
+
+  StatusOr<TableScanner> off = Status::Internal("unset");
+  StatusOr<TableScanner> on = Status::Internal("unset");
+  {
+    ScopedAdaptive adaptive(false);
+    off = TableScanner::Prepare(table, spec);
+  }
+  {
+    ScopedAdaptive adaptive(true);
+    on = TableScanner::Prepare(table, spec);
+  }
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(on.ok());
+  EXPECT_FALSE(off->model_active());
+  EXPECT_EQ(off->chunks_reordered(), 0u);
+
+  for (const ScanEngine engine :
+       {ScanEngine::kSisdNoVec, ScanEngine::kSisdAutoVec,
+        ScanEngine::kScalarFused, ScanEngine::kAvx2Fused128,
+        ScanEngine::kAvx512Fused512}) {
+    if (!ScanEngineAvailable(engine)) continue;
+    const auto static_matches = off->Execute(engine);
+    const auto ranked_matches = on->Execute(engine);
+    ASSERT_TRUE(static_matches.ok()) << ScanEngineToString(engine);
+    ASSERT_TRUE(ranked_matches.ok()) << ScanEngineToString(engine);
+    ASSERT_EQ(static_matches->chunks.size(), ranked_matches->chunks.size());
+    for (size_t i = 0; i < static_matches->chunks.size(); ++i) {
+      EXPECT_EQ(static_matches->chunks[i].positions,
+                ranked_matches->chunks[i].positions)
+          << ScanEngineToString(engine) << " chunk " << i;
+    }
+    const auto static_count = off->ExecuteCount(engine);
+    const auto ranked_count = on->ExecuteCount(engine);
+    ASSERT_TRUE(static_count.ok() && ranked_count.ok());
+    EXPECT_EQ(*static_count, *ranked_count) << ScanEngineToString(engine);
+  }
+}
+
+TEST_F(AdversarialSkewTest, AdaptiveEngineNeverChangesResults) {
+  const TablePtr table = BuildSkewTable();
+
+  ScanSpec pinned = SkewSpec();
+  ScanSpec adaptive_spec = SkewSpec();
+  adaptive_spec.adaptive = true;
+
+  ScopedAdaptive adaptive(true);
+  const auto pinned_scan = TableScanner::Prepare(table, pinned);
+  const auto adaptive_scan = TableScanner::Prepare(table, adaptive_spec);
+  ASSERT_TRUE(pinned_scan.ok());
+  ASSERT_TRUE(adaptive_scan.ok());
+  // An explicit engine request pins every chunk; only spec.adaptive frees
+  // the model to switch.
+  EXPECT_FALSE(pinned_scan->adaptive());
+  EXPECT_TRUE(adaptive_scan->adaptive());
+
+  const ScanEngine requested = ScanEngineAvailable(ScanEngine::kAvx512Fused512)
+                                   ? ScanEngine::kAvx512Fused512
+                                   : ScanEngine::kScalarFused;
+  // A pinned scanner's AdaptEngine is the identity.
+  for (ChunkId chunk = 0; chunk < table->chunk_count(); ++chunk) {
+    EXPECT_EQ(pinned_scan->AdaptEngine({requested, 0}, chunk,
+                                       cost::ScanMode::kMaterialize)
+                  .engine,
+              requested);
+  }
+  // The adaptive scanner may switch, but never upward past the request
+  // and never to an unavailable engine.
+  for (ChunkId chunk = 0; chunk < table->chunk_count(); ++chunk) {
+    const ScanEngine picked =
+        adaptive_scan
+            ->AdaptEngine({requested, 0}, chunk,
+                          cost::ScanMode::kMaterialize)
+            .engine;
+    EXPECT_TRUE(ScanEngineAvailable(picked)) << ScanEngineToString(picked);
+  }
+
+  // Every AdaptEngine call (including the probes above) records its
+  // decision; measure the execution's own contribution as a delta.
+  uint64_t before = 0;
+  for (const auto& counter : adaptive_scan->adaptive_stats()->chunk_engines) {
+    before += counter.load();
+  }
+
+  const auto pinned_matches = pinned_scan->Execute(requested);
+  const auto adaptive_matches = adaptive_scan->Execute(requested);
+  ASSERT_TRUE(pinned_matches.ok());
+  ASSERT_TRUE(adaptive_matches.ok());
+  ASSERT_EQ(pinned_matches->chunks.size(), adaptive_matches->chunks.size());
+  for (size_t i = 0; i < pinned_matches->chunks.size(); ++i) {
+    EXPECT_EQ(pinned_matches->chunks[i].positions,
+              adaptive_matches->chunks[i].positions)
+        << "chunk " << i;
+  }
+  // The decisions were recorded: every runnable chunk shows up in the
+  // engine mix exactly once per execution.
+  uint64_t after = 0;
+  for (const auto& counter : adaptive_scan->adaptive_stats()->chunk_engines) {
+    after += counter.load();
+  }
+  EXPECT_EQ(after - before, table->chunk_count());
+}
+
+TEST_F(AdversarialSkewTest, KillSwitchDisablesModelEntirely) {
+  const TablePtr table = BuildSkewTable();
+  ScanSpec spec = SkewSpec();
+  spec.adaptive = true;
+
+  ScopedAdaptive adaptive(false);
+  const auto prepared = TableScanner::Prepare(table, spec);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->model_active());
+  EXPECT_FALSE(prepared->adaptive());
+  EXPECT_EQ(prepared->chunks_reordered(), 0u);
+  for (const TableScanner::ChunkPlan& plan : prepared->chunk_plans()) {
+    EXPECT_FALSE(plan.reordered);
+  }
+  // With the model off AdaptEngine is the identity even for spec.adaptive.
+  EXPECT_EQ(prepared
+                ->AdaptEngine({ScanEngine::kScalarFused, 0}, 0,
+                              cost::ScanMode::kMaterialize)
+                .engine,
+            ScanEngine::kScalarFused);
+}
+
+}  // namespace
+}  // namespace fts

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <vector>
 
 #include "fts/common/cpu_info.h"
@@ -353,6 +354,74 @@ TEST_P(DifferentialTest, ParallelPathMatchesSisdReference) {
   }
 }
 
+// The cost model must be invisible in the output: the same fuzz case run
+// with FTS_ADAPTIVE=0 (no re-ranking, no engine adaptation) and with
+// FTS_ADAPTIVE=1 + spec.adaptive (chains re-ranked per chunk, engines
+// free to switch) returns byte-identical positions on the serial path and
+// on the morsel path at every thread count. AdaptiveEnabled() is re-read
+// per Prepare, so one process can prepare both variants.
+TEST_P(DifferentialTest, AdaptiveOnOffByteIdentical) {
+  const uint64_t seed = GetParam();
+  FuzzCase fuzz = MakeCase(seed);
+  fuzz.spec.adaptive = true;
+  // The first adaptive Prepare in the process calibrates; keep it short.
+  setenv("FTS_CALIBRATE_FAST", "1", 1);
+
+  setenv("FTS_ADAPTIVE", "0", 1);
+  const auto off = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  setenv("FTS_ADAPTIVE", "1", 1);
+  const auto on = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  unsetenv("FTS_ADAPTIVE");
+  ASSERT_EQ(off.ok(), on.ok()) << testing::ReplayCommand(kBinary, seed);
+  if (!off.ok()) return;
+  EXPECT_FALSE(off->model_active());
+  EXPECT_TRUE(on->model_active());
+  EXPECT_TRUE(on->adaptive());
+
+  const ScanEngine engines[] = {
+      ScanEngine::kSisdNoVec, ScanEngine::kScalarFused,
+      GetCpuFeatures().HasFusedScanAvx512() ? ScanEngine::kAvx512Fused512
+                                            : ScanEngine::kSisdAutoVec};
+  for (const ScanEngine engine : engines) {
+    const auto reference = off->Execute(engine);
+    ASSERT_TRUE(reference.ok()) << ScanEngineToString(engine) << "\n"
+                                << testing::ReplayCommand(kBinary, seed);
+    const auto adapted = on->Execute(engine);
+    ASSERT_TRUE(adapted.ok()) << ScanEngineToString(engine) << "\n"
+                              << testing::ReplayCommand(kBinary, seed);
+    ExpectSameMatches(*reference, *adapted,
+                      StrFormat("adaptive(%s)", ScanEngineToString(engine)),
+                      seed, fuzz.spec);
+    const auto reference_count = off->ExecuteCount(engine);
+    const auto adapted_count = on->ExecuteCount(engine);
+    ASSERT_TRUE(reference_count.ok() && adapted_count.ok());
+    EXPECT_EQ(*reference_count, *adapted_count)
+        << ScanEngineToString(engine) << " "
+        << testing::ReplayCommand(kBinary, seed);
+
+    for (const int threads : {1, 2, 4}) {
+      ParallelScanOptions options;
+      options.requested = {engine, 0};
+      options.threads = threads;
+      ExecutionReport report;
+      const auto parallel = ExecuteParallelScan(*on, options, &report);
+      ASSERT_TRUE(parallel.ok())
+          << parallel.status().ToString() << "\n"
+          << testing::ReplayCommand(kBinary, seed);
+      ExpectSameMatches(
+          *reference, *parallel,
+          StrFormat("adaptive-parallel(%s, threads=%d)",
+                    ScanEngineToString(engine), threads),
+          seed, fuzz.spec);
+      // A model-driven engine switch is not a failure demotion.
+      EXPECT_FALSE(report.degraded)
+          << ScanEngineToString(engine) << " threads=" << threads << "\n"
+          << testing::ReplayCommand(kBinary, seed);
+      EXPECT_TRUE(report.model_active);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::ValuesIn(testing::SeedRange(1, 49)));
 
@@ -482,6 +551,48 @@ TEST_P(JitDifferentialTest, JitEnginesMatchSisdReference) {
     EXPECT_EQ(report.degraded, !JitCompilesEveryRunnableChunk(*prepared))
         << report.ToString() << "\n"
         << testing::ReplayCommand(kBinary, seed);
+  }
+}
+
+// Same adaptive on/off identity for the JIT rung: the model may route
+// individual chunks to cheaper engines (or skip a compile it predicts
+// will not amortize), but the merged output must not move.
+TEST_P(JitDifferentialTest, AdaptiveOnOffByteIdenticalUnderJit) {
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "JIT-compiled code is not TSan-instrumented";
+#endif
+  if (!GetCpuFeatures().HasFusedScanAvx512()) {
+    GTEST_SKIP() << "AVX-512 not available";
+  }
+  const uint64_t seed = GetParam();
+  FuzzCase fuzz = MakeCase(seed);
+  fuzz.spec.adaptive = true;
+  setenv("FTS_CALIBRATE_FAST", "1", 1);
+
+  setenv("FTS_ADAPTIVE", "0", 1);
+  const auto off = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  setenv("FTS_ADAPTIVE", "1", 1);
+  const auto on = TableScanner::Prepare(fuzz.table, fuzz.spec);
+  unsetenv("FTS_ADAPTIVE");
+  ASSERT_EQ(off.ok(), on.ok());
+  if (!off.ok()) return;
+
+  const auto reference = off->Execute(ScanEngine::kSisdNoVec);
+  ASSERT_TRUE(reference.ok());
+
+  for (const int threads : {1, 2, 4}) {
+    ParallelScanOptions options;
+    options.requested = {ScanEngine::kJit, 512};
+    options.threads = threads;
+    ExecutionReport report;
+    const auto adapted = ExecuteParallelScan(*on, options, &report);
+    ASSERT_TRUE(adapted.ok()) << adapted.status().ToString() << "\n"
+                              << testing::ReplayCommand(kBinary, seed);
+    ExpectSameMatches(*reference, *adapted,
+                      StrFormat("adaptive-parallel(jit512, threads=%d)",
+                                threads),
+                      seed, fuzz.spec);
+    EXPECT_TRUE(report.model_active);
   }
 }
 

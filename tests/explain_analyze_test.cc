@@ -1,6 +1,7 @@
 // Tests for EXPLAIN / EXPLAIN ANALYZE: parser flags, plan-only routing,
 // and the annotated plan's agreement with the query's ExecutionReport.
 
+#include <cstdlib>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -12,6 +13,13 @@
 
 namespace fts {
 namespace {
+
+// Queries without an explicit engine run adaptively, and the first one in
+// the process calibrates the cost model; keep that run short.
+const bool kFastCalibration = [] {
+  setenv("FTS_CALIBRATE_FAST", "1", 1);
+  return true;
+}();
 
 class ExplainAnalyzeTest : public ::testing::Test {
  protected:
@@ -116,6 +124,50 @@ TEST_F(ExplainAnalyzeTest, AnalyzeExecutesAndAnnotates) {
   ASSERT_FALSE(report.stages.empty());
   EXPECT_EQ(report.stages.front().rows_in, report.rows_scanned);
   EXPECT_EQ(report.stages.back().rows_out, *result->count);
+}
+
+TEST_F(ExplainAnalyzeTest, AnalyzeShowsEstimatedVersusActualRows) {
+  const auto result = db_.Query(
+      "EXPLAIN ANALYZE SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ExecutionReport& report = result->execution_report;
+  const std::string& text = result->explain_text;
+
+  // No explicit engine in the options: the cost model is active and the
+  // model may adapt engines per chunk.
+  ASSERT_TRUE(report.model_active) << text;
+  EXPECT_TRUE(report.adaptive_engines) << text;
+
+  // Every executed stage renders estimated next to actual rows...
+  ASSERT_FALSE(report.stages.empty());
+  EXPECT_TRUE(report.stages.front().has_estimate);
+  EXPECT_NE(text.find(StrFormat(" (est out=%.0f)",
+                                report.stages.front().est_rows_out)),
+            std::string::npos)
+      << text;
+  // ... and the CostModel line carries the whole-scan estimate beside the
+  // measured match count.
+  EXPECT_NE(text.find("CostModel: on"), std::string::npos) << text;
+  EXPECT_NE(text.find(StrFormat(
+                "est rows=%.0f actual=%llu", report.est_rows,
+                static_cast<unsigned long long>(report.rows_matched))),
+            std::string::npos)
+      << text;
+  // The estimate is a real number, not a placeholder.
+  EXPECT_GT(report.est_rows, 0.0);
+}
+
+TEST_F(ExplainAnalyzeTest, KillSwitchRendersCostModelOff) {
+  setenv("FTS_ADAPTIVE", "0", 1);
+  const auto result = db_.Query(
+      "EXPLAIN ANALYZE SELECT COUNT(*) FROM tbl WHERE c0 = 5 AND c1 = 2");
+  unsetenv("FTS_ADAPTIVE");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->execution_report.model_active);
+  EXPECT_NE(result->explain_text.find("CostModel: off"), std::string::npos)
+      << result->explain_text;
+  // The kill switch changes the annotation, never the answer.
+  EXPECT_EQ(*result->count, generated_.stage_matches.back());
 }
 
 TEST_F(ExplainAnalyzeTest, PlainQueryCollectsNoCounters) {
