@@ -21,6 +21,7 @@
 //                               Ctrl-C cancels the in-flight query
 //   \timing on|off              toggle per-query wall-clock reporting
 //   \metrics                    dump the process metrics registry
+//   \queries [N]                last N entries of the always-on query log
 //   \trace on FILE | \trace off record spans, write Chrome trace JSON
 //   \help                       this text
 //   \quit
@@ -42,6 +43,7 @@
 #include "fts/db/database.h"
 #include "fts/exec/timer_wheel.h"
 #include "fts/obs/metrics.h"
+#include "fts/obs/query_log.h"
 #include "fts/obs/trace.h"
 #include "fts/storage/bitpacked_column.h"
 #include "fts/storage/csv_loader.h"
@@ -77,6 +79,7 @@ constexpr char kHelp[] =
     "                             in-flight query\n"
     "  \\timing on|off             toggle timing output\n"
     "  \\metrics                   dump the process metrics registry\n"
+    "  \\queries [N]               last N logged queries (default 10)\n"
     "  \\trace on FILE             start recording trace spans\n"
     "  \\trace off                 stop, write Chrome trace JSON to FILE\n"
     "  \\help                      show this help\n"
@@ -466,6 +469,35 @@ void RunCommand(ShellState& state, const std::string& line) {
   if (command == "\\metrics") {
     std::fputs(fts::obs::MetricsRegistry::Global().RenderPrometheus().c_str(),
                stdout);
+    return;
+  }
+  if (command == "\\queries") {
+    size_t max_entries = 10;
+    if (std::string arg; in >> arg) {
+      max_entries = static_cast<size_t>(std::strtoull(arg.c_str(), nullptr, 10));
+    }
+    const auto entries = fts::obs::QueryLog::Global().Snapshot(max_entries);
+    if (entries.empty()) {
+      std::printf("query log is empty (%llu recorded)\n",
+                  static_cast<unsigned long long>(
+                      fts::obs::QueryLog::Global().total_recorded()));
+      return;
+    }
+    std::printf("%-6s %-9s %-12s %10s %10s %8s  %s\n", "id", "status",
+                "engine", "ms", "rows", "workers", "digest");
+    for (const auto& entry : entries) {
+      std::printf("%-6llu %-9s %-12s %10.3f %10llu %8d  %s\n",
+                  static_cast<unsigned long long>(entry.id),
+                  entry.status.c_str(), entry.engine.c_str(),
+                  entry.total_millis,
+                  static_cast<unsigned long long>(entry.rows_matched),
+                  entry.worker_count, entry.digest.c_str());
+    }
+    std::printf("(%zu shown of %llu recorded; ring capacity %zu)\n",
+                entries.size(),
+                static_cast<unsigned long long>(
+                    fts::obs::QueryLog::Global().total_recorded()),
+                fts::obs::QueryLog::Global().capacity());
     return;
   }
   if (command == "\\trace") {

@@ -1,5 +1,8 @@
 #include "fts/db/database.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "fts/common/cpu_info.h"
 #include "fts/common/env.h"
 #include "fts/common/string_util.h"
@@ -7,6 +10,7 @@
 #include "fts/exec/admission.h"
 #include "fts/exec/timer_wheel.h"
 #include "fts/obs/metrics.h"
+#include "fts/obs/query_log.h"
 #include "fts/obs/trace.h"
 #include "fts/plan/lqp.h"
 #include "fts/plan/optimizer.h"
@@ -14,6 +18,83 @@
 #include "fts/sql/parser.h"
 
 namespace fts {
+namespace {
+
+// Per-engine cost-model drift histograms for the query log
+// (`fts_cost_est_error_permille{engine="..."}`): |est - actual| relative
+// error in permille, recorded on every model-active query so dashboards
+// see calibration drift before adaptive choices go bad. Resolved once,
+// like EngineExecutionCounter.
+obs::Histogram* CostEstErrorHistogram(ScanEngine engine) {
+  static obs::Histogram* const* histograms = [] {
+    static obs::Histogram* table[9];
+    for (int i = 0; i < 9; ++i) {
+      const auto e = static_cast<ScanEngine>(i);
+      table[i] = obs::MetricsRegistry::Global().GetHistogram(
+          StrFormat("fts_cost_est_error_permille{engine=\"%s\"}",
+                    ScanEngineLabel(e)),
+          "Cost-model row-estimate error per executed engine, in permille");
+    }
+    return table;
+  }();
+  const auto index = static_cast<size_t>(engine);
+  return histograms[index < 9 ? index : 0];
+}
+
+// Terminal outcome label for the query log.
+const char* QueryStatusLabel(const Status& status) {
+  if (status.ok()) return "ok";
+  switch (status.code()) {
+    case StatusCode::kQueryCanceled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline";
+    case StatusCode::kAdmissionRejected:
+      return "rejected";
+    default:
+      return "error";
+  }
+}
+
+// Records one finished query (success or failure) in the always-on query
+// log and feeds the cost-model drift histogram. `report` may be null when
+// the query failed before execution produced one.
+void RecordQueryStats(const std::string& sql, const Status& status,
+                      const ExecutionReport* report, double total_millis) {
+  if (!obs::ObsEnabled()) return;
+  obs::QueryLogEntry entry;
+  entry.digest = obs::SqlDigest(sql);
+  entry.status = QueryStatusLabel(status);
+  entry.total_millis = total_millis;
+  if (report != nullptr) {
+    entry.engine = ScanEngineLabel(report->executed.engine);
+    entry.counter_source = CounterSourceToString(report->counters.source);
+    entry.scan_millis = report->scan_millis;
+    entry.jit_compile_millis = report->jit_compile_millis;
+    entry.queue_wait_millis = report->queue_wait_millis;
+    entry.rows_scanned = report->rows_scanned;
+    entry.rows_matched = report->rows_matched;
+    entry.worker_count = report->worker_count;
+    entry.morsel_count = report->morsel_count;
+    entry.chunks_total = report->chunks_total;
+    entry.chunks_pruned = report->chunks_pruned;
+    entry.degraded = report->degraded;
+    entry.aggregate_pushdown = report->aggregate_pushdown;
+    entry.model_active = report->model_active;
+    if (report->model_active && status.ok()) {
+      const double actual = static_cast<double>(report->rows_matched);
+      const double error =
+          1000.0 * std::abs(report->est_rows - actual) /
+          std::max(actual, 1.0);
+      entry.est_error_permille = static_cast<int64_t>(error);
+      CostEstErrorHistogram(report->executed.engine)
+          ->Record(static_cast<uint64_t>(error));
+    }
+  }
+  obs::QueryLog::Global().Record(std::move(entry));
+}
+
+}  // namespace
 
 Status Database::RegisterTable(const std::string& name, TablePtr table) {
   if (table == nullptr) return Status::InvalidArgument("null table");
@@ -166,6 +247,7 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
       AdmissionController::Global().Admit(ctx.get());
   if (!ticket.ok()) {
     count_failure(ticket.status());
+    RecordQueryStats(sql, ticket.status(), nullptr, timer.ElapsedMillis());
     return ticket.status();
   }
 
@@ -196,6 +278,7 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
       Plan(statement, options, ctx.get(), nullptr);
   if (!planned.ok()) {
     count_failure(planned.status());
+    RecordQueryStats(sql, planned.status(), nullptr, timer.ElapsedMillis());
     return planned.status();
   }
   PhysicalPlan plan = std::move(planned).value();
@@ -204,6 +287,7 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
   StatusOr<QueryResult> executed = ExecutePlan(plan);
   if (!executed.ok()) {
     count_failure(executed.status());
+    RecordQueryStats(sql, executed.status(), nullptr, timer.ElapsedMillis());
     return executed.status();
   }
   QueryResult result = std::move(executed).value();
@@ -222,6 +306,7 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
   }
   obs::Metrics().query_micros->Record(
       static_cast<uint64_t>(timer.ElapsedMicros()));
+  RecordQueryStats(sql, Status::Ok(), &report, timer.ElapsedMillis());
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include "fts/jit/jit_scan_engine.h"
 #include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
+#include "fts/perf/counter_attribution.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -34,6 +35,11 @@ struct MorselOutcome {
   std::vector<AggAccumulator> aggs;  // Aggregate mode: per-term partials.
   // JIT cache/compile attribution for this morsel's ladder walk.
   JitChunkStats jit;
+  // PMU delta for this morsel's ladder walk on its executing worker
+  // (invalid when collection was off or the worker's PMU never opened),
+  // plus the worker's trace rank for distinct-thread coverage accounting.
+  CounterDelta counters;
+  int64_t thread_rank = -1;
 };
 
 std::vector<EngineChoice> RungsFor(const ParallelScanOptions& options) {
@@ -50,7 +56,8 @@ std::vector<EngineChoice> RungsFor(const ParallelScanOptions& options) {
 // precompiled rungs instead of burning a compile attempt per width.
 void RunMorsel(const TableScanner& scanner, JitCache& cache,
                const std::vector<EngineChoice>& rungs, MorselMode mode,
-               ChunkId chunk_id, QueryContext* ctx, MorselOutcome* out) {
+               ChunkId chunk_id, QueryContext* ctx, bool collect_counters,
+               MorselOutcome* out) {
   const TableScanner::ChunkPlan& plan = scanner.chunk_plans()[chunk_id];
   // Morsel boundary = cancellation point. A canceled morsel is discarded
   // before any rung runs; its outcome slot records the abort so the merge
@@ -115,6 +122,15 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
     }
   }
 
+  // Measured region = the ladder walk on this worker (kernel work plus
+  // any JIT compile a rung triggers; compile wall time stays separately
+  // attributed via JitChunkStats). perf_event fds are per-thread, so this
+  // region runs on the worker's own cached counter group — the per-worker
+  // attribution the old calling-thread-only scope could not see.
+  CounterRegion region(collect_counters);
+  if (collect_counters) {
+    out->thread_rank = static_cast<int64_t>(obs::CurrentThreadRank());
+  }
   bool jit_unavailable = false;
   Status jit_unavailable_status;
   for (size_t r = 0; r < walk_rungs->size(); ++r) {
@@ -195,6 +211,7 @@ void RunMorsel(const TableScanner& scanner, JitCache& cache,
       out->adapted = adapted_first && r == 0;
       out->rung_index = adapted_first ? (r == 0 ? 0 : r - 1) : r;
       out->ok = true;
+      out->counters = region.Finish();
       if (span.active()) {
         span.AddArg("engine", choice.ToString());
         span.AddArg("matches", mode == MorselMode::kMaterialize
@@ -263,7 +280,8 @@ Status RunMorsels(const TableScanner& scanner,
 
   const auto run_morsel = [&](size_t index) {
     const ChunkId chunk = runnable[index];
-    RunMorsel(scanner, cache, rungs, mode, chunk, ctx, &(*outcomes)[chunk]);
+    RunMorsel(scanner, cache, rungs, mode, chunk, ctx,
+              options.collect_counters, &(*outcomes)[chunk]);
   };
   if (threads <= 1 || runnable.size() == 1) {
     threads = 1;
@@ -342,6 +360,38 @@ Status RunMorsels(const TableScanner& scanner,
   }
   report->attempts = (*outcomes)[deepest].attempts;
   report->executed = (*outcomes)[deepest].executed;
+  // Per-worker PMU aggregation with explicit coverage: every completed
+  // morsel is measurable; a morsel counts as covered only when its
+  // worker's counter group produced a valid delta. Distinct thread ranks
+  // make the "N workers" claim auditable.
+  if (options.collect_counters) {
+    ScanCounters& sc = report->counters;
+    std::vector<int64_t> ranks;
+    for (const ChunkId chunk_id : runnable) {
+      const MorselOutcome& outcome = (*outcomes)[chunk_id];
+      if (!outcome.ok) continue;
+      ++sc.morsels_measurable;
+      if (!outcome.counters.valid) continue;
+      ++sc.morsels_covered;
+      sc.cycles += outcome.counters.cycles;
+      sc.instructions += outcome.counters.instructions;
+      sc.branches += outcome.counters.branches;
+      sc.branch_misses += outcome.counters.branch_misses;
+      report->AttributeEngineCounters(
+          outcome.executed, outcome.counters.cycles,
+          outcome.counters.instructions, outcome.counters.branches,
+          outcome.counters.branch_misses);
+      if (outcome.thread_rank >= 0) ranks.push_back(outcome.thread_rank);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    sc.threads_covered = static_cast<int>(ranks.size());
+    if (sc.morsels_covered > 0) {
+      sc.source = CounterSource::kHardware;
+      sc.detail = "perf_event_open";
+      sc.partial = sc.morsels_covered < sc.morsels_measurable;
+    }
+  }
   // A cost-model engine pick is a choice, not a degradation: only a rung
   // that ran because an earlier one failed counts as degraded.
   report->degraded = !(report->executed == report->requested) &&

@@ -46,6 +46,12 @@ struct ParallelScanOptions {
   // slot-per-chunk merge then discards cleanly and the scan returns the
   // context's cancel status deterministically.
   QueryContext* context = nullptr;
+  // Per-worker PMU attribution (fts/perf/counter_attribution.h): each
+  // morsel's ladder walk runs inside a counter region on its executing
+  // worker, and the deltas are aggregated into the report's ScanCounters
+  // (with morsel/thread coverage accounting) and per-engine totals. Off by
+  // default — the steady-state cost of false is one branch per morsel.
+  bool collect_counters = false;
 };
 
 // Runs the prepared scan morsel-by-morsel and materializes matching

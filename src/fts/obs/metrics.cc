@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <thread>
 
@@ -102,6 +104,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return it->second.get();
 }
 
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& help,
+                                    std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = std::move(fn);
+  if (!help.empty()) help_[name] = help;
+}
+
 namespace {
 
 // Splits "name{labels}" so histogram suffixes can be inserted before the
@@ -140,6 +150,21 @@ std::string MetricsRegistry::RenderPrometheus() const {
     }
     std::snprintf(buf, sizeof(buf), "%llu",
                   static_cast<unsigned long long>(counter->Value()));
+    out += name + " " + buf + "\n";
+  }
+  last_family.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (base != last_family) {
+      if (const auto help = help_.find(name); help != help_.end()) {
+        out += "# HELP " + base + " " + help->second + "\n";
+      }
+      out += "# TYPE " + base + " gauge\n";
+      last_family = base;
+    }
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(gauge()));
     out += name + " " + buf + "\n";
   }
   last_family.clear();
@@ -186,6 +211,11 @@ std::string MetricsRegistry::RenderJson() const {
     json.Key(name).Number(counter->Value());
   }
   json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name).Number(gauge());
+  }
+  json.EndObject();
   json.Key("histograms").BeginObject();
   for (const auto& [name, hist] : histograms_) {
     json.Key(name).BeginObject();
@@ -207,8 +237,60 @@ void MetricsRegistry::Reset() {
   for (auto& [name, hist] : histograms_) hist->Reset();
 }
 
+namespace {
+
+// Reads one numeric field ("VmRSS", "Threads", ...) from
+// /proc/self/status. 0 when the file or field is missing (non-Linux or
+// restricted /proc) — a gauge that reads 0 beats one that errors.
+uint64_t ProcSelfStatusField(const char* field) {
+  FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  uint64_t value = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0 ||
+        line[field_len] != ':') {
+      continue;
+    }
+    std::sscanf(line + field_len + 1, "%llu",
+                reinterpret_cast<unsigned long long*>(&value));
+    break;
+  }
+  std::fclose(file);
+  return value;
+}
+
+// Process-level gauges (RSS, uptime, live threads). Registered when the
+// global registry is created so every exposition carries them, whether or
+// not a query ever ran. The uptime epoch is the registry's creation —
+// effectively process start, since the first metric touch creates it.
+void RegisterProcessGauges(MetricsRegistry* registry) {
+  static const auto start = std::chrono::steady_clock::now();
+  registry->RegisterGauge("fts_process_rss_kbytes",
+                          "Resident set size from /proc/self/status, in kB",
+                          [] { return ProcSelfStatusField("VmRSS"); });
+  registry->RegisterGauge("fts_process_threads",
+                          "Live threads from /proc/self/status",
+                          [] { return ProcSelfStatusField("Threads"); });
+  registry->RegisterGauge(
+      "fts_process_uptime_seconds",
+      "Seconds since the metrics registry was created", [] {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+      });
+}
+
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  static MetricsRegistry* registry = [] {
+    auto* created = new MetricsRegistry();
+    RegisterProcessGauges(created);
+    return created;
+  }();
   return *registry;
 }
 
@@ -275,6 +357,21 @@ const EngineMetrics& Metrics() {
     m->admission_queue_wait_micros = reg.GetHistogram(
         "fts_admission_queue_wait_micros",
         "Time admitted queries spent waiting in the admission queue");
+    m->scan_cycles_total = reg.GetCounter(
+        "fts_scan_cycles_total",
+        "CPU cycles attributed to scan regions (hardware PMU reads)");
+    m->scan_instructions_total = reg.GetCounter(
+        "fts_scan_instructions_total",
+        "Instructions retired in scan regions (hardware PMU reads)");
+    m->scan_branches_total = reg.GetCounter(
+        "fts_scan_branches_total",
+        "Branches retired in scan regions (hardware PMU reads)");
+    m->scan_branch_misses_total = reg.GetCounter(
+        "fts_scan_branch_misses_total",
+        "Branch mispredictions in scan regions (hardware PMU reads)");
+    m->slow_queries_total = reg.GetCounter(
+        "fts_slow_queries_total",
+        "Queries over the FTS_SLOW_QUERY_MS threshold");
     return m;
   }();
   return *metrics;

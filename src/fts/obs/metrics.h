@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -106,12 +107,22 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           const std::string& help = "");
 
-  // Prometheus text exposition format (counters + histogram buckets).
+  // Registers a gauge: an instantaneous value sampled by callback at
+  // exposition time (process RSS, live threads, cache entry counts).
+  // The callback runs under the registry mutex, so it must not call back
+  // into the registry (Get*/Register*/Render*) — read your own state and
+  // return. Re-registering a name replaces the callback.
+  void RegisterGauge(const std::string& name, const std::string& help,
+                     std::function<uint64_t()> fn);
+
+  // Prometheus text exposition format (counters, gauges, histogram
+  // buckets).
   std::string RenderPrometheus() const;
-  // JSON dump: {"counters":{...},"histograms":{name:{count,sum,p50,...}}}.
+  // JSON dump: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string RenderJson() const;
 
-  // Zeroes every registered metric (tests and the shell's registry reset).
+  // Zeroes every registered counter and histogram (tests and the shell's
+  // registry reset). Gauges are instantaneous samples; they stay.
   void Reset();
 
   static MetricsRegistry& Global();
@@ -120,6 +131,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<uint64_t()>> gauges_;
   std::map<std::string, std::string> help_;
 };
 
@@ -153,6 +165,14 @@ struct EngineMetrics {
   Histogram* jit_compile_micros;
   Histogram* query_micros;
   Histogram* admission_queue_wait_micros;
+  // Per-worker PMU attribution totals (hardware-sourced reads only; the
+  // gshare simulator never feeds these).
+  Counter* scan_cycles_total;
+  Counter* scan_instructions_total;
+  Counter* scan_branches_total;
+  Counter* scan_branch_misses_total;
+  // Always-on query statistics (fts/obs/query_log.h).
+  Counter* slow_queries_total;
 };
 
 // Global instance backed by MetricsRegistry::Global().

@@ -1,0 +1,174 @@
+#include "fts/obs/query_log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+#include "fts/common/env.h"
+#include "fts/obs/json_writer.h"
+#include "fts/obs/metrics.h"
+
+namespace fts::obs {
+
+std::string SqlDigest(const std::string& sql) {
+  static constexpr size_t kMaxDigest = 160;
+  std::string out;
+  out.reserve(std::min(sql.size(), kMaxDigest));
+  size_t i = 0;
+  bool last_space = true;  // Swallow leading whitespace.
+  while (i < sql.size() && out.size() < kMaxDigest) {
+    const char c = sql[i];
+    if (c == '\'' || c == '"') {
+      // String literal: skip to the closing quote (no escape handling —
+      // the dialect has none) and emit one placeholder.
+      const char quote = c;
+      ++i;
+      while (i < sql.size() && sql[i] != quote) ++i;
+      if (i < sql.size()) ++i;
+      out += '?';
+      last_space = false;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) &&
+        (out.empty() ||
+         !std::isalnum(static_cast<unsigned char>(out.back())))) {
+      // Numeric literal (not an identifier tail like "c0"): swallow the
+      // whole number, sign handled naturally since '-' passes through.
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E')) {
+        ++i;
+      }
+      out += '?';
+      last_space = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!last_space) out += ' ';
+      last_space = true;
+      ++i;
+      continue;
+    }
+    out += c;
+    last_space = false;
+    ++i;
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool ObsEnabled() { return GetEnvBool("FTS_OBS", true); }
+
+QueryLog::QueryLog(size_t capacity, double slow_threshold_ms,
+                   std::string slow_log_path)
+    : slots_(capacity == 0 ? 1 : capacity),
+      slow_threshold_ms_(slow_threshold_ms),
+      slow_log_path_(std::move(slow_log_path)) {}
+
+void QueryLog::Record(QueryLogEntry entry) {
+  entry.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  entry.wall_unix_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  Slot& slot = slots_[entry.id % slots_.size()];
+  {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.used = true;
+    slot.entry = entry;
+  }
+  MaybeLogSlow(entry);
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot(size_t max_entries) const {
+  std::vector<QueryLogEntry> entries;
+  entries.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.used) entries.push_back(slot.entry);
+  }
+  // Newest first. Ids are unique, so the order is total even when writers
+  // raced the copy above.
+  std::sort(entries.begin(), entries.end(),
+            [](const QueryLogEntry& a, const QueryLogEntry& b) {
+              return a.id > b.id;
+            });
+  if (max_entries > 0 && entries.size() > max_entries) {
+    entries.resize(max_entries);
+  }
+  return entries;
+}
+
+std::string QueryLogEntryToJson(const QueryLogEntry& entry) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("id").Number(entry.id);
+  json.Key("wall_unix_micros").Number(entry.wall_unix_micros);
+  json.Key("digest").String(entry.digest);
+  json.Key("status").String(entry.status);
+  json.Key("engine").String(entry.engine);
+  json.Key("counter_source").String(entry.counter_source);
+  json.Key("total_millis").Number(entry.total_millis);
+  json.Key("scan_millis").Number(entry.scan_millis);
+  json.Key("jit_compile_millis").Number(entry.jit_compile_millis);
+  json.Key("queue_wait_millis").Number(entry.queue_wait_millis);
+  json.Key("rows_scanned").Number(entry.rows_scanned);
+  json.Key("rows_matched").Number(entry.rows_matched);
+  json.Key("workers").Number(entry.worker_count);
+  json.Key("morsels").Number(entry.morsel_count);
+  json.Key("chunks_total").Number(entry.chunks_total);
+  json.Key("chunks_pruned").Number(entry.chunks_pruned);
+  json.Key("degraded").Bool(entry.degraded);
+  json.Key("aggregate_pushdown").Bool(entry.aggregate_pushdown);
+  json.Key("model_active").Bool(entry.model_active);
+  json.Key("est_error_permille").Number(entry.est_error_permille);
+  json.EndObject();
+  return json.str();
+}
+
+std::string QueryLog::RenderJson(size_t max_entries) const {
+  const std::vector<QueryLogEntry> entries = Snapshot(max_entries);
+  JsonWriter json;
+  json.BeginArray();
+  for (const QueryLogEntry& entry : entries) {
+    json.Raw(QueryLogEntryToJson(entry));
+  }
+  json.EndArray();
+  return json.str();
+}
+
+void QueryLog::MaybeLogSlow(const QueryLogEntry& entry) {
+  if (slow_threshold_ms_ < 0.0 || entry.total_millis < slow_threshold_ms_) {
+    return;
+  }
+  Metrics().slow_queries_total->Increment();
+  if (slow_log_path_.empty()) return;
+  const std::string line = QueryLogEntryToJson(entry) + "\n";
+  // One JSON line per slow query, appended under a mutex so concurrent
+  // writers never interleave lines. Slow queries are rare by definition;
+  // the lock is not a hot path.
+  std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  FILE* file = std::fopen(slow_log_path_.c_str(), "a");
+  if (file == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file);
+  std::fclose(file);
+}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = [] {
+    const int64_t capacity = GetEnvInt64("FTS_QUERY_LOG_SIZE", 256);
+    // FTS_SLOW_QUERY_MS unset disables the slow-query log; any value >= 0
+    // enables it (0 logs every query — the CI smoke uses that).
+    const std::string slow = GetEnvString("FTS_SLOW_QUERY_MS", "");
+    const double threshold =
+        slow.empty() ? -1.0
+                     : static_cast<double>(GetEnvInt64("FTS_SLOW_QUERY_MS", 0));
+    return new QueryLog(
+        capacity <= 0 ? 256 : static_cast<size_t>(capacity), threshold,
+        GetEnvString("FTS_SLOW_QUERY_LOG", "fts_slow_query.log"));
+  }();
+  return *log;
+}
+
+}  // namespace fts::obs

@@ -1,0 +1,43 @@
+#include "fts/perf/counter_attribution.h"
+
+namespace fts {
+
+ThreadCounters::ThreadCounters() {
+  if (!HardwareCountersAvailable()) return;
+  StatusOr<PerfCounterGroup> opened = PerfCounterGroup::Open(
+      {HwEvent::kCycles, HwEvent::kInstructions, HwEvent::kBranches,
+       HwEvent::kBranchMisses});
+  if (opened.ok()) group_.emplace(std::move(opened).value());
+}
+
+ThreadCounters& ThreadCounters::ForCurrentThread() {
+  // One group per thread for the thread's lifetime; the fds close when the
+  // thread exits. Workers are pool threads, so in practice this is a small
+  // fixed set of groups opened once per process.
+  thread_local ThreadCounters counters;
+  return counters;
+}
+
+bool ThreadCounters::Start() {
+  if (!group_.has_value()) return false;
+  if (!group_->Start().ok()) return false;
+  armed_ = true;
+  return true;
+}
+
+CounterDelta ThreadCounters::StopAndRead() {
+  CounterDelta delta;
+  if (!armed_ || !group_.has_value()) return delta;
+  armed_ = false;
+  if (!group_->Stop().ok()) return delta;
+  const StatusOr<std::vector<uint64_t>> values = group_->Read();
+  if (!values.ok() || values->size() != 4) return delta;
+  delta.valid = true;
+  delta.cycles = (*values)[0];
+  delta.instructions = (*values)[1];
+  delta.branches = (*values)[2];
+  delta.branch_misses = (*values)[3];
+  return delta;
+}
+
+}  // namespace fts

@@ -1,0 +1,102 @@
+#ifndef FTS_PERF_COUNTER_ATTRIBUTION_H_
+#define FTS_PERF_COUNTER_ATTRIBUTION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "fts/perf/perf_counters.h"
+
+namespace fts {
+
+// Per-thread PMU attribution for scan execution (DESIGN.md §15).
+//
+// perf_event_open counters are bound to the opening thread, so a group
+// armed on the query's calling thread sees nothing of the work TaskPool
+// workers do — exactly the blind spot the old first-step-only counter
+// scope had on parallel queries. The scheme here instead gives every
+// executing thread its own lazily opened counter group (worker threads
+// own theirs for the thread's lifetime; fds are opened once, then each
+// measured region is reset+enable / disable+read), and the executor
+// aggregates the per-region deltas per stage and per engine with explicit
+// coverage accounting: the report says how many morsels on how many
+// threads the numbers actually cover instead of presenting a partial
+// measurement as whole-query truth.
+
+// Counter deltas from one measured region on one thread. `valid` is false
+// when the PMU was unavailable or any syscall failed — callers must treat
+// the region as UNMEASURED, not as zero.
+struct CounterDelta {
+  bool valid = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t branches = 0;
+  uint64_t branch_misses = 0;
+
+  void Accumulate(const CounterDelta& other) {
+    if (!other.valid) return;
+    valid = true;
+    cycles += other.cycles;
+    instructions += other.instructions;
+    branches += other.branches;
+    branch_misses += other.branch_misses;
+  }
+};
+
+// The calling thread's cached counter group (cycles, instructions,
+// branches, branch misses). Opened on first use and kept for the thread's
+// lifetime, so steady-state measurement is two ioctls and a read — no
+// perf_event_open per region. Never throws, never fails loudly: on hosts
+// without a PMU available() is false and Start/StopAndRead are no-ops.
+class ThreadCounters {
+ public:
+  static ThreadCounters& ForCurrentThread();
+
+  bool available() const { return group_.has_value(); }
+
+  // Resets and enables the group. Returns false (and arms nothing) when
+  // the PMU is unavailable; a failed Start never poisons the thread.
+  bool Start();
+
+  // Disables and reads the group armed by the last successful Start().
+  // Returns an invalid delta when Start() failed or a read fails.
+  CounterDelta StopAndRead();
+
+ private:
+  ThreadCounters();
+
+  std::optional<PerfCounterGroup> group_;
+  bool armed_ = false;
+};
+
+// RAII measured region on the calling thread. When `enabled` is false
+// (the steady state: counters are only collected under EXPLAIN ANALYZE)
+// construction is a single branch. Finish() returns the delta exactly
+// once; the destructor disarms a region that was never finished.
+class CounterRegion {
+ public:
+  explicit CounterRegion(bool enabled) {
+    if (!enabled) return;
+    started_ = ThreadCounters::ForCurrentThread().Start();
+  }
+  ~CounterRegion() {
+    if (started_) ThreadCounters::ForCurrentThread().StopAndRead();
+  }
+
+  CounterRegion(const CounterRegion&) = delete;
+  CounterRegion& operator=(const CounterRegion&) = delete;
+
+  // Ends the region and returns its delta (invalid when the region never
+  // armed). Idempotent: second calls return an invalid delta.
+  CounterDelta Finish() {
+    if (!started_) return {};
+    started_ = false;
+    return ThreadCounters::ForCurrentThread().StopAndRead();
+  }
+
+ private:
+  bool started_ = false;
+};
+
+}  // namespace fts
+
+#endif  // FTS_PERF_COUNTER_ATTRIBUTION_H_

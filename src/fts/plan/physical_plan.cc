@@ -11,9 +11,10 @@
 #include "fts/exec/parallel_scan.h"
 #include "fts/exec/task_pool.h"
 #include "fts/jit/jit_scan_engine.h"
+#include "fts/obs/metrics.h"
 #include "fts/obs/trace.h"
 #include "fts/perf/branch_predictor.h"
-#include "fts/perf/perf_counters.h"
+#include "fts/perf/counter_attribution.h"
 #include "fts/scan/table_scan.h"
 
 namespace fts {
@@ -161,15 +162,38 @@ std::vector<Value> ComputeAggregates(
   return results;
 }
 
+// Folds one serial (calling-thread) measured region into the report's
+// whole-query counters. `choice` attributes the region to the engine that
+// executed it; null for engine-less regions (refine steps). No-op when the
+// region produced no valid delta (PMU absent or a read failed).
+void AccumulateSerialCounters(const CounterDelta& delta,
+                              const EngineChoice* choice,
+                              ExecutionReport* report) {
+  if (!delta.valid) return;
+  ScanCounters& sc = report->counters;
+  sc.source = CounterSource::kHardware;
+  sc.detail = "perf_event_open";
+  sc.cycles += delta.cycles;
+  sc.instructions += delta.instructions;
+  sc.branches += delta.branches;
+  sc.branch_misses += delta.branch_misses;
+  if (choice != nullptr) {
+    report->AttributeEngineCounters(*choice, delta.cycles, delta.instructions,
+                                    delta.branches, delta.branch_misses);
+  }
+}
+
 // Runs the plan's first (full-chunk) scan step under the fallback policy,
 // demoting along DegradationLadder() when the requested engine fails and
 // recording every attempt in `report`. The JIT engine carries its own
 // internal ladder (narrow widths before static kernels); static engines
-// walk the ladder here.
+// walk the ladder here. When `collect` is set, the parallel path measures
+// per worker per morsel and the serial/JIT paths run inside a counter
+// region on the calling thread.
 StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
                                     const PhysicalPlan::ScanStep& step,
                                     FallbackPolicy policy, int threads,
-                                    ExecutionReport* report) {
+                                    bool collect, ExecutionReport* report) {
   if (threads > 1 && table->chunk_count() > 1) {
     // Morsel-driven parallel path: per-chunk morsels on the task pool,
     // per-morsel degradation, byte-identical output (fts/exec).
@@ -179,11 +203,17 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
     options.requested = StepEngineChoice(step);
     options.fallback = policy;
     options.threads = threads;
+    options.collect_counters = collect;
     return ExecuteParallelScan(scanner, options, report);
   }
   if (step.engine == ScanEngine::kJit) {
     JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
-    return engine.Execute(table, step.spec, report);
+    CounterRegion region(collect);
+    StatusOr<TableMatches> result = engine.Execute(table, step.spec, report);
+    if (result.ok()) {
+      AccumulateSerialCounters(region.Finish(), &report->executed, report);
+    }
+    return result;
   }
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(table, step.spec));
@@ -197,8 +227,12 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
           : std::vector<EngineChoice>{{step.engine, 0}};
   Status last = Status::Unavailable("no scan engine could run");
   for (const EngineChoice& choice : rungs) {
+    // Per-rung region: a failed rung's work never contaminates the
+    // successful rung's attribution.
+    CounterRegion region(collect);
     StatusOr<TableMatches> result = scanner.Execute(choice.engine);
     if (result.ok()) {
+      AccumulateSerialCounters(region.Finish(), &choice, report);
       report->RecordSuccess(choice);
       // Refresh: counters accumulated during the successful rung.
       FillCompressedReport(scanner, report);
@@ -215,7 +249,7 @@ StatusOr<TableMatches> RunFirstStep(const TablePtr& table,
 StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
                                      const PhysicalPlan::ScanStep& step,
                                      FallbackPolicy policy, int threads,
-                                     ExecutionReport* report) {
+                                     bool collect, ExecutionReport* report) {
   if (threads > 1 && table->chunk_count() > 1) {
     FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                          TableScanner::Prepare(table, step.spec));
@@ -223,11 +257,17 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
     options.requested = StepEngineChoice(step);
     options.fallback = policy;
     options.threads = threads;
+    options.collect_counters = collect;
     return ExecuteParallelScanCount(scanner, options, report);
   }
   if (step.engine == ScanEngine::kJit) {
     JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
-    return engine.ExecuteCount(table, step.spec, report);
+    CounterRegion region(collect);
+    StatusOr<uint64_t> result = engine.ExecuteCount(table, step.spec, report);
+    if (result.ok()) {
+      AccumulateSerialCounters(region.Finish(), &report->executed, report);
+    }
+    return result;
   }
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(table, step.spec));
@@ -241,8 +281,10 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
           : std::vector<EngineChoice>{{step.engine, 0}};
   Status last = Status::Unavailable("no scan engine could run");
   for (const EngineChoice& choice : rungs) {
+    CounterRegion region(collect);
     StatusOr<uint64_t> result = scanner.ExecuteCount(choice.engine);
     if (result.ok()) {
+      AccumulateSerialCounters(region.Finish(), &choice, report);
       report->RecordSuccess(choice);
       // Refresh: counters accumulated during the successful rung.
       FillCompressedReport(scanner, report);
@@ -261,7 +303,8 @@ StatusOr<uint64_t> RunFirstStepCount(const TablePtr& table,
 // list exists at any point.
 StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
     const TablePtr& table, const PhysicalPlan::ScanStep& step,
-    FallbackPolicy policy, int threads, ExecutionReport* report) {
+    FallbackPolicy policy, int threads, bool collect,
+    ExecutionReport* report) {
   if (threads > 1 && table->chunk_count() > 1) {
     FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                          TableScanner::Prepare(table, step.spec));
@@ -269,11 +312,18 @@ StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
     options.requested = StepEngineChoice(step);
     options.fallback = policy;
     options.threads = threads;
+    options.collect_counters = collect;
     return ExecuteParallelScanAggregate(scanner, options, report);
   }
   if (step.engine == ScanEngine::kJit) {
     JitScanEngine engine(step.jit_register_bits, &GlobalJitCache(), policy);
-    return engine.ExecuteAggregate(table, step.spec, report);
+    CounterRegion region(collect);
+    StatusOr<TableScanner::AggResult> result =
+        engine.ExecuteAggregate(table, step.spec, report);
+    if (result.ok()) {
+      AccumulateSerialCounters(region.Finish(), &report->executed, report);
+    }
+    return result;
   }
   FTS_ASSIGN_OR_RETURN(const TableScanner scanner,
                        TableScanner::Prepare(table, step.spec));
@@ -287,9 +337,11 @@ StatusOr<TableScanner::AggResult> RunFirstStepAggregate(
           : std::vector<EngineChoice>{{step.engine, 0}};
   Status last = Status::Unavailable("no scan engine could run");
   for (const EngineChoice& choice : rungs) {
+    CounterRegion region(collect);
     StatusOr<TableScanner::AggResult> result =
         scanner.ExecuteAggregate(choice.engine);
     if (result.ok()) {
+      AccumulateSerialCounters(region.Finish(), &choice, report);
       report->RecordSuccess(choice);
       // Refresh: counters accumulated during the successful rung.
       FillCompressedReport(scanner, report);
@@ -393,13 +445,26 @@ StatusOr<TableMatches> RunStep(const TablePtr& table,
                                const PhysicalPlan::ScanStep& step,
                                const std::optional<TableMatches>& previous,
                                FallbackPolicy policy, int threads,
+                               bool collect, size_t* measured_refines,
                                ExecutionReport* report,
                                double* refine_selectivity) {
   if (!previous.has_value()) {
-    return RunFirstStep(table, step, policy, threads, report);
+    return RunFirstStep(table, step, policy, threads, collect, report);
   }
-  // Later steps refine position lists tuple-at-a-time; no engine involved.
-  return RefineMatches(table, step.spec, *previous, refine_selectivity);
+  // Later steps refine position lists tuple-at-a-time; no engine involved
+  // — the measured region (always on the calling thread) is attributed to
+  // the stage, not an engine.
+  CounterRegion region(collect);
+  StatusOr<TableMatches> refined =
+      RefineMatches(table, step.spec, *previous, refine_selectivity);
+  if (refined.ok()) {
+    const CounterDelta delta = region.Finish();
+    if (delta.valid) {
+      AccumulateSerialCounters(delta, nullptr, report);
+      if (measured_refines != nullptr) ++*measured_refines;
+    }
+  }
+  return refined;
 }
 
 // Operator name used by both Explain() and the ANALYZE renderer.
@@ -470,46 +535,72 @@ void SimulateScanCounters(const PhysicalPlan& plan, ExecutionReport* report) {
   report->counters.branch_misses = misses;
 }
 
-// Arms the PMU (when requested and available) for the duration of the
-// first scan step. Finish() stops and reads it; when no hardware read
-// happened the caller falls back to the simulator.
-class ScanCounterScope {
- public:
-  explicit ScanCounterScope(bool enabled) {
-    if (!enabled || !HardwareCountersAvailable()) return;
-    StatusOr<PerfCounterGroup> opened = PerfCounterGroup::Open(
-        {HwEvent::kCycles, HwEvent::kInstructions, HwEvent::kBranches,
-         HwEvent::kBranchMisses});
-    if (!opened.ok()) return;
-    group_.emplace(std::move(opened).value());
-    if (!group_->Start().ok()) group_.reset();
+// Composes the human-readable coverage scope for the `Counters:` line and
+// flags partial measurements (satellite: partial PMU numbers must say what
+// they cover instead of posing as whole-query truth). `measured_refines`
+// counts refine steps whose region produced a valid hardware delta.
+void LabelCounterCoverage(const PhysicalPlan& plan, size_t measured_refines,
+                          ExecutionReport* report) {
+  ScanCounters& sc = report->counters;
+  if (sc.source == CounterSource::kSimulated) {
+    sc.coverage = "first scan step only";
+    sc.partial = plan.scan_steps.size() > 1;
+    return;
   }
-
-  bool Finish(ExecutionReport* report) {
-    if (!group_.has_value()) return false;
-    if (!group_->Stop().ok()) return false;
-    const StatusOr<std::vector<uint64_t>> values = group_->Read();
-    group_.reset();
-    if (!values.ok() || values->size() != 4) return false;
-    report->counters.source = CounterSource::kHardware;
-    report->counters.detail = "perf_event_open";
-    report->counters.cycles = (*values)[0];
-    report->counters.instructions = (*values)[1];
-    report->counters.branches = (*values)[2];
-    report->counters.branch_misses = (*values)[3];
-    return true;
+  if (sc.source != CounterSource::kHardware) return;
+  std::string scope;
+  if (report->morsel_count > 0) {
+    scope = StrFormat("%llu/%llu morsels on %d threads",
+                      static_cast<unsigned long long>(sc.morsels_covered),
+                      static_cast<unsigned long long>(sc.morsels_measurable),
+                      sc.threads_covered);
+    if (sc.morsels_covered < sc.morsels_measurable) sc.partial = true;
+  } else {
+    scope = "serial scan";
   }
+  const size_t total_refines =
+      plan.scan_steps.empty() ? 0 : plan.scan_steps.size() - 1;
+  if (total_refines > 0) {
+    scope += StrFormat(" + %zu/%zu refine steps", measured_refines,
+                       total_refines);
+    if (measured_refines < total_refines) sc.partial = true;
+  }
+  sc.coverage = scope;
+}
 
- private:
-  std::optional<PerfCounterGroup> group_;
-};
-
-// Stops the PMU after the first scan step (or replays the simulator) and
-// records provenance. No-op when the plan did not ask for counters.
-void FinishCounters(const PhysicalPlan& plan, ScanCounterScope* scope,
+// Finalizes counter collection once execution is done: when no hardware
+// delta landed anywhere, replays the simulator (first scan step only),
+// then labels whatever source won with its coverage scope. No-op when the
+// plan did not ask for counters.
+void FinishCounters(const PhysicalPlan& plan, size_t measured_refines,
                     ExecutionReport* report) {
-  if (scope->Finish(report)) return;
-  if (plan.collect_counters) SimulateScanCounters(plan, report);
+  if (!plan.collect_counters) return;
+  if (report->counters.source == CounterSource::kUnavailable) {
+    SimulateScanCounters(plan, report);
+  }
+  LabelCounterCoverage(plan, measured_refines, report);
+  // Surface hardware reads in the metrics registry (simulated numbers stay
+  // out — mixing modeled and measured counters in one series would make
+  // the series meaningless).
+  if (report->counters.source == CounterSource::kHardware) {
+    const ScanCounters& sc = report->counters;
+    obs::Metrics().scan_cycles_total->Add(sc.cycles);
+    obs::Metrics().scan_instructions_total->Add(sc.instructions);
+    obs::Metrics().scan_branches_total->Add(sc.branches);
+    obs::Metrics().scan_branch_misses_total->Add(sc.branch_misses);
+  }
+}
+
+// Copies the hardware delta a stage added on top of `cycles_before` /
+// `misses_before` into the stage's own counter fields.
+void FillStageCounters(const ExecutionReport& report, uint64_t cycles_before,
+                       uint64_t misses_before, StageReport* stage) {
+  const ScanCounters& sc = report.counters;
+  if (sc.source != CounterSource::kHardware) return;
+  if (sc.cycles == cycles_before && sc.branch_misses == misses_before) return;
+  stage->counters_valid = true;
+  stage->cycles = sc.cycles - cycles_before;
+  stage->branch_misses = sc.branch_misses - misses_before;
 }
 
 // The pushed-down aggregate path: one fused pass folds every term inside
@@ -521,14 +612,14 @@ StatusOr<QueryResult> ExecuteAggregatePushdown(const PhysicalPlan& plan) {
   const PhysicalPlan::ScanStep& step = *plan.pushdown_step;
   ExecutionReport& report = result.execution_report;
   report.aggregate_pushdown = true;
-  ScanCounterScope counters(plan.collect_counters);
   Stopwatch timer;
   const StatusOr<TableScanner::AggResult> agg =
       RunFirstStepAggregate(plan.table, step, plan.fallback,
-                            ResolveStepThreads(plan, step), &report);
+                            ResolveStepThreads(plan, step),
+                            plan.collect_counters, &report);
   const double millis = timer.ElapsedMillis();
   FTS_RETURN_IF_ERROR(agg.status());
-  FinishCounters(plan, &counters, &report);
+  FinishCounters(plan, 0, &report);
   report.rows_matched = agg->matched;
   report.rows_folded = agg->matched;
   report.scan_millis = millis;
@@ -539,6 +630,7 @@ StatusOr<QueryResult> ExecuteAggregatePushdown(const PhysicalPlan& plan) {
         report.rows_scanned, agg->matched, millis};
     stage.has_estimate = report.model_active;
     stage.est_rows_out = report.est_rows;
+    FillStageCounters(report, 0, 0, &stage);
     report.stages.push_back(std::move(stage));
   }
   Stopwatch finalize_timer;
@@ -657,14 +749,14 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
     QueryResult result;
     const PhysicalPlan::ScanStep& step = plan.scan_steps[0];
     ExecutionReport& report = result.execution_report;
-    ScanCounterScope counters(plan.collect_counters);
     Stopwatch timer;
     const StatusOr<uint64_t> count =
         RunFirstStepCount(plan.table, step, plan.fallback,
-                          ResolveStepThreads(plan, step), &report);
+                          ResolveStepThreads(plan, step),
+                          plan.collect_counters, &report);
     const double millis = timer.ElapsedMillis();
     FTS_RETURN_IF_ERROR(count.status());
-    FinishCounters(plan, &counters, &report);
+    FinishCounters(plan, 0, &report);
     report.rows_matched = *count;
     report.scan_millis = millis;
     StageReport stage{
@@ -673,6 +765,7 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
         report.rows_scanned, *count, millis};
     stage.has_estimate = report.model_active;
     stage.est_rows_out = report.est_rows;
+    FillStageCounters(report, 0, 0, &stage);
     report.stages.push_back(std::move(stage));
     result.matched_rows = *count;
     result.count = *count;
@@ -681,24 +774,26 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
   }
 
   ExecutionReport report;
-  ScanCounterScope counters(plan.collect_counters);
   std::optional<TableMatches> matches;
   // Running row estimate through the step chain: the first step's scanner
   // estimate, narrowed by each refine predicate's estimated selectivity.
   double est_rows = 0.0;
+  size_t measured_refines = 0;
   for (const PhysicalPlan::ScanStep& step : plan.scan_steps) {
     FTS_RETURN_IF_ERROR(CheckCancellation(plan.context));
     const bool first = !matches.has_value();
     const uint64_t rows_in = first ? 0 : matches->TotalMatches();
+    const uint64_t cycles_before = report.counters.cycles;
+    const uint64_t misses_before = report.counters.branch_misses;
     Stopwatch timer;
     double refine_selectivity = 1.0;
     FTS_ASSIGN_OR_RETURN(
         TableMatches next,
         RunStep(plan.table, step, matches, plan.fallback,
-                ResolveStepThreads(plan, step), &report,
+                ResolveStepThreads(plan, step), plan.collect_counters,
+                &measured_refines, &report,
                 first ? nullptr : &refine_selectivity));
     const double millis = timer.ElapsedMillis();
-    if (first) FinishCounters(plan, &counters, &report);
     report.scan_millis += millis;
     est_rows = first ? report.est_rows : est_rows * refine_selectivity;
     StageReport stage{
@@ -708,9 +803,11 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
         first ? report.rows_scanned : rows_in, next.TotalMatches(), millis};
     stage.has_estimate = report.model_active;
     stage.est_rows_out = est_rows;
+    FillStageCounters(report, cycles_before, misses_before, &stage);
     report.stages.push_back(std::move(stage));
     matches = std::move(next);
   }
+  FinishCounters(plan, measured_refines, &report);
   // No scan steps: every row matches.
   if (!matches.has_value()) {
     TableMatches all;
@@ -870,6 +967,11 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
         out += StrFormat(" (est out=%.0f)", stage.est_rows_out);
       }
       out += StrFormat(", time=%.3f ms", stage.millis);
+      if (stage.counters_valid) {
+        out += StrFormat(", cycles=%llu, branch_misses=%llu",
+                         static_cast<unsigned long long>(stage.cycles),
+                         static_cast<unsigned long long>(stage.branch_misses));
+      }
       if (i == 0) {
         out += StrFormat(", executed=%s%s",
                          report.executed.ToString().c_str(),
@@ -996,6 +1098,20 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
                    static_cast<unsigned long long>(report.rows_scanned));
 
   out += report.counters.ToString() + "\n";
+  // Per-engine attribution under the Counters: line — which engine burned
+  // which cycles when a query mixed engines across morsels or stages.
+  for (const EngineCounters& ec : report.engine_counters) {
+    out += StrFormat("  %s: regions=%llu cycles=%llu",
+                     ec.choice.ToString().c_str(),
+                     static_cast<unsigned long long>(ec.regions),
+                     static_cast<unsigned long long>(ec.cycles));
+    if (ec.instructions > 0 && ec.cycles > 0) {
+      out += StrFormat(" ipc=%.2f", static_cast<double>(ec.instructions) /
+                                        static_cast<double>(ec.cycles));
+    }
+    out += StrFormat(" branch_misses=%llu\n",
+                     static_cast<unsigned long long>(ec.branch_misses));
+  }
   return out;
 }
 

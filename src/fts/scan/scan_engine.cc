@@ -92,6 +92,8 @@ std::string ScanCounters::ToString() const {
   if (source == CounterSource::kUnavailable) return "counters: unavailable";
   std::string out = StrFormat("counters (%s", CounterSourceToString(source));
   if (!detail.empty()) out += ", " + detail;
+  if (!coverage.empty()) out += ", covers " + coverage;
+  if (partial) out += ", PARTIAL";
   out += "):";
   if (cycles > 0) {
     out += StrFormat(" cycles=%llu", static_cast<unsigned long long>(cycles));
@@ -113,7 +115,7 @@ std::string ScanCounters::ToString() const {
 
 // The per-engine name used in the metrics label: the short parseable
 // spelling from ParseScanEngine, not the display name.
-static const char* EngineLabel(ScanEngine engine) {
+const char* ScanEngineLabel(ScanEngine engine) {
   switch (engine) {
     case ScanEngine::kSisdNoVec:
       return "sisd-novec";
@@ -146,7 +148,7 @@ obs::Counter* EngineExecutionCounter(ScanEngine engine) {
       const auto e = static_cast<ScanEngine>(i);
       table[i] = obs::MetricsRegistry::Global().GetCounter(
           StrFormat("fts_engine_executions_total{engine=\"%s\"}",
-                    EngineLabel(e)),
+                    ScanEngineLabel(e)),
           "Chunk executions per scan engine");
     }
     return table;
@@ -211,11 +213,38 @@ std::string ExecutionReport::ToString() const {
   if (counters.source != CounterSource::kUnavailable) {
     out += "\n  " + counters.ToString();
   }
+  for (const EngineCounters& ec : engine_counters) {
+    out += StrFormat(
+        "\n  %s: regions=%llu cycles=%llu branch_misses=%llu",
+        ec.choice.ToString().c_str(),
+        static_cast<unsigned long long>(ec.regions),
+        static_cast<unsigned long long>(ec.cycles),
+        static_cast<unsigned long long>(ec.branch_misses));
+  }
   for (const EngineAttempt& attempt : attempts) {
     out += StrFormat("\n  %s: %s", attempt.choice.ToString().c_str(),
                      attempt.status.ToString().c_str());
   }
   return out;
+}
+
+void ExecutionReport::AttributeEngineCounters(const EngineChoice& choice,
+                                              uint64_t cycles,
+                                              uint64_t instructions,
+                                              uint64_t branches,
+                                              uint64_t branch_misses) {
+  for (EngineCounters& ec : engine_counters) {
+    if (ec.choice == choice) {
+      ++ec.regions;
+      ec.cycles += cycles;
+      ec.instructions += instructions;
+      ec.branches += branches;
+      ec.branch_misses += branch_misses;
+      return;
+    }
+  }
+  engine_counters.push_back(
+      {choice, 1, cycles, instructions, branches, branch_misses});
 }
 
 std::vector<EngineChoice> DegradationLadder(ScanEngine requested,

@@ -28,6 +28,10 @@ enum class ScanEngine : uint8_t {
 
 const char* ScanEngineToString(ScanEngine engine);
 
+// Short machine-friendly label ("sisd-novec", "avx512-512", "jit", ...);
+// the same spelling ParseScanEngine accepts and metric labels use.
+const char* ScanEngineLabel(ScanEngine engine);
+
 // Parses names like "avx512-512", "sisd-novec", "jit" (see .cc for the
 // full list). Used by example binaries and bench harnesses.
 StatusOr<ScanEngine> ParseScanEngine(const std::string& name);
@@ -82,17 +86,49 @@ const char* CounterSourceToString(CounterSource source);
 
 // Per-scan microarchitectural counters with their provenance. Populated by
 // the plan executor (EXPLAIN ANALYZE, or any query when the PMU opens).
+//
+// Coverage labeling (DESIGN.md §15): the numbers are only meaningful
+// together with the scope they were measured over. A parallel query is
+// measured per worker per morsel; a serial query per plan stage on the
+// calling thread; the simulator fallback replays only the first scan
+// step. `coverage` says which, `partial` flags any measurement that does
+// NOT cover every executed scan region, and the morsel/thread counts make
+// the parallel coverage auditable.
 struct ScanCounters {
   CounterSource source = CounterSource::kUnavailable;
   // Which PMU events or which simulator produced the numbers, e.g.
   // "perf_event_open" or "gshare(14)".
   std::string detail;
+  // Human-readable scope, e.g. "12/12 morsels on 4 workers",
+  // "serial scan + 1 refine step", "first scan step only".
+  std::string coverage;
+  // True when some executed scan work was not measured (e.g. a morsel
+  // whose PMU read failed, or the simulated first-step-only fallback on a
+  // multi-step plan). EXPLAIN ANALYZE renders partial numbers as such.
+  bool partial = false;
+  // Parallel-path coverage accounting (0 on serial paths).
+  uint64_t morsels_covered = 0;
+  uint64_t morsels_measurable = 0;
+  int threads_covered = 0;
   uint64_t cycles = 0;
   uint64_t instructions = 0;
   uint64_t branches = 0;
   uint64_t branch_misses = 0;
 
   std::string ToString() const;
+};
+
+// Counter totals attributed to one engine choice across the morsels (or
+// serial stages) it executed. Lets EXPLAIN ANALYZE separate e.g. the
+// cycles/row of JIT morsels from the chunks the cost model demoted to a
+// SISD rung within the same query.
+struct EngineCounters {
+  EngineChoice choice;
+  uint64_t regions = 0;  // Morsels (parallel) or stages (serial) measured.
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t branches = 0;
+  uint64_t branch_misses = 0;
 };
 
 // Wall time and row movement of one plan stage (scan step, refine step,
@@ -107,6 +143,12 @@ struct StageReport {
   // false when no statistics were available to estimate from.
   bool has_estimate = false;
   double est_rows_out = 0.0;
+  // Hardware counters attributed to this stage, summed across the threads
+  // that executed it. `counters_valid` is false when the stage ran without
+  // PMU coverage (host without counters, or collection off).
+  bool counters_valid = false;
+  uint64_t cycles = 0;
+  uint64_t branch_misses = 0;
 };
 
 // Which engine a scan actually executed and why. Every QueryResult carries
@@ -204,8 +246,19 @@ struct ExecutionReport {
   // Per-stage breakdown for EXPLAIN ANALYZE; one entry per executed plan
   // stage in execution order.
   std::vector<StageReport> stages;
-  // Microarchitectural counters for the first scan stage, when collected.
+  // Whole-query microarchitectural counters with coverage labeling. On the
+  // parallel path these aggregate per-worker per-morsel PMU reads; on the
+  // serial path, per-stage reads on the calling thread.
   ScanCounters counters;
+  // Counter totals split by the engine that executed each measured region,
+  // in first-seen order. Empty without hardware coverage.
+  std::vector<EngineCounters> engine_counters;
+
+  // Accumulates one measured region's counters into the entry for
+  // `choice`, creating it on first sight.
+  void AttributeEngineCounters(const EngineChoice& choice, uint64_t cycles,
+                               uint64_t instructions, uint64_t branches,
+                               uint64_t branch_misses);
 
   void RecordFailure(const EngineChoice& choice, const Status& status) {
     attempts.push_back({choice, status});

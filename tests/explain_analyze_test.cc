@@ -112,12 +112,23 @@ TEST_F(ExplainAnalyzeTest, AnalyzeExecutesAndAnnotates) {
             std::string::npos)
       << text;
 
-  // EXPLAIN ANALYZE collects counters; the source is always labelled.
+  // EXPLAIN ANALYZE collects counters; the source is always labelled,
+  // and the Counters line now states what the numbers actually cover
+  // (whole query vs first scan step / a subset of morsels).
   EXPECT_NE(report.counters.source, CounterSource::kUnavailable);
   EXPECT_NE(text.find("counters ("), std::string::npos) << text;
   EXPECT_NE(text.find(CounterSourceToString(report.counters.source)),
             std::string::npos)
       << text;
+  EXPECT_FALSE(report.counters.coverage.empty());
+  EXPECT_NE(text.find(", covers " + report.counters.coverage),
+            std::string::npos)
+      << text;
+  if (report.counters.source == CounterSource::kSimulated) {
+    // The gshare replay only models the first scan step; a single-step
+    // COUNT(*) plan is therefore full coverage, not partial.
+    EXPECT_EQ(report.counters.coverage, "first scan step only");
+  }
 
   // Stage table: the COUNT(*) fast path runs as one fused scan stage
   // whose output is the match count.
@@ -213,6 +224,23 @@ TEST_F(ExplainAnalyzeTest, AnalyzeParallelScanReportsWorkers) {
   // Every morsel's engine shows up in the mix annotation.
   EXPECT_NE(text.find("engines={"), std::string::npos) << text;
   EXPECT_EQ(*result->count, generated_.stage_matches.back());
+
+  // Counter coverage is host-dependent (PMU vs gshare replay), but
+  // whichever path ran must label itself honestly: hardware numbers on a
+  // parallel scan state their morsel/thread coverage and attribute
+  // per-engine; the simulator admits it replays the first step only.
+  EXPECT_FALSE(report.counters.coverage.empty());
+  if (report.counters.source == CounterSource::kHardware) {
+    EXPECT_NE(report.counters.coverage.find("morsels"), std::string::npos);
+    EXPECT_GT(report.counters.morsels_measurable, 0u);
+    EXPECT_GE(report.counters.morsels_measurable,
+              report.counters.morsels_covered);
+    EXPECT_FALSE(report.engine_counters.empty());
+  } else {
+    EXPECT_EQ(report.counters.source, CounterSource::kSimulated);
+    EXPECT_NE(report.counters.coverage.find("first scan step"),
+              std::string::npos);
+  }
 }
 
 TEST_F(ExplainAnalyzeTest, AnalyzeReportsZoneMapPruning) {

@@ -115,6 +115,27 @@ TEST(HistogramTest, EmptyAndReset) {
   EXPECT_EQ(hist.Percentile(99), 0.0);
 }
 
+TEST(HistogramTest, EmptyPercentilesAreZeroAtEveryP) {
+  Histogram hist;
+  for (const double p : {0.0, 1.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(hist.Percentile(p), 0.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, SingleBucketInterpolationStaysInsideBucket) {
+  // All mass in one bucket: every percentile must interpolate within that
+  // bucket's [lower, upper) bounds, never escape into neighbours.
+  Histogram hist;
+  for (int i = 0; i < 1000; ++i) hist.Record(600);  // bucket [512, 1024)
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    const double v = hist.Percentile(p);
+    EXPECT_GE(v, 512.0) << "p=" << p;
+    EXPECT_LE(v, 1024.0) << "p=" << p;
+  }
+  // Interpolation is monotone across the single bucket.
+  EXPECT_LE(hist.Percentile(10), hist.Percentile(90));
+}
+
 TEST(HistogramTest, ConcurrentRecordsCountExactly) {
   Histogram hist;
   constexpr int kThreads = 8;
@@ -199,6 +220,56 @@ TEST(MetricsRegistryTest, ResetZeroesEverything) {
   registry.Reset();
   EXPECT_EQ(registry.GetCounter("fts_x_total")->Value(), 0u);
   EXPECT_EQ(registry.GetHistogram("fts_y_micros")->Count(), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugesRenderInPrometheusAndJson) {
+  MetricsRegistry registry;
+  uint64_t level = 17;
+  registry.RegisterGauge("fts_water_level", "Current level",
+                         [&level] { return level; });
+
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP fts_water_level Current level\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fts_water_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("fts_water_level 17\n"), std::string::npos);
+
+  // Gauges are sampled at exposition time, not at registration time.
+  level = 99;
+  text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("fts_water_level 99\n"), std::string::npos);
+
+  const auto parsed = ParseJson(registry.RenderJson());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* gauge = gauges->Find("fts_water_level");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->number, 99.0);
+
+  // Re-registering replaces the callback; Reset leaves gauges alone.
+  registry.RegisterGauge("fts_water_level", "Current level",
+                         [] { return uint64_t{5}; });
+  registry.Reset();
+  EXPECT_NE(registry.RenderPrometheus().find("fts_water_level 5\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryExportsProcessGauges) {
+  // The global registry self-registers process-level gauges at creation:
+  // RSS, live threads, uptime. RSS and thread count must be non-zero on
+  // any live process; uptime may legitimately still be 0 seconds.
+  const auto parsed = ParseJson(MetricsRegistry::Global().RenderJson());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* rss = gauges->Find("fts_process_rss_kbytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_GT(rss->number, 0.0);
+  const JsonValue* threads = gauges->Find("fts_process_threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_GE(threads->number, 1.0);
+  ASSERT_NE(gauges->Find("fts_process_uptime_seconds"), nullptr);
 }
 
 TEST(EngineMetricsTest, GlobalInstanceResolves) {

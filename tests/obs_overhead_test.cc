@@ -5,13 +5,16 @@
 // costs measurably more than the disabled baseline.
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "fts/common/stats.h"
 #include "fts/common/timer.h"
+#include "fts/obs/query_log.h"
 #include "fts/obs/trace.h"
+#include "fts/perf/counter_attribution.h"
 #include "fts/scan/table_scan.h"
 #include "fts/storage/data_generator.h"
 
@@ -72,6 +75,92 @@ TEST(ObsOverheadTest, UnattachedTracingCostsNoMoreThanDisabled) {
   // no-sink path.
   EXPECT_LT(unattached, disabled * 1.5 + 0.5)
       << "disabled=" << disabled << "ms unattached=" << unattached << "ms";
+}
+
+TEST(ObsOverheadTest, AlwaysOnQueryStatsStayUnderOnePercentOfScan) {
+  // The query-statistics path runs on EVERY query (FTS_OBS defaults on):
+  // one SqlDigest over the statement plus one ring Record. Its per-query
+  // cost must stay within 1% of a fig5-style scan, or "always-on" becomes
+  // a lie. Interleaves {FTS_OBS=0, scan only} with {FTS_OBS=1, scan +
+  // digest + record} so host noise hits both configurations equally.
+  ScanTableOptions options;
+  options.rows = 400000;
+  options.selectivities = {0.1, 0.5};
+  options.seed = 77;
+  const GeneratedScanTable generated = MakeScanTable(options);
+
+  ScanSpec spec;
+  spec.predicates = {
+      {"c0", CompareOp::kEq, Value(generated.search_values[0])},
+      {"c1", CompareOp::kEq, Value(generated.search_values[1])}};
+  const auto scanner = TableScanner::Prepare(generated.table, spec);
+  ASSERT_TRUE(scanner.ok());
+  const ScanEngine engine = ScanEngineAvailable(ScanEngine::kAvx512Fused512)
+                                ? ScanEngine::kAvx512Fused512
+                                : ScanEngine::kScalarFused;
+  const uint64_t expected = generated.stage_matches.back();
+  const std::string sql =
+      "SELECT COUNT(*) FROM lineitem_like WHERE c0 = 12345 AND c1 = 678";
+  obs::QueryLog log(256);
+
+  auto scan_once = [&] {
+    const auto count = scanner->ExecuteCount(engine);
+    ASSERT_TRUE(count.ok());
+    ASSERT_EQ(*count, expected);
+  };
+  auto record_once = [&] {
+    if (!obs::ObsEnabled()) return;  // The exact guard Database uses.
+    obs::QueryLogEntry entry;
+    entry.digest = obs::SqlDigest(sql);
+    entry.status = "ok";
+    entry.engine = "avx512-fused-512";
+    entry.counter_source = "unavailable";
+    entry.rows_scanned = options.rows;
+    log.Record(std::move(entry));
+  };
+
+  constexpr int kReps = 21;
+  std::vector<double> off_ms, on_ms;
+  scan_once();  // Warm-up outside the timed region.
+  for (int rep = 0; rep < kReps; ++rep) {
+    ::setenv("FTS_OBS", "0", 1);
+    {
+      Stopwatch stopwatch;
+      scan_once();
+      record_once();
+      off_ms.push_back(stopwatch.ElapsedMillis());
+    }
+    ::setenv("FTS_OBS", "1", 1);
+    {
+      Stopwatch stopwatch;
+      scan_once();
+      record_once();
+      on_ms.push_back(stopwatch.ElapsedMillis());
+    }
+  }
+  ::unsetenv("FTS_OBS");
+
+  EXPECT_EQ(log.total_recorded(), static_cast<uint64_t>(kReps));
+  const double off = Median(off_ms);
+  const double on = Median(on_ms);
+  // 1% relative envelope plus a small absolute floor so a sub-millisecond
+  // scan median on a fast host doesn't turn scheduler jitter into a
+  // failure; the floor is still far below any real per-query regression
+  // (a stray allocation or lock convoy costs multiples of it).
+  EXPECT_LT(on, off * 1.01 + 0.05)
+      << "FTS_OBS=0 " << off << "ms vs always-on " << on << "ms";
+}
+
+TEST(ObsOverheadTest, DisabledCounterRegionsAreOneBranch) {
+  // Steady state: counters are only collected under EXPLAIN ANALYZE, so
+  // every per-morsel / per-rung CounterRegion on a plain query must be a
+  // single branch. 1M disabled regions in well under a second.
+  constexpr int kRegions = 1'000'000;
+  Stopwatch stopwatch;
+  for (int i = 0; i < kRegions; ++i) {
+    CounterRegion region(/*enabled=*/false);
+  }
+  EXPECT_LT(stopwatch.ElapsedMillis(), 500.0);
 }
 
 TEST(ObsOverheadTest, SpanConstructionIsCheapWhenUnattached) {
