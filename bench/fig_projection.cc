@@ -1,0 +1,158 @@
+// Late materialization: SIMD batch-gather projection vs tuple-at-a-time
+// value boxing, across predicate selectivities and projection widths.
+//
+// Both arms run the same fused scan; only the Project stage differs. The
+// reference arm (FTS_GATHER=0) boxes every surviving cell through
+// Table::GetValue into row vectors — the seed repo's materializer. The
+// gather arm turns each chunk's survivor position list into dense typed
+// column buffers with the SIMD batch-gather kernels and defers boxing to
+// the result accessors.
+//
+// Expectation: the gather arm wins big on wide projections (4+ columns)
+// once enough rows survive to amortize the per-chunk setup — the
+// acceptance bar is >= 2x at >= 10 % selectivity — while narrow
+// single-column projections and COUNT(*) queries (which never touch the
+// projector) stay within noise (<= 5 %).
+//
+// Every measured configuration is self-verified: both arms must agree on
+// the row count and render identical rows.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "fts/common/string_util.h"
+#include "fts/db/database.h"
+#include "fts/storage/data_generator.h"
+
+namespace {
+using namespace fts::bench;
+
+constexpr double kSelectivities[] = {0.01, 0.10, 0.50};
+
+// Rows rendered for the cross-arm identity check; the row count is
+// compared in full, the rendered prefix guards cell values and order.
+constexpr size_t kVerifyRows = 200;
+
+struct ArmResult {
+  double median_ms = 0.0;
+  size_t rows_out = 0;
+  std::string rendered;
+};
+
+ArmResult RunArm(fts::Database& db, const std::string& sql,
+                 const fts::Database::QueryOptions& options, bool gather,
+                 int reps) {
+  // The FTS_GATHER kill switch selects the Project implementation; both
+  // arms share every other stage of the pipeline.
+  if (gather) {
+    ::unsetenv("FTS_GATHER");
+  } else {
+    ::setenv("FTS_GATHER", "0", 1);
+  }
+  const auto result = db.Query(sql, options);
+  FTS_CHECK(result.ok());
+  ArmResult arm;
+  arm.rows_out = result->RowCountOut();
+  arm.rendered = result->ToString(kVerifyRows);
+  arm.median_ms = MedianMillis(
+      reps, [&] { fts::DoNotOptimizeAway(db.Query(sql, options).ok()); });
+  ::unsetenv("FTS_GATHER");
+  return arm;
+}
+
+void RunCase(fts::Database& db, const char* label, const std::string& sql,
+             double selectivity, size_t rows, int columns, int threads,
+             int reps) {
+  fts::Database::QueryOptions options;
+  options.threads = threads;
+  const ArmResult reference = RunArm(db, sql, options, /*gather=*/false,
+                                     reps);
+  const ArmResult gather = RunArm(db, sql, options, /*gather=*/true, reps);
+  FTS_CHECK(reference.rows_out == gather.rows_out);
+  FTS_CHECK(reference.rendered == gather.rendered);
+
+  const double speedup =
+      gather.median_ms > 0.0 ? reference.median_ms / gather.median_ms : 0.0;
+  std::printf("%-12s%-8d%-14.2f%18.3f%18.3f%9.2fx\n", label, threads,
+              selectivity, reference.median_ms, gather.median_ms, speedup);
+  BenchLine("fig_projection")
+      .Field("case", label)
+      .Field("threads", threads)
+      .Field("selectivity", selectivity)
+      .Field("rows", static_cast<uint64_t>(rows))
+      .Field("columns", columns)
+      .Field("rows_out", static_cast<uint64_t>(gather.rows_out))
+      .Field("reference_ms", reference.median_ms)
+      .Field("gather_ms", gather.median_ms)
+      .Field("speedup", speedup)
+      .Emit();
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "Late materialization -- SIMD batch-gather projection vs "
+      "tuple-at-a-time boxing (FTS_GATHER=0 reference arm)");
+  const size_t rows = ScaleRows(FullScale() ? 32'000'000 : MaxRows());
+  const int reps = Reps();
+  std::printf("rows = %zu, reps = %d, wide query = SELECT c0..c4 FROM t "
+              "WHERE c0 = <v>\n\n",
+              rows, reps);
+
+  std::printf("%-12s%-8s%-14s%18s%18s%10s\n", "case", "threads",
+              "selectivity", "reference (ms)", "gather (ms)", "speedup");
+  PrintRule('-', 12 + 8 + 14 + 18 + 18 + 10);
+
+  fts::Database db;
+  for (const double selectivity : kSelectivities) {
+    fts::ScanTableOptions options;
+    options.rows = rows;
+    // One predicate column and four payload columns every row matches, so
+    // the projection width is 5 and the survivor count tracks the
+    // predicate's selectivity alone.
+    options.selectivities = {selectivity, 1.0, 1.0, 1.0, 1.0};
+    options.seed = 0x9A7;
+    // Multi-chunk so the morsel-parallel case schedules real work.
+    options.chunk_size = rows / 8;
+    const fts::GeneratedScanTable generated = fts::MakeScanTable(options);
+    FTS_CHECK(db.RegisterTable("t", generated.table).ok());
+
+    fts::ScanTableOptions dict_options = options;
+    dict_options.dictionary_encode = true;
+    const fts::GeneratedScanTable dict_generated =
+        fts::MakeScanTable(dict_options);
+    FTS_CHECK(db.RegisterTable("t_dict", dict_generated.table).ok());
+
+    const std::string where = fts::StrFormat(
+        "WHERE c0 = %d", generated.search_values[0]);
+    const std::string wide =
+        "SELECT c0, c1, c2, c3, c4 FROM t " + where;
+
+    // The headline: wide projection, serial and morsel-parallel.
+    RunCase(db, "wide", wide, selectivity, rows, 5, /*threads=*/1, reps);
+    RunCase(db, "wide-mt4", wide, selectivity, rows, 5, /*threads=*/4,
+            reps);
+    // Dictionary-encoded payloads: the gather translates codes to values
+    // through the 8-byte-window kernels instead of copying plain cells.
+    RunCase(db, "wide-dict", "SELECT c0, c1, c2, c3, c4 FROM t_dict " +
+            fts::StrFormat("WHERE c0 = %d", dict_generated.search_values[0]),
+            selectivity, rows, 5, /*threads=*/1, reps);
+    // Regression guards: narrow projection and COUNT(*) must not pay for
+    // the gather machinery (acceptance: within 5 %).
+    RunCase(db, "narrow", "SELECT c0 FROM t " + where, selectivity, rows, 1,
+            /*threads=*/1, reps);
+    RunCase(db, "count", "SELECT COUNT(*) FROM t " + where, selectivity,
+            rows, 0, /*threads=*/1, reps);
+
+    FTS_CHECK(db.DropTable("t").ok());
+    FTS_CHECK(db.DropTable("t_dict").ok());
+  }
+  std::printf(
+      "\nShape check: wide >= 2x at selectivity >= 10%% — batch gathers "
+      "replace per-cell Value boxing; narrow and count stay within 5%% "
+      "(the gather pipeline adds no fixed cost they would pay).\n");
+  return 0;
+}

@@ -104,6 +104,18 @@ double ChainCostNs(const CostProfile& profile, ScanEngine engine,
                    const std::vector<StageCost>& stages, double rows,
                    ScanMode mode);
 
+// Expected nanoseconds to batch-gather a late-materialized projection.
+// `cells_by_encoding[e]` counts output cells whose source column carries
+// ColumnEncoding e (same index space as ExecutionReport::stage_encodings:
+// 0=plain, 1=dictionary, 2=bit-packed, 3=RLE, 4=FoR, 5=delta). The kernel
+// encodings (plain/dict/packed/FoR) are priced with the engine's per-match
+// emit constant — a gathered cell is the same position-indexed load+store
+// the scan's emit path performs — and the compressed encodings reuse the
+// engine-independent compressed-domain constants: RLE cells cost one
+// range-append each, delta cells one prefix-reconstructed row each.
+double GatherCostNs(const CostProfile& profile, ScanEngine engine,
+                    const uint64_t cells_by_encoding[6]);
+
 // Expected matches of a conjunction with the given per-stage
 // selectivities (independence assumption).
 inline double ChainSelectivity(const std::vector<StageCost>& stages) {

@@ -1,0 +1,47 @@
+#ifndef FTS_EXEC_PARALLEL_PROJECT_H_
+#define FTS_EXEC_PARALLEL_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "fts/common/query_context.h"
+#include "fts/common/status.h"
+#include "fts/exec/task_pool.h"
+#include "fts/scan/projection_gather.h"
+#include "fts/storage/columnar_result.h"
+#include "fts/storage/pos_list.h"
+
+namespace fts {
+
+// Morsel-driven batch-gather projection: each chunk's survivor list is
+// one gather morsel. The output rows of chunk i start at the prefix sum
+// of the earlier chunks' match counts, so every morsel writes a disjoint
+// slice of the shared column buffers and assembly is deterministic and
+// chunk-ordered by construction — byte-identical for every thread count,
+// with no merge step at all.
+struct ParallelProjectOptions {
+  // Batch-gather kernel for kernel-eligible column-chunks (resolved from
+  // the scan's executed engine by the plan executor).
+  FusedKernelKind kernel = FusedKernelKind::kScalar;
+  // Worker threads: 0 = TaskPool::DefaultThreadCount(), 1 = inline.
+  int threads = 0;
+  // Pool to schedule on; null = TaskPool::Global() when its width matches
+  // the resolved thread count, else a local pool.
+  TaskPool* pool = nullptr;
+  // Cancellation/memory budget; checked at every gather-morsel boundary.
+  QueryContext* context = nullptr;
+};
+
+// Gathers every chunk of `matches` through `gatherer` into `out`
+// (InitResult + SetRowCount + per-chunk GatherChunk). `stats` receives
+// the merged per-encoding gather accounting. On cancellation the partial
+// output is cleared and the context's cancel status returned.
+Status ExecuteParallelGather(const ProjectionGatherer& gatherer,
+                             const TableMatches& matches,
+                             const std::vector<std::string>& names,
+                             const ParallelProjectOptions& options,
+                             ColumnarResult* out, GatherStats* stats);
+
+}  // namespace fts
+
+#endif  // FTS_EXEC_PARALLEL_PROJECT_H_

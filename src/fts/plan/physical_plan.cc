@@ -1,6 +1,7 @@
 #include "fts/plan/physical_plan.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <numeric>
 #include <optional>
@@ -8,6 +9,8 @@
 #include "fts/common/query_context.h"
 #include "fts/common/string_util.h"
 #include "fts/common/timer.h"
+#include "fts/cost/cost_model.h"
+#include "fts/exec/parallel_project.h"
 #include "fts/exec/parallel_scan.h"
 #include "fts/exec/task_pool.h"
 #include "fts/jit/jit_scan_engine.h"
@@ -648,6 +651,317 @@ StatusOr<QueryResult> ExecuteAggregatePushdown(const PhysicalPlan& plan) {
   return result;
 }
 
+// ---- Late-materialization projection (DESIGN.md §16) ----
+
+// FTS_GATHER=0 kill switch: forces the tuple-at-a-time reference
+// materializer (the bench baseline arm and the differential oracle).
+bool GatherEnabled() {
+  const char* env = std::getenv("FTS_GATHER");
+  return env == nullptr || std::string(env) != "0";
+}
+
+// Batch-gather kernel matched to the scan engine that produced the
+// positions. nullopt keeps the boxed row-at-a-time path: the SISD engines
+// are the paper's baseline and stay tuple-at-a-time end to end, which is
+// also what the differential tests diff the gather pipeline against.
+std::optional<FusedKernelKind> GatherKindFor(ScanEngine engine) {
+  switch (engine) {
+    case ScanEngine::kSisdNoVec:
+    case ScanEngine::kSisdAutoVec:
+      return std::nullopt;
+    case ScanEngine::kScalarFused:
+      return FusedKernelKind::kScalar;
+    case ScanEngine::kAvx2Fused128:
+      return FusedKernelKind::kAvx2_128;
+    case ScanEngine::kAvx512Fused128:
+      return FusedKernelKind::kAvx512_128;
+    case ScanEngine::kAvx512Fused256:
+      return FusedKernelKind::kAvx512_256;
+    case ScanEngine::kAvx512Fused512:
+    case ScanEngine::kJit:
+      return FusedKernelKind::kAvx512_512;
+    case ScanEngine::kBlockwise:
+      return BestAvailableKernel();
+  }
+  return FusedKernelKind::kScalar;
+}
+
+// The tuple-at-a-time reference: boxes every surviving cell through
+// Table::GetValue, then sorts/limits the boxed rows. Preserved verbatim
+// as the oracle the columnar pipeline must match byte-for-byte.
+void ProjectReference(const PhysicalPlan& plan, const TableMatches& matches,
+                      QueryResult* result) {
+  result->rows.reserve(result->matched_rows);
+  for (const ChunkMatches& chunk_matches : matches.chunks) {
+    for (const uint32_t pos : chunk_matches.positions) {
+      std::vector<Value> row;
+      row.reserve(plan.projection_indexes.size());
+      for (const size_t column : plan.projection_indexes) {
+        row.push_back(plan.table->GetValue(
+            column, RowId{chunk_matches.chunk_id, pos}));
+      }
+      result->rows.push_back(std::move(row));
+    }
+  }
+  if (plan.order_by_index.has_value()) {
+    const size_t key = *plan.order_by_index;
+    const bool descending = plan.order_descending;
+    std::stable_sort(result->rows.begin(), result->rows.end(),
+                     [key, descending](const std::vector<Value>& a,
+                                       const std::vector<Value>& b) {
+                       const double lhs = ValueAs<double>(a[key]);
+                       const double rhs = ValueAs<double>(b[key]);
+                       return descending ? lhs > rhs : lhs < rhs;
+                     });
+  }
+  if (plan.limit.has_value() && result->rows.size() > *plan.limit) {
+    result->rows.resize(*plan.limit);
+  }
+}
+
+// Unboxes one gathered column into sort keys. The double domain matches
+// the reference comparator (ValueAs<double>), so ordering is identical.
+std::vector<double> KeyDoubles(const ColumnarResult& columnar, size_t key) {
+  std::vector<double> keys(columnar.row_count());
+  DispatchDataType(columnar.column_type(key), [&](auto tag) {
+    using T = decltype(tag);
+    const T* data = columnar.TypedData<T>(key);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = static_cast<double>(data[i]);
+    }
+  });
+  return keys;
+}
+
+// Comparator over (key, original index): the index tiebreak reproduces
+// stable_sort order exactly, which keeps every engine/thread-count
+// combination byte-identical and makes partial selection legal.
+struct KeyOrder {
+  const std::vector<double>& keys;
+  bool descending;
+  bool operator()(uint64_t a, uint64_t b) const {
+    const double lhs = keys[a];
+    const double rhs = keys[b];
+    if (lhs != rhs) return descending ? lhs > rhs : lhs < rhs;
+    return a < b;
+  }
+};
+
+// ORDER BY + LIMIT k < matches: top-K partial selection. Gathers ONLY the
+// key column for all n survivors, partial-selects k winners, then gathers
+// the remaining cells for just those k rows — n + k*width cells instead
+// of the full n*width materialize-then-sort-then-truncate.
+Status ProjectTopK(const PhysicalPlan& plan, const TableMatches& matches,
+                   const ProjectionGatherer& gatherer,
+                   const ParallelProjectOptions& options,
+                   QueryResult* result, GatherStats* stats) {
+  const size_t key_column = *plan.order_by_index;
+  const size_t k = static_cast<size_t>(*plan.limit);
+
+  // Key pre-gather through a single-column gatherer (same kernels, same
+  // morsel fan-out, same cancellation points).
+  FTS_ASSIGN_OR_RETURN(
+      ProjectionGatherer key_gatherer,
+      ProjectionGatherer::Prepare(
+          plan.table, {plan.projection_indexes[key_column]}));
+  ColumnarResult key_result;
+  FTS_RETURN_IF_ERROR(ExecuteParallelGather(
+      key_gatherer, matches, {plan.projection_names[key_column]}, options,
+      &key_result, stats));
+  const std::vector<double> keys = KeyDoubles(key_result, 0);
+
+  std::vector<uint64_t> ranks(keys.size());
+  std::iota(ranks.begin(), ranks.end(), uint64_t{0});
+  std::partial_sort(ranks.begin(), ranks.begin() + k, ranks.end(),
+                    KeyOrder{keys, plan.order_descending});
+  ranks.resize(k);
+
+  // The winners in ascending global order: the compressed gathers (RLE
+  // runs, delta blocks) require ascending positions within a chunk.
+  std::vector<uint64_t> ascending(ranks);
+  std::sort(ascending.begin(), ascending.end());
+
+  // Slice the ascending winners back into per-chunk position lists.
+  TableMatches selected;
+  selected.chunks.reserve(matches.chunks.size());
+  size_t cursor = 0;
+  uint64_t base = 0;
+  for (const ChunkMatches& chunk : matches.chunks) {
+    ChunkMatches keep;
+    keep.chunk_id = chunk.chunk_id;
+    const uint64_t end = base + chunk.positions.size();
+    while (cursor < ascending.size() && ascending[cursor] < end) {
+      keep.positions.push_back(
+          chunk.positions[static_cast<size_t>(ascending[cursor] - base)]);
+      ++cursor;
+    }
+    selected.chunks.push_back(std::move(keep));
+    base = end;
+  }
+
+  // Gather the k winners (ascending order), then permute to rank order.
+  FTS_RETURN_IF_ERROR(ExecuteParallelGather(gatherer, selected,
+                                            plan.projection_names, options,
+                                            &result->columnar, stats));
+  std::vector<uint32_t> perm(k);
+  for (size_t r = 0; r < k; ++r) {
+    perm[r] = static_cast<uint32_t>(
+        std::lower_bound(ascending.begin(), ascending.end(), ranks[r]) -
+        ascending.begin());
+  }
+  result->columnar.ApplyPermutation(perm);
+  return Status::Ok();
+}
+
+// JIT-mirrored projection: every chunk's survivors materialized by the
+// generated fused gather operator — all projected columns in one pass
+// over the position list, each column's encoding burned into the code
+// (fts/jit/code_generator.h). Serial by design: JIT-executed plans run
+// chunks serially, and the compiled module is shared across chunks via
+// the global cache. Any failure other than cancellation falls back to
+// the static kernels in the caller.
+Status ProjectJitGather(const PhysicalPlan& plan, const TableMatches& matches,
+                        const ProjectionGatherer& gatherer,
+                        QueryResult* result, GatherStats* stats) {
+  const size_t width = gatherer.column_count();
+  ColumnarResult* out = &result->columnar;
+  gatherer.InitResult(plan.projection_names, out);
+
+  size_t total_rows = 0;
+  for (const ChunkMatches& chunk : matches.chunks) {
+    total_rows += chunk.positions.size();
+  }
+  QueryContext* ctx = plan.context;
+  ScopedMemoryReservation reservation;
+  if (ctx != nullptr) {
+    uint64_t bytes = 0;
+    for (size_t c = 0; c < width; ++c) {
+      bytes += total_rows * DataTypeSize(gatherer.output_type(c));
+    }
+    FTS_RETURN_IF_ERROR(reservation.Reserve(ctx, bytes));
+  }
+  out->SetRowCount(total_rows);
+
+  JitChunkStats jit_stats;
+  size_t dst_offset = 0;
+  for (const ChunkMatches& chunk : matches.chunks) {
+    if (chunk.positions.empty()) continue;
+    if (ctx != nullptr) FTS_RETURN_IF_ERROR(ctx->CheckCancelled());
+    GatherTerm terms[kMaxGatherTerms];
+    void* outs[kMaxGatherTerms];
+    for (size_t c = 0; c < width; ++c) {
+      if (!gatherer.KernelTermFor(chunk.chunk_id, c, &terms[c])) {
+        return Status::InvalidArgument(
+            "column-chunk is not kernel-eligible for the JIT gather");
+      }
+      outs[c] = out->MutableData(c, dst_offset);
+    }
+    FTS_ASSIGN_OR_RETURN(
+        const size_t gathered,
+        JitExecuteChunkGather(GlobalJitCache(), terms, width,
+                              chunk.positions.data(), chunk.positions.size(),
+                              outs, &jit_stats, ctx));
+    FTS_CHECK(gathered == chunk.positions.size());
+    gatherer.CreditKernelGather(chunk.chunk_id, chunk.positions.size(),
+                                stats);
+    dst_offset += chunk.positions.size();
+  }
+
+  ExecutionReport& report = result->execution_report;
+  report.jit_compile_millis += jit_stats.compile_millis;
+  report.jit_cache_hits += jit_stats.cache_hits;
+  report.jit_cache_misses += jit_stats.cache_misses;
+  return Status::Ok();
+}
+
+// The columnar projection pipeline: per-chunk SIMD batch-gather into
+// typed column buffers, ORDER BY as a gathered-key permutation, LIMIT as
+// truncation or top-K selection. Boxing is deferred to QueryResult::
+// ValueAt.
+Status ProjectColumnar(const PhysicalPlan& plan, const TableMatches& matches,
+                       FusedKernelKind kind, QueryResult* result) {
+  FTS_ASSIGN_OR_RETURN(
+      ProjectionGatherer gatherer,
+      ProjectionGatherer::Prepare(plan.table, plan.projection_indexes));
+
+  ParallelProjectOptions options;
+  options.kernel = kind;
+  options.threads =
+      plan.threads != 0 ? plan.threads : TaskPool::ThreadCountFromEnv(1);
+  options.context = plan.context;
+
+  GatherStats stats;
+  const bool top_k = plan.order_by_index.has_value() &&
+                     plan.limit.has_value() &&
+                     *plan.limit < result->matched_rows;
+  bool jit_gather = false;
+  if (top_k) {
+    FTS_RETURN_IF_ERROR(
+        ProjectTopK(plan, matches, gatherer, options, result, &stats));
+  } else {
+    // JIT-executed serial plans mirror the projection in generated code:
+    // one fused pass over each chunk's positions, compiled per column-
+    // shape signature. Eligibility matches the scan's serial execution
+    // (morsel-parallel plans keep the static kernels' disjoint-slice
+    // fan-out) and requires every column-chunk on the kernel path.
+    if (result->execution_report.executed.engine == ScanEngine::kJit &&
+        options.threads <= 1 && gatherer.column_count() > 0 &&
+        gatherer.column_count() <= kMaxGatherTerms &&
+        gatherer.AllKernelEligible()) {
+      const Status jit_status =
+          ProjectJitGather(plan, matches, gatherer, result, &stats);
+      if (jit_status.ok()) {
+        jit_gather = true;
+      } else if (jit_status.code() == StatusCode::kQueryCanceled ||
+                 jit_status.code() == StatusCode::kDeadlineExceeded ||
+                 jit_status.code() == StatusCode::kResourceExhausted) {
+        return jit_status;
+      }
+      // Anything else (no usable compiler, poisoned signature, shape the
+      // generator rejects) demotes to the static gather kernels below.
+    }
+    if (!jit_gather) {
+      stats = GatherStats{};
+      FTS_RETURN_IF_ERROR(ExecuteParallelGather(
+          gatherer, matches, plan.projection_names, options,
+          &result->columnar, &stats));
+    }
+    if (plan.order_by_index.has_value()) {
+      const std::vector<double> keys =
+          KeyDoubles(result->columnar, *plan.order_by_index);
+      std::vector<uint64_t> order(keys.size());
+      std::iota(order.begin(), order.end(), uint64_t{0});
+      std::sort(order.begin(), order.end(),
+                KeyOrder{keys, plan.order_descending});
+      std::vector<uint32_t> perm(order.begin(), order.end());
+      result->columnar.ApplyPermutation(perm);
+    }
+    if (plan.limit.has_value()) {
+      result->columnar.TruncateRows(static_cast<size_t>(*plan.limit));
+    }
+  }
+  result->columnar_valid = true;
+
+  ExecutionReport& report = result->execution_report;
+  report.gather_engine = jit_gather ? "jit" : FusedKernelKindToString(kind);
+  for (size_t e = 0; e < 6; ++e) {
+    report.gather_rows[e] = stats.rows_by_encoding[e];
+  }
+  report.gather_kernel_rows = stats.kernel_rows;
+  report.gather_typed_rows = stats.typed_rows;
+  report.gather_delta_blocks = stats.delta_blocks_decoded;
+  // Price the gathered cells with the calibrated emit constants — the
+  // Project stage's est-vs-actual in EXPLAIN ANALYZE.
+  if (report.model_active) {
+    const cost::CostProfile& profile = cost::CalibratedProfile();
+    report.project_est_millis =
+        cost::GatherCostNs(profile, report.executed.engine,
+                           report.gather_rows) /
+        1e6;
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string QueryResult::ToString(size_t max_rows) const {
@@ -658,15 +972,20 @@ std::string QueryResult::ToString(size_t max_rows) const {
                      static_cast<unsigned long long>(*count));
   }
   out += Join(column_names, " | ") + "\n";
-  const size_t shown = std::min(rows.size(), max_rows);
+  const size_t total = RowCountOut();
+  const size_t shown = std::min(total, max_rows);
+  const size_t width =
+      columnar_valid ? columnar.column_count() : column_names.size();
   for (size_t r = 0; r < shown; ++r) {
     std::vector<std::string> cells;
-    cells.reserve(rows[r].size());
-    for (const Value& value : rows[r]) cells.push_back(ValueToString(value));
+    cells.reserve(width);
+    for (size_t c = 0; c < (columnar_valid ? width : rows[r].size()); ++c) {
+      cells.push_back(ValueToString(ValueAt(r, c)));
+    }
     out += Join(cells, " | ") + "\n";
   }
-  if (rows.size() > shown) {
-    out += StrFormat("... (%zu more rows)\n", rows.size() - shown);
+  if (total > shown) {
+    out += StrFormat("... (%zu more rows)\n", total - shown);
   }
   return out;
 }
@@ -849,37 +1168,30 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalPlan& plan) {
 
   Stopwatch project_timer;
   result.column_names = plan.projection_names;
-  result.rows.reserve(result.matched_rows);
-  for (const ChunkMatches& chunk_matches : matches->chunks) {
-    for (const uint32_t pos : chunk_matches.positions) {
-      std::vector<Value> row;
-      row.reserve(plan.projection_indexes.size());
-      for (const size_t column : plan.projection_indexes) {
-        row.push_back(plan.table->GetValue(
-            column, RowId{chunk_matches.chunk_id, pos}));
-      }
-      result.rows.push_back(std::move(row));
-    }
+  // Late materialization: per-chunk SIMD batch-gather into typed column
+  // buffers, matched to the scan engine. The SISD engines (and the
+  // FTS_GATHER=0 kill switch) keep the tuple-at-a-time reference path.
+  const std::optional<FusedKernelKind> gather_kind =
+      GatherEnabled()
+          ? GatherKindFor(result.execution_report.executed.engine)
+          : std::nullopt;
+  if (gather_kind.has_value()) {
+    FTS_RETURN_IF_ERROR(ProjectColumnar(plan, *matches, *gather_kind,
+                                        &result));
+  } else {
+    ProjectReference(plan, *matches, &result);
+    result.execution_report.gather_engine = "reference";
   }
-
-  // ORDER BY / LIMIT on the materialized projection.
-  if (plan.order_by_index.has_value()) {
-    const size_t key = *plan.order_by_index;
-    const bool descending = plan.order_descending;
-    std::stable_sort(result.rows.begin(), result.rows.end(),
-                     [key, descending](const std::vector<Value>& a,
-                                       const std::vector<Value>& b) {
-                       const double lhs = ValueAs<double>(a[key]);
-                       const double rhs = ValueAs<double>(b[key]);
-                       return descending ? lhs > rhs : lhs < rhs;
-                     });
-  }
-  if (plan.limit.has_value() && result.rows.size() > *plan.limit) {
-    result.rows.resize(*plan.limit);
-  }
-  result.execution_report.stages.push_back(
-      StageReport{"Project", result.matched_rows, result.rows.size(),
-                  project_timer.ElapsedMillis()});
+  StageReport project_stage{"Project", result.matched_rows,
+                            result.RowCountOut(),
+                            project_timer.ElapsedMillis()};
+  project_stage.has_estimate = result.execution_report.model_active;
+  project_stage.est_rows_out =
+      plan.limit.has_value()
+          ? std::min(result.execution_report.est_rows,
+                     static_cast<double>(*plan.limit))
+          : result.execution_report.est_rows;
+  result.execution_report.stages.push_back(std::move(project_stage));
   return result;
 }
 
@@ -925,6 +1237,38 @@ std::string RenderExplainAnalyze(const PhysicalPlan& plan,
                        output_stage->millis);
     }
     out += "\n";
+    // Late-materialization gather attribution (DESIGN.md §16). Rendered
+    // whenever a projection executed — harnesses grep for `Gather:`.
+    if (!report.gather_engine.empty()) {
+      out += StrFormat("  Gather: engine=%s", report.gather_engine.c_str());
+      uint64_t gathered = 0;
+      for (size_t e = 0; e < 6; ++e) gathered += report.gather_rows[e];
+      if (gathered > 0) {
+        std::vector<std::string> parts;
+        for (size_t e = 0; e < 6; ++e) {
+          if (report.gather_rows[e] == 0) continue;
+          parts.push_back(StrFormat(
+              "%s x%llu",
+              ColumnEncodingName(static_cast<ColumnEncoding>(e)),
+              static_cast<unsigned long long>(report.gather_rows[e])));
+        }
+        out += " cells={" + Join(parts, ", ") + "}";
+        out += StrFormat(
+            ", kernel=%llu typed=%llu",
+            static_cast<unsigned long long>(report.gather_kernel_rows),
+            static_cast<unsigned long long>(report.gather_typed_rows));
+        if (report.gather_delta_blocks > 0) {
+          out += StrFormat(
+              ", delta blocks decoded=%llu",
+              static_cast<unsigned long long>(report.gather_delta_blocks));
+        }
+      }
+      if (report.project_est_millis > 0.0 && output_stage != nullptr) {
+        out += StrFormat(", est=%.3f ms actual=%.3f ms",
+                         report.project_est_millis, output_stage->millis);
+      }
+      out += "\n";
+    }
   }
 
   // Query lifecycle actuals. The `Deadline:` and `QueueWait:` markers are

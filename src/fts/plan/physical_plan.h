@@ -9,6 +9,7 @@
 #include "fts/scan/scan_engine.h"
 #include "fts/scan/scan_spec.h"
 #include "fts/sql/ast.h"
+#include "fts/storage/columnar_result.h"
 #include "fts/storage/pos_list.h"
 #include "fts/storage/table.h"
 
@@ -17,8 +18,16 @@ namespace fts {
 // Result of executing a query.
 struct QueryResult {
   std::vector<std::string> column_names;
-  // Materialized rows (projection queries). Empty for COUNT(*).
+  // Boxed rows: aggregate outputs, and projections materialized by the
+  // tuple-at-a-time reference path (SISD engines, FTS_GATHER=0). Empty for
+  // COUNT(*) and for columnar projections.
   std::vector<std::vector<Value>> rows;
+  // Late-materialized projection: typed column buffers filled by the SIMD
+  // batch-gather pipeline (fts/scan/projection_gather.h). Authoritative
+  // when `columnar_valid` is true — `rows` then stays empty and boxed
+  // Values are produced on demand at the API/shell boundary (ValueAt).
+  ColumnarResult columnar;
+  bool columnar_valid = false;
   // COUNT(*) value when the query aggregates.
   std::optional<uint64_t> count;
   // Rows matched by the scan pipeline (== rows.size() for projections).
@@ -29,6 +38,18 @@ struct QueryResult {
   // Non-empty for EXPLAIN / EXPLAIN ANALYZE: the rendered (annotated)
   // plan. ToString() returns it verbatim in that case.
   std::string explain_text;
+
+  // Output rows regardless of representation.
+  size_t RowCountOut() const {
+    return columnar_valid ? columnar.row_count() : rows.size();
+  }
+  // Boxed value at (row, column) regardless of representation. This is the
+  // deferred-materialization point: columnar results box exactly the cells
+  // a consumer actually reads.
+  Value ValueAt(size_t row, size_t column) const {
+    return columnar_valid ? columnar.ValueAt(row, column)
+                          : rows[row][column];
+  }
 
   // Renders a small result table (examples/debugging).
   std::string ToString(size_t max_rows = 20) const;

@@ -201,6 +201,24 @@ struct ExecutionReport {
   uint64_t rle_runs_skipped = 0;
   uint64_t delta_blocks_pruned = 0;
   uint64_t delta_blocks_decoded = 0;
+  // Late-materialization projection (fts/scan/projection_gather.h).
+  // `gather_engine` labels the batch-gather kernel that materialized the
+  // projection ("avx512-512", "avx2-128", "scalar", or "reference" for the
+  // tuple-at-a-time row materializer the SISD engines keep).
+  // `gather_rows[e]` counts output cells gathered from source columns with
+  // ColumnEncoding e; the kernel/typed split separates cells produced by
+  // the SIMD gather kernels from the typed narrow-width/run/block loops.
+  // `gather_delta_blocks` counts delta blocks the gather had to
+  // prefix-reconstruct (blocks without survivors are never decoded).
+  // `project_est_millis` is the cost model's predicted Project-stage wall
+  // time (emit-constant pricing of the gathered cells); 0 when the model
+  // was off or the reference path ran.
+  std::string gather_engine;
+  uint64_t gather_rows[6] = {0, 0, 0, 0, 0, 0};
+  uint64_t gather_kernel_rows = 0;
+  uint64_t gather_typed_rows = 0;
+  uint64_t gather_delta_blocks = 0;
+  double project_est_millis = 0.0;
   // Aggregate pushdown: true when the plan folded its aggregates inside
   // the scan kernels instead of materializing a position list;
   // `rows_folded` counts the matched rows folded into accumulators

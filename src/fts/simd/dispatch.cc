@@ -2,6 +2,7 @@
 
 #include "fts/common/cpu_info.h"
 #include "fts/common/string_util.h"
+#include "fts/simd/gather_kernels.h"
 #include "fts/simd/kernels_avx2.h"
 #include "fts/simd/kernels_avx512.h"
 #include "fts/simd/kernels_scalar.h"
@@ -78,6 +79,29 @@ StatusOr<FusedAggScanFn> GetFusedAggKernel(FusedKernelKind kind) {
         return FusedAggScanFn{&FusedAggScanAvx512_256};
       }
       return FusedAggScanFn{&FusedAggScanAvx512_512};
+  }
+  return Status::InvalidArgument("unknown kernel kind");
+}
+
+StatusOr<GatherFn> GetGatherKernel(FusedKernelKind kind) {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  switch (kind) {
+    case FusedKernelKind::kScalar:
+      return GatherFn{&GatherScalar};
+    case FusedKernelKind::kAvx2_128:
+      if (!cpu.avx2) {
+        return Status::Unavailable("CPU does not support AVX2");
+      }
+      return GatherFn{&GatherAvx2};
+    case FusedKernelKind::kAvx512_128:
+    case FusedKernelKind::kAvx512_256:
+    case FusedKernelKind::kAvx512_512:
+      if (!cpu.HasFusedScanAvx512()) {
+        return Status::Unavailable(StrFormat(
+            "CPU lacks AVX-512 F/BW/DQ/VL (detected: %s)",
+            cpu.ToString().c_str()));
+      }
+      return GatherFn{&GatherAvx512};
   }
   return Status::InvalidArgument("unknown kernel kind");
 }

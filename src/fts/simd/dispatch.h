@@ -6,6 +6,7 @@
 
 #include "fts/common/status.h"
 #include "fts/simd/agg_spec.h"
+#include "fts/simd/gather_spec.h"
 #include "fts/simd/scan_stage.h"
 
 namespace fts {
@@ -30,6 +31,11 @@ StatusOr<FusedScanFn> GetFusedScanKernel(FusedKernelKind kind);
 // Returns the aggregate-pushdown kernel for `kind` (same availability
 // rules as GetFusedScanKernel).
 StatusOr<FusedAggScanFn> GetFusedAggKernel(FusedKernelKind kind);
+
+// Returns the batch-gather kernel for `kind` (same availability rules).
+// The three AVX-512 widths share one gather implementation: gathers are
+// indexed loads, so there is no narrow-register variant worth keeping.
+StatusOr<GatherFn> GetGatherKernel(FusedKernelKind kind);
 
 // The fastest kernel available on this CPU (AVX-512 512-bit when present,
 // else AVX2, else scalar).

@@ -1,0 +1,177 @@
+// AVX2 batch-gather kernels (compiled with -mavx2; reached behind the
+// GetCpuFeatures().avx2 dispatch gate). AVX2 has no fault-suppressing
+// partial masks, so the loops run full 8- or 4-lane groups and hand the
+// tail to the scalar reference — the tail is at most 7 rows, noise next
+// to the gather itself.
+
+#include <immintrin.h>
+
+#include "fts/simd/gather_kernels.h"
+
+namespace fts {
+namespace {
+
+// Lane indices 0,2,4,6 of an epi64 vector viewed as epi32 — compacts four
+// 64-bit code lanes into four 32-bit lanes (the epi64->epi32 truncation
+// AVX-512 gets from cvtepi64_epi32).
+inline __m128i TruncateEpi64ToEpi32(__m256i v) {
+  const __m256i packed = _mm256_permutevar8x32_epi32(
+      v, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+  return _mm256_castsi256_si128(packed);
+}
+
+void GatherPlain32(const void* data, const uint32_t* positions, size_t n,
+                   void* out) {
+  auto* dst = static_cast<uint32_t*>(out);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(positions + i));
+    const __m256i vals =
+        _mm256_i32gather_epi32(static_cast<const int*>(data), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vals);
+  }
+  if (i < n) {
+    GatherTerm tail;
+    tail.data = data;
+    tail.type = ScanElementType::kU32;
+    GatherScalar(tail, positions + i, n - i, dst + i);
+  }
+}
+
+void GatherPlain64(const void* data, const uint32_t* positions, size_t n,
+                   void* out) {
+  auto* dst = static_cast<uint64_t*>(out);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(positions + i));
+    const __m256i vals = _mm256_i32gather_epi64(
+        static_cast<const long long*>(data), idx, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vals);
+  }
+  if (i < n) {
+    GatherTerm tail;
+    tail.data = data;
+    tail.type = ScanElementType::kU64;
+    GatherScalar(tail, positions + i, n - i, dst + i);
+  }
+}
+
+void GatherCodes32(const GatherTerm& term, const uint32_t* positions,
+                   size_t n, void* out) {
+  auto* dst = static_cast<uint32_t*>(out);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(positions + i));
+    const __m256i codes = _mm256_i32gather_epi32(
+        static_cast<const int*>(term.data), idx, 4);
+    const __m256i vals = _mm256_i32gather_epi32(
+        static_cast<const int*>(term.dict), codes, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vals);
+  }
+  if (i < n) GatherScalar(term, positions + i, n - i, dst + i);
+}
+
+void GatherCodes64(const GatherTerm& term, const uint32_t* positions,
+                   size_t n, void* out) {
+  auto* dst = static_cast<uint64_t*>(out);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(positions + i));
+    const __m128i codes = _mm_i32gather_epi32(
+        static_cast<const int*>(term.data), idx, 4);
+    const __m256i vals = _mm256_i32gather_epi64(
+        static_cast<const long long*>(term.dict), codes, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), vals);
+  }
+  if (i < n) GatherScalar(term, positions + i, n - i, dst + i);
+}
+
+// Bit-packed codes, 4 lanes per iteration: byte-granular window gather
+// (scale-1 i32gather_epi64 into the slack-padded stream), variable shift,
+// mask — then dictionary translation or frame-of-reference rebase.
+void GatherPacked(const GatherTerm& term, const uint32_t* positions,
+                  size_t n, void* out) {
+  const __m256i bit_mask =
+      _mm256_set1_epi64x((uint64_t{1} << term.packed_bits) - 1);
+  const __m256i base =
+      _mm256_set1_epi64x(static_cast<long long>(term.base_bits));
+  const __m128i bits = _mm_set1_epi32(term.packed_bits);
+  const __m128i seven = _mm_set1_epi32(7);
+  const bool wide = GatherElementIs64(term.type);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i idx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(positions + i));
+    const __m128i bit_off = _mm_mullo_epi32(idx, bits);
+    const __m128i byte_off = _mm_srli_epi32(bit_off, 3);
+    const __m128i shift32 = _mm_and_si128(bit_off, seven);
+    const __m256i windows = _mm256_i32gather_epi64(
+        static_cast<const long long*>(term.data), byte_off, 1);
+    const __m256i shift64 = _mm256_cvtepu32_epi64(shift32);
+    const __m256i codes64 = _mm256_and_si256(
+        _mm256_srlv_epi64(windows, shift64), bit_mask);
+    if (term.dict != nullptr) {
+      const __m128i codes32 = TruncateEpi64ToEpi32(codes64);
+      if (wide) {
+        const __m256i vals = _mm256_i32gather_epi64(
+            static_cast<const long long*>(term.dict), codes32, 8);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(static_cast<uint64_t*>(out) + i),
+            vals);
+      } else {
+        const __m128i vals = _mm_i32gather_epi32(
+            static_cast<const int*>(term.dict), codes32, 4);
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i*>(static_cast<uint32_t*>(out) + i),
+            vals);
+      }
+      continue;
+    }
+    const __m256i vals = _mm256_add_epi64(codes64, base);
+    if (wide) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(static_cast<uint64_t*>(out) + i),
+          vals);
+    } else {
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(static_cast<uint32_t*>(out) + i),
+          TruncateEpi64ToEpi32(vals));
+    }
+  }
+  if (i < n) {
+    GatherScalar(term, positions + i, n - i,
+                 wide ? static_cast<void*>(static_cast<uint64_t*>(out) + i)
+                      : static_cast<void*>(static_cast<uint32_t*>(out) + i));
+  }
+}
+
+}  // namespace
+
+void GatherAvx2(const GatherTerm& term, const uint32_t* positions,
+                size_t n, void* out) {
+  if (n == 0) return;
+  if (term.packed_bits != 0) {
+    GatherPacked(term, positions, n, out);
+    return;
+  }
+  const bool wide = GatherElementIs64(term.type);
+  if (term.dict != nullptr) {
+    if (wide) {
+      GatherCodes64(term, positions, n, out);
+    } else {
+      GatherCodes32(term, positions, n, out);
+    }
+    return;
+  }
+  if (wide) {
+    GatherPlain64(term.data, positions, n, out);
+  } else {
+    GatherPlain32(term.data, positions, n, out);
+  }
+}
+
+}  // namespace fts

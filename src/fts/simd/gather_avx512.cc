@@ -1,0 +1,165 @@
+// AVX-512 batch-gather kernels (compiled with -mavx512f/bw/dq/vl; only
+// reached behind the GetCpuFeatures().HasFusedScanAvx512() dispatch gate).
+//
+// Every loop is fully masked — the tail iteration runs the same gather
+// with a partial mask instead of a scalar epilogue, which is what makes
+// the 0/1/15/17-survivor tails exercise the identical code path as full
+// registers. Masked-off gather lanes are fault-suppressed by the ISA, so
+// partial masks never read past the column.
+
+#include <immintrin.h>
+
+#include "fts/simd/gather_kernels.h"
+
+namespace fts {
+namespace {
+
+// Mask for the iteration starting at `i` of `n` lanes total.
+inline __mmask16 TailMask16(size_t i, size_t n) {
+  const size_t left = n - i;
+  return left >= 16 ? static_cast<__mmask16>(0xFFFF)
+                    : static_cast<__mmask16>((1u << left) - 1);
+}
+
+inline __mmask8 TailMask8(size_t i, size_t n) {
+  const size_t left = n - i;
+  return left >= 8 ? static_cast<__mmask8>(0xFF)
+                   : static_cast<__mmask8>((1u << left) - 1);
+}
+
+// Plain 4-byte elements: 16 positions -> one masked i32gather_epi32.
+void GatherPlain32(const void* data, const uint32_t* positions, size_t n,
+                   void* out) {
+  auto* dst = static_cast<uint32_t*>(out);
+  for (size_t i = 0; i < n; i += 16) {
+    const __mmask16 mask = TailMask16(i, n);
+    const __m512i idx = _mm512_maskz_loadu_epi32(mask, positions + i);
+    const __m512i vals = _mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), mask, idx, data, 4);
+    _mm512_mask_storeu_epi32(dst + i, mask, vals);
+  }
+}
+
+// Plain 8-byte elements: 8 positions -> one masked i32gather_epi64.
+void GatherPlain64(const void* data, const uint32_t* positions, size_t n,
+                   void* out) {
+  auto* dst = static_cast<uint64_t*>(out);
+  for (size_t i = 0; i < n; i += 8) {
+    const __mmask8 mask = TailMask8(i, n);
+    const __m256i idx = _mm256_maskz_loadu_epi32(mask, positions + i);
+    const __m512i vals = _mm512_mask_i32gather_epi64(
+        _mm512_setzero_si512(), mask, idx, data, 8);
+    _mm512_mask_storeu_epi64(dst + i, mask, vals);
+  }
+}
+
+// Dictionary codes in a plain u32 vector: gather the codes, then gather
+// the decode table with the codes as indices (two dependent gathers, still
+// no scalar work per row).
+void GatherCodes32(const GatherTerm& term, const uint32_t* positions,
+                   size_t n, void* out) {
+  auto* dst = static_cast<uint32_t*>(out);
+  for (size_t i = 0; i < n; i += 16) {
+    const __mmask16 mask = TailMask16(i, n);
+    const __m512i idx = _mm512_maskz_loadu_epi32(mask, positions + i);
+    const __m512i codes = _mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), mask, idx, term.data, 4);
+    const __m512i vals = _mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), mask, codes, term.dict, 4);
+    _mm512_mask_storeu_epi32(dst + i, mask, vals);
+  }
+}
+
+void GatherCodes64(const GatherTerm& term, const uint32_t* positions,
+                   size_t n, void* out) {
+  auto* dst = static_cast<uint64_t*>(out);
+  for (size_t i = 0; i < n; i += 8) {
+    const __mmask8 mask = TailMask8(i, n);
+    const __m256i idx = _mm256_maskz_loadu_epi32(mask, positions + i);
+    const __m256i codes = _mm256_mmask_i32gather_epi32(
+        _mm256_setzero_si256(), mask, idx, term.data, 4);
+    const __m512i vals = _mm512_mask_i32gather_epi64(
+        _mm512_setzero_si512(), mask, codes, term.dict, 8);
+    _mm512_mask_storeu_epi64(dst + i, mask, vals);
+  }
+}
+
+// Bit-packed codes (dictionary or frame-of-reference): the paper's 8-byte
+// window dataflow, batched — per lane compute the code's byte offset and
+// intra-byte shift, gather the 8-byte windows at byte granularity
+// (scale-1 i32gather_epi64, in-bounds thanks to kBitPackedSlackBytes),
+// then variable-shift and mask the codes out. 8 lanes per iteration
+// (window width caps the lane width at 64 bits).
+void GatherPacked(const GatherTerm& term, const uint32_t* positions,
+                  size_t n, void* out) {
+  const __m512i bit_mask =
+      _mm512_set1_epi64((uint64_t{1} << term.packed_bits) - 1);
+  const __m512i base = _mm512_set1_epi64(
+      static_cast<long long>(term.base_bits));
+  const __m256i bits256 = _mm256_set1_epi32(term.packed_bits);
+  const bool wide = GatherElementIs64(term.type);
+  for (size_t i = 0; i < n; i += 8) {
+    const __mmask8 mask = TailMask8(i, n);
+    const __m256i idx = _mm256_maskz_loadu_epi32(mask, positions + i);
+    const __m256i bit_off = _mm256_mullo_epi32(idx, bits256);
+    const __m256i byte_off = _mm256_srli_epi32(bit_off, 3);
+    const __m256i shift32 = _mm256_and_si256(bit_off,
+                                             _mm256_set1_epi32(7));
+    const __m512i windows = _mm512_mask_i32gather_epi64(
+        _mm512_setzero_si512(), mask, byte_off, term.data, 1);
+    const __m512i shift64 = _mm512_cvtepu32_epi64(shift32);
+    const __m512i codes64 = _mm512_and_si512(
+        _mm512_srlv_epi64(windows, shift64), bit_mask);
+    if (term.dict != nullptr) {
+      const __m256i codes32 = _mm512_cvtepi64_epi32(codes64);
+      if (wide) {
+        const __m512i vals = _mm512_mask_i32gather_epi64(
+            _mm512_setzero_si512(), mask, codes32, term.dict, 8);
+        _mm512_mask_storeu_epi64(static_cast<uint64_t*>(out) + i, mask,
+                                 vals);
+      } else {
+        const __m256i vals = _mm256_mmask_i32gather_epi32(
+            _mm256_setzero_si256(), mask, codes32, term.dict, 4);
+        _mm256_mask_storeu_epi32(static_cast<uint32_t*>(out) + i, mask,
+                                 vals);
+      }
+      continue;
+    }
+    // Frame-of-reference rebase: wraparound add in 64-bit, truncate to
+    // the element width on store.
+    const __m512i vals = _mm512_add_epi64(codes64, base);
+    if (wide) {
+      _mm512_mask_storeu_epi64(static_cast<uint64_t*>(out) + i, mask, vals);
+    } else {
+      _mm256_mask_storeu_epi32(static_cast<uint32_t*>(out) + i, mask,
+                               _mm512_cvtepi64_epi32(vals));
+    }
+  }
+}
+
+}  // namespace
+
+void GatherAvx512(const GatherTerm& term, const uint32_t* positions,
+                  size_t n, void* out) {
+  if (n == 0) return;
+  if (term.packed_bits != 0) {
+    GatherPacked(term, positions, n, out);
+    return;
+  }
+  const bool wide = GatherElementIs64(term.type);
+  if (term.dict != nullptr) {
+    if (wide) {
+      GatherCodes64(term, positions, n, out);
+    } else {
+      GatherCodes32(term, positions, n, out);
+    }
+    return;
+  }
+  if (wide) {
+    GatherPlain64(term.data, positions, n, out);
+  } else {
+    GatherPlain32(term.data, positions, n, out);
+  }
+}
+
+}  // namespace fts

@@ -1,0 +1,28 @@
+#ifndef FTS_SIMD_GATHER_KERNELS_H_
+#define FTS_SIMD_GATHER_KERNELS_H_
+
+#include "fts/simd/gather_spec.h"
+
+namespace fts {
+
+// Portable scalar batch-gather — the semantic reference for the SIMD
+// implementations and the fallback on CPUs without AVX2/AVX-512.
+void GatherScalar(const GatherTerm& term, const uint32_t* positions,
+                  size_t n, void* out);
+
+// AVX2 batch-gather: 8-lane _mm256_i32gather for plain 4-byte elements
+// and dictionary translation, 4-lane i32gather_epi64 for 8-byte elements;
+// bit-packed windows are loaded with i32gather_epi64 at byte granularity.
+// Tails run through the scalar reference.
+void GatherAvx2(const GatherTerm& term, const uint32_t* positions,
+                size_t n, void* out);
+
+// AVX-512 batch-gather: 16-lane masked i32gather_epi32 / 8-lane
+// i32gather_epi64 with maskz tails (no scalar epilogue). Requires
+// F/BW/DQ/VL, same gate as the fused scan kernels.
+void GatherAvx512(const GatherTerm& term, const uint32_t* positions,
+                  size_t n, void* out);
+
+}  // namespace fts
+
+#endif  // FTS_SIMD_GATHER_KERNELS_H_

@@ -1,0 +1,51 @@
+#include <cstring>
+
+#include "fts/simd/gather_kernels.h"
+
+namespace fts {
+namespace {
+
+// Direct typed copy for plain columns — lets the compiler keep the loop a
+// load/store pair per element instead of going through GatherBitsAtRow's
+// switch.
+template <typename T>
+void GatherPlain(const void* data, const uint32_t* positions, size_t n,
+                 void* out) {
+  const T* src = static_cast<const T*>(data);
+  T* dst = static_cast<T*>(out);
+  for (size_t i = 0; i < n; ++i) dst[i] = src[positions[i]];
+}
+
+template <typename T>
+void GatherDecoded(const GatherTerm& term, const uint32_t* positions,
+                   size_t n, void* out) {
+  T* dst = static_cast<T*>(out);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bits = GatherBitsAtRow(term, positions[i]);
+    T value;
+    __builtin_memcpy(&value, &bits, sizeof(T));
+    dst[i] = value;
+  }
+}
+
+}  // namespace
+
+void GatherScalar(const GatherTerm& term, const uint32_t* positions,
+                  size_t n, void* out) {
+  const bool wide = GatherElementIs64(term.type);
+  if (term.dict == nullptr && term.packed_bits == 0) {
+    if (wide) {
+      GatherPlain<uint64_t>(term.data, positions, n, out);
+    } else {
+      GatherPlain<uint32_t>(term.data, positions, n, out);
+    }
+    return;
+  }
+  if (wide) {
+    GatherDecoded<uint64_t>(term, positions, n, out);
+  } else {
+    GatherDecoded<uint32_t>(term, positions, n, out);
+  }
+}
+
+}  // namespace fts

@@ -1,0 +1,144 @@
+#ifndef FTS_STORAGE_COLUMNAR_RESULT_H_
+#define FTS_STORAGE_COLUMNAR_RESULT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fts/common/aligned_buffer.h"
+#include "fts/common/macros.h"
+#include "fts/storage/data_type.h"
+#include "fts/storage/value.h"
+
+namespace fts {
+
+// Late-materialization query result: one dense typed vector per projected
+// column instead of boxed `std::vector<Value>` rows. The batch-gather
+// kernels write straight into these buffers (DESIGN.md §16); `Value`
+// boxing is deferred to the API/shell boundary via ValueAt — a result
+// that is only counted, aggregated further, or sliced by LIMIT never
+// boxes the rows it drops.
+//
+// Columns are raw byte buffers tagged with their DataType; the element
+// width is DataTypeSize(type). Buffers are 64-byte aligned so the gather
+// kernels' masked stores land on full cache lines.
+class ColumnarResult {
+ public:
+  ColumnarResult() = default;
+
+  // Declares a column. Call once per projected column before SetRowCount.
+  void AddColumn(std::string name, DataType type) {
+    Column column;
+    column.name = std::move(name);
+    column.type = type;
+    column.element_size = DataTypeSize(type);
+    columns_.push_back(std::move(column));
+  }
+
+  // Sizes every column buffer for `rows` elements (uninitialized — the
+  // gatherer fully assigns each slice it hands out).
+  void SetRowCount(size_t rows) {
+    row_count_ = rows;
+    for (Column& column : columns_) {
+      column.bytes.resize(rows * column.element_size);
+    }
+  }
+
+  // Drops all rows past `rows` (LIMIT application after top-K selection).
+  void TruncateRows(size_t rows) {
+    if (rows >= row_count_) return;
+    row_count_ = rows;
+    for (Column& column : columns_) {
+      column.bytes.resize(rows * column.element_size);
+    }
+  }
+
+  size_t row_count() const { return row_count_; }
+  size_t column_count() const { return columns_.size(); }
+  const std::string& column_name(size_t c) const { return columns_[c].name; }
+  DataType column_type(size_t c) const { return columns_[c].type; }
+
+  // Raw buffer access for the gather kernels. `MutableData(c, offset)`
+  // is the address of row `offset` — per-chunk gathers write disjoint
+  // row slices of the same buffer concurrently.
+  void* MutableData(size_t c, size_t row_offset = 0) {
+    Column& column = columns_[c];
+    return column.bytes.data() + row_offset * column.element_size;
+  }
+  const void* Data(size_t c, size_t row_offset = 0) const {
+    const Column& column = columns_[c];
+    return column.bytes.data() + row_offset * column.element_size;
+  }
+
+  template <typename T>
+  const T* TypedData(size_t c) const {
+    FTS_DCHECK(TypeTraits<T>::kType == columns_[c].type);
+    return reinterpret_cast<const T*>(columns_[c].bytes.data());
+  }
+  template <typename T>
+  T* MutableTypedData(size_t c) {
+    FTS_DCHECK(TypeTraits<T>::kType == columns_[c].type);
+    return reinterpret_cast<T*>(columns_[c].bytes.data());
+  }
+
+  // Boxes one cell — the deferred materialization point. O(1), no state.
+  Value ValueAt(size_t row, size_t c) const {
+    FTS_DCHECK(row < row_count_ && c < columns_.size());
+    const Column& column = columns_[c];
+    return DispatchDataType(column.type, [&](auto tag) -> Value {
+      using T = decltype(tag);
+      T value;
+      std::memcpy(&value, column.bytes.data() + row * sizeof(T), sizeof(T));
+      return Value(value);
+    });
+  }
+
+  // Boxes one row (shell rendering, tests).
+  std::vector<Value> MaterializeRow(size_t row) const {
+    std::vector<Value> out;
+    out.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out.push_back(ValueAt(row, c));
+    }
+    return out;
+  }
+
+  // Reorders every column to `perm` order: row i of the result is row
+  // perm[i] of the current contents (ORDER BY without LIMIT; the top-K
+  // path gathers directly in output order instead).
+  void ApplyPermutation(const std::vector<uint32_t>& perm) {
+    FTS_CHECK(perm.size() == row_count_);
+    for (Column& column : columns_) {
+      AlignedVector<uint8_t> reordered(column.bytes.size());
+      const size_t width = column.element_size;
+      for (size_t i = 0; i < perm.size(); ++i) {
+        std::memcpy(reordered.data() + i * width,
+                    column.bytes.data() + static_cast<size_t>(perm[i]) * width,
+                    width);
+      }
+      column.bytes = std::move(reordered);
+    }
+  }
+
+  void Clear() {
+    columns_.clear();
+    row_count_ = 0;
+  }
+
+ private:
+  struct Column {
+    std::string name;
+    DataType type = DataType::kInt32;
+    size_t element_size = 4;
+    AlignedVector<uint8_t> bytes;
+  };
+
+  std::vector<Column> columns_;
+  size_t row_count_ = 0;
+};
+
+}  // namespace fts
+
+#endif  // FTS_STORAGE_COLUMNAR_RESULT_H_

@@ -126,24 +126,24 @@ TEST_F(AggregateTest, OrderByAscendingAndDescending) {
   const auto asc = db_.Query(
       "SELECT v FROM t WHERE v >= 95 ORDER BY v");
   ASSERT_TRUE(asc.ok());
-  ASSERT_EQ(asc->rows.size(), 5u);
-  EXPECT_EQ(ValueAs<int>(asc->rows[0][0]), 95);
-  EXPECT_EQ(ValueAs<int>(asc->rows[4][0]), 99);
+  ASSERT_EQ(asc->RowCountOut(), 5u);
+  EXPECT_EQ(ValueAs<int>(asc->ValueAt(0, 0)), 95);
+  EXPECT_EQ(ValueAs<int>(asc->ValueAt(4, 0)), 99);
 
   const auto desc = db_.Query(
       "SELECT v FROM t WHERE v >= 95 ORDER BY v DESC");
   ASSERT_TRUE(desc.ok());
-  EXPECT_EQ(ValueAs<int>(desc->rows[0][0]), 99);
-  EXPECT_EQ(ValueAs<int>(desc->rows[4][0]), 95);
+  EXPECT_EQ(ValueAs<int>(desc->ValueAt(0, 0)), 99);
+  EXPECT_EQ(ValueAs<int>(desc->ValueAt(4, 0)), 95);
 }
 
 TEST_F(AggregateTest, Limit) {
   const auto result =
       db_.Query("SELECT v FROM t ORDER BY v DESC LIMIT 3");
   ASSERT_TRUE(result.ok());
-  ASSERT_EQ(result->rows.size(), 3u);
-  EXPECT_EQ(ValueAs<int>(result->rows[0][0]), 99);
-  EXPECT_EQ(ValueAs<int>(result->rows[2][0]), 97);
+  ASSERT_EQ(result->RowCountOut(), 3u);
+  EXPECT_EQ(ValueAs<int>(result->ValueAt(0, 0)), 99);
+  EXPECT_EQ(ValueAs<int>(result->ValueAt(2, 0)), 97);
   // matched_rows reports the pre-LIMIT match count.
   EXPECT_EQ(result->matched_rows, 100u);
 }

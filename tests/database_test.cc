@@ -74,10 +74,10 @@ TEST_F(DatabaseTest, ProjectionReturnsMatchingRows) {
   const auto result =
       db_.Query("SELECT c0, c1 FROM tbl WHERE c0 = 5 AND c1 = 2");
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->rows.size(), generated_.stage_matches.back());
-  for (const auto& row : result->rows) {
-    EXPECT_EQ(ValueAs<int>(row[0]), 5);
-    EXPECT_EQ(ValueAs<int>(row[1]), 2);
+  EXPECT_EQ(result->RowCountOut(), generated_.stage_matches.back());
+  for (size_t r = 0; r < result->RowCountOut(); ++r) {
+    EXPECT_EQ(ValueAs<int>(result->ValueAt(r, 0)), 5);
+    EXPECT_EQ(ValueAs<int>(result->ValueAt(r, 1)), 2);
   }
 }
 

@@ -84,9 +84,9 @@ TEST_P(DegradationTest, QuerySurvivesFaultWithIdenticalResults) {
   const auto rows_result = db_.Query(kProjectSql, options);
   ASSERT_TRUE(rows_result.ok())
       << GetParam() << ": " << rows_result.status().ToString();
-  EXPECT_EQ(rows_result->rows.size(), reference_rows->rows.size());
-  EXPECT_EQ(rows_result->ToString(rows_result->rows.size()),
-            reference_rows->ToString(reference_rows->rows.size()));
+  EXPECT_EQ(rows_result->RowCountOut(), reference_rows->RowCountOut());
+  EXPECT_EQ(rows_result->ToString(rows_result->RowCountOut()),
+            reference_rows->ToString(reference_rows->RowCountOut()));
   EXPECT_TRUE(rows_result->execution_report.degraded);
 }
 

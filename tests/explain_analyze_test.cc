@@ -203,7 +203,7 @@ TEST_F(ExplainAnalyzeTest, AnalyzeProjectionQuery) {
             std::string::npos)
       << text;
   // Projection results still materialize alongside the annotation.
-  EXPECT_EQ(result->rows.size(), result->matched_rows);
+  EXPECT_EQ(result->RowCountOut(), result->matched_rows);
 }
 
 TEST_F(ExplainAnalyzeTest, AnalyzeParallelScanReportsWorkers) {

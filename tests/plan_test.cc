@@ -307,9 +307,9 @@ TEST(ExecutePlanTest, CountAndProjectAgree) {
   ASSERT_TRUE(project_plan.ok());
   const auto project_result = ExecutePlan(*project_plan);
   ASSERT_TRUE(project_result.ok());
-  ASSERT_EQ(project_result->rows.size(), 50u);
-  EXPECT_EQ(ValueAs<int>(project_result->rows[0][0]), 1);
-  EXPECT_EQ(ValueAs<int>(project_result->rows[49][0]), 99);
+  ASSERT_EQ(project_result->RowCountOut(), 50u);
+  EXPECT_EQ(ValueAs<int>(project_result->ValueAt(0, 0)), 1);
+  EXPECT_EQ(ValueAs<int>(project_result->ValueAt(49, 0)), 99);
 }
 
 TEST(ExecutePlanTest, MultiStepRefinementMatchesFused) {
